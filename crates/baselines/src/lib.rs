@@ -1,0 +1,90 @@
+//! Baseline systems the paper compares DeepDB against — each re-implemented
+//! from its published algorithm (no external systems):
+//!
+//! **Cardinality estimation (Exp. 1, Table 1 / Figures 1, 7):**
+//! * [`postgres`] — the textbook MCV + equi-depth-histogram estimator with
+//!   attribute independence and System-R join selectivities (Postgres 11.5's
+//!   approach).
+//! * [`ibjs`] — Index-Based Join Sampling (Leis et al., CIDR 2017).
+//! * [`sampling`] — uniform per-table random sampling with scale-up.
+//! * [`mcsn`] — the workload-driven Multi-Set Convolutional Network
+//!   (Kipf et al., CIDR 2019), trained on executed queries.
+//!
+//! **AQP (Exp. 2, Figures 9–12):**
+//! * [`verdict`] — VerdictDB-style offline uniform "scrambles".
+//! * [`tablesample`] — `TABLESAMPLE`-style per-query Bernoulli sampling.
+//! * [`wanderjoin`] — Wander Join index random walks (Li et al., SIGMOD'16).
+//! * [`dbest`] — DBEst-style per-query-template models with cumulative
+//!   training-time accounting (Ma & Triantafillou, SIGMOD 2019).
+//! * [`sampling::sample_based_ci`] — the sample-based confidence-interval
+//!   ground truth of Figure 11.
+//!
+//! **ML (Exp. 3, Figure 13):**
+//! * [`regtree`] — a CART regression tree;
+//! * the MLP baseline reuses `deepdb-nn` directly.
+
+pub mod dbest;
+pub mod ibjs;
+pub mod mcsn;
+pub mod postgres;
+pub mod regtree;
+pub mod sampling;
+pub mod tablesample;
+pub mod verdict;
+pub mod wanderjoin;
+
+/// Two-sided standard-normal quantile for a confidence level
+/// (0.95 → ≈1.96). Acklam's rational approximation.
+pub fn normal_z(confidence: f64) -> f64 {
+    let p = 0.5 + confidence.clamp(0.0, 0.9999) / 2.0;
+    // Central-region branch of Acklam's inverse normal CDF (p ∈ [0.5, 1)).
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    if p <= 1.0 - 0.02425 {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn normal_z_matches_tables() {
+        assert!((super::normal_z(0.95) - 1.959964).abs() < 1e-4);
+        assert!((super::normal_z(0.99) - 2.575829).abs() < 1e-4);
+        assert!(super::normal_z(0.5) > 0.67 && super::normal_z(0.5) < 0.68);
+    }
+}

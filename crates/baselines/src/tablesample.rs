@@ -1,0 +1,206 @@
+//! `TABLESAMPLE`-style AQP: per-query Bernoulli sampling of the fact
+//! table(s), as with Postgres' `TABLESAMPLE BERNOULLI` — no precomputation,
+//! the sampling scan is part of the query latency.
+
+use std::time::{Duration, Instant};
+
+use deepdb_storage::{
+    Aggregate, Database, Indexes, Predicate, Query, TableId, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scalar or grouped approximate answer.
+pub struct TableSample<'a> {
+    db: &'a Database,
+    indexes: Indexes,
+    pub rate: f64,
+    rng: StdRng,
+}
+
+impl<'a> TableSample<'a> {
+    pub fn new(db: &'a Database, rate: f64, seed: u64) -> Self {
+        Self { db, indexes: Indexes::build(db), rate, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Fact table of a query: the FK child among the joined tables (or the
+    /// single table).
+    fn fact_table(&self, query: &Query) -> TableId {
+        *query
+            .tables
+            .iter()
+            .find(|&&t| {
+                query.tables.iter().all(|&u| {
+                    u == t
+                        || self
+                            .db
+                            .edge_between(t, u)
+                            .is_some_and(|fk| fk.child_table == t)
+                })
+            })
+            .unwrap_or(&query.tables[0])
+    }
+
+    /// Approximate the aggregate by scanning a Bernoulli sample of the fact
+    /// table, joining each sampled row to its dimension rows through PK
+    /// indexes. Returns `(scalar, groups, latency)`; scalar is `None` when no
+    /// sampled row qualifies.
+    #[allow(clippy::type_complexity)]
+    pub fn query(
+        &mut self,
+        query: &Query,
+    ) -> (Option<f64>, Vec<(Vec<Value>, Option<f64>)>, Duration) {
+        let t0 = Instant::now();
+        let fact = self.fact_table(query);
+        let fact_table = self.db.table(fact);
+        let scale = 1.0 / self.rate.max(1e-12);
+
+        // Resolve each non-fact table's FK edge from the fact table.
+        let dims: Vec<(TableId, usize, usize)> = query
+            .tables
+            .iter()
+            .filter(|&&t| t != fact)
+            .map(|&t| {
+                let fk = self
+                    .db
+                    .edge_between(fact, t)
+                    .expect("snowflake queries join the fact to each dimension");
+                (t, fk.child_col, fk.parent_col)
+            })
+            .collect();
+
+        let fact_preds: Vec<&Predicate> = query.predicates_on(fact).collect();
+        let mut count = 0u64;
+        let mut sum = 0.0;
+        let mut non_null = 0u64;
+        let mut groups: std::collections::HashMap<Vec<Value>, (u64, f64, u64)> =
+            std::collections::HashMap::new();
+        let agg = query.aggregate_input();
+
+        'rows: for r in 0..fact_table.n_rows() {
+            if self.rng.gen::<f64>() >= self.rate {
+                continue;
+            }
+            for p in &fact_preds {
+                if !p.passes(&fact_table.value(r, p.column)) {
+                    continue 'rows;
+                }
+            }
+            // Join to dimensions and apply their predicates.
+            let mut dim_rows: Vec<(TableId, usize)> = Vec::with_capacity(dims.len());
+            for &(t, child_col, _) in &dims {
+                let Some(key) = fact_table.column(child_col).i64_at(r) else {
+                    continue 'rows;
+                };
+                let Some(dr) = self.indexes.pk_lookup(t, key) else {
+                    continue 'rows;
+                };
+                let dr = dr as usize;
+                for p in query.predicates_on(t) {
+                    if !p.passes(&self.db.table(t).value(dr, p.column)) {
+                        continue 'rows;
+                    }
+                }
+                dim_rows.push((t, dr));
+            }
+            let value_at = |table: TableId, col: usize| -> Value {
+                if table == fact {
+                    fact_table.value(r, col)
+                } else {
+                    let &(_, dr) = dim_rows.iter().find(|&&(t, _)| t == table).expect("joined");
+                    self.db.table(table).value(dr, col)
+                }
+            };
+            let av = agg.map(|c| value_at(c.table, c.column));
+            let (avf, is_num) = match av {
+                Some(v) => (v.as_f64().unwrap_or(0.0), v.as_f64().is_some()),
+                None => (0.0, false),
+            };
+            if query.group_by.is_empty() {
+                count += 1;
+                if is_num {
+                    sum += avf;
+                    non_null += 1;
+                }
+            } else {
+                let key: Vec<Value> =
+                    query.group_by.iter().map(|g| value_at(g.table, g.column)).collect();
+                let e = groups.entry(key).or_default();
+                e.0 += 1;
+                if is_num {
+                    e.1 += avf;
+                    e.2 += 1;
+                }
+            }
+        }
+
+        let finish = |count: u64, sum: f64, non_null: u64| -> Option<f64> {
+            if count == 0 {
+                return None;
+            }
+            match query.aggregate {
+                Aggregate::CountStar => Some(count as f64 * scale),
+                Aggregate::Sum(_) => Some(sum * scale),
+                Aggregate::Avg(_) => (non_null > 0).then(|| sum / non_null as f64),
+            }
+        };
+        let scalar = finish(count, sum, non_null);
+        let mut grouped: Vec<(Vec<Value>, Option<f64>)> = groups
+            .into_iter()
+            .map(|(k, (c, s, nn))| (k, finish(c, s, nn)))
+            .collect();
+        grouped.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        (scalar, grouped, t0.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepdb_storage::fixtures::correlated_customer_order;
+    use deepdb_storage::{execute, CmpOp, ColumnRef, PredOp};
+
+    #[test]
+    fn count_estimate_scales_correctly() {
+        let db = correlated_customer_order(3000, 20);
+        let mut ts = TableSample::new(&db, 0.3, 1);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let q = Query::count(vec![c, o]).filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+        let truth = execute(&db, &q).unwrap().scalar().count as f64;
+        let (est, _, lat) = ts.query(&q);
+        let rel = (est.unwrap() - truth).abs() / truth;
+        assert!(rel < 0.2, "rel {rel}");
+        assert!(lat.as_nanos() > 0);
+    }
+
+    #[test]
+    fn groups_are_estimated() {
+        let db = correlated_customer_order(2500, 21);
+        let mut ts = TableSample::new(&db, 0.4, 2);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let q = Query::count(vec![c, o])
+            .aggregate(Aggregate::Avg(ColumnRef { table: o, column: 3 }))
+            .group(c, 2);
+        let truth = execute(&db, &q).unwrap();
+        let (_, groups, _) = ts.query(&q);
+        assert_eq!(groups.len(), truth.groups().len());
+        for (key, est) in &groups {
+            let t = truth.groups().iter().find(|(k, _)| k == key).unwrap().1.avg().unwrap();
+            let rel = (est.unwrap() - t).abs() / t;
+            assert!(rel < 0.25, "group {key:?} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn selective_query_yields_none() {
+        let db = correlated_customer_order(300, 22);
+        let mut ts = TableSample::new(&db, 0.01, 3);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let q = Query::count(vec![c, o]).filter(o, 3, PredOp::Cmp(CmpOp::Gt, Value::Float(499.9)));
+        let (est, _, _) = ts.query(&q);
+        assert!(est.is_none());
+    }
+}

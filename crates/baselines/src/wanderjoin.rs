@@ -1,0 +1,190 @@
+//! Wander Join (Li et al., SIGMOD 2016): online aggregation over joins via
+//! index random walks with Horvitz–Thompson reweighting.
+//!
+//! Each walk starts from a random fact-table row and follows the join tree
+//! through indexes, picking one partner uniformly at each step and
+//! multiplying the weight by the partner count. Predicates are evaluated on
+//! the walked tuples. COUNT/SUM are estimated as `|fact| · mean(weight·v)`;
+//! AVG as the ratio of the SUM and COUNT estimators. A walk budget plays the
+//! role of the paper's time bound.
+
+use std::time::{Duration, Instant};
+
+use deepdb_storage::{Aggregate, Database, Indexes, Query, TableId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub struct WanderJoin<'a> {
+    db: &'a Database,
+    indexes: &'a Indexes,
+    /// Number of random walks per query (the time budget).
+    pub walks: usize,
+    rng: StdRng,
+}
+
+impl<'a> WanderJoin<'a> {
+    pub fn new(db: &'a Database, indexes: &'a Indexes, walks: usize, seed: u64) -> Self {
+        Self { db, indexes, walks, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Scalar estimate (`None` when no walk qualifies) plus per-group
+    /// estimates for GROUP BY queries, plus latency.
+    #[allow(clippy::type_complexity)]
+    pub fn query(
+        &mut self,
+        query: &Query,
+    ) -> (Option<f64>, Vec<(Vec<Value>, Option<f64>)>, Duration) {
+        let t0 = Instant::now();
+        // Walk order: fact table (FK child of all others) first.
+        let fact = *query
+            .tables
+            .iter()
+            .find(|&&t| {
+                query.tables.iter().all(|&u| {
+                    u == t || self.db.edge_between(t, u).is_some_and(|fk| fk.child_table == t)
+                })
+            })
+            .unwrap_or(&query.tables[0]);
+        let fact_table = self.db.table(fact);
+        if fact_table.n_rows() == 0 {
+            return (None, Vec::new(), t0.elapsed());
+        }
+        let dims: Vec<(TableId, usize)> = query
+            .tables
+            .iter()
+            .filter(|&&t| t != fact)
+            .filter_map(|&t| self.db.edge_between(fact, t).map(|fk| (t, fk.child_col)))
+            .collect();
+        let agg = query.aggregate_input();
+
+        let mut qualifying = 0usize;
+        let mut w_count = 0.0; // Σ weight·1
+        let mut w_sum = 0.0; // Σ weight·value
+        let mut groups: std::collections::HashMap<Vec<Value>, (f64, f64, f64)> =
+            std::collections::HashMap::new();
+
+        'walks: for _ in 0..self.walks {
+            let r = self.rng.gen_range(0..fact_table.n_rows());
+            // Fact-to-dimension steps are unique PK lookups: weight 1 each.
+            for p in query.predicates_on(fact) {
+                if !p.passes(&fact_table.value(r, p.column)) {
+                    continue 'walks;
+                }
+            }
+            let mut dim_rows: Vec<(TableId, usize)> = Vec::with_capacity(dims.len());
+            for &(t, child_col) in &dims {
+                let Some(key) = fact_table.column(child_col).i64_at(r) else {
+                    continue 'walks;
+                };
+                let Some(dr) = self.indexes.pk_lookup(t, key) else {
+                    continue 'walks;
+                };
+                let dr = dr as usize;
+                for p in query.predicates_on(t) {
+                    if !p.passes(&self.db.table(t).value(dr, p.column)) {
+                        continue 'walks;
+                    }
+                }
+                dim_rows.push((t, dr));
+            }
+            qualifying += 1;
+            let value_at = |table: TableId, col: usize| -> Value {
+                if table == fact {
+                    fact_table.value(r, col)
+                } else {
+                    let &(_, dr) = dim_rows.iter().find(|&&(t, _)| t == table).expect("walked");
+                    self.db.table(table).value(dr, col)
+                }
+            };
+            let (v, has) = match agg.map(|c| value_at(c.table, c.column)) {
+                Some(val) => (val.as_f64().unwrap_or(0.0), val.as_f64().is_some()),
+                None => (0.0, false),
+            };
+            if query.group_by.is_empty() {
+                w_count += 1.0;
+                if has {
+                    w_sum += v;
+                }
+            } else {
+                let key: Vec<Value> =
+                    query.group_by.iter().map(|g| value_at(g.table, g.column)).collect();
+                let e = groups.entry(key).or_default();
+                e.0 += 1.0;
+                if has {
+                    e.1 += v;
+                    e.2 += 1.0;
+                }
+            }
+        }
+
+        let scale = fact_table.n_rows() as f64 / self.walks as f64;
+        let finish = |c: f64, s: f64, nn: f64| -> Option<f64> {
+            if c == 0.0 {
+                return None;
+            }
+            match query.aggregate {
+                Aggregate::CountStar => Some(c * scale),
+                Aggregate::Sum(_) => Some(s * scale),
+                Aggregate::Avg(_) => (nn > 0.0).then_some(s / nn),
+            }
+        };
+        let scalar = if qualifying == 0 { None } else { finish(w_count, w_sum, w_count) };
+        let mut grouped: Vec<(Vec<Value>, Option<f64>)> =
+            groups.into_iter().map(|(k, (c, s, nn))| (k, finish(c, s, nn))).collect();
+        grouped.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        (scalar, grouped, t0.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepdb_storage::fixtures::correlated_customer_order;
+    use deepdb_storage::{execute, CmpOp, ColumnRef, PredOp, Predicate};
+
+    #[test]
+    fn count_estimates_converge() {
+        let db = correlated_customer_order(2500, 30);
+        let idx = Indexes::build(&db);
+        let mut wj = WanderJoin::new(&db, &idx, 20_000, 1);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let q = Query::count(vec![o, c]).filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+        let truth = execute(&db, &q).unwrap().scalar().count as f64;
+        let (est, _, _) = wj.query(&q);
+        let rel = (est.unwrap() - truth).abs() / truth;
+        assert!(rel < 0.15, "rel {rel}");
+    }
+
+    #[test]
+    fn sum_and_avg_estimates() {
+        let db = correlated_customer_order(2500, 31);
+        let idx = Indexes::build(&db);
+        let mut wj = WanderJoin::new(&db, &idx, 20_000, 2);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let amount = ColumnRef { table: o, column: 3 };
+        let q = Query {
+            tables: vec![o, c],
+            predicates: vec![Predicate::new(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))],
+            aggregate: Aggregate::Sum(amount),
+            group_by: vec![],
+        };
+        let truth = execute(&db, &q).unwrap().scalar().sum;
+        let (est, _, _) = wj.query(&q);
+        let rel = (est.unwrap() - truth).abs() / truth;
+        assert!(rel < 0.15, "SUM rel {rel}");
+    }
+
+    #[test]
+    fn hopeless_selectivity_returns_none() {
+        let db = correlated_customer_order(400, 32);
+        let idx = Indexes::build(&db);
+        let mut wj = WanderJoin::new(&db, &idx, 100, 3);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let q = Query::count(vec![o, c]).filter(o, 3, PredOp::Cmp(CmpOp::Gt, Value::Float(499.99)));
+        let (est, _, _) = wj.query(&q);
+        assert!(est.is_none());
+    }
+}

@@ -1,0 +1,45 @@
+//! **Figure 12** — Cumulative training time: DBEst-style per-query models
+//! vs. DeepDB's one-off ensemble, over the SSB query sequence S1.1–S4.3.
+//!
+//! Paper shape: DeepDB's curve is flat (one ensemble, then every ad-hoc
+//! query is free); DBEst's curve climbs whenever a query introduces a new
+//! template (S1.2/S1.3 reuse S1.1's model; selective flight-3/4 templates
+//! each pay biased sampling + fitting again).
+
+use deepdb_baselines::dbest::DbEst;
+use deepdb_bench::{build_ensemble, default_ensemble_params, fmt_dur, print_table};
+use deepdb_data::ssb;
+
+fn main() {
+    let scale = deepdb_bench::bench_scale(1.0);
+    println!("Figure 12: cumulative training time (scale {:.2}, seed {})", scale.factor, scale.seed);
+    let db = ssb::generate(scale);
+
+    let (_, deepdb_time) = build_ensemble(&db, default_ensemble_params(scale.seed));
+
+    let mut dbest = DbEst::new();
+    let mut rows = Vec::new();
+    let mut cumulative = std::time::Duration::ZERO;
+    for nq in ssb::queries(&db) {
+        let _ = dbest.query(&db, &nq.query);
+        cumulative = dbest.cumulative_training;
+        rows.push(vec![
+            nq.name.clone(),
+            fmt_dur(cumulative),
+            fmt_dur(deepdb_time),
+            format!("{}", dbest.n_models()),
+        ]);
+    }
+    print_table(
+        "Figure 12: cumulative training time over the SSB query sequence",
+        &["query", "DBEst cumulative", "DeepDB (one-off)", "DBEst models"],
+        &rows,
+    );
+    println!(
+        "\nDBEst total {} across {} templates vs DeepDB {} once \
+         (paper: DBEst exceeds hours on selective queries; DeepDB trains once)",
+        fmt_dur(cumulative),
+        dbest.n_models(),
+        fmt_dur(deepdb_time)
+    );
+}

@@ -1,0 +1,99 @@
+//! **Figure 1 + Figure 7** — Generalization to unseen join sizes.
+//!
+//! MCSN is trained only on queries with ≤ 3 joined tables (as in the paper,
+//! where larger training joins are too expensive to label). Both learned
+//! estimators are then evaluated on synthetic queries joining 4–6 tables
+//! with 1–5 predicates:
+//!
+//! * Figure 1 reports the median q-error per join size (4/5/6 tables);
+//! * Figure 7 reports the median q-error per (join size, #predicates) cell.
+//!
+//! Paper shape: MCSN error explodes by orders of magnitude beyond its
+//! training join sizes; DeepDB stays near 1.
+
+use deepdb_baselines::mcsn::Mcsn;
+use deepdb_bench::{build_ensemble, default_ensemble_params, percentiles, print_table, qerror};
+use deepdb_core::compile::estimate_cardinality;
+use deepdb_data::{ground_truth_cardinalities, imdb, joblight};
+
+fn main() {
+    let scale = deepdb_bench::bench_scale(1.0);
+    println!("Figures 1 & 7: generalization (scale {:.2}, seed {})", scale.factor, scale.seed);
+    let db = imdb::generate(scale);
+
+    let (mut ensemble, _) = build_ensemble(&db, default_ensemble_params(scale.seed));
+
+    // MCSN trained on ≤3-table queries only.
+    let n_train = if deepdb_bench::fast_mode() { 180 } else { 1200 };
+    let train: Vec<_> = joblight::synthetic(&db, &[2, 3], &[1, 2, 3], n_train / 6, scale.seed ^ 0x7)
+        .into_iter()
+        .map(|nq| nq.query)
+        .collect();
+    let mcsn = Mcsn::train(&db, &train, if deepdb_bench::fast_mode() { 10 } else { 60 }, scale.seed);
+
+    // Evaluation grid: join sizes 4-6 × predicates 1-5.
+    let per_cell = if deepdb_bench::fast_mode() { 2 } else { 5 };
+    let grid = joblight::synthetic(&db, &[4, 5, 6], &[1, 2, 3, 4, 5], per_cell, scale.seed ^ 0x99);
+    let truths = ground_truth_cardinalities(&db, &grid);
+
+    // Collect q-errors per cell.
+    let mut cells: std::collections::BTreeMap<(usize, usize), (Vec<f64>, Vec<f64>)> =
+        std::collections::BTreeMap::new();
+    for (nq, &truth) in grid.iter().zip(&truths) {
+        let tables = nq.query.tables.len();
+        let preds = nq.query.predicates.len();
+        let d = estimate_cardinality(&mut ensemble, &db, &nq.query).expect("deepdb");
+        let m = mcsn.estimate(&db, &nq.query);
+        let entry = cells.entry((tables, preds)).or_default();
+        entry.0.push(qerror(d, truth));
+        entry.1.push(qerror(m, truth));
+    }
+
+    // Figure 1: per join size.
+    let mut fig1 = Vec::new();
+    for t in [4usize, 5, 6] {
+        let mut dd: Vec<f64> = Vec::new();
+        let mut mc: Vec<f64> = Vec::new();
+        for ((tt, _), (d, m)) in &cells {
+            if *tt == t {
+                dd.extend_from_slice(d);
+                mc.extend_from_slice(m);
+            }
+        }
+        let (dmed, ..) = percentiles(&mut dd);
+        let (mmed, ..) = percentiles(&mut mc);
+        fig1.push(vec![format!("{t}"), format!("{mmed:.2}"), format!("{dmed:.2}")]);
+    }
+    print_table(
+        "Figure 1: median q-error per join size (tables)",
+        &["tables", "MCSN", "DeepDB (ours)"],
+        &fig1,
+    );
+
+    // Figure 7: per (join size, #predicates) cell.
+    let mut fig7 = Vec::new();
+    for ((t, p), (d, m)) in &mut cells {
+        let (dmed, ..) = percentiles(d);
+        let (mmed, ..) = percentiles(m);
+        fig7.push(vec![format!("{t}-{p}"), format!("{mmed:.2}"), format!("{dmed:.2}")]);
+    }
+    print_table(
+        "Figure 7: median q-errors per (join size - #filter predicates)",
+        &["tables-preds", "MCSN", "DeepDB (ours)"],
+        &fig7,
+    );
+
+    // Headline check: MCSN degrades with join size, DeepDB stays flat.
+    let ratio = |t: usize| {
+        let mut mc: Vec<f64> = cells
+            .iter()
+            .filter(|((tt, _), _)| *tt == t)
+            .flat_map(|(_, (_, m))| m.clone())
+            .collect();
+        percentiles(&mut mc).0
+    };
+    println!(
+        "\nMCSN median q-error growth 4→6 tables: {:.2}x",
+        ratio(6) / ratio(4).max(1e-9)
+    );
+}

@@ -1,0 +1,114 @@
+//! **Figure 8** — Parameter exploration: q-error and training time versus
+//! the ensemble learning budget factor and the per-RSPN sample size, plus
+//! the "cheap strategy" ablation of §6.1 (single-table ensembles only).
+//!
+//! Paper shape: the budget sweep saturates around B = 0.5; larger samples
+//! improve q-error (2.5 → 1.9 in the paper) at linearly higher training
+//! time; the single-table ensemble stays competitive at higher percentiles.
+
+use std::time::Instant;
+
+use deepdb_bench::{default_ensemble_params, percentiles, print_table, qerror};
+use deepdb_core::compile::estimate_cardinality;
+use deepdb_core::{EnsembleBuilder, EnsembleStrategy};
+use deepdb_data::{ground_truth_cardinalities, imdb, joblight, NamedQuery};
+use deepdb_storage::Database;
+
+fn eval_ensemble(
+    db: &Database,
+    workload: &[NamedQuery],
+    truths: &[f64],
+    params: deepdb_core::EnsembleParams,
+) -> (f64, f64, f64, f64, std::time::Duration) {
+    let t0 = Instant::now();
+    let mut ens = EnsembleBuilder::new(db).params(params).build().expect("ensemble");
+    let train_time = t0.elapsed();
+    let mut qs: Vec<f64> = workload
+        .iter()
+        .zip(truths)
+        .map(|(nq, &t)| {
+            qerror(estimate_cardinality(&mut ens, db, &nq.query).expect("estimate"), t)
+        })
+        .collect();
+    let (med, p90, p95, max) = percentiles(&mut qs);
+    (med, p90, p95, max, train_time)
+}
+
+fn main() {
+    let scale = deepdb_bench::bench_scale(0.5);
+    println!("Figure 8: parameter exploration (scale {:.2}, seed {})", scale.factor, scale.seed);
+    let db = imdb::generate(scale);
+    // Mixed workload: 3–6-way joins, 1–5 predicates (as in §6.1).
+    let per_cell = if deepdb_bench::fast_mode() { 1 } else { 3 };
+    let workload = joblight::synthetic(&db, &[3, 4, 5, 6], &[1, 2, 3, 4, 5], per_cell, scale.seed);
+    let truths = ground_truth_cardinalities(&db, &workload);
+
+    // Sweep 1: ensemble learning budget factor.
+    let budgets = if deepdb_bench::fast_mode() {
+        vec![0.0, 0.5]
+    } else {
+        vec![0.0, 0.5, 1.0, 2.0, 3.0]
+    };
+    let mut rows = Vec::new();
+    for &b in &budgets {
+        let mut p = default_ensemble_params(scale.seed);
+        p.budget_factor = b;
+        let (med, _, _, _, t) = eval_ensemble(&db, &workload, &truths, p);
+        rows.push(vec![format!("{b:.1}"), format!("{med:.3}"), deepdb_bench::fmt_dur(t)]);
+    }
+    print_table(
+        "Figure 8 (left): q-error / training time vs ensemble learning budget",
+        &["budget factor", "median q-error", "training time"],
+        &rows,
+    );
+
+    // Sweep 2: samples per RSPN.
+    let sample_sizes = if deepdb_bench::fast_mode() {
+        vec![1_000, 10_000]
+    } else {
+        vec![1_000, 10_000, 50_000, 100_000]
+    };
+    let mut rows = Vec::new();
+    for &n in &sample_sizes {
+        let mut p = default_ensemble_params(scale.seed);
+        p.sample_size = n;
+        let (med, _, _, _, t) = eval_ensemble(&db, &workload, &truths, p);
+        rows.push(vec![format!("{n}"), format!("{med:.3}"), deepdb_bench::fmt_dur(t)]);
+    }
+    print_table(
+        "Figure 8 (right): q-error / training time vs samples per RSPN",
+        &["samples per RSPN", "median q-error", "training time"],
+        &rows,
+    );
+
+    // Ablation (§6.1 text): single-table-only ensembles.
+    let jl = joblight::job_light(&db, scale.seed);
+    let jl_truths = ground_truth_cardinalities(&db, &jl);
+    let mut p = default_ensemble_params(scale.seed);
+    p.strategy = EnsembleStrategy::SingleTables;
+    let (med, p90, p95, max, t) = eval_ensemble(&db, &jl, &jl_truths, p);
+    let (bmed, bp90, bp95, bmax, bt) =
+        eval_ensemble(&db, &jl, &jl_truths, default_ensemble_params(scale.seed));
+    print_table(
+        "Cheap strategy ablation on JOB-light (§6.1: paper 1.98 / 5.32 / 8.54 / 186.5)",
+        &["ensemble", "median", "90th", "95th", "max", "training"],
+        &[
+            vec![
+                "single tables only".into(),
+                format!("{med:.2}"),
+                format!("{p90:.2}"),
+                format!("{p95:.2}"),
+                format!("{max:.2}"),
+                deepdb_bench::fmt_dur(t),
+            ],
+            vec![
+                "full ensemble (B=0.5)".into(),
+                format!("{bmed:.2}"),
+                format!("{bp90:.2}"),
+                format!("{bp95:.2}"),
+                format!("{bmax:.2}"),
+                deepdb_bench::fmt_dur(bt),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,136 @@
+//! **Figure 9** — AQP on the Flights dataset: average relative error and
+//! latency per query (F1.1–F5.2) for VerdictDB-style scrambles,
+//! TABLESAMPLE, and DeepDB.
+//!
+//! Paper shape: DeepDB has the lowest relative error on every query —
+//! dramatically so at low selectivities where sample-based approaches
+//! starve — and its latencies are milliseconds while the sampling baselines
+//! pay their scan each time. F5.2 (difference of two SUMs) is answered by
+//! estimating both summands.
+
+use std::time::Instant;
+
+use deepdb_baselines::tablesample::TableSample;
+use deepdb_baselines::verdict::VerdictDb;
+use deepdb_bench::{
+    build_ensemble, default_ensemble_params, fmt_dur, grouped_rel_error_pct, print_table,
+    rel_error_pct,
+};
+use deepdb_core::{execute_aqp, AqpOutput};
+use deepdb_data::flights;
+use deepdb_storage::{execute, QueryOutput, Value};
+
+fn fmt_pct(v: f64) -> String {
+    if v.is_infinite() {
+        "No result".into()
+    } else {
+        format!("{v:.2}%")
+    }
+}
+
+fn main() {
+    let scale = deepdb_bench::bench_scale(1.0);
+    println!("Figure 9: Flights AQP (scale {:.2}, seed {})", scale.factor, scale.seed);
+    let db = flights::generate(scale);
+    println!("flights rows: {}", db.total_rows());
+
+    let (mut ensemble, train_time) = build_ensemble(&db, default_ensemble_params(scale.seed));
+    println!("DeepDB ensemble training: {}", fmt_dur(train_time));
+    let verdict = VerdictDb::build(&db, 0.01, scale.seed ^ 0x1).expect("verdict scrambles");
+    println!("VerdictDB scramble build: {}", fmt_dur(verdict.build_time));
+    let mut tablesample = TableSample::new(&db, 0.01, scale.seed ^ 0x2);
+
+    let mut rows = Vec::new();
+    let mut deepdb_max_latency = std::time::Duration::ZERO;
+    for nq in flights::queries(&db) {
+        let truth = execute(&db, &nq.query).expect("ground truth");
+        let grouped = !nq.query.group_by.is_empty();
+
+        // VerdictDB.
+        let (v_err, v_lat) = if grouped {
+            let (groups, lat) = verdict.grouped_values(&nq.query);
+            (grouped_rel_error_pct(&truth_groups(&truth, &nq.query), &groups), lat)
+        } else {
+            let (est, lat) = verdict.aggregate_value(&nq.query);
+            (rel_error_pct(est, scalar_truth(&truth, &nq.query)), lat)
+        };
+        // TABLESAMPLE.
+        let (t_scalar, t_groups, t_lat) = tablesample.query(&nq.query);
+        let t_err = if grouped {
+            grouped_rel_error_pct(&truth_groups(&truth, &nq.query), &t_groups)
+        } else {
+            rel_error_pct(t_scalar, scalar_truth(&truth, &nq.query))
+        };
+        // DeepDB.
+        let t0 = Instant::now();
+        let out = execute_aqp(&mut ensemble, &db, &nq.query).expect("deepdb aqp");
+        let d_lat = t0.elapsed();
+        deepdb_max_latency = deepdb_max_latency.max(d_lat);
+        let d_err = match &out {
+            AqpOutput::Scalar(r) => rel_error_pct(Some(r.value), scalar_truth(&truth, &nq.query)),
+            AqpOutput::Grouped(groups) => {
+                let est: Vec<(Vec<Value>, Option<f64>)> =
+                    groups.iter().map(|(k, r)| (k.clone(), Some(r.value))).collect();
+                grouped_rel_error_pct(&truth_groups(&truth, &nq.query), &est)
+            }
+        };
+
+        rows.push(vec![
+            nq.name.clone(),
+            fmt_pct(v_err),
+            fmt_dur(v_lat),
+            fmt_pct(t_err),
+            fmt_dur(t_lat),
+            fmt_pct(d_err),
+            fmt_dur(d_lat),
+        ]);
+    }
+
+    // F5.2: difference of two SUM aggregates.
+    let (fa, fb) = flights::f52_pair(&db);
+    let truth_a = execute(&db, &fa.query).expect("truth").scalar().sum;
+    let truth_b = execute(&db, &fb.query).expect("truth").scalar().sum;
+    let truth_diff = truth_a - truth_b;
+    let (va, la) = verdict.aggregate_value(&fa.query);
+    let (vb, lb) = verdict.aggregate_value(&fb.query);
+    let v_diff = va.zip(vb).map(|(a, b)| a - b);
+    let (ta, tga, lta) = tablesample.query(&fa.query);
+    let (tb, _, ltb) = tablesample.query(&fb.query);
+    let _ = tga;
+    let t_diff = ta.zip(tb).map(|(a, b)| a - b);
+    let t0 = Instant::now();
+    let da = execute_aqp(&mut ensemble, &db, &fa.query).expect("aqp").scalar().expect("scalar");
+    let db_ = execute_aqp(&mut ensemble, &db, &fb.query).expect("aqp").scalar().expect("scalar");
+    let d_lat = t0.elapsed();
+    deepdb_max_latency = deepdb_max_latency.max(d_lat);
+    rows.push(vec![
+        "F5.2".into(),
+        fmt_pct(rel_error_pct(v_diff, truth_diff)),
+        fmt_dur(la + lb),
+        fmt_pct(rel_error_pct(t_diff, truth_diff)),
+        fmt_dur(lta + ltb),
+        fmt_pct(rel_error_pct(Some(da.value - db_.value), truth_diff)),
+        fmt_dur(d_lat),
+    ]);
+
+    print_table(
+        "Figure 9: average relative error and latency per Flights query",
+        &["query", "VerdictDB err", "lat", "Tablesample err", "lat", "DeepDB err", "lat"],
+        &rows,
+    );
+    println!(
+        "\nDeepDB max AQP latency: {} (paper: 31ms max on Flights)",
+        fmt_dur(deepdb_max_latency)
+    );
+}
+
+fn scalar_truth(out: &QueryOutput, q: &deepdb_storage::Query) -> f64 {
+    out.scalar().value_for(q.aggregate).unwrap_or(0.0)
+}
+
+fn truth_groups(out: &QueryOutput, q: &deepdb_storage::Query) -> Vec<(Vec<Value>, f64)> {
+    out.groups()
+        .iter()
+        .filter_map(|(k, a)| a.value_for(q.aggregate).map(|v| (k.clone(), v)))
+        .collect()
+}

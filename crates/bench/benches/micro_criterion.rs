@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks backing the paper's latency/throughput
+//! claims:
+//!
+//! * cardinality-estimation latency (§6.1: "µs to ms"),
+//! * AQP latency (§6.2: ≤31 ms Flights, ≤293 ms SSB),
+//! * RSPN update throughput (§6.1: ~55k tuples/s),
+//! * SPN inference and ground-truth executor baselines for context.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use deepdb_bench::default_ensemble_params;
+use deepdb_core::compile::estimate_cardinality;
+use deepdb_core::{execute_aqp, EnsembleBuilder};
+use deepdb_data::{flights, imdb, joblight, Scale};
+use deepdb_storage::{execute, Value};
+
+fn bench_cardinality_latency(c: &mut Criterion) {
+    let scale = Scale { factor: 0.2, seed: 42 };
+    let db = imdb::generate(scale);
+    let mut ens = EnsembleBuilder::new(&db)
+        .params(default_ensemble_params(scale.seed))
+        .build()
+        .expect("ensemble");
+    let workload = joblight::job_light(&db, scale.seed);
+    let mut i = 0;
+    c.bench_function("cardinality_estimate_joblight", |b| {
+        b.iter(|| {
+            let q = &workload[i % workload.len()].query;
+            i += 1;
+            std::hint::black_box(estimate_cardinality(&mut ens, &db, q).expect("estimate"))
+        })
+    });
+    // Ground-truth executor for comparison (what the estimate replaces).
+    let mut j = 0;
+    c.bench_function("ground_truth_executor_joblight", |b| {
+        b.iter(|| {
+            let q = &workload[j % workload.len()].query;
+            j += 1;
+            std::hint::black_box(execute(&db, q).expect("execute").scalar().count)
+        })
+    });
+}
+
+fn bench_aqp_latency(c: &mut Criterion) {
+    let scale = Scale { factor: 0.2, seed: 42 };
+    let db = flights::generate(scale);
+    let mut ens = EnsembleBuilder::new(&db)
+        .params(default_ensemble_params(scale.seed))
+        .build()
+        .expect("ensemble");
+    let queries = flights::queries(&db);
+    let mut i = 0;
+    c.bench_function("aqp_flights_query", |b| {
+        b.iter(|| {
+            let q = &queries[i % queries.len()].query;
+            i += 1;
+            std::hint::black_box(execute_aqp(&mut ens, &db, q).expect("aqp"))
+        })
+    });
+}
+
+fn bench_update_throughput(c: &mut Criterion) {
+    let scale = Scale { factor: 0.1, seed: 42 };
+    c.bench_function("rspn_insert_order_row", |b| {
+        b.iter_batched(
+            || {
+                let db = deepdb_storage::fixtures::correlated_customer_order(2000, 7);
+                let ens = EnsembleBuilder::new(&db)
+                    .params(default_ensemble_params(scale.seed))
+                    .build()
+                    .expect("ensemble");
+                (db, ens, 1_000_000i64)
+            },
+            |(mut db, mut ens, base_id)| {
+                let o = db.table_id("orders").unwrap();
+                for k in 0..100 {
+                    ens.apply_insert(
+                        &mut db,
+                        o,
+                        &[
+                            Value::Int(base_id + k),
+                            Value::Int(1 + (k % 1500)),
+                            Value::Int(k % 2),
+                            Value::Float(99.0),
+                        ],
+                    )
+                    .expect("insert");
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_cardinality_latency, bench_aqp_latency, bench_update_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! Shared harness for the experiment bench targets.
+//!
+//! Every paper table/figure has a `benches/` target that prints the same
+//! rows/series the paper reports. All targets honour:
+//!
+//! * `DEEPDB_SCALE` — multiplier on default dataset sizes (default 1.0),
+//! * `DEEPDB_SEED` — global seed (default 42),
+//! * `DEEPDB_FAST=1` — shrink workloads/model sizes for smoke runs.
+
+use std::time::Duration;
+
+use deepdb_core::{Ensemble, EnsembleBuilder, EnsembleParams};
+use deepdb_data::Scale;
+use deepdb_storage::Database;
+
+/// The q-error of an estimate (≥ 1; both sides floored at one tuple).
+pub fn qerror(estimate: f64, truth: f64) -> f64 {
+    let e = estimate.max(1.0);
+    let t = truth.max(1.0);
+    (e / t).max(t / e)
+}
+
+/// Median / 90th / 95th / max of a sample (sorted internally).
+pub fn percentiles(values: &mut [f64]) -> (f64, f64, f64, f64) {
+    assert!(!values.is_empty(), "no values to summarize");
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pick = |q: f64| values[((values.len() - 1) as f64 * q).round() as usize];
+    (pick(0.5), pick(0.9), pick(0.95), values[values.len() - 1])
+}
+
+/// Relative error |est − truth| / |truth| (in %). `None` estimates map to
+/// `f64::INFINITY` ("No result" in the paper's figures).
+pub fn rel_error_pct(estimate: Option<f64>, truth: f64) -> f64 {
+    match estimate {
+        None => f64::INFINITY,
+        Some(e) => {
+            if truth.abs() < 1e-12 {
+                if e.abs() < 1e-9 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                100.0 * (e - truth).abs() / truth.abs()
+            }
+        }
+    }
+}
+
+/// Average relative error over matched groups, in percent (grouped queries
+/// in Figures 9/10). Groups missing from the estimate count as 100 %.
+pub fn grouped_rel_error_pct(
+    truth: &[(Vec<deepdb_storage::Value>, f64)],
+    estimate: &[(Vec<deepdb_storage::Value>, Option<f64>)],
+) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (key, t) in truth {
+        let est = estimate.iter().find(|(k, _)| k == key).and_then(|(_, v)| *v);
+        let e = match est {
+            Some(e) if t.abs() > 1e-12 => (100.0 * (e - t).abs() / t.abs()).min(100.0),
+            Some(_) => 0.0,
+            None => 100.0,
+        };
+        total += e;
+    }
+    total / truth.len() as f64
+}
+
+/// Fixed-width table printer (the "figure" output of each bench target).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Human-readable duration.
+pub fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 60.0 {
+        format!("{:.1}min", s / 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}ms", s * 1000.0)
+    }
+}
+
+/// Scale from the environment, shrunk further under `DEEPDB_FAST`.
+pub fn bench_scale(default_factor: f64) -> Scale {
+    let mut s = Scale::from_env();
+    s.factor *= default_factor;
+    if fast_mode() {
+        s.factor *= 0.15;
+    }
+    s
+}
+
+/// Smoke-run mode.
+pub fn fast_mode() -> bool {
+    std::env::var("DEEPDB_FAST").map_or(false, |v| v == "1")
+}
+
+/// Ensemble parameters used by the experiments (paper hyper-parameters:
+/// RDC threshold 0.3, min instance slice 1 %, budget factor 0.5).
+pub fn default_ensemble_params(seed: u64) -> EnsembleParams {
+    let mut p = EnsembleParams { seed, ..EnsembleParams::default() };
+    if fast_mode() {
+        p.sample_size = 8_000;
+        p.correlation_sample = 1_000;
+    }
+    p
+}
+
+/// Build an ensemble and report the wall-clock training time.
+pub fn build_ensemble(db: &Database, params: EnsembleParams) -> (Ensemble, Duration) {
+    let t0 = std::time::Instant::now();
+    let ens = EnsembleBuilder::new(db).params(params).build().expect("ensemble learning");
+    (ens, t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qerror_is_symmetric_and_floored() {
+        assert_eq!(qerror(10.0, 100.0), 10.0);
+        assert_eq!(qerror(100.0, 10.0), 10.0);
+        assert_eq!(qerror(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_extraction() {
+        let mut v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let (med, p90, p95, max) = percentiles(&mut v);
+        assert_eq!(med, 51.0);
+        assert_eq!(p90, 90.0);
+        assert_eq!(p95, 95.0);
+        assert_eq!(max, 100.0);
+    }
+
+    #[test]
+    fn rel_error_handles_missing() {
+        assert!(rel_error_pct(None, 5.0).is_infinite());
+        assert_eq!(rel_error_pct(Some(110.0), 100.0), 10.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Approximate query processing on the ensemble (paper §2, §4.2, §6.2).
+//!
+//! COUNT/SUM/AVG queries — optionally with GROUP BY — are answered purely
+//! from the models: no table data is touched at query time. Group-by queries
+//! are compiled into one estimate per group over the observed domain of the
+//! grouping columns (paper §4.2), and every estimate carries the §5.1
+//! confidence interval.
+
+use deepdb_storage::{Aggregate, Database, Domain, PredOp, Query, Value};
+
+use crate::compile::{estimate_avg, estimate_count, estimate_sum};
+use crate::ensemble::Ensemble;
+use crate::estimate::Estimate;
+use crate::DeepDbError;
+
+/// One approximate aggregate with its confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AqpResult {
+    /// Point estimate of the aggregate.
+    pub value: f64,
+    /// Lower/upper bound of the confidence interval.
+    pub ci_low: f64,
+    pub ci_high: f64,
+    /// Estimated number of qualifying rows (useful to spot empty groups).
+    pub count_estimate: f64,
+}
+
+/// Output of [`execute_aqp`]: scalar or per-group results.
+#[derive(Debug, Clone)]
+pub enum AqpOutput {
+    Scalar(AqpResult),
+    Grouped(Vec<(Vec<Value>, AqpResult)>),
+}
+
+impl AqpOutput {
+    /// Scalar accessor (first group's result for grouped output).
+    pub fn scalar(&self) -> Option<AqpResult> {
+        match self {
+            AqpOutput::Scalar(r) => Some(*r),
+            AqpOutput::Grouped(g) => g.first().map(|(_, r)| *r),
+        }
+    }
+
+    pub fn groups(&self) -> &[(Vec<Value>, AqpResult)] {
+        match self {
+            AqpOutput::Scalar(_) => &[],
+            AqpOutput::Grouped(g) => g,
+        }
+    }
+}
+
+/// Confidence level used for reported intervals (95%, as in the paper's
+/// evaluation).
+pub const CONFIDENCE: f64 = 0.95;
+
+/// Answer an aggregate query approximately from the ensemble.
+pub fn execute_aqp(
+    ens: &mut Ensemble,
+    db: &Database,
+    query: &Query,
+) -> Result<AqpOutput, DeepDbError> {
+    query.validate(db)?;
+    if query.group_by.is_empty() {
+        let (agg, count) = scalar_estimates(ens, db, query)?;
+        return Ok(AqpOutput::Scalar(to_result(agg, count)));
+    }
+
+    // GROUP BY: one probabilistic query per group over the observed domain
+    // (paper §4.2 — "n times more expectations"). Before forming the cross
+    // product of group domains, prune each domain with a cheap marginal
+    // count estimate so contradictory values (e.g. cities of a filtered-out
+    // nation) do not explode the enumeration.
+    let mut group_domains: Vec<Vec<Value>> = Vec::new();
+    for g in &query.group_by {
+        let domain = group_domain(ens, db, g.table, g.column)?;
+        let survivors = if query.group_by.len() > 1 && domain.len() > 8 {
+            let mut kept = Vec::new();
+            for v in domain {
+                let mut mq = query.clone();
+                mq.group_by.clear();
+                mq.aggregate = Aggregate::CountStar;
+                mq.predicates.push(deepdb_storage::Predicate::new(
+                    g.table,
+                    g.column,
+                    PredOp::Cmp(deepdb_storage::CmpOp::Eq, v),
+                ));
+                if estimate_count(ens, db, &mq)?.value >= 0.5 {
+                    kept.push(v);
+                }
+            }
+            kept
+        } else {
+            domain
+        };
+        if survivors.is_empty() {
+            return Ok(AqpOutput::Grouped(Vec::new()));
+        }
+        group_domains.push(survivors);
+    }
+    let mut groups = Vec::new();
+    let mut combo = vec![0usize; group_domains.len()];
+    'outer: loop {
+        let key: Vec<Value> =
+            combo.iter().zip(&group_domains).map(|(&i, d)| d[i]).collect();
+        let mut gq = query.clone();
+        gq.group_by.clear();
+        for (g, v) in query.group_by.iter().zip(&key) {
+            gq.predicates.push(deepdb_storage::Predicate::new(
+                g.table,
+                g.column,
+                PredOp::Cmp(deepdb_storage::CmpOp::Eq, *v),
+            ));
+        }
+        let (agg, count) = scalar_estimates(ens, db, &gq)?;
+        // Suppress groups the model considers empty (< half a row).
+        if count.value >= 0.5 {
+            groups.push((key, to_result(agg, count)));
+        }
+        // Advance the mixed-radix counter over group combinations.
+        for d in 0..combo.len() {
+            combo[d] += 1;
+            if combo[d] < group_domains[d].len() {
+                continue 'outer;
+            }
+            combo[d] = 0;
+        }
+        break;
+    }
+    Ok(AqpOutput::Grouped(groups))
+}
+
+fn to_result(agg: Estimate, count: Estimate) -> AqpResult {
+    let (ci_low, ci_high) = agg.confidence_interval(CONFIDENCE);
+    AqpResult { value: agg.value, ci_low, ci_high, count_estimate: count.value }
+}
+
+/// (aggregate estimate, count estimate) for a scalar query.
+fn scalar_estimates(
+    ens: &mut Ensemble,
+    db: &Database,
+    query: &Query,
+) -> Result<(Estimate, Estimate), DeepDbError> {
+    let mut count_q = query.clone();
+    count_q.aggregate = Aggregate::CountStar;
+    count_q.group_by.clear();
+    let count = estimate_count(ens, db, &count_q)?;
+    let agg = match query.aggregate {
+        Aggregate::CountStar => count,
+        Aggregate::Avg(_) => estimate_avg(ens, db, query)?,
+        Aggregate::Sum(_) => estimate_sum(ens, db, query)?,
+    };
+    Ok((agg, count))
+}
+
+/// Observed domain of a grouping column, from RSPN distinct-value tracking,
+/// falling back to the catalog's categorical labels.
+fn group_domain(
+    ens: &Ensemble,
+    db: &Database,
+    table: deepdb_storage::TableId,
+    column: deepdb_storage::ColId,
+) -> Result<Vec<Value>, DeepDbError> {
+    for rspn in ens.rspns() {
+        if let Some(col) = rspn.data_column(table, column) {
+            if let Some(values) = rspn.distinct_values(col) {
+                let def = &db.table(table).schema().columns()[column];
+                let as_values = values
+                    .into_iter()
+                    .map(|v| match def.domain {
+                        Domain::Continuous => Value::Float(v),
+                        _ => Value::Int(v as i64),
+                    })
+                    .collect();
+                return Ok(as_values);
+            }
+        }
+    }
+    // Fallback: categorical labels from the schema.
+    let def = &db.table(table).schema().columns()[column];
+    if let Domain::Categorical { labels } = &def.domain {
+        return Ok((0..labels.len() as i64).map(Value::Int).collect());
+    }
+    Err(DeepDbError::Unsupported(format!(
+        "cannot enumerate GROUP BY domain for ({table}, {column})"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::{EnsembleBuilder, EnsembleParams};
+    use deepdb_storage::fixtures::correlated_customer_order;
+    use deepdb_storage::{execute, CmpOp, ColumnRef, PredOp, Query};
+
+    fn setup() -> (Database, Ensemble) {
+        let db = correlated_customer_order(2500, 21);
+        let params = EnsembleParams {
+            sample_size: 30_000,
+            correlation_sample: 1_500,
+            ..EnsembleParams::default()
+        };
+        let ens = EnsembleBuilder::new(&db).params(params).build().unwrap();
+        (db, ens)
+    }
+
+    #[test]
+    fn scalar_count_with_ci() {
+        let (db, mut ens) = setup();
+        let c = db.table_id("customer").unwrap();
+        let q = Query::count(vec![c]).filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+        let truth = execute(&db, &q).unwrap().scalar().count as f64;
+        let out = execute_aqp(&mut ens, &db, &q).unwrap();
+        let r = out.scalar().unwrap();
+        let rel = (r.value - truth).abs() / truth;
+        assert!(rel < 0.1, "rel err {rel}");
+        assert!(r.ci_low <= r.value && r.value <= r.ci_high);
+    }
+
+    #[test]
+    fn group_by_region_matches_executor_per_group() {
+        let (db, mut ens) = setup();
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let q = Query::count(vec![c, o])
+            .aggregate(Aggregate::Avg(ColumnRef { table: o, column: 3 }))
+            .group(c, 2);
+        let truth = execute(&db, &q).unwrap();
+        let out = execute_aqp(&mut ens, &db, &q).unwrap();
+        let groups = out.groups();
+        assert_eq!(groups.len(), truth.groups().len(), "group count");
+        for (key, res) in groups {
+            let t = truth
+                .groups()
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, a)| a.avg().unwrap())
+                .unwrap_or_else(|| panic!("missing group {key:?}"));
+            let rel = (res.value - t).abs() / t.abs().max(1.0);
+            assert!(rel < 0.12, "group {key:?}: {} vs {t} (rel {rel})", res.value);
+        }
+    }
+
+    #[test]
+    fn grouped_counts_sum_to_total() {
+        let (db, mut ens) = setup();
+        let c = db.table_id("customer").unwrap();
+        let q = Query::count(vec![c]).group(c, 2);
+        let out = execute_aqp(&mut ens, &db, &q).unwrap();
+        let total: f64 = out.groups().iter().map(|(_, r)| r.value).sum();
+        let truth = db.table(c).n_rows() as f64;
+        assert!((total - truth).abs() / truth < 0.05, "{total} vs {truth}");
+    }
+
+    #[test]
+    fn sum_aggregate_group_by() {
+        let (db, mut ens) = setup();
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let q = Query::count(vec![c, o])
+            .aggregate(Aggregate::Sum(ColumnRef { table: o, column: 3 }))
+            .group(c, 2);
+        let truth = execute(&db, &q).unwrap();
+        let out = execute_aqp(&mut ens, &db, &q).unwrap();
+        for (key, res) in out.groups() {
+            let t = truth.groups().iter().find(|(k, _)| k == key).map(|(_, a)| a.sum).unwrap();
+            let rel = (res.value - t).abs() / t.abs().max(1.0);
+            assert!(rel < 0.35, "group {key:?}: {} vs {t}", res.value);
+        }
+    }
+}

@@ -1,0 +1,668 @@
+//! Probabilistic query compilation (paper §4).
+//!
+//! Translates COUNT/AVG/SUM queries over FK joins into products of
+//! expectations and probabilities against the RSPN ensemble:
+//!
+//! * **Case 1/2** — a single RSPN covers (a superset of) the query's tables:
+//!   `|J| · E[1/F'(Q,J) · 1_C · ∏_{T∈Q} N_T]` (Theorem 1).
+//! * **Case 3** — the query spans several RSPNs: a covered table set is
+//!   extended edge by edge, multiplying either conditional count-fraction
+//!   ratios (when one RSPN spans the overlap, Theorem 2) or explicit
+//!   fan-out × selectivity terms built from raw tuple-factor columns (the
+//!   paper's worked alternatives).
+//!
+//! RSPN choice is greedy by the sum of pairwise RDC values among the filter
+//! columns an RSPN can handle ("Execution Strategy", §4.1).
+
+use std::collections::BTreeSet;
+
+use deepdb_spn::{LeafFunc, LeafPred};
+use deepdb_storage::{Aggregate, ColumnRef, Database, Predicate, Query, TableId};
+
+use crate::ensemble::Ensemble;
+use crate::estimate::Estimate;
+use crate::rspn::count_fraction_query;
+use crate::DeepDbError;
+
+/// Estimate `COUNT(*)` of an inner-join query (cardinality estimation /
+/// COUNT AQP). Returns the point estimate with propagated variance.
+pub fn estimate_count(
+    ens: &mut Ensemble,
+    db: &Database,
+    query: &Query,
+) -> Result<Estimate, DeepDbError> {
+    query.validate(db)?;
+    let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
+
+    // Case 1/2: one RSPN covering every query table.
+    if let Some(idx) = best_covering_rspn(ens, &qtables, &query.predicates) {
+        return single_rspn_count(ens, idx, &qtables, &query.predicates);
+    }
+    // Case 3: combine RSPNs.
+    multi_rspn_count(ens, db, &qtables, &query.predicates)
+}
+
+/// Cardinality estimate clamped to ≥ 1 tuple (q-error convention).
+pub fn estimate_cardinality(
+    ens: &mut Ensemble,
+    db: &Database,
+    query: &Query,
+) -> Result<f64, DeepDbError> {
+    Ok(estimate_count(ens, db, query)?.value.max(1.0))
+}
+
+/// Maximum number of disjuncts accepted by [`estimate_count_disjunction`]
+/// (inclusion–exclusion enumerates 2^k − 1 conjunctive subqueries).
+pub const MAX_DISJUNCTS: usize = 10;
+
+/// Estimate `COUNT(*)` of a query whose WHERE clause is
+/// `C ∧ (D₁ ∨ D₂ ∨ … ∨ Dₖ)` — `query.predicates` is the conjunctive part
+/// `C`, each `disjuncts[i]` is one conjunction `Dᵢ` — via the
+/// inclusion–exclusion principle the paper points to in §4.1:
+///
+/// `COUNT(∨ᵢ Dᵢ) = Σ_{∅≠S} (−1)^{|S|+1} · COUNT(∧_{i∈S} Dᵢ)`.
+///
+/// Variances of the 2^k − 1 conjunctive terms are summed (the terms reuse
+/// the same models, so this over-states independence; documented
+/// approximation). The estimate is clamped to ≥ 0.
+pub fn estimate_count_disjunction(
+    ens: &mut Ensemble,
+    db: &Database,
+    query: &Query,
+    disjuncts: &[Vec<Predicate>],
+) -> Result<Estimate, DeepDbError> {
+    if disjuncts.is_empty() {
+        return estimate_count(ens, db, query);
+    }
+    if disjuncts.len() > MAX_DISJUNCTS {
+        return Err(DeepDbError::Unsupported(format!(
+            "inclusion-exclusion supports at most {MAX_DISJUNCTS} disjuncts, got {}",
+            disjuncts.len()
+        )));
+    }
+    let k = disjuncts.len();
+    let mut total = Estimate::exact(0.0);
+    for mask in 1u32..(1 << k) {
+        let mut sub = query.clone();
+        for (i, d) in disjuncts.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                sub.predicates.extend(d.iter().cloned());
+            }
+        }
+        let term = estimate_count(ens, db, &sub)?;
+        let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        total = total.add(term.scale(sign));
+    }
+    total.value = total.value.max(0.0);
+    Ok(total)
+}
+
+/// Estimate `AVG(col)` with tuple-factor normalization (paper §4.2).
+pub fn estimate_avg(
+    ens: &mut Ensemble,
+    db: &Database,
+    query: &Query,
+) -> Result<Estimate, DeepDbError> {
+    query.validate(db)?;
+    let Aggregate::Avg(target) = query.aggregate else {
+        return Err(DeepDbError::Unsupported("estimate_avg requires an AVG aggregate".into()));
+    };
+    avg_over_ensemble(ens, &query.tables, &query.predicates, target)
+}
+
+/// Estimate `SUM(col)` = COUNT × AVG (paper §4.2).
+pub fn estimate_sum(
+    ens: &mut Ensemble,
+    db: &Database,
+    query: &Query,
+) -> Result<Estimate, DeepDbError> {
+    query.validate(db)?;
+    let Aggregate::Sum(target) = query.aggregate else {
+        return Err(DeepDbError::Unsupported("estimate_sum requires a SUM aggregate".into()));
+    };
+    let mut count_q = query.clone();
+    count_q.aggregate = Aggregate::CountStar;
+    // COUNT must only include rows where the summand is non-NULL.
+    count_q.predicates.push(Predicate::new(
+        target.table,
+        target.column,
+        deepdb_storage::PredOp::IsNotNull,
+    ));
+    let count = estimate_count(ens, db, &count_q)?;
+    let avg = avg_over_ensemble(ens, &query.tables, &query.predicates, target)?;
+    Ok(count.product(avg))
+}
+
+/// Pick the best RSPN whose tables cover all of `qtables` (greedy RDC
+/// strategy; smaller RSPNs win ties to avoid needless normalization).
+fn best_covering_rspn(
+    ens: &Ensemble,
+    qtables: &BTreeSet<TableId>,
+    preds: &[Predicate],
+) -> Option<usize> {
+    let mut best: Option<(f64, isize, usize)> = None;
+    for (i, rspn) in ens.rspns().iter().enumerate() {
+        if !qtables.iter().all(|t| rspn.tables().contains(t)) {
+            continue;
+        }
+        let score = rspn.strategy_score(preds);
+        let size_penalty = -(rspn.tables().len() as isize);
+        let key = (score, size_penalty, i);
+        if best.map_or(true, |(s, p, _)| (score, size_penalty) > (s, p)) {
+            best = Some(key);
+        }
+    }
+    best.map(|(_, _, i)| i)
+}
+
+/// Theorem-1 estimate on one RSPN: `|J| · E[1/F' · 1_C · ∏N_T]`, with the
+/// variance split into a binomial predicate part and a Koenig–Huygens
+/// conditional-expectation part (paper §5.1).
+fn single_rspn_count(
+    ens: &mut Ensemble,
+    idx: usize,
+    qtables: &BTreeSet<TableId>,
+    preds: &[Predicate],
+) -> Result<Estimate, DeepDbError> {
+    let fraction = count_fraction(ens, idx, qtables, preds)?;
+    let j = ens.rspns()[idx].full_join_count() as f64;
+    Ok(fraction.scale(j))
+}
+
+/// `E[1/F'(Q,J) · 1_C · ∏N_T]` with variance, as an [`Estimate`].
+fn count_fraction(
+    ens: &mut Ensemble,
+    idx: usize,
+    qtables: &BTreeSet<TableId>,
+    preds: &[Predicate],
+) -> Result<Estimate, DeepDbError> {
+    let rspn = &ens.rspns()[idx];
+    let (q, factors) = count_fraction_query(rspn, qtables, preds, false)?;
+    let (q_sq, _) = count_fraction_query(rspn, qtables, preds, true)?;
+    let rspn = &mut ens.rspns_mut()[idx];
+    let n = rspn.n_training();
+
+    // P(C ∧ ∏N_T): same query without the moment functions.
+    let mut prob_q = q.clone();
+    for &f in &factors {
+        prob_q.set_func(f, LeafFunc::One);
+    }
+    let p = rspn.expect(&prob_q).clamp(0.0, 1.0);
+    if p <= 0.0 {
+        return Ok(Estimate::exact(0.0));
+    }
+    let e_g1c = rspn.expect(&q); // E[g·1_C]
+    if factors.is_empty() {
+        // Pure probability estimate.
+        return Ok(Estimate::probability(p, n));
+    }
+    let e_g2c = rspn.expect(&q_sq); // E[g²·1_C]
+    let n_eff = (n as f64 * p).max(1.0);
+    let cond = Estimate::conditional_expectation(e_g1c / p, e_g2c / p, n_eff);
+    Ok(cond.product(Estimate::probability(p, n)))
+}
+
+/// Case 3: extend a covered table set across FK edges, multiplying
+/// conditional ratios (Theorem 2).
+fn multi_rspn_count(
+    ens: &mut Ensemble,
+    db: &Database,
+    qtables: &BTreeSet<TableId>,
+    preds: &[Predicate],
+) -> Result<Estimate, DeepDbError> {
+    // Start with the RSPN overlapping the query that scores best.
+    let mut start: Option<(f64, usize)> = None;
+    for (i, rspn) in ens.rspns().iter().enumerate() {
+        let overlap = rspn.tables().iter().filter(|t| qtables.contains(t)).count();
+        if overlap == 0 {
+            continue;
+        }
+        let handled: Vec<Predicate> = preds
+            .iter()
+            .filter(|p| rspn.tables().contains(&p.table))
+            .cloned()
+            .collect();
+        let score = rspn.strategy_score(&handled) + overlap as f64;
+        if start.map_or(true, |(s, _)| score > s) {
+            start = Some((score, i));
+        }
+    }
+    let (_, start_idx) = start.ok_or_else(|| {
+        DeepDbError::NotAnswerable("no RSPN overlaps the query tables".into())
+    })?;
+
+    let mut covered: BTreeSet<TableId> = ens.rspns()[start_idx]
+        .tables()
+        .iter()
+        .filter(|t| qtables.contains(t))
+        .copied()
+        .collect();
+    let covered_preds: Vec<Predicate> =
+        preds.iter().filter(|p| covered.contains(&p.table)).cloned().collect();
+    let mut est = single_rspn_count(ens, start_idx, &covered.clone(), &covered_preds)?;
+
+    let mut guard = 0;
+    while covered != *qtables {
+        guard += 1;
+        if guard > qtables.len() + 2 {
+            return Err(DeepDbError::NotAnswerable(format!(
+                "could not extend coverage beyond {covered:?} for query {qtables:?}"
+            )));
+        }
+        // Find an FK edge from a covered table to an uncovered query table.
+        let Some((u, v, fk)) = qtables.iter().find_map(|&v| {
+            if covered.contains(&v) {
+                return None;
+            }
+            covered.iter().find_map(|&u| db.edge_between(u, v).map(|fk| (u, v, *fk)))
+        }) else {
+            return Err(DeepDbError::NotAnswerable(format!(
+                "query tables {qtables:?} not FK-connected through {covered:?}"
+            )));
+        };
+
+        // Prefer an RSPN spanning both sides of the edge (Theorem 2 with a
+        // non-empty overlap).
+        let spanning = best_rspn_with(ens, preds, |r| {
+            r.tables().contains(&u) && r.tables().contains(&v)
+        });
+        if let Some(b) = spanning {
+            let b_tables: BTreeSet<TableId> =
+                ens.rspns()[b].tables().iter().copied().collect();
+            let overlap: BTreeSet<TableId> = covered.intersection(&b_tables).copied().collect();
+            let mut extended = overlap.clone();
+            // Absorb every uncovered query table the RSPN can reach.
+            for t in b_tables.iter() {
+                if qtables.contains(t) {
+                    extended.insert(*t);
+                }
+            }
+            let num_preds: Vec<Predicate> =
+                preds.iter().filter(|p| extended.contains(&p.table)).cloned().collect();
+            let den_preds: Vec<Predicate> =
+                preds.iter().filter(|p| overlap.contains(&p.table)).cloned().collect();
+            let num = count_fraction(ens, b, &extended, &num_preds)?;
+            let den = count_fraction(ens, b, &overlap, &den_preds)?;
+            est = est.product(num.divide(den));
+            covered.extend(extended);
+            continue;
+        }
+
+        // Disjoint RSPNs: fan-out from the covered side times conditional
+        // selectivity on the new side (the paper's Q2 factorization).
+        if fk.parent_table == u {
+            // Downward: E(F(Q_cov)·F_{u←v}) / E(F(Q_cov)) from an RSPN with
+            // the raw factor column, then P(preds_v) from an RSPN over v.
+            let a = best_rspn_with(ens, preds, |r| {
+                r.tables().contains(&u) && r.has_factor(&fk)
+            })
+            .ok_or_else(|| {
+                DeepDbError::NotAnswerable(format!(
+                    "no RSPN stores tuple factor for edge {u}->{v}"
+                ))
+            })?;
+            let cov_a: BTreeSet<TableId> = ens.rspns()[a]
+                .tables()
+                .iter()
+                .filter(|t| covered.contains(t))
+                .copied()
+                .collect();
+            let a_preds: Vec<Predicate> =
+                preds.iter().filter(|p| cov_a.contains(&p.table)).cloned().collect();
+            let fanout = factor_weighted_ratio(ens, a, &cov_a, &a_preds, &fk, None)?;
+
+            let b = best_rspn_with(ens, preds, |r| r.tables().contains(&v)).ok_or_else(|| {
+                DeepDbError::NotAnswerable(format!("no RSPN models table {v}"))
+            })?;
+            let v_set = BTreeSet::from([v]);
+            let v_preds: Vec<Predicate> =
+                preds.iter().filter(|p| p.table == v).cloned().collect();
+            let num = count_fraction(ens, b, &v_set, &v_preds)?;
+            let den = count_fraction(ens, b, &v_set, &[])?;
+            est = est.product(fanout).product(num.divide(den));
+        } else {
+            // Upward to the parent v: no row multiplication; weight v's rows
+            // by their child counts (the paper's alternative formula):
+            // E(1_{preds_v} · F_{v←u}) / E(F_{v←u}).
+            let a = best_rspn_with(ens, preds, |r| {
+                r.tables().contains(&v) && r.has_factor(&fk)
+            })
+            .ok_or_else(|| {
+                DeepDbError::NotAnswerable(format!(
+                    "no RSPN stores tuple factor for edge {v}<-{u}"
+                ))
+            })?;
+            let v_set = BTreeSet::from([v]);
+            let v_preds: Vec<Predicate> =
+                preds.iter().filter(|p| p.table == v).cloned().collect();
+            let ratio = factor_weighted_ratio(ens, a, &v_set, &[], &fk, Some(&v_preds))?;
+            est = est.product(ratio);
+        }
+        covered.insert(v);
+    }
+    Ok(est)
+}
+
+/// Raw tuple-factor ratios for the disjoint-RSPN extensions of Case 3.
+///
+/// * Fan-out (`extra_num_preds = None`): `E[F(set)·F_fk·1_C] / E[F(set)·1_C]`
+///   — the expected number of new-side partners per covered row.
+/// * Weighted selectivity (`extra_num_preds = Some(vp)`):
+///   `E[F_fk·1_{vp}·F(set)·1_C] / E[F_fk·F(set)·1_C]` — the fraction of
+///   child rows whose parent satisfies `vp` (the paper's alternative Q2
+///   formula).
+fn factor_weighted_ratio(
+    ens: &mut Ensemble,
+    idx: usize,
+    set: &BTreeSet<TableId>,
+    preds: &[Predicate],
+    fk: &deepdb_storage::ForeignKey,
+    extra_num_preds: Option<&[Predicate]>,
+) -> Result<Estimate, DeepDbError> {
+    let rspn = &ens.rspns()[idx];
+    let factor_col = rspn
+        .factor_column(fk)
+        .ok_or_else(|| DeepDbError::NotAnswerable("missing factor column".into()))?;
+
+    let (mut num_q, _) = count_fraction_query(rspn, set, preds, false)?;
+    num_q.set_func(factor_col, LeafFunc::X);
+    if let Some(extra) = extra_num_preds {
+        for p in extra {
+            rspn.add_predicate(&mut num_q, p)?;
+        }
+    }
+    let (mut den_q, _) = count_fraction_query(rspn, set, preds, false)?;
+    if extra_num_preds.is_some() {
+        // Weighted selectivity: denominator keeps the factor weight.
+        den_q.set_func(factor_col, LeafFunc::X);
+    }
+    // Second moment of the weighted quantity for the variance.
+    let (mut sq_q, _) = count_fraction_query(rspn, set, preds, true)?;
+    sq_q.set_func(factor_col, LeafFunc::X2);
+    if let Some(extra) = extra_num_preds {
+        for p in extra {
+            rspn.add_predicate(&mut sq_q, p)?;
+        }
+    }
+
+    let rspn = &mut ens.rspns_mut()[idx];
+    let n = rspn.n_training();
+    let num = rspn.expect(&num_q);
+    let den = rspn.expect(&den_q);
+    if den <= 0.0 {
+        return Ok(Estimate::exact(0.0));
+    }
+    let ratio = num / den;
+    let n_eff = (n as f64 * den.min(1.0)).max(1.0);
+    if extra_num_preds.is_some() {
+        // Weighted fraction in [0,1]: binomial-style variance.
+        let p = ratio.clamp(0.0, 1.0);
+        Ok(Estimate { value: ratio, variance: p * (1.0 - p) / n_eff })
+    } else {
+        // Expected fan-out: Koenig–Huygens on the weighted measure.
+        let e2 = rspn.expect(&sq_q) / den;
+        Ok(Estimate::conditional_expectation(ratio, e2.max(ratio * ratio), n_eff))
+    }
+}
+
+/// Best RSPN satisfying a shape filter, by strategy score.
+fn best_rspn_with(
+    ens: &Ensemble,
+    preds: &[Predicate],
+    accept: impl Fn(&crate::rspn::Rspn) -> bool,
+) -> Option<usize> {
+    let mut best: Option<(f64, usize)> = None;
+    for (i, rspn) in ens.rspns().iter().enumerate() {
+        if !accept(rspn) {
+            continue;
+        }
+        let handled: Vec<Predicate> =
+            preds.iter().filter(|p| rspn.tables().contains(&p.table)).cloned().collect();
+        let score = rspn.strategy_score(&handled);
+        if best.map_or(true, |(s, _)| score > s) {
+            best = Some((score, i));
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+/// AVG via normalized conditional expectation (paper §4.2): choose the RSPN
+/// containing the aggregate column with the best predicate coverage;
+/// predicates on tables outside that RSPN are ignored (approximation noted
+/// in the paper).
+fn avg_over_ensemble(
+    ens: &mut Ensemble,
+    tables: &[TableId],
+    preds: &[Predicate],
+    target: ColumnRef,
+) -> Result<Estimate, DeepDbError> {
+    let idx = best_rspn_with(ens, preds, |r| {
+        r.tables().contains(&target.table) && r.data_column(target.table, target.column).is_some()
+    })
+    .ok_or_else(|| {
+        DeepDbError::NotAnswerable(format!(
+            "no RSPN models AVG column ({}, {})",
+            target.table, target.column
+        ))
+    })?;
+
+    let rspn = &ens.rspns()[idx];
+    let target_col = rspn.data_column(target.table, target.column).expect("checked above");
+    let present: BTreeSet<TableId> = tables
+        .iter()
+        .copied()
+        .filter(|t| rspn.tables().contains(t))
+        .collect();
+    let usable: Vec<Predicate> =
+        preds.iter().filter(|p| rspn.tables().contains(&p.table)).cloned().collect();
+
+    // Numerator: E[A/F' · 1_C]; denominator: E[1_{A not null}/F' · 1_C].
+    let (mut num_q, _) = count_fraction_query(rspn, &present, &usable, false)?;
+    num_q.set_func(target_col, LeafFunc::X);
+    let (mut den_q, _) = count_fraction_query(rspn, &present, &usable, false)?;
+    den_q.add_pred(target_col, LeafPred::IsNotNull);
+    // Second moment for the Koenig–Huygens variance: E[(A/F')²·1_C].
+    let (mut sq_q, _) = count_fraction_query(rspn, &present, &usable, true)?;
+    sq_q.set_func(target_col, LeafFunc::X2);
+
+    let rspn = &mut ens.rspns_mut()[idx];
+    let n = rspn.n_training();
+    let den = rspn.expect(&den_q);
+    if den <= 0.0 {
+        return Ok(Estimate::exact(0.0));
+    }
+    let num = rspn.expect(&num_q);
+    let e2 = rspn.expect(&sq_q);
+    let n_eff = (n as f64 * den).max(1.0);
+    Ok(Estimate::conditional_expectation(num / den, e2 / den, n_eff))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::{EnsembleBuilder, EnsembleParams, EnsembleStrategy};
+    use deepdb_storage::fixtures::{correlated_customer_order, paper_customer_order};
+    use deepdb_storage::{execute, CmpOp, PredOp, Value};
+
+    fn params(sample: usize) -> EnsembleParams {
+        EnsembleParams {
+            sample_size: sample,
+            correlation_sample: 1_500,
+            ..EnsembleParams::default()
+        }
+    }
+
+    /// Relative check helper: estimate within `tol`× of truth.
+    fn assert_close(est: f64, truth: f64, tol: f64, label: &str) {
+        let q = if est > truth { est / truth.max(1e-9) } else { truth / est.max(1e-9) };
+        assert!(q <= tol, "{label}: estimate {est} vs truth {truth} (q-error {q:.3})");
+    }
+
+    #[test]
+    fn paper_q1_and_q2_via_joint_rspn() {
+        let db = paper_customer_order();
+        let mut p = params(40_000);
+        p.rdc_threshold = 0.0; // force the joint RSPN
+        let mut ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+
+        // Q1: European customers = 2 (answered via Case 2).
+        let q1 = Query::count(vec![c]).filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+        let est = estimate_count(&mut ens, &db, &q1).unwrap();
+        assert_close(est.value, 2.0, 1.15, "Q1");
+
+        // Q2: European online orders = 1 (Case 1).
+        let q2 = Query::count(vec![c, o])
+            .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
+            .filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+        let est = estimate_count(&mut ens, &db, &q2).unwrap();
+        assert_close(est.value, 1.0, 1.6, "Q2");
+    }
+
+    #[test]
+    fn paper_q2_via_single_table_rspns_case_3() {
+        let db = paper_customer_order();
+        let mut p = params(40_000);
+        p.strategy = EnsembleStrategy::SingleTables;
+        let mut ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        // Paper §4.1 Case 3: |C|·E(1_EU·F_{C←O})·E(1_ONLINE) = 3·(2/3)·(1/2) = 1.
+        let q2 = Query::count(vec![c, o])
+            .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
+            .filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+        let est = estimate_count(&mut ens, &db, &q2).unwrap();
+        assert_close(est.value, 1.0, 1.3, "Q2 case 3");
+
+        // Join count without predicates = 4 orders.
+        let q = Query::count(vec![c, o]);
+        let est = estimate_count(&mut ens, &db, &q).unwrap();
+        assert_close(est.value, 4.0, 1.2, "join count case 3");
+    }
+
+    #[test]
+    fn paper_q3_avg_with_factor_normalization() {
+        let db = paper_customer_order();
+        let mut p = params(40_000);
+        p.rdc_threshold = 0.0;
+        let mut ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
+        let c = db.table_id("customer").unwrap();
+        // AVG(c_age | EU) over the *customer* table must be 35, not the
+        // join-weighted 20·2+50 / 3 — the tuple-factor normalization of §4.2.
+        let q3 = Query::count(vec![c])
+            .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
+            .aggregate(Aggregate::Avg(ColumnRef { table: c, column: 1 }));
+        let est = estimate_avg(&mut ens, &db, &q3).unwrap();
+        assert!((est.value - 35.0).abs() < 2.5, "AVG = {}", est.value);
+    }
+
+    #[test]
+    fn statistical_accuracy_against_executor() {
+        let db = correlated_customer_order(2500, 11);
+        let mut ens = EnsembleBuilder::new(&db).params(params(30_000)).build().unwrap();
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+
+        let queries = vec![
+            Query::count(vec![c]).filter(c, 1, PredOp::Cmp(CmpOp::Ge, Value::Int(50))),
+            Query::count(vec![c, o]).filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0))),
+            Query::count(vec![c, o])
+                .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
+                .filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(1))),
+            Query::count(vec![c, o])
+                .filter(c, 1, PredOp::Between(Value::Int(30), Value::Int(60)))
+                .filter(o, 3, PredOp::Cmp(CmpOp::Gt, Value::Float(250.0))),
+        ];
+        for (i, q) in queries.iter().enumerate() {
+            let truth = execute(&db, q).unwrap().scalar().count as f64;
+            let est = estimate_cardinality(&mut ens, &db, q).unwrap();
+            assert_close(est, truth.max(1.0), 1.35, &format!("workload query {i}"));
+        }
+    }
+
+    #[test]
+    fn sum_estimate_matches_executor() {
+        let db = correlated_customer_order(2000, 13);
+        let mut ens = EnsembleBuilder::new(&db).params(params(30_000)).build().unwrap();
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let q = Query::count(vec![c, o])
+            .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))
+            .aggregate(Aggregate::Sum(ColumnRef { table: o, column: 3 }));
+        let truth = execute(&db, &q).unwrap().scalar().sum;
+        let est = estimate_sum(&mut ens, &db, &q).unwrap();
+        let rel = (est.value - truth).abs() / truth.abs().max(1.0);
+        assert!(rel < 0.35, "SUM rel error {rel}: {} vs {truth}", est.value);
+    }
+
+    #[test]
+    fn count_estimate_carries_confidence_interval() {
+        let db = correlated_customer_order(2000, 17);
+        let mut ens = EnsembleBuilder::new(&db).params(params(20_000)).build().unwrap();
+        let c = db.table_id("customer").unwrap();
+        let q = Query::count(vec![c]).filter(c, 1, PredOp::Cmp(CmpOp::Lt, Value::Int(40)));
+        let truth = execute(&db, &q).unwrap().scalar().count as f64;
+        let est = estimate_count(&mut ens, &db, &q).unwrap();
+        let (lo, hi) = est.confidence_interval(0.95);
+        assert!(lo <= est.value && est.value <= hi);
+        assert!(lo <= truth && truth <= hi * 1.1, "CI [{lo}, {hi}] should bracket {truth}");
+    }
+
+    #[test]
+    fn disjunction_via_inclusion_exclusion() {
+        let db = correlated_customer_order(2500, 19);
+        let mut ens = EnsembleBuilder::new(&db).params(params(25_000)).build().unwrap();
+        let c = db.table_id("customer").unwrap();
+        // region = EUROPE ∨ age < 30 (overlapping disjuncts).
+        let base = Query::count(vec![c]);
+        let d1 = vec![Predicate::new(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))];
+        let d2 = vec![Predicate::new(c, 1, PredOp::Cmp(CmpOp::Lt, Value::Int(30)))];
+        let est =
+            crate::compile::estimate_count_disjunction(&mut ens, &db, &base, &[d1.clone(), d2.clone()])
+                .unwrap();
+        // Exact truth via inclusion-exclusion over exact conjunctive counts.
+        let count = |preds: Vec<Predicate>| {
+            let mut q = Query::count(vec![c]);
+            q.predicates = preds;
+            execute(&db, &q).unwrap().scalar().count as f64
+        };
+        let truth = count(d1.clone()) + count(d2.clone())
+            - count(d1.iter().chain(&d2).cloned().collect());
+        let rel = (est.value - truth).abs() / truth;
+        assert!(rel < 0.1, "disjunction estimate {} vs {truth}", est.value);
+        // Union is at least as large as each disjunct alone.
+        let single = estimate_count(&mut ens, &db, &{
+            let mut q = Query::count(vec![c]);
+            q.predicates = d1;
+            q
+        })
+        .unwrap();
+        assert!(est.value >= single.value * 0.95);
+    }
+
+    #[test]
+    fn empty_disjunct_list_falls_back_to_conjunction() {
+        let db = paper_customer_order();
+        let mut p = params(5_000);
+        p.rdc_threshold = 0.0;
+        let mut ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
+        let c = db.table_id("customer").unwrap();
+        let q = Query::count(vec![c]);
+        let a = estimate_count(&mut ens, &db, &q).unwrap();
+        let b = crate::compile::estimate_count_disjunction(&mut ens, &db, &q, &[]).unwrap();
+        assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn impossible_predicates_estimate_near_zero() {
+        let db = paper_customer_order();
+        let mut p = params(5_000);
+        p.rdc_threshold = 0.0;
+        let mut ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
+        let c = db.table_id("customer").unwrap();
+        let q = Query::count(vec![c]).filter(c, 1, PredOp::Cmp(CmpOp::Gt, Value::Int(1000)));
+        let est = estimate_count(&mut ens, &db, &q).unwrap();
+        assert!(est.value < 0.1, "impossible predicate gave {}", est.value);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for DeepDB core operations.
+
+use deepdb_storage::StorageError;
+
+/// Errors surfaced by ensemble construction and query compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeepDbError {
+    /// Underlying storage/catalog error.
+    Storage(StorageError),
+    /// The query references tables no RSPN (combination) can answer.
+    NotAnswerable(String),
+    /// The query shape is outside the supported class.
+    Unsupported(String),
+    /// Ensemble construction failed.
+    Learning(String),
+}
+
+impl From<StorageError> for DeepDbError {
+    fn from(e: StorageError) -> Self {
+        DeepDbError::Storage(e)
+    }
+}
+
+impl std::fmt::Display for DeepDbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Storage(e) => write!(f, "storage error: {e}"),
+            Self::NotAnswerable(msg) => write!(f, "query not answerable by ensemble: {msg}"),
+            Self::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
+            Self::Learning(msg) => write!(f, "ensemble learning failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeepDbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Functional dependencies between non-key attributes (paper §3.2).
+//!
+//! A user-declared FD `A → B` lets DeepDB omit column `B` from RSPN learning
+//! (avoiding the cluster explosion required to make A and B "independent")
+//! and instead keep a dictionary mapping values of `A` to values of `B`. At
+//! query time, predicates on `B` are rewritten into `IN`-predicates on `A`.
+
+use deepdb_storage::{ColId, Database, Predicate, TableId};
+
+/// Declared functional dependency `determinant → dependent` within a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FunctionalDependency {
+    pub table: TableId,
+    pub determinant: ColId,
+    pub dependent: ColId,
+}
+
+/// Dictionary backing one FD: the observed (determinant, dependent) value
+/// pairs, deduplicated.
+#[derive(Debug, Clone)]
+pub struct FdDictionary {
+    pub fd: FunctionalDependency,
+    /// Sorted unique (a, b) pairs as f64 (NaN never stored).
+    pairs: Vec<(f64, f64)>,
+}
+
+impl FdDictionary {
+    /// Scan the table and build the dictionary. Rows with NULL on either
+    /// side are skipped.
+    pub fn build(db: &Database, fd: FunctionalDependency) -> Self {
+        let table = db.table(fd.table);
+        let det = table.column(fd.determinant);
+        let dep = table.column(fd.dependent);
+        let mut pairs: Vec<(f64, f64)> = (0..table.n_rows())
+            .filter_map(|r| {
+                let a = det.f64_or_nan(r);
+                let b = dep.f64_or_nan(r);
+                (a.is_finite() && b.is_finite()).then_some((a, b))
+            })
+            .collect();
+        pairs.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+        pairs.dedup();
+        Self { fd, pairs }
+    }
+
+    /// Determinant values whose dependent value satisfies `accept`.
+    pub fn determinants_where(&self, accept: impl Fn(f64) -> bool) -> Vec<f64> {
+        let mut out: Vec<f64> =
+            self.pairs.iter().filter(|(_, b)| accept(*b)).map(|(a, _)| *a).collect();
+        out.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+        out.dedup();
+        out
+    }
+
+    /// Rewrite a predicate on the dependent column into an `IN` list over the
+    /// determinant. Unknown-producing comparisons (constants that are NULL)
+    /// yield an empty list, i.e. a never-true predicate.
+    pub fn translate(&self, pred: &Predicate) -> Vec<f64> {
+        self.determinants_where(|b| {
+            pred.op.eval(&deepdb_storage::Value::Float(b)).unwrap_or(false)
+        })
+    }
+
+    /// Serialize for ensemble snapshots.
+    pub(crate) fn write_to(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        use deepdb_spn::wire::*;
+        write_u64(w, self.fd.table as u64)?;
+        write_u64(w, self.fd.determinant as u64)?;
+        write_u64(w, self.fd.dependent as u64)?;
+        write_u32(w, self.pairs.len() as u32)?;
+        for &(a, b) in &self.pairs {
+            write_f64(w, a)?;
+            write_f64(w, b)?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize from an ensemble snapshot.
+    pub(crate) fn read_from(r: &mut impl std::io::Read) -> std::io::Result<Self> {
+        use deepdb_spn::wire::*;
+        let fd = FunctionalDependency {
+            table: read_u64(r)? as usize,
+            determinant: read_u64(r)? as usize,
+            dependent: read_u64(r)? as usize,
+        };
+        let n = read_u32(r)? as usize;
+        if n > 1 << 24 {
+            return Err(corrupt("fd pair count"));
+        }
+        let pairs: Vec<(f64, f64)> = (0..n)
+            .map(|_| Ok::<_, std::io::Error>((read_f64(r)?, read_f64(r)?)))
+            .collect::<std::io::Result<_>>()?;
+        Ok(Self { fd, pairs })
+    }
+
+    /// Number of stored pairs (diagnostics).
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepdb_storage::{CmpOp, Domain, PredOp, TableSchema, Value};
+
+    /// city → nation is a classic FD (every city lies in one nation).
+    fn city_nation_db() -> (Database, FunctionalDependency) {
+        let mut db = Database::new("geo");
+        db.create_table(
+            TableSchema::new("cust")
+                .pk("id")
+                .col("city", Domain::Discrete)
+                .col("nation", Domain::Discrete),
+        )
+        .unwrap();
+        // cities 0,1 → nation 10; cities 2,3 → nation 20.
+        for (id, city, nation) in [(1, 0, 10), (2, 1, 10), (3, 2, 20), (4, 3, 20), (5, 0, 10)] {
+            db.insert("cust", &[Value::Int(id), Value::Int(city), Value::Int(nation)]).unwrap();
+        }
+        let fd = FunctionalDependency { table: 0, determinant: 1, dependent: 2 };
+        (db, fd)
+    }
+
+    #[test]
+    fn dictionary_deduplicates_pairs() {
+        let (db, fd) = city_nation_db();
+        let dict = FdDictionary::build(&db, fd);
+        assert_eq!(dict.len(), 4); // (0,10),(1,10),(2,20),(3,20)
+    }
+
+    #[test]
+    fn equality_on_dependent_becomes_in_on_determinant() {
+        let (db, fd) = city_nation_db();
+        let dict = FdDictionary::build(&db, fd);
+        let pred = Predicate::new(0, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(10)));
+        assert_eq!(dict.translate(&pred), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn range_on_dependent_translates() {
+        let (db, fd) = city_nation_db();
+        let dict = FdDictionary::build(&db, fd);
+        let pred = Predicate::new(0, 2, PredOp::Cmp(CmpOp::Gt, Value::Int(15)));
+        assert_eq!(dict.translate(&pred), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn unsatisfiable_translates_to_empty() {
+        let (db, fd) = city_nation_db();
+        let dict = FdDictionary::build(&db, fd);
+        let pred = Predicate::new(0, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(99)));
+        assert!(dict.translate(&pred).is_empty());
+    }
+}

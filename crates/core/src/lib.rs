@@ -1,0 +1,34 @@
+//! DeepDB core: Relational Sum-Product Networks, ensembles, and
+//! probabilistic query compilation (the paper's primary contribution).
+//!
+//! * [`Rspn`] — an SPN learned over (a sample of) the full outer join of one
+//!   or more tables, carrying the relational metadata (join indicators,
+//!   tuple-factor columns, functional-dependency dictionaries) needed to
+//!   answer relational queries (paper §3.2).
+//! * [`Ensemble`] / [`EnsembleBuilder`] — base-ensemble construction from
+//!   pairwise RDC table correlations plus budget-constrained ensemble
+//!   optimization (paper §3.3, §5.3), direct insert/delete updates
+//!   (paper §5.2), and the RDC-greedy execution strategy.
+//! * [`compile`] — probabilistic query compilation of COUNT/SUM/AVG
+//!   (+ GROUP BY) queries into products of expectations over the ensemble,
+//!   covering the paper's Cases 1–3 including Theorems 1 and 2 (§4).
+//! * [`Estimate`] — point estimates with variances propagated per §5.1,
+//!   yielding confidence intervals.
+//! * ML tasks (regression via conditional expectation, classification via
+//!   MPE) on the same models (§4.3).
+
+mod aqp;
+pub mod compile;
+mod ensemble;
+mod error;
+mod estimate;
+mod fd;
+pub mod ml;
+mod rspn;
+
+pub use aqp::{execute_aqp, AqpOutput, AqpResult};
+pub use ensemble::{Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy};
+pub use error::DeepDbError;
+pub use estimate::Estimate;
+pub use fd::FunctionalDependency;
+pub use rspn::Rspn;

@@ -1,0 +1,201 @@
+//! ML tasks on RSPNs (paper §4.3, Exp. 3): regression via conditional
+//! expectation, classification via most probable explanation — with no
+//! additional training beyond the ensemble itself.
+
+use deepdb_spn::{LeafFunc, LeafPred};
+use deepdb_storage::{ColId, Database, TableId, Value};
+
+use crate::ensemble::Ensemble;
+use crate::DeepDbError;
+
+/// Width (in training standard deviations) of the evidence window used when
+/// conditioning on a continuous feature value.
+const CONTINUOUS_EVIDENCE_SIGMA: f64 = 0.35;
+
+/// Predict a numeric target column as `E[target | features]`.
+///
+/// Discrete features condition exactly; continuous features condition on a
+/// ±0.35σ window around the given value. Features whose columns the chosen
+/// RSPN does not model are ignored. Falls back to the unconditional mean if
+/// the evidence has no support.
+pub fn predict_regression(
+    ens: &mut Ensemble,
+    db: &Database,
+    table: TableId,
+    target: ColId,
+    features: &[(ColId, Value)],
+) -> Result<f64, DeepDbError> {
+    let idx = rspn_for(ens, table, target)?;
+    let rspn = &ens.rspns()[idx];
+    let target_col = rspn.data_column(table, target).expect("selected to contain target");
+    // If the RSPN spans a join, normalize by the tuple factors so the answer
+    // is per-`table`-row, not per-join-row (paper §4.2).
+    let present = std::collections::BTreeSet::from([table]);
+    let factors = rspn.normalization_factor_cols(&present);
+
+    let mut q = rspn.new_query();
+    rspn.require_present(&mut q, table);
+    add_evidence(rspn, db, table, features, &mut q);
+    for &f in &factors {
+        q.set_func(f, LeafFunc::InvClamp1);
+    }
+    let mut den_q = q.clone();
+    q.set_func(target_col, LeafFunc::X);
+    den_q.add_pred(target_col, LeafPred::IsNotNull);
+
+    let rspn = &mut ens.rspns_mut()[idx];
+    let den = rspn.expect(&den_q);
+    if den <= 1e-12 {
+        // No support: unconditional (still factor-normalized) mean.
+        let mut uq = rspn.new_query();
+        uq.set_func(target_col, LeafFunc::X);
+        let mut upq = rspn.new_query();
+        upq.add_pred(target_col, LeafPred::IsNotNull);
+        for &f in &factors {
+            uq.set_func(f, LeafFunc::InvClamp1);
+            upq.set_func(f, LeafFunc::InvClamp1);
+        }
+        let num = rspn.expect(&uq);
+        let p = rspn.expect(&upq).max(1e-12);
+        return Ok(num / p);
+    }
+    Ok(rspn.expect(&q) / den)
+}
+
+/// Predict a categorical target via MPE given the evidence.
+pub fn predict_classification(
+    ens: &mut Ensemble,
+    db: &Database,
+    table: TableId,
+    target: ColId,
+    features: &[(ColId, Value)],
+) -> Result<Option<Value>, DeepDbError> {
+    let idx = rspn_for(ens, table, target)?;
+    let rspn = &ens.rspns()[idx];
+    let target_col = rspn.data_column(table, target).expect("selected to contain target");
+    let mut q = rspn.new_query();
+    add_evidence(rspn, db, table, features, &mut q);
+    let rspn = &mut ens.rspns_mut()[idx];
+    Ok(rspn.most_probable_value(target_col, &q).map(|v| {
+        if v.fract() == 0.0 {
+            Value::Int(v as i64)
+        } else {
+            Value::Float(v)
+        }
+    }))
+}
+
+fn rspn_for(ens: &Ensemble, table: TableId, target: ColId) -> Result<usize, DeepDbError> {
+    ens.rspns()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.data_column(table, target).is_some())
+        // Prefer the RSPN with the most feature columns for this table.
+        .max_by_key(|(_, r)| r.columns().len())
+        .map(|(i, _)| i)
+        .ok_or_else(|| {
+            DeepDbError::NotAnswerable(format!("no RSPN models column ({table}, {target})"))
+        })
+}
+
+fn add_evidence(
+    rspn: &crate::rspn::Rspn,
+    db: &Database,
+    table: TableId,
+    features: &[(ColId, Value)],
+    q: &mut deepdb_spn::SpnQuery,
+) {
+    for &(col, value) in features {
+        let Some(spn_col) = rspn.data_column(table, col) else {
+            continue;
+        };
+        let Some(v) = value.as_f64() else {
+            q.add_pred(spn_col, LeafPred::IsNull);
+            continue;
+        };
+        let discrete = db.table(table).schema().columns()[col].domain.is_discrete();
+        if discrete {
+            q.add_pred(spn_col, LeafPred::eq(v));
+        } else {
+            let (_, std) = rspn.column_stats(spn_col);
+            let half = (std * CONTINUOUS_EVIDENCE_SIGMA).max(1e-9);
+            q.add_pred(
+                spn_col,
+                LeafPred::Range { lo: v - half, hi: v + half, lo_incl: true, hi_incl: true },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::{EnsembleBuilder, EnsembleParams};
+    use deepdb_storage::fixtures::correlated_customer_order;
+
+    fn setup() -> (Database, Ensemble) {
+        let db = correlated_customer_order(2500, 33);
+        let params = EnsembleParams {
+            sample_size: 25_000,
+            correlation_sample: 1_500,
+            ..EnsembleParams::default()
+        };
+        let ens = EnsembleBuilder::new(&db).params(params).build().unwrap();
+        (db, ens)
+    }
+
+    #[test]
+    fn regression_tracks_conditional_means() {
+        let (db, mut ens) = setup();
+        let c = db.table_id("customer").unwrap();
+        // E[age | region]: Europeans (region 0) skew older by construction.
+        let age_eu =
+            predict_regression(&mut ens, &db, c, 1, &[(2, Value::Int(0))]).unwrap();
+        let age_asia =
+            predict_regression(&mut ens, &db, c, 1, &[(2, Value::Int(1))]).unwrap();
+        assert!(
+            age_eu > age_asia + 10.0,
+            "EU mean {age_eu} should exceed ASIA mean {age_asia}"
+        );
+        // Compare against the true conditional mean.
+        let table = db.table(c);
+        let (mut s, mut k) = (0.0, 0);
+        for r in 0..table.n_rows() {
+            if table.value(r, 2) == Value::Int(0) {
+                s += table.column(1).f64_or_nan(r);
+                k += 1;
+            }
+        }
+        let truth = s / k as f64;
+        assert!((age_eu - truth).abs() < 3.0, "{age_eu} vs {truth}");
+    }
+
+    #[test]
+    fn classification_predicts_dominant_region() {
+        let (db, mut ens) = setup();
+        let c = db.table_id("customer").unwrap();
+        // Old customers are predominantly European (region 0).
+        let pred =
+            predict_classification(&mut ens, &db, c, 2, &[(1, Value::Int(80))]).unwrap();
+        assert_eq!(pred, Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn regression_without_features_returns_marginal_mean() {
+        let (db, mut ens) = setup();
+        let c = db.table_id("customer").unwrap();
+        let est = predict_regression(&mut ens, &db, c, 1, &[]).unwrap();
+        let table = db.table(c);
+        let truth: f64 = (0..table.n_rows()).map(|r| table.column(1).f64_or_nan(r)).sum::<f64>()
+            / table.n_rows() as f64;
+        assert!((est - truth).abs() < 2.0, "{est} vs {truth}");
+    }
+
+    #[test]
+    fn unsupported_column_errors() {
+        let (db, mut ens) = setup();
+        let c = db.table_id("customer").unwrap();
+        // Column 0 is the primary key — not modeled.
+        assert!(predict_regression(&mut ens, &db, c, 0, &[]).is_err());
+    }
+}

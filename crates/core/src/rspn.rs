@@ -1,0 +1,689 @@
+//! Relational Sum-Product Networks (paper §3.2).
+//!
+//! An [`Rspn`] is an SPN learned over a uniform sample of the full outer
+//! join of one or more tables, plus the relational metadata needed to answer
+//! database queries: which SPN column holds which table attribute, the `N_T`
+//! join-indicator columns, the tuple-factor columns `F_{S←T}` (clamped for
+//! edges inside the join, raw for edges leaving it), functional-dependency
+//! dictionaries, and the exact full-outer-join cardinality `|J|`.
+
+use std::collections::{BTreeSet, HashMap};
+
+use deepdb_spn::{
+    ColumnMeta, DataView, LeafFunc, LeafPred, Spn, SpnParams, SpnQuery,
+};
+use deepdb_storage::{
+    CmpOp, ColId, Database, ForeignKey, JoinColumnMeta, JoinColumnRole, JoinSample, PredOp,
+    Predicate, TableId, Value,
+};
+
+use crate::fd::{FdDictionary, FunctionalDependency};
+use crate::DeepDbError;
+
+/// Cap on per-column distinct values tracked for GROUP BY enumeration.
+const MAX_GROUP_DISTINCT: usize = 4096;
+
+/// An SPN over a relation (single table or full outer join) with relational
+/// metadata.
+#[derive(Debug, Clone)]
+pub struct Rspn {
+    spn: Spn,
+    tables: Vec<TableId>,
+    columns: Vec<JoinColumnMeta>,
+    full_join_count: u64,
+    /// Sampling rate used at training; updates are absorbed at the same rate
+    /// (paper §6.1 "the same sample rate has to be used for the updates").
+    /// Values above 1 mean the training sample oversampled a small join.
+    sample_rate: f64,
+    data_col: HashMap<(TableId, ColId), usize>,
+    indicator_col: HashMap<TableId, usize>,
+    factor_col: HashMap<ForeignKey, usize>,
+    /// FK edges internal to the join tree (clamped factors).
+    internal_edges: Vec<ForeignKey>,
+    /// FD dictionaries whose dependent column was omitted from learning.
+    fds: Vec<FdDictionary>,
+    /// Distinct values per SPN column (discrete data columns only).
+    distincts: HashMap<usize, BTreeSet<u64>>,
+    /// (mean, std) per SPN column over the training sample (NULLs ignored).
+    col_stats: Vec<(f64, f64)>,
+    /// Pairwise RDC between SPN columns (execution-strategy scoring).
+    attr_rdc: Vec<Vec<f64>>,
+    /// |J| bookkeeping went stale (multi-table incremental updates).
+    join_count_dirty: bool,
+}
+
+impl Rspn {
+    /// Learn an RSPN from a join sample. Columns that are FD-dependent are
+    /// omitted from the SPN and answered through dictionaries instead.
+    pub fn learn(
+        sample: &JoinSample,
+        db: &Database,
+        fds: &[FunctionalDependency],
+        params: &SpnParams,
+    ) -> Result<Self, DeepDbError> {
+        // Determine FD-dependent columns to skip (both sides must be data
+        // columns of a joined table).
+        let mut fd_dicts = Vec::new();
+        let mut skip: Vec<usize> = Vec::new();
+        for fd in fds {
+            if !sample.tables.contains(&fd.table) {
+                continue;
+            }
+            let dep_idx = sample.columns.iter().position(|c| {
+                matches!(c.role, JoinColumnRole::Data { table, col } if table == fd.table && col == fd.dependent)
+            });
+            let det_idx = sample.columns.iter().position(|c| {
+                matches!(c.role, JoinColumnRole::Data { table, col } if table == fd.table && col == fd.determinant)
+            });
+            if let (Some(dep), Some(_)) = (dep_idx, det_idx) {
+                skip.push(dep);
+                fd_dicts.push(FdDictionary::build(db, *fd));
+            }
+        }
+
+        let kept: Vec<usize> =
+            (0..sample.columns.len()).filter(|i| !skip.contains(i)).collect();
+        let columns: Vec<JoinColumnMeta> =
+            kept.iter().map(|&i| sample.columns[i].clone()).collect();
+        let cols: Vec<Vec<f64>> = kept.iter().map(|&i| sample.data[i].clone()).collect();
+        let meta: Vec<ColumnMeta> = columns
+            .iter()
+            .map(|c| ColumnMeta { name: c.name.clone(), discrete: c.discrete })
+            .collect();
+
+        let view = DataView::new(&cols, &meta);
+        let spn = Spn::learn(view, params);
+
+        // Column lookup maps.
+        let mut data_col = HashMap::new();
+        let mut indicator_col = HashMap::new();
+        let mut factor_col = HashMap::new();
+        let mut internal_edges = Vec::new();
+        for (i, c) in columns.iter().enumerate() {
+            match c.role {
+                JoinColumnRole::Data { table, col } => {
+                    data_col.insert((table, col), i);
+                }
+                JoinColumnRole::Indicator { table } => {
+                    indicator_col.insert(table, i);
+                }
+                JoinColumnRole::TupleFactor { fk, clamped } => {
+                    factor_col.insert(fk, i);
+                    if clamped {
+                        internal_edges.push(fk);
+                    }
+                }
+            }
+        }
+
+        // Distinct values + column stats from the training sample.
+        let mut distincts: HashMap<usize, BTreeSet<u64>> = HashMap::new();
+        let mut col_stats = Vec::with_capacity(cols.len());
+        for (i, col) in cols.iter().enumerate() {
+            let mut sum = 0.0;
+            let mut sq = 0.0;
+            let mut k = 0u64;
+            for &v in col {
+                if v.is_finite() {
+                    sum += v;
+                    sq += v * v;
+                    k += 1;
+                }
+            }
+            let mean = if k > 0 { sum / k as f64 } else { 0.0 };
+            let var = if k > 0 { (sq / k as f64 - mean * mean).max(0.0) } else { 0.0 };
+            col_stats.push((mean, var.sqrt()));
+            if columns[i].discrete && matches!(columns[i].role, JoinColumnRole::Data { .. }) {
+                let set: BTreeSet<u64> = col
+                    .iter()
+                    .filter(|v| v.is_finite())
+                    .map(|&v| v.to_bits())
+                    .take(MAX_GROUP_DISTINCT * 4)
+                    .collect();
+                if set.len() <= MAX_GROUP_DISTINCT {
+                    distincts.insert(i, set);
+                }
+            }
+        }
+
+        // Pairwise attribute RDC for the execution strategy (data cols only).
+        let refs: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+        let rows: Vec<u32> = (0..sample.n_samples as u32).collect();
+        let attr_rdc = deepdb_spn::rdc::pairwise_rdc(&refs, &rows, 1500, &params.rdc);
+
+        Ok(Self {
+            spn,
+            tables: sample.tables.clone(),
+            columns,
+            full_join_count: sample.full_join_count,
+            sample_rate: if sample.full_join_count == 0 {
+                1.0
+            } else {
+                // May exceed 1: small joins are deliberately oversampled, so
+                // updates must insert multiple sample rows per real tuple.
+                sample.n_samples as f64 / sample.full_join_count as f64
+            },
+            data_col,
+            indicator_col,
+            factor_col,
+            internal_edges,
+            fds: fd_dicts,
+            distincts,
+            col_stats,
+            attr_rdc,
+            join_count_dirty: false,
+        })
+    }
+
+    pub fn tables(&self) -> &[TableId] {
+        &self.tables
+    }
+
+    /// Exact (or incrementally maintained) full-outer-join cardinality.
+    pub fn full_join_count(&self) -> u64 {
+        self.full_join_count
+    }
+
+    pub fn set_full_join_count(&mut self, count: u64) {
+        self.full_join_count = count;
+        self.join_count_dirty = false;
+    }
+
+    pub fn bump_full_join_count(&mut self, delta: i64) {
+        self.full_join_count = (self.full_join_count as i64 + delta).max(0) as u64;
+    }
+
+    pub fn mark_join_count_dirty(&mut self) {
+        self.join_count_dirty = true;
+    }
+
+    pub fn join_count_dirty(&self) -> bool {
+        self.join_count_dirty
+    }
+
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Number of SPN training rows (grows/shrinks with updates).
+    pub fn n_training(&self) -> u64 {
+        self.spn.n_rows()
+    }
+
+    /// SPN node count (diagnostics / cost accounting).
+    pub fn model_size(&self) -> usize {
+        self.spn.size()
+    }
+
+    pub fn columns(&self) -> &[JoinColumnMeta] {
+        &self.columns
+    }
+
+    pub fn internal_edges(&self) -> &[ForeignKey] {
+        &self.internal_edges
+    }
+
+    pub fn has_factor(&self, fk: &ForeignKey) -> bool {
+        self.factor_col.contains_key(fk)
+    }
+
+    /// SPN column holding a table attribute, if modeled directly.
+    pub fn data_column(&self, table: TableId, col: ColId) -> Option<usize> {
+        self.data_col.get(&(table, col)).copied()
+    }
+
+    /// (mean, std) of an SPN column over the training sample.
+    pub fn column_stats(&self, spn_col: usize) -> (f64, f64) {
+        self.col_stats[spn_col]
+    }
+
+    /// Distinct values of a discrete data column (for GROUP BY enumeration).
+    pub fn distinct_values(&self, spn_col: usize) -> Option<Vec<f64>> {
+        self.distincts.get(&spn_col).map(|s| s.iter().map(|&b| f64::from_bits(b)).collect())
+    }
+
+    /// Fresh query over this RSPN's columns.
+    pub fn new_query(&self) -> SpnQuery {
+        SpnQuery::new(self.columns.len())
+    }
+
+    /// Evaluate an expectation (delegates to the SPN).
+    pub fn expect(&mut self, q: &SpnQuery) -> f64 {
+        self.spn.evaluate(q)
+    }
+
+    /// Most probable value of an SPN column given evidence.
+    pub fn most_probable_value(&mut self, target: usize, q: &SpnQuery) -> Option<f64> {
+        self.spn.most_probable_value(target, q)
+    }
+
+    /// Require `N_T = 1` for a table (inner-join semantics, Case 1/2).
+    pub fn require_present(&self, q: &mut SpnQuery, table: TableId) {
+        if let Some(&col) = self.indicator_col.get(&table) {
+            q.add_pred(col, LeafPred::eq(1.0));
+        }
+    }
+
+    /// Translate and attach a storage predicate. Predicates on FD-dependent
+    /// columns are rewritten onto their determinant. Returns an error if the
+    /// column is not modeled at all.
+    pub fn add_predicate(&self, q: &mut SpnQuery, pred: &Predicate) -> Result<(), DeepDbError> {
+        if let Some(&col) = self.data_col.get(&(pred.table, pred.column)) {
+            for lp in translate_pred(&pred.op) {
+                q.add_pred(col, lp);
+            }
+            return Ok(());
+        }
+        // FD rewrite: predicate on a dependent column → IN over determinant.
+        for dict in &self.fds {
+            if dict.fd.table == pred.table && dict.fd.dependent == pred.column {
+                let det = self
+                    .data_col
+                    .get(&(pred.table, dict.fd.determinant))
+                    .copied()
+                    .ok_or_else(|| {
+                        DeepDbError::Unsupported("FD determinant not modeled".into())
+                    })?;
+                q.add_pred(det, LeafPred::In(dict.translate(pred)));
+                return Ok(());
+            }
+        }
+        Err(DeepDbError::Unsupported(format!(
+            "column ({}, {}) not modeled by this RSPN",
+            pred.table, pred.column
+        )))
+    }
+
+    /// Tuple-factor normalization set for a query over `present` tables
+    /// (Theorem 1): BFS outward from the present set over the internal join
+    /// tree; every edge traversed in FK-downward direction (one side → many
+    /// side) contributes its `F'`.
+    pub fn normalization_factor_cols(&self, present: &BTreeSet<TableId>) -> Vec<usize> {
+        let mut visited: BTreeSet<TableId> =
+            present.iter().copied().filter(|t| self.tables.contains(t)).collect();
+        if visited.is_empty() {
+            return Vec::new();
+        }
+        let mut factors = Vec::new();
+        loop {
+            let mut progressed = false;
+            for fk in &self.internal_edges {
+                let p_in = visited.contains(&fk.parent_table);
+                let c_in = visited.contains(&fk.child_table);
+                if p_in && !c_in {
+                    factors.push(self.factor_col[fk]);
+                    visited.insert(fk.child_table);
+                    progressed = true;
+                } else if c_in && !p_in {
+                    visited.insert(fk.parent_table);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        factors
+    }
+
+    /// Raw tuple-factor column of an FK (for Theorem-2 fan-out terms).
+    pub fn factor_column(&self, fk: &ForeignKey) -> Option<usize> {
+        self.factor_col.get(fk).copied()
+    }
+
+    /// Execution-strategy score: sum of pairwise RDC values between the
+    /// predicate columns this RSPN can handle (paper §4.1, "Execution
+    /// Strategy"), plus a small per-predicate bonus so coverage breaks ties.
+    pub fn strategy_score(&self, preds: &[Predicate]) -> f64 {
+        let handled: Vec<usize> = preds
+            .iter()
+            .filter_map(|p| self.data_col.get(&(p.table, p.column)).copied())
+            .collect();
+        let mut score = 0.05 * handled.len() as f64;
+        for i in 0..handled.len() {
+            for j in (i + 1)..handled.len() {
+                score += self.attr_rdc[handled[i]][handled[j]];
+            }
+        }
+        score
+    }
+
+    /// Serialize for ensemble snapshots (lookup maps are rebuilt on load).
+    pub(crate) fn write_to(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        use deepdb_spn::wire::*;
+        self.spn.write_to(w)?;
+        write_usizes(w, &self.tables)?;
+        write_u32(w, self.columns.len() as u32)?;
+        for c in &self.columns {
+            write_str(w, &c.name)?;
+            match c.role {
+                JoinColumnRole::Data { table, col } => {
+                    write_u8(w, 0)?;
+                    write_u64(w, table as u64)?;
+                    write_u64(w, col as u64)?;
+                }
+                JoinColumnRole::Indicator { table } => {
+                    write_u8(w, 1)?;
+                    write_u64(w, table as u64)?;
+                }
+                JoinColumnRole::TupleFactor { fk, clamped } => {
+                    write_u8(w, 2)?;
+                    write_u64(w, fk.child_table as u64)?;
+                    write_u64(w, fk.child_col as u64)?;
+                    write_u64(w, fk.parent_table as u64)?;
+                    write_u64(w, fk.parent_col as u64)?;
+                    write_u8(w, u8::from(clamped))?;
+                }
+            }
+            write_u8(w, u8::from(c.discrete))?;
+            write_u8(w, u8::from(c.nullable))?;
+        }
+        write_u64(w, self.full_join_count)?;
+        write_f64(w, self.sample_rate)?;
+        write_u32(w, self.fds.len() as u32)?;
+        for d in &self.fds {
+            d.write_to(w)?;
+        }
+        write_u32(w, self.distincts.len() as u32)?;
+        for (&col, set) in &self.distincts {
+            write_u64(w, col as u64)?;
+            write_u64s(w, &set.iter().copied().collect::<Vec<_>>())?;
+        }
+        write_u32(w, self.col_stats.len() as u32)?;
+        for &(m, s) in &self.col_stats {
+            write_f64(w, m)?;
+            write_f64(w, s)?;
+        }
+        write_u32(w, self.attr_rdc.len() as u32)?;
+        for row in &self.attr_rdc {
+            write_f64s(w, row)?;
+        }
+        write_u8(w, u8::from(self.join_count_dirty))
+    }
+
+    /// Deserialize an RSPN written by [`Rspn::write_to`].
+    pub(crate) fn read_from(r: &mut impl std::io::Read) -> std::io::Result<Self> {
+        use deepdb_spn::wire::*;
+        let spn = Spn::read_from(r)?;
+        let tables = read_usizes(r)?;
+        let n_cols = read_u32(r)? as usize;
+        if n_cols > 1 << 16 {
+            return Err(corrupt("rspn column count"));
+        }
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let name = read_str(r)?;
+            let role = match read_u8(r)? {
+                0 => JoinColumnRole::Data {
+                    table: read_u64(r)? as usize,
+                    col: read_u64(r)? as usize,
+                },
+                1 => JoinColumnRole::Indicator { table: read_u64(r)? as usize },
+                2 => {
+                    let fk = ForeignKey {
+                        child_table: read_u64(r)? as usize,
+                        child_col: read_u64(r)? as usize,
+                        parent_table: read_u64(r)? as usize,
+                        parent_col: read_u64(r)? as usize,
+                    };
+                    JoinColumnRole::TupleFactor { fk, clamped: read_u8(r)? != 0 }
+                }
+                _ => return Err(corrupt("column role tag")),
+            };
+            let discrete = read_u8(r)? != 0;
+            let nullable = read_u8(r)? != 0;
+            columns.push(JoinColumnMeta { name, role, discrete, nullable });
+        }
+        let full_join_count = read_u64(r)?;
+        let sample_rate = read_f64(r)?;
+        let n_fds = read_u32(r)? as usize;
+        let fds: Vec<FdDictionary> =
+            (0..n_fds).map(|_| FdDictionary::read_from(r)).collect::<std::io::Result<_>>()?;
+        let n_distinct = read_u32(r)? as usize;
+        let mut distincts = HashMap::new();
+        for _ in 0..n_distinct {
+            let col = read_u64(r)? as usize;
+            let set: BTreeSet<u64> = read_u64s(r)?.into_iter().collect();
+            distincts.insert(col, set);
+        }
+        let n_stats = read_u32(r)? as usize;
+        let col_stats: Vec<(f64, f64)> = (0..n_stats)
+            .map(|_| Ok::<_, std::io::Error>((read_f64(r)?, read_f64(r)?)))
+            .collect::<std::io::Result<_>>()?;
+        let n_rdc = read_u32(r)? as usize;
+        let attr_rdc: Vec<Vec<f64>> =
+            (0..n_rdc).map(|_| read_f64s(r)).collect::<std::io::Result<_>>()?;
+        let join_count_dirty = read_u8(r)? != 0;
+
+        // Rebuild the lookup maps from the column roles.
+        let mut data_col = HashMap::new();
+        let mut indicator_col = HashMap::new();
+        let mut factor_col = HashMap::new();
+        let mut internal_edges = Vec::new();
+        for (i, c) in columns.iter().enumerate() {
+            match c.role {
+                JoinColumnRole::Data { table, col } => {
+                    data_col.insert((table, col), i);
+                }
+                JoinColumnRole::Indicator { table } => {
+                    indicator_col.insert(table, i);
+                }
+                JoinColumnRole::TupleFactor { fk, clamped } => {
+                    factor_col.insert(fk, i);
+                    if clamped {
+                        internal_edges.push(fk);
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            spn,
+            tables,
+            columns,
+            full_join_count,
+            sample_rate,
+            data_col,
+            indicator_col,
+            factor_col,
+            internal_edges,
+            fds,
+            distincts,
+            col_stats,
+            attr_rdc,
+            join_count_dirty,
+        })
+    }
+
+    /// Absorb one full-outer-join row (paper Algorithm 1), already assembled
+    /// in SPN column order.
+    pub fn insert_row(&mut self, row: &[f64]) {
+        for (i, &v) in row.iter().enumerate() {
+            if v.is_finite() && self.columns[i].discrete {
+                if let Some(set) = self.distincts.get_mut(&i) {
+                    if set.len() < MAX_GROUP_DISTINCT {
+                        set.insert(v.to_bits());
+                    }
+                }
+            }
+        }
+        self.spn.insert(row);
+    }
+
+    /// Remove one full-outer-join row.
+    pub fn delete_row(&mut self, row: &[f64]) {
+        self.spn.delete(row);
+    }
+}
+
+/// Translate a storage predicate operation into leaf predicates.
+/// Comparisons against NULL constants are unsatisfiable (SQL unknown) and
+/// yield an empty `In` list.
+pub(crate) fn translate_pred(op: &PredOp) -> Vec<LeafPred> {
+    fn num(v: &Value) -> Option<f64> {
+        v.as_f64()
+    }
+    match op {
+        PredOp::IsNull => vec![LeafPred::IsNull],
+        PredOp::IsNotNull => vec![LeafPred::IsNotNull],
+        PredOp::Cmp(op, c) => match num(c) {
+            None => vec![LeafPred::In(Vec::new())],
+            Some(v) => vec![match op {
+                CmpOp::Eq => LeafPred::eq(v),
+                CmpOp::Ne => LeafPred::NotIn(vec![v]),
+                CmpOp::Lt => LeafPred::lt(v),
+                CmpOp::Le => LeafPred::le(v),
+                CmpOp::Gt => LeafPred::gt(v),
+                CmpOp::Ge => LeafPred::ge(v),
+            }],
+        },
+        PredOp::In(vs) => {
+            let nums: Vec<f64> = vs.iter().filter_map(num).collect();
+            vec![LeafPred::In(nums)]
+        }
+        PredOp::Between(lo, hi) => match (num(lo), num(hi)) {
+            (Some(a), Some(b)) => {
+                vec![LeafPred::Range { lo: a, hi: b, lo_incl: true, hi_incl: true }]
+            }
+            _ => vec![LeafPred::In(Vec::new())],
+        },
+    }
+}
+
+/// Build an expectation query for the count fraction of Theorem 1:
+/// `E[1/F'(Q,J) · 1_C · ∏_{T∈Q} N_T]`, returning `(query, factor_cols)`.
+pub(crate) fn count_fraction_query(
+    rspn: &Rspn,
+    present: &BTreeSet<TableId>,
+    preds: &[Predicate],
+    squared: bool,
+) -> Result<(SpnQuery, Vec<usize>), DeepDbError> {
+    let mut q = rspn.new_query();
+    for &t in present {
+        rspn.require_present(&mut q, t);
+    }
+    for p in preds {
+        rspn.add_predicate(&mut q, p)?;
+    }
+    let factors = rspn.normalization_factor_cols(present);
+    let func = if squared { LeafFunc::InvSqClamp1 } else { LeafFunc::InvClamp1 };
+    for &f in &factors {
+        q.set_func(f, func);
+    }
+    Ok((q, factors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepdb_storage::fixtures::paper_customer_order;
+    use deepdb_storage::JoinTree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn learn_joint(n_samples: usize) -> (Database, Rspn) {
+        let db = paper_customer_order();
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let tree = JoinTree::new(&db, &[c, o]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let sample = tree.sample(&db, n_samples, &mut rng);
+        let rspn = Rspn::learn(&sample, &db, &[], &SpnParams::default()).unwrap();
+        (db, rspn)
+    }
+
+    #[test]
+    fn metadata_maps_are_complete() {
+        let (db, rspn) = learn_joint(2000);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        assert!(rspn.data_column(c, 1).is_some(), "c_age modeled");
+        assert!(rspn.data_column(c, 2).is_some(), "c_region modeled");
+        assert!(rspn.data_column(o, 2).is_some(), "o_channel modeled");
+        assert!(rspn.data_column(c, 0).is_none(), "keys are not modeled");
+        assert_eq!(rspn.internal_edges().len(), 1);
+        assert_eq!(rspn.full_join_count(), 5);
+    }
+
+    #[test]
+    fn normalization_rule_matches_paper_cases() {
+        let (db, rspn) = learn_joint(500);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        // Query on {customer} only: normalize by F'_{C←O} (paper Case 2).
+        let f = rspn.normalization_factor_cols(&BTreeSet::from([c]));
+        assert_eq!(f.len(), 1);
+        // Query on both tables: no normalization (paper Case 1).
+        let f = rspn.normalization_factor_cols(&BTreeSet::from([c, o]));
+        assert!(f.is_empty());
+        // Query on {orders}: upward traversal, no factor.
+        let f = rspn.normalization_factor_cols(&BTreeSet::from([o]));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn count_fraction_reproduces_paper_numbers() {
+        let (db, mut rspn) = learn_joint(40_000);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+
+        // Paper Case 1 (Q2): P(ONLINE ∧ EUROPE ∧ N_O ∧ N_C) = 1/5.
+        let preds = vec![
+            Predicate::new(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0))),
+            Predicate::new(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0))),
+        ];
+        let (q, _) = count_fraction_query(&rspn, &BTreeSet::from([c, o]), &preds, false).unwrap();
+        let frac = rspn.expect(&q);
+        let est = frac * rspn.full_join_count() as f64;
+        assert!((est - 1.0).abs() < 0.2, "Q2 estimate = {est}");
+
+        // Paper Case 2 (Q1): European customers from the joint RSPN = 2.
+        let preds = vec![Predicate::new(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))];
+        let (q, factors) =
+            count_fraction_query(&rspn, &BTreeSet::from([c]), &preds, false).unwrap();
+        assert_eq!(factors.len(), 1);
+        let est = rspn.expect(&q) * rspn.full_join_count() as f64;
+        assert!((est - 2.0).abs() < 0.25, "Q1 via case 2 = {est}");
+    }
+
+    #[test]
+    fn distinct_values_track_training_data() {
+        let (db, rspn) = learn_joint(3000);
+        let c = db.table_id("customer").unwrap();
+        let col = rspn.data_column(c, 2).unwrap();
+        let vals = rspn.distinct_values(col).unwrap();
+        assert_eq!(vals, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn predicate_translation_covers_operators() {
+        assert_eq!(translate_pred(&PredOp::IsNull), vec![LeafPred::IsNull]);
+        assert_eq!(
+            translate_pred(&PredOp::Cmp(CmpOp::Ne, Value::Int(3))),
+            vec![LeafPred::NotIn(vec![3.0])]
+        );
+        // Comparisons against NULL are unsatisfiable.
+        assert_eq!(
+            translate_pred(&PredOp::Cmp(CmpOp::Eq, Value::Null)),
+            vec![LeafPred::In(vec![])]
+        );
+        match &translate_pred(&PredOp::Between(Value::Int(1), Value::Int(5)))[0] {
+            LeafPred::Range { lo, hi, lo_incl, hi_incl } => {
+                assert_eq!((*lo, *hi, *lo_incl, *hi_incl), (1.0, 5.0, true, true));
+            }
+            other => panic!("unexpected translation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strategy_score_prefers_covering_rspn() {
+        let (db, rspn) = learn_joint(2000);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let both = vec![
+            Predicate::new(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0))),
+            Predicate::new(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0))),
+        ];
+        let one = vec![Predicate::new(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))];
+        assert!(rspn.strategy_score(&both) > rspn.strategy_score(&one));
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the estimate algebra (§5.1) and query compilation on
+//! randomized databases.
+
+use deepdb_core::Estimate;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Variances never go negative through the §5.1 combinators.
+    #[test]
+    fn variance_nonnegative(
+        v1 in 0.0f64..10.0, e1 in -100.0f64..100.0,
+        v2 in 0.0f64..10.0, e2 in -100.0f64..100.0,
+        c in -10.0f64..10.0,
+    ) {
+        let a = Estimate { value: e1, variance: v1 };
+        let b = Estimate { value: e2, variance: v2 };
+        prop_assert!(a.product(b).variance >= 0.0);
+        prop_assert!(a.scale(c).variance >= 0.0);
+        prop_assert!(a.add(b).variance >= 0.0);
+        prop_assert!(a.divide(b).variance >= 0.0);
+    }
+
+    /// The product combinator is commutative and has exact(1) as identity.
+    #[test]
+    fn product_algebra(
+        v1 in 0.0f64..10.0, e1 in -100.0f64..100.0,
+        v2 in 0.0f64..10.0, e2 in -100.0f64..100.0,
+    ) {
+        let a = Estimate { value: e1, variance: v1 };
+        let b = Estimate { value: e2, variance: v2 };
+        let ab = a.product(b);
+        let ba = b.product(a);
+        prop_assert!((ab.value - ba.value).abs() < 1e-9);
+        prop_assert!((ab.variance - ba.variance).abs() < 1e-9);
+        let id = a.product(Estimate::exact(1.0));
+        prop_assert!((id.value - a.value).abs() < 1e-12);
+        prop_assert!((id.variance - a.variance).abs() < 1e-12);
+    }
+
+    /// Scaling: V(cX) = c²·V(X), E(cX) = c·E(X).
+    #[test]
+    fn scaling_law(v in 0.0f64..10.0, e in -50.0f64..50.0, c in -20.0f64..20.0) {
+        let a = Estimate { value: e, variance: v };
+        let s = a.scale(c);
+        prop_assert!((s.value - c * e).abs() < 1e-9);
+        prop_assert!((s.variance - c * c * v).abs() < 1e-9);
+    }
+
+    /// Confidence intervals are symmetric around the estimate and nested
+    /// across confidence levels.
+    #[test]
+    fn ci_nesting(v in 0.0f64..100.0, e in -1000.0f64..1000.0) {
+        let a = Estimate { value: e, variance: v };
+        let (l90, h90) = a.confidence_interval(0.90);
+        let (l99, h99) = a.confidence_interval(0.99);
+        prop_assert!((e - l90 - (h90 - e)).abs() < 1e-6, "symmetry");
+        prop_assert!(l99 <= l90 && h90 <= h99, "nesting");
+    }
+
+    /// Binomial probability estimates tighten with more samples.
+    #[test]
+    fn probability_variance_decreases_in_n(p in 0.01f64..0.99, n in 10u64..100_000) {
+        let small = Estimate::probability(p, n);
+        let large = Estimate::probability(p, n * 10);
+        prop_assert!(large.variance < small.variance);
+        prop_assert!((small.value - p).abs() < 1e-12);
+    }
+}

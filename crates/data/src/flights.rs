@@ -1,0 +1,304 @@
+//! Flights dataset generator and queries F1.1–F5.2 (paper §6.2, §6.3).
+//!
+//! Substitutes the Kaggle flight-delays dataset (scaled to 10⁹ rows via
+//! IDEBench in the paper) with a single-table generator that reproduces the
+//! relationships the experiments rely on:
+//!
+//! * `air_time ≈ distance / speed + noise` (strong continuous correlation,
+//!   the regression target of Figure 13);
+//! * `arr_delay ≈ dep_delay + noise` (delay propagation);
+//! * `dep_delay` has an airline- and month-dependent heavy tail;
+//! * `taxi_out`/`taxi_in` depend on the origin/destination airport;
+//! * the query set F1.1–F5.2 descends in selectivity from ≈5 % to ≈0.01 %
+//!   with a mix of COUNT/AVG/SUM and group-bys, and F5.2 is the difference
+//!   of two SUM aggregates (the confidence-interval failure case of
+//!   Figure 11).
+
+use deepdb_storage::{Aggregate, ColumnRef, Database, Domain, PredOp, Query, TableSchema, Value};
+
+use crate::workload::{NamedQuery, Scale, Xor64};
+use deepdb_storage::CmpOp;
+
+pub const N_AIRLINES: usize = 14;
+pub const N_AIRPORTS: usize = 30;
+pub const YEARS: (i64, i64) = (2015, 2019);
+
+/// Default row count at scale 1.0.
+pub const DEFAULT_FLIGHTS: usize = 300_000;
+
+/// Column indices in the `flights` table (after the PK).
+pub mod cols {
+    pub const YEAR: usize = 1;
+    pub const MONTH: usize = 2;
+    pub const DAY_OF_WEEK: usize = 3;
+    pub const AIRLINE: usize = 4;
+    pub const ORIGIN: usize = 5;
+    pub const DEST: usize = 6;
+    pub const DISTANCE: usize = 7;
+    pub const AIR_TIME: usize = 8;
+    pub const DEP_DELAY: usize = 9;
+    pub const ARR_DELAY: usize = 10;
+    pub const TAXI_OUT: usize = 11;
+    pub const TAXI_IN: usize = 12;
+}
+
+/// Build the schema.
+pub fn schema() -> Database {
+    let mut db = Database::new("flights");
+    db.create_table(
+        TableSchema::new("flights")
+            .pk("id")
+            .col("year", Domain::Discrete)
+            .col("month", Domain::Discrete)
+            .col("day_of_week", Domain::Discrete)
+            .col("airline", Domain::Discrete)
+            .col("origin", Domain::Discrete)
+            .col("dest", Domain::Discrete)
+            .col("distance", Domain::Continuous)
+            .col("air_time", Domain::Continuous)
+            .col("dep_delay", Domain::Continuous)
+            .nullable_col("arr_delay", Domain::Continuous)
+            .col("taxi_out", Domain::Continuous)
+            .col("taxi_in", Domain::Continuous),
+    )
+    .expect("fresh catalog");
+    db
+}
+
+/// Generate the dataset.
+pub fn generate(scale: Scale) -> Database {
+    let mut db = schema();
+    let n = scale.rows(DEFAULT_FLIGHTS);
+    let mut rng = Xor64::new(scale.seed ^ 0xF11);
+
+    // Fixed route distances (origin, dest) → base distance.
+    let mut route_dist = vec![0.0f64; N_AIRPORTS * N_AIRPORTS];
+    for v in route_dist.iter_mut() {
+        *v = 150.0 + rng.f64() * 2400.0;
+    }
+    // Airport congestion factors for taxi times.
+    let congestion: Vec<f64> = (0..N_AIRPORTS).map(|_| 0.5 + rng.f64() * 1.8).collect();
+
+    for id in 1..=n as i64 {
+        let year = YEARS.0 + rng.below((YEARS.1 - YEARS.0 + 1) as usize) as i64;
+        let month = 1 + rng.below(12) as i64;
+        let dow = 1 + rng.below(7) as i64;
+        let airline = rng.zipf(N_AIRLINES) as i64;
+        let origin = rng.zipf(N_AIRPORTS) as i64;
+        let mut dest = rng.zipf(N_AIRPORTS) as i64;
+        if dest == origin {
+            dest = (dest + 1) % N_AIRPORTS as i64;
+        }
+        let distance =
+            route_dist[(origin as usize) * N_AIRPORTS + dest as usize] * (0.97 + 0.06 * rng.f64());
+        let air_time = distance / 7.8 + rng.gaussian(18.0, 6.0);
+        // Heavy-tailed departure delay: airline- and season-dependent.
+        let base = 2.0 + airline as f64 * 0.8 + if month == 12 || month == 6 { 6.0 } else { 0.0 };
+        let dep_delay = if rng.f64() < 0.62 {
+            rng.gaussian(-2.0, 3.5)
+        } else {
+            base + (-rng.f64().max(1e-12).ln()) * (12.0 + airline as f64)
+        };
+        // Arrival delay propagates; ~1.5% of flights are cancelled → NULL.
+        let arr_delay = if rng.f64() < 0.015 {
+            Value::Null
+        } else {
+            Value::Float(dep_delay + rng.gaussian(-1.5, 9.0))
+        };
+        let taxi_out = 8.0 + congestion[origin as usize] * 11.0 + rng.gaussian(0.0, 2.5);
+        let taxi_in = 3.0 + congestion[dest as usize] * 4.5 + rng.gaussian(0.0, 1.2);
+        db.insert(
+            "flights",
+            &[
+                Value::Int(id),
+                Value::Int(year),
+                Value::Int(month),
+                Value::Int(dow),
+                Value::Int(airline),
+                Value::Int(origin),
+                Value::Int(dest),
+                Value::Float(distance),
+                Value::Float(air_time.max(10.0)),
+                Value::Float(dep_delay),
+                arr_delay,
+                Value::Float(taxi_out.max(1.0)),
+                Value::Float(taxi_in.max(1.0)),
+            ],
+        )
+        .expect("row");
+    }
+    db
+}
+
+fn cref(db: &Database, c: usize) -> ColumnRef {
+    ColumnRef { table: db.table_id("flights").expect("flights"), column: c }
+}
+
+/// Queries F1.1–F5.1 (11 queries, descending selectivity ≈5 % → ≈0.01 %).
+/// F5.2 — the difference of two SUMs — is exposed via [`f52_pair`].
+pub fn queries(db: &Database) -> Vec<NamedQuery> {
+    use cols::*;
+    let f = db.table_id("flights").expect("flights");
+    let eq = |c: usize, v: i64| (c, PredOp::Cmp(CmpOp::Eq, Value::Int(v)));
+    let q = |preds: Vec<(usize, PredOp)>| {
+        let mut q = Query::count(vec![f]);
+        for (c, op) in preds {
+            q = q.filter(f, c, op);
+        }
+        q
+    };
+    vec![
+        // F1.x: broad single-attribute filters (≈3–6 %).
+        NamedQuery::new("F1.1", q(vec![eq(AIRLINE, 2)])),
+        NamedQuery::new(
+            "F1.2",
+            q(vec![eq(AIRLINE, 2)])
+                .aggregate(Aggregate::Avg(cref(db, DEP_DELAY)))
+                .group(f, YEAR),
+        ),
+        // F2.x: two filters (≈0.5–2 %).
+        NamedQuery::new("F2.1", q(vec![eq(ORIGIN, 3)]).aggregate(Aggregate::Avg(cref(db, ARR_DELAY)))),
+        NamedQuery::new("F2.2", q(vec![eq(ORIGIN, 3), eq(MONTH, 6)])),
+        NamedQuery::new(
+            "F2.3",
+            q(vec![eq(AIRLINE, 1), eq(DAY_OF_WEEK, 1)]).aggregate(Aggregate::Sum(cref(db, DISTANCE))),
+        ),
+        // F3.x: (≈0.1–0.6 %).
+        NamedQuery::new(
+            "F3.1",
+            q(vec![eq(ORIGIN, 5), eq(YEAR, 2017)]).aggregate(Aggregate::Avg(cref(db, TAXI_OUT))),
+        ),
+        NamedQuery::new(
+            "F3.2",
+            q(vec![eq(ORIGIN, 3), eq(DEST, 7)]).aggregate(Aggregate::Avg(cref(db, ARR_DELAY))),
+        ),
+        NamedQuery::new("F3.3", q(vec![eq(ORIGIN, 1), eq(DEST, 4), eq(AIRLINE, 0)])),
+        // F4.x: (≈0.05–0.3 %), one grouped.
+        NamedQuery::new(
+            "F4.1",
+            q(vec![eq(MONTH, 12), eq(DAY_OF_WEEK, 5)])
+                .aggregate(Aggregate::Avg(cref(db, DEP_DELAY)))
+                .group(f, AIRLINE),
+        ),
+        NamedQuery::new(
+            "F4.2",
+            q(vec![
+                eq(YEAR, 2016),
+                eq(ORIGIN, 9),
+                (MONTH, PredOp::In(vec![Value::Int(1), Value::Int(2)])),
+            ])
+            .aggregate(Aggregate::Sum(cref(db, DISTANCE))),
+        ),
+        // F5.1: (≈0.01–0.05 %).
+        NamedQuery::new(
+            "F5.1",
+            q(vec![eq(DEST, 11), eq(AIRLINE, 3), (YEAR, PredOp::Cmp(CmpOp::Ge, Value::Int(2018)))])
+                .aggregate(Aggregate::Avg(cref(db, AIR_TIME))),
+        ),
+    ]
+}
+
+/// F5.2: the difference of two SUM aggregates, `SUM(arr_delay) −
+/// SUM(dep_delay)` over the same filter. The two summands share correlated
+/// attributes, which is exactly the case where the §5.1 independence
+/// assumption overestimates the CI (Figure 11's outlier).
+pub fn f52_pair(db: &Database) -> (NamedQuery, NamedQuery) {
+    use cols::*;
+    let f = db.table_id("flights").expect("flights");
+    let base = Query::count(vec![f])
+        .filter(f, AIRLINE, PredOp::Cmp(CmpOp::Eq, Value::Int(4)))
+        .filter(f, MONTH, PredOp::Cmp(CmpOp::Eq, Value::Int(7)));
+    (
+        NamedQuery::new("F5.2a", base.clone().aggregate(Aggregate::Sum(cref(db, ARR_DELAY)))),
+        NamedQuery::new("F5.2b", base.aggregate(Aggregate::Sum(cref(db, DEP_DELAY)))),
+    )
+}
+
+/// The six regression targets of Figure 13 (column indices).
+pub fn regression_targets() -> Vec<(&'static str, usize)> {
+    use cols::*;
+    vec![
+        ("Arr. Delay", ARR_DELAY),
+        ("Dep. Delay", DEP_DELAY),
+        ("Taxi Out", TAXI_OUT),
+        ("Taxi In", TAXI_IN),
+        ("Air Time", AIR_TIME),
+        ("Distance", DISTANCE),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepdb_storage::execute;
+
+    fn tiny() -> Database {
+        generate(Scale { factor: 0.05, seed: 9 }) // 15k flights
+    }
+
+    #[test]
+    fn schema_and_rows() {
+        let db = tiny();
+        let f = db.table_id("flights").unwrap();
+        assert_eq!(db.table(f).n_rows(), 15_000);
+    }
+
+    #[test]
+    fn air_time_tracks_distance() {
+        let db = tiny();
+        let t = db.table(db.table_id("flights").unwrap());
+        // Pearson correlation between distance and air_time should be high.
+        let n = t.n_rows() as f64;
+        let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for r in 0..t.n_rows() {
+            let x = t.column(cols::DISTANCE).f64_or_nan(r);
+            let y = t.column(cols::AIR_TIME).f64_or_nan(r);
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+        }
+        let corr = (n * sxy - sx * sy)
+            / ((n * sxx - sx * sx).sqrt() * (n * syy - sy * sy).sqrt());
+        assert!(corr > 0.95, "distance/air_time correlation {corr}");
+    }
+
+    #[test]
+    fn arr_delay_has_nulls_and_tracks_dep_delay() {
+        let db = tiny();
+        let t = db.table(db.table_id("flights").unwrap());
+        let nulls = (0..t.n_rows()).filter(|&r| t.value(r, cols::ARR_DELAY).is_null()).count();
+        let frac = nulls as f64 / t.n_rows() as f64;
+        assert!(frac > 0.005 && frac < 0.04, "cancelled fraction {frac}");
+    }
+
+    #[test]
+    fn query_selectivity_ladder_descends() {
+        let db = tiny();
+        let total = db.table(db.table_id("flights").unwrap()).n_rows() as f64;
+        let sel = |nq: &NamedQuery| {
+            execute(&db, &nq.query).unwrap().scalar().count as f64 / total
+        };
+        let qs = queries(&db);
+        for nq in &qs {
+            nq.query.validate(&db).unwrap();
+        }
+        let f11 = sel(&qs[0]);
+        let f33 = sel(&qs[7]);
+        let f51 = sel(&qs[10]);
+        assert!(f11 > 0.02, "F1.1 selectivity {f11}");
+        assert!(f33 < f11, "ladder should descend");
+        assert!(f51 < 0.005, "F5.1 selectivity {f51}");
+    }
+
+    #[test]
+    fn f52_pair_shares_filters() {
+        let db = tiny();
+        let (a, b) = f52_pair(&db);
+        assert_eq!(format!("{:?}", a.query.predicates), format!("{:?}", b.query.predicates));
+        let ta = execute(&db, &a.query).unwrap().scalar();
+        let tb = execute(&db, &b.query).unwrap().scalar();
+        assert!(ta.count > 0 && tb.count > 0);
+    }
+}

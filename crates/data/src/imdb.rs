@@ -1,0 +1,338 @@
+//! Synthetic IMDb with the JOB-light schema (paper §6.1).
+//!
+//! Schema (exactly the six JOB-light tables; attribute domains shrunk to
+//! laptop scale, documented in DESIGN.md §4):
+//!
+//! ```text
+//! title(id, kind_id, production_year, season_nr?)
+//!   ← cast_info(id, movie_id, role_id)
+//!   ← movie_info(id, movie_id, info_type_id)
+//!   ← movie_info_idx(id, movie_id, info_type_id)
+//!   ← movie_keyword(id, movie_id, keyword_id)
+//!   ← movie_companies(id, movie_id, company_id, company_type_id)
+//! ```
+//!
+//! Injected structure the estimators must capture:
+//! * `kind_id` ↔ `production_year`: TV kinds dominate recent years;
+//! * fan-outs grow with `production_year` (recent titles have more cast,
+//!   info, and keyword rows) — the cross-table correlation that breaks
+//!   independence-assuming estimators on joins;
+//! * `role_id` depends on `kind_id`; `info_type_id` is Zipf-skewed and
+//!   kind-dependent; `company_id`/`keyword_id` are Zipf-skewed;
+//! * `season_nr` is NULL for non-TV kinds (NULL-handling exercise).
+
+use deepdb_storage::{Database, Domain, TableSchema, Value};
+
+use crate::workload::{Scale, Xor64};
+
+/// Number of `kind_id` values (movie, tv_movie, tv_series, episode, video,
+/// short, documentary).
+pub const N_KINDS: i64 = 7;
+/// `role_id` domain size (as in IMDb's role_type).
+pub const N_ROLES: i64 = 11;
+/// `info_type_id` domain size (shrunk from IMDb's 113).
+pub const N_INFO_TYPES: i64 = 40;
+/// Distinct keywords (shrunk, Zipf-distributed).
+pub const N_KEYWORDS: i64 = 500;
+/// Distinct companies (shrunk, Zipf-distributed).
+pub const N_COMPANIES: i64 = 300;
+/// Company types (production / distribution).
+pub const N_COMPANY_TYPES: i64 = 2;
+/// Production year range.
+pub const YEAR_RANGE: (i64, i64) = (1930, 2019);
+
+/// Default number of titles at scale 1.0.
+pub const DEFAULT_TITLES: usize = 30_000;
+
+/// Table names in creation order.
+pub const TABLES: [&str; 6] =
+    ["title", "cast_info", "movie_info", "movie_info_idx", "movie_keyword", "movie_companies"];
+
+/// Build the schema (empty tables + foreign keys).
+pub fn schema() -> Database {
+    let mut db = Database::new("imdb_synth");
+    db.create_table(
+        TableSchema::new("title")
+            .pk("id")
+            .col("kind_id", Domain::Discrete)
+            .col("production_year", Domain::Discrete)
+            .nullable_col("season_nr", Domain::Discrete),
+    )
+    .expect("fresh catalog");
+    db.create_table(
+        TableSchema::new("cast_info")
+            .pk("id")
+            .col("movie_id", Domain::Key)
+            .col("role_id", Domain::Discrete),
+    )
+    .expect("fresh catalog");
+    db.create_table(
+        TableSchema::new("movie_info")
+            .pk("id")
+            .col("movie_id", Domain::Key)
+            .col("info_type_id", Domain::Discrete),
+    )
+    .expect("fresh catalog");
+    db.create_table(
+        TableSchema::new("movie_info_idx")
+            .pk("id")
+            .col("movie_id", Domain::Key)
+            .col("info_type_id", Domain::Discrete),
+    )
+    .expect("fresh catalog");
+    db.create_table(
+        TableSchema::new("movie_keyword")
+            .pk("id")
+            .col("movie_id", Domain::Key)
+            .col("keyword_id", Domain::Discrete),
+    )
+    .expect("fresh catalog");
+    db.create_table(
+        TableSchema::new("movie_companies")
+            .pk("id")
+            .col("movie_id", Domain::Key)
+            .col("company_id", Domain::Discrete)
+            .col("company_type_id", Domain::Discrete),
+    )
+    .expect("fresh catalog");
+    for child in &TABLES[1..] {
+        db.add_foreign_key(child, "movie_id", "title").expect("valid fk");
+    }
+    db
+}
+
+/// Generate the full database at the given scale.
+pub fn generate(scale: Scale) -> Database {
+    let mut db = schema();
+    let n_titles = scale.rows(DEFAULT_TITLES);
+    let mut rng = Xor64::new(scale.seed ^ 0x1Bdb);
+    let mut ids = ChildIds::default();
+    for title_id in 1..=n_titles as i64 {
+        generate_title(&mut db, &mut rng, &mut ids, title_id, None);
+    }
+    db
+}
+
+/// Per-child-table id counters (so split/update generation can continue).
+#[derive(Debug, Default, Clone)]
+pub struct ChildIds {
+    pub cast_info: i64,
+    pub movie_info: i64,
+    pub movie_info_idx: i64,
+    pub movie_keyword: i64,
+    pub movie_companies: i64,
+}
+
+/// Generate one title and its children. `force_year` pins the production
+/// year (used by the temporal-split update experiment).
+pub fn generate_title(
+    db: &mut Database,
+    rng: &mut Xor64,
+    ids: &mut ChildIds,
+    title_id: i64,
+    force_year: Option<i64>,
+) {
+    let (y0, y1) = YEAR_RANGE;
+    // Years skew recent: quadratic ramp.
+    let year = force_year
+        .unwrap_or_else(|| y0 + ((y1 - y0) as f64 * rng.f64().sqrt()) as i64);
+    let recency = (year - y0) as f64 / (y1 - y0) as f64; // 0 old … 1 new
+
+    // kind ↔ year correlation: TV kinds (2,3) rare before ~1960, common late.
+    let kind = {
+        let r = rng.f64();
+        if r < 0.25 + 0.45 * recency {
+            2 + (rng.f64() < 0.5) as i64 // tv kinds
+        } else if r < 0.85 {
+            0 // movie
+        } else {
+            4 + rng.below(3) as i64 // video/short/documentary
+        }
+    };
+    let season = if kind == 2 || kind == 3 {
+        Value::Int(1 + rng.zipf(15) as i64)
+    } else {
+        Value::Null
+    };
+    db.insert("title", &[Value::Int(title_id), Value::Int(kind), Value::Int(year), season])
+        .expect("valid title row");
+
+    // Fan-outs correlate with recency and kind.
+    let boost = 0.5 + 1.5 * recency;
+    let n_cast = (rng.f64() * 4.0 * boost) as usize;
+    for _ in 0..n_cast {
+        ids.cast_info += 1;
+        // Roles depend on kind: documentaries (6) favor "self" roles.
+        let role = if kind == 6 {
+            8 + rng.below(3) as i64
+        } else {
+            1 + rng.zipf((N_ROLES - 1) as usize) as i64
+        };
+        db.insert(
+            "cast_info",
+            &[Value::Int(ids.cast_info), Value::Int(title_id), Value::Int(role)],
+        )
+        .expect("valid row");
+    }
+    let n_info = (rng.f64() * 3.0 * boost) as usize;
+    for _ in 0..n_info {
+        ids.movie_info += 1;
+        // info types skew by kind.
+        let it = ((rng.zipf(N_INFO_TYPES as usize) as i64) + kind * 3) % N_INFO_TYPES;
+        db.insert(
+            "movie_info",
+            &[Value::Int(ids.movie_info), Value::Int(title_id), Value::Int(it)],
+        )
+        .expect("valid row");
+    }
+    let n_info_idx = (rng.f64() * 2.0 * boost) as usize;
+    for _ in 0..n_info_idx {
+        ids.movie_info_idx += 1;
+        let it = rng.zipf(N_INFO_TYPES as usize) as i64;
+        db.insert(
+            "movie_info_idx",
+            &[Value::Int(ids.movie_info_idx), Value::Int(title_id), Value::Int(it)],
+        )
+        .expect("valid row");
+    }
+    let n_kw = (rng.f64() * 3.0 * boost) as usize;
+    for _ in 0..n_kw {
+        ids.movie_keyword += 1;
+        let kw = rng.zipf(N_KEYWORDS as usize) as i64;
+        db.insert(
+            "movie_keyword",
+            &[Value::Int(ids.movie_keyword), Value::Int(title_id), Value::Int(kw)],
+        )
+        .expect("valid row");
+    }
+    let n_mc = (rng.f64() * 2.0 * boost) as usize;
+    for _ in 0..n_mc {
+        ids.movie_companies += 1;
+        let company = rng.zipf(N_COMPANIES as usize) as i64;
+        let ctype = (rng.f64() < 0.3 + 0.4 * recency) as i64;
+        db.insert(
+            "movie_companies",
+            &[
+                Value::Int(ids.movie_companies),
+                Value::Int(title_id),
+                Value::Int(company),
+                Value::Int(ctype),
+            ],
+        )
+        .expect("valid row");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepdb_storage::{execute, CmpOp, PredOp, Query};
+
+    fn tiny() -> Database {
+        generate(Scale { factor: 0.05, seed: 7 }) // 1500 titles
+    }
+
+    #[test]
+    fn integrity_and_shape() {
+        let db = tiny();
+        db.validate_integrity().unwrap();
+        assert_eq!(db.n_tables(), 6);
+        assert_eq!(db.foreign_keys().len(), 5);
+        let title = db.table_id("title").unwrap();
+        assert_eq!(db.table(title).n_rows(), 1500);
+        for t in &TABLES[1..] {
+            assert!(db.table(db.table_id(t).unwrap()).n_rows() > 100, "{t} too small");
+        }
+    }
+
+    #[test]
+    fn year_kind_correlation_exists() {
+        let db = tiny();
+        let title = db.table_id("title").unwrap();
+        // P(tv | year ≥ 2000) must exceed P(tv | year < 1960).
+        let tv_late = execute(
+            &db,
+            &Query::count(vec![title])
+                .filter(title, 1, PredOp::In(vec![Value::Int(2), Value::Int(3)]))
+                .filter(title, 2, PredOp::Cmp(CmpOp::Ge, Value::Int(2000))),
+        )
+        .unwrap()
+        .scalar()
+        .count as f64;
+        let late = execute(
+            &db,
+            &Query::count(vec![title]).filter(title, 2, PredOp::Cmp(CmpOp::Ge, Value::Int(2000))),
+        )
+        .unwrap()
+        .scalar()
+        .count as f64;
+        let tv_early = execute(
+            &db,
+            &Query::count(vec![title])
+                .filter(title, 1, PredOp::In(vec![Value::Int(2), Value::Int(3)]))
+                .filter(title, 2, PredOp::Cmp(CmpOp::Lt, Value::Int(1960))),
+        )
+        .unwrap()
+        .scalar()
+        .count as f64;
+        let early = execute(
+            &db,
+            &Query::count(vec![title]).filter(title, 2, PredOp::Cmp(CmpOp::Lt, Value::Int(1960))),
+        )
+        .unwrap()
+        .scalar()
+        .count as f64;
+        assert!(tv_late / late > tv_early / early.max(1.0) + 0.1, "kind-year correlation missing");
+    }
+
+    #[test]
+    fn fanout_grows_with_recency() {
+        let db = tiny();
+        let title = db.table_id("title").unwrap();
+        let ci = db.table_id("cast_info").unwrap();
+        let per_title = |lo: i64, hi: i64| -> f64 {
+            let joined = execute(
+                &db,
+                &Query::count(vec![title, ci])
+                    .filter(title, 2, PredOp::Between(Value::Int(lo), Value::Int(hi))),
+            )
+            .unwrap()
+            .scalar()
+            .count as f64;
+            let titles = execute(
+                &db,
+                &Query::count(vec![title])
+                    .filter(title, 2, PredOp::Between(Value::Int(lo), Value::Int(hi))),
+            )
+            .unwrap()
+            .scalar()
+            .count as f64;
+            joined / titles.max(1.0)
+        };
+        assert!(per_title(2000, 2019) > per_title(1930, 1960) * 1.4, "fan-out correlation missing");
+    }
+
+    #[test]
+    fn season_null_iff_not_tv() {
+        let db = tiny();
+        let title = db.table_id("title").unwrap();
+        let t = db.table(title);
+        for r in 0..t.n_rows() {
+            let kind = t.column(1).i64_at(r).unwrap();
+            let is_tv = kind == 2 || kind == 3;
+            assert_eq!(t.value(r, 3).is_null(), !is_tv, "row {r}");
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(Scale { factor: 0.02, seed: 5 });
+        let b = generate(Scale { factor: 0.02, seed: 5 });
+        let ta = a.table(1);
+        let tb = b.table(1);
+        assert_eq!(ta.n_rows(), tb.n_rows());
+        for r in (0..ta.n_rows()).step_by(37) {
+            assert_eq!(ta.row_values(r), tb.row_values(r));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! JOB-light-style workloads over the synthetic IMDb (paper §6.1).
+//!
+//! * [`job_light`] — 70 queries mirroring the benchmark's structure: joins
+//!   of `title` with 1–4 FK children and 1–4 filter predicates drawn from
+//!   the columns the real JOB-light touches (`production_year`, `kind_id`,
+//!   `role_id`, `info_type_id`, `company_type_id`, `keyword_id`).
+//! * [`synthetic`] — the generalization workload of Figures 1 and 7:
+//!   queries with a chosen number of joined tables (4–6) and predicates
+//!   (1–5), uniformly sampled.
+
+use deepdb_storage::{CmpOp, Database, PredOp, Query, TableId, Value};
+
+use crate::imdb;
+use crate::workload::{NamedQuery, Xor64};
+
+/// Resolve the six JOB-light table ids.
+fn tables(db: &Database) -> [TableId; 6] {
+    let mut out = [0; 6];
+    for (i, name) in imdb::TABLES.iter().enumerate() {
+        out[i] = db.table_id(name).expect("imdb schema");
+    }
+    out
+}
+
+/// A random predicate on one of the workload columns of `table`.
+fn random_predicate(
+    db: &Database,
+    rng: &mut Xor64,
+    q: Query,
+    table_name: &str,
+) -> Query {
+    let t = db.table_id(table_name).expect("imdb schema");
+    match table_name {
+        "title" => match rng.below(3) {
+            0 => {
+                let y = 1930 + rng.below(90) as i64;
+                let op = if rng.f64() < 0.5 {
+                    PredOp::Cmp(CmpOp::Gt, Value::Int(y))
+                } else {
+                    PredOp::Cmp(CmpOp::Le, Value::Int(y))
+                };
+                q.filter(t, 2, op)
+            }
+            1 => q.filter(t, 1, PredOp::Cmp(CmpOp::Eq, Value::Int(rng.below(imdb::N_KINDS as usize) as i64))),
+            _ => {
+                let lo = 1935 + rng.below(60) as i64;
+                q.filter(t, 2, PredOp::Between(Value::Int(lo), Value::Int(lo + 5 + rng.below(20) as i64)))
+            }
+        },
+        "cast_info" => q.filter(
+            t,
+            2,
+            PredOp::Cmp(CmpOp::Eq, Value::Int(1 + rng.zipf((imdb::N_ROLES - 1) as usize) as i64)),
+        ),
+        "movie_info" | "movie_info_idx" => {
+            let v = rng.zipf(imdb::N_INFO_TYPES as usize) as i64;
+            let op = if rng.f64() < 0.7 {
+                PredOp::Cmp(CmpOp::Eq, Value::Int(v))
+            } else {
+                PredOp::Cmp(CmpOp::Gt, Value::Int(v))
+            };
+            q.filter(t, 2, op)
+        }
+        "movie_keyword" => {
+            let v = rng.zipf(imdb::N_KEYWORDS as usize) as i64;
+            q.filter(t, 2, PredOp::Cmp(CmpOp::Lt, Value::Int(v.max(1))))
+        }
+        "movie_companies" => {
+            if rng.f64() < 0.5 {
+                q.filter(t, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(rng.below(2) as i64)))
+            } else {
+                q.filter(
+                    t,
+                    2,
+                    PredOp::Cmp(CmpOp::Lt, Value::Int(1 + rng.zipf(imdb::N_COMPANIES as usize) as i64)),
+                )
+            }
+        }
+        other => panic!("unknown table {other}"),
+    }
+}
+
+/// Build a query joining `title` with `n_children` children and carrying
+/// `n_preds` predicates (at least one on `title`).
+fn build_query(
+    db: &Database,
+    rng: &mut Xor64,
+    n_children: usize,
+    n_preds: usize,
+) -> Query {
+    let ids = tables(db);
+    let mut children: Vec<usize> = (1..6).collect();
+    // Fisher-Yates shuffle.
+    for i in (1..children.len()).rev() {
+        let j = rng.below(i + 1);
+        children.swap(i, j);
+    }
+    let chosen: Vec<usize> = children.into_iter().take(n_children).collect();
+    let mut q_tables = vec![ids[0]];
+    q_tables.extend(chosen.iter().map(|&c| ids[c]));
+    let mut q = Query::count(q_tables);
+    // Predicates: first on title, the rest spread over the joined tables.
+    q = random_predicate(db, rng, q, "title");
+    for k in 1..n_preds {
+        let pick = chosen[k % chosen.len()];
+        q = random_predicate(db, rng, q, imdb::TABLES[pick]);
+    }
+    q
+}
+
+/// The 70-query JOB-light-style benchmark (2–5 joined tables, 1–4
+/// predicates), deterministic in `seed`.
+pub fn job_light(db: &Database, seed: u64) -> Vec<NamedQuery> {
+    let mut rng = Xor64::new(seed ^ 0x10B);
+    let mut out = Vec::with_capacity(70);
+    for i in 0..70 {
+        // Join-size mix of the real benchmark: mostly 2-4 tables.
+        let n_children = match i % 7 {
+            0 | 1 => 1,
+            2 | 3 | 4 => 2,
+            5 => 3,
+            _ => 4,
+        };
+        let n_preds = 1 + rng.below(4).min(n_children + 1);
+        let q = build_query(db, &mut rng, n_children, n_preds);
+        out.push(NamedQuery::new(format!("jl_{:02}", i + 1), q));
+    }
+    out
+}
+
+/// The synthetic generalization workload (Figures 1 and 7): `per_cell`
+/// queries for every (join size, predicate count) combination requested.
+pub fn synthetic(
+    db: &Database,
+    join_sizes: &[usize],
+    pred_counts: &[usize],
+    per_cell: usize,
+    seed: u64,
+) -> Vec<NamedQuery> {
+    let mut rng = Xor64::new(seed ^ 0x5F7);
+    let mut out = Vec::new();
+    for &tables in join_sizes {
+        for &preds in pred_counts {
+            for k in 0..per_cell {
+                let q = build_query(db, &mut rng, tables - 1, preds);
+                out.push(NamedQuery::new(format!("syn_t{tables}_p{preds}_{k}"), q));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ground_truth_cardinalities, Scale};
+
+    fn db() -> Database {
+        crate::imdb::generate(Scale { factor: 0.03, seed: 11 })
+    }
+
+    #[test]
+    fn job_light_is_70_valid_queries() {
+        let db = db();
+        let wl = job_light(&db, 1);
+        assert_eq!(wl.len(), 70);
+        for nq in &wl {
+            nq.query.validate(&db).unwrap_or_else(|e| panic!("{}: {e}", nq.name));
+            assert!(!nq.query.predicates.is_empty());
+            assert!(nq.query.tables.len() >= 2 && nq.query.tables.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn synthetic_grid_has_requested_shape() {
+        let db = db();
+        let wl = synthetic(&db, &[4, 5, 6], &[1, 2, 3, 4, 5], 2, 3);
+        assert_eq!(wl.len(), 3 * 5 * 2);
+        for nq in &wl {
+            nq.query.validate(&db).unwrap();
+        }
+        let six: Vec<_> = wl.iter().filter(|n| n.name.starts_with("syn_t6")).collect();
+        assert!(six.iter().all(|n| n.query.tables.len() == 6));
+    }
+
+    #[test]
+    fn ground_truths_are_mostly_nontrivial() {
+        let db = db();
+        let wl = job_light(&db, 1);
+        let truths = ground_truth_cardinalities(&db, &wl);
+        let nontrivial = truths.iter().filter(|&&t| t > 1.0).count();
+        assert!(nontrivial > 40, "only {nontrivial}/70 queries have nonzero results");
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let db = db();
+        let a = job_light(&db, 9);
+        let b = job_light(&db, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.query.tables, y.query.tables);
+            assert_eq!(format!("{:?}", x.query.predicates), format!("{:?}", y.query.predicates));
+        }
+    }
+}

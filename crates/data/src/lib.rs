@@ -1,0 +1,26 @@
+//! Synthetic datasets and workloads for the DeepDB evaluation.
+//!
+//! The paper evaluates on the real IMDb database (JOB-light), the Star
+//! Schema Benchmark at SF 500, and a Kaggle flight-delays dataset scaled to
+//! 10⁹ rows with IDEBench. None of those artifacts are available offline, so
+//! this crate generates structurally faithful substitutes (see DESIGN.md §4):
+//! the exact schemas and query shapes, with injected skew and cross-table
+//! correlations that exercise the same estimator failure modes, at
+//! laptop-friendly scales controlled by [`Scale`].
+//!
+//! * [`imdb`] — JOB-light schema (`title` + 5 FK children) and generator.
+//! * [`joblight`] — the 70-query JOB-light-style workload plus the synthetic
+//!   4–6-join / 1–5-predicate generalization workload (Figures 1 and 7).
+//! * [`ssb`] — Star Schema Benchmark generator and queries S1.1–S4.3.
+//! * [`flights`] — Flights generator and queries F1.1–F5.2.
+//! * [`updates`] — random/temporal split helpers for the update experiments
+//!   (Table 2).
+
+pub mod flights;
+pub mod imdb;
+pub mod joblight;
+pub mod ssb;
+pub mod updates;
+mod workload;
+
+pub use workload::{ground_truth_cardinalities, NamedQuery, Scale, Xor64};

@@ -1,0 +1,445 @@
+//! Star Schema Benchmark (O'Neil et al.) generator and queries S1.1–S4.3
+//! (paper §6.2).
+//!
+//! Dimensions are shrunk proportionally from the SF-500 setup the paper uses
+//! (documented in DESIGN.md §4); the 13 standard queries keep their filter
+//! structure, group-by columns, and the paper's selectivity ladder
+//! (3.42 % → 0.00007 %). Two substitutions, both noted in EXPERIMENTS.md:
+//! derived aggregates (`extendedprice*discount`, `revenue-supplycost`) are
+//! materialized as generator columns `lo_discounted` and `lo_profit`, since
+//! the supported query class aggregates single columns.
+
+use deepdb_storage::{Aggregate, ColumnRef, Database, Domain, PredOp, Query, TableSchema, Value};
+
+use crate::workload::{NamedQuery, Scale, Xor64};
+use deepdb_storage::CmpOp;
+
+/// Scaled dimension sizes.
+pub const N_REGIONS: i64 = 5;
+pub const N_NATIONS: i64 = 10; // 2 per region
+pub const N_CITIES: i64 = 30; // 3 per nation
+pub const N_MFGRS: i64 = 5;
+pub const N_CATEGORIES: i64 = 25; // 5 per mfgr
+pub const N_BRANDS: i64 = 125; // 5 per category
+pub const YEARS: (i64, i64) = (1992, 1998);
+
+/// Default row counts at scale 1.0.
+pub const DEFAULT_CUSTOMERS: usize = 3_000;
+pub const DEFAULT_SUPPLIERS: usize = 400;
+pub const DEFAULT_PARTS: usize = 2_500;
+pub const DEFAULT_LINEORDERS: usize = 400_000;
+
+/// Nation of a city / region of a nation (functional dependencies).
+pub fn nation_of_city(city: i64) -> i64 {
+    city / 3
+}
+pub fn region_of_nation(nation: i64) -> i64 {
+    nation / 2
+}
+/// Category of a brand / mfgr of a category.
+pub fn category_of_brand(brand: i64) -> i64 {
+    brand / 5
+}
+pub fn mfgr_of_category(category: i64) -> i64 {
+    category / 5
+}
+
+/// Build the SSB schema.
+pub fn schema() -> Database {
+    let mut db = Database::new("ssb");
+    db.create_table(
+        TableSchema::new("customer")
+            .pk("c_custkey")
+            .col("c_city", Domain::Discrete)
+            .col("c_nation", Domain::Discrete)
+            .col("c_region", Domain::Discrete)
+            .col("c_mktsegment", Domain::Discrete),
+    )
+    .expect("fresh catalog");
+    db.create_table(
+        TableSchema::new("supplier")
+            .pk("s_suppkey")
+            .col("s_city", Domain::Discrete)
+            .col("s_nation", Domain::Discrete)
+            .col("s_region", Domain::Discrete),
+    )
+    .expect("fresh catalog");
+    db.create_table(
+        TableSchema::new("part")
+            .pk("p_partkey")
+            .col("p_mfgr", Domain::Discrete)
+            .col("p_category", Domain::Discrete)
+            .col("p_brand1", Domain::Discrete),
+    )
+    .expect("fresh catalog");
+    db.create_table(
+        TableSchema::new("date")
+            .pk("d_datekey")
+            .col("d_year", Domain::Discrete)
+            .col("d_yearmonthnum", Domain::Discrete)
+            .col("d_weeknuminyear", Domain::Discrete),
+    )
+    .expect("fresh catalog");
+    db.create_table(
+        TableSchema::new("lineorder")
+            .pk("lo_orderkey")
+            .col("lo_custkey", Domain::Key)
+            .col("lo_partkey", Domain::Key)
+            .col("lo_suppkey", Domain::Key)
+            .col("lo_orderdate", Domain::Key)
+            .col("lo_quantity", Domain::Discrete)
+            .col("lo_discount", Domain::Discrete)
+            .col("lo_extendedprice", Domain::Continuous)
+            .col("lo_discounted", Domain::Continuous)
+            .col("lo_revenue", Domain::Continuous)
+            .col("lo_supplycost", Domain::Continuous)
+            .col("lo_profit", Domain::Continuous),
+    )
+    .expect("fresh catalog");
+    db.add_foreign_key("lineorder", "lo_custkey", "customer").expect("fk");
+    db.add_foreign_key("lineorder", "lo_partkey", "part").expect("fk");
+    db.add_foreign_key("lineorder", "lo_suppkey", "supplier").expect("fk");
+    db.add_foreign_key("lineorder", "lo_orderdate", "date").expect("fk");
+    db
+}
+
+/// Generate the database at the given scale.
+pub fn generate(scale: Scale) -> Database {
+    let mut db = schema();
+    let mut rng = Xor64::new(scale.seed ^ 0x55B);
+
+    let n_cust = scale.rows(DEFAULT_CUSTOMERS);
+    for k in 1..=n_cust as i64 {
+        let city = rng.below(N_CITIES as usize) as i64;
+        db.insert(
+            "customer",
+            &[
+                Value::Int(k),
+                Value::Int(city),
+                Value::Int(nation_of_city(city)),
+                Value::Int(region_of_nation(nation_of_city(city))),
+                Value::Int(rng.below(5) as i64),
+            ],
+        )
+        .expect("row");
+    }
+    let n_supp = scale.rows(DEFAULT_SUPPLIERS);
+    for k in 1..=n_supp as i64 {
+        let city = rng.below(N_CITIES as usize) as i64;
+        db.insert(
+            "supplier",
+            &[
+                Value::Int(k),
+                Value::Int(city),
+                Value::Int(nation_of_city(city)),
+                Value::Int(region_of_nation(nation_of_city(city))),
+            ],
+        )
+        .expect("row");
+    }
+    let n_part = scale.rows(DEFAULT_PARTS);
+    for k in 1..=n_part as i64 {
+        let brand = rng.zipf(N_BRANDS as usize) as i64;
+        db.insert(
+            "part",
+            &[
+                Value::Int(k),
+                Value::Int(mfgr_of_category(category_of_brand(brand))),
+                Value::Int(category_of_brand(brand)),
+                Value::Int(brand),
+            ],
+        )
+        .expect("row");
+    }
+    // Date dimension: every (year, month, week) day bucket.
+    let mut datekeys: Vec<i64> = Vec::new();
+    for year in YEARS.0..=YEARS.1 {
+        for month in 1..=12i64 {
+            for day_bucket in 0..4i64 {
+                let key = year * 10_000 + month * 100 + day_bucket;
+                let week = ((month - 1) * 4 + day_bucket) % 53 + 1;
+                db.insert(
+                    "date",
+                    &[
+                        Value::Int(key),
+                        Value::Int(year),
+                        Value::Int(year * 100 + month),
+                        Value::Int(week),
+                    ],
+                )
+                .expect("row");
+                datekeys.push(key);
+            }
+        }
+    }
+
+    let n_lo = scale.rows(DEFAULT_LINEORDERS);
+    for k in 1..=n_lo as i64 {
+        // Order dates skew toward later years (growth), which correlates
+        // revenue with the date dimension.
+        let di = (rng.f64().powf(0.7) * datekeys.len() as f64) as usize % datekeys.len();
+        let datekey = datekeys[di];
+        let custkey = 1 + rng.below(n_cust) as i64;
+        let partkey = 1 + rng.zipf(n_part) as i64;
+        let suppkey = 1 + rng.below(n_supp) as i64;
+        let quantity = 1 + rng.below(50) as i64;
+        let discount = rng.below(11) as i64;
+        let price = 900.0 + rng.f64() * 10_000.0;
+        let extended = price * quantity as f64 / 10.0;
+        let discounted = extended * discount as f64 / 100.0;
+        let revenue = extended * (1.0 - discount as f64 / 100.0);
+        let supplycost = 0.6 * extended * (0.8 + 0.4 * rng.f64());
+        db.insert(
+            "lineorder",
+            &[
+                Value::Int(k),
+                Value::Int(custkey),
+                Value::Int(partkey),
+                Value::Int(suppkey),
+                Value::Int(datekey),
+                Value::Int(quantity),
+                Value::Int(discount),
+                Value::Float(extended),
+                Value::Float(discounted),
+                Value::Float(revenue),
+                Value::Float(supplycost),
+                Value::Float(revenue - supplycost),
+            ],
+        )
+        .expect("row");
+    }
+    db
+}
+
+/// Column helper.
+fn col(db: &Database, table: &str, col: &str) -> ColumnRef {
+    let (t, c) = db.column_id(table, col).expect("ssb schema");
+    ColumnRef { table: t, column: c }
+}
+
+/// The 13 standard SSB queries (S1.1–S4.3), adapted as documented in the
+/// module docs. Aggregates use `lo_discounted` (S1.x, for
+/// `extendedprice*discount`), `lo_revenue` (S2.x, S3.x), and `lo_profit`
+/// (S4.x, for `revenue-supplycost`).
+pub fn queries(db: &Database) -> Vec<NamedQuery> {
+    let lo = db.table_id("lineorder").expect("ssb");
+    let c = db.table_id("customer").expect("ssb");
+    let s = db.table_id("supplier").expect("ssb");
+    let p = db.table_id("part").expect("ssb");
+    let d = db.table_id("date").expect("ssb");
+    let (d_year, d_ymn, d_week) = (1, 2, 3);
+    let (lo_qty, lo_disc) = (5, 6);
+    let discounted = col(db, "lineorder", "lo_discounted");
+    let revenue = col(db, "lineorder", "lo_revenue");
+    let profit = col(db, "lineorder", "lo_profit");
+
+    let mut out = Vec::new();
+    // Flight 1: no group-by, discount/quantity + date filters.
+    out.push(NamedQuery::new(
+        "S1.1",
+        Query::count(vec![lo, d])
+            .filter(d, d_year, PredOp::Cmp(CmpOp::Eq, Value::Int(1993)))
+            .filter(lo, lo_disc, PredOp::Between(Value::Int(1), Value::Int(3)))
+            .filter(lo, lo_qty, PredOp::Cmp(CmpOp::Lt, Value::Int(25)))
+            .aggregate(Aggregate::Sum(discounted)),
+    ));
+    out.push(NamedQuery::new(
+        "S1.2",
+        Query::count(vec![lo, d])
+            .filter(d, d_ymn, PredOp::Cmp(CmpOp::Eq, Value::Int(199401)))
+            .filter(lo, lo_disc, PredOp::Between(Value::Int(4), Value::Int(6)))
+            .filter(lo, lo_qty, PredOp::Between(Value::Int(26), Value::Int(35)))
+            .aggregate(Aggregate::Sum(discounted)),
+    ));
+    out.push(NamedQuery::new(
+        "S1.3",
+        Query::count(vec![lo, d])
+            .filter(d, d_week, PredOp::Cmp(CmpOp::Eq, Value::Int(6)))
+            .filter(d, d_year, PredOp::Cmp(CmpOp::Eq, Value::Int(1994)))
+            .filter(lo, lo_disc, PredOp::Between(Value::Int(5), Value::Int(7)))
+            .filter(lo, lo_qty, PredOp::Between(Value::Int(26), Value::Int(35)))
+            .aggregate(Aggregate::Sum(discounted)),
+    ));
+    // Flight 2: part/supplier filters, group by year × brand.
+    out.push(NamedQuery::new(
+        "S2.1",
+        Query::count(vec![lo, p, s, d])
+            .filter(p, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(12)))
+            .filter(s, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))
+            .aggregate(Aggregate::Sum(revenue))
+            .group(d, d_year)
+            .group(p, 3),
+    ));
+    out.push(NamedQuery::new(
+        "S2.2",
+        Query::count(vec![lo, p, s, d])
+            .filter(p, 3, PredOp::Between(Value::Int(60), Value::Int(67)))
+            .filter(s, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(2)))
+            .aggregate(Aggregate::Sum(revenue))
+            .group(d, d_year)
+            .group(p, 3),
+    ));
+    out.push(NamedQuery::new(
+        "S2.3",
+        Query::count(vec![lo, p, s, d])
+            .filter(p, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(30)))
+            .filter(s, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(3)))
+            .aggregate(Aggregate::Sum(revenue))
+            .group(d, d_year)
+            .group(p, 3),
+    ));
+    // Flight 3: customer × supplier geography over time.
+    out.push(NamedQuery::new(
+        "S3.1",
+        Query::count(vec![lo, c, s, d])
+            .filter(c, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(2)))
+            .filter(s, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(2)))
+            .filter(d, d_year, PredOp::Between(Value::Int(1992), Value::Int(1997)))
+            .aggregate(Aggregate::Sum(revenue))
+            .group(c, 2)
+            .group(s, 2)
+            .group(d, d_year),
+    ));
+    out.push(NamedQuery::new(
+        "S3.2",
+        Query::count(vec![lo, c, s, d])
+            .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(4)))
+            .filter(s, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(4)))
+            .filter(d, d_year, PredOp::Between(Value::Int(1992), Value::Int(1997)))
+            .aggregate(Aggregate::Sum(revenue))
+            .group(c, 1)
+            .group(s, 1)
+            .group(d, d_year),
+    ));
+    out.push(NamedQuery::new(
+        "S3.3",
+        Query::count(vec![lo, c, s, d])
+            .filter(c, 1, PredOp::In(vec![Value::Int(12), Value::Int(13)]))
+            .filter(s, 1, PredOp::In(vec![Value::Int(12), Value::Int(13)]))
+            .filter(d, d_year, PredOp::Between(Value::Int(1992), Value::Int(1997)))
+            .aggregate(Aggregate::Sum(revenue))
+            .group(c, 1)
+            .group(s, 1)
+            .group(d, d_year),
+    ));
+    out.push(NamedQuery::new(
+        "S3.4",
+        Query::count(vec![lo, c, s, d])
+            .filter(c, 1, PredOp::In(vec![Value::Int(12), Value::Int(13)]))
+            .filter(s, 1, PredOp::In(vec![Value::Int(12), Value::Int(13)]))
+            .filter(d, d_ymn, PredOp::Cmp(CmpOp::Eq, Value::Int(199712)))
+            .aggregate(Aggregate::Sum(revenue))
+            .group(c, 1)
+            .group(s, 1)
+            .group(d, d_year),
+    ));
+    // Flight 4: profit queries.
+    out.push(NamedQuery::new(
+        "S4.1",
+        Query::count(vec![lo, c, s, p, d])
+            .filter(c, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))
+            .filter(s, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))
+            .filter(p, 1, PredOp::In(vec![Value::Int(0), Value::Int(1)]))
+            .aggregate(Aggregate::Sum(profit))
+            .group(d, d_year)
+            .group(c, 2),
+    ));
+    out.push(NamedQuery::new(
+        "S4.2",
+        Query::count(vec![lo, c, s, p, d])
+            .filter(c, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))
+            .filter(s, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))
+            .filter(p, 1, PredOp::In(vec![Value::Int(0), Value::Int(1)]))
+            .filter(d, d_year, PredOp::In(vec![Value::Int(1997), Value::Int(1998)]))
+            .aggregate(Aggregate::Sum(profit))
+            .group(d, d_year)
+            .group(s, 2)
+            .group(p, 2),
+    ));
+    out.push(NamedQuery::new(
+        "S4.3",
+        Query::count(vec![lo, c, s, p, d])
+            .filter(c, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))
+            .filter(s, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(3)))
+            .filter(p, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(7)))
+            .filter(d, d_year, PredOp::In(vec![Value::Int(1997), Value::Int(1998)]))
+            .aggregate(Aggregate::Sum(profit))
+            .group(d, d_year)
+            .group(s, 1)
+            .group(p, 3),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepdb_storage::execute;
+
+    fn tiny() -> Database {
+        generate(Scale { factor: 0.02, seed: 3 }) // 8k lineorders
+    }
+
+    #[test]
+    fn integrity_and_fds_hold() {
+        let db = tiny();
+        db.validate_integrity().unwrap();
+        // city → nation → region functional dependencies.
+        let c = db.table(db.table_id("customer").unwrap());
+        for r in 0..c.n_rows() {
+            let city = c.column(1).i64_at(r).unwrap();
+            let nation = c.column(2).i64_at(r).unwrap();
+            let region = c.column(3).i64_at(r).unwrap();
+            assert_eq!(nation, nation_of_city(city));
+            assert_eq!(region, region_of_nation(nation));
+        }
+        // brand → category → mfgr.
+        let p = db.table(db.table_id("part").unwrap());
+        for r in 0..p.n_rows() {
+            let brand = p.column(3).i64_at(r).unwrap();
+            assert_eq!(p.column(2).i64_at(r).unwrap(), category_of_brand(brand));
+            assert_eq!(p.column(1).i64_at(r).unwrap(), mfgr_of_category(category_of_brand(brand)));
+        }
+    }
+
+    #[test]
+    fn queries_validate_and_have_selectivity_ladder() {
+        let db = tiny();
+        let qs = queries(&db);
+        assert_eq!(qs.len(), 13);
+        let total =
+            db.table(db.table_id("lineorder").unwrap()).n_rows() as f64;
+        let mut sels = Vec::new();
+        for nq in &qs {
+            nq.query.validate(&db).unwrap_or_else(|e| panic!("{}: {e}", nq.name));
+            let count = execute(&db, &nq.query).unwrap().scalar().count as f64;
+            sels.push((nq.name.clone(), count / total));
+        }
+        // S1.1 is the most selective flight-1 query at a few percent.
+        let s11 = sels[0].1;
+        assert!(s11 > 0.005 && s11 < 0.2, "S1.1 selectivity {s11}");
+        // The ladder descends: S3.4 must be (near-)empty at tiny scale.
+        let s34 = sels[9].1;
+        assert!(s34 < 0.001, "S3.4 selectivity {s34}");
+    }
+
+    #[test]
+    fn lineorder_profit_is_consistent() {
+        let db = tiny();
+        let lo = db.table(db.table_id("lineorder").unwrap());
+        for r in (0..lo.n_rows()).step_by(97) {
+            let rev = lo.column(9).f64_or_nan(r);
+            let cost = lo.column(10).f64_or_nan(r);
+            let profit = lo.column(11).f64_or_nan(r);
+            assert!((profit - (rev - cost)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn grouped_query_executes_with_groups() {
+        let db = tiny();
+        let qs = queries(&db);
+        let out = execute(&db, &qs[3].query).unwrap(); // S2.1
+        assert!(!out.groups().is_empty(), "S2.1 should produce groups");
+    }
+}

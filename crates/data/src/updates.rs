@@ -1,0 +1,143 @@
+//! Split helpers for the update experiments (paper Table 2): learn the
+//! ensemble on part of IMDb, then stream the held-out tuples through the
+//! RSPN update path.
+
+use deepdb_storage::{Database, TableId, Value};
+
+use crate::imdb;
+use crate::workload::{Scale, Xor64};
+
+/// A pending insert: (table id, row values). Ordered so that parents precede
+/// their children (referential integrity is preserved at every prefix).
+pub type InsertStream = Vec<(TableId, Vec<Value>)>;
+
+/// Split the synthetic IMDb so that a random `held_out` fraction of titles
+/// (with all their children) is returned as an insert stream.
+pub fn split_imdb_random(scale: Scale, held_out: f64, seed: u64) -> (Database, InsertStream) {
+    let full = imdb::generate(scale);
+    let mut rng = Xor64::new(seed ^ 0x0DD5);
+    split(full, |_, _| rng.f64() < held_out)
+}
+
+/// Split the synthetic IMDb temporally: every title with
+/// `production_year >= cutoff` is held out. Returns the held-out share too.
+pub fn split_imdb_temporal(scale: Scale, cutoff_year: i64) -> (Database, InsertStream, f64) {
+    let full = imdb::generate(scale);
+    let titles = full.table(full.table_id("title").expect("imdb")).n_rows();
+    let (db, stream) = split(full, |_, year| year >= cutoff_year);
+    let held = stream
+        .iter()
+        .filter(|(t, _)| *t == db.table_id("title").expect("imdb"))
+        .count();
+    let share = held as f64 / titles as f64;
+    (db, stream, share)
+}
+
+/// The production-year cutoff that holds out approximately `fraction` of
+/// titles (mirrors the paper's "< 2011 (4.7%)" style splits).
+pub fn cutoff_for_fraction(scale: Scale, fraction: f64) -> i64 {
+    let full = imdb::generate(scale);
+    let t = full.table(full.table_id("title").expect("imdb"));
+    let mut years: Vec<i64> = (0..t.n_rows()).filter_map(|r| t.column(2).i64_at(r)).collect();
+    years.sort_unstable();
+    let idx = ((1.0 - fraction) * years.len() as f64) as usize;
+    years[idx.min(years.len() - 1)]
+}
+
+/// Partition a generated IMDb by a title predicate `(title_id, year) →
+/// held_out`.
+fn split(full: Database, mut hold: impl FnMut(i64, i64) -> bool) -> (Database, InsertStream) {
+    let title_tid = full.table_id("title").expect("imdb");
+    let title = full.table(title_tid);
+    let mut held: std::collections::HashSet<i64> = std::collections::HashSet::new();
+    for r in 0..title.n_rows() {
+        let id = title.column(0).i64_at(r).expect("pk");
+        let year = title.column(2).i64_at(r).expect("year");
+        if hold(id, year) {
+            held.insert(id);
+        }
+    }
+
+    let mut db = imdb::schema();
+    let mut stream: InsertStream = Vec::new();
+    // Titles first (parents), preserving id order for determinism.
+    for r in 0..title.n_rows() {
+        let values = title.row_values(r);
+        let id = values[0].as_i64().expect("pk");
+        if held.contains(&id) {
+            stream.push((title_tid, values));
+        } else {
+            db.insert("title", &values).expect("row");
+        }
+    }
+    // Children follow their movie_id.
+    for name in &imdb::TABLES[1..] {
+        let tid = full.table_id(name).expect("imdb");
+        let table = full.table(tid);
+        for r in 0..table.n_rows() {
+            let values = table.row_values(r);
+            let movie = values[1].as_i64().expect("fk");
+            if held.contains(&movie) {
+                stream.push((tid, values));
+            } else {
+                db.insert(name, &values).expect("row");
+            }
+        }
+    }
+    // Order the stream so parents precede children: stable partition by
+    // table id (title first) keeps integrity at each prefix because children
+    // only reference held-out titles.
+    stream.sort_by_key(|(t, _)| *t);
+    (db, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: Scale = Scale { factor: 0.02, seed: 13 };
+
+    #[test]
+    fn random_split_preserves_integrity_at_every_prefix() {
+        let (mut db, stream) = split_imdb_random(SCALE, 0.2, 1);
+        db.validate_integrity().unwrap();
+        assert!(!stream.is_empty());
+        // Replaying the full stream restores the complete database.
+        let full = imdb::generate(SCALE);
+        for (t, values) in &stream {
+            db.table_mut(*t).push_row(values).unwrap();
+        }
+        db.validate_integrity().unwrap();
+        for t in 0..db.n_tables() {
+            assert_eq!(db.table(t).n_rows(), full.table(t).n_rows(), "table {t}");
+        }
+    }
+
+    #[test]
+    fn temporal_split_holds_out_recent_titles() {
+        let cutoff = cutoff_for_fraction(SCALE, 0.2);
+        let (db, stream, share) = split_imdb_temporal(SCALE, cutoff);
+        assert!((share - 0.2).abs() < 0.05, "held-out share {share}");
+        let title = db.table(db.table_id("title").unwrap());
+        for r in 0..title.n_rows() {
+            assert!(title.column(2).i64_at(r).unwrap() < cutoff);
+        }
+        let tid = db.table_id("title").unwrap();
+        for (t, values) in &stream {
+            if *t == tid {
+                assert!(values[2].as_i64().unwrap() >= cutoff);
+            }
+        }
+    }
+
+    #[test]
+    fn held_out_fraction_tracks_request() {
+        for frac in [0.05, 0.4] {
+            let (_, stream) = split_imdb_random(SCALE, frac, 2);
+            let full = imdb::generate(SCALE);
+            let total: usize = (0..full.n_tables()).map(|t| full.table(t).n_rows()).sum();
+            let got = stream.len() as f64 / total as f64;
+            assert!((got - frac).abs() < 0.1, "requested {frac}, got {got}");
+        }
+    }
+}

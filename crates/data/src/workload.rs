@@ -1,0 +1,145 @@
+//! Shared workload types and scaling knobs.
+
+use deepdb_storage::{execute, Database, Query};
+
+/// A named benchmark query.
+#[derive(Debug, Clone)]
+pub struct NamedQuery {
+    /// Identifier as reported in the paper (e.g. `"S1.1"`, `"F2.3"`).
+    pub name: String,
+    pub query: Query,
+}
+
+impl NamedQuery {
+    pub fn new(name: impl Into<String>, query: Query) -> Self {
+        Self { name: name.into(), query }
+    }
+}
+
+/// Dataset scale configuration, read from `DEEPDB_SCALE` (a multiplier on
+/// the default row counts) and `DEEPDB_SEED`.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Multiplier on default base-table row counts.
+    pub factor: f64,
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self { factor: 1.0, seed: 42 }
+    }
+}
+
+impl Scale {
+    /// Read from the environment (`DEEPDB_SCALE`, `DEEPDB_SEED`), with
+    /// defaults suitable for a laptop run.
+    pub fn from_env() -> Self {
+        let factor = std::env::var("DEEPDB_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|v| *v > 0.0)
+            .unwrap_or(1.0);
+        let seed = std::env::var("DEEPDB_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(42);
+        Self { factor, seed }
+    }
+
+    /// Apply the factor to a default row count (min 10 rows).
+    pub fn rows(&self, default_rows: usize) -> usize {
+        ((default_rows as f64 * self.factor) as usize).max(10)
+    }
+}
+
+/// True cardinalities of a workload, computed with the ground-truth
+/// executor. Queries with zero true cardinality are reported as 1 (q-error
+/// convention used by the paper's tooling).
+pub fn ground_truth_cardinalities(db: &Database, workload: &[NamedQuery]) -> Vec<f64> {
+    workload
+        .iter()
+        .map(|nq| {
+            let out = execute(db, &nq.query).expect("workload queries are valid");
+            (out.scalar().count as f64).max(1.0)
+        })
+        .collect()
+}
+
+/// Deterministic xorshift helper shared by the generators.
+#[derive(Debug, Clone)]
+pub struct Xor64 {
+    state: u64,
+}
+
+impl Xor64 {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in [0, n).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.f64() * n as f64) as usize % n.max(1)
+    }
+
+    /// Approximately normal via sum of uniforms (Irwin–Hall, k=12).
+    pub fn gaussian(&mut self, mean: f64, std: f64) -> f64 {
+        let s: f64 = (0..12).map(|_| self.f64()).sum::<f64>() - 6.0;
+        mean + std * s
+    }
+
+    /// Zipf-ish rank in [0, n) with exponent ~1 (skewed categorical draws).
+    pub fn zipf(&mut self, n: usize) -> usize {
+        let u = self.f64().max(1e-12);
+        let r = ((n as f64).powf(u) - 1.0) as usize;
+        r.min(n.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_rows_applies_factor() {
+        let s = Scale { factor: 0.5, seed: 1 };
+        assert_eq!(s.rows(1000), 500);
+        assert_eq!(s.rows(4), 10, "floor at 10 rows");
+    }
+
+    #[test]
+    fn xor64_is_deterministic_and_in_range() {
+        let mut a = Xor64::new(9);
+        let mut b = Xor64::new(9);
+        for _ in 0..100 {
+            let x = a.f64();
+            assert_eq!(x, b.f64());
+            assert!((0.0..1.0).contains(&x));
+        }
+        for _ in 0..100 {
+            assert!(a.below(7) < 7);
+            let z = a.zipf(50);
+            assert!(z < 50);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut rng = Xor64::new(3);
+        let n = 10_000;
+        let low = (0..n).filter(|_| rng.zipf(100) < 10).count();
+        assert!(low > n / 3, "zipf should concentrate mass on low ranks: {low}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Cholesky factorization and triangular solves.
+
+use crate::Matrix;
+
+/// Errors from [`cholesky`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// Input was not square.
+    NotSquare,
+    /// A pivot was non-positive: the matrix is not positive definite.
+    NotPositiveDefinite { pivot: usize },
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotSquare => write!(f, "cholesky requires a square matrix"),
+            Self::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Lower-triangular Cholesky factor `L` with `L·Lᵀ = A`.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    l: Matrix,
+}
+
+/// Factor a symmetric positive-definite matrix.
+///
+/// Only the lower triangle of `a` is read, so slightly asymmetric inputs
+/// (floating-point noise) are tolerated.
+pub fn cholesky(a: &Matrix) -> Result<CholeskyFactor, CholeskyError> {
+    if a.rows() != a.cols() {
+        return Err(CholeskyError::NotSquare);
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut diag = a[(j, j)];
+        for k in 0..j {
+            diag -= l[(j, k)] * l[(j, k)];
+        }
+        if diag <= 0.0 || !diag.is_finite() {
+            return Err(CholeskyError::NotPositiveDefinite { pivot: j });
+        }
+        let dsqrt = diag.sqrt();
+        l[(j, j)] = dsqrt;
+        for i in (j + 1)..n {
+            let mut v = a[(i, j)];
+            for k in 0..j {
+                v -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = v / dsqrt;
+        }
+    }
+    Ok(CholeskyFactor { l })
+}
+
+impl CholeskyFactor {
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `L · X = B` (forward substitution), column by column.
+    pub fn solve_lower(&self, b: &Matrix) -> Matrix {
+        let n = self.l.rows();
+        assert_eq!(b.rows(), n, "rhs row mismatch");
+        let mut x = b.clone();
+        for col in 0..b.cols() {
+            for i in 0..n {
+                let mut v = x[(i, col)];
+                for k in 0..i {
+                    v -= self.l[(i, k)] * x[(k, col)];
+                }
+                x[(i, col)] = v / self.l[(i, i)];
+            }
+        }
+        x
+    }
+
+    /// Solve `Lᵀ · X = B` (backward substitution), column by column.
+    pub fn solve_upper(&self, b: &Matrix) -> Matrix {
+        let n = self.l.rows();
+        assert_eq!(b.rows(), n, "rhs row mismatch");
+        let mut x = b.clone();
+        for col in 0..b.cols() {
+            for i in (0..n).rev() {
+                let mut v = x[(i, col)];
+                for k in (i + 1)..n {
+                    v -= self.l[(k, i)] * x[(k, col)];
+                }
+                x[(i, col)] = v / self.l[(i, i)];
+            }
+        }
+        x
+    }
+
+    /// Solve `A · X = B` where `A = L·Lᵀ`.
+    pub fn solve(&self, b: &Matrix) -> Matrix {
+        self.solve_upper(&self.solve_lower(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = M·Mᵀ + I for a fixed M is SPD by construction.
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]])
+    }
+
+    #[test]
+    fn factor_reconstructs_input() {
+        let a = spd3();
+        let f = cholesky(&a).unwrap();
+        let back = f.l().matmul(&f.l().transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((back[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_rhs() {
+        let a = spd3();
+        let f = cholesky(&a).unwrap();
+        let x_true = Matrix::from_rows(&[&[1.0], &[-2.0], &[0.5]]);
+        let b = a.matmul(&x_true);
+        let x = f.solve(&b);
+        for i in 0..3 {
+            assert!((x[(i, 0)] - x_true[(i, 0)]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(cholesky(&a), Err(CholeskyError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(cholesky(&a).unwrap_err(), CholeskyError::NotSquare);
+    }
+
+    #[test]
+    fn identity_factor_is_identity() {
+        let f = cholesky(&Matrix::identity(4)).unwrap();
+        assert_eq!(f.l(), &Matrix::identity(4));
+    }
+}

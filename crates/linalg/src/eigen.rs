@@ -1,0 +1,164 @@
+//! Jacobi eigenvalue iteration for symmetric matrices.
+//!
+//! The classical cyclic Jacobi method: repeatedly zero the largest
+//! off-diagonal element with a Givens rotation until the off-diagonal mass is
+//! negligible. Cubic per sweep but our matrices are tiny (k ≈ 20 for RDC), so
+//! robustness beats asymptotics.
+
+use crate::Matrix;
+
+/// Convergence controls for [`symmetric_eigenvalues`].
+#[derive(Debug, Clone, Copy)]
+pub struct EigenOptions {
+    /// Stop when the largest off-diagonal magnitude falls below this.
+    pub tolerance: f64,
+    /// Hard cap on sweeps to guarantee termination.
+    pub max_sweeps: usize,
+}
+
+impl Default for EigenOptions {
+    fn default() -> Self {
+        Self { tolerance: 1e-12, max_sweeps: 100 }
+    }
+}
+
+/// Eigenvalues of a symmetric matrix, sorted descending.
+///
+/// Symmetry is enforced by averaging `a` with its transpose, so inputs that
+/// are symmetric up to floating-point noise are fine.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn symmetric_eigenvalues(a: &Matrix, opts: EigenOptions) -> Vec<f64> {
+    assert_eq!(a.rows(), a.cols(), "eigenvalues of a non-square matrix");
+    let n = a.rows();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Symmetrize defensively.
+    let mut m = a.clone();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let avg = 0.5 * (m[(i, j)] + m[(j, i)]);
+            m[(i, j)] = avg;
+            m[(j, i)] = avg;
+        }
+    }
+
+    for _sweep in 0..opts.max_sweeps {
+        // Largest off-diagonal element.
+        let mut p = 0;
+        let mut q = 1.min(n - 1);
+        let mut max = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = m[(i, j)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                    q = j;
+                }
+            }
+        }
+        if n < 2 || max < opts.tolerance {
+            break;
+        }
+        // Givens rotation annihilating m[p][q].
+        let app = m[(p, p)];
+        let aqq = m[(q, q)];
+        let apq = m[(p, q)];
+        let theta = (aqq - app) / (2.0 * apq);
+        let t = if theta >= 0.0 {
+            1.0 / (theta + (1.0 + theta * theta).sqrt())
+        } else {
+            1.0 / (theta - (1.0 + theta * theta).sqrt())
+        };
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        let s = t * c;
+
+        for k in 0..n {
+            let akp = m[(k, p)];
+            let akq = m[(k, q)];
+            m[(k, p)] = c * akp - s * akq;
+            m[(k, q)] = s * akp + c * akq;
+        }
+        for k in 0..n {
+            let apk = m[(p, k)];
+            let aqk = m[(q, k)];
+            m[(p, k)] = c * apk - s * aqk;
+            m[(q, k)] = s * apk + c * aqk;
+        }
+        // Re-symmetrize the rotated pair to kill rounding drift.
+        m[(p, q)] = 0.0;
+        m[(q, p)] = 0.0;
+    }
+
+    let mut eig: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    eig.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    eig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_returns_diagonal() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = -1.0;
+        a[(2, 2)] = 7.0;
+        let e = symmetric_eigenvalues(&a, EigenOptions::default());
+        assert_eq!(e, vec![7.0, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = symmetric_eigenvalues(&a, EigenOptions::default());
+        assert!((e[0] - 3.0).abs() < 1e-10);
+        assert!((e[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trace_and_frobenius_are_preserved() {
+        // Deterministic pseudo-random symmetric matrix.
+        let n = 8;
+        let mut a = Matrix::zeros(n, n);
+        let mut state = 42u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let frob2: f64 = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).map(|(i, j)| a[(i, j)] * a[(i, j)]).sum();
+        let e = symmetric_eigenvalues(&a, EigenOptions::default());
+        let esum: f64 = e.iter().sum();
+        let e2: f64 = e.iter().map(|v| v * v).sum();
+        assert!((esum - trace).abs() < 1e-8, "trace {trace} vs eig sum {esum}");
+        assert!((e2 - frob2).abs() < 1e-8, "frobenius mismatch");
+    }
+
+    #[test]
+    fn psd_matrix_has_nonnegative_eigenvalues() {
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let a = b.t_matmul(&b); // BᵀB is PSD
+        let e = symmetric_eigenvalues(&a, EigenOptions::default());
+        for v in e {
+            assert!(v > -1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        assert!(symmetric_eigenvalues(&Matrix::zeros(0, 0), EigenOptions::default()).is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! Minimal dense linear algebra for DeepDB.
+//!
+//! Provides exactly what the RDC dependence test needs: a dense row-major
+//! [`Matrix`], matrix products, Cholesky factorization with triangular
+//! solves, a Jacobi eigensolver for symmetric matrices, and canonical
+//! correlation analysis built from those pieces. Everything is `f64` and
+//! written from scratch — no external numeric dependencies.
+
+mod cca;
+mod cholesky;
+mod eigen;
+mod matrix;
+
+pub use cca::{canonical_correlation, CcaError};
+pub use cholesky::{cholesky, CholeskyError, CholeskyFactor};
+pub use eigen::{symmetric_eigenvalues, EigenOptions};
+pub use matrix::Matrix;

@@ -1,0 +1,13 @@
+//! Minimal neural-network library for the workload-driven baselines.
+//!
+//! Provides exactly what the MCSN cardinality estimator (Kipf et al., CIDR
+//! 2019) and the MLP regression baseline of Figure 13 need: dense layers
+//! with ReLU, mean-pooling over sets, MSE loss, and the Adam optimizer —
+//! all hand-written with analytically derived, numerically verified
+//! gradients. No tensors, no autograd: the models are small and fixed-shape.
+
+mod mcsn;
+mod mlp;
+
+pub use mcsn::{McsnNet, SetSample};
+pub use mlp::{Adam, Dense, Mlp};

@@ -1,0 +1,325 @@
+//! Dense layers, multi-layer perceptrons, and Adam.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One fully-connected layer `y = act(Wx + b)` with ReLU or identity
+/// activation and accumulated gradients.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    pub in_dim: usize,
+    pub out_dim: usize,
+    /// Row-major weights: `w[o * in_dim + i]`.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    relu: bool,
+    // Accumulated gradients (cleared by the optimizer step).
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+}
+
+impl Dense {
+    /// He-initialized layer.
+    pub fn new(in_dim: usize, out_dim: usize, relu: bool, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / in_dim.max(1) as f64).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| {
+                // Box-Muller normal draw.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                scale * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+        Self {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            relu,
+            gw: vec![0.0; in_dim * out_dim],
+            gb: vec![0.0; out_dim],
+        }
+    }
+
+    /// Forward pass; returns post-activation output.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.in_dim);
+        let mut out = Vec::with_capacity(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut v = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                v += wi * xi;
+            }
+            out.push(if self.relu { v.max(0.0) } else { v });
+        }
+        out
+    }
+
+    /// Backward pass: accumulate parameter gradients and return ∂L/∂x.
+    /// `x` and `y` are the cached forward input/output.
+    pub fn backward(&mut self, x: &[f64], y: &[f64], grad_out: &[f64]) -> Vec<f64> {
+        let mut grad_in = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            // ReLU gate: output 0 ⇒ dead unit (y > 0 iff pre-activation > 0).
+            let g = if self.relu && y[o] <= 0.0 { 0.0 } else { grad_out[o] };
+            if g == 0.0 {
+                continue;
+            }
+            self.gb[o] += g;
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let grow = &mut self.gw[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                grow[i] += g * x[i];
+                grad_in[i] += g * row[i];
+            }
+        }
+        grad_in
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// A plain MLP: a stack of [`Dense`] layers (ReLU on all but the last).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    pub layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build with the given layer sizes, e.g. `[8, 32, 32, 1]`.
+    pub fn new(sizes: &[usize], rng: &mut StdRng) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Dense::new(w[0], w[1], i + 2 < sizes.len(), rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Forward pass returning all intermediate activations (inputs first).
+    pub fn forward_cached(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(acts.last().expect("nonempty"));
+            acts.push(next);
+        }
+        acts
+    }
+
+    /// Plain forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Backward from output gradient through all layers; returns ∂L/∂x.
+    pub fn backward(&mut self, acts: &[Vec<f64>], grad_out: Vec<f64>) -> Vec<f64> {
+        let mut grad = grad_out;
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            grad = layer.backward(&acts[i], &acts[i + 1], &grad);
+        }
+        grad
+    }
+
+    /// One SGD-style training pair with MSE loss via the supplied optimizer.
+    /// Returns the squared error.
+    pub fn train_mse(&mut self, x: &[f64], target: f64, opt: &mut Adam) -> f64 {
+        let acts = self.forward_cached(x);
+        let out = acts.last().expect("output")[0];
+        let err = out - target;
+        self.backward(&acts, vec![2.0 * err]);
+        opt.step(self);
+        err * err
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+}
+
+/// Adam optimizer state over one or more [`Mlp`]s' parameters.
+///
+/// State is keyed positionally, so always call [`Adam::step`] with the same
+/// network.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub lr: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    pub eps: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    pub fn new(lr: f64) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Apply accumulated gradients of `net` and clear them.
+    pub fn step(&mut self, net: &mut Mlp) {
+        self.step_many(&mut [net]);
+    }
+
+    /// Apply accumulated gradients across several networks (shared step
+    /// counter), clearing them.
+    pub fn step_many(&mut self, nets: &mut [&mut Mlp]) {
+        let total: usize = nets.iter().map(|n| n.param_count()).sum();
+        if self.m.len() != total {
+            self.m = vec![0.0; total];
+            self.v = vec![0.0; total];
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let mut k = 0;
+        let update = |p: &mut f64, g: &mut f64, m: &mut f64, v: &mut f64| {
+            *m = beta1 * *m + (1.0 - beta1) * *g;
+            *v = beta2 * *v + (1.0 - beta2) * *g * *g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            *p -= lr * mhat / (vhat.sqrt() + eps);
+            *g = 0.0;
+        };
+        for net in nets.iter_mut() {
+            for layer in &mut net.layers {
+                for (p, g) in layer.w.iter_mut().zip(layer.gw.iter_mut()) {
+                    update(p, g, &mut self.m[k], &mut self.v[k]);
+                    k += 1;
+                }
+                for (p, g) in layer.b.iter_mut().zip(layer.gb.iter_mut()) {
+                    update(p, g, &mut self.m[k], &mut self.v[k]);
+                    k += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn seeded_rng(seed: u64) -> StdRng {
+    use rand::SeedableRng;
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = seeded_rng(1);
+        let mlp = Mlp::new(&[3, 8, 1], &mut rng);
+        let y = mlp.forward(&[0.1, -0.2, 0.3]);
+        assert_eq!(y.len(), 1);
+        assert!(y[0].is_finite());
+    }
+
+    #[test]
+    fn analytic_gradient_matches_numerical() {
+        let mut rng = seeded_rng(7);
+        let mut mlp = Mlp::new(&[4, 6, 1], &mut rng);
+        let x = [0.3, -0.5, 0.9, 0.1];
+        let target = 0.7;
+
+        // Analytic gradients.
+        let acts = mlp.forward_cached(&x);
+        let out = acts.last().unwrap()[0];
+        mlp.backward(&acts, vec![2.0 * (out - target)]);
+        let analytic: Vec<f64> = mlp
+            .layers
+            .iter()
+            .flat_map(|l| l.gw.iter().chain(l.gb.iter()).copied().collect::<Vec<_>>())
+            .collect();
+
+        // Numerical gradients via central differences.
+        let loss = |m: &Mlp| {
+            let o = m.forward(&x)[0];
+            (o - target) * (o - target)
+        };
+        let eps = 1e-6;
+        let mut k = 0;
+        for li in 0..mlp.layers.len() {
+            let nw = mlp.layers[li].w.len();
+            let nb = mlp.layers[li].b.len();
+            for pi in 0..nw + nb {
+                let read = |m: &Mlp, i: usize| {
+                    if i < nw {
+                        m.layers[li].w[i]
+                    } else {
+                        m.layers[li].b[i - nw]
+                    }
+                };
+                let write = |m: &mut Mlp, i: usize, v: f64| {
+                    if i < nw {
+                        m.layers[li].w[i] = v;
+                    } else {
+                        m.layers[li].b[i - nw] = v;
+                    }
+                };
+                let orig = read(&mlp, pi);
+                write(&mut mlp, pi, orig + eps);
+                let lp = loss(&mlp);
+                write(&mut mlp, pi, orig - eps);
+                let lm = loss(&mlp);
+                write(&mut mlp, pi, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic[k]).abs() < 1e-5 * (1.0 + numeric.abs()),
+                    "param {k}: numeric {numeric} vs analytic {}",
+                    analytic[k]
+                );
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn learns_a_linear_function() {
+        let mut rng = seeded_rng(3);
+        let mut mlp = Mlp::new(&[2, 16, 1], &mut rng);
+        let mut opt = Adam::new(5e-3);
+        let mut last = f64::INFINITY;
+        for epoch in 0..40 {
+            let mut total = 0.0;
+            for i in 0..200 {
+                let a = ((i * 13) % 40) as f64 / 20.0 - 1.0;
+                let b = ((i * 29) % 40) as f64 / 20.0 - 1.0;
+                total += mlp.train_mse(&[a, b], 0.5 * a - 0.3 * b + 0.1, &mut opt);
+            }
+            last = total / 200.0;
+            if epoch == 0 {
+                assert!(last > 1e-4, "should not start converged");
+            }
+        }
+        assert!(last < 5e-3, "final MSE {last}");
+    }
+
+    #[test]
+    fn learns_xor_nonlinearity() {
+        let mut rng = seeded_rng(11);
+        let mut mlp = Mlp::new(&[2, 12, 12, 1], &mut rng);
+        let mut opt = Adam::new(1e-2);
+        let data = [([0.0, 0.0], 0.0), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
+        for _ in 0..800 {
+            for (x, t) in &data {
+                mlp.train_mse(x, *t, &mut opt);
+            }
+        }
+        for (x, t) in &data {
+            let y = mlp.forward(x)[0];
+            assert!((y - t).abs() < 0.2, "xor({x:?}) = {y}, want {t}");
+        }
+    }
+}

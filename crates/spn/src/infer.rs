@@ -1,0 +1,217 @@
+//! Inference: bottom-up evaluation of expectation queries and max-product
+//! MPE (paper §3.1, §3.2 "Extended Inference Algorithms").
+
+use crate::node::{Node, Spn};
+
+/// Per-attribute moment function `g` applied inside an expectation.
+///
+/// `E[∏_c g_c(X_c) · 1_C]` factorizes over an SPN because every leaf holds a
+/// single attribute: products multiply child expectations, sums average
+/// them. The clamped inverses implement the paper's `1/F'` tuple-factor
+/// normalization (Theorem 1) directly at the leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeafFunc {
+    /// g(x) = 1 (probability queries).
+    One,
+    /// g(x) = x.
+    X,
+    /// g(x) = x² (Koenig–Huygens variance terms).
+    X2,
+    /// g(x) = 1/max(x,1) (normalization by tuple factors `F'`).
+    InvClamp1,
+    /// g(x) = 1/max(x,1)² (variance of normalized expectations).
+    InvSqClamp1,
+}
+
+/// A predicate evaluated at a leaf, in `f64` space (NaN is never matched
+/// except by `IsNull`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LeafPred {
+    /// Interval with per-side inclusivity; use ±∞ for one-sided ranges.
+    Range { lo: f64, hi: f64, lo_incl: bool, hi_incl: bool },
+    /// Value must be one of the set.
+    In(Vec<f64>),
+    /// Value must be none of the set (NULL still fails — SQL `!=`).
+    NotIn(Vec<f64>),
+    IsNull,
+    IsNotNull,
+}
+
+impl LeafPred {
+    /// `x = v`.
+    pub fn eq(v: f64) -> Self {
+        LeafPred::In(vec![v])
+    }
+
+    /// `x ≤ v` / `x < v`.
+    pub fn le(v: f64) -> Self {
+        LeafPred::Range { lo: f64::NEG_INFINITY, hi: v, lo_incl: true, hi_incl: true }
+    }
+    pub fn lt(v: f64) -> Self {
+        LeafPred::Range { lo: f64::NEG_INFINITY, hi: v, lo_incl: true, hi_incl: false }
+    }
+
+    /// `x ≥ v` / `x > v`.
+    pub fn ge(v: f64) -> Self {
+        LeafPred::Range { lo: v, hi: f64::INFINITY, lo_incl: true, hi_incl: true }
+    }
+    pub fn gt(v: f64) -> Self {
+        LeafPred::Range { lo: v, hi: f64::INFINITY, lo_incl: false, hi_incl: true }
+    }
+}
+
+/// Query slot for one column: an optional moment function plus a conjunction
+/// of predicates.
+#[derive(Debug, Clone, Default)]
+pub struct Slot {
+    pub func: Option<LeafFunc>,
+    pub preds: Vec<LeafPred>,
+}
+
+/// An expectation query against an [`Spn`]: per-column slots. Columns
+/// without slots are marginalized out.
+#[derive(Debug, Clone)]
+pub struct SpnQuery {
+    slots: Vec<Option<Slot>>,
+}
+
+impl SpnQuery {
+    pub fn new(n_cols: usize) -> Self {
+        Self { slots: vec![None; n_cols] }
+    }
+
+    /// Attach a predicate to a column (conjunctive).
+    pub fn with_pred(mut self, col: usize, pred: LeafPred) -> Self {
+        self.add_pred(col, pred);
+        self
+    }
+
+    pub fn add_pred(&mut self, col: usize, pred: LeafPred) {
+        self.slots[col].get_or_insert_with(Slot::default).preds.push(pred);
+    }
+
+    /// Set the moment function of a column.
+    pub fn with_func(mut self, col: usize, func: LeafFunc) -> Self {
+        self.set_func(col, func);
+        self
+    }
+
+    pub fn set_func(&mut self, col: usize, func: LeafFunc) {
+        self.slots[col].get_or_insert_with(Slot::default).func = Some(func);
+    }
+
+    pub fn slot(&self, col: usize) -> Option<&Slot> {
+        self.slots.get(col).and_then(Option::as_ref)
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Columns that carry a slot.
+    pub fn active_columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|_| i))
+    }
+}
+
+/// Bottom-up expectation evaluation.
+pub(crate) fn evaluate(node: &mut Node, query: &SpnQuery) -> f64 {
+    match node {
+        Node::Leaf(leaf) => match query.slot(leaf.col) {
+            None => 1.0,
+            Some(slot) => leaf.expect(slot.func.unwrap_or(LeafFunc::One), &slot.preds),
+        },
+        Node::Product(p) => {
+            let mut acc = 1.0;
+            for child in &mut p.children {
+                acc *= evaluate(child, query);
+                if acc == 0.0 {
+                    return 0.0;
+                }
+            }
+            acc
+        }
+        Node::Sum(s) => {
+            let total: u64 = s.counts.iter().sum();
+            if total == 0 {
+                return 0.0;
+            }
+            let mut acc = 0.0;
+            for (child, &c) in s.children.iter_mut().zip(&s.counts) {
+                if c == 0 {
+                    continue;
+                }
+                acc += (c as f64 / total as f64) * evaluate(child, query);
+            }
+            acc
+        }
+    }
+}
+
+/// Max-product traversal: likelihood of the evidence on the most probable
+/// branch, together with the mode of `target` on that branch.
+pub(crate) fn mpe(node: &mut Node, query: &SpnQuery, target: usize) -> (f64, Option<f64>) {
+    match node {
+        Node::Leaf(leaf) => {
+            if leaf.col == target {
+                (1.0, leaf.mode())
+            } else {
+                match query.slot(leaf.col) {
+                    None => (1.0, None),
+                    Some(slot) => {
+                        (leaf.expect(slot.func.unwrap_or(LeafFunc::One), &slot.preds), None)
+                    }
+                }
+            }
+        }
+        Node::Product(p) => {
+            let mut score = 1.0;
+            let mut value = None;
+            for child in &mut p.children {
+                let (s, v) = mpe(child, query, target);
+                score *= s;
+                value = value.or(v);
+            }
+            (score, value)
+        }
+        Node::Sum(s) => {
+            let total: u64 = s.counts.iter().sum();
+            if total == 0 {
+                return (0.0, None);
+            }
+            let mut best = (0.0, None);
+            for (child, &c) in s.children.iter_mut().zip(&s.counts) {
+                if c == 0 {
+                    continue;
+                }
+                let (score, v) = mpe(child, query, target);
+                let weighted = score * c as f64 / total as f64;
+                if weighted > best.0 || best.1.is_none() && v.is_some() && weighted == best.0 {
+                    best = (weighted, v);
+                }
+            }
+            best
+        }
+    }
+}
+
+impl Spn {
+    /// Evaluate `E[∏ g_c(X_c) · 1_C]` (per-row expectation over the training
+    /// distribution). Multiply by the modeled relation's row count to get
+    /// totals.
+    pub fn evaluate(&mut self, query: &SpnQuery) -> f64 {
+        assert_eq!(query.n_cols(), self.n_columns(), "query arity mismatch");
+        evaluate(&mut self.root, query)
+    }
+
+    /// Probability shorthand: evaluate with no moment functions.
+    pub fn probability(&mut self, query: &SpnQuery) -> f64 {
+        self.evaluate(query)
+    }
+
+    /// Most probable value of `target` given the evidence in `query`
+    /// (approximate MPE via max-product).
+    pub fn most_probable_value(&mut self, target: usize, query: &SpnQuery) -> Option<f64> {
+        mpe(&mut self.root, query, target).1
+    }
+}

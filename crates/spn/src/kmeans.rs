@@ -1,0 +1,225 @@
+//! Two-way k-means row clustering for sum nodes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::DataView;
+
+/// Result of [`kmeans_two`]: the split of `rows` into two clusters plus the
+/// statistics the update algorithm needs to route future tuples.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Row ids per cluster (same universe as the input `rows`).
+    pub clusters: [Vec<u32>; 2],
+    /// Cluster centroids in z-score space, aligned with `scope`.
+    pub centroids: [Vec<f64>; 2],
+    /// Per-scope-column (mean, std) used for the z-transform.
+    pub norm: Vec<(f64, f64)>,
+}
+
+/// Cluster `rows` of the scoped columns into two groups with k-means
+/// (k-means++ seeding, Lloyd iterations) on z-scored values; NULLs map to the
+/// column mean (z = 0). Returns `None` when the data cannot be split (fewer
+/// than two rows, or all points identical).
+pub fn kmeans_two(
+    data: &DataView<'_>,
+    rows: &[u32],
+    scope: &[usize],
+    seed: u64,
+    max_iters: usize,
+) -> Option<KMeansResult> {
+    let n = rows.len();
+    let d = scope.len();
+    if n < 2 || d == 0 {
+        return None;
+    }
+
+    // z-normalization statistics over the slice (NULLs excluded).
+    let mut norm = Vec::with_capacity(d);
+    for &c in scope {
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        let mut k = 0usize;
+        for &r in rows {
+            let v = data.value(r, c);
+            if v.is_finite() {
+                sum += v;
+                sq += v * v;
+                k += 1;
+            }
+        }
+        if k == 0 {
+            norm.push((0.0, 1.0));
+        } else {
+            let mean = sum / k as f64;
+            let var = (sq / k as f64 - mean * mean).max(0.0);
+            let std = var.sqrt();
+            norm.push((mean, if std > 1e-12 { std } else { 1.0 }));
+        }
+    }
+
+    let feature = |r: u32, out: &mut Vec<f64>| {
+        out.clear();
+        for (j, &c) in scope.iter().enumerate() {
+            let v = data.value(r, c);
+            let (m, s) = norm[j];
+            out.push(if v.is_finite() { (v - m) / s } else { 0.0 });
+        }
+    };
+
+    let dist2 = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = Vec::with_capacity(d);
+
+    // k-means++ for k = 2: first center uniform, second proportional to
+    // squared distance.
+    feature(rows[rng.gen_range(0..n)], &mut buf);
+    let c0: Vec<f64> = buf.clone();
+    let mut dists = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for &r in rows {
+        feature(r, &mut buf);
+        let d2 = dist2(&buf, &c0);
+        dists.push(d2);
+        total += d2;
+    }
+    if total <= 1e-24 {
+        return None; // all points identical in z-space
+    }
+    let mut pick = rng.gen_range(0.0..total);
+    let mut second = rows[n - 1];
+    for (i, &r) in rows.iter().enumerate() {
+        if pick < dists[i] {
+            second = r;
+            break;
+        }
+        pick -= dists[i];
+    }
+    feature(second, &mut buf);
+    let mut centroids = [c0, buf.clone()];
+
+    let mut assignment = vec![0u8; n];
+    for _ in 0..max_iters {
+        let mut changed = false;
+        let mut sums = [vec![0.0; d], vec![0.0; d]];
+        let mut counts = [0usize; 2];
+        for (i, &r) in rows.iter().enumerate() {
+            feature(r, &mut buf);
+            let a = dist2(&buf, &centroids[0]);
+            let b = dist2(&buf, &centroids[1]);
+            let cluster = u8::from(b < a);
+            if assignment[i] != cluster {
+                assignment[i] = cluster;
+                changed = true;
+            }
+            counts[cluster as usize] += 1;
+            for (s, v) in sums[cluster as usize].iter_mut().zip(&buf) {
+                *s += v;
+            }
+        }
+        if counts[0] == 0 || counts[1] == 0 {
+            // Degenerate: re-seed the empty cluster with the farthest point.
+            let empty = usize::from(counts[0] == 0);
+            let full = 1 - empty;
+            let far = rows
+                .iter()
+                .max_by(|&&a, &&b| {
+                    let mut fa = Vec::new();
+                    let mut fb = Vec::new();
+                    feature(a, &mut fa);
+                    feature(b, &mut fb);
+                    dist2(&fa, &centroids[full])
+                        .partial_cmp(&dist2(&fb, &centroids[full]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .copied()
+                .unwrap();
+            feature(far, &mut buf);
+            centroids[empty] = buf.clone();
+            continue;
+        }
+        for k in 0..2 {
+            for (c, s) in centroids[k].iter_mut().zip(&sums[k]) {
+                *c = s / counts[k] as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut clusters = [Vec::new(), Vec::new()];
+    for (i, &r) in rows.iter().enumerate() {
+        clusters[assignment[i] as usize].push(r);
+    }
+    if clusters[0].is_empty() || clusters[1].is_empty() {
+        return None;
+    }
+    Some(KMeansResult { clusters, centroids, norm })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ColumnMeta;
+
+    #[test]
+    fn separates_two_obvious_blobs() {
+        // Two clusters: values near 0 and near 100.
+        let col: Vec<f64> = (0..40).map(|i| if i < 20 { i as f64 * 0.1 } else { 100.0 + i as f64 * 0.1 }).collect();
+        let cols = vec![col];
+        let meta = vec![ColumnMeta::continuous("x")];
+        let data = DataView::new(&cols, &meta);
+        let rows: Vec<u32> = (0..40).collect();
+        let res = kmeans_two(&data, &rows, &[0], 42, 30).unwrap();
+        assert_eq!(res.clusters[0].len() + res.clusters[1].len(), 40);
+        // Each cluster should be pure.
+        for cluster in &res.clusters {
+            let low = cluster.iter().filter(|&&r| r < 20).count();
+            assert!(low == 0 || low == cluster.len(), "mixed cluster");
+        }
+    }
+
+    #[test]
+    fn identical_points_cannot_split() {
+        let cols = vec![vec![5.0; 10]];
+        let meta = vec![ColumnMeta::discrete("x")];
+        let data = DataView::new(&cols, &meta);
+        let rows: Vec<u32> = (0..10).collect();
+        assert!(kmeans_two(&data, &rows, &[0], 1, 10).is_none());
+    }
+
+    #[test]
+    fn handles_nulls_as_mean() {
+        let cols = vec![vec![0.0, 0.1, f64::NAN, 10.0, 10.1, f64::NAN]];
+        let meta = vec![ColumnMeta::continuous("x")];
+        let data = DataView::new(&cols, &meta);
+        let rows: Vec<u32> = (0..6).collect();
+        let res = kmeans_two(&data, &rows, &[0], 3, 20).unwrap();
+        assert_eq!(res.clusters[0].len() + res.clusters[1].len(), 6);
+    }
+
+    #[test]
+    fn too_few_rows() {
+        let cols = vec![vec![1.0]];
+        let meta = vec![ColumnMeta::discrete("x")];
+        let data = DataView::new(&cols, &meta);
+        assert!(kmeans_two(&data, &[0], &[0], 1, 10).is_none());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let col: Vec<f64> = (0..50).map(|i| (i % 7) as f64 + if i % 2 == 0 { 50.0 } else { 0.0 }).collect();
+        let cols = vec![col];
+        let meta = vec![ColumnMeta::continuous("x")];
+        let data = DataView::new(&cols, &meta);
+        let rows: Vec<u32> = (0..50).collect();
+        let a = kmeans_two(&data, &rows, &[0], 9, 25).unwrap();
+        let b = kmeans_two(&data, &rows, &[0], 9, 25).unwrap();
+        assert_eq!(a.clusters[0], b.clusters[0]);
+        assert_eq!(a.centroids[1], b.centroids[1]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Sum-Product Networks for DeepDB.
+//!
+//! A from-scratch MSPN-style stack (paper §3.1–§3.2):
+//!
+//! * [`rdc`] — the Randomized Dependence Coefficient used both as the
+//!   column-split criterion during learning and as the table-correlation
+//!   measure for ensemble construction;
+//! * [`kmeans_two`] — row clustering for sum nodes (centroids are retained so
+//!   the update algorithm can route new tuples);
+//! * [`Leaf`] — value-frequency histograms with a NULL slot and a binning
+//!   fallback for high-cardinality continuous columns;
+//! * [`Spn`] — structure learning, bottom-up inference of
+//!   `E[∏ g_c(X_c) · 1_C]` expectations, max-product MPE, and direct
+//!   insert/delete updates (paper Algorithm 1).
+//!
+//! The SPN operates on an opaque `f64` matrix (NaN = NULL); the relational
+//! interpretation (tables, tuple factors, join indicators) lives in
+//! `deepdb-core`.
+
+mod data;
+mod infer;
+mod kmeans;
+mod leaf;
+mod learn;
+mod node;
+pub mod rdc;
+mod serialize;
+mod update;
+pub mod wire;
+
+pub use data::{ColumnMeta, DataView};
+pub use infer::{LeafFunc, LeafPred, Slot, SpnQuery};
+pub use kmeans::{kmeans_two, KMeansResult};
+pub use leaf::Leaf;
+pub use learn::SpnParams;
+pub use node::{Node, ProductNode, Spn, SumNode};

@@ -1,0 +1,255 @@
+//! Randomized Dependence Coefficient (Lopez-Paz et al., NeurIPS 2013).
+//!
+//! `rdc(x, y)` estimates the largest canonical correlation between random
+//! nonlinear projections of the empirical copulas of `x` and `y`. It is the
+//! dependence measure the MSPN learner (and therefore DeepDB) uses for column
+//! splits and table-correlation tests: distribution-free, detects nonlinear
+//! and non-monotone dependence, and lands in `[0, 1]`.
+
+use deepdb_linalg::{canonical_correlation, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for the RDC estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct RdcParams {
+    /// Number of random sine features per variable (k in the paper).
+    pub features: usize,
+    /// Scale of the random projection weights (s in the paper).
+    pub scale: f64,
+    /// Ridge regularization for the CCA step.
+    pub regularization: f64,
+    /// Seed for the random projections (fixed ⇒ deterministic estimates).
+    pub seed: u64,
+}
+
+impl Default for RdcParams {
+    fn default() -> Self {
+        Self { features: 16, scale: 1.0 / 6.0, regularization: 1e-4, seed: 0x5eed_0001 }
+    }
+}
+
+/// Empirical copula transform: ranks scaled to (0, 1], averaging ties.
+///
+/// NaNs must be filtered by the caller.
+pub fn copula_transform(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        values[a as usize].partial_cmp(&values[b as usize]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Average rank over the tie group for stability on categoricals.
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1] as usize] == values[order[i] as usize] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx as usize] = avg / n as f64;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Random sine feature map of a copula-transformed variable: `sin(w·u + b)`
+/// with `w ~ N(0, (s·k)²)`-ish per the reference implementation.
+fn sine_features(u: &[f64], params: &RdcParams, salt: u64) -> Matrix {
+    let n = u.len();
+    let k = params.features;
+    let mut rng = StdRng::seed_from_u64(params.seed ^ salt.wrapping_mul(0x9e3779b97f4a7c15));
+    // Gaussian weights via Box-Muller from the uniform RNG.
+    let mut gauss = || {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let ws: Vec<f64> = (0..k).map(|_| gauss() / params.scale).collect();
+    let bs: Vec<f64> = (0..k).map(|_| gauss() / params.scale).collect();
+    let mut m = Matrix::zeros(n, k);
+    for (i, &ui) in u.iter().enumerate() {
+        let row = m.row_mut(i);
+        for j in 0..k {
+            row[j] = (ws[j] * ui + bs[j]).sin();
+        }
+    }
+    m
+}
+
+/// RDC between two columns. Pairs where either side is NaN (NULL) are
+/// dropped. Returns 0 when fewer than `min_pairs` complete pairs remain or a
+/// side is constant.
+pub fn rdc(x: &[f64], y: &[f64], params: &RdcParams) -> f64 {
+    assert_eq!(x.len(), y.len(), "rdc inputs must be aligned");
+    let mut xs = Vec::with_capacity(x.len());
+    let mut ys = Vec::with_capacity(y.len());
+    for (&a, &b) in x.iter().zip(y) {
+        if a.is_finite() && b.is_finite() {
+            xs.push(a);
+            ys.push(b);
+        }
+    }
+    const MIN_PAIRS: usize = 10;
+    if xs.len() < MIN_PAIRS {
+        return 0.0;
+    }
+    let constant = |v: &[f64]| v.iter().all(|&a| a == v[0]);
+    if constant(&xs) || constant(&ys) {
+        return 0.0;
+    }
+    let ux = copula_transform(&xs);
+    let uy = copula_transform(&ys);
+    let fx = sine_features(&ux, params, 1);
+    let fy = sine_features(&uy, params, 2);
+    canonical_correlation(&fx, &fy, params.regularization).unwrap_or(0.0)
+}
+
+/// Pairwise RDC matrix over `cols`, each entry computed on at most
+/// `max_rows` rows chosen by deterministic stride sampling.
+pub fn pairwise_rdc(
+    cols: &[&[f64]],
+    rows: &[u32],
+    max_rows: usize,
+    params: &RdcParams,
+) -> Vec<Vec<f64>> {
+    let d = cols.len();
+    let picked: Vec<u32> = if rows.len() > max_rows {
+        let stride = rows.len() as f64 / max_rows as f64;
+        (0..max_rows).map(|i| rows[(i as f64 * stride) as usize]).collect()
+    } else {
+        rows.to_vec()
+    };
+    let gathered: Vec<Vec<f64>> = cols
+        .iter()
+        .map(|c| picked.iter().map(|&r| c[r as usize]).collect())
+        .collect();
+    let mut m = vec![vec![0.0; d]; d];
+    for i in 0..d {
+        m[i][i] = 1.0;
+        for j in (i + 1)..d {
+            let v = rdc(&gathered[i], &gathered[j], params);
+            m[i][j] = v;
+            m[j][i] = v;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        }
+    }
+
+    #[test]
+    fn copula_is_uniform_on_distinct_values() {
+        let v = vec![10.0, 30.0, 20.0, 40.0];
+        let u = copula_transform(&v);
+        assert_eq!(u, vec![0.25, 0.75, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn copula_averages_ties() {
+        let v = vec![1.0, 1.0, 2.0];
+        let u = copula_transform(&v);
+        assert!((u[0] - 0.5).abs() < 1e-12);
+        assert!((u[1] - 0.5).abs() < 1e-12);
+        assert!((u[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_is_low_dependent_is_high() {
+        let mut rng = lcg(11);
+        let n = 1500;
+        let x: Vec<f64> = (0..n).map(|_| rng()).collect();
+        let y_ind: Vec<f64> = (0..n).map(|_| rng()).collect();
+        let y_dep: Vec<f64> = x.iter().map(|&v| (4.0 * v).sin() + 0.05 * rng()).collect();
+        let p = RdcParams::default();
+        let low = rdc(&x, &y_ind, &p);
+        let high = rdc(&x, &y_dep, &p);
+        assert!(low < 0.3, "independent rdc = {low}");
+        assert!(high > 0.7, "dependent rdc = {high}");
+    }
+
+    #[test]
+    fn detects_non_monotone_dependence() {
+        let mut rng = lcg(3);
+        let n = 1500;
+        let x: Vec<f64> = (0..n).map(|_| rng() * 2.0 - 1.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| v * v + 0.02 * rng()).collect();
+        let v = rdc(&x, &y, &RdcParams::default());
+        assert!(v > 0.6, "parabola rdc = {v}");
+    }
+
+    #[test]
+    fn invariant_under_monotone_transform() {
+        let mut rng = lcg(8);
+        let n = 1000;
+        let x: Vec<f64> = (0..n).map(|_| rng()).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 0.8 * v + 0.2 * rng()).collect();
+        let p = RdcParams::default();
+        let base = rdc(&x, &y, &p);
+        let x_t: Vec<f64> = x.iter().map(|&v| (v * 5.0).exp()).collect();
+        let transformed = rdc(&x_t, &y, &p);
+        assert!((base - transformed).abs() < 0.05, "{base} vs {transformed}");
+    }
+
+    #[test]
+    fn nulls_are_dropped_pairwise() {
+        let mut rng = lcg(21);
+        let n = 1200;
+        let mut x: Vec<f64> = (0..n).map(|_| rng()).collect();
+        let y: Vec<f64> = x.iter().map(|&v| v + 0.01 * rng()).collect();
+        for i in (0..n).step_by(5) {
+            x[i] = f64::NAN;
+        }
+        let v = rdc(&x, &y, &RdcParams::default());
+        assert!(v > 0.9, "rdc with nulls = {v}");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zero() {
+        let p = RdcParams::default();
+        assert_eq!(rdc(&[1.0; 100], &[2.0; 100], &p), 0.0);
+        assert_eq!(rdc(&[f64::NAN; 50], &[1.0; 50], &p), 0.0);
+        assert_eq!(rdc(&[1.0, 2.0], &[1.0, 2.0], &p), 0.0, "too few pairs");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = lcg(77);
+        let x: Vec<f64> = (0..500).map(|_| rng()).collect();
+        let y: Vec<f64> = (0..500).map(|_| rng()).collect();
+        let p = RdcParams::default();
+        assert_eq!(rdc(&x, &y, &p), rdc(&x, &y, &p));
+    }
+
+    #[test]
+    fn pairwise_matrix_is_symmetric_with_unit_diagonal() {
+        let mut rng = lcg(5);
+        let n = 400usize;
+        let a: Vec<f64> = (0..n).map(|_| rng()).collect();
+        let b: Vec<f64> = a.iter().map(|&v| 1.0 - v).collect();
+        let c: Vec<f64> = (0..n).map(|_| rng()).collect();
+        let cols: Vec<&[f64]> = vec![&a, &b, &c];
+        let rows: Vec<u32> = (0..n as u32).collect();
+        let m = pairwise_rdc(&cols, &rows, 1000, &RdcParams::default());
+        for i in 0..3 {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+        assert!(m[0][1] > 0.9, "perfect anticorrelation should be detected: {}", m[0][1]);
+        assert!(m[0][2] < 0.35);
+    }
+}

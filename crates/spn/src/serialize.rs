@@ -1,0 +1,223 @@
+//! SPN snapshots: a compact hand-rolled binary format so learned models can
+//! be persisted and bulk-loaded like indexes (paper §2 likens ensemble
+//! creation to index building).
+//!
+//! The format stores structure, weights, centroids, and leaf histograms;
+//! derived state (leaf prefix sums) is rebuilt on load.
+
+use std::io::{self, Read, Write};
+
+use crate::node::{Node, ProductNode, Spn, SumNode};
+use crate::wire::*;
+use crate::{ColumnMeta, Leaf};
+
+const MAGIC: &[u8; 5] = b"DSPN1";
+
+fn write_node(w: &mut impl Write, node: &Node) -> io::Result<()> {
+    match node {
+        Node::Leaf(leaf) => {
+            write_u8(w, 0)?;
+            leaf.write_to(w)
+        }
+        Node::Sum(s) => {
+            write_u8(w, 1)?;
+            write_usizes(w, &s.scope)?;
+            write_u64s(w, &s.counts)?;
+            write_u32(w, s.centroids.len() as u32)?;
+            for c in &s.centroids {
+                write_f64s(w, c)?;
+            }
+            write_u32(w, s.norm.len() as u32)?;
+            for &(m, sd) in &s.norm {
+                write_f64(w, m)?;
+                write_f64(w, sd)?;
+            }
+            write_u32(w, s.children.len() as u32)?;
+            for child in &s.children {
+                write_node(w, child)?;
+            }
+            Ok(())
+        }
+        Node::Product(p) => {
+            write_u8(w, 2)?;
+            write_usizes(w, &p.scope)?;
+            write_u32(w, p.children.len() as u32)?;
+            for child in &p.children {
+                write_node(w, child)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn read_node(r: &mut impl Read, depth: usize) -> io::Result<Node> {
+    if depth > 512 {
+        return Err(corrupt("node nesting"));
+    }
+    match read_u8(r)? {
+        0 => Ok(Node::Leaf(Leaf::read_from(r)?)),
+        1 => {
+            let scope = read_usizes(r)?;
+            let counts = read_u64s(r)?;
+            let n_centroids = read_u32(r)? as usize;
+            let centroids: Vec<Vec<f64>> =
+                (0..n_centroids).map(|_| read_f64s(r)).collect::<io::Result<_>>()?;
+            let n_norm = read_u32(r)? as usize;
+            let norm: Vec<(f64, f64)> = (0..n_norm)
+                .map(|_| Ok::<_, io::Error>((read_f64(r)?, read_f64(r)?)))
+                .collect::<io::Result<_>>()?;
+            let n_children = read_u32(r)? as usize;
+            if n_children != counts.len() || n_children != centroids.len() {
+                return Err(corrupt("sum node arity"));
+            }
+            let children: Vec<Node> =
+                (0..n_children).map(|_| read_node(r, depth + 1)).collect::<io::Result<_>>()?;
+            Ok(Node::Sum(SumNode { scope, children, counts, centroids, norm }))
+        }
+        2 => {
+            let scope = read_usizes(r)?;
+            let n_children = read_u32(r)? as usize;
+            if n_children > 1 << 20 {
+                return Err(corrupt("product arity"));
+            }
+            let children: Vec<Node> =
+                (0..n_children).map(|_| read_node(r, depth + 1)).collect::<io::Result<_>>()?;
+            Ok(Node::Product(ProductNode { scope, children }))
+        }
+        _ => Err(corrupt("node tag")),
+    }
+}
+
+impl Spn {
+    /// Serialize the model.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        write_u64(w, self.n_rows)?;
+        write_u32(w, self.meta.len() as u32)?;
+        for m in &self.meta {
+            write_str(w, &m.name)?;
+            write_u8(w, u8::from(m.discrete))?;
+        }
+        write_node(w, &self.root)
+    }
+
+    /// Deserialize a model written by [`Spn::write_to`].
+    pub fn read_from(r: &mut impl Read) -> io::Result<Spn> {
+        let mut magic = [0u8; 5];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(corrupt("magic"));
+        }
+        let n_rows = read_u64(r)?;
+        let n_cols = read_u32(r)? as usize;
+        if n_cols > 1 << 16 {
+            return Err(corrupt("column count"));
+        }
+        let meta: Vec<ColumnMeta> = (0..n_cols)
+            .map(|_| {
+                Ok::<_, io::Error>(ColumnMeta {
+                    name: read_str(r)?,
+                    discrete: read_u8(r)? != 0,
+                })
+            })
+            .collect::<io::Result<_>>()?;
+        let root = read_node(r, 0)?;
+        Ok(Spn::new(root, meta, n_rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataView, LeafFunc, LeafPred, SpnParams, SpnQuery};
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        }
+    }
+
+    fn sample_spn() -> Spn {
+        let mut rng = lcg(3);
+        let n = 3000;
+        let mut a = Vec::with_capacity(n);
+        let mut b = Vec::with_capacity(n);
+        let mut c = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cluster = rng() < 0.4;
+            a.push(if cluster { (rng() * 3.0).floor() } else { 3.0 + (rng() * 3.0).floor() });
+            b.push(if cluster { rng() * 10.0 } else { 50.0 + rng() * 10.0 });
+            c.push(if rng() < 0.05 { f64::NAN } else { rng() * 100.0 });
+        }
+        let cols = vec![a, b, c];
+        let meta = vec![
+            ColumnMeta::discrete("a"),
+            ColumnMeta::continuous("b"),
+            ColumnMeta::continuous("c"),
+        ];
+        // Force binning on column c by keeping the exact limit small.
+        let params = SpnParams { max_distinct_exact: 100, ..SpnParams::default() };
+        Spn::learn(DataView::new(&cols, &meta), &params)
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_all_queries() {
+        let mut original = sample_spn();
+        let mut buf = Vec::new();
+        original.write_to(&mut buf).unwrap();
+        let mut restored = Spn::read_from(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(original.n_rows(), restored.n_rows());
+        assert_eq!(original.size(), restored.size());
+        assert_eq!(original.column_index("b"), restored.column_index("b"));
+
+        let queries = vec![
+            SpnQuery::new(3),
+            SpnQuery::new(3).with_pred(0, LeafPred::eq(2.0)),
+            SpnQuery::new(3).with_pred(1, LeafPred::ge(30.0)),
+            SpnQuery::new(3)
+                .with_pred(0, LeafPred::In(vec![1.0, 4.0]))
+                .with_func(1, LeafFunc::X),
+            SpnQuery::new(3).with_pred(2, LeafPred::IsNull),
+            SpnQuery::new(3).with_func(2, LeafFunc::X2).with_pred(0, LeafPred::le(3.0)),
+        ];
+        for q in &queries {
+            let a = original.evaluate(q);
+            let b = restored.evaluate(q);
+            assert!((a - b).abs() < 1e-12, "query {q:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn restored_model_supports_updates() {
+        let mut original = sample_spn();
+        let mut buf = Vec::new();
+        original.write_to(&mut buf).unwrap();
+        let mut restored = Spn::read_from(&mut buf.as_slice()).unwrap();
+        restored.insert(&[1.0, 5.0, 50.0]);
+        restored.delete(&[1.0, 5.0, 50.0]);
+        let q = SpnQuery::new(3).with_pred(0, LeafPred::eq(1.0));
+        assert!((original.evaluate(&q) - restored.evaluate(&q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let mut spn = sample_spn();
+        let _ = &mut spn;
+        let mut buf = Vec::new();
+        spn.write_to(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(Spn::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let spn = sample_spn();
+        let mut buf = Vec::new();
+        spn.write_to(&mut buf).unwrap();
+        let cut = buf.len() / 2;
+        assert!(Spn::read_from(&mut &buf[..cut]).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Direct RSPN updates — paper Algorithm 1 (§5.2).
+//!
+//! Inserted (deleted) tuples traverse the tree: sum nodes route to the
+//! nearest stored cluster centroid and adjust their weight counts, product
+//! nodes fan the tuple out to every child (scope projection is implicit —
+//! leaves read only their own column), and leaves adjust their value
+//! histograms. The structure never changes; only weights and leaf
+//! distributions do.
+
+use crate::node::{Node, Spn, SumNode};
+
+/// Distance of a full tuple to a sum-node centroid in that node's z-space.
+fn centroid_distance(sum: &SumNode, centroid: &[f64], tuple: &[f64]) -> f64 {
+    let mut d = 0.0;
+    for (j, &col) in sum.scope.iter().enumerate() {
+        let v = tuple[col];
+        let (mean, std) = sum.norm[j];
+        let z = if v.is_finite() { (v - mean) / std } else { 0.0 };
+        let diff = z - centroid[j];
+        d += diff * diff;
+    }
+    d
+}
+
+fn nearest_child(sum: &SumNode, tuple: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in sum.centroids.iter().enumerate() {
+        let d = centroid_distance(sum, c, tuple);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn insert_tuple(node: &mut Node, tuple: &[f64]) {
+    match node {
+        Node::Leaf(leaf) => leaf.insert(tuple[leaf.col]),
+        Node::Sum(sum) => {
+            let child = nearest_child(sum, tuple);
+            sum.counts[child] += 1;
+            insert_tuple(&mut sum.children[child], tuple);
+        }
+        Node::Product(prod) => {
+            for child in &mut prod.children {
+                insert_tuple(child, tuple);
+            }
+        }
+    }
+}
+
+fn delete_tuple(node: &mut Node, tuple: &[f64]) {
+    match node {
+        Node::Leaf(leaf) => {
+            leaf.remove(tuple[leaf.col]);
+        }
+        Node::Sum(sum) => {
+            let child = nearest_child(sum, tuple);
+            sum.counts[child] = sum.counts[child].saturating_sub(1);
+            delete_tuple(&mut sum.children[child], tuple);
+        }
+        Node::Product(prod) => {
+            for child in &mut prod.children {
+                delete_tuple(child, tuple);
+            }
+        }
+    }
+}
+
+impl Spn {
+    /// Insert one tuple (full row over all columns, NaN = NULL).
+    pub fn insert(&mut self, tuple: &[f64]) {
+        assert_eq!(tuple.len(), self.n_columns(), "tuple arity mismatch");
+        insert_tuple(&mut self.root, tuple);
+        self.n_rows += 1;
+    }
+
+    /// Delete one tuple (routed like an insert; weights decrease).
+    pub fn delete(&mut self, tuple: &[f64]) {
+        assert_eq!(tuple.len(), self.n_columns(), "tuple arity mismatch");
+        delete_tuple(&mut self.root, tuple);
+        self.n_rows = self.n_rows.saturating_sub(1);
+    }
+
+    /// Update = delete the old tuple, insert the new one.
+    pub fn update(&mut self, old: &[f64], new: &[f64]) {
+        self.delete(old);
+        self.insert(new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ColumnMeta, DataView, LeafPred, Spn, SpnParams, SpnQuery};
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        }
+    }
+
+    fn clustered_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<ColumnMeta>) {
+        let mut rng = lcg(seed);
+        let mut region = Vec::new();
+        let mut age = Vec::new();
+        for _ in 0..n {
+            if rng() < 0.3 {
+                region.push(0.0);
+                age.push(60.0 + (rng() * 40.0).floor());
+            } else {
+                region.push(1.0);
+                age.push(20.0 + (rng() * 30.0).floor());
+            }
+        }
+        (vec![region, age], vec![ColumnMeta::discrete("region"), ColumnMeta::discrete("age")])
+    }
+
+    #[test]
+    fn inserts_shift_probabilities_toward_new_distribution() {
+        let (cols, meta) = clustered_data(4000, 1);
+        let data = DataView::new(&cols, &meta);
+        let mut spn = Spn::learn(data, &SpnParams::default());
+        let q = SpnQuery::new(2)
+            .with_pred(0, LeafPred::eq(0.0))
+            .with_pred(1, LeafPred::lt(30.0));
+        let before = spn.probability(&q);
+        assert!(before < 0.02);
+        // Insert 2000 young Europeans — the paper's motivating update case.
+        for i in 0..2000 {
+            spn.insert(&[0.0, 20.0 + (i % 10) as f64]);
+        }
+        let after = spn.probability(&q);
+        // True share is 2000/6000 ≈ 0.33.
+        assert!(after > 0.2, "P(EU ∧ young) after inserts = {after}");
+        assert_eq!(spn.n_rows(), 6000);
+    }
+
+    #[test]
+    fn insert_then_delete_restores_probabilities() {
+        let (cols, meta) = clustered_data(3000, 5);
+        let data = DataView::new(&cols, &meta);
+        let mut spn = Spn::learn(data, &SpnParams::default());
+        let q = SpnQuery::new(2).with_pred(1, LeafPred::ge(60.0));
+        let before = spn.probability(&q);
+        let tuples: Vec<[f64; 2]> = (0..500).map(|i| [1.0, 90.0 + (i % 5) as f64]).collect();
+        for t in &tuples {
+            spn.insert(t);
+        }
+        assert!(spn.probability(&q) > before);
+        for t in &tuples {
+            spn.delete(t);
+        }
+        let after = spn.probability(&q);
+        assert!((before - after).abs() < 1e-9, "{before} vs {after}");
+        assert_eq!(spn.n_rows(), 3000);
+    }
+
+    #[test]
+    fn update_moves_mass_between_values() {
+        let (cols, meta) = clustered_data(2000, 9);
+        let data = DataView::new(&cols, &meta);
+        let mut spn = Spn::learn(data, &SpnParams::default());
+        let p_eu_before = spn.probability(&SpnQuery::new(2).with_pred(0, LeafPred::eq(0.0)));
+        spn.update(&[0.0, 70.0], &[1.0, 25.0]);
+        let p_eu_after = spn.probability(&SpnQuery::new(2).with_pred(0, LeafPred::eq(0.0)));
+        assert!(p_eu_after < p_eu_before);
+        assert_eq!(spn.n_rows(), 2000);
+    }
+
+    #[test]
+    fn null_tuples_update_null_mass() {
+        let cols = vec![vec![1.0, 2.0, 3.0, 4.0], vec![1.0, 1.0, 2.0, f64::NAN]];
+        let meta = vec![ColumnMeta::discrete("a"), ColumnMeta::discrete("b")];
+        let mut spn = Spn::learn(DataView::new(&cols, &meta), &SpnParams::default());
+        let q = SpnQuery::new(2).with_pred(1, LeafPred::IsNull);
+        let before = spn.probability(&q);
+        spn.insert(&[5.0, f64::NAN]);
+        let after = spn.probability(&q);
+        assert!(after > before, "{after} <= {before}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Minimal little-endian wire primitives for model snapshots.
+//!
+//! Hand-rolled (no serializer dependency): fixed-width integers/floats,
+//! length-prefixed strings and vectors. Shared by the SPN serializer and the
+//! ensemble snapshots in `deepdb-core`.
+
+use std::io::{self, Read, Write};
+
+pub fn write_u8(w: &mut impl Write, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+pub fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub fn write_i64(w: &mut impl Write, v: i64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+pub fn write_f64s(w: &mut impl Write, vs: &[f64]) -> io::Result<()> {
+    write_u32(w, vs.len() as u32)?;
+    for &v in vs {
+        write_f64(w, v)?;
+    }
+    Ok(())
+}
+
+pub fn write_u64s(w: &mut impl Write, vs: &[u64]) -> io::Result<()> {
+    write_u32(w, vs.len() as u32)?;
+    for &v in vs {
+        write_u64(w, v)?;
+    }
+    Ok(())
+}
+
+pub fn write_usizes(w: &mut impl Write, vs: &[usize]) -> io::Result<()> {
+    write_u32(w, vs.len() as u32)?;
+    for &v in vs {
+        write_u64(w, v as u64)?;
+    }
+    Ok(())
+}
+
+pub fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+pub fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+pub fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+pub fn read_i64(r: &mut impl Read) -> io::Result<i64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(i64::from_le_bytes(b))
+}
+
+pub fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+pub fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let n = read_u32(r)? as usize;
+    if n > 1 << 24 {
+        return Err(corrupt("string length"));
+    }
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| corrupt("utf8"))
+}
+
+pub fn read_f64s(r: &mut impl Read) -> io::Result<Vec<f64>> {
+    let n = read_u32(r)? as usize;
+    if n > 1 << 28 {
+        return Err(corrupt("vector length"));
+    }
+    (0..n).map(|_| read_f64(r)).collect()
+}
+
+pub fn read_u64s(r: &mut impl Read) -> io::Result<Vec<u64>> {
+    let n = read_u32(r)? as usize;
+    if n > 1 << 28 {
+        return Err(corrupt("vector length"));
+    }
+    (0..n).map(|_| read_u64(r)).collect()
+}
+
+pub fn read_usizes(r: &mut impl Read) -> io::Result<Vec<usize>> {
+    Ok(read_u64s(r)?.into_iter().map(|v| v as usize).collect())
+}
+
+/// Uniform corrupt-snapshot error.
+pub fn corrupt(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt snapshot: {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut buf = Vec::new();
+        write_u8(&mut buf, 7).unwrap();
+        write_u32(&mut buf, 123456).unwrap();
+        write_u64(&mut buf, u64::MAX - 3).unwrap();
+        write_i64(&mut buf, -42).unwrap();
+        write_f64(&mut buf, -1.5e300).unwrap();
+        write_str(&mut buf, "héllo").unwrap();
+        write_f64s(&mut buf, &[1.0, f64::NAN, 3.0]).unwrap();
+        write_u64s(&mut buf, &[9, 8]).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_u8(&mut r).unwrap(), 7);
+        assert_eq!(read_u32(&mut r).unwrap(), 123456);
+        assert_eq!(read_u64(&mut r).unwrap(), u64::MAX - 3);
+        assert_eq!(read_i64(&mut r).unwrap(), -42);
+        assert_eq!(read_f64(&mut r).unwrap(), -1.5e300);
+        assert_eq!(read_str(&mut r).unwrap(), "héllo");
+        let fs = read_f64s(&mut r).unwrap();
+        assert_eq!(fs[0], 1.0);
+        assert!(fs[1].is_nan());
+        assert_eq!(read_u64s(&mut r).unwrap(), vec![9, 8]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1).unwrap();
+        let mut r = &buf[..4];
+        assert!(read_u64(&mut r).is_err());
+    }
+}

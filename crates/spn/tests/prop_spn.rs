@@ -1,0 +1,117 @@
+//! Property tests for the SPN stack: learned models must behave like
+//! probability distributions regardless of the data they see.
+
+use deepdb_spn::{ColumnMeta, DataView, LeafFunc, LeafPred, Spn, SpnParams, SpnQuery};
+use proptest::prelude::*;
+
+fn learn(cols: Vec<Vec<f64>>) -> Spn {
+    let meta: Vec<ColumnMeta> =
+        (0..cols.len()).map(|i| ColumnMeta::discrete(format!("c{i}"))).collect();
+    let params = SpnParams { rdc_sample_rows: 500, ..SpnParams::default() };
+    Spn::learn(DataView::new(&cols, &meta), &params)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Probabilities are in [0,1]; the empty query integrates to 1.
+    #[test]
+    fn probabilities_are_normalized(
+        rows in prop::collection::vec((0i64..6, 0i64..4), 5..200),
+        threshold in 0i64..6,
+    ) {
+        let a: Vec<f64> = rows.iter().map(|&(x, _)| x as f64).collect();
+        let b: Vec<f64> = rows.iter().map(|&(_, y)| y as f64).collect();
+        let mut spn = learn(vec![a, b]);
+        let total = spn.probability(&SpnQuery::new(2));
+        prop_assert!((total - 1.0).abs() < 1e-9, "total mass {total}");
+        let p = spn.probability(&SpnQuery::new(2).with_pred(0, LeafPred::lt(threshold as f64)));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p), "p = {p}");
+    }
+
+    /// The learned marginal of a column equals its empirical distribution
+    /// (the SPN may approximate the joint but never the marginals).
+    #[test]
+    fn marginals_are_exact(
+        rows in prop::collection::vec((0i64..5, 0i64..5), 10..200),
+    ) {
+        let a: Vec<f64> = rows.iter().map(|&(x, _)| x as f64).collect();
+        let b: Vec<f64> = rows.iter().map(|&(_, y)| y as f64).collect();
+        let n = rows.len() as f64;
+        let mut spn = learn(vec![a.clone(), b]);
+        for v in 0..5 {
+            let p = spn.probability(&SpnQuery::new(2).with_pred(0, LeafPred::eq(v as f64)));
+            let emp = a.iter().filter(|&&x| x == v as f64).count() as f64 / n;
+            prop_assert!((p - emp).abs() < 1e-9, "P(a={v}) = {p} vs empirical {emp}");
+        }
+    }
+
+    /// Complementary events sum to one.
+    #[test]
+    fn complement_rule(
+        rows in prop::collection::vec((0i64..8, 0i64..3), 10..150),
+        split in 0i64..8,
+    ) {
+        let a: Vec<f64> = rows.iter().map(|&(x, _)| x as f64).collect();
+        let b: Vec<f64> = rows.iter().map(|&(_, y)| y as f64).collect();
+        let mut spn = learn(vec![a, b]);
+        let lo = spn.probability(&SpnQuery::new(2).with_pred(0, LeafPred::lt(split as f64)));
+        let hi = spn.probability(&SpnQuery::new(2).with_pred(0, LeafPred::ge(split as f64)));
+        prop_assert!((lo + hi - 1.0).abs() < 1e-9, "{lo} + {hi} != 1");
+    }
+
+    /// E[X] from the SPN equals the empirical mean (exact marginal moments).
+    #[test]
+    fn expectation_matches_empirical_mean(
+        rows in prop::collection::vec((0i64..50, 0i64..3), 10..150),
+    ) {
+        let a: Vec<f64> = rows.iter().map(|&(x, _)| x as f64).collect();
+        let b: Vec<f64> = rows.iter().map(|&(_, y)| y as f64).collect();
+        let mean = a.iter().sum::<f64>() / a.len() as f64;
+        let mut spn = learn(vec![a, b]);
+        let e = spn.evaluate(&SpnQuery::new(2).with_func(0, LeafFunc::X));
+        prop_assert!((e - mean).abs() < 1e-9, "E[X] = {e} vs {mean}");
+    }
+
+    /// Insert followed by delete of the same tuple restores every query
+    /// answer exactly.
+    #[test]
+    fn insert_delete_is_identity(
+        rows in prop::collection::vec((0i64..5, 0i64..5), 20..100),
+        tuple in (0i64..5, 0i64..5),
+        probe in 0i64..5,
+    ) {
+        let a: Vec<f64> = rows.iter().map(|&(x, _)| x as f64).collect();
+        let b: Vec<f64> = rows.iter().map(|&(_, y)| y as f64).collect();
+        let mut spn = learn(vec![a, b]);
+        let q = SpnQuery::new(2).with_pred(0, LeafPred::eq(probe as f64));
+        let before = spn.probability(&q);
+        let t = [tuple.0 as f64, tuple.1 as f64];
+        spn.insert(&t);
+        spn.delete(&t);
+        let after = spn.probability(&q);
+        prop_assert!((before - after).abs() < 1e-12, "{before} vs {after}");
+        prop_assert_eq!(spn.n_rows(), rows.len() as u64);
+    }
+
+    /// Conditional expectations stay within the support bounds of the column.
+    #[test]
+    fn conditional_expectation_within_bounds(
+        rows in prop::collection::vec((0i64..40, 0i64..4), 20..150),
+        evidence in 0i64..4,
+    ) {
+        let a: Vec<f64> = rows.iter().map(|&(x, _)| x as f64).collect();
+        let b: Vec<f64> = rows.iter().map(|&(_, y)| y as f64).collect();
+        let lo = a.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut spn = learn(vec![a, b]);
+        let num = spn.evaluate(
+            &SpnQuery::new(2).with_func(0, LeafFunc::X).with_pred(1, LeafPred::eq(evidence as f64)),
+        );
+        let den = spn.probability(&SpnQuery::new(2).with_pred(1, LeafPred::eq(evidence as f64)));
+        if den > 1e-12 {
+            let cond = num / den;
+            prop_assert!(cond >= lo - 1e-9 && cond <= hi + 1e-9, "E[X|e] = {cond} ∉ [{lo}, {hi}]");
+        }
+    }
+}

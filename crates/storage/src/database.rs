@@ -1,0 +1,283 @@
+//! The catalog: tables plus foreign-key relationships.
+
+use std::collections::HashMap;
+
+use crate::{
+    ColId, ForeignKey, StorageError, Table, TableId, TableSchema, Value,
+};
+
+/// A database: named tables and the foreign keys connecting them.
+///
+/// The foreign keys form the *join graph* DeepDB reasons over. All joins in
+/// queries and in RSPN training are along these edges.
+#[derive(Debug, Clone)]
+pub struct Database {
+    name: String,
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Database {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tables: Vec::new(),
+            by_name: HashMap::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register a new (empty) table. Returns its id.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<TableId, StorageError> {
+        if self.by_name.contains_key(schema.name()) {
+            return Err(StorageError::InvalidQuery(format!(
+                "table `{}` already exists",
+                schema.name()
+            )));
+        }
+        let id = self.tables.len();
+        self.by_name.insert(schema.name().to_string(), id);
+        self.tables.push(Table::new(schema));
+        Ok(id)
+    }
+
+    /// Declare `child.child_col → parent.pk`. The parent column must be the
+    /// parent table's primary key.
+    pub fn add_foreign_key(
+        &mut self,
+        child: &str,
+        child_col: &str,
+        parent: &str,
+    ) -> Result<(), StorageError> {
+        let child_table = self.table_id(child)?;
+        let parent_table = self.table_id(parent)?;
+        let child_col = self
+            .tables[child_table]
+            .schema()
+            .column_id(child_col)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: child.to_string(),
+                column: child_col.to_string(),
+            })?;
+        let parent_col = self.tables[parent_table].schema().primary_key().ok_or_else(|| {
+            StorageError::InvalidForeignKey(format!("parent `{parent}` has no primary key"))
+        })?;
+        self.foreign_keys.push(ForeignKey { child_table, child_col, parent_table, parent_col });
+        Ok(())
+    }
+
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id]
+    }
+
+    pub fn table_mut(&mut self, id: TableId) -> &mut Table {
+        &mut self.tables[id]
+    }
+
+    /// Resolve a table name.
+    pub fn table_id(&self, name: &str) -> Result<TableId, StorageError> {
+        self.by_name.get(name).copied().ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Resolve `table.column` names to ids.
+    pub fn column_id(&self, table: &str, column: &str) -> Result<(TableId, ColId), StorageError> {
+        let tid = self.table_id(table)?;
+        let cid = self.tables[tid].schema().column_id(column).ok_or_else(|| {
+            StorageError::UnknownColumn { table: table.to_string(), column: column.to_string() }
+        })?;
+        Ok((tid, cid))
+    }
+
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Foreign keys touching table `t`.
+    pub fn foreign_keys_of(&self, t: TableId) -> impl Iterator<Item = &ForeignKey> {
+        self.foreign_keys.iter().filter(move |fk| fk.touches(t))
+    }
+
+    /// The unique FK edge between two tables, if any.
+    pub fn edge_between(&self, a: TableId, b: TableId) -> Option<&ForeignKey> {
+        self.foreign_keys.iter().find(|fk| fk.touches(a) && fk.touches(b) && a != b)
+    }
+
+    /// Tuple factor `F_{parent←child}`: for every row of the FK's parent
+    /// table, the number of child rows referencing it.
+    ///
+    /// Recomputed on each call; callers that need it repeatedly should cache
+    /// (the RSPN ensembles do).
+    pub fn tuple_factors(&self, fk: &ForeignKey) -> Vec<u32> {
+        let parent = &self.tables[fk.parent_table];
+        let child = &self.tables[fk.child_table];
+        let pk_col = parent.column(fk.parent_col);
+        let mut by_key: HashMap<i64, u32> = HashMap::with_capacity(parent.n_rows());
+        for r in 0..parent.n_rows() {
+            if let Some(k) = pk_col.i64_at(r) {
+                by_key.insert(k, r as u32);
+            }
+        }
+        let mut factors = vec![0u32; parent.n_rows()];
+        let fk_col = child.column(fk.child_col);
+        for r in 0..child.n_rows() {
+            if let Some(k) = fk_col.i64_at(r) {
+                if let Some(&pr) = by_key.get(&k) {
+                    factors[pr as usize] += 1;
+                }
+            }
+        }
+        factors
+    }
+
+    /// Check referential integrity of every foreign key (used by tests and
+    /// dataset generators).
+    pub fn validate_integrity(&self) -> Result<(), StorageError> {
+        for fk in &self.foreign_keys {
+            let parent = &self.tables[fk.parent_table];
+            let child = &self.tables[fk.child_table];
+            let mut keys = std::collections::HashSet::with_capacity(parent.n_rows());
+            let pk_col = parent.column(fk.parent_col);
+            for r in 0..parent.n_rows() {
+                if let Some(k) = pk_col.i64_at(r) {
+                    if !keys.insert(k) {
+                        return Err(StorageError::InvalidForeignKey(format!(
+                            "duplicate primary key {k} in `{}`",
+                            parent.schema().name()
+                        )));
+                    }
+                }
+            }
+            let fk_col = child.column(fk.child_col);
+            for r in 0..child.n_rows() {
+                match fk_col.i64_at(r) {
+                    Some(k) if keys.contains(&k) => {}
+                    Some(k) => {
+                        return Err(StorageError::InvalidForeignKey(format!(
+                            "`{}` row {r} references missing `{}` key {k}",
+                            child.schema().name(),
+                            parent.schema().name()
+                        )))
+                    }
+                    None => {
+                        return Err(StorageError::InvalidForeignKey(format!(
+                            "`{}` row {r} has NULL foreign key",
+                            child.schema().name()
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a row by table name (convenience for update workloads).
+    pub fn insert(&mut self, table: &str, values: &[Value]) -> Result<(), StorageError> {
+        let tid = self.table_id(table)?;
+        self.tables[tid].push_row(values)
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::n_rows).sum()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use super::*;
+    use crate::Domain;
+
+    /// The paper's running example (Figure 5): customers and orders.
+    ///
+    /// Customer 1 (age 20, EUROPE) has orders 1 (ONLINE) and 2 (STORE);
+    /// customer 2 (age 50, EUROPE) has none; customer 3 (age 80, ASIA) has
+    /// orders 3 (ONLINE) and 4 (STORE).
+    pub fn paper_customer_order() -> Database {
+        let mut db = Database::new("paper");
+        db.create_table(
+            TableSchema::new("customer")
+                .pk("c_id")
+                .col("c_age", Domain::Discrete)
+                .col("c_region", Domain::categorical(["EUROPE", "ASIA"])),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("orders")
+                .pk("o_id")
+                .col("c_id", Domain::Key)
+                .col("o_channel", Domain::categorical(["ONLINE", "STORE"])),
+        )
+        .unwrap();
+        db.add_foreign_key("orders", "c_id", "customer").unwrap();
+        let rows = [(1, 20, 0), (2, 50, 0), (3, 80, 1)];
+        for (id, age, region) in rows {
+            db.insert("customer", &[Value::Int(id), Value::Int(age), Value::Int(region)]).unwrap();
+        }
+        let orders = [(1, 1, 0), (2, 1, 1), (3, 3, 0), (4, 3, 1)];
+        for (id, cid, channel) in orders {
+            db.insert("orders", &[Value::Int(id), Value::Int(cid), Value::Int(channel)]).unwrap();
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixtures::paper_customer_order;
+    use super::*;
+
+    #[test]
+    fn catalog_round_trip() {
+        let db = paper_customer_order();
+        assert_eq!(db.n_tables(), 2);
+        let cid = db.table_id("customer").unwrap();
+        assert_eq!(db.table(cid).n_rows(), 3);
+        assert!(db.table_id("nope").is_err());
+        let (t, c) = db.column_id("orders", "o_channel").unwrap();
+        assert_eq!(db.table(t).schema().column(c).name, "o_channel");
+    }
+
+    #[test]
+    fn tuple_factors_match_paper_example() {
+        let db = paper_customer_order();
+        let fk = db.foreign_keys()[0];
+        // Paper Figure 5a: F_{C←O} = [2, 0, 2].
+        assert_eq!(db.tuple_factors(&fk), vec![2, 0, 2]);
+    }
+
+    #[test]
+    fn integrity_validation_passes_then_fails() {
+        let mut db = paper_customer_order();
+        db.validate_integrity().unwrap();
+        // Order referencing a missing customer breaks integrity.
+        db.insert("orders", &[Value::Int(5), Value::Int(99), Value::Int(0)]).unwrap();
+        assert!(db.validate_integrity().is_err());
+    }
+
+    #[test]
+    fn edge_between_finds_fk() {
+        let db = paper_customer_order();
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let fk = db.edge_between(c, o).unwrap();
+        assert_eq!(fk.parent_table, c);
+        assert_eq!(fk.child_table, o);
+        assert!(db.edge_between(c, c).is_none());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = Database::new("x");
+        db.create_table(TableSchema::new("t").pk("id")).unwrap();
+        assert!(db.create_table(TableSchema::new("t").pk("id")).is_err());
+    }
+}

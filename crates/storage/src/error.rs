@@ -1,0 +1,54 @@
+//! Error type for the storage crate.
+
+use crate::ColType;
+
+/// Errors surfaced by catalog, table, and executor operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A table name was not found in the catalog.
+    UnknownTable(String),
+    /// A column name was not found in a table.
+    UnknownColumn { table: String, column: String },
+    /// Row arity did not match the schema.
+    ArityMismatch { table: String, expected: usize, got: usize },
+    /// A value's physical type did not match the column.
+    TypeMismatch { expected: ColType, got: ColType },
+    /// NULL written to a non-nullable column.
+    NullViolation { table: String, column: String },
+    /// Row index out of range.
+    RowOutOfRange { row: usize, n_rows: usize },
+    /// A foreign key referenced a missing table/column or a non-PK parent.
+    InvalidForeignKey(String),
+    /// The tables of a query do not form a connected acyclic join graph.
+    DisconnectedJoin(String),
+    /// A query referenced an aggregate input it cannot use.
+    InvalidQuery(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            Self::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            Self::ArityMismatch { table, expected, got } => {
+                write!(f, "table `{table}` expects {expected} values, got {got}")
+            }
+            Self::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected:?}, got {got:?}")
+            }
+            Self::NullViolation { table, column } => {
+                write!(f, "NULL written to non-nullable `{table}.{column}`")
+            }
+            Self::RowOutOfRange { row, n_rows } => {
+                write!(f, "row {row} out of range (table has {n_rows} rows)")
+            }
+            Self::InvalidForeignKey(msg) => write!(f, "invalid foreign key: {msg}"),
+            Self::DisconnectedJoin(msg) => write!(f, "join not connected/acyclic: {msg}"),
+            Self::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

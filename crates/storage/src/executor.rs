@@ -1,0 +1,382 @@
+//! Ground-truth query execution.
+//!
+//! A streaming multi-way hash-join pipeline over the FK join tree: the first
+//! table is scanned, every further table is attached through a hash index,
+//! and aggregates are folded without materializing the join. This gives the
+//! exact answers (cardinalities, aggregates) that the experiments compare
+//! estimators against.
+
+use std::collections::HashMap;
+
+use crate::{
+    Aggregate, ColId, Database, Indexes, Predicate, Query, StorageError, TableId, Value,
+};
+
+/// Accumulated aggregate state for one (group of) result row(s).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AggResult {
+    /// `COUNT(*)` over qualifying join rows.
+    pub count: u64,
+    /// Sum of the (non-NULL) aggregate input.
+    pub sum: f64,
+    /// Number of non-NULL aggregate inputs (denominator of AVG).
+    pub non_null: u64,
+}
+
+impl AggResult {
+    /// `AVG`; `None` when no non-NULL inputs qualified.
+    pub fn avg(&self) -> Option<f64> {
+        (self.non_null > 0).then(|| self.sum / self.non_null as f64)
+    }
+
+    /// The value of the query's aggregate.
+    pub fn value_for(&self, agg: Aggregate) -> Option<f64> {
+        match agg {
+            Aggregate::CountStar => Some(self.count as f64),
+            Aggregate::Sum(_) => (self.count > 0).then_some(self.sum),
+            Aggregate::Avg(_) => self.avg(),
+        }
+    }
+
+    fn absorb(&mut self, agg_value: Option<Value>) {
+        self.count += 1;
+        if let Some(v) = agg_value {
+            if let Some(x) = v.as_f64() {
+                self.sum += x;
+                self.non_null += 1;
+            }
+        }
+    }
+}
+
+/// Result of [`execute`]: a scalar for plain aggregates, per-group results
+/// for GROUP BY queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    Scalar(AggResult),
+    Grouped(Vec<(Vec<Value>, AggResult)>),
+}
+
+impl QueryOutput {
+    /// Scalar accessor; groups are summed for COUNT/SUM to allow cardinality
+    /// checks on grouped queries.
+    pub fn scalar(&self) -> AggResult {
+        match self {
+            QueryOutput::Scalar(a) => *a,
+            QueryOutput::Grouped(gs) => {
+                let mut total = AggResult::default();
+                for (_, a) in gs {
+                    total.count += a.count;
+                    total.sum += a.sum;
+                    total.non_null += a.non_null;
+                }
+                total
+            }
+        }
+    }
+
+    /// Group list (empty slice for scalar output).
+    pub fn groups(&self) -> &[(Vec<Value>, AggResult)] {
+        match self {
+            QueryOutput::Scalar(_) => &[],
+            QueryOutput::Grouped(g) => g,
+        }
+    }
+}
+
+/// One join step: attach `table` by matching `probe_col` values of an earlier
+/// table against this table's `build_col`.
+struct JoinStep {
+    table: TableId,
+    /// Index into the plan order of the already-joined table we probe from.
+    from_level: usize,
+    /// Column of the earlier table whose value we look up.
+    probe_col: ColId,
+    /// Column of the new table the hash index is built on.
+    build_col: ColId,
+}
+
+/// Execute a query, building temporary indexes.
+pub fn execute(db: &Database, q: &Query) -> Result<QueryOutput, StorageError> {
+    execute_with_indexes(db, q, None)
+}
+
+/// Execute a query, reusing prebuilt [`Indexes`] where possible.
+pub fn execute_with_indexes(
+    db: &Database,
+    q: &Query,
+    idx: Option<&Indexes>,
+) -> Result<QueryOutput, StorageError> {
+    q.validate(db)?;
+    let order = plan_order(db, &q.tables)?;
+
+    // Per-level predicate lists.
+    let preds: Vec<Vec<&Predicate>> =
+        order.iter().map(|&t| q.predicates_on(t).collect()).collect();
+
+    // Build hash maps for non-base tables (level ≥ 1).
+    let mut steps: Vec<JoinStep> = Vec::new();
+    for (level, &t) in order.iter().enumerate().skip(1) {
+        let (from_level, fk) = order[..level]
+            .iter()
+            .enumerate()
+            .find_map(|(l, &u)| db.edge_between(u, t).map(|fk| (l, fk)))
+            .expect("plan_order guarantees connectivity");
+        let (probe_col, build_col) = if fk.child_table == t {
+            // New table is the many side: probe with the parent's PK.
+            (fk.parent_col, fk.child_col)
+        } else {
+            // New table is the one side: probe with the child's FK value.
+            (fk.child_col, fk.parent_col)
+        };
+        steps.push(JoinStep { table: t, from_level, probe_col, build_col });
+    }
+
+    // Hash index per step (reuse prebuilt children indexes when they match).
+    let mut built: Vec<HashMap<i64, Vec<u32>>> = Vec::with_capacity(steps.len());
+    for step in &steps {
+        if let Some(pre) = idx.and_then(|ix| ix.children_index(step.table, step.build_col)) {
+            built.push(pre.clone());
+            continue;
+        }
+        let table = db.table(step.table);
+        let col = table.column(step.build_col);
+        let mut map: HashMap<i64, Vec<u32>> = HashMap::new();
+        for r in 0..table.n_rows() {
+            if let Some(k) = col.i64_at(r) {
+                map.entry(k).or_default().push(r as u32);
+            }
+        }
+        built.push(map);
+    }
+
+    let agg_input = q.aggregate_input();
+    let grouped = !q.group_by.is_empty();
+    let mut scalar = AggResult::default();
+    let mut groups: HashMap<Vec<Value>, AggResult> = HashMap::new();
+
+    // Depth-first enumeration of join combinations.
+    let base = db.table(order[0]);
+    let mut assignment: Vec<u32> = vec![0; order.len()];
+    let level_of = |t: TableId| order.iter().position(|&u| u == t).unwrap();
+    let agg_level = agg_input.map(|c| (level_of(c.table), c.column));
+    let group_levels: Vec<(usize, ColId)> =
+        q.group_by.iter().map(|c| (level_of(c.table), c.column)).collect();
+
+    // Recursive closure via explicit stack to avoid lifetime gymnastics.
+    fn recurse(
+        db: &Database,
+        order: &[TableId],
+        steps: &[JoinStep],
+        built: &[HashMap<i64, Vec<u32>>],
+        preds: &[Vec<&Predicate>],
+        assignment: &mut Vec<u32>,
+        level: usize,
+        agg_level: Option<(usize, ColId)>,
+        group_levels: &[(usize, ColId)],
+        grouped: bool,
+        scalar: &mut AggResult,
+        groups: &mut HashMap<Vec<Value>, AggResult>,
+    ) {
+        if level == order.len() {
+            let agg_value =
+                agg_level.map(|(l, c)| db.table(order[l]).value(assignment[l] as usize, c));
+            if grouped {
+                let key: Vec<Value> = group_levels
+                    .iter()
+                    .map(|&(l, c)| db.table(order[l]).value(assignment[l] as usize, c))
+                    .collect();
+                groups.entry(key).or_default().absorb(agg_value);
+            } else {
+                scalar.absorb(agg_value);
+            }
+            return;
+        }
+        let step = &steps[level - 1];
+        let from_table = db.table(order[step.from_level]);
+        let from_row = assignment[step.from_level] as usize;
+        let Some(key) = from_table.column(step.probe_col).i64_at(from_row) else {
+            return; // NULL join key never matches (inner join)
+        };
+        let Some(matches) = built[level - 1].get(&key) else {
+            return;
+        };
+        let table = db.table(step.table);
+        'rows: for &r in matches {
+            for p in &preds[level] {
+                if !p.passes(&table.value(r as usize, p.column)) {
+                    continue 'rows;
+                }
+            }
+            assignment[level] = r;
+            recurse(
+                db, order, steps, built, preds, assignment, level + 1, agg_level, group_levels,
+                grouped, scalar, groups,
+            );
+        }
+    }
+
+    'base_rows: for r in 0..base.n_rows() {
+        for p in &preds[0] {
+            if !p.passes(&base.value(r, p.column)) {
+                continue 'base_rows;
+            }
+        }
+        assignment[0] = r as u32;
+        recurse(
+            db,
+            &order,
+            &steps,
+            &built,
+            &preds,
+            &mut assignment,
+            1,
+            agg_level,
+            &group_levels,
+            grouped,
+            &mut scalar,
+            &mut groups,
+        );
+    }
+
+    if grouped {
+        let mut out: Vec<(Vec<Value>, AggResult)> = groups.into_iter().collect();
+        // Deterministic output order for tests and reports.
+        out.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        Ok(QueryOutput::Grouped(out))
+    } else {
+        Ok(QueryOutput::Scalar(scalar))
+    }
+}
+
+/// BFS ordering of the query's tables such that each table after the first
+/// connects by FK to an earlier one.
+pub(crate) fn plan_order(db: &Database, tables: &[TableId]) -> Result<Vec<TableId>, StorageError> {
+    let mut order = vec![tables[0]];
+    let mut remaining: Vec<TableId> = tables[1..].to_vec();
+    while !remaining.is_empty() {
+        let pos = remaining
+            .iter()
+            .position(|&t| order.iter().any(|&u| db.edge_between(u, t).is_some()))
+            .ok_or_else(|| {
+                StorageError::DisconnectedJoin(format!("cannot order tables {tables:?}"))
+            })?;
+        order.push(remaining.remove(pos));
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::test_fixtures::paper_customer_order;
+    use crate::{Aggregate, CmpOp, ColumnRef, PredOp, Query};
+
+    fn ids(db: &Database) -> (TableId, TableId) {
+        (db.table_id("customer").unwrap(), db.table_id("orders").unwrap())
+    }
+
+    #[test]
+    fn paper_query_q1_count_european_customers() {
+        let db = paper_customer_order();
+        let (c, _) = ids(&db);
+        let q = Query::count(vec![c]).filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+        assert_eq!(execute(&db, &q).unwrap().scalar().count, 2);
+    }
+
+    #[test]
+    fn paper_query_q2_join_count() {
+        let db = paper_customer_order();
+        let (c, o) = ids(&db);
+        // European customers with online orders: only customer 1 / order 1.
+        let q = Query::count(vec![c, o])
+            .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
+            .filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+        assert_eq!(execute(&db, &q).unwrap().scalar().count, 1);
+    }
+
+    #[test]
+    fn join_without_predicates_counts_all_pairs() {
+        let db = paper_customer_order();
+        let (c, o) = ids(&db);
+        let q = Query::count(vec![c, o]);
+        assert_eq!(execute(&db, &q).unwrap().scalar().count, 4);
+        // Order of tables in FROM must not matter.
+        let q2 = Query::count(vec![o, c]);
+        assert_eq!(execute(&db, &q2).unwrap().scalar().count, 4);
+    }
+
+    #[test]
+    fn paper_query_q3_avg_age_of_europeans() {
+        let db = paper_customer_order();
+        let (c, _) = ids(&db);
+        let q = Query::count(vec![c])
+            .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
+            .aggregate(Aggregate::Avg(ColumnRef { table: c, column: 1 }));
+        let out = execute(&db, &q).unwrap().scalar();
+        assert_eq!(out.avg(), Some(35.0)); // (20 + 50) / 2, paper §4.2
+    }
+
+    #[test]
+    fn avg_over_join_weights_by_orders() {
+        let db = paper_customer_order();
+        let (c, o) = ids(&db);
+        // Joined AVG(c_age): customers 1 and 3 contribute twice each.
+        let q = Query::count(vec![c, o]).aggregate(Aggregate::Avg(ColumnRef { table: c, column: 1 }));
+        let out = execute(&db, &q).unwrap().scalar();
+        assert_eq!(out.avg(), Some((20.0 * 2.0 + 80.0 * 2.0) / 4.0));
+    }
+
+    #[test]
+    fn group_by_region() {
+        let db = paper_customer_order();
+        let (c, _) = ids(&db);
+        let q = Query::count(vec![c]).group(c, 2);
+        let out = execute(&db, &q).unwrap();
+        let groups = out.groups();
+        assert_eq!(groups.len(), 2);
+        let total: u64 = groups.iter().map(|(_, a)| a.count).sum();
+        assert_eq!(total, 3);
+        assert_eq!(out.scalar().count, 3);
+    }
+
+    #[test]
+    fn sum_ignores_nulls() {
+        let mut db = Database::new("t");
+        db.create_table(
+            crate::TableSchema::new("x").pk("id").nullable_col("v", crate::Domain::Continuous),
+        )
+        .unwrap();
+        db.insert("x", &[Value::Int(1), Value::Float(2.0)]).unwrap();
+        db.insert("x", &[Value::Int(2), Value::Null]).unwrap();
+        let x = db.table_id("x").unwrap();
+        let q = Query::count(vec![x]).aggregate(Aggregate::Sum(ColumnRef { table: x, column: 1 }));
+        let out = execute(&db, &q).unwrap().scalar();
+        assert_eq!(out.sum, 2.0);
+        assert_eq!(out.count, 2);
+        assert_eq!(out.non_null, 1);
+    }
+
+    #[test]
+    fn prebuilt_indexes_give_same_answer() {
+        let db = paper_customer_order();
+        let (c, o) = ids(&db);
+        let idx = Indexes::build(&db);
+        let q = Query::count(vec![c, o]).filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(1)));
+        let a = execute(&db, &q).unwrap();
+        let b = execute_with_indexes(&db, &q, Some(&idx)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.scalar().count, 2);
+    }
+
+    #[test]
+    fn count_monotone_under_conjunction() {
+        let db = paper_customer_order();
+        let (c, o) = ids(&db);
+        let base = Query::count(vec![c, o]);
+        let narrowed = Query::count(vec![c, o]).filter(c, 1, PredOp::Cmp(CmpOp::Lt, Value::Int(50)));
+        let a = execute(&db, &base).unwrap().scalar().count;
+        let b = execute(&db, &narrowed).unwrap().scalar().count;
+        assert!(b <= a);
+    }
+}

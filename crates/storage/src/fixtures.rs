@@ -1,0 +1,127 @@
+//! Shared test/example fixtures: the paper's running Customer/Order example
+//! (Figure 5). Public so downstream crates, examples, and integration tests
+//! can verify against the paper's worked numbers.
+
+use crate::{Database, Domain, TableSchema, Value};
+
+/// Build the exact database of paper Figure 5.
+///
+/// * `customer(c_id, c_age, c_region)` = (1, 20, EUROPE), (2, 50, EUROPE),
+///   (3, 80, ASIA)
+/// * `orders(o_id, c_id, o_channel)` = (1, 1, ONLINE), (2, 1, STORE),
+///   (3, 3, ONLINE), (4, 3, STORE)
+///
+/// Region codes: EUROPE = 0, ASIA = 1. Channel codes: ONLINE = 0, STORE = 1.
+pub fn paper_customer_order() -> Database {
+    let mut db = Database::new("paper");
+    db.create_table(
+        TableSchema::new("customer")
+            .pk("c_id")
+            .col("c_age", Domain::Discrete)
+            .col("c_region", Domain::categorical(["EUROPE", "ASIA"])),
+    )
+    .expect("fresh catalog");
+    db.create_table(
+        TableSchema::new("orders")
+            .pk("o_id")
+            .col("c_id", Domain::Key)
+            .col("o_channel", Domain::categorical(["ONLINE", "STORE"])),
+    )
+    .expect("fresh catalog");
+    db.add_foreign_key("orders", "c_id", "customer").expect("valid fk");
+    for (id, age, region) in [(1, 20, 0), (2, 50, 0), (3, 80, 1)] {
+        db.insert("customer", &[Value::Int(id), Value::Int(age), Value::Int(region)])
+            .expect("valid row");
+    }
+    for (id, cid, channel) in [(1, 1, 0), (2, 1, 1), (3, 3, 0), (4, 3, 1)] {
+        db.insert("orders", &[Value::Int(id), Value::Int(cid), Value::Int(channel)])
+            .expect("valid row");
+    }
+    db
+}
+
+/// A larger randomized customer/orders database with a controllable
+/// correlation between customer region and order channel, for statistical
+/// tests of estimators. Deterministic in `seed`.
+pub fn correlated_customer_order(n_customers: usize, seed: u64) -> Database {
+    let mut db = Database::new("correlated");
+    db.create_table(
+        TableSchema::new("customer")
+            .pk("c_id")
+            .col("c_age", Domain::Discrete)
+            .col("c_region", Domain::categorical(["EUROPE", "ASIA", "AMERICA"])),
+    )
+    .expect("fresh catalog");
+    db.create_table(
+        TableSchema::new("orders")
+            .pk("o_id")
+            .col("c_id", Domain::Key)
+            .col("o_channel", Domain::categorical(["ONLINE", "STORE"]))
+            .col("o_amount", Domain::Continuous),
+    )
+    .expect("fresh catalog");
+    db.add_foreign_key("orders", "c_id", "customer").expect("valid fk");
+
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+
+    let mut order_id = 1i64;
+    for c in 1..=n_customers as i64 {
+        let region = (next() * 3.0) as i64;
+        // Age correlates with region: Europeans skew older.
+        let age = match region {
+            0 => 50 + (next() * 40.0) as i64,
+            _ => 18 + (next() * 40.0) as i64,
+        };
+        db.insert("customer", &[Value::Int(c), Value::Int(age), Value::Int(region)])
+            .expect("valid row");
+        // Fan-out 0..4 correlated with age (older → more orders).
+        let lambda = if age > 50 { 2.5 } else { 1.0 };
+        let n_orders = (next() * lambda * 2.0) as i64;
+        for _ in 0..n_orders {
+            // Channel correlates with region: Europeans shop in stores.
+            let channel = if region == 0 {
+                i64::from(next() < 0.2)
+            } else {
+                i64::from(next() < 0.8)
+            };
+            let amount = 10.0 + next() * 490.0;
+            db.insert(
+                "orders",
+                &[Value::Int(order_id), Value::Int(c), Value::Int(channel), Value::Float(amount)],
+            )
+            .expect("valid row");
+            order_id += 1;
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fixture_matches_figure_5() {
+        let db = paper_customer_order();
+        db.validate_integrity().unwrap();
+        assert_eq!(db.table(db.table_id("customer").unwrap()).n_rows(), 3);
+        assert_eq!(db.table(db.table_id("orders").unwrap()).n_rows(), 4);
+    }
+
+    #[test]
+    fn correlated_fixture_is_deterministic_and_consistent() {
+        let a = correlated_customer_order(200, 7);
+        let b = correlated_customer_order(200, 7);
+        a.validate_integrity().unwrap();
+        let oa = a.table(a.table_id("orders").unwrap()).n_rows();
+        let ob = b.table(b.table_id("orders").unwrap()).n_rows();
+        assert_eq!(oa, ob);
+        assert!(oa > 50, "should generate a reasonable number of orders, got {oa}");
+    }
+}

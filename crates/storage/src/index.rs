@@ -1,0 +1,88 @@
+//! Hash indexes over primary and foreign keys.
+
+use std::collections::HashMap;
+
+use crate::{ColId, Database, TableId};
+
+/// Prebuilt hash indexes: primary key → row id, and (child table, fk column,
+/// key) → child row ids. These play the role of the secondary indexes the
+/// paper's baselines (Index-Based Join Sampling, Wander Join) assume exist.
+#[derive(Debug, Default, Clone)]
+pub struct Indexes {
+    pk: HashMap<TableId, HashMap<i64, u32>>,
+    children: HashMap<(TableId, ColId), HashMap<i64, Vec<u32>>>,
+}
+
+impl Indexes {
+    /// Build all PK indexes and one children-index per foreign key.
+    pub fn build(db: &Database) -> Self {
+        let mut idx = Indexes::default();
+        for t in 0..db.n_tables() {
+            let table = db.table(t);
+            if let Some(pk) = table.schema().primary_key() {
+                let col = table.column(pk);
+                let mut map = HashMap::with_capacity(table.n_rows());
+                for r in 0..table.n_rows() {
+                    if let Some(k) = col.i64_at(r) {
+                        map.insert(k, r as u32);
+                    }
+                }
+                idx.pk.insert(t, map);
+            }
+        }
+        for fk in db.foreign_keys() {
+            let child = db.table(fk.child_table);
+            let col = child.column(fk.child_col);
+            let mut map: HashMap<i64, Vec<u32>> = HashMap::new();
+            for r in 0..child.n_rows() {
+                if let Some(k) = col.i64_at(r) {
+                    map.entry(k).or_default().push(r as u32);
+                }
+            }
+            idx.children.insert((fk.child_table, fk.child_col), map);
+        }
+        idx
+    }
+
+    /// Row id holding primary key `key` in `table`.
+    pub fn pk_lookup(&self, table: TableId, key: i64) -> Option<u32> {
+        self.pk.get(&table)?.get(&key).copied()
+    }
+
+    /// Child rows of `(child_table, child_col)` whose FK equals `key`.
+    pub fn children(&self, child_table: TableId, child_col: ColId, key: i64) -> &[u32] {
+        self.children
+            .get(&(child_table, child_col))
+            .and_then(|m| m.get(&key))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// All (key, rows) pairs of a children index — used by samplers.
+    pub fn children_index(
+        &self,
+        child_table: TableId,
+        child_col: ColId,
+    ) -> Option<&HashMap<i64, Vec<u32>>> {
+        self.children.get(&(child_table, child_col))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::test_fixtures::paper_customer_order;
+
+    #[test]
+    fn pk_and_children_lookups() {
+        let db = paper_customer_order();
+        let idx = Indexes::build(&db);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        assert_eq!(idx.pk_lookup(c, 3), Some(2));
+        assert_eq!(idx.pk_lookup(c, 42), None);
+        let fk = db.foreign_keys()[0];
+        assert_eq!(idx.children(o, fk.child_col, 1), &[0, 1]);
+        assert_eq!(idx.children(o, fk.child_col, 2), &[] as &[u32]);
+        assert_eq!(idx.children(o, fk.child_col, 3), &[2, 3]);
+    }
+}

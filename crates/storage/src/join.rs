@@ -1,0 +1,580 @@
+//! Exact full-outer-join counting and uniform sampling over FK join trees.
+//!
+//! RSPNs are learned over (samples of) the *full outer join* of correlated
+//! tables (paper §4.1), augmented with
+//!
+//! * a join indicator `N_T ∈ {0,1}` per table marking whether the tuple has a
+//!   `T` component (used to answer inner-join queries from the outer join);
+//! * a tuple-factor column per foreign key `S←T` whose parent `S` is in the
+//!   join: the number of `T` rows joining the `S` row. Factors of edges
+//!   *inside* the join are stored clamped to ≥ 1 (`F'`, Figure 5b); factors
+//!   of edges leaving the join are stored raw (Figure 5a), as the paper does.
+//!
+//! Rather than materializing the join, we root the join tree, compute exact
+//! per-row combination counts bottom-up, and then draw i.i.d. uniform rows by
+//! weighted descent. This gives the exact `|J|` and unbiased samples in
+//! O(rows) preprocessing + O(depth·fanout) per sample.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::{ColId, Database, ForeignKey, StorageError, TableId};
+
+/// How a column of a [`JoinSample`] relates to the base tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JoinColumnRole {
+    /// A data column of one of the joined tables.
+    Data { table: TableId, col: ColId },
+    /// The `N_T` join indicator of a table (1 present, 0 NULL-padded).
+    Indicator { table: TableId },
+    /// A tuple-factor column `F_{parent←child}`. `clamped` means values are
+    /// `max(F,1)` (edges internal to the join); raw otherwise.
+    TupleFactor { fk: ForeignKey, clamped: bool },
+}
+
+/// Metadata of one column in a [`JoinSample`].
+#[derive(Debug, Clone)]
+pub struct JoinColumnMeta {
+    /// Qualified name, e.g. `"customer.c_age"`, `"N:orders"`,
+    /// `"F:customer<-orders"`.
+    pub name: String,
+    pub role: JoinColumnRole,
+    /// Whether learners should treat the column as discrete.
+    pub discrete: bool,
+    /// Whether NULLs (NaN) can appear.
+    pub nullable: bool,
+}
+
+/// A uniform sample of the full outer join, as a column-major `f64` matrix
+/// with NaN encoding NULL. This is the training input of an RSPN.
+#[derive(Debug, Clone)]
+pub struct JoinSample {
+    pub tables: Vec<TableId>,
+    pub columns: Vec<JoinColumnMeta>,
+    /// `data[col][sample]`.
+    pub data: Vec<Vec<f64>>,
+    /// Exact size of the full outer join.
+    pub full_join_count: u64,
+    pub n_samples: usize,
+}
+
+impl JoinSample {
+    /// Index of the column with the given name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+/// Tree edge classification relative to the BFS parent.
+#[derive(Debug, Clone, Copy)]
+struct TreeEdge {
+    fk: ForeignKey,
+    /// True if the node is the FK-child (many side) of its tree parent.
+    node_is_fk_child: bool,
+}
+
+/// A rooted FK join tree over a set of tables with precomputed combination
+/// counts, anchors, and hash indexes for sampling.
+pub struct JoinTree {
+    /// Node order; `nodes[0]` is the root. Values are table ids.
+    nodes: Vec<TableId>,
+    edges: Vec<Option<TreeEdge>>, // None only for the root
+    /// Children in the tree per node (node indexes).
+    tree_children: Vec<Vec<usize>>,
+    /// Subtree combination counts per node per row.
+    counts: Vec<Vec<u64>>,
+    /// Hash index child-FK value → child rows, for downward edges (per node).
+    child_index: Vec<Option<HashMap<i64, Vec<u32>>>>,
+    /// PK → row maps for upward edges (per node).
+    pk_index: Vec<Option<HashMap<i64, u32>>>,
+    /// Anchor nodes with per-row weights (prefix sums) over valid anchor rows.
+    anchors: Vec<Anchor>,
+    total: u64,
+}
+
+struct Anchor {
+    node: usize,
+    /// Valid anchor rows.
+    rows: Vec<u32>,
+    /// Cumulative weights aligned with `rows` (last entry = anchor total).
+    cumulative: Vec<u64>,
+}
+
+impl JoinTree {
+    /// Build the join tree for `tables` (must form a connected subtree of the
+    /// FK graph) and precompute counts.
+    pub fn new(db: &Database, tables: &[TableId]) -> Result<Self, StorageError> {
+        if tables.is_empty() {
+            return Err(StorageError::InvalidQuery("empty table list".into()));
+        }
+        let nodes = crate::executor::plan_order(db, tables)?;
+        let n = nodes.len();
+        let mut edges: Vec<Option<TreeEdge>> = vec![None; n];
+        let mut tree_children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // BFS parent per node — needed only during construction.
+        let mut tree_parent = vec![0usize; n];
+        for i in 1..n {
+            let (pidx, fk) = nodes[..i]
+                .iter()
+                .enumerate()
+                .find_map(|(j, &u)| db.edge_between(u, nodes[i]).map(|fk| (j, *fk)))
+                .expect("plan_order guarantees connectivity");
+            tree_parent[i] = pidx;
+            tree_children[pidx].push(i);
+            edges[i] = Some(TreeEdge { fk, node_is_fk_child: fk.child_table == nodes[i] });
+        }
+
+        // Per-node indexes for descent.
+        let mut child_index: Vec<Option<HashMap<i64, Vec<u32>>>> = vec![None; n];
+        let mut pk_index: Vec<Option<HashMap<i64, u32>>> = vec![None; n];
+        for i in 1..n {
+            let edge = edges[i].unwrap();
+            let table = db.table(nodes[i]);
+            if edge.node_is_fk_child {
+                // Downward: index child rows by FK value.
+                let col = table.column(edge.fk.child_col);
+                let mut map: HashMap<i64, Vec<u32>> = HashMap::new();
+                for r in 0..table.n_rows() {
+                    if let Some(k) = col.i64_at(r) {
+                        map.entry(k).or_default().push(r as u32);
+                    }
+                }
+                child_index[i] = Some(map);
+            } else {
+                // Upward: index parent rows by PK.
+                let col = table.column(edge.fk.parent_col);
+                let mut map: HashMap<i64, u32> = HashMap::with_capacity(table.n_rows());
+                for r in 0..table.n_rows() {
+                    if let Some(k) = col.i64_at(r) {
+                        map.insert(k, r as u32);
+                    }
+                }
+                pk_index[i] = Some(map);
+            }
+        }
+
+        // Subtree counts bottom-up (reverse BFS order suffices: children have
+        // larger indexes than parents).
+        let mut counts: Vec<Vec<u64>> = nodes
+            .iter()
+            .map(|&t| vec![1u64; db.table(t).n_rows()])
+            .collect();
+        for i in (0..n).rev() {
+            let table = db.table(nodes[i]);
+            for &j in &tree_children[i] {
+                let edge = edges[j].unwrap();
+                if edge.node_is_fk_child {
+                    // Branch count = Σ matching child subtree counts, min 1.
+                    let idx = child_index[j].as_ref().unwrap();
+                    let probe = table.column(edge.fk.parent_col);
+                    for r in 0..table.n_rows() {
+                        let branch: u64 = probe
+                            .i64_at(r)
+                            .and_then(|k| idx.get(&k))
+                            .map(|rows| {
+                                rows.iter().map(|&s| counts[j][s as usize]).fold(0u64, u64::saturating_add)
+                            })
+                            .unwrap_or(0)
+                            .max(1);
+                        counts[i][r] = counts[i][r].saturating_mul(branch);
+                    }
+                } else {
+                    // Unique FK parent: multiply by its subtree count.
+                    let idx = pk_index[j].as_ref().unwrap();
+                    let probe = table.column(edge.fk.child_col);
+                    for r in 0..table.n_rows() {
+                        let branch = probe
+                            .i64_at(r)
+                            .and_then(|k| idx.get(&k))
+                            .map(|&s| counts[j][s as usize])
+                            .unwrap_or(1);
+                        counts[i][r] = counts[i][r].saturating_mul(branch);
+                    }
+                }
+            }
+        }
+
+        // Anchors: the root (all rows) plus every node whose tree parent is
+        // its FK child (rows with zero referencing parent-side rows).
+        let mut anchors = Vec::new();
+        let mut total = 0u64;
+        {
+            let rows: Vec<u32> = (0..db.table(nodes[0]).n_rows() as u32).collect();
+            let mut cumulative = Vec::with_capacity(rows.len());
+            let mut acc = 0u64;
+            for &r in &rows {
+                acc = acc.saturating_add(counts[0][r as usize]);
+                cumulative.push(acc);
+            }
+            total = total.saturating_add(acc);
+            anchors.push(Anchor { node: 0, rows, cumulative });
+        }
+        for i in 1..n {
+            let edge = edges[i].unwrap();
+            if edge.node_is_fk_child {
+                continue; // node always has its FK parent present
+            }
+            // Node is FK-parent of its tree parent: anchor rows are those
+            // with no referencing rows in the tree parent's table.
+            let table = db.table(nodes[i]);
+            let parent_table = db.table(nodes[tree_parent[i]]);
+            let mut referenced: std::collections::HashSet<i64> = std::collections::HashSet::new();
+            let fkcol = parent_table.column(edge.fk.child_col);
+            for r in 0..parent_table.n_rows() {
+                if let Some(k) = fkcol.i64_at(r) {
+                    referenced.insert(k);
+                }
+            }
+            let pkcol = table.column(edge.fk.parent_col);
+            let mut rows = Vec::new();
+            let mut cumulative = Vec::new();
+            let mut acc = 0u64;
+            for r in 0..table.n_rows() {
+                let dangling = pkcol.i64_at(r).map_or(true, |k| !referenced.contains(&k));
+                if dangling {
+                    acc = acc.saturating_add(counts[i][r]);
+                    rows.push(r as u32);
+                    cumulative.push(acc);
+                }
+            }
+            if !rows.is_empty() {
+                total = total.saturating_add(acc);
+                anchors.push(Anchor { node: i, rows, cumulative });
+            }
+        }
+
+        Ok(Self {
+            nodes,
+            edges,
+            tree_children,
+            counts,
+            child_index,
+            pk_index,
+            anchors,
+            total,
+        })
+    }
+
+    /// Exact number of rows in the full outer join.
+    pub fn full_count(&self) -> u64 {
+        self.total
+    }
+
+    /// Tables of the join in BFS order.
+    pub fn tables(&self) -> &[TableId] {
+        &self.nodes
+    }
+
+    /// Draw one uniform full-outer-join row as per-node `Option<row>`.
+    fn sample_row<R: Rng + ?Sized>(&self, db: &Database, rng: &mut R) -> Vec<Option<u32>> {
+        let mut assignment: Vec<Option<u32>> = vec![None; self.nodes.len()];
+        if self.total == 0 {
+            return assignment;
+        }
+        // Pick the anchor entry by global weight.
+        let mut u = rng.gen_range(0..self.total);
+        let mut chosen: Option<(usize, u32)> = None;
+        for anchor in &self.anchors {
+            let anchor_total = *anchor.cumulative.last().unwrap_or(&0);
+            if u < anchor_total {
+                let pos = anchor.cumulative.partition_point(|&c| c <= u);
+                chosen = Some((anchor.node, anchor.rows[pos]));
+                break;
+            }
+            u -= anchor_total;
+        }
+        let (anchor_node, anchor_row) =
+            chosen.expect("total is the sum of anchor totals");
+        assignment[anchor_node] = Some(anchor_row);
+        self.descend(db, anchor_node, anchor_row, &mut assignment, rng);
+        assignment
+    }
+
+    /// Fill the subtree below `node` by weighted descent.
+    fn descend<R: Rng + ?Sized>(
+        &self,
+        db: &Database,
+        node: usize,
+        row: u32,
+        assignment: &mut Vec<Option<u32>>,
+        rng: &mut R,
+    ) {
+        let table = db.table(self.nodes[node]);
+        for &j in &self.tree_children[node] {
+            let edge = self.edges[j].unwrap();
+            if edge.node_is_fk_child {
+                let idx = self.child_index[j].as_ref().unwrap();
+                let key = table.column(edge.fk.parent_col).i64_at(row as usize);
+                let matches = key.and_then(|k| idx.get(&k));
+                if let Some(matches) = matches.filter(|m| !m.is_empty()) {
+                    // Weighted choice proportional to subtree counts.
+                    let weights: Vec<u64> =
+                        matches.iter().map(|&s| self.counts[j][s as usize]).collect();
+                    let total: u64 = weights.iter().fold(0u64, |a, &b| a.saturating_add(b));
+                    let pick = if total == 0 {
+                        matches[rng.gen_range(0..matches.len())]
+                    } else {
+                        let mut u = rng.gen_range(0..total);
+                        let mut chosen = matches[matches.len() - 1];
+                        for (w, &s) in weights.iter().zip(matches.iter()) {
+                            if u < *w {
+                                chosen = s;
+                                break;
+                            }
+                            u -= w;
+                        }
+                        chosen
+                    };
+                    assignment[j] = Some(pick);
+                    self.descend(db, j, pick, assignment, rng);
+                }
+                // else: branch NULL-padded (assignment[j] stays None)
+            } else {
+                let idx = self.pk_index[j].as_ref().unwrap();
+                if let Some(&s) =
+                    table.column(edge.fk.child_col).i64_at(row as usize).and_then(|k| idx.get(&k))
+                {
+                    assignment[j] = Some(s);
+                    self.descend(db, j, s, assignment, rng);
+                }
+            }
+        }
+    }
+
+    /// Draw `n` i.i.d. uniform rows and assemble the learner matrix: all
+    /// modelled data columns, one `N_T` indicator per table, and tuple-factor
+    /// columns for every FK whose parent is one of the joined tables.
+    pub fn sample<R: Rng + ?Sized>(&self, db: &Database, n: usize, rng: &mut R) -> JoinSample {
+        let internal: Vec<ForeignKey> = self.edges.iter().flatten().map(|e| e.fk).collect();
+        let mut columns: Vec<JoinColumnMeta> = Vec::new();
+        // Per output column: how to compute it from an assignment.
+        enum Src {
+            Data { node: usize, col: ColId },
+            Indicator { node: usize },
+            Factor { node: usize, factors: Vec<u32>, clamped: bool },
+        }
+        let mut sources: Vec<Src> = Vec::new();
+
+        for (node, &t) in self.nodes.iter().enumerate() {
+            let table = db.table(t);
+            for (c, def) in table.schema().columns().iter().enumerate() {
+                if !def.domain.is_modelled() {
+                    continue;
+                }
+                columns.push(JoinColumnMeta {
+                    name: format!("{}.{}", table.schema().name(), def.name),
+                    role: JoinColumnRole::Data { table: t, col: c },
+                    discrete: def.domain.is_discrete(),
+                    nullable: def.nullable || self.nodes.len() > 1,
+                });
+                sources.push(Src::Data { node, col: c });
+            }
+            columns.push(JoinColumnMeta {
+                name: format!("N:{}", table.schema().name()),
+                role: JoinColumnRole::Indicator { table: t },
+                discrete: true,
+                nullable: false,
+            });
+            sources.push(Src::Indicator { node });
+            // Tuple factors of every FK with this table as parent.
+            for fk in db.foreign_keys() {
+                if fk.parent_table != t {
+                    continue;
+                }
+                let clamped = internal.iter().any(|e| e == fk);
+                let factors = db.tuple_factors(fk);
+                columns.push(JoinColumnMeta {
+                    name: format!(
+                        "F:{}<-{}",
+                        table.schema().name(),
+                        db.table(fk.child_table).schema().name()
+                    ),
+                    role: JoinColumnRole::TupleFactor { fk: *fk, clamped },
+                    discrete: true,
+                    nullable: false,
+                });
+                sources.push(Src::Factor { node, factors, clamped });
+            }
+        }
+
+        let mut data: Vec<Vec<f64>> = columns.iter().map(|_| Vec::with_capacity(n)).collect();
+        for _ in 0..n {
+            let assignment = self.sample_row(db, rng);
+            for (out, src) in data.iter_mut().zip(&sources) {
+                let v = match src {
+                    Src::Data { node, col } => match assignment[*node] {
+                        Some(r) => db.table(self.nodes[*node]).column(*col).f64_or_nan(r as usize),
+                        None => f64::NAN,
+                    },
+                    Src::Indicator { node } => {
+                        if assignment[*node].is_some() {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    Src::Factor { node, factors, clamped } => match assignment[*node] {
+                        Some(r) => {
+                            let f = factors[r as usize] as f64;
+                            if *clamped {
+                                f.max(1.0)
+                            } else {
+                                f
+                            }
+                        }
+                        None => 1.0, // neutral for absent parents
+                    },
+                };
+                out.push(v);
+            }
+        }
+
+        JoinSample {
+            tables: self.nodes.clone(),
+            columns,
+            data,
+            full_join_count: self.total,
+            n_samples: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::test_fixtures::paper_customer_order;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_outer_join_count_matches_paper_figure_5b() {
+        let db = paper_customer_order();
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let tree = JoinTree::new(&db, &[c, o]).unwrap();
+        assert_eq!(tree.full_count(), 5); // 4 joined rows + customer 2 padded
+        // Root choice must not matter.
+        let tree2 = JoinTree::new(&db, &[o, c]).unwrap();
+        assert_eq!(tree2.full_count(), 5);
+    }
+
+    #[test]
+    fn single_table_tree_counts_rows() {
+        let db = paper_customer_order();
+        let c = db.table_id("customer").unwrap();
+        let tree = JoinTree::new(&db, &[c]).unwrap();
+        assert_eq!(tree.full_count(), 3);
+    }
+
+    #[test]
+    fn sample_matches_full_outer_join_distribution() {
+        let db = paper_customer_order();
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let tree = JoinTree::new(&db, &[c, o]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let s = tree.sample(&db, n, &mut rng);
+        assert_eq!(s.n_samples, n);
+        assert_eq!(s.full_join_count, 5);
+
+        let age = s.column_index("customer.c_age").unwrap();
+        let n_orders = s.column_index("N:orders").unwrap();
+        let f_co = s.column_index("F:customer<-orders").unwrap();
+
+        // Customer 2 (age 50) occupies exactly 1/5 of the join.
+        let c2 = s.data[age].iter().filter(|&&v| v == 50.0).count() as f64 / n as f64;
+        assert!((c2 - 0.2).abs() < 0.02, "customer 2 share {c2}");
+        // Its rows are NULL-padded on the order side with F' clamped to 1.
+        for i in 0..n {
+            if s.data[age][i] == 50.0 {
+                assert_eq!(s.data[n_orders][i], 0.0);
+                assert_eq!(s.data[f_co][i], 1.0);
+            } else {
+                assert_eq!(s.data[n_orders][i], 1.0);
+                assert_eq!(s.data[f_co][i], 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_table_sample_has_raw_external_factors() {
+        let db = paper_customer_order();
+        let c = db.table_id("customer").unwrap();
+        let tree = JoinTree::new(&db, &[c]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = tree.sample(&db, 5000, &mut rng);
+        let f_co = s.column_index("F:customer<-orders").unwrap();
+        let age = s.column_index("customer.c_age").unwrap();
+        // Figure 5a: F_{C←O} = 2, 0, 2 — raw zero preserved for customer 2.
+        for i in 0..s.n_samples {
+            let expected = if s.data[age][i] == 50.0 { 0.0 } else { 2.0 };
+            assert_eq!(s.data[f_co][i], expected);
+        }
+        // Uniform over 3 customers.
+        let c1 = s.data[age].iter().filter(|&&v| v == 20.0).count() as f64 / 5000.0;
+        assert!((c1 - 1.0 / 3.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn three_table_chain_counts() {
+        // customer ← orders ← items chain with a dangling customer and order.
+        let mut db = Database::new("chain");
+        db.create_table(crate::TableSchema::new("c").pk("id")).unwrap();
+        db.create_table(
+            crate::TableSchema::new("o").pk("id").col("cid", crate::Domain::Key),
+        )
+        .unwrap();
+        db.create_table(
+            crate::TableSchema::new("i").pk("id").col("oid", crate::Domain::Key),
+        )
+        .unwrap();
+        db.add_foreign_key("o", "cid", "c").unwrap();
+        db.add_foreign_key("i", "oid", "o").unwrap();
+        use crate::Value::Int;
+        for id in 1..=3 {
+            db.insert("c", &[Int(id)]).unwrap();
+        }
+        // customer 1 has orders 1,2; customer 2 has none; customer 3 has order 3.
+        for (oid, cid) in [(1, 1), (2, 1), (3, 3)] {
+            db.insert("o", &[Int(oid), Int(cid)]).unwrap();
+        }
+        // order 1 has items 1,2,3; order 2 none; order 3 has item 4.
+        for (iid, oid) in [(1, 1), (2, 1), (3, 1), (4, 3)] {
+            db.insert("i", &[Int(iid), Int(oid)]).unwrap();
+        }
+        let (c, o, i) = (0, 1, 2);
+        let tree = JoinTree::new(&db, &[c, o, i]).unwrap();
+        // c1: o1×3 items + o2×1(pad) = 4; c2: 1 (pad); c3: o3×1 = 1 → 6.
+        assert_eq!(tree.full_count(), 6);
+        // Rooting at the deepest table must agree.
+        let tree2 = JoinTree::new(&db, &[i, o, c]).unwrap();
+        assert_eq!(tree2.full_count(), 6);
+    }
+
+    #[test]
+    fn anchored_dangling_parents_are_sampled() {
+        // suppliers never referenced must appear as NULL-padded anchor rows.
+        let mut db = Database::new("d");
+        db.create_table(crate::TableSchema::new("s").pk("id")).unwrap();
+        db.create_table(
+            crate::TableSchema::new("lo").pk("id").col("sid", crate::Domain::Key),
+        )
+        .unwrap();
+        db.add_foreign_key("lo", "sid", "s").unwrap();
+        use crate::Value::Int;
+        for id in 1..=4 {
+            db.insert("s", &[Int(id)]).unwrap();
+        }
+        db.insert("lo", &[Int(1), Int(1)]).unwrap();
+        // Root at lo: suppliers 2,3,4 are dangling anchors.
+        let tree = JoinTree::new(&db, &[1, 0]).unwrap();
+        assert_eq!(tree.full_count(), 4); // 1 joined + 3 dangling suppliers
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = tree.sample(&db, 4000, &mut rng);
+        let n_lo = s.column_index("N:lo").unwrap();
+        let absent = s.data[n_lo].iter().filter(|&&v| v == 0.0).count() as f64 / 4000.0;
+        assert!((absent - 0.75).abs() < 0.03, "dangling share {absent}");
+    }
+}

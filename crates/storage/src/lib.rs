@@ -1,0 +1,45 @@
+//! In-memory columnar relational engine for DeepDB.
+//!
+//! This crate is the substrate the paper assumes a DBMS provides:
+//!
+//! * typed, NULL-aware columnar tables with dictionary-encoded categoricals
+//!   ([`Table`], [`Column`], [`Value`]);
+//! * a catalog with primary/foreign-key metadata forming a join graph
+//!   ([`Database`], [`ForeignKey`]);
+//! * SQL-style conjunctive predicates with three-valued NULL semantics
+//!   ([`Predicate`]);
+//! * a ground-truth executor for COUNT/SUM/AVG (+ GROUP BY) over inner
+//!   equi-joins along foreign keys ([`execute`]) — used to compute the true
+//!   cardinalities and aggregates every experiment compares against;
+//! * an exact full-outer-join counter and uniform sampler over FK join trees,
+//!   producing the augmented training matrices (join indicators `N_T` and
+//!   tuple factors `F_{S←T}`) that Relational SPNs are learned from
+//!   ([`JoinTree`], [`JoinSample`]).
+
+mod database;
+mod error;
+mod executor;
+pub mod fixtures;
+mod index;
+mod join;
+mod predicate;
+mod query;
+mod schema;
+mod table;
+mod value;
+
+pub use database::Database;
+pub use error::StorageError;
+pub use executor::{execute, execute_with_indexes, AggResult, QueryOutput};
+pub use index::Indexes;
+pub use join::{JoinColumnMeta, JoinColumnRole, JoinSample, JoinTree};
+pub use predicate::{CmpOp, PredOp, Predicate};
+pub use query::{Aggregate, ColumnRef, Query};
+pub use schema::{ColumnDef, Domain, ForeignKey, TableSchema};
+pub use table::{Column, Table};
+pub use value::{ColType, Value};
+
+/// Identifier of a table inside a [`Database`] (stable across reads).
+pub type TableId = usize;
+/// Identifier of a column inside a [`Table`].
+pub type ColId = usize;

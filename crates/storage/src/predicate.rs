@@ -1,0 +1,153 @@
+//! Filter predicates with SQL three-valued logic.
+
+use std::cmp::Ordering;
+
+use crate::{ColId, TableId, Value};
+
+/// Comparison operators supported in filter predicates (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// The operation part of a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredOp {
+    /// `col op constant`.
+    Cmp(CmpOp, Value),
+    /// `col IN (v1, v2, …)`.
+    In(Vec<Value>),
+    /// `col BETWEEN lo AND hi` (inclusive).
+    Between(Value, Value),
+    /// `col IS NULL`.
+    IsNull,
+    /// `col IS NOT NULL`.
+    IsNotNull,
+}
+
+/// A predicate bound to a specific table column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    pub table: TableId,
+    pub column: ColId,
+    pub op: PredOp,
+}
+
+impl Predicate {
+    pub fn new(table: TableId, column: ColId, op: PredOp) -> Self {
+        Self { table, column, op }
+    }
+
+    /// Evaluate against a value using SQL three-valued logic: `None` means
+    /// *unknown* (a comparison against NULL), which conjunctive filters treat
+    /// as not-satisfied.
+    pub fn eval(&self, v: &Value) -> Option<bool> {
+        self.op.eval(v)
+    }
+
+    /// True iff the row value passes (unknown ⇒ false, as in a WHERE clause).
+    pub fn passes(&self, v: &Value) -> bool {
+        self.eval(v).unwrap_or(false)
+    }
+}
+
+impl PredOp {
+    /// Three-valued evaluation.
+    pub fn eval(&self, v: &Value) -> Option<bool> {
+        match self {
+            PredOp::IsNull => Some(v.is_null()),
+            PredOp::IsNotNull => Some(!v.is_null()),
+            PredOp::Cmp(op, c) => {
+                let ord = v.sql_cmp(c)?;
+                Some(match op {
+                    CmpOp::Eq => ord == Ordering::Equal,
+                    CmpOp::Ne => ord != Ordering::Equal,
+                    CmpOp::Lt => ord == Ordering::Less,
+                    CmpOp::Le => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Ge => ord != Ordering::Less,
+                })
+            }
+            PredOp::In(values) => {
+                if v.is_null() {
+                    return None;
+                }
+                for c in values {
+                    if v.sql_eq(c) == Some(true) {
+                        return Some(true);
+                    }
+                }
+                // SQL: x IN (…, NULL) is unknown when no match and a NULL is
+                // present in the list.
+                if values.iter().any(Value::is_null) {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            PredOp::Between(lo, hi) => {
+                let a = v.sql_cmp(lo)?;
+                let b = v.sql_cmp(hi)?;
+                Some(a != Ordering::Less && b != Ordering::Greater)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(op: PredOp) -> Predicate {
+        Predicate::new(0, 0, op)
+    }
+
+    #[test]
+    fn comparisons() {
+        let ge = p(PredOp::Cmp(CmpOp::Ge, Value::Int(10)));
+        assert!(ge.passes(&Value::Int(10)));
+        assert!(ge.passes(&Value::Float(10.5)));
+        assert!(!ge.passes(&Value::Int(9)));
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        let ne = p(PredOp::Cmp(CmpOp::Ne, Value::Int(1)));
+        assert_eq!(ne.eval(&Value::Null), None);
+        assert!(!ne.passes(&Value::Null), "unknown must filter the row out");
+        let eq = p(PredOp::Cmp(CmpOp::Eq, Value::Null));
+        assert_eq!(eq.eval(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        assert!(p(PredOp::IsNull).passes(&Value::Null));
+        assert!(!p(PredOp::IsNull).passes(&Value::Int(0)));
+        assert!(p(PredOp::IsNotNull).passes(&Value::Int(0)));
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        let inlist = p(PredOp::In(vec![Value::Int(20), Value::Int(30)]));
+        assert!(inlist.passes(&Value::Int(20)));
+        assert!(!inlist.passes(&Value::Int(25)));
+        assert_eq!(inlist.eval(&Value::Null), None);
+        let with_null = p(PredOp::In(vec![Value::Int(1), Value::Null]));
+        assert_eq!(with_null.eval(&Value::Int(2)), None, "no match + NULL in list = unknown");
+        assert_eq!(with_null.eval(&Value::Int(1)), Some(true));
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let b = p(PredOp::Between(Value::Int(10), Value::Int(20)));
+        assert!(b.passes(&Value::Int(10)));
+        assert!(b.passes(&Value::Int(20)));
+        assert!(!b.passes(&Value::Int(21)));
+        assert_eq!(b.eval(&Value::Null), None);
+    }
+}

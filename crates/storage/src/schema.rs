@@ -1,0 +1,175 @@
+//! Table schemas, column domains, and foreign-key metadata.
+
+use crate::{ColId, ColType, TableId};
+
+/// Statistical domain of a column — how learners should treat its values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// Surrogate key (primary or foreign). Not modeled by RSPNs.
+    Key,
+    /// Dictionary-encoded categorical; codes are `0..labels.len()`.
+    Categorical { labels: Vec<String> },
+    /// Integer-valued attribute with meaningful order (e.g. a year).
+    Discrete,
+    /// Real-valued attribute.
+    Continuous,
+}
+
+impl Domain {
+    /// Convenience constructor for categorical columns.
+    pub fn categorical<S: Into<String>>(labels: impl IntoIterator<Item = S>) -> Self {
+        Domain::Categorical { labels: labels.into_iter().map(Into::into).collect() }
+    }
+
+    /// Physical type implied by the domain.
+    pub fn col_type(&self) -> ColType {
+        match self {
+            Domain::Key | Domain::Categorical { .. } | Domain::Discrete => ColType::Int,
+            Domain::Continuous => ColType::Float,
+        }
+    }
+
+    /// True for domains an RSPN should model (i.e. everything except keys).
+    pub fn is_modelled(&self) -> bool {
+        !matches!(self, Domain::Key)
+    }
+
+    /// True if values are inherently discrete (exact-match histograms).
+    pub fn is_discrete(&self) -> bool {
+        !matches!(self, Domain::Continuous)
+    }
+}
+
+/// Definition of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnDef {
+    pub name: String,
+    pub domain: Domain,
+    pub nullable: bool,
+}
+
+/// Schema of a table: named columns plus an optional integer primary key.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<ColumnDef>,
+    primary_key: Option<ColId>,
+}
+
+impl TableSchema {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), columns: Vec::new(), primary_key: None }
+    }
+
+    /// Add an integer primary-key column (non-null, `Domain::Key`).
+    pub fn pk(mut self, name: impl Into<String>) -> Self {
+        assert!(self.primary_key.is_none(), "table already has a primary key");
+        self.primary_key = Some(self.columns.len());
+        self.columns.push(ColumnDef { name: name.into(), domain: Domain::Key, nullable: false });
+        self
+    }
+
+    /// Add a non-null column.
+    pub fn col(mut self, name: impl Into<String>, domain: Domain) -> Self {
+        self.columns.push(ColumnDef { name: name.into(), domain, nullable: false });
+        self
+    }
+
+    /// Add a nullable column.
+    pub fn nullable_col(mut self, name: impl Into<String>, domain: Domain) -> Self {
+        self.columns.push(ColumnDef { name: name.into(), domain, nullable: true });
+        self
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    pub fn column(&self, id: ColId) -> &ColumnDef {
+        &self.columns[id]
+    }
+
+    pub fn primary_key(&self) -> Option<ColId> {
+        self.primary_key
+    }
+
+    /// Find a column id by name.
+    pub fn column_id(&self, name: &str) -> Option<ColId> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    pub fn n_columns(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// A foreign-key relationship: `child.child_col` references `parent.parent_col`
+/// (the parent's primary key). The parent is the "one" side, the child the
+/// "many" side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ForeignKey {
+    pub child_table: TableId,
+    pub child_col: ColId,
+    pub parent_table: TableId,
+    pub parent_col: ColId,
+}
+
+impl ForeignKey {
+    /// The table on the other end of the relationship.
+    pub fn other(&self, t: TableId) -> TableId {
+        if t == self.child_table {
+            self.parent_table
+        } else {
+            self.child_table
+        }
+    }
+
+    /// True if this edge touches table `t`.
+    pub fn touches(&self, t: TableId) -> bool {
+        t == self.child_table || t == self.parent_table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_ids_in_order() {
+        let s = TableSchema::new("customer")
+            .pk("c_id")
+            .col("c_age", Domain::Discrete)
+            .nullable_col("c_region", Domain::categorical(["EUROPE", "ASIA"]));
+        assert_eq!(s.primary_key(), Some(0));
+        assert_eq!(s.column_id("c_age"), Some(1));
+        assert_eq!(s.column_id("c_region"), Some(2));
+        assert!(s.column(2).nullable);
+        assert_eq!(s.column(1).domain.col_type(), ColType::Int);
+    }
+
+    #[test]
+    fn key_columns_are_not_modelled() {
+        assert!(!Domain::Key.is_modelled());
+        assert!(Domain::Discrete.is_modelled());
+        assert!(Domain::Continuous.is_modelled());
+        assert!(!Domain::Continuous.is_discrete());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a primary key")]
+    fn double_pk_panics() {
+        let _ = TableSchema::new("t").pk("a").pk("b");
+    }
+
+    #[test]
+    fn fk_other_side() {
+        let fk = ForeignKey { child_table: 1, child_col: 0, parent_table: 0, parent_col: 0 };
+        assert_eq!(fk.other(1), 0);
+        assert_eq!(fk.other(0), 1);
+        assert!(fk.touches(0) && fk.touches(1) && !fk.touches(2));
+    }
+}

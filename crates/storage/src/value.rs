@@ -1,0 +1,184 @@
+//! Scalar values and column types.
+
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+
+/// Physical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColType {
+    /// 64-bit signed integer (keys, categorical codes, discrete numerics).
+    Int,
+    /// 64-bit float (continuous numerics).
+    Float,
+}
+
+/// A single scalar value. Categorical values are dictionary codes (`Int`).
+#[derive(Debug, Clone, Copy)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    Int(i64),
+    Float(f64),
+}
+
+impl Value {
+    /// True if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view as `f64`; `None` for NULL.
+    ///
+    /// Integers up to 2⁵³ convert exactly, which covers every key and code
+    /// the generators produce.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Null => None,
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+        }
+    }
+
+    /// Integer view; `None` for NULL or `Float`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison: `None` when either side is NULL (unknown).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        let a = self.as_f64()?;
+        let b = other.as_f64()?;
+        a.partial_cmp(&b)
+    }
+
+    /// SQL equality: `None` when either side is NULL.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        Some(self.sql_cmp(other)? == Ordering::Equal)
+    }
+
+    /// The physical type this value stores, if not NULL.
+    pub fn col_type(&self) -> Option<ColType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ColType::Int),
+            Value::Float(_) => Some(ColType::Float),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<Option<i64>> for Value {
+    fn from(v: Option<i64>) -> Self {
+        v.map_or(Value::Null, Value::Int)
+    }
+}
+
+impl From<Option<f64>> for Value {
+    fn from(v: Option<f64>) -> Self {
+        v.map_or(Value::Null, Value::Float)
+    }
+}
+
+// Bitwise semantics for grouping: NULL == NULL, floats compared by canonical
+// bits. This is GROUP BY equality, intentionally different from `sql_eq`.
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => canonical_bits(*a) == canonical_bits(*b),
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b && b.fract() == 0.0
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Int(v) => {
+                1u8.hash(state);
+                v.hash(state);
+            }
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 9.0e15 {
+                    // Hash like the equal Int so mixed-type groups agree.
+                    1u8.hash(state);
+                    (*v as i64).hash(state);
+                } else {
+                    2u8.hash(state);
+                    canonical_bits(*v).hash(state);
+                }
+            }
+        }
+    }
+}
+
+fn canonical_bits(v: f64) -> u64 {
+    if v.is_nan() {
+        f64::NAN.to_bits()
+    } else if v == 0.0 {
+        0.0f64.to_bits() // collapse -0.0 and +0.0
+    } else {
+        v.to_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn sql_comparisons_with_null_are_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(2.0)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn group_semantics_null_equals_null() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+    }
+
+    #[test]
+    fn mixed_numeric_grouping() {
+        let mut m: HashMap<Value, u32> = HashMap::new();
+        *m.entry(Value::Int(3)).or_default() += 1;
+        *m.entry(Value::Float(3.0)).or_default() += 1;
+        assert_eq!(m.len(), 1, "Int(3) and Float(3.0) should group together");
+    }
+
+    #[test]
+    fn negative_zero_groups_with_zero() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+    }
+
+    #[test]
+    fn as_f64_roundtrip() {
+        assert_eq!(Value::Int(42).as_f64(), Some(42.0));
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the storage substrate: the executor and the
+//! full-outer-join counter are checked against brute-force oracles on
+//! randomized small databases.
+
+use deepdb_storage::{
+    execute, CmpOp, Database, Domain, JoinTree, PredOp, Predicate, Query, TableSchema, Value,
+};
+use proptest::prelude::*;
+
+/// Build a random customer/orders database from generated rows.
+/// `customers[i] = (age, region)`, `orders[j] = (customer_index, channel)`.
+fn build_db(customers: &[(i64, i64)], orders: &[(usize, i64)]) -> Database {
+    let mut db = Database::new("prop");
+    db.create_table(
+        TableSchema::new("customer")
+            .pk("id")
+            .col("age", Domain::Discrete)
+            .col("region", Domain::Discrete),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("orders")
+            .pk("id")
+            .col("cid", Domain::Key)
+            .col("channel", Domain::Discrete),
+    )
+    .unwrap();
+    db.add_foreign_key("orders", "cid", "customer").unwrap();
+    for (i, &(age, region)) in customers.iter().enumerate() {
+        db.insert(
+            "customer",
+            &[Value::Int(i as i64 + 1), Value::Int(age), Value::Int(region)],
+        )
+        .unwrap();
+    }
+    for (j, &(ci, channel)) in orders.iter().enumerate() {
+        let cid = (ci % customers.len()) as i64 + 1;
+        db.insert("orders", &[Value::Int(j as i64 + 1), Value::Int(cid), Value::Int(channel)])
+            .unwrap();
+    }
+    db
+}
+
+/// Brute-force nested-loop COUNT of the inner join with predicates.
+fn brute_force_count(
+    customers: &[(i64, i64)],
+    orders: &[(usize, i64)],
+    age_min: i64,
+    region: Option<i64>,
+    channel: Option<i64>,
+) -> u64 {
+    let mut count = 0;
+    for (j, &(ci, ch)) in orders.iter().enumerate() {
+        let _ = j;
+        let (age, reg) = customers[ci % customers.len()];
+        if age >= age_min
+            && region.map_or(true, |r| reg == r)
+            && channel.map_or(true, |c| ch == c)
+        {
+            count += 1;
+        }
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Executor equals the nested-loop oracle for arbitrary join queries.
+    #[test]
+    fn executor_matches_nested_loop(
+        customers in prop::collection::vec((18i64..80, 0i64..3), 1..30),
+        orders in prop::collection::vec((0usize..30, 0i64..2), 0..60),
+        age_min in 18i64..80,
+        region in prop::option::of(0i64..3),
+        channel in prop::option::of(0i64..2),
+    ) {
+        let db = build_db(&customers, &orders);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let mut q = Query::count(vec![c, o])
+            .filter(c, 1, PredOp::Cmp(CmpOp::Ge, Value::Int(age_min)));
+        if let Some(r) = region {
+            q = q.filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(r)));
+        }
+        if let Some(ch) = channel {
+            q = q.filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(ch)));
+        }
+        let got = execute(&db, &q).unwrap().scalar().count;
+        let want = brute_force_count(&customers, &orders, age_min, region, channel);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The full-outer-join count equals the brute-force formula
+    /// Σ_customers max(#orders, 1) for a two-table FK tree.
+    #[test]
+    fn join_tree_count_matches_formula(
+        customers in prop::collection::vec((18i64..80, 0i64..3), 1..25),
+        orders in prop::collection::vec((0usize..25, 0i64..2), 0..50),
+    ) {
+        let db = build_db(&customers, &orders);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let mut per_customer = vec![0u64; customers.len()];
+        for &(ci, _) in &orders {
+            per_customer[ci % customers.len()] += 1;
+        }
+        let expected: u64 = per_customer.iter().map(|&f| f.max(1)).sum();
+        let tree = JoinTree::new(&db, &[c, o]).unwrap();
+        prop_assert_eq!(tree.full_count(), expected);
+        // Root choice must not matter.
+        let tree2 = JoinTree::new(&db, &[o, c]).unwrap();
+        prop_assert_eq!(tree2.full_count(), expected);
+    }
+
+    /// Join-sample tuple factors always satisfy F' = max(F, 1) and the
+    /// indicator columns are consistent with NULL padding.
+    #[test]
+    fn join_sample_invariants(
+        customers in prop::collection::vec((18i64..80, 0i64..3), 1..15),
+        orders in prop::collection::vec((0usize..15, 0i64..2), 0..30),
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let db = build_db(&customers, &orders);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let tree = JoinTree::new(&db, &[c, o]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sample = tree.sample(&db, 200, &mut rng);
+        let n_c = sample.column_index("N:customer").unwrap();
+        let n_o = sample.column_index("N:orders").unwrap();
+        let f = sample.column_index("F:customer<-orders").unwrap();
+        let age = sample.column_index("customer.age").unwrap();
+        for i in 0..sample.n_samples {
+            prop_assert!(sample.data[f][i] >= 1.0, "clamped factor below 1");
+            // A row has at least one side present.
+            prop_assert!(sample.data[n_c][i] == 1.0 || sample.data[n_o][i] == 1.0);
+            // Present customer ⇒ data column non-NULL; absent ⇒ NULL.
+            prop_assert_eq!(sample.data[n_c][i] == 1.0, sample.data[age][i].is_finite());
+        }
+    }
+
+    /// Three-valued logic: no comparison predicate ever passes a NULL.
+    #[test]
+    fn null_never_passes_comparisons(v in -100i64..100) {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let p = Predicate::new(0, 0, PredOp::Cmp(op, Value::Int(v)));
+            prop_assert!(!p.passes(&Value::Null));
+        }
+        let inp = Predicate::new(0, 0, PredOp::In(vec![Value::Int(v)]));
+        prop_assert!(!inp.passes(&Value::Null));
+        let btw = Predicate::new(0, 0, PredOp::Between(Value::Int(v), Value::Int(v + 10)));
+        prop_assert!(!btw.passes(&Value::Null));
+    }
+
+    /// GROUP BY partitions: per-group counts sum to the ungrouped count.
+    #[test]
+    fn group_by_partitions_count(
+        customers in prop::collection::vec((18i64..80, 0i64..4), 1..25),
+        orders in prop::collection::vec((0usize..25, 0i64..2), 1..50),
+    ) {
+        let db = build_db(&customers, &orders);
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let flat = execute(&db, &Query::count(vec![c, o])).unwrap().scalar().count;
+        let grouped = execute(&db, &Query::count(vec![c, o]).group(c, 2)).unwrap();
+        let sum: u64 = grouped.groups().iter().map(|(_, a)| a.count).sum();
+        prop_assert_eq!(flat, sum);
+    }
+}

@@ -1,0 +1,75 @@
+//! Approximate query processing with confidence intervals (paper Exp. 2).
+//!
+//! Learns an ensemble over the Flights dataset and answers COUNT/AVG/SUM
+//! queries — including GROUP BY — purely from the model, comparing against
+//! exact execution and reporting the §5.1 confidence intervals.
+//!
+//! Run with: `cargo run --release --example approximate_query_processing`
+
+use deepdb::data::{flights, Scale};
+use deepdb::prelude::*;
+
+fn main() -> Result<(), DeepDbError> {
+    let scale = Scale { factor: 0.3, seed: 3 };
+    let db = flights::generate(scale);
+    let f = db.table_id("flights")?;
+    println!("flights table: {} rows", db.table(f).n_rows());
+
+    let mut ensemble = EnsembleBuilder::new(&db)
+        .params(EnsembleParams { seed: scale.seed, ..EnsembleParams::default() })
+        .build()?;
+
+    // Scalar AVG with CI: average departure delay of one airline.
+    use deepdb::data::flights::cols;
+    let q = Query::count(vec![f])
+        .filter(f, cols::AIRLINE, PredOp::Cmp(CmpOp::Eq, Value::Int(2)))
+        .aggregate(Aggregate::Avg(ColumnRef { table: f, column: cols::DEP_DELAY }));
+    let truth = execute(&db, &q).expect("executor").scalar().avg().unwrap();
+    let t0 = std::time::Instant::now();
+    let out = execute_aqp(&mut ensemble, &db, &q)?;
+    let latency = t0.elapsed();
+    if let AqpOutput::Scalar(r) = out {
+        println!(
+            "AVG(dep_delay | airline=2): {:.2} ∈ [{:.2}, {:.2}]  (exact {:.2}, {:.0}µs vs full scan)",
+            r.value,
+            r.ci_low,
+            r.ci_high,
+            truth,
+            latency.as_secs_f64() * 1e6,
+        );
+    }
+
+    // Grouped COUNT: flights per year for a congested origin airport.
+    let q = Query::count(vec![f])
+        .filter(f, cols::ORIGIN, PredOp::Cmp(CmpOp::Eq, Value::Int(3)))
+        .group(f, cols::YEAR);
+    let truth = execute(&db, &q).expect("executor");
+    let out = execute_aqp(&mut ensemble, &db, &q)?;
+    println!("\nflights from origin 3 per year (estimate vs exact):");
+    for (key, r) in out.groups() {
+        let t = truth
+            .groups()
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, a)| a.count)
+            .unwrap_or(0);
+        println!("  year {:?}: {:>8.0}  (exact {:>6})", key[0], r.value, t);
+    }
+
+    // A very selective SUM — where sample-based AQP would starve.
+    let q = Query::count(vec![f])
+        .filter(f, cols::ORIGIN, PredOp::Cmp(CmpOp::Eq, Value::Int(9)))
+        .filter(f, cols::MONTH, PredOp::Cmp(CmpOp::Eq, Value::Int(2)))
+        .filter(f, cols::YEAR, PredOp::Cmp(CmpOp::Eq, Value::Int(2016)))
+        .aggregate(Aggregate::Sum(ColumnRef { table: f, column: cols::DISTANCE }));
+    let truth = execute(&db, &q).expect("executor").scalar().sum;
+    if let AqpOutput::Scalar(r) = execute_aqp(&mut ensemble, &db, &q)? {
+        println!(
+            "\nselective SUM(distance): estimate {:.0} (exact {:.0}, rel err {:.1}%)",
+            r.value,
+            truth,
+            100.0 * (r.value - truth).abs() / truth.max(1.0)
+        );
+    }
+    Ok(())
+}

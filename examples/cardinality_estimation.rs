@@ -1,0 +1,65 @@
+//! Cardinality estimation for a query optimizer (paper Exp. 1).
+//!
+//! Generates the synthetic IMDb (JOB-light schema), learns a DeepDB
+//! ensemble, and compares its estimates against the ground truth and a
+//! Postgres-style MCV+histogram estimator on a slice of the JOB-light
+//! workload — showing where the independence assumption fails and the
+//! data-driven model does not.
+//!
+//! Run with: `cargo run --release --example cardinality_estimation`
+
+use deepdb::prelude::*;
+use deepdb::baselines::postgres::PostgresEstimator;
+use deepdb::data::{imdb, joblight, Scale};
+
+fn main() -> Result<(), DeepDbError> {
+    let scale = Scale { factor: 0.2, seed: 7 };
+    println!("generating IMDb-synth (JOB-light schema)...");
+    let db = imdb::generate(scale);
+    println!(
+        "{} titles / {} total rows across {} tables",
+        db.table(db.table_id("title")?).n_rows(),
+        db.total_rows(),
+        db.n_tables()
+    );
+
+    println!("learning the RSPN ensemble (data-driven, no workload needed)...");
+    let t0 = std::time::Instant::now();
+    let mut ensemble = EnsembleBuilder::new(&db)
+        .params(EnsembleParams { seed: scale.seed, ..EnsembleParams::default() })
+        .build()?;
+    println!("ensemble ready in {:.1?}: {} RSPNs\n", t0.elapsed(), ensemble.rspns().len());
+
+    let postgres = PostgresEstimator::analyze(&db);
+
+    println!("{:<8} {:>10} {:>12} {:>12} {:>8} {:>8}", "query", "truth", "deepdb", "postgres", "q(deep)", "q(pg)");
+    let workload = joblight::job_light(&db, scale.seed);
+    let qerr = |est: f64, truth: f64| -> f64 {
+        let t = truth.max(1.0);
+        (est.max(1.0) / t).max(t / est.max(1.0))
+    };
+    let mut deep_qs = Vec::new();
+    let mut pg_qs = Vec::new();
+    for nq in workload.iter().take(15) {
+        let truth = execute(&db, &nq.query).expect("executor").scalar().count as f64;
+        let d = compile::estimate_cardinality(&mut ensemble, &db, &nq.query)?;
+        let p = postgres.estimate(&db, &nq.query);
+        deep_qs.push(qerr(d, truth));
+        pg_qs.push(qerr(p, truth));
+        println!(
+            "{:<8} {:>10.0} {:>12.1} {:>12.1} {:>8.2} {:>8.2}",
+            nq.name, truth, d, p, qerr(d, truth), qerr(p, truth)
+        );
+    }
+    let med = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    println!(
+        "\nmedian q-error over {} queries: DeepDB {:.2} vs Postgres-style {:.2}",
+        deep_qs.len(),
+        med(&mut deep_qs),
+        med(&mut pg_qs)
+    );
+    Ok(())
+}

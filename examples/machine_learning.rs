@@ -1,0 +1,73 @@
+//! ML tasks on the AQP models, with zero extra training (paper Exp. 3).
+//!
+//! The same RSPN ensemble that answers AQP queries over the Flights data
+//! also serves regression (conditional expectations) and classification
+//! (most probable explanation) for any column given any feature subset.
+//!
+//! Run with: `cargo run --release --example machine_learning`
+
+use deepdb::core_::ml::{predict_classification, predict_regression};
+use deepdb::data::{flights, Scale};
+use deepdb::prelude::*;
+
+fn main() -> Result<(), DeepDbError> {
+    let scale = Scale { factor: 0.2, seed: 5 };
+    let db = flights::generate(scale);
+    let f = db.table_id("flights")?;
+
+    let mut ensemble = EnsembleBuilder::new(&db)
+        .params(EnsembleParams { seed: scale.seed, ..EnsembleParams::default() })
+        .build()?;
+    println!("ensemble learned once; every task below reuses it.\n");
+
+    use deepdb::data::flights::cols;
+    // Regression: predict air time from distance (strongly correlated by
+    // construction: air_time ≈ distance / 7.8 + 18).
+    for distance in [300.0, 900.0, 2000.0] {
+        let pred = predict_regression(
+            &mut ensemble,
+            &db,
+            f,
+            cols::AIR_TIME,
+            &[(cols::DISTANCE, Value::Float(distance))],
+        )?;
+        println!(
+            "E[air_time | distance={distance:>6.0}] = {pred:>6.1} min (physics ≈ {:>6.1})",
+            distance / 7.8 + 18.0
+        );
+    }
+
+    // Regression with mixed evidence: arrival delay given departure delay.
+    for dep in [-5.0, 30.0, 90.0] {
+        let pred = predict_regression(
+            &mut ensemble,
+            &db,
+            f,
+            cols::ARR_DELAY,
+            &[(cols::DEP_DELAY, Value::Float(dep))],
+        )?;
+        println!("E[arr_delay | dep_delay={dep:>5.0}] = {pred:>6.1} min");
+    }
+
+    // Classification via MPE: most probable airline for a very delayed
+    // December flight (higher airline ids have heavier delay tails by
+    // construction).
+    let predicted = predict_classification(
+        &mut ensemble,
+        &db,
+        f,
+        cols::AIRLINE,
+        &[(cols::MONTH, Value::Int(12))],
+    )?;
+    println!("\nMPE airline for a December flight: {predicted:?}");
+
+    // Compare one regression against the exact conditional mean.
+    let q = Query::count(vec![f])
+        .filter(f, cols::ORIGIN, PredOp::Cmp(CmpOp::Eq, Value::Int(2)))
+        .aggregate(Aggregate::Avg(ColumnRef { table: f, column: cols::TAXI_OUT }));
+    let exact = execute(&db, &q).expect("executor").scalar().avg().unwrap();
+    let pred =
+        predict_regression(&mut ensemble, &db, f, cols::TAXI_OUT, &[(cols::ORIGIN, Value::Int(2))])?;
+    println!("E[taxi_out | origin=2] = {pred:.2} (exact {exact:.2})");
+    Ok(())
+}

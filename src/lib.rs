@@ -1,0 +1,82 @@
+//! # DeepDB-rs
+//!
+//! A from-scratch Rust reproduction of *DeepDB: Learn from Data, not from
+//! Queries!* (Hilprecht et al., VLDB 2020): data-driven learned database
+//! components built on **Relational Sum-Product Networks (RSPNs)**.
+//!
+//! DeepDB learns an ensemble of RSPNs over (samples of) a database's tables
+//! and their full outer joins, then compiles SQL-style aggregate queries
+//! into products of expectations over that ensemble. One offline learning
+//! pass serves:
+//!
+//! * **cardinality estimation** ([`compile::estimate_cardinality`]),
+//! * **approximate query processing** with confidence intervals
+//!   ([`execute_aqp`]),
+//! * **ML tasks** — regression and classification — with no extra training
+//!   ([`ml`]),
+//! * and **direct updates**: inserts/deletes are absorbed by the models
+//!   without retraining ([`Ensemble::apply_insert`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use deepdb::prelude::*;
+//!
+//! // The paper's running example: customers and their orders.
+//! let db = deepdb::storage::fixtures::paper_customer_order();
+//!
+//! // Offline: learn the RSPN ensemble (Figure 2).
+//! let params = EnsembleParams {
+//!     sample_size: 10_000,
+//!     rdc_threshold: 0.0, // force the joint customer⟗orders RSPN
+//!     ..EnsembleParams::default()
+//! };
+//! let mut ensemble = EnsembleBuilder::new(&db).params(params).build().unwrap();
+//!
+//! // Runtime: estimate |customer ⋈ orders WHERE region = EUROPE AND channel = ONLINE|.
+//! let customer = db.table_id("customer").unwrap();
+//! let orders = db.table_id("orders").unwrap();
+//! let q = Query::count(vec![customer, orders])
+//!     .filter(customer, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
+//!     .filter(orders, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+//! let estimate = compile::estimate_cardinality(&mut ensemble, &db, &q).unwrap();
+//! assert!((estimate - 1.0).abs() < 0.8); // true answer: 1 (paper Q2)
+//! ```
+//!
+//! ## Crate layout
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`storage`] | columnar tables, FK catalog, ground-truth executor, full-outer-join sampler |
+//! | [`spn`] | RDC, k-means, leaves, SPN learning/inference/updates |
+//! | [`core_`] | RSPNs, ensembles, probabilistic query compilation, AQP, CIs, ML |
+//! | [`nn`] | MLP + Adam + multi-set network (for the learned baselines) |
+//! | [`baselines`] | Postgres-style, IBJS, sampling, MCSN, VerdictDB-, TABLESAMPLE-, WanderJoin-, DBEst-style, regression tree |
+//! | [`data`] | synthetic IMDb (JOB-light), SSB, Flights generators + workloads |
+
+pub use deepdb_baselines as baselines;
+pub use deepdb_core as core_;
+pub use deepdb_data as data;
+pub use deepdb_linalg as linalg;
+pub use deepdb_nn as nn;
+pub use deepdb_spn as spn;
+pub use deepdb_storage as storage;
+
+// Flat re-exports of the primary public API.
+pub use deepdb_core::{
+    compile, execute_aqp, ml, AqpOutput, AqpResult, DeepDbError, Ensemble, EnsembleBuilder,
+    EnsembleParams, EnsembleStrategy, Estimate, FunctionalDependency, Rspn,
+};
+pub use deepdb_storage::{
+    execute, Aggregate, CmpOp, ColumnRef, Database, Domain, PredOp, Predicate, Query,
+    TableSchema, Value,
+};
+
+/// Everything needed for typical use, importable as `use deepdb::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        compile, execute, execute_aqp, Aggregate, AqpOutput, CmpOp, ColumnRef, Database,
+        DeepDbError, Domain, Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy,
+        PredOp, Query, TableSchema, Value,
+    };
+}

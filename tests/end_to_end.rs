@@ -1,0 +1,154 @@
+//! End-to-end integration: datasets → ensembles → estimates/AQP/ML across
+//! all crates, with accuracy thresholds.
+
+use deepdb::data::{flights, imdb, joblight, ssb, updates, Scale};
+use deepdb::prelude::*;
+
+const SCALE: Scale = Scale { factor: 0.08, seed: 17 };
+
+fn params() -> EnsembleParams {
+    EnsembleParams { sample_size: 20_000, correlation_sample: 1_500, seed: 17, ..EnsembleParams::default() }
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+#[test]
+fn imdb_joblight_cardinality_pipeline() {
+    let db = imdb::generate(SCALE);
+    db.validate_integrity().unwrap();
+    let mut ens = EnsembleBuilder::new(&db).params(params()).build().unwrap();
+    let workload = joblight::job_light(&db, 17);
+    let qs: Vec<f64> = workload
+        .iter()
+        .take(30)
+        .map(|nq| {
+            let truth = execute(&db, &nq.query).unwrap().scalar().count as f64;
+            let est = compile::estimate_cardinality(&mut ens, &db, &nq.query).unwrap();
+            (est.max(1.0) / truth.max(1.0)).max(truth.max(1.0) / est.max(1.0))
+        })
+        .collect();
+    let med = median(qs);
+    assert!(med < 2.0, "median q-error {med} too high for an end-to-end sanity bound");
+}
+
+#[test]
+fn flights_aqp_pipeline_with_confidence() {
+    let db = flights::generate(SCALE);
+    let mut ens = EnsembleBuilder::new(&db).params(params()).build().unwrap();
+    let mut checked = 0;
+    for nq in flights::queries(&db).iter().take(5) {
+        let truth_out = execute(&db, &nq.query).unwrap();
+        let out = execute_aqp(&mut ens, &db, &nq.query).unwrap();
+        match out {
+            AqpOutput::Scalar(r) => {
+                let truth = truth_out.scalar().value_for(nq.query.aggregate).unwrap_or(0.0);
+                let rel = (r.value - truth).abs() / truth.abs().max(1.0);
+                assert!(rel < 0.35, "{}: rel error {rel}", nq.name);
+                assert!(r.ci_low <= r.value && r.value <= r.ci_high, "{}: CI ordering", nq.name);
+                checked += 1;
+            }
+            AqpOutput::Grouped(groups) => {
+                assert!(!groups.is_empty(), "{}: no groups", nq.name);
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 5);
+}
+
+#[test]
+fn ssb_fd_declarations_answer_region_queries() {
+    let db = ssb::generate(Scale { factor: 0.03, seed: 17 });
+    let c = db.table_id("customer").unwrap();
+    let s = db.table_id("supplier").unwrap();
+    // Declare nation → region; region columns are then answered via the FD
+    // dictionary even though they are omitted from the learned models.
+    let mut ens = EnsembleBuilder::new(&db)
+        .params(params())
+        .functional_dependency(c, 2, 3)
+        .functional_dependency(s, 2, 3)
+        .build()
+        .unwrap();
+    let lo = db.table_id("lineorder").unwrap();
+    let q = Query::count(vec![lo, c]).filter(c, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(1)));
+    let truth = execute(&db, &q).unwrap().scalar().count as f64;
+    let est = compile::estimate_cardinality(&mut ens, &db, &q).unwrap();
+    let qerr = (est / truth.max(1.0)).max(truth.max(1.0) / est);
+    assert!(qerr < 1.5, "FD-translated region query: {est} vs {truth}");
+}
+
+#[test]
+fn update_stream_keeps_estimates_calibrated() {
+    let (mut db, stream) = updates::split_imdb_random(SCALE, 0.3, 3);
+    let mut p = params();
+    p.budget_factor = 0.0;
+    let mut ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
+    for (t, values) in stream {
+        ens.apply_insert(&mut db, t, &values).unwrap();
+    }
+    ens.refresh_join_counts(&db).unwrap();
+    db.validate_integrity().unwrap();
+
+    let workload = joblight::job_light(&db, 23);
+    let qs: Vec<f64> = workload
+        .iter()
+        .take(20)
+        .map(|nq| {
+            let truth = execute(&db, &nq.query).unwrap().scalar().count as f64;
+            let est = compile::estimate_cardinality(&mut ens, &db, &nq.query).unwrap();
+            (est.max(1.0) / truth.max(1.0)).max(truth.max(1.0) / est.max(1.0))
+        })
+        .collect();
+    let med = median(qs);
+    assert!(med < 2.5, "median q-error after 30% updates: {med}");
+}
+
+#[test]
+fn ml_regression_beats_marginal_mean_on_correlated_target() {
+    let db = flights::generate(Scale { factor: 0.05, seed: 17 });
+    let f = db.table_id("flights").unwrap();
+    let mut ens = EnsembleBuilder::new(&db).params(params()).build().unwrap();
+    use deepdb::data::flights::cols;
+    let table = db.table(f);
+    // RMSE of E[air_time | distance] vs RMSE of the marginal mean.
+    let mean: f64 = (0..table.n_rows())
+        .map(|r| table.column(cols::AIR_TIME).f64_or_nan(r))
+        .sum::<f64>()
+        / table.n_rows() as f64;
+    let mut se_model = 0.0;
+    let mut se_mean = 0.0;
+    let n_test = 150;
+    for r in 0..n_test {
+        let truth = table.column(cols::AIR_TIME).f64_or_nan(r);
+        let d = table.value(r, cols::DISTANCE);
+        let pred = deepdb::ml::predict_regression(&mut ens, &db, f, cols::AIR_TIME, &[(cols::DISTANCE, d)])
+            .unwrap();
+        se_model += (pred - truth) * (pred - truth);
+        se_mean += (mean - truth) * (mean - truth);
+    }
+    assert!(
+        se_model < se_mean * 0.2,
+        "conditioning on distance must slash the RMSE: {} vs {}",
+        (se_model / n_test as f64).sqrt(),
+        (se_mean / n_test as f64).sqrt()
+    );
+}
+
+#[test]
+fn estimation_never_touches_base_tables_after_learning() {
+    // DeepDB's contract: estimates come from the models. Drop the data
+    // after learning and keep estimating.
+    let db = imdb::generate(Scale { factor: 0.03, seed: 17 });
+    let mut ens = EnsembleBuilder::new(&db).params(params()).build().unwrap();
+    let workload = joblight::job_light(&db, 31);
+    let q = &workload[0].query;
+    let before = compile::estimate_cardinality(&mut ens, &db, q).unwrap();
+    // Rebuild an empty database with the same schema: only the catalog is
+    // consulted at estimation time.
+    let empty = imdb::schema();
+    let after = compile::estimate_cardinality(&mut ens, &empty, q).unwrap();
+    assert_eq!(before, after, "estimates must be independent of table contents");
+}

@@ -1,0 +1,111 @@
+//! Cross-crate property tests: system-level invariants under randomized
+//! queries and data, via proptest.
+
+use deepdb::data::{imdb, joblight, Scale};
+use deepdb::prelude::*;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Shared fixture: building ensembles is expensive, so property tests reuse
+/// one (protected by OnceLock; mutation is confined to estimate-time lazy
+/// caches which are rebuilt deterministically).
+fn fixture() -> &'static (Database, std::sync::Mutex<Ensemble>) {
+    static FIX: OnceLock<(Database, std::sync::Mutex<Ensemble>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let db = imdb::generate(Scale { factor: 0.03, seed: 5 });
+        let ens = EnsembleBuilder::new(&db)
+            .params(EnsembleParams {
+                sample_size: 10_000,
+                correlation_sample: 1_000,
+                seed: 5,
+                ..EnsembleParams::default()
+            })
+            .build()
+            .unwrap();
+        (db, std::sync::Mutex::new(ens))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cardinality estimates are finite, ≥ 1, and bounded by a generous
+    /// multiple of the full join size.
+    #[test]
+    fn estimates_are_finite_and_positive(seed in 0u64..5_000) {
+        let (db, ens) = fixture();
+        let mut ens = ens.lock().unwrap();
+        let wl = joblight::synthetic(db, &[2, 3, 4], &[1, 2], 1, seed);
+        for nq in &wl {
+            let est = compile::estimate_cardinality(&mut ens, db, &nq.query).unwrap();
+            prop_assert!(est.is_finite());
+            prop_assert!(est >= 1.0);
+        }
+    }
+
+    /// Adding a conjunct can only shrink (or keep) the estimated count —
+    /// monotonicity the executor guarantees for the truth.
+    #[test]
+    fn conjunction_is_monotone_in_truth(year in 1935i64..2015) {
+        let (db, ens) = fixture();
+        let mut ens = ens.lock().unwrap();
+        let title = db.table_id("title").unwrap();
+        let base = Query::count(vec![title]);
+        let narrowed = Query::count(vec![title])
+            .filter(title, 2, PredOp::Cmp(CmpOp::Ge, Value::Int(year)));
+        let further = Query::count(vec![title])
+            .filter(title, 2, PredOp::Cmp(CmpOp::Ge, Value::Int(year)))
+            .filter(title, 1, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+        // Truth is monotone; estimates should be within noise of monotone.
+        let e0 = compile::estimate_count(&mut ens, db, &base).unwrap().value;
+        let e1 = compile::estimate_count(&mut ens, db, &narrowed).unwrap().value;
+        let e2 = compile::estimate_count(&mut ens, db, &further).unwrap().value;
+        prop_assert!(e1 <= e0 * 1.05, "narrowing grew the estimate: {e1} > {e0}");
+        prop_assert!(e2 <= e1 * 1.05, "further narrowing grew the estimate: {e2} > {e1}");
+    }
+
+    /// Complementary predicates partition the rows: estimates of `< v` and
+    /// `≥ v` must sum to (approximately) the unfiltered count.
+    #[test]
+    fn complementary_predicates_sum_to_total(year in 1940i64..2010) {
+        let (db, ens) = fixture();
+        let mut ens = ens.lock().unwrap();
+        let title = db.table_id("title").unwrap();
+        let total = compile::estimate_count(&mut ens, db, &Query::count(vec![title])).unwrap().value;
+        let lo = compile::estimate_count(&mut ens, db,
+            &Query::count(vec![title]).filter(title, 2, PredOp::Cmp(CmpOp::Lt, Value::Int(year)))).unwrap().value;
+        let hi = compile::estimate_count(&mut ens, db,
+            &Query::count(vec![title]).filter(title, 2, PredOp::Cmp(CmpOp::Ge, Value::Int(year)))).unwrap().value;
+        let rel = ((lo + hi) - total).abs() / total.max(1.0);
+        prop_assert!(rel < 0.02, "partition mismatch: {lo} + {hi} vs {total}");
+    }
+
+    /// Confidence intervals always bracket their own point estimate and
+    /// widen monotonically with the confidence level.
+    #[test]
+    fn confidence_intervals_are_ordered(year in 1950i64..2010) {
+        let (db, ens) = fixture();
+        let mut ens = ens.lock().unwrap();
+        let title = db.table_id("title").unwrap();
+        let q = Query::count(vec![title]).filter(title, 2, PredOp::Cmp(CmpOp::Le, Value::Int(year)));
+        let est = compile::estimate_count(&mut ens, db, &q).unwrap();
+        let (l95, h95) = est.confidence_interval(0.95);
+        let (l99, h99) = est.confidence_interval(0.99);
+        prop_assert!(l95 <= est.value && est.value <= h95);
+        prop_assert!(l99 <= l95 && h95 <= h99, "99% CI must contain the 95% CI");
+    }
+
+    /// The ground-truth executor agrees with itself under table reordering.
+    #[test]
+    fn executor_join_order_invariance(seed in 0u64..2_000) {
+        let (db, _) = fixture();
+        let wl = joblight::synthetic(db, &[3], &[2], 1, seed);
+        for nq in &wl {
+            let forward = execute(db, &nq.query).unwrap().scalar().count;
+            let mut rev = nq.query.clone();
+            rev.tables.reverse();
+            let backward = execute(db, &rev).unwrap().scalar().count;
+            prop_assert_eq!(forward, backward);
+        }
+    }
+}
