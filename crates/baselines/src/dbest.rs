@@ -13,9 +13,7 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use deepdb_storage::{
-    execute, Aggregate, Database, Domain, Predicate, Query,
-};
+use deepdb_storage::{execute, Aggregate, Database, Domain, Predicate, Query};
 
 /// Template key: tables + categorical equality predicates + aggregate input.
 fn template_key(db: &Database, q: &Query) -> String {
@@ -41,7 +39,11 @@ fn is_categorical_eq(db: &Database, p: &Predicate) -> bool {
     let def = &db.table(p.table).schema().columns()[p.column];
     def.domain.is_discrete()
         && !matches!(def.domain, Domain::Key)
-        && matches!(p.op, deepdb_storage::PredOp::Cmp(deepdb_storage::CmpOp::Eq, _) | deepdb_storage::PredOp::In(_))
+        && matches!(
+            p.op,
+            deepdb_storage::PredOp::Cmp(deepdb_storage::CmpOp::Eq, _)
+                | deepdb_storage::PredOp::In(_)
+        )
 }
 
 /// One fitted template model: the biased sample materialized as aggregates.
@@ -138,15 +140,17 @@ impl DbEst {
                 .columns()
                 .iter()
                 .position(|d| d.domain.is_modelled())
-                .map(|c| deepdb_storage::ColumnRef { table: t, column: c })
+                .map(|c| deepdb_storage::ColumnRef {
+                    table: t,
+                    column: c,
+                })
         });
         let Some(target) = target else {
             return Vec::new();
         };
         // Stride-scan the target's table with the template's local predicates.
         let table = db.table(target.table);
-        let local: Vec<&Predicate> =
-            template_q.predicates_on(target.table).collect();
+        let local: Vec<&Predicate> = template_q.predicates_on(target.table).collect();
         let mut out = Vec::with_capacity(cap);
         let stride = (table.n_rows() / cap.max(1)).max(1);
         'rows: for r in (0..table.n_rows()).step_by(stride) {
@@ -215,13 +219,18 @@ mod tests {
         let mut dbest = DbEst::new();
         let q1 = Query::count(vec![c]).filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
         // Same categorical template, different numeric refinement.
-        let q2 = q1.clone().filter(c, 1, PredOp::Cmp(CmpOp::Ge, Value::Int(60)));
+        let q2 = q1
+            .clone()
+            .filter(c, 1, PredOp::Cmp(CmpOp::Ge, Value::Int(60)));
         dbest.query(&db, &q1).unwrap();
         assert_eq!(dbest.n_models(), 1);
         let t_after_first = dbest.cumulative_training;
         dbest.query(&db, &q2);
         assert_eq!(dbest.n_models(), 1, "reuse expected");
-        assert_eq!(dbest.cumulative_training, t_after_first, "no extra training charged");
+        assert_eq!(
+            dbest.cumulative_training, t_after_first,
+            "no extra training charged"
+        );
         assert_eq!(dbest.per_query_training.len(), 2);
         assert_eq!(dbest.per_query_training[1], Duration::ZERO);
     }
@@ -258,7 +267,10 @@ mod tests {
         let mut dbest = DbEst::new();
         let q = Query::count(vec![c, o])
             .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
-            .aggregate(Aggregate::Avg(ColumnRef { table: o, column: 3 }));
+            .aggregate(Aggregate::Avg(ColumnRef {
+                table: o,
+                column: 3,
+            }));
         let truth = execute(&db, &q).unwrap().scalar().avg().unwrap();
         let est = dbest.query(&db, &q).unwrap();
         assert!((est - truth).abs() / truth < 0.01);

@@ -24,7 +24,12 @@ pub struct Ibjs<'a> {
 
 impl<'a> Ibjs<'a> {
     pub fn new(db: &'a Database, indexes: &'a Indexes, walks: usize, seed: u64) -> Self {
-        Self { db, indexes, walks, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            db,
+            indexes,
+            walks,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Cardinality estimate (≥ 1, the q-error convention).
@@ -56,7 +61,11 @@ impl<'a> Ibjs<'a> {
         for (level, step) in plan.steps.iter().enumerate() {
             let from_row = rows[step.from_level];
             let from_table = plan.order[step.from_level];
-            let Some(key) = self.db.table(from_table).column(step.probe_col).i64_at(from_row)
+            let Some(key) = self
+                .db
+                .table(from_table)
+                .column(step.probe_col)
+                .i64_at(from_row)
             else {
                 return 0.0;
             };
@@ -129,7 +138,12 @@ impl WalkPlan {
             } else {
                 (fk.child_col, fk.parent_col, false)
             };
-            steps.push(WalkStep { from_level, probe_col, build_col, to_child });
+            steps.push(WalkStep {
+                from_level,
+                probe_col,
+                build_col,
+                to_child,
+            });
             order.push(t);
         }
         Some(Self { order, steps })

@@ -11,9 +11,7 @@
 use std::time::Duration;
 
 use deepdb_nn::{McsnNet, SetSample};
-use deepdb_storage::{
-    execute, CmpOp, ColId, Database, PredOp, Predicate, Query, TableId,
-};
+use deepdb_storage::{execute, CmpOp, ColId, Database, PredOp, Predicate, Query, TableId};
 
 /// Featurization metadata frozen at training time.
 #[derive(Debug, Clone)]
@@ -54,7 +52,11 @@ impl Featurizer {
                 columns.push((t, c, lo, hi.max(lo + 1e-9)));
             }
         }
-        Self { n_tables: db.n_tables(), edges, columns }
+        Self {
+            n_tables: db.n_tables(),
+            edges,
+            columns,
+        }
     }
 
     fn table_dim(&self) -> usize {
@@ -75,9 +77,8 @@ impl Featurizer {
             s.tables.push(v);
         }
         for (i, &(a, b)) in self.edges.iter().enumerate() {
-            let joined = q.tables.contains(&a)
-                && q.tables.contains(&b)
-                && db.edge_between(a, b).is_some();
+            let joined =
+                q.tables.contains(&a) && q.tables.contains(&b) && db.edge_between(a, b).is_some();
             if joined {
                 let mut v = vec![0.0; self.join_dim()];
                 v[i] = 1.0;
@@ -92,8 +93,10 @@ impl Featurizer {
 
     fn featurize_pred(&self, p: &Predicate) -> Vec<f64> {
         let mut v = vec![0.0; self.pred_dim()];
-        let col_idx =
-            self.columns.iter().position(|&(t, c, _, _)| t == p.table && c == p.column);
+        let col_idx = self
+            .columns
+            .iter()
+            .position(|&(t, c, _, _)| t == p.table && c == p.column);
         let (lo, hi) = col_idx
             .map(|i| (self.columns[i].2, self.columns[i].3))
             .unwrap_or((0.0, 1.0));
@@ -134,17 +137,16 @@ impl Mcsn {
     /// Train on a workload. Labels (true cardinalities) are computed here by
     /// actually executing every query — the cost Table 1's "training time"
     /// row charges to workload-driven approaches.
-    pub fn train(
-        db: &Database,
-        training_queries: &[Query],
-        epochs: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn train(db: &Database, training_queries: &[Query], epochs: usize, seed: u64) -> Self {
         let feat = Featurizer::new(db);
         let t0 = std::time::Instant::now();
         let labels: Vec<f64> = training_queries
             .iter()
-            .map(|q| execute(db, q).map_or(1.0, |o| o.scalar().count as f64).max(1.0))
+            .map(|q| {
+                execute(db, q)
+                    .map_or(1.0, |o| o.scalar().count as f64)
+                    .max(1.0)
+            })
             .collect();
         let label_collection_time = t0.elapsed();
 
@@ -156,15 +158,27 @@ impl Mcsn {
             .collect();
 
         let t1 = std::time::Instant::now();
-        let mut net =
-            McsnNet::new(feat.table_dim(), feat.join_dim(), feat.pred_dim(), 32, 1e-3, seed);
+        let mut net = McsnNet::new(
+            feat.table_dim(),
+            feat.join_dim(),
+            feat.pred_dim(),
+            32,
+            1e-3,
+            seed,
+        );
         for _ in 0..epochs {
             for (s, y) in &samples {
                 net.train(s, *y);
             }
         }
         let training_time = t1.elapsed();
-        Self { net, feat, max_log, label_collection_time, training_time }
+        Self {
+            net,
+            feat,
+            max_log,
+            label_collection_time,
+            training_time,
+        }
     }
 
     /// Cardinality estimate (≥ 1).
@@ -193,7 +207,11 @@ mod tests {
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..n {
-            let mut q = if rnd() < 0.5 { Query::count(vec![c]) } else { Query::count(vec![c, o]) };
+            let mut q = if rnd() < 0.5 {
+                Query::count(vec![c])
+            } else {
+                Query::count(vec![c, o])
+            };
             if rnd() < 0.8 {
                 let age = 20 + (rnd() * 60.0) as i64;
                 let op = if rnd() < 0.5 {
@@ -204,10 +222,18 @@ mod tests {
                 q = q.filter(c, 1, op);
             }
             if rnd() < 0.5 {
-                q = q.filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int((rnd() * 3.0) as i64)));
+                q = q.filter(
+                    c,
+                    2,
+                    PredOp::Cmp(CmpOp::Eq, Value::Int((rnd() * 3.0) as i64)),
+                );
             }
             if q.tables.len() == 2 && rnd() < 0.5 {
-                q = q.filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int((rnd() * 2.0) as i64)));
+                q = q.filter(
+                    o,
+                    2,
+                    PredOp::Cmp(CmpOp::Eq, Value::Int((rnd() * 2.0) as i64)),
+                );
             }
             out.push(q);
         }

@@ -10,9 +10,7 @@
 
 use std::collections::HashMap;
 
-use deepdb_storage::{
-    ColId, CmpOp, Database, Domain, PredOp, Predicate, Query, TableId,
-};
+use deepdb_storage::{CmpOp, ColId, Database, Domain, PredOp, Predicate, Query, TableId};
 
 /// Number of most-common values tracked per column.
 const N_MCV: usize = 25;
@@ -63,7 +61,11 @@ impl PostgresEstimator {
 
     /// Estimated cardinality of an inner-join COUNT query (≥ 1).
     pub fn estimate(&self, db: &Database, query: &Query) -> f64 {
-        let mut card: f64 = query.tables.iter().map(|&t| self.rows[t].max(1.0)).product();
+        let mut card: f64 = query
+            .tables
+            .iter()
+            .map(|&t| self.rows[t].max(1.0))
+            .product();
         // Join selectivities: one factor per FK edge in the join tree.
         let mut joined: Vec<TableId> = vec![query.tables[0]];
         let mut remaining: Vec<TableId> = query.tables[1..].to_vec();
@@ -133,7 +135,7 @@ fn column_stats(table: &deepdb_storage::Table, c: ColId) -> ColumnStats {
     }
     let n_distinct = freqs.len() as f64;
     let mut by_freq = freqs.clone();
-    by_freq.sort_by(|a, b| b.1.cmp(&a.1));
+    by_freq.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     let mcvs: Vec<(f64, f64)> = by_freq
         .iter()
         .take(N_MCV.min(by_freq.len()))
@@ -143,8 +145,11 @@ fn column_stats(table: &deepdb_storage::Table, c: ColId) -> ColumnStats {
     let mcv_set: Vec<f64> = mcvs.iter().map(|&(v, _)| v).collect();
 
     // Histogram over the values not covered by MCVs.
-    let rest: Vec<f64> =
-        values.iter().copied().filter(|v| !mcv_set.contains(v)).collect();
+    let rest: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| !mcv_set.contains(v))
+        .collect();
     let rest_mass = rest.len() as f64 / n.max(1) as f64;
     let mut bounds = Vec::new();
     if !rest.is_empty() {
@@ -155,7 +160,13 @@ fn column_stats(table: &deepdb_storage::Table, c: ColId) -> ColumnStats {
         }
         bounds.dedup();
     }
-    ColumnStats { null_frac, n_distinct, mcvs, bounds, rest_mass }
+    ColumnStats {
+        null_frac,
+        n_distinct,
+        mcvs,
+        bounds,
+        rest_mass,
+    }
 }
 
 impl ColumnStats {
@@ -220,9 +231,15 @@ impl ColumnStats {
                     CmpOp::Ge => (1.0 - self.null_frac - self.cumulative(v, false)).max(0.0),
                 }
             }
-            PredOp::In(vs) => vs.iter().filter_map(|v| v.as_f64()).map(|v| self.eq_sel(v)).sum(),
+            PredOp::In(vs) => vs
+                .iter()
+                .filter_map(|v| v.as_f64())
+                .map(|v| self.eq_sel(v))
+                .sum(),
             PredOp::Between(lo, hi) => match (lo.as_f64(), hi.as_f64()) {
-                (Some(a), Some(b)) => (self.cumulative(b, true) - self.cumulative(a, false)).max(0.0),
+                (Some(a), Some(b)) => {
+                    (self.cumulative(b, true) - self.cumulative(a, false)).max(0.0)
+                }
                 _ => 0.0,
             },
         }
@@ -289,7 +306,10 @@ mod tests {
             .filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(1)));
         let truth = execute(&db, &q).unwrap().scalar().count as f64;
         let e = est.estimate(&db, &q);
-        assert!(qerr(e, truth) > 1.3, "independence should bias this estimate: {e} vs {truth}");
+        assert!(
+            qerr(e, truth) > 1.3,
+            "independence should bias this estimate: {e} vs {truth}"
+        );
     }
 
     #[test]

@@ -9,8 +9,15 @@ pub struct RegressionTree {
 
 #[derive(Debug, Clone)]
 enum TreeNode {
-    Leaf { value: f64 },
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// Training hyper-parameters.
@@ -24,7 +31,11 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_depth: 10, min_leaf: 20, candidates: 24 }
+        Self {
+            max_depth: 10,
+            min_leaf: 20,
+            candidates: 24,
+        }
     }
 }
 
@@ -62,16 +73,29 @@ impl RegressionTree {
         };
         let (lrows, rrows): (Vec<u32>, Vec<u32>) = rows
             .iter()
-            .partition(|&&r| !(x[r as usize][feature] > threshold));
+            // NaN features must train left, matching inference (`v > t` is
+            // false for NaN, so predict() descends left on NULLs).
+            .partition(|&&r| {
+                let v = x[r as usize][feature];
+                v <= threshold || v.is_nan()
+            });
         if lrows.len() < params.min_leaf || rrows.len() < params.min_leaf {
             self.nodes.push(TreeNode::Leaf { value: mean });
             return self.nodes.len() - 1;
         }
         let idx = self.nodes.len();
-        self.nodes.push(TreeNode::Split { feature, threshold, left: 0, right: 0 });
+        self.nodes.push(TreeNode::Split {
+            feature,
+            threshold,
+            left: 0,
+            right: 0,
+        });
         let left = self.build(x, y, &lrows, params, depth + 1);
         let right = self.build(x, y, &rrows, params, depth + 1);
-        if let TreeNode::Split { left: l, right: r, .. } = &mut self.nodes[idx] {
+        if let TreeNode::Split {
+            left: l, right: r, ..
+        } = &mut self.nodes[idx]
+        {
             *l = left;
             *r = right;
         }
@@ -86,8 +110,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[cur] {
                 TreeNode::Leaf { value } => return *value,
-                TreeNode::Split { feature, threshold, left, right } => {
-                    cur = if features[*feature] > *threshold { *right } else { *left };
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if features[*feature] > *threshold {
+                        *right
+                    } else {
+                        *left
+                    };
                 }
             }
         }
@@ -99,12 +132,7 @@ impl RegressionTree {
 }
 
 /// Best (feature, threshold) by SSE reduction over a quantile grid.
-fn best_split(
-    x: &[Vec<f64>],
-    y: &[f64],
-    rows: &[u32],
-    params: TreeParams,
-) -> Option<(usize, f64)> {
+fn best_split(x: &[Vec<f64>], y: &[f64], rows: &[u32], params: TreeParams) -> Option<(usize, f64)> {
     let n_features = x.first()?.len();
     let total_sum: f64 = rows.iter().map(|&r| y[r as usize]).sum();
     let total_sq: f64 = rows.iter().map(|&r| y[r as usize] * y[r as usize]).sum();
@@ -112,6 +140,7 @@ fn best_split(
     let base_sse = total_sq - total_sum * total_sum / n;
 
     let mut best: Option<(f64, usize, f64)> = None;
+    #[allow(clippy::needless_range_loop)]
     for f in 0..n_features {
         let mut vals: Vec<f64> = rows
             .iter()
@@ -144,7 +173,7 @@ fn best_split(
             }
             let sse = (lq - ls * ls / ln) + (rq - rs * rs / rn);
             let gain = base_sse - sse;
-            if gain > 1e-9 && best.map_or(true, |(g, _, _)| gain > g) {
+            if gain > 1e-9 && best.is_none_or(|(g, _, _)| gain > g) {
                 best = Some((gain, f, threshold));
             }
         }
@@ -159,7 +188,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> f64 {
         let mut state = seed;
         move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         }
     }
@@ -168,7 +199,10 @@ mod tests {
     fn fits_a_step_function_exactly() {
         let mut rng = lcg(1);
         let x: Vec<Vec<f64>> = (0..500).map(|_| vec![rng()]).collect();
-        let y: Vec<f64> = x.iter().map(|v| if v[0] > 0.5 { 10.0 } else { -10.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| if v[0] > 0.5 { 10.0 } else { -10.0 })
+            .collect();
         let tree = RegressionTree::fit(&x, &y, TreeParams::default());
         assert!((tree.predict(&[0.1]) + 10.0).abs() < 0.5);
         assert!((tree.predict(&[0.9]) - 10.0).abs() < 0.5);
@@ -188,8 +222,7 @@ mod tests {
             .sum::<f64>()
             / y.len() as f64)
             .sqrt();
-        let rmse_mean =
-            (y.iter().map(|t| (mean - t).powi(2)).sum::<f64>() / y.len() as f64).sqrt();
+        let rmse_mean = (y.iter().map(|t| (mean - t).powi(2)).sum::<f64>() / y.len() as f64).sqrt();
         assert!(rmse_tree < rmse_mean * 0.5, "{rmse_tree} vs {rmse_mean}");
     }
 
@@ -197,8 +230,15 @@ mod tests {
     fn respects_min_leaf() {
         let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..30).map(|i| i as f64).collect();
-        let tree =
-            RegressionTree::fit(&x, &y, TreeParams { max_depth: 10, min_leaf: 15, candidates: 8 });
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 10,
+                min_leaf: 15,
+                candidates: 8,
+            },
+        );
         // Only one split is possible with min_leaf 15 on 30 rows.
         assert!(tree.n_nodes() <= 3);
     }

@@ -35,12 +35,21 @@ impl RandomSampling {
                     kept += 1;
                 }
             }
-            rates.push(if table.n_rows() == 0 { 1.0 } else { kept as f64 / table.n_rows() as f64 });
+            rates.push(if table.n_rows() == 0 {
+                1.0
+            } else {
+                kept as f64 / table.n_rows() as f64
+            });
         }
         for fk in db.foreign_keys() {
             let child = db.table(fk.child_table).schema().name().to_string();
             let parent = db.table(fk.parent_table).schema().name().to_string();
-            let child_col = db.table(fk.child_table).schema().column(fk.child_col).name.clone();
+            let child_col = db
+                .table(fk.child_table)
+                .schema()
+                .column(fk.child_col)
+                .name
+                .clone();
             sampled.add_foreign_key(&child, &child_col, &parent)?;
         }
         Ok(Self { sampled, rates })
@@ -52,8 +61,11 @@ impl RandomSampling {
         let Ok(out) = execute(&self.sampled, query) else {
             return 1.0;
         };
-        let scale: f64 =
-            query.tables.iter().map(|&t| 1.0 / self.rates[t].max(1e-12)).product();
+        let scale: f64 = query
+            .tables
+            .iter()
+            .map(|&t| 1.0 / self.rates[t].max(1e-12))
+            .product();
         (out.scalar().count as f64 * scale).max(1.0)
     }
 }
@@ -101,9 +113,14 @@ pub fn sample_based_ci(
         .iter()
         .filter_map(|p| col_of(p.table, p.column).map(|c| (c, p)))
         .collect();
-    let indicators: Vec<usize> =
-        query.tables.iter().filter_map(|&t| indicator_of(t)).collect();
-    let agg_col = query.aggregate_input().and_then(|c| col_of(c.table, c.column));
+    let indicators: Vec<usize> = query
+        .tables
+        .iter()
+        .filter_map(|&t| indicator_of(t))
+        .collect();
+    let agg_col = query
+        .aggregate_input()
+        .and_then(|c| col_of(c.table, c.column));
 
     let mut qualifying = 0usize;
     let mut vals: Vec<f64> = Vec::new();
@@ -113,7 +130,11 @@ pub fn sample_based_ci(
         }
         let ok = preds.iter().all(|&(c, p)| {
             let v = sample.data[c][i];
-            let value = if v.is_nan() { Value::Null } else { Value::Float(v) };
+            let value = if v.is_nan() {
+                Value::Null
+            } else {
+                Value::Float(v)
+            };
             p.passes(&value)
         });
         if !ok {
@@ -144,9 +165,12 @@ pub fn sample_based_ci(
     };
 
     let out = match query.aggregate {
-        Aggregate::CountStar => {
-            SampleCi { estimate: count_est, ci_low: count_est - z * count_sd, ci_high: count_est + z * count_sd, qualifying }
-        }
+        Aggregate::CountStar => SampleCi {
+            estimate: count_est,
+            ci_low: count_est - z * count_sd,
+            ci_high: count_est + z * count_sd,
+            qualifying,
+        },
         Aggregate::Avg(_) => SampleCi {
             estimate: mean,
             ci_low: mean - z * mean_sd,
@@ -160,7 +184,12 @@ pub fn sample_based_ci(
                 + count_sd * count_sd * mean * mean
                 + mean_sd * mean_sd * count_est * count_est;
             let sd = var.sqrt();
-            SampleCi { estimate: est, ci_low: est - z * sd, ci_high: est + z * sd, qualifying }
+            SampleCi {
+                estimate: est,
+                ci_low: est - z * sd,
+                ci_high: est + z * sd,
+                qualifying,
+            }
         }
     };
     Ok(out)
@@ -196,7 +225,10 @@ mod tests {
         let q = Query::count(vec![c, o]);
         let truth = execute(&db, &q).unwrap().scalar().count as f64;
         let est = rs.estimate(&q);
-        assert!(est > truth / 10.0 && est < truth * 10.0, "est {est} vs {truth}");
+        assert!(
+            est > truth / 10.0 && est < truth * 10.0,
+            "est {est} vs {truth}"
+        );
     }
 
     #[test]
@@ -219,11 +251,19 @@ mod tests {
         let q = Query::count(vec![c]).filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(1)));
         let truth = execute(&db, &q).unwrap().scalar().count as f64;
         let ci = sample_based_ci(&db, &q, 20_000, 0.95, 7).unwrap();
-        assert!(ci.ci_low <= truth && truth <= ci.ci_high, "CI [{}, {}] vs {truth}", ci.ci_low, ci.ci_high);
+        assert!(
+            ci.ci_low <= truth && truth <= ci.ci_high,
+            "CI [{}, {}] vs {truth}",
+            ci.ci_low,
+            ci.ci_high
+        );
 
         let qa = Query::count(vec![c])
             .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))
-            .aggregate(Aggregate::Avg(ColumnRef { table: c, column: 1 }));
+            .aggregate(Aggregate::Avg(ColumnRef {
+                table: c,
+                column: 1,
+            }));
         let truth_avg = execute(&db, &qa).unwrap().scalar().avg().unwrap();
         let ci = sample_based_ci(&db, &qa, 20_000, 0.95, 8).unwrap();
         assert!(ci.ci_low <= truth_avg && truth_avg <= ci.ci_high);

@@ -4,9 +4,7 @@
 
 use std::time::{Duration, Instant};
 
-use deepdb_storage::{
-    Aggregate, Database, Indexes, Predicate, Query, TableId, Value,
-};
+use deepdb_storage::{Aggregate, Database, Indexes, Predicate, Query, TableId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -20,7 +18,12 @@ pub struct TableSample<'a> {
 
 impl<'a> TableSample<'a> {
     pub fn new(db: &'a Database, rate: f64, seed: u64) -> Self {
-        Self { db, indexes: Indexes::build(db), rate, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            db,
+            indexes: Indexes::build(db),
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Fact table of a query: the FK child among the joined tables (or the
@@ -123,8 +126,11 @@ impl<'a> TableSample<'a> {
                     non_null += 1;
                 }
             } else {
-                let key: Vec<Value> =
-                    query.group_by.iter().map(|g| value_at(g.table, g.column)).collect();
+                let key: Vec<Value> = query
+                    .group_by
+                    .iter()
+                    .map(|g| value_at(g.table, g.column))
+                    .collect();
                 let e = groups.entry(key).or_default();
                 e.0 += 1;
                 if is_num {
@@ -181,13 +187,23 @@ mod tests {
         let c = db.table_id("customer").unwrap();
         let o = db.table_id("orders").unwrap();
         let q = Query::count(vec![c, o])
-            .aggregate(Aggregate::Avg(ColumnRef { table: o, column: 3 }))
+            .aggregate(Aggregate::Avg(ColumnRef {
+                table: o,
+                column: 3,
+            }))
             .group(c, 2);
         let truth = execute(&db, &q).unwrap();
         let (_, groups, _) = ts.query(&q);
         assert_eq!(groups.len(), truth.groups().len());
         for (key, est) in &groups {
-            let t = truth.groups().iter().find(|(k, _)| k == key).unwrap().1.avg().unwrap();
+            let t = truth
+                .groups()
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap()
+                .1
+                .avg()
+                .unwrap();
             let rel = (est.unwrap() - t).abs() / t;
             assert!(rel < 0.25, "group {key:?} rel {rel}");
         }

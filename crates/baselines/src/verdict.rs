@@ -9,7 +9,7 @@
 use std::time::{Duration, Instant};
 
 use deepdb_storage::{
-    execute, Aggregate, AggResult, Database, Query, QueryOutput, StorageError, TableId, Value,
+    execute, AggResult, Aggregate, Database, Query, QueryOutput, StorageError, TableId, Value,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,8 +25,8 @@ pub struct VerdictDb {
 /// Tables considered "fact" tables: FK children (they hold the bulk of the
 /// rows in star/snowflake schemas).
 fn is_fact(db: &Database, t: TableId) -> bool {
-    db.foreign_keys().iter().any(|fk| fk.child_table == t)
-        || db.foreign_keys().is_empty() // single-table datasets
+    db.foreign_keys().iter().any(|fk| fk.child_table == t) || db.foreign_keys().is_empty()
+    // single-table datasets
 }
 
 impl VerdictDb {
@@ -36,6 +36,7 @@ impl VerdictDb {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut scramble = Database::new(format!("{}_scramble", db.name()));
         let mut rates = vec![1.0; db.n_tables()];
+        #[allow(clippy::needless_range_loop)]
         for t in 0..db.n_tables() {
             let table = db.table(t);
             scramble.create_table(table.schema().clone())?;
@@ -47,8 +48,11 @@ impl VerdictDb {
                         kept += 1;
                     }
                 }
-                rates[t] =
-                    if table.n_rows() == 0 { 1.0 } else { kept as f64 / table.n_rows() as f64 };
+                rates[t] = if table.n_rows() == 0 {
+                    1.0
+                } else {
+                    kept as f64 / table.n_rows() as f64
+                };
             } else {
                 for r in 0..table.n_rows() {
                     scramble.table_mut(t).push_row(&table.row_values(r))?;
@@ -58,15 +62,28 @@ impl VerdictDb {
         for fk in db.foreign_keys() {
             let child = db.table(fk.child_table).schema().name().to_string();
             let parent = db.table(fk.parent_table).schema().name().to_string();
-            let child_col = db.table(fk.child_table).schema().column(fk.child_col).name.clone();
+            let child_col = db
+                .table(fk.child_table)
+                .schema()
+                .column(fk.child_col)
+                .name
+                .clone();
             scramble.add_foreign_key(&child, &child_col, &parent)?;
         }
-        Ok(Self { scramble, rates, build_time: t0.elapsed() })
+        Ok(Self {
+            scramble,
+            rates,
+            build_time: t0.elapsed(),
+        })
     }
 
     /// Scale factor for COUNT/SUM answers of a query.
     fn scale(&self, query: &Query) -> f64 {
-        query.tables.iter().map(|&t| 1.0 / self.rates[t].max(1e-12)).product()
+        query
+            .tables
+            .iter()
+            .map(|&t| 1.0 / self.rates[t].max(1e-12))
+            .product()
     }
 
     /// Approximate answer + wall-clock latency. Grouped queries return
@@ -74,7 +91,9 @@ impl VerdictDb {
     /// result" bars).
     pub fn query(&self, query: &Query) -> (Option<QueryOutput>, Duration) {
         let t0 = Instant::now();
-        let out = execute(&self.scramble, query).ok().map(|o| self.rescale(query, o));
+        let out = execute(&self.scramble, query)
+            .ok()
+            .map(|o| self.rescale(query, o));
         let elapsed = t0.elapsed();
         let has_result = out.as_ref().is_some_and(|o| match o {
             QueryOutput::Scalar(a) => a.count > 0,
@@ -117,6 +136,7 @@ impl VerdictDb {
     }
 
     /// Grouped values keyed as the executor reports them.
+    #[allow(clippy::type_complexity)]
     pub fn grouped_values(&self, query: &Query) -> (Vec<(Vec<Value>, Option<f64>)>, Duration) {
         let (out, lat) = self.query(query);
         let groups = out
@@ -158,8 +178,10 @@ mod tests {
         let v = VerdictDb::build(&db, 0.25, 2).unwrap();
         let c = db.table_id("customer").unwrap();
         let o = db.table_id("orders").unwrap();
-        let q = Query::count(vec![c, o])
-            .aggregate(Aggregate::Avg(ColumnRef { table: o, column: 3 }));
+        let q = Query::count(vec![c, o]).aggregate(Aggregate::Avg(ColumnRef {
+            table: o,
+            column: 3,
+        }));
         let truth = execute(&db, &q).unwrap().scalar().avg().unwrap();
         let (est, _) = v.aggregate_value(&q);
         let rel = (est.unwrap() - truth).abs() / truth;
@@ -172,10 +194,12 @@ mod tests {
         let v = VerdictDb::build(&db, 0.01, 3).unwrap();
         let c = db.table_id("customer").unwrap();
         let o = db.table_id("orders").unwrap();
-        let q = Query::count(vec![c, o])
-            .filter(o, 3, PredOp::Cmp(CmpOp::Gt, Value::Float(499.5)));
+        let q = Query::count(vec![c, o]).filter(o, 3, PredOp::Cmp(CmpOp::Gt, Value::Float(499.5)));
         let (est, _) = v.aggregate_value(&q);
-        assert!(est.is_none(), "ultra-selective query on a tiny scramble should fail");
+        assert!(
+            est.is_none(),
+            "ultra-selective query on a tiny scramble should fail"
+        );
     }
 
     #[test]

@@ -24,7 +24,12 @@ pub struct WanderJoin<'a> {
 
 impl<'a> WanderJoin<'a> {
     pub fn new(db: &'a Database, indexes: &'a Indexes, walks: usize, seed: u64) -> Self {
-        Self { db, indexes, walks, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            db,
+            indexes,
+            walks,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Scalar estimate (`None` when no walk qualifies) plus per-group
@@ -41,7 +46,11 @@ impl<'a> WanderJoin<'a> {
             .iter()
             .find(|&&t| {
                 query.tables.iter().all(|&u| {
-                    u == t || self.db.edge_between(t, u).is_some_and(|fk| fk.child_table == t)
+                    u == t
+                        || self
+                            .db
+                            .edge_between(t, u)
+                            .is_some_and(|fk| fk.child_table == t)
                 })
             })
             .unwrap_or(&query.tables[0]);
@@ -106,8 +115,11 @@ impl<'a> WanderJoin<'a> {
                     w_sum += v;
                 }
             } else {
-                let key: Vec<Value> =
-                    query.group_by.iter().map(|g| value_at(g.table, g.column)).collect();
+                let key: Vec<Value> = query
+                    .group_by
+                    .iter()
+                    .map(|g| value_at(g.table, g.column))
+                    .collect();
                 let e = groups.entry(key).or_default();
                 e.0 += 1.0;
                 if has {
@@ -128,9 +140,15 @@ impl<'a> WanderJoin<'a> {
                 Aggregate::Avg(_) => (nn > 0.0).then_some(s / nn),
             }
         };
-        let scalar = if qualifying == 0 { None } else { finish(w_count, w_sum, w_count) };
-        let mut grouped: Vec<(Vec<Value>, Option<f64>)> =
-            groups.into_iter().map(|(k, (c, s, nn))| (k, finish(c, s, nn))).collect();
+        let scalar = if qualifying == 0 {
+            None
+        } else {
+            finish(w_count, w_sum, w_count)
+        };
+        let mut grouped: Vec<(Vec<Value>, Option<f64>)> = groups
+            .into_iter()
+            .map(|(k, (c, s, nn))| (k, finish(c, s, nn)))
+            .collect();
         grouped.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
         (scalar, grouped, t0.elapsed())
     }
@@ -163,7 +181,10 @@ mod tests {
         let mut wj = WanderJoin::new(&db, &idx, 20_000, 2);
         let c = db.table_id("customer").unwrap();
         let o = db.table_id("orders").unwrap();
-        let amount = ColumnRef { table: o, column: 3 };
+        let amount = ColumnRef {
+            table: o,
+            column: 3,
+        };
         let q = Query {
             tables: vec![o, c],
             predicates: vec![Predicate::new(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))],

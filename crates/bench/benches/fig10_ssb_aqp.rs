@@ -30,9 +30,15 @@ fn fmt_pct(v: f64) -> String {
 
 fn main() {
     let scale = deepdb_bench::bench_scale(1.0);
-    println!("Figure 10: SSB AQP (scale {:.2}, seed {})", scale.factor, scale.seed);
+    println!(
+        "Figure 10: SSB AQP (scale {:.2}, seed {})",
+        scale.factor, scale.seed
+    );
     let db = ssb::generate(scale);
-    println!("lineorder rows: {}", db.table(db.table_id("lineorder").unwrap()).n_rows());
+    println!(
+        "lineorder rows: {}",
+        db.table(db.table_id("lineorder").unwrap()).n_rows()
+    );
 
     // DeepDB with declared FDs: c_nation→c_region, s_nation→s_region.
     let c = db.table_id("customer").unwrap();
@@ -49,7 +55,11 @@ fn main() {
     let verdict = VerdictDb::build(&db, 0.01, scale.seed ^ 0x3).expect("scrambles");
     println!("VerdictDB scramble build: {}", fmt_dur(verdict.build_time));
     let indexes = Indexes::build(&db);
-    let walks = if deepdb_bench::fast_mode() { 2_000 } else { 20_000 };
+    let walks = if deepdb_bench::fast_mode() {
+        2_000
+    } else {
+        20_000
+    };
     let mut wander = WanderJoin::new(&db, &indexes, walks, scale.seed ^ 0x4);
     let mut tablesample = TableSample::new(&db, 0.01, scale.seed ^ 0x5);
 
@@ -89,8 +99,10 @@ fn main() {
         let d_err = match &out {
             AqpOutput::Scalar(r) => rel_error_pct(Some(r.value), ts),
             AqpOutput::Grouped(groups) => {
-                let est: Vec<(Vec<Value>, Option<f64>)> =
-                    groups.iter().map(|(k, r)| (k.clone(), Some(r.value))).collect();
+                let est: Vec<(Vec<Value>, Option<f64>)> = groups
+                    .iter()
+                    .map(|(k, r)| (k.clone(), Some(r.value)))
+                    .collect();
                 grouped_rel_error_pct(&tg, &est)
             }
         };
@@ -105,7 +117,14 @@ fn main() {
     }
     print_table(
         "Figure 10: average relative error per SSB query",
-        &["query", "VerdictDB", "Wander Join", "Tablesample", "DeepDB (ours)", "DeepDB lat"],
+        &[
+            "query",
+            "VerdictDB",
+            "Wander Join",
+            "Tablesample",
+            "DeepDB (ours)",
+            "DeepDB lat",
+        ],
         &rows,
     );
     println!(

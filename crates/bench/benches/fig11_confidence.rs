@@ -46,7 +46,9 @@ fn run(
             continue;
         }
         let out = execute_aqp(ensemble, db, &q).expect("aqp");
-        let AqpOutput::Scalar(r) = out else { unreachable!("group_by cleared") };
+        let AqpOutput::Scalar(r) = out else {
+            unreachable!("group_by cleared")
+        };
         rows.push(vec![
             nq.name.clone(),
             format!("{:.2}%", rel_ci(truth_ci.estimate, truth_ci.ci_low)),
@@ -62,20 +64,40 @@ fn run(
 
 fn main() {
     let scale = deepdb_bench::bench_scale(1.0);
-    println!("Figure 11: confidence intervals (scale {:.2}, seed {})", scale.factor, scale.seed);
-    let n_samples = if deepdb_bench::fast_mode() { 20_000 } else { 100_000 };
+    println!(
+        "Figure 11: confidence intervals (scale {:.2}, seed {})",
+        scale.factor, scale.seed
+    );
+    let n_samples = if deepdb_bench::fast_mode() {
+        20_000
+    } else {
+        100_000
+    };
 
     // Flights.
     let fdb = flights::generate(scale);
     let (mut fens, _) = build_ensemble(&fdb, default_ensemble_params(scale.seed));
-    run("Flights", &fdb, &mut fens, &flights::queries(&fdb), n_samples, scale.seed ^ 0x11);
+    run(
+        "Flights",
+        &fdb,
+        &mut fens,
+        &flights::queries(&fdb),
+        n_samples,
+        scale.seed ^ 0x11,
+    );
 
     // F5.2: difference of two SUMs — CI overestimation case.
     let (fa, fb) = flights::f52_pair(&fdb);
     let ca = sample_based_ci(&fdb, &fa.query, n_samples, 0.95, scale.seed ^ 0x12).expect("ci");
     let cb = sample_based_ci(&fdb, &fb.query, n_samples, 0.95, scale.seed ^ 0x13).expect("ci");
-    let da = execute_aqp(&mut fens, &fdb, &fa.query).expect("aqp").scalar().expect("scalar");
-    let dbv = execute_aqp(&mut fens, &fdb, &fb.query).expect("aqp").scalar().expect("scalar");
+    let da = execute_aqp(&mut fens, &fdb, &fa.query)
+        .expect("aqp")
+        .scalar()
+        .expect("scalar");
+    let dbv = execute_aqp(&mut fens, &fdb, &fb.query)
+        .expect("aqp")
+        .scalar()
+        .expect("scalar");
     // Difference: variances add for the sample-based truth; DeepDB combines
     // the two independent estimates the same way (§5.1 assumption (i) fails
     // here because the summands share correlated attributes → overestimate).
@@ -113,5 +135,12 @@ fn main() {
         .expect("ensemble");
     // S3.4 is near-empty at bench scale; the harness's <10-qualifying filter
     // handles it exactly like the paper's exclusion rule.
-    run("SSB", &sdb, &mut sens, &ssb::queries(&sdb), n_samples, scale.seed ^ 0x21);
+    run(
+        "SSB",
+        &sdb,
+        &mut sens,
+        &ssb::queries(&sdb),
+        n_samples,
+        scale.seed ^ 0x21,
+    );
 }

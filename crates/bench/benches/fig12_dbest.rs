@@ -12,7 +12,10 @@ use deepdb_data::ssb;
 
 fn main() {
     let scale = deepdb_bench::bench_scale(1.0);
-    println!("Figure 12: cumulative training time (scale {:.2}, seed {})", scale.factor, scale.seed);
+    println!(
+        "Figure 12: cumulative training time (scale {:.2}, seed {})",
+        scale.factor, scale.seed
+    );
     let db = ssb::generate(scale);
 
     let (_, deepdb_time) = build_ensemble(&db, default_ensemble_params(scale.seed));
@@ -32,7 +35,12 @@ fn main() {
     }
     print_table(
         "Figure 12: cumulative training time over the SSB query sequence",
-        &["query", "DBEst cumulative", "DeepDB (one-off)", "DBEst models"],
+        &[
+            "query",
+            "DBEst cumulative",
+            "DeepDB (one-off)",
+            "DBEst models",
+        ],
         &rows,
     );
     println!(

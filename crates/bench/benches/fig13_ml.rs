@@ -22,21 +22,26 @@ use rand::SeedableRng;
 fn feature_cols(db: &Database, target: usize) -> Vec<usize> {
     let f = db.table_id("flights").expect("flights");
     (0..db.table(f).schema().n_columns())
-        .filter(|&c| {
-            c != target && db.table(f).schema().columns()[c].domain.is_modelled()
-        })
+        .filter(|&c| c != target && db.table(f).schema().columns()[c].domain.is_modelled())
         .collect()
 }
 
 fn main() {
     let scale = deepdb_bench::bench_scale(0.5);
-    println!("Figure 13: ML regression tasks (scale {:.2}, seed {})", scale.factor, scale.seed);
+    println!(
+        "Figure 13: ML regression tasks (scale {:.2}, seed {})",
+        scale.factor, scale.seed
+    );
     let db = flights::generate(scale);
     let f = db.table_id("flights").expect("flights");
     let table = db.table(f);
     let n = table.n_rows();
     let n_test = if deepdb_bench::fast_mode() { 200 } else { 1000 };
-    let n_train = (n - n_test).min(if deepdb_bench::fast_mode() { 4_000 } else { 40_000 });
+    let n_train = (n - n_test).min(if deepdb_bench::fast_mode() {
+        4_000
+    } else {
+        40_000
+    });
 
     // DeepDB: reuse the AQP ensemble — no additional training (paper: "0s").
     let (mut ensemble, ensemble_time) = build_ensemble(&db, default_ensemble_params(scale.seed));
@@ -51,7 +56,10 @@ fn main() {
 
         // Train/test matrices (train prefix, test suffix; NULL targets skipped).
         let row_feats = |r: usize| -> Vec<f64> {
-            feats.iter().map(|&c| table.column(c).f64_or_nan(r)).collect()
+            feats
+                .iter()
+                .map(|&c| table.column(c).f64_or_nan(r))
+                .collect()
         };
         let mut x_train = Vec::new();
         let mut y_train = Vec::new();
@@ -121,7 +129,15 @@ fn main() {
     }
     print_table(
         "Figure 13: RMSE and per-target training time",
-        &["target", "Tree RMSE", "NN RMSE", "DeepDB RMSE", "Tree train", "NN train", "DeepDB train"],
+        &[
+            "target",
+            "Tree RMSE",
+            "NN RMSE",
+            "DeepDB RMSE",
+            "Tree train",
+            "NN train",
+            "DeepDB train",
+        ],
         &rows,
     );
     println!("\n(DeepDB per-target training is 0s: the AQP ensemble answers all tasks.)");

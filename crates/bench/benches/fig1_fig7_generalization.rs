@@ -18,22 +18,37 @@ use deepdb_data::{ground_truth_cardinalities, imdb, joblight};
 
 fn main() {
     let scale = deepdb_bench::bench_scale(1.0);
-    println!("Figures 1 & 7: generalization (scale {:.2}, seed {})", scale.factor, scale.seed);
+    println!(
+        "Figures 1 & 7: generalization (scale {:.2}, seed {})",
+        scale.factor, scale.seed
+    );
     let db = imdb::generate(scale);
 
     let (mut ensemble, _) = build_ensemble(&db, default_ensemble_params(scale.seed));
 
     // MCSN trained on ≤3-table queries only.
     let n_train = if deepdb_bench::fast_mode() { 180 } else { 1200 };
-    let train: Vec<_> = joblight::synthetic(&db, &[2, 3], &[1, 2, 3], n_train / 6, scale.seed ^ 0x7)
-        .into_iter()
-        .map(|nq| nq.query)
-        .collect();
-    let mcsn = Mcsn::train(&db, &train, if deepdb_bench::fast_mode() { 10 } else { 60 }, scale.seed);
+    let train: Vec<_> =
+        joblight::synthetic(&db, &[2, 3], &[1, 2, 3], n_train / 6, scale.seed ^ 0x7)
+            .into_iter()
+            .map(|nq| nq.query)
+            .collect();
+    let mcsn = Mcsn::train(
+        &db,
+        &train,
+        if deepdb_bench::fast_mode() { 10 } else { 60 },
+        scale.seed,
+    );
 
     // Evaluation grid: join sizes 4-6 × predicates 1-5.
     let per_cell = if deepdb_bench::fast_mode() { 2 } else { 5 };
-    let grid = joblight::synthetic(&db, &[4, 5, 6], &[1, 2, 3, 4, 5], per_cell, scale.seed ^ 0x99);
+    let grid = joblight::synthetic(
+        &db,
+        &[4, 5, 6],
+        &[1, 2, 3, 4, 5],
+        per_cell,
+        scale.seed ^ 0x99,
+    );
     let truths = ground_truth_cardinalities(&db, &grid);
 
     // Collect q-errors per cell.
@@ -62,7 +77,11 @@ fn main() {
         }
         let (dmed, ..) = percentiles(&mut dd);
         let (mmed, ..) = percentiles(&mut mc);
-        fig1.push(vec![format!("{t}"), format!("{mmed:.2}"), format!("{dmed:.2}")]);
+        fig1.push(vec![
+            format!("{t}"),
+            format!("{mmed:.2}"),
+            format!("{dmed:.2}"),
+        ]);
     }
     print_table(
         "Figure 1: median q-error per join size (tables)",
@@ -75,7 +94,11 @@ fn main() {
     for ((t, p), (d, m)) in &mut cells {
         let (dmed, ..) = percentiles(d);
         let (mmed, ..) = percentiles(m);
-        fig7.push(vec![format!("{t}-{p}"), format!("{mmed:.2}"), format!("{dmed:.2}")]);
+        fig7.push(vec![
+            format!("{t}-{p}"),
+            format!("{mmed:.2}"),
+            format!("{dmed:.2}"),
+        ]);
     }
     print_table(
         "Figure 7: median q-errors per (join size - #filter predicates)",

@@ -21,13 +21,19 @@ fn eval_ensemble(
     params: deepdb_core::EnsembleParams,
 ) -> (f64, f64, f64, f64, std::time::Duration) {
     let t0 = Instant::now();
-    let mut ens = EnsembleBuilder::new(db).params(params).build().expect("ensemble");
+    let mut ens = EnsembleBuilder::new(db)
+        .params(params)
+        .build()
+        .expect("ensemble");
     let train_time = t0.elapsed();
     let mut qs: Vec<f64> = workload
         .iter()
         .zip(truths)
         .map(|(nq, &t)| {
-            qerror(estimate_cardinality(&mut ens, db, &nq.query).expect("estimate"), t)
+            qerror(
+                estimate_cardinality(&mut ens, db, &nq.query).expect("estimate"),
+                t,
+            )
         })
         .collect();
     let (med, p90, p95, max) = percentiles(&mut qs);
@@ -36,7 +42,10 @@ fn eval_ensemble(
 
 fn main() {
     let scale = deepdb_bench::bench_scale(0.5);
-    println!("Figure 8: parameter exploration (scale {:.2}, seed {})", scale.factor, scale.seed);
+    println!(
+        "Figure 8: parameter exploration (scale {:.2}, seed {})",
+        scale.factor, scale.seed
+    );
     let db = imdb::generate(scale);
     // Mixed workload: 3–6-way joins, 1–5 predicates (as in §6.1).
     let per_cell = if deepdb_bench::fast_mode() { 1 } else { 3 };
@@ -54,7 +63,11 @@ fn main() {
         let mut p = default_ensemble_params(scale.seed);
         p.budget_factor = b;
         let (med, _, _, _, t) = eval_ensemble(&db, &workload, &truths, p);
-        rows.push(vec![format!("{b:.1}"), format!("{med:.3}"), deepdb_bench::fmt_dur(t)]);
+        rows.push(vec![
+            format!("{b:.1}"),
+            format!("{med:.3}"),
+            deepdb_bench::fmt_dur(t),
+        ]);
     }
     print_table(
         "Figure 8 (left): q-error / training time vs ensemble learning budget",
@@ -73,7 +86,11 @@ fn main() {
         let mut p = default_ensemble_params(scale.seed);
         p.sample_size = n;
         let (med, _, _, _, t) = eval_ensemble(&db, &workload, &truths, p);
-        rows.push(vec![format!("{n}"), format!("{med:.3}"), deepdb_bench::fmt_dur(t)]);
+        rows.push(vec![
+            format!("{n}"),
+            format!("{med:.3}"),
+            deepdb_bench::fmt_dur(t),
+        ]);
     }
     print_table(
         "Figure 8 (right): q-error / training time vs samples per RSPN",

@@ -30,7 +30,10 @@ fn fmt_pct(v: f64) -> String {
 
 fn main() {
     let scale = deepdb_bench::bench_scale(1.0);
-    println!("Figure 9: Flights AQP (scale {:.2}, seed {})", scale.factor, scale.seed);
+    println!(
+        "Figure 9: Flights AQP (scale {:.2}, seed {})",
+        scale.factor, scale.seed
+    );
     let db = flights::generate(scale);
     println!("flights rows: {}", db.total_rows());
 
@@ -49,7 +52,10 @@ fn main() {
         // VerdictDB.
         let (v_err, v_lat) = if grouped {
             let (groups, lat) = verdict.grouped_values(&nq.query);
-            (grouped_rel_error_pct(&truth_groups(&truth, &nq.query), &groups), lat)
+            (
+                grouped_rel_error_pct(&truth_groups(&truth, &nq.query), &groups),
+                lat,
+            )
         } else {
             let (est, lat) = verdict.aggregate_value(&nq.query);
             (rel_error_pct(est, scalar_truth(&truth, &nq.query)), lat)
@@ -69,8 +75,10 @@ fn main() {
         let d_err = match &out {
             AqpOutput::Scalar(r) => rel_error_pct(Some(r.value), scalar_truth(&truth, &nq.query)),
             AqpOutput::Grouped(groups) => {
-                let est: Vec<(Vec<Value>, Option<f64>)> =
-                    groups.iter().map(|(k, r)| (k.clone(), Some(r.value))).collect();
+                let est: Vec<(Vec<Value>, Option<f64>)> = groups
+                    .iter()
+                    .map(|(k, r)| (k.clone(), Some(r.value)))
+                    .collect();
                 grouped_rel_error_pct(&truth_groups(&truth, &nq.query), &est)
             }
         };
@@ -99,8 +107,14 @@ fn main() {
     let _ = tga;
     let t_diff = ta.zip(tb).map(|(a, b)| a - b);
     let t0 = Instant::now();
-    let da = execute_aqp(&mut ensemble, &db, &fa.query).expect("aqp").scalar().expect("scalar");
-    let db_ = execute_aqp(&mut ensemble, &db, &fb.query).expect("aqp").scalar().expect("scalar");
+    let da = execute_aqp(&mut ensemble, &db, &fa.query)
+        .expect("aqp")
+        .scalar()
+        .expect("scalar");
+    let db_ = execute_aqp(&mut ensemble, &db, &fb.query)
+        .expect("aqp")
+        .scalar()
+        .expect("scalar");
     let d_lat = t0.elapsed();
     deepdb_max_latency = deepdb_max_latency.max(d_lat);
     rows.push(vec![
@@ -115,7 +129,15 @@ fn main() {
 
     print_table(
         "Figure 9: average relative error and latency per Flights query",
-        &["query", "VerdictDB err", "lat", "Tablesample err", "lat", "DeepDB err", "lat"],
+        &[
+            "query",
+            "VerdictDB err",
+            "lat",
+            "Tablesample err",
+            "lat",
+            "DeepDB err",
+            "lat",
+        ],
         &rows,
     );
     println!(

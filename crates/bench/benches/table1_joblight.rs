@@ -24,7 +24,10 @@ use deepdb_storage::Indexes;
 
 fn main() {
     let scale = deepdb_bench::bench_scale(1.0);
-    println!("Table 1: JOB-light estimation errors (scale {:.2}, seed {})", scale.factor, scale.seed);
+    println!(
+        "Table 1: JOB-light estimation errors (scale {:.2}, seed {})",
+        scale.factor, scale.seed
+    );
 
     let db = imdb::generate(scale);
     println!(
@@ -40,12 +43,18 @@ fn main() {
 
     // MCSN: workload-driven — training queries limited to ≤ 3 tables (§6.1).
     let n_train = if deepdb_bench::fast_mode() { 200 } else { 1500 };
-    let train_queries: Vec<_> = joblight::synthetic(&db, &[2, 3], &[1, 2, 3], n_train / 6, scale.seed ^ 0xAB)
-        .into_iter()
-        .map(|nq| nq.query)
-        .collect();
+    let train_queries: Vec<_> =
+        joblight::synthetic(&db, &[2, 3], &[1, 2, 3], n_train / 6, scale.seed ^ 0xAB)
+            .into_iter()
+            .map(|nq| nq.query)
+            .collect();
     let t0 = Instant::now();
-    let mcsn = Mcsn::train(&db, &train_queries, if deepdb_bench::fast_mode() { 10 } else { 60 }, scale.seed);
+    let mcsn = Mcsn::train(
+        &db,
+        &train_queries,
+        if deepdb_bench::fast_mode() { 10 } else { 60 },
+        scale.seed,
+    );
     let mcsn_total = t0.elapsed();
 
     // Non-learned baselines.

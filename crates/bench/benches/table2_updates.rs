@@ -18,7 +18,10 @@ use deepdb_data::{ground_truth_cardinalities, imdb, joblight, updates};
 
 fn main() {
     let scale = deepdb_bench::bench_scale(0.5);
-    println!("Table 2: updates (scale {:.2}, seed {})", scale.factor, scale.seed);
+    println!(
+        "Table 2: updates (scale {:.2}, seed {})",
+        scale.factor, scale.seed
+    );
     // Base ensemble only (budget factor 0), as in the paper's Table 2.
     let mut params = default_ensemble_params(scale.seed);
     params.budget_factor = 0.0;
@@ -28,7 +31,10 @@ fn main() {
     let mut throughput = Vec::new();
 
     let shares = [0.0, 0.05, 0.10, 0.20, 0.40];
-    for (mode, rows_out) in [("random", &mut rows_random), ("temporal", &mut rows_temporal)] {
+    for (mode, rows_out) in [
+        ("random", &mut rows_random),
+        ("temporal", &mut rows_temporal),
+    ] {
         for &share in &shares {
             let (mut db, stream, label) = if mode == "random" {
                 let (db, stream) = updates::split_imdb_random(scale, share, scale.seed ^ 0x42);
@@ -36,16 +42,24 @@ fn main() {
             } else {
                 let cutoff = updates::cutoff_for_fraction(scale, share);
                 let (db, stream, real_share) = updates::split_imdb_temporal(scale, cutoff);
-                (db, stream, format!("<{cutoff} ({:.1}%)", real_share * 100.0))
+                (
+                    db,
+                    stream,
+                    format!("<{cutoff} ({:.1}%)", real_share * 100.0),
+                )
             };
-            let mut ensemble =
-                EnsembleBuilder::new(&db).params(params.clone()).build().expect("ensemble");
+            let mut ensemble = EnsembleBuilder::new(&db)
+                .params(params.clone())
+                .build()
+                .expect("ensemble");
 
             // Stream the held-out tuples through the update path.
             let n_updates = stream.len();
             let t0 = Instant::now();
             for (table, values) in stream {
-                ensemble.apply_insert(&mut db, table, &values).expect("update");
+                ensemble
+                    .apply_insert(&mut db, table, &values)
+                    .expect("update");
             }
             let elapsed = t0.elapsed();
             if n_updates > 0 {

@@ -58,7 +58,10 @@ pub fn grouped_rel_error_pct(
     }
     let mut total = 0.0;
     for (key, t) in truth {
-        let est = estimate.iter().find(|(k, _)| k == key).and_then(|(_, v)| *v);
+        let est = estimate
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| *v);
         let e = match est {
             Some(e) if t.abs() > 1e-12 => (100.0 * (e - t).abs() / t.abs()).min(100.0),
             Some(_) => 0.0,
@@ -83,7 +86,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+            s.push_str(&format!(
+                "{:<w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         println!("{}", s.trim_end());
     };
@@ -118,13 +125,16 @@ pub fn bench_scale(default_factor: f64) -> Scale {
 
 /// Smoke-run mode.
 pub fn fast_mode() -> bool {
-    std::env::var("DEEPDB_FAST").map_or(false, |v| v == "1")
+    std::env::var("DEEPDB_FAST").is_ok_and(|v| v == "1")
 }
 
 /// Ensemble parameters used by the experiments (paper hyper-parameters:
 /// RDC threshold 0.3, min instance slice 1 %, budget factor 0.5).
 pub fn default_ensemble_params(seed: u64) -> EnsembleParams {
-    let mut p = EnsembleParams { seed, ..EnsembleParams::default() };
+    let mut p = EnsembleParams {
+        seed,
+        ..EnsembleParams::default()
+    };
     if fast_mode() {
         p.sample_size = 8_000;
         p.correlation_sample = 1_000;
@@ -135,7 +145,10 @@ pub fn default_ensemble_params(seed: u64) -> EnsembleParams {
 /// Build an ensemble and report the wall-clock training time.
 pub fn build_ensemble(db: &Database, params: EnsembleParams) -> (Ensemble, Duration) {
     let t0 = std::time::Instant::now();
-    let ens = EnsembleBuilder::new(db).params(params).build().expect("ensemble learning");
+    let ens = EnsembleBuilder::new(db)
+        .params(params)
+        .build()
+        .expect("ensemble learning");
     (ens, t0.elapsed())
 }
 

@@ -1,0 +1,244 @@
+//! Minimal in-tree replacement for `proptest`.
+//!
+//! The build environment has no network access, so the workspace patches
+//! `proptest` to this crate. It supports the subset the test suites use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` and multiple
+//!   `#[test]` functions whose arguments are `pat in strategy` bindings;
+//! * range strategies over the primitive integer/float types;
+//! * tuple strategies (arity 2–6);
+//! * `prop::collection::vec(strategy, len_range)`;
+//! * `prop::option::of(strategy)`;
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with the
+//! generated case index so it can be re-run deterministically (generation is
+//! seeded per test name and case index).
+
+use std::ops::Range;
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// A `Vec` whose length is drawn from `len` and whose elements come
+        /// from `element`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = if self.len.start < self.len.end {
+                    rng.gen_range(self.len.clone())
+                } else {
+                    self.len.start
+                };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `None` with probability 1/4, `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.gen::<f64>() < 0.25 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+/// Everything tests import.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Derive a stable per-test seed from the test path and case index.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg); $($rest)*);
+    };
+    // Without a config header.
+    ($(#[$meta:meta])* fn $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()); $(#[$meta])* fn $($rest)*);
+    };
+    (@funcs ($cfg:expr);) => {};
+    (@funcs ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(concat!(module_path!(), "::", stringify!($name)), case);
+                $(let $pat = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                let run = std::panic::AssertUnwindSafe(|| {
+                    $body;
+                });
+                if let Err(payload) = std::panic::catch_unwind(run) {
+                    // Surface the failing case index so the deterministic
+                    // generation can be replayed, then re-raise.
+                    eprintln!(
+                        "proptest {}: case {case} of {} failed",
+                        stringify!($name),
+                        config.cases
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::proptest!(@funcs ($cfg); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Range, tuple, vec, and option strategies generate in-bounds values.
+        #[test]
+        fn strategies_are_in_bounds(
+            pairs in prop::collection::vec((0i64..6, 0i64..4), 5..20),
+            x in 0.5f64..2.5,
+            opt in prop::option::of(1u64..9),
+        ) {
+            prop_assert!(pairs.len() >= 5 && pairs.len() < 20);
+            for (a, b) in &pairs {
+                prop_assert!((0..6).contains(a));
+                prop_assert!((0..4).contains(b));
+            }
+            prop_assert!((0.5..2.5).contains(&x));
+            if let Some(v) = opt {
+                prop_assert!((1..9).contains(&v), "v = {v}");
+            }
+        }
+    }
+}

@@ -8,7 +8,7 @@
 
 use deepdb_storage::{Aggregate, Database, Domain, PredOp, Query, Value};
 
-use crate::compile::{estimate_avg, estimate_count, estimate_sum};
+use crate::compile::{estimate_avg, estimate_count, estimate_count_values, estimate_sum};
 use crate::ensemble::Ensemble;
 use crate::estimate::Estimate;
 use crate::DeepDbError;
@@ -69,26 +69,27 @@ pub fn execute_aqp(
     // (paper §4.2 — "n times more expectations"). Before forming the cross
     // product of group domains, prune each domain with a cheap marginal
     // count estimate so contradictory values (e.g. cities of a filtered-out
-    // nation) do not explode the enumeration.
+    // nation) do not explode the enumeration. The per-value probes go
+    // through `estimate_count_values`, which runs the whole domain as one
+    // batched pass over the compiled arena when a single RSPN covers it.
     let mut group_domains: Vec<Vec<Value>> = Vec::new();
     for g in &query.group_by {
         let domain = group_domain(ens, db, g.table, g.column)?;
         let survivors = if query.group_by.len() > 1 && domain.len() > 8 {
-            let mut kept = Vec::new();
-            for v in domain {
-                let mut mq = query.clone();
-                mq.group_by.clear();
-                mq.aggregate = Aggregate::CountStar;
-                mq.predicates.push(deepdb_storage::Predicate::new(
-                    g.table,
-                    g.column,
-                    PredOp::Cmp(deepdb_storage::CmpOp::Eq, v),
-                ));
-                if estimate_count(ens, db, &mq)?.value >= 0.5 {
-                    kept.push(v);
-                }
-            }
-            kept
+            let mut mq = query.clone();
+            mq.group_by.clear();
+            mq.aggregate = Aggregate::CountStar;
+            let target = deepdb_storage::ColumnRef {
+                table: g.table,
+                column: g.column,
+            };
+            let counts = estimate_count_values(ens, db, &mq, target, &domain)?;
+            domain
+                .into_iter()
+                .zip(counts)
+                .filter(|(_, c)| *c >= 0.5)
+                .map(|(v, _)| v)
+                .collect()
         } else {
             domain
         };
@@ -100,8 +101,11 @@ pub fn execute_aqp(
     let mut groups = Vec::new();
     let mut combo = vec![0usize; group_domains.len()];
     'outer: loop {
-        let key: Vec<Value> =
-            combo.iter().zip(&group_domains).map(|(&i, d)| d[i]).collect();
+        let key: Vec<Value> = combo
+            .iter()
+            .zip(&group_domains)
+            .map(|(&i, d)| d[i])
+            .collect();
         let mut gq = query.clone();
         gq.group_by.clear();
         for (g, v) in query.group_by.iter().zip(&key) {
@@ -131,7 +135,12 @@ pub fn execute_aqp(
 
 fn to_result(agg: Estimate, count: Estimate) -> AqpResult {
     let (ci_low, ci_high) = agg.confidence_interval(CONFIDENCE);
-    AqpResult { value: agg.value, ci_low, ci_high, count_estimate: count.value }
+    AqpResult {
+        value: agg.value,
+        ci_low,
+        ci_high,
+        count_estimate: count.value,
+    }
 }
 
 /// (aggregate estimate, count estimate) for a scalar query.
@@ -222,7 +231,10 @@ mod tests {
         let c = db.table_id("customer").unwrap();
         let o = db.table_id("orders").unwrap();
         let q = Query::count(vec![c, o])
-            .aggregate(Aggregate::Avg(ColumnRef { table: o, column: 3 }))
+            .aggregate(Aggregate::Avg(ColumnRef {
+                table: o,
+                column: 3,
+            }))
             .group(c, 2);
         let truth = execute(&db, &q).unwrap();
         let out = execute_aqp(&mut ens, &db, &q).unwrap();
@@ -236,7 +248,11 @@ mod tests {
                 .map(|(_, a)| a.avg().unwrap())
                 .unwrap_or_else(|| panic!("missing group {key:?}"));
             let rel = (res.value - t).abs() / t.abs().max(1.0);
-            assert!(rel < 0.12, "group {key:?}: {} vs {t} (rel {rel})", res.value);
+            assert!(
+                rel < 0.12,
+                "group {key:?}: {} vs {t} (rel {rel})",
+                res.value
+            );
         }
     }
 
@@ -257,12 +273,20 @@ mod tests {
         let c = db.table_id("customer").unwrap();
         let o = db.table_id("orders").unwrap();
         let q = Query::count(vec![c, o])
-            .aggregate(Aggregate::Sum(ColumnRef { table: o, column: 3 }))
+            .aggregate(Aggregate::Sum(ColumnRef {
+                table: o,
+                column: 3,
+            }))
             .group(c, 2);
         let truth = execute(&db, &q).unwrap();
         let out = execute_aqp(&mut ens, &db, &q).unwrap();
         for (key, res) in out.groups() {
-            let t = truth.groups().iter().find(|(k, _)| k == key).map(|(_, a)| a.sum).unwrap();
+            let t = truth
+                .groups()
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, a)| a.sum)
+                .unwrap();
             let rel = (res.value - t).abs() / t.abs().max(1.0);
             assert!(rel < 0.35, "group {key:?}: {} vs {t}", res.value);
         }

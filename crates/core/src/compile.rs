@@ -51,6 +51,69 @@ pub fn estimate_cardinality(
     Ok(estimate_count(ens, db, query)?.value.max(1.0))
 }
 
+/// Batched point-count estimates for `query` extended with `target = v` for
+/// each `v` in `values` — the workhorse behind GROUP BY domain pruning,
+/// where one query fans out into one probe per candidate group value.
+///
+/// When a single RSPN covers the query (paper Cases 1/2) all probes are
+/// translated up front and evaluated in **one** pass over the compiled arena
+/// (`|J| · E[1/F' · 1_{C ∧ target=v} · ∏N_T]` per value). Otherwise this
+/// falls back to one [`estimate_count`] per value (Case 3 needs per-value
+/// RSPN combination).
+pub fn estimate_count_values(
+    ens: &mut Ensemble,
+    db: &Database,
+    query: &Query,
+    target: ColumnRef,
+    values: &[deepdb_storage::Value],
+) -> Result<Vec<f64>, DeepDbError> {
+    query.validate(db)?;
+    let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
+    let eq_pred = |v: &deepdb_storage::Value| {
+        Predicate::new(
+            target.table,
+            target.column,
+            deepdb_storage::PredOp::Cmp(deepdb_storage::CmpOp::Eq, *v),
+        )
+    };
+
+    // Representative predicate set for RSPN selection (the choice is
+    // identical for every value: only the constant differs).
+    let mut selector_preds = query.predicates.clone();
+    if let Some(v) = values.first() {
+        selector_preds.push(eq_pred(v));
+    }
+    let single = best_covering_rspn(ens, &qtables, &selector_preds).and_then(|idx| {
+        // The whole batch must translate against this one RSPN.
+        let rspn = &ens.rspns()[idx];
+        let mut probes = Vec::with_capacity(values.len());
+        for v in values {
+            let mut preds = query.predicates.clone();
+            preds.push(eq_pred(v));
+            match count_fraction_query(rspn, &qtables, &preds, false) {
+                Ok((q, _)) => probes.push(q),
+                Err(_) => return None,
+            }
+        }
+        Some((idx, probes))
+    });
+
+    if let Some((idx, probes)) = single {
+        let j = ens.rspns()[idx].full_join_count() as f64;
+        let fractions = ens.rspns_mut()[idx].expect_batch(&probes);
+        return Ok(fractions.into_iter().map(|f| (f * j).max(0.0)).collect());
+    }
+
+    // Case 3 fallback: one full estimate per value.
+    let mut out = Vec::with_capacity(values.len());
+    for v in values {
+        let mut sub = query.clone();
+        sub.predicates.push(eq_pred(v));
+        out.push(estimate_count(ens, db, &sub)?.value.max(0.0));
+    }
+    Ok(out)
+}
+
 /// Maximum number of disjuncts accepted by [`estimate_count_disjunction`]
 /// (inclusion–exclusion enumerates 2^k − 1 conjunctive subqueries).
 pub const MAX_DISJUNCTS: usize = 10;
@@ -90,7 +153,11 @@ pub fn estimate_count_disjunction(
             }
         }
         let term = estimate_count(ens, db, &sub)?;
-        let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        let sign = if mask.count_ones() % 2 == 1 {
+            1.0
+        } else {
+            -1.0
+        };
         total = total.add(term.scale(sign));
     }
     total.value = total.value.max(0.0);
@@ -105,7 +172,9 @@ pub fn estimate_avg(
 ) -> Result<Estimate, DeepDbError> {
     query.validate(db)?;
     let Aggregate::Avg(target) = query.aggregate else {
-        return Err(DeepDbError::Unsupported("estimate_avg requires an AVG aggregate".into()));
+        return Err(DeepDbError::Unsupported(
+            "estimate_avg requires an AVG aggregate".into(),
+        ));
     };
     avg_over_ensemble(ens, &query.tables, &query.predicates, target)
 }
@@ -118,7 +187,9 @@ pub fn estimate_sum(
 ) -> Result<Estimate, DeepDbError> {
     query.validate(db)?;
     let Aggregate::Sum(target) = query.aggregate else {
-        return Err(DeepDbError::Unsupported("estimate_sum requires a SUM aggregate".into()));
+        return Err(DeepDbError::Unsupported(
+            "estimate_sum requires a SUM aggregate".into(),
+        ));
     };
     let mut count_q = query.clone();
     count_q.aggregate = Aggregate::CountStar;
@@ -148,7 +219,7 @@ fn best_covering_rspn(
         let score = rspn.strategy_score(preds);
         let size_penalty = -(rspn.tables().len() as isize);
         let key = (score, size_penalty, i);
-        if best.map_or(true, |(s, p, _)| (score, size_penalty) > (s, p)) {
+        if best.is_none_or(|(s, p, _)| (score, size_penalty) > (s, p)) {
             best = Some(key);
         }
     }
@@ -170,6 +241,10 @@ fn single_rspn_count(
 }
 
 /// `E[1/F'(Q,J) · 1_C · ∏N_T]` with variance, as an [`Estimate`].
+///
+/// The point estimate, its probability factor, and its second-moment probe
+/// are three expectation queries over the same RSPN — evaluated as **one**
+/// batched pass over the compiled arena instead of three recursive walks.
 fn count_fraction(
     ens: &mut Ensemble,
     idx: usize,
@@ -178,25 +253,33 @@ fn count_fraction(
 ) -> Result<Estimate, DeepDbError> {
     let rspn = &ens.rspns()[idx];
     let (q, factors) = count_fraction_query(rspn, qtables, preds, false)?;
-    let (q_sq, _) = count_fraction_query(rspn, qtables, preds, true)?;
     let rspn = &mut ens.rspns_mut()[idx];
     let n = rspn.n_training();
+
+    if factors.is_empty() {
+        // No tuple-factor normalization: the fraction *is* the probability.
+        let p = rspn.expect(&q).clamp(0.0, 1.0);
+        if p <= 0.0 {
+            return Ok(Estimate::exact(0.0));
+        }
+        return Ok(Estimate::probability(p, n));
+    }
 
     // P(C ∧ ∏N_T): same query without the moment functions.
     let mut prob_q = q.clone();
     for &f in &factors {
         prob_q.set_func(f, LeafFunc::One);
     }
-    let p = rspn.expect(&prob_q).clamp(0.0, 1.0);
+    let rspn_ref = &ens.rspns()[idx];
+    let (q_sq, _) = count_fraction_query(rspn_ref, qtables, preds, true)?;
+    let rspn = &mut ens.rspns_mut()[idx];
+    let probes = rspn.expect_batch(&[prob_q, q, q_sq]);
+    let p = probes[0].clamp(0.0, 1.0);
     if p <= 0.0 {
         return Ok(Estimate::exact(0.0));
     }
-    let e_g1c = rspn.expect(&q); // E[g·1_C]
-    if factors.is_empty() {
-        // Pure probability estimate.
-        return Ok(Estimate::probability(p, n));
-    }
-    let e_g2c = rspn.expect(&q_sq); // E[g²·1_C]
+    let e_g1c = probes[1]; // E[g·1_C]
+    let e_g2c = probes[2]; // E[g²·1_C]
     let n_eff = (n as f64 * p).max(1.0);
     let cond = Estimate::conditional_expectation(e_g1c / p, e_g2c / p, n_eff);
     Ok(cond.product(Estimate::probability(p, n)))
@@ -223,13 +306,12 @@ fn multi_rspn_count(
             .cloned()
             .collect();
         let score = rspn.strategy_score(&handled) + overlap as f64;
-        if start.map_or(true, |(s, _)| score > s) {
+        if start.is_none_or(|(s, _)| score > s) {
             start = Some((score, i));
         }
     }
-    let (_, start_idx) = start.ok_or_else(|| {
-        DeepDbError::NotAnswerable("no RSPN overlaps the query tables".into())
-    })?;
+    let (_, start_idx) = start
+        .ok_or_else(|| DeepDbError::NotAnswerable("no RSPN overlaps the query tables".into()))?;
 
     let mut covered: BTreeSet<TableId> = ens.rspns()[start_idx]
         .tables()
@@ -237,8 +319,11 @@ fn multi_rspn_count(
         .filter(|t| qtables.contains(t))
         .copied()
         .collect();
-    let covered_preds: Vec<Predicate> =
-        preds.iter().filter(|p| covered.contains(&p.table)).cloned().collect();
+    let covered_preds: Vec<Predicate> = preds
+        .iter()
+        .filter(|p| covered.contains(&p.table))
+        .cloned()
+        .collect();
     let mut est = single_rspn_count(ens, start_idx, &covered.clone(), &covered_preds)?;
 
     let mut guard = 0;
@@ -254,7 +339,9 @@ fn multi_rspn_count(
             if covered.contains(&v) {
                 return None;
             }
-            covered.iter().find_map(|&u| db.edge_between(u, v).map(|fk| (u, v, *fk)))
+            covered
+                .iter()
+                .find_map(|&u| db.edge_between(u, v).map(|fk| (u, v, *fk)))
         }) else {
             return Err(DeepDbError::NotAnswerable(format!(
                 "query tables {qtables:?} not FK-connected through {covered:?}"
@@ -267,8 +354,7 @@ fn multi_rspn_count(
             r.tables().contains(&u) && r.tables().contains(&v)
         });
         if let Some(b) = spanning {
-            let b_tables: BTreeSet<TableId> =
-                ens.rspns()[b].tables().iter().copied().collect();
+            let b_tables: BTreeSet<TableId> = ens.rspns()[b].tables().iter().copied().collect();
             let overlap: BTreeSet<TableId> = covered.intersection(&b_tables).copied().collect();
             let mut extended = overlap.clone();
             // Absorb every uncovered query table the RSPN can reach.
@@ -277,10 +363,16 @@ fn multi_rspn_count(
                     extended.insert(*t);
                 }
             }
-            let num_preds: Vec<Predicate> =
-                preds.iter().filter(|p| extended.contains(&p.table)).cloned().collect();
-            let den_preds: Vec<Predicate> =
-                preds.iter().filter(|p| overlap.contains(&p.table)).cloned().collect();
+            let num_preds: Vec<Predicate> = preds
+                .iter()
+                .filter(|p| extended.contains(&p.table))
+                .cloned()
+                .collect();
+            let den_preds: Vec<Predicate> = preds
+                .iter()
+                .filter(|p| overlap.contains(&p.table))
+                .cloned()
+                .collect();
             let num = count_fraction(ens, b, &extended, &num_preds)?;
             let den = count_fraction(ens, b, &overlap, &den_preds)?;
             est = est.product(num.divide(den));
@@ -293,30 +385,29 @@ fn multi_rspn_count(
         if fk.parent_table == u {
             // Downward: E(F(Q_cov)·F_{u←v}) / E(F(Q_cov)) from an RSPN with
             // the raw factor column, then P(preds_v) from an RSPN over v.
-            let a = best_rspn_with(ens, preds, |r| {
-                r.tables().contains(&u) && r.has_factor(&fk)
-            })
-            .ok_or_else(|| {
-                DeepDbError::NotAnswerable(format!(
-                    "no RSPN stores tuple factor for edge {u}->{v}"
-                ))
-            })?;
+            let a = best_rspn_with(ens, preds, |r| r.tables().contains(&u) && r.has_factor(&fk))
+                .ok_or_else(|| {
+                    DeepDbError::NotAnswerable(format!(
+                        "no RSPN stores tuple factor for edge {u}->{v}"
+                    ))
+                })?;
             let cov_a: BTreeSet<TableId> = ens.rspns()[a]
                 .tables()
                 .iter()
                 .filter(|t| covered.contains(t))
                 .copied()
                 .collect();
-            let a_preds: Vec<Predicate> =
-                preds.iter().filter(|p| cov_a.contains(&p.table)).cloned().collect();
+            let a_preds: Vec<Predicate> = preds
+                .iter()
+                .filter(|p| cov_a.contains(&p.table))
+                .cloned()
+                .collect();
             let fanout = factor_weighted_ratio(ens, a, &cov_a, &a_preds, &fk, None)?;
 
-            let b = best_rspn_with(ens, preds, |r| r.tables().contains(&v)).ok_or_else(|| {
-                DeepDbError::NotAnswerable(format!("no RSPN models table {v}"))
-            })?;
+            let b = best_rspn_with(ens, preds, |r| r.tables().contains(&v))
+                .ok_or_else(|| DeepDbError::NotAnswerable(format!("no RSPN models table {v}")))?;
             let v_set = BTreeSet::from([v]);
-            let v_preds: Vec<Predicate> =
-                preds.iter().filter(|p| p.table == v).cloned().collect();
+            let v_preds: Vec<Predicate> = preds.iter().filter(|p| p.table == v).cloned().collect();
             let num = count_fraction(ens, b, &v_set, &v_preds)?;
             let den = count_fraction(ens, b, &v_set, &[])?;
             est = est.product(fanout).product(num.divide(den));
@@ -324,17 +415,14 @@ fn multi_rspn_count(
             // Upward to the parent v: no row multiplication; weight v's rows
             // by their child counts (the paper's alternative formula):
             // E(1_{preds_v} · F_{v←u}) / E(F_{v←u}).
-            let a = best_rspn_with(ens, preds, |r| {
-                r.tables().contains(&v) && r.has_factor(&fk)
-            })
-            .ok_or_else(|| {
-                DeepDbError::NotAnswerable(format!(
-                    "no RSPN stores tuple factor for edge {v}<-{u}"
-                ))
-            })?;
+            let a = best_rspn_with(ens, preds, |r| r.tables().contains(&v) && r.has_factor(&fk))
+                .ok_or_else(|| {
+                    DeepDbError::NotAnswerable(format!(
+                        "no RSPN stores tuple factor for edge {v}<-{u}"
+                    ))
+                })?;
             let v_set = BTreeSet::from([v]);
-            let v_preds: Vec<Predicate> =
-                preds.iter().filter(|p| p.table == v).cloned().collect();
+            let v_preds: Vec<Predicate> = preds.iter().filter(|p| p.table == v).cloned().collect();
             let ratio = factor_weighted_ratio(ens, a, &v_set, &[], &fk, Some(&v_preds))?;
             est = est.product(ratio);
         }
@@ -387,8 +475,9 @@ fn factor_weighted_ratio(
 
     let rspn = &mut ens.rspns_mut()[idx];
     let n = rspn.n_training();
-    let num = rspn.expect(&num_q);
-    let den = rspn.expect(&den_q);
+    // Numerator, denominator, and second moment in one batched arena pass.
+    let probes = rspn.expect_batch(&[num_q, den_q, sq_q]);
+    let (num, den, e2_raw) = (probes[0], probes[1], probes[2]);
     if den <= 0.0 {
         return Ok(Estimate::exact(0.0));
     }
@@ -397,11 +486,18 @@ fn factor_weighted_ratio(
     if extra_num_preds.is_some() {
         // Weighted fraction in [0,1]: binomial-style variance.
         let p = ratio.clamp(0.0, 1.0);
-        Ok(Estimate { value: ratio, variance: p * (1.0 - p) / n_eff })
+        Ok(Estimate {
+            value: ratio,
+            variance: p * (1.0 - p) / n_eff,
+        })
     } else {
         // Expected fan-out: Koenig–Huygens on the weighted measure.
-        let e2 = rspn.expect(&sq_q) / den;
-        Ok(Estimate::conditional_expectation(ratio, e2.max(ratio * ratio), n_eff))
+        let e2 = e2_raw / den;
+        Ok(Estimate::conditional_expectation(
+            ratio,
+            e2.max(ratio * ratio),
+            n_eff,
+        ))
     }
 }
 
@@ -416,10 +512,13 @@ fn best_rspn_with(
         if !accept(rspn) {
             continue;
         }
-        let handled: Vec<Predicate> =
-            preds.iter().filter(|p| rspn.tables().contains(&p.table)).cloned().collect();
+        let handled: Vec<Predicate> = preds
+            .iter()
+            .filter(|p| rspn.tables().contains(&p.table))
+            .cloned()
+            .collect();
         let score = rspn.strategy_score(&handled);
-        if best.map_or(true, |(s, _)| score > s) {
+        if best.is_none_or(|(s, _)| score > s) {
             best = Some((score, i));
         }
     }
@@ -447,14 +546,19 @@ fn avg_over_ensemble(
     })?;
 
     let rspn = &ens.rspns()[idx];
-    let target_col = rspn.data_column(target.table, target.column).expect("checked above");
+    let target_col = rspn
+        .data_column(target.table, target.column)
+        .expect("checked above");
     let present: BTreeSet<TableId> = tables
         .iter()
         .copied()
         .filter(|t| rspn.tables().contains(t))
         .collect();
-    let usable: Vec<Predicate> =
-        preds.iter().filter(|p| rspn.tables().contains(&p.table)).cloned().collect();
+    let usable: Vec<Predicate> = preds
+        .iter()
+        .filter(|p| rspn.tables().contains(&p.table))
+        .cloned()
+        .collect();
 
     // Numerator: E[A/F' · 1_C]; denominator: E[1_{A not null}/F' · 1_C].
     let (mut num_q, _) = count_fraction_query(rspn, &present, &usable, false)?;
@@ -467,14 +571,18 @@ fn avg_over_ensemble(
 
     let rspn = &mut ens.rspns_mut()[idx];
     let n = rspn.n_training();
-    let den = rspn.expect(&den_q);
+    // One batched pass for E[A/F'·1_C], the not-NULL mass, and E[(A)²/F'²·1_C].
+    let probes = rspn.expect_batch(&[den_q, num_q, sq_q]);
+    let (den, num, e2) = (probes[0], probes[1], probes[2]);
     if den <= 0.0 {
         return Ok(Estimate::exact(0.0));
     }
-    let num = rspn.expect(&num_q);
-    let e2 = rspn.expect(&sq_q);
     let n_eff = (n as f64 * den).max(1.0);
-    Ok(Estimate::conditional_expectation(num / den, e2 / den, n_eff))
+    Ok(Estimate::conditional_expectation(
+        num / den,
+        e2 / den,
+        n_eff,
+    ))
 }
 
 #[cfg(test)]
@@ -494,8 +602,15 @@ mod tests {
 
     /// Relative check helper: estimate within `tol`× of truth.
     fn assert_close(est: f64, truth: f64, tol: f64, label: &str) {
-        let q = if est > truth { est / truth.max(1e-9) } else { truth / est.max(1e-9) };
-        assert!(q <= tol, "{label}: estimate {est} vs truth {truth} (q-error {q:.3})");
+        let q = if est > truth {
+            est / truth.max(1e-9)
+        } else {
+            truth / est.max(1e-9)
+        };
+        assert!(
+            q <= tol,
+            "{label}: estimate {est} vs truth {truth} (q-error {q:.3})"
+        );
     }
 
     #[test]
@@ -552,7 +667,10 @@ mod tests {
         // join-weighted 20·2+50 / 3 — the tuple-factor normalization of §4.2.
         let q3 = Query::count(vec![c])
             .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
-            .aggregate(Aggregate::Avg(ColumnRef { table: c, column: 1 }));
+            .aggregate(Aggregate::Avg(ColumnRef {
+                table: c,
+                column: 1,
+            }));
         let est = estimate_avg(&mut ens, &db, &q3).unwrap();
         assert!((est.value - 35.0).abs() < 2.5, "AVG = {}", est.value);
     }
@@ -560,11 +678,14 @@ mod tests {
     #[test]
     fn statistical_accuracy_against_executor() {
         let db = correlated_customer_order(2500, 11);
-        let mut ens = EnsembleBuilder::new(&db).params(params(30_000)).build().unwrap();
+        let mut ens = EnsembleBuilder::new(&db)
+            .params(params(30_000))
+            .build()
+            .unwrap();
         let c = db.table_id("customer").unwrap();
         let o = db.table_id("orders").unwrap();
 
-        let queries = vec![
+        let queries = [
             Query::count(vec![c]).filter(c, 1, PredOp::Cmp(CmpOp::Ge, Value::Int(50))),
             Query::count(vec![c, o]).filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0))),
             Query::count(vec![c, o])
@@ -584,12 +705,18 @@ mod tests {
     #[test]
     fn sum_estimate_matches_executor() {
         let db = correlated_customer_order(2000, 13);
-        let mut ens = EnsembleBuilder::new(&db).params(params(30_000)).build().unwrap();
+        let mut ens = EnsembleBuilder::new(&db)
+            .params(params(30_000))
+            .build()
+            .unwrap();
         let c = db.table_id("customer").unwrap();
         let o = db.table_id("orders").unwrap();
         let q = Query::count(vec![c, o])
             .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))
-            .aggregate(Aggregate::Sum(ColumnRef { table: o, column: 3 }));
+            .aggregate(Aggregate::Sum(ColumnRef {
+                table: o,
+                column: 3,
+            }));
         let truth = execute(&db, &q).unwrap().scalar().sum;
         let est = estimate_sum(&mut ens, &db, &q).unwrap();
         let rel = (est.value - truth).abs() / truth.abs().max(1.0);
@@ -599,36 +726,49 @@ mod tests {
     #[test]
     fn count_estimate_carries_confidence_interval() {
         let db = correlated_customer_order(2000, 17);
-        let mut ens = EnsembleBuilder::new(&db).params(params(20_000)).build().unwrap();
+        let mut ens = EnsembleBuilder::new(&db)
+            .params(params(20_000))
+            .build()
+            .unwrap();
         let c = db.table_id("customer").unwrap();
         let q = Query::count(vec![c]).filter(c, 1, PredOp::Cmp(CmpOp::Lt, Value::Int(40)));
         let truth = execute(&db, &q).unwrap().scalar().count as f64;
         let est = estimate_count(&mut ens, &db, &q).unwrap();
         let (lo, hi) = est.confidence_interval(0.95);
         assert!(lo <= est.value && est.value <= hi);
-        assert!(lo <= truth && truth <= hi * 1.1, "CI [{lo}, {hi}] should bracket {truth}");
+        assert!(
+            lo <= truth && truth <= hi * 1.1,
+            "CI [{lo}, {hi}] should bracket {truth}"
+        );
     }
 
     #[test]
     fn disjunction_via_inclusion_exclusion() {
         let db = correlated_customer_order(2500, 19);
-        let mut ens = EnsembleBuilder::new(&db).params(params(25_000)).build().unwrap();
+        let mut ens = EnsembleBuilder::new(&db)
+            .params(params(25_000))
+            .build()
+            .unwrap();
         let c = db.table_id("customer").unwrap();
         // region = EUROPE ∨ age < 30 (overlapping disjuncts).
         let base = Query::count(vec![c]);
         let d1 = vec![Predicate::new(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))];
         let d2 = vec![Predicate::new(c, 1, PredOp::Cmp(CmpOp::Lt, Value::Int(30)))];
-        let est =
-            crate::compile::estimate_count_disjunction(&mut ens, &db, &base, &[d1.clone(), d2.clone()])
-                .unwrap();
+        let est = crate::compile::estimate_count_disjunction(
+            &mut ens,
+            &db,
+            &base,
+            &[d1.clone(), d2.clone()],
+        )
+        .unwrap();
         // Exact truth via inclusion-exclusion over exact conjunctive counts.
         let count = |preds: Vec<Predicate>| {
             let mut q = Query::count(vec![c]);
             q.predicates = preds;
             execute(&db, &q).unwrap().scalar().count as f64
         };
-        let truth = count(d1.clone()) + count(d2.clone())
-            - count(d1.iter().chain(&d2).cloned().collect());
+        let truth =
+            count(d1.clone()) + count(d2.clone()) - count(d1.iter().chain(&d2).cloned().collect());
         let rel = (est.value - truth).abs() / truth;
         assert!(rel < 0.1, "disjunction estimate {} vs {truth}", est.value);
         // Union is at least as large as each disjunct alone.

@@ -5,9 +5,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use deepdb_spn::rdc::{rdc, RdcParams};
 use deepdb_spn::SpnParams;
-use deepdb_storage::{
-    ColId, Database, ForeignKey, JoinColumnRole, JoinTree, TableId, Value,
-};
+use deepdb_storage::{ColId, Database, ForeignKey, JoinColumnRole, JoinTree, TableId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -70,7 +68,11 @@ pub struct EnsembleBuilder<'a> {
 
 impl<'a> EnsembleBuilder<'a> {
     pub fn new(db: &'a Database) -> Self {
-        Self { db, params: EnsembleParams::default(), fds: Vec::new() }
+        Self {
+            db,
+            params: EnsembleParams::default(),
+            fds: Vec::new(),
+        }
     }
 
     pub fn params(mut self, params: EnsembleParams) -> Self {
@@ -86,7 +88,11 @@ impl<'a> EnsembleBuilder<'a> {
         determinant: ColId,
         dependent: ColId,
     ) -> Self {
-        self.fds.push(FunctionalDependency { table, determinant, dependent });
+        self.fds.push(FunctionalDependency {
+            table,
+            determinant,
+            dependent,
+        });
         self
     }
 
@@ -132,8 +138,10 @@ impl<'a> EnsembleBuilder<'a> {
 
         // Cost proxy: cols(r)² · rows(r) (paper §5.3).
         let cost = |tables: &[TableId]| -> f64 {
-            let cols: usize =
-                tables.iter().map(|&t| db.table(t).schema().n_columns()).sum();
+            let cols: usize = tables
+                .iter()
+                .map(|&t| db.table(t).schema().n_columns())
+                .sum();
             let rows: usize = tables.iter().map(|&t| db.table(t).n_rows()).sum();
             (cols * cols) as f64 * rows.max(1) as f64
         };
@@ -157,9 +165,8 @@ impl<'a> EnsembleBuilder<'a> {
                             Some(&d) => d,
                             None => {
                                 if sample_cache.is_none() {
-                                    sample_cache = Some(candidate_dependencies(
-                                        db, &cand, p, &mut rng,
-                                    )?);
+                                    sample_cache =
+                                        Some(candidate_dependencies(db, &cand, p, &mut rng)?);
                                 }
                                 *sample_cache.as_ref().unwrap().get(&key).unwrap_or(&0.0)
                             }
@@ -203,7 +210,10 @@ impl<'a> EnsembleBuilder<'a> {
             let mut sample_rng = StdRng::seed_from_u64(p.seed ^ (0xA11CE + i as u64));
             let sample = tree.sample(db, n, &mut sample_rng);
             let mut spn_params = p.spn.clone();
-            spn_params.seed = p.seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            spn_params.seed = p
+                .seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15);
             rspns.push(Rspn::learn(&sample, db, &self.fds, &spn_params)?);
         }
 
@@ -214,6 +224,7 @@ impl<'a> EnsembleBuilder<'a> {
             let parent = db.table(fk.parent_table);
             let pk = parent.schema().primary_key().expect("FK parents have PKs");
             let mut map = HashMap::with_capacity(parent.n_rows());
+            #[allow(clippy::needless_range_loop)]
             for r in 0..parent.n_rows() {
                 if let Some(k) = parent.column(pk).i64_at(r) {
                     map.insert(k, factors[r]);
@@ -235,7 +246,9 @@ impl<'a> EnsembleBuilder<'a> {
             }
         }
 
-        let row_counts = (0..db.n_tables()).map(|t| db.table(t).n_rows() as u64).collect();
+        let row_counts = (0..db.n_tables())
+            .map(|t| db.table(t).n_rows() as u64)
+            .collect();
         Ok(Ensemble {
             rspns,
             dependencies,
@@ -293,7 +306,10 @@ fn candidate_dependencies(
     rng: &mut StdRng,
 ) -> Result<HashMap<(TableId, TableId), f64>, DeepDbError> {
     let tree = JoinTree::new(db, tables)?;
-    let n = p.correlation_sample.min(tree.full_count().max(1) as usize).max(1);
+    let n = p
+        .correlation_sample
+        .min(tree.full_count().max(1) as usize)
+        .max(1);
     let sample = tree.sample(db, n, rng);
     // Attribute columns per table.
     let mut by_table: HashMap<TableId, Vec<usize>> = HashMap::new();
@@ -326,15 +342,15 @@ fn connected_subsets(db: &Database, min: usize, max: usize) -> Vec<Vec<TableId>>
     let mut results: BTreeSet<Vec<TableId>> = BTreeSet::new();
     // Grow connected sets by BFS over the subset lattice — schemas are small
     // (≤ ~10 tables), so this is cheap.
-    let mut frontier: Vec<BTreeSet<TableId>> =
-        (0..n).map(|t| BTreeSet::from([t])).collect();
+    let mut frontier: Vec<BTreeSet<TableId>> = (0..n).map(|t| BTreeSet::from([t])).collect();
     for _ in 1..max {
         let mut next = Vec::new();
         for set in &frontier {
             for fk in db.foreign_keys() {
-                for (inside, outside) in
-                    [(fk.parent_table, fk.child_table), (fk.child_table, fk.parent_table)]
-                {
+                for (inside, outside) in [
+                    (fk.parent_table, fk.child_table),
+                    (fk.child_table, fk.parent_table),
+                ] {
                     if set.contains(&inside) && !set.contains(&outside) {
                         let mut grown = set.clone();
                         grown.insert(outside);
@@ -391,9 +407,21 @@ impl Ensemble {
         self.rspns.iter().map(Rspn::model_size).sum()
     }
 
+    /// Recompile every RSPN's arena engine now instead of lazily on first
+    /// use. Updates ([`Ensemble::apply_insert`] / [`Ensemble::apply_delete`])
+    /// only mark the compiled form dirty — call this after a bulk-update
+    /// burst to take the one-tree-walk recompilation cost off the query path.
+    pub fn recompile_models(&mut self) {
+        for rspn in &mut self.rspns {
+            rspn.ensure_compiled();
+        }
+    }
+
     /// Insert a row into the database **and** absorb it into every affected
     /// RSPN (paper Algorithm 1 + §6.1 update protocol). The row is appended
-    /// to `db` first; the model update follows.
+    /// to `db` first; the model update follows. Affected RSPNs mark their
+    /// compiled arena dirty and recompile on the next query (or eagerly via
+    /// [`Ensemble::recompile_models`]).
     pub fn apply_insert(
         &mut self,
         db: &mut Database,
@@ -419,7 +447,10 @@ impl Ensemble {
         // Maintain pk cache.
         if let Some(pk) = db.table(table).schema().primary_key() {
             if let Some(k) = values[pk].as_i64() {
-                self.pk_caches.entry(table).or_default().insert(k, new_row as u32);
+                self.pk_caches
+                    .entry(table)
+                    .or_default()
+                    .insert(k, new_row as u32);
             }
         }
         // Maintain factor caches; remember pre-increment factors for |J|.
@@ -427,17 +458,24 @@ impl Ensemble {
         for fk in db.foreign_keys() {
             if fk.child_table == table {
                 if let Some(k) = values[fk.child_col].as_i64() {
-                    let entry =
-                        self.factor_caches.entry(*fk).or_default().entry(k).or_insert(0);
+                    let entry = self
+                        .factor_caches
+                        .entry(*fk)
+                        .or_default()
+                        .entry(k)
+                        .or_insert(0);
                     old_parent_factor.insert(*fk, *entry);
                     *entry += 1;
                 }
             } else if fk.parent_table == table {
-                if let Some(k) = values
-                    [db.table(table).schema().primary_key().unwrap_or(0)]
-                .as_i64()
+                if let Some(k) =
+                    values[db.table(table).schema().primary_key().unwrap_or(0)].as_i64()
                 {
-                    self.factor_caches.entry(*fk).or_default().entry(k).or_insert(0);
+                    self.factor_caches
+                        .entry(*fk)
+                        .or_default()
+                        .entry(k)
+                        .or_insert(0);
                 }
             }
         }
@@ -459,8 +497,7 @@ impl Ensemble {
                 } else {
                     // New child row: replaces the padded row when it is the
                     // parent's first child, otherwise adds one.
-                    let delta =
-                        i64::from(old_parent_factor.get(&fk).copied().unwrap_or(0) >= 1);
+                    let delta = i64::from(old_parent_factor.get(&fk).copied().unwrap_or(0) >= 1);
                     self.rspns[i].bump_full_join_count(delta);
                 }
             } else {
@@ -499,9 +536,7 @@ impl Ensemble {
         for fk in db.foreign_keys() {
             if fk.child_table == table {
                 if let Some(k) = values[fk.child_col].as_i64() {
-                    if let Some(entry) =
-                        self.factor_caches.entry(*fk).or_default().get_mut(&k)
-                    {
+                    if let Some(entry) = self.factor_caches.entry(*fk).or_default().get_mut(&k) {
                         old_parent_factor.insert(*fk, *entry);
                         *entry = entry.saturating_sub(1);
                     }
@@ -521,8 +556,7 @@ impl Ensemble {
                 if fk.parent_table == table {
                     self.rspns[i].bump_full_join_count(-1);
                 } else {
-                    let delta =
-                        -i64::from(old_parent_factor.get(&fk).copied().unwrap_or(0) > 1);
+                    let delta = -i64::from(old_parent_factor.get(&fk).copied().unwrap_or(0) > 1);
                     self.rspns[i].bump_full_join_count(delta);
                 }
             } else {
@@ -547,7 +581,10 @@ impl Ensemble {
             let last = db.table(table).n_rows() - 1;
             if row != last {
                 if let Some(moved_key) = db.table(table).column(pk).i64_at(last) {
-                    self.pk_caches.entry(table).or_default().insert(moved_key, row as u32);
+                    self.pk_caches
+                        .entry(table)
+                        .or_default()
+                        .insert(moved_key, row as u32);
                 }
             }
         }
@@ -560,7 +597,7 @@ impl Ensemble {
     pub fn refresh_join_counts(&mut self, db: &Database) -> Result<(), DeepDbError> {
         for rspn in &mut self.rspns {
             if rspn.join_count_dirty() {
-                let tree = JoinTree::new(db, &rspn.tables().to_vec())?;
+                let tree = JoinTree::new(db, rspn.tables())?;
                 rspn.set_full_join_count(tree.full_count());
             }
         }
@@ -593,12 +630,13 @@ impl Ensemble {
                 };
                 let key = match child_src {
                     RowSource::New(vals) => vals[fk.child_col].as_i64(),
-                    RowSource::Existing(t, r) => {
-                        db.table(*t).column(fk.child_col).i64_at(*r)
-                    }
+                    RowSource::Existing(t, r) => db.table(*t).column(fk.child_col).i64_at(*r),
                 }?;
                 let row = *self.pk_caches.get(&fk.parent_table)?.get(&key)?;
-                present.insert(fk.parent_table, RowSource::Existing(fk.parent_table, row as usize));
+                present.insert(
+                    fk.parent_table,
+                    RowSource::Existing(fk.parent_table, row as usize),
+                );
                 grown = true;
             }
             if !grown {
@@ -610,9 +648,7 @@ impl Ensemble {
         for meta in rspn.columns() {
             let v = match meta.role {
                 JoinColumnRole::Data { table: t, col } => match present.get(&t) {
-                    Some(RowSource::New(vals)) => {
-                        vals[col].as_f64().unwrap_or(f64::NAN)
-                    }
+                    Some(RowSource::New(vals)) => vals[col].as_f64().unwrap_or(f64::NAN),
                     Some(RowSource::Existing(tt, r)) => db.table(*tt).column(col).f64_or_nan(*r),
                     None => f64::NAN,
                 },
@@ -630,14 +666,10 @@ impl Ensemble {
                                 .unwrap_or(0);
                             let key = match src {
                                 RowSource::New(vals) => vals[pk_col].as_i64(),
-                                RowSource::Existing(t, r) => {
-                                    db.table(*t).column(pk_col).i64_at(*r)
-                                }
+                                RowSource::Existing(t, r) => db.table(*t).column(pk_col).i64_at(*r),
                             };
                             let f = key
-                                .and_then(|k| {
-                                    self.factor_caches.get(&fk).and_then(|m| m.get(&k))
-                                })
+                                .and_then(|k| self.factor_caches.get(&fk).and_then(|m| m.get(&k)))
                                 .copied()
                                 .unwrap_or(0) as f64;
                             if clamped {
@@ -738,8 +770,9 @@ impl Ensemble {
         if n_rspns > 1 << 12 {
             return Err(corrupt("rspn count"));
         }
-        let rspns: Vec<Rspn> =
-            (0..n_rspns).map(|_| Rspn::read_from(r)).collect::<std::io::Result<_>>()?;
+        let rspns: Vec<Rspn> = (0..n_rspns)
+            .map(|_| Rspn::read_from(r))
+            .collect::<std::io::Result<_>>()?;
         let n_deps = read_u32(r)? as usize;
         let mut dependencies = HashMap::new();
         for _ in 0..n_deps {
@@ -855,7 +888,10 @@ mod tests {
     #[test]
     fn base_ensemble_learns_joint_rspn_for_correlated_tables() {
         let db = correlated_customer_order(1500, 3);
-        let ens = EnsembleBuilder::new(&db).params(small_params()).build().unwrap();
+        let ens = EnsembleBuilder::new(&db)
+            .params(small_params())
+            .build()
+            .unwrap();
         // Region↔channel correlation is strong by construction → one joint RSPN.
         assert!(
             ens.rspns().iter().any(|r| r.tables().len() == 2),
@@ -879,13 +915,18 @@ mod tests {
     fn connected_subsets_enumerates_chains() {
         // chain a ← b ← c: only {a,b,c} at size 3.
         let mut db = Database::new("chain");
-        db.create_table(deepdb_storage::TableSchema::new("a").pk("id")).unwrap();
+        db.create_table(deepdb_storage::TableSchema::new("a").pk("id"))
+            .unwrap();
         db.create_table(
-            deepdb_storage::TableSchema::new("b").pk("id").col("aid", deepdb_storage::Domain::Key),
+            deepdb_storage::TableSchema::new("b")
+                .pk("id")
+                .col("aid", deepdb_storage::Domain::Key),
         )
         .unwrap();
         db.create_table(
-            deepdb_storage::TableSchema::new("c").pk("id").col("bid", deepdb_storage::Domain::Key),
+            deepdb_storage::TableSchema::new("c")
+                .pk("id")
+                .col("bid", deepdb_storage::Domain::Key),
         )
         .unwrap();
         db.add_foreign_key("b", "aid", "a").unwrap();
@@ -901,20 +942,27 @@ mod tests {
         params.sample_size = 5_000;
         params.rdc_threshold = 0.0; // force the joint RSPN on the tiny fixture
         let mut ens = EnsembleBuilder::new(&db).params(params).build().unwrap();
-        let joint = ens.rspns().iter().position(|r| r.tables().len() == 2).unwrap();
+        let joint = ens
+            .rspns()
+            .iter()
+            .position(|r| r.tables().len() == 2)
+            .unwrap();
         assert_eq!(ens.rspns()[joint].full_join_count(), 5);
 
         let c = db.table_id("customer").unwrap();
         let o = db.table_id("orders").unwrap();
         // New customer 4 (no orders): |J| grows by 1.
-        ens.apply_insert(&mut db, c, &[Value::Int(4), Value::Int(33), Value::Int(1)]).unwrap();
+        ens.apply_insert(&mut db, c, &[Value::Int(4), Value::Int(33), Value::Int(1)])
+            .unwrap();
         assert_eq!(ens.rspns()[joint].full_join_count(), 6);
         assert_eq!(ens.table_rows(c), 4);
         // First order of customer 2: replaces its padded row, |J| unchanged.
-        ens.apply_insert(&mut db, o, &[Value::Int(5), Value::Int(2), Value::Int(0)]).unwrap();
+        ens.apply_insert(&mut db, o, &[Value::Int(5), Value::Int(2), Value::Int(0)])
+            .unwrap();
         assert_eq!(ens.rspns()[joint].full_join_count(), 6);
         // Second order of customer 2: adds a row.
-        ens.apply_insert(&mut db, o, &[Value::Int(6), Value::Int(2), Value::Int(1)]).unwrap();
+        ens.apply_insert(&mut db, o, &[Value::Int(6), Value::Int(2), Value::Int(1)])
+            .unwrap();
         assert_eq!(ens.rspns()[joint].full_join_count(), 7);
         // Incremental bookkeeping must match an exact recount.
         let tree = JoinTree::new(&db, &[c, o]).unwrap();
@@ -928,9 +976,14 @@ mod tests {
         let mut params = small_params();
         params.rdc_threshold = 0.0;
         let mut ens = EnsembleBuilder::new(&db).params(params).build().unwrap();
-        let joint = ens.rspns().iter().position(|r| r.tables().len() == 2).unwrap();
+        let joint = ens
+            .rspns()
+            .iter()
+            .position(|r| r.tables().len() == 2)
+            .unwrap();
         let o = db.table_id("orders").unwrap();
-        ens.apply_insert(&mut db, o, &[Value::Int(9), Value::Int(1), Value::Int(0)]).unwrap();
+        ens.apply_insert(&mut db, o, &[Value::Int(9), Value::Int(1), Value::Int(0)])
+            .unwrap();
         assert_eq!(ens.rspns()[joint].full_join_count(), 6);
         let row = db.table(o).find_pk(9).unwrap();
         ens.apply_delete(&mut db, o, row).unwrap();
@@ -967,7 +1020,16 @@ mod tests {
         // Restored ensembles keep absorbing updates.
         let mut db2 = db.clone();
         restored
-            .apply_insert(&mut db2, o, &[Value::Int(999_999), Value::Int(1), Value::Int(0), Value::Float(5.0)])
+            .apply_insert(
+                &mut db2,
+                o,
+                &[
+                    Value::Int(999_999),
+                    Value::Int(1),
+                    Value::Int(0),
+                    Value::Float(5.0),
+                ],
+            )
             .unwrap();
         assert_eq!(restored.table_rows(o), original.table_rows(o) + 1);
     }

@@ -18,15 +18,25 @@ pub struct Estimate {
 impl Estimate {
     /// An exactly-known constant.
     pub fn exact(value: f64) -> Self {
-        Self { value, variance: 0.0 }
+        Self {
+            value,
+            variance: 0.0,
+        }
     }
 
     /// A probability factor `p` estimated from `n` training rows: binomial
     /// estimator variance `p(1-p)/n`.
     pub fn probability(p: f64, n: u64) -> Self {
         let p = p.clamp(0.0, 1.0);
-        let var = if n == 0 { 0.0 } else { p * (1.0 - p) / n as f64 };
-        Self { value: p, variance: var }
+        let var = if n == 0 {
+            0.0
+        } else {
+            p * (1.0 - p) / n as f64
+        };
+        Self {
+            value: p,
+            variance: var,
+        }
     }
 
     /// A conditional expectation `E(X|C)` with second moment `E(X²|C)`,
@@ -34,8 +44,15 @@ impl Estimate {
     /// over the effective sample.
     pub fn conditional_expectation(e: f64, e_sq: f64, n_effective: f64) -> Self {
         let var_x = (e_sq - e * e).max(0.0);
-        let var = if n_effective >= 1.0 { var_x / n_effective } else { var_x };
-        Self { value: e, variance: var }
+        let var = if n_effective >= 1.0 {
+            var_x / n_effective
+        } else {
+            var_x
+        };
+        Self {
+            value: e,
+            variance: var,
+        }
     }
 
     /// Product of independent estimates:
@@ -51,24 +68,37 @@ impl Estimate {
 
     /// Scale by an exact constant: variance scales by `c²`.
     pub fn scale(self, c: f64) -> Estimate {
-        Estimate { value: self.value * c, variance: self.variance * c * c }
+        Estimate {
+            value: self.value * c,
+            variance: self.variance * c * c,
+        }
     }
 
     /// Sum of independent estimates (used for difference-of-aggregates and
     /// group recombination).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Estimate) -> Estimate {
-        Estimate { value: self.value + other.value, variance: self.variance + other.variance }
+        Estimate {
+            value: self.value + other.value,
+            variance: self.variance + other.variance,
+        }
     }
 
     /// Ratio `self / other`, propagating first-order (delta-method) variance.
     pub fn divide(self, other: Estimate) -> Estimate {
         if other.value.abs() < f64::EPSILON {
-            return Estimate { value: 0.0, variance: self.variance };
+            return Estimate {
+                value: 0.0,
+                variance: self.variance,
+            };
         }
         let value = self.value / other.value;
         let rel = self.variance / (self.value * self.value).max(f64::EPSILON)
             + other.variance / (other.value * other.value).max(f64::EPSILON);
-        Estimate { value, variance: (value * value * rel).max(0.0) }
+        Estimate {
+            value,
+            variance: (value * value * rel).max(0.0),
+        }
     }
 
     /// Standard deviation of the estimator.
@@ -87,12 +117,15 @@ impl Estimate {
 
 /// Inverse standard-normal CDF (Acklam's rational approximation, |ε| < 1e-9).
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!((0.0..1.0).contains(&p) && p > 0.0, "quantile requires p in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&p) && p > 0.0,
+        "quantile requires p in (0,1)"
+    );
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -152,8 +185,14 @@ mod tests {
 
     #[test]
     fn product_variance_formula() {
-        let x = Estimate { value: 2.0, variance: 0.1 };
-        let y = Estimate { value: 5.0, variance: 0.2 };
+        let x = Estimate {
+            value: 2.0,
+            variance: 0.1,
+        };
+        let y = Estimate {
+            value: 5.0,
+            variance: 0.2,
+        };
         let p = x.product(y);
         assert!((p.value - 10.0).abs() < 1e-12);
         let want = 0.1 * 0.2 + 0.1 * 25.0 + 0.2 * 4.0;
@@ -162,8 +201,14 @@ mod tests {
 
     #[test]
     fn ci_contains_point_and_widens_with_variance() {
-        let narrow = Estimate { value: 100.0, variance: 1.0 };
-        let wide = Estimate { value: 100.0, variance: 25.0 };
+        let narrow = Estimate {
+            value: 100.0,
+            variance: 1.0,
+        };
+        let wide = Estimate {
+            value: 100.0,
+            variance: 25.0,
+        };
         let (nl, nh) = narrow.confidence_interval(0.95);
         let (wl, wh) = wide.confidence_interval(0.95);
         assert!(nl < 100.0 && 100.0 < nh);
@@ -182,8 +227,14 @@ mod tests {
 
     #[test]
     fn divide_delta_method() {
-        let num = Estimate { value: 10.0, variance: 1.0 };
-        let den = Estimate { value: 2.0, variance: 0.0 };
+        let num = Estimate {
+            value: 10.0,
+            variance: 1.0,
+        };
+        let den = Estimate {
+            value: 2.0,
+            variance: 0.0,
+        };
         let r = num.divide(den);
         assert!((r.value - 5.0).abs() < 1e-12);
         // V(X/c) = V(X)/c².

@@ -45,8 +45,12 @@ impl FdDictionary {
 
     /// Determinant values whose dependent value satisfies `accept`.
     pub fn determinants_where(&self, accept: impl Fn(f64) -> bool) -> Vec<f64> {
-        let mut out: Vec<f64> =
-            self.pairs.iter().filter(|(_, b)| accept(*b)).map(|(a, _)| *a).collect();
+        let mut out: Vec<f64> = self
+            .pairs
+            .iter()
+            .filter(|(_, b)| accept(*b))
+            .map(|(a, _)| *a)
+            .collect();
         out.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
         out.dedup();
         out
@@ -57,7 +61,9 @@ impl FdDictionary {
     /// yield an empty list, i.e. a never-true predicate.
     pub fn translate(&self, pred: &Predicate) -> Vec<f64> {
         self.determinants_where(|b| {
-            pred.op.eval(&deepdb_storage::Value::Float(b)).unwrap_or(false)
+            pred.op
+                .eval(&deepdb_storage::Value::Float(b))
+                .unwrap_or(false)
         })
     }
 
@@ -122,9 +128,17 @@ mod tests {
         .unwrap();
         // cities 0,1 → nation 10; cities 2,3 → nation 20.
         for (id, city, nation) in [(1, 0, 10), (2, 1, 10), (3, 2, 20), (4, 3, 20), (5, 0, 10)] {
-            db.insert("cust", &[Value::Int(id), Value::Int(city), Value::Int(nation)]).unwrap();
+            db.insert(
+                "cust",
+                &[Value::Int(id), Value::Int(city), Value::Int(nation)],
+            )
+            .unwrap();
         }
-        let fd = FunctionalDependency { table: 0, determinant: 1, dependent: 2 };
+        let fd = FunctionalDependency {
+            table: 0,
+            determinant: 1,
+            dependent: 2,
+        };
         (db, fd)
     }
 

@@ -27,7 +27,9 @@ pub fn predict_regression(
 ) -> Result<f64, DeepDbError> {
     let idx = rspn_for(ens, table, target)?;
     let rspn = &ens.rspns()[idx];
-    let target_col = rspn.data_column(table, target).expect("selected to contain target");
+    let target_col = rspn
+        .data_column(table, target)
+        .expect("selected to contain target");
     // If the RSPN spans a join, normalize by the tuple factors so the answer
     // is per-`table`-row, not per-join-row (paper §4.2).
     let present = std::collections::BTreeSet::from([table]);
@@ -44,7 +46,9 @@ pub fn predict_regression(
     den_q.add_pred(target_col, LeafPred::IsNotNull);
 
     let rspn = &mut ens.rspns_mut()[idx];
-    let den = rspn.expect(&den_q);
+    // Numerator and denominator in one batched pass over the compiled arena.
+    let probes = rspn.expect_batch(&[den_q, q]);
+    let (den, num) = (probes[0], probes[1]);
     if den <= 1e-12 {
         // No support: unconditional (still factor-normalized) mean.
         let mut uq = rspn.new_query();
@@ -55,11 +59,10 @@ pub fn predict_regression(
             uq.set_func(f, LeafFunc::InvClamp1);
             upq.set_func(f, LeafFunc::InvClamp1);
         }
-        let num = rspn.expect(&uq);
-        let p = rspn.expect(&upq).max(1e-12);
-        return Ok(num / p);
+        let fallback = rspn.expect_batch(&[uq, upq]);
+        return Ok(fallback[0] / fallback[1].max(1e-12));
     }
-    Ok(rspn.expect(&q) / den)
+    Ok(num / den)
 }
 
 /// Predict a categorical target via MPE given the evidence.
@@ -72,7 +75,9 @@ pub fn predict_classification(
 ) -> Result<Option<Value>, DeepDbError> {
     let idx = rspn_for(ens, table, target)?;
     let rspn = &ens.rspns()[idx];
-    let target_col = rspn.data_column(table, target).expect("selected to contain target");
+    let target_col = rspn
+        .data_column(table, target)
+        .expect("selected to contain target");
     let mut q = rspn.new_query();
     add_evidence(rspn, db, table, features, &mut q);
     let rspn = &mut ens.rspns_mut()[idx];
@@ -121,7 +126,12 @@ fn add_evidence(
             let half = (std * CONTINUOUS_EVIDENCE_SIGMA).max(1e-9);
             q.add_pred(
                 spn_col,
-                LeafPred::Range { lo: v - half, hi: v + half, lo_incl: true, hi_incl: true },
+                LeafPred::Range {
+                    lo: v - half,
+                    hi: v + half,
+                    lo_incl: true,
+                    hi_incl: true,
+                },
             );
         }
     }
@@ -149,10 +159,8 @@ mod tests {
         let (db, mut ens) = setup();
         let c = db.table_id("customer").unwrap();
         // E[age | region]: Europeans (region 0) skew older by construction.
-        let age_eu =
-            predict_regression(&mut ens, &db, c, 1, &[(2, Value::Int(0))]).unwrap();
-        let age_asia =
-            predict_regression(&mut ens, &db, c, 1, &[(2, Value::Int(1))]).unwrap();
+        let age_eu = predict_regression(&mut ens, &db, c, 1, &[(2, Value::Int(0))]).unwrap();
+        let age_asia = predict_regression(&mut ens, &db, c, 1, &[(2, Value::Int(1))]).unwrap();
         assert!(
             age_eu > age_asia + 10.0,
             "EU mean {age_eu} should exceed ASIA mean {age_asia}"
@@ -175,8 +183,7 @@ mod tests {
         let (db, mut ens) = setup();
         let c = db.table_id("customer").unwrap();
         // Old customers are predominantly European (region 0).
-        let pred =
-            predict_classification(&mut ens, &db, c, 2, &[(1, Value::Int(80))]).unwrap();
+        let pred = predict_classification(&mut ens, &db, c, 2, &[(1, Value::Int(80))]).unwrap();
         assert_eq!(pred, Some(Value::Int(0)));
     }
 
@@ -186,7 +193,9 @@ mod tests {
         let c = db.table_id("customer").unwrap();
         let est = predict_regression(&mut ens, &db, c, 1, &[]).unwrap();
         let table = db.table(c);
-        let truth: f64 = (0..table.n_rows()).map(|r| table.column(1).f64_or_nan(r)).sum::<f64>()
+        let truth: f64 = (0..table.n_rows())
+            .map(|r| table.column(1).f64_or_nan(r))
+            .sum::<f64>()
             / table.n_rows() as f64;
         assert!((est - truth).abs() < 2.0, "{est} vs {truth}");
     }

@@ -10,7 +10,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use deepdb_spn::{
-    ColumnMeta, DataView, LeafFunc, LeafPred, Spn, SpnParams, SpnQuery,
+    BatchEvaluator, ColumnMeta, CompiledSpn, DataView, LeafFunc, LeafPred, Spn, SpnParams, SpnQuery,
 };
 use deepdb_storage::{
     CmpOp, ColId, Database, ForeignKey, JoinColumnMeta, JoinColumnRole, JoinSample, PredOp,
@@ -28,6 +28,12 @@ const MAX_GROUP_DISTINCT: usize = 4096;
 #[derive(Debug, Clone)]
 pub struct Rspn {
     spn: Spn,
+    /// Arena-compiled form of `spn` — the engine every expectation query
+    /// actually runs against. Rebuilt lazily (dirty flag) after updates.
+    compiled: CompiledSpn,
+    compiled_dirty: bool,
+    /// Reusable batch-evaluation scratch (no steady-state allocation).
+    evaluator: BatchEvaluator,
     tables: Vec<TableId>,
     columns: Vec<JoinColumnMeta>,
     full_join_count: u64,
@@ -81,14 +87,18 @@ impl Rspn {
             }
         }
 
-        let kept: Vec<usize> =
-            (0..sample.columns.len()).filter(|i| !skip.contains(i)).collect();
+        let kept: Vec<usize> = (0..sample.columns.len())
+            .filter(|i| !skip.contains(i))
+            .collect();
         let columns: Vec<JoinColumnMeta> =
             kept.iter().map(|&i| sample.columns[i].clone()).collect();
         let cols: Vec<Vec<f64>> = kept.iter().map(|&i| sample.data[i].clone()).collect();
         let meta: Vec<ColumnMeta> = columns
             .iter()
-            .map(|c| ColumnMeta { name: c.name.clone(), discrete: c.discrete })
+            .map(|c| ColumnMeta {
+                name: c.name.clone(),
+                discrete: c.discrete,
+            })
             .collect();
 
         let view = DataView::new(&cols, &meta);
@@ -131,7 +141,11 @@ impl Rspn {
                 }
             }
             let mean = if k > 0 { sum / k as f64 } else { 0.0 };
-            let var = if k > 0 { (sq / k as f64 - mean * mean).max(0.0) } else { 0.0 };
+            let var = if k > 0 {
+                (sq / k as f64 - mean * mean).max(0.0)
+            } else {
+                0.0
+            };
             col_stats.push((mean, var.sqrt()));
             if columns[i].discrete && matches!(columns[i].role, JoinColumnRole::Data { .. }) {
                 let set: BTreeSet<u64> = col
@@ -151,8 +165,12 @@ impl Rspn {
         let rows: Vec<u32> = (0..sample.n_samples as u32).collect();
         let attr_rdc = deepdb_spn::rdc::pairwise_rdc(&refs, &rows, 1500, &params.rdc);
 
+        let compiled = spn.compile();
         Ok(Self {
             spn,
+            compiled,
+            compiled_dirty: false,
+            evaluator: BatchEvaluator::new(),
             tables: sample.tables.clone(),
             columns,
             full_join_count: sample.full_join_count,
@@ -239,7 +257,9 @@ impl Rspn {
 
     /// Distinct values of a discrete data column (for GROUP BY enumeration).
     pub fn distinct_values(&self, spn_col: usize) -> Option<Vec<f64>> {
-        self.distincts.get(&spn_col).map(|s| s.iter().map(|&b| f64::from_bits(b)).collect())
+        self.distincts
+            .get(&spn_col)
+            .map(|s| s.iter().map(|&b| f64::from_bits(b)).collect())
     }
 
     /// Fresh query over this RSPN's columns.
@@ -247,9 +267,30 @@ impl Rspn {
         SpnQuery::new(self.columns.len())
     }
 
-    /// Evaluate an expectation (delegates to the SPN).
+    /// Recompile the arena engine if updates invalidated it. Called lazily
+    /// by every evaluation entry point; exposed so batch-update workloads can
+    /// choose when to pay the (cheap, one-tree-walk) recompilation.
+    pub fn ensure_compiled(&mut self) {
+        if self.compiled_dirty {
+            self.compiled = self.spn.compile();
+            self.compiled_dirty = false;
+        }
+    }
+
+    /// Evaluate an expectation on the compiled arena engine.
     pub fn expect(&mut self, q: &SpnQuery) -> f64 {
-        self.spn.evaluate(q)
+        self.ensure_compiled();
+        self.evaluator
+            .evaluate(&self.compiled, std::slice::from_ref(q))[0]
+    }
+
+    /// Evaluate a whole batch of expectations in one pass over the arena
+    /// (one scratch buffer, predicate normalization hoisted per query) —
+    /// the backbone of probabilistic query compilation, which issues several
+    /// probes per SQL query.
+    pub fn expect_batch(&mut self, queries: &[SpnQuery]) -> Vec<f64> {
+        self.ensure_compiled();
+        self.evaluator.evaluate(&self.compiled, queries)
     }
 
     /// Most probable value of an SPN column given evidence.
@@ -281,9 +322,7 @@ impl Rspn {
                     .data_col
                     .get(&(pred.table, dict.fd.determinant))
                     .copied()
-                    .ok_or_else(|| {
-                        DeepDbError::Unsupported("FD determinant not modeled".into())
-                    })?;
+                    .ok_or_else(|| DeepDbError::Unsupported("FD determinant not modeled".into()))?;
                 q.add_pred(det, LeafPred::In(dict.translate(pred)));
                 return Ok(());
             }
@@ -299,8 +338,11 @@ impl Rspn {
     /// tree; every edge traversed in FK-downward direction (one side → many
     /// side) contributes its `F'`.
     pub fn normalization_factor_cols(&self, present: &BTreeSet<TableId>) -> Vec<usize> {
-        let mut visited: BTreeSet<TableId> =
-            present.iter().copied().filter(|t| self.tables.contains(t)).collect();
+        let mut visited: BTreeSet<TableId> = present
+            .iter()
+            .copied()
+            .filter(|t| self.tables.contains(t))
+            .collect();
         if visited.is_empty() {
             return Vec::new();
         }
@@ -418,7 +460,9 @@ impl Rspn {
                     table: read_u64(r)? as usize,
                     col: read_u64(r)? as usize,
                 },
-                1 => JoinColumnRole::Indicator { table: read_u64(r)? as usize },
+                1 => JoinColumnRole::Indicator {
+                    table: read_u64(r)? as usize,
+                },
                 2 => {
                     let fk = ForeignKey {
                         child_table: read_u64(r)? as usize,
@@ -426,19 +470,28 @@ impl Rspn {
                         parent_table: read_u64(r)? as usize,
                         parent_col: read_u64(r)? as usize,
                     };
-                    JoinColumnRole::TupleFactor { fk, clamped: read_u8(r)? != 0 }
+                    JoinColumnRole::TupleFactor {
+                        fk,
+                        clamped: read_u8(r)? != 0,
+                    }
                 }
                 _ => return Err(corrupt("column role tag")),
             };
             let discrete = read_u8(r)? != 0;
             let nullable = read_u8(r)? != 0;
-            columns.push(JoinColumnMeta { name, role, discrete, nullable });
+            columns.push(JoinColumnMeta {
+                name,
+                role,
+                discrete,
+                nullable,
+            });
         }
         let full_join_count = read_u64(r)?;
         let sample_rate = read_f64(r)?;
         let n_fds = read_u32(r)? as usize;
-        let fds: Vec<FdDictionary> =
-            (0..n_fds).map(|_| FdDictionary::read_from(r)).collect::<std::io::Result<_>>()?;
+        let fds: Vec<FdDictionary> = (0..n_fds)
+            .map(|_| FdDictionary::read_from(r))
+            .collect::<std::io::Result<_>>()?;
         let n_distinct = read_u32(r)? as usize;
         let mut distincts = HashMap::new();
         for _ in 0..n_distinct {
@@ -451,9 +504,12 @@ impl Rspn {
             .map(|_| Ok::<_, std::io::Error>((read_f64(r)?, read_f64(r)?)))
             .collect::<std::io::Result<_>>()?;
         let n_rdc = read_u32(r)? as usize;
-        let attr_rdc: Vec<Vec<f64>> =
-            (0..n_rdc).map(|_| read_f64s(r)).collect::<std::io::Result<_>>()?;
+        let attr_rdc: Vec<Vec<f64>> = (0..n_rdc)
+            .map(|_| read_f64s(r))
+            .collect::<std::io::Result<_>>()?;
         let join_count_dirty = read_u8(r)? != 0;
+        // The wire format stores only the tree; recompile the arena on load.
+        let compiled = spn.compile();
 
         // Rebuild the lookup maps from the column roles.
         let mut data_col = HashMap::new();
@@ -478,6 +534,9 @@ impl Rspn {
         }
         Ok(Self {
             spn,
+            compiled,
+            compiled_dirty: false,
+            evaluator: BatchEvaluator::new(),
             tables,
             columns,
             full_join_count,
@@ -495,7 +554,8 @@ impl Rspn {
     }
 
     /// Absorb one full-outer-join row (paper Algorithm 1), already assembled
-    /// in SPN column order.
+    /// in SPN column order. Marks the compiled engine dirty; it recompiles
+    /// lazily on the next evaluation.
     pub fn insert_row(&mut self, row: &[f64]) {
         for (i, &v) in row.iter().enumerate() {
             if v.is_finite() && self.columns[i].discrete {
@@ -507,11 +567,13 @@ impl Rspn {
             }
         }
         self.spn.insert(row);
+        self.compiled_dirty = true;
     }
 
-    /// Remove one full-outer-join row.
+    /// Remove one full-outer-join row. Marks the compiled engine dirty.
     pub fn delete_row(&mut self, row: &[f64]) {
         self.spn.delete(row);
+        self.compiled_dirty = true;
     }
 }
 
@@ -542,7 +604,12 @@ pub(crate) fn translate_pred(op: &PredOp) -> Vec<LeafPred> {
         }
         PredOp::Between(lo, hi) => match (num(lo), num(hi)) {
             (Some(a), Some(b)) => {
-                vec![LeafPred::Range { lo: a, hi: b, lo_incl: true, hi_incl: true }]
+                vec![LeafPred::Range {
+                    lo: a,
+                    hi: b,
+                    lo_incl: true,
+                    hi_incl: true,
+                }]
             }
             _ => vec![LeafPred::In(Vec::new())],
         },
@@ -565,7 +632,11 @@ pub(crate) fn count_fraction_query(
         rspn.add_predicate(&mut q, p)?;
     }
     let factors = rspn.normalization_factor_cols(present);
-    let func = if squared { LeafFunc::InvSqClamp1 } else { LeafFunc::InvClamp1 };
+    let func = if squared {
+        LeafFunc::InvSqClamp1
+    } else {
+        LeafFunc::InvClamp1
+    };
     for &f in &factors {
         q.set_func(f, func);
     }
@@ -667,7 +738,12 @@ mod tests {
             vec![LeafPred::In(vec![])]
         );
         match &translate_pred(&PredOp::Between(Value::Int(1), Value::Int(5)))[0] {
-            LeafPred::Range { lo, hi, lo_incl, hi_incl } => {
+            LeafPred::Range {
+                lo,
+                hi,
+                lo_incl,
+                hi_incl,
+            } => {
                 assert_eq!((*lo, *hi, *lo_incl, *hi_incl), (1.0, 5.0, true, true));
             }
             other => panic!("unexpected translation {other:?}"),

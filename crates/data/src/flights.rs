@@ -131,7 +131,10 @@ pub fn generate(scale: Scale) -> Database {
 }
 
 fn cref(db: &Database, c: usize) -> ColumnRef {
-    ColumnRef { table: db.table_id("flights").expect("flights"), column: c }
+    ColumnRef {
+        table: db.table_id("flights").expect("flights"),
+        column: c,
+    }
 }
 
 /// Queries F1.1–F5.1 (11 queries, descending selectivity ≈5 % → ≈0.01 %).
@@ -157,11 +160,15 @@ pub fn queries(db: &Database) -> Vec<NamedQuery> {
                 .group(f, YEAR),
         ),
         // F2.x: two filters (≈0.5–2 %).
-        NamedQuery::new("F2.1", q(vec![eq(ORIGIN, 3)]).aggregate(Aggregate::Avg(cref(db, ARR_DELAY)))),
+        NamedQuery::new(
+            "F2.1",
+            q(vec![eq(ORIGIN, 3)]).aggregate(Aggregate::Avg(cref(db, ARR_DELAY))),
+        ),
         NamedQuery::new("F2.2", q(vec![eq(ORIGIN, 3), eq(MONTH, 6)])),
         NamedQuery::new(
             "F2.3",
-            q(vec![eq(AIRLINE, 1), eq(DAY_OF_WEEK, 1)]).aggregate(Aggregate::Sum(cref(db, DISTANCE))),
+            q(vec![eq(AIRLINE, 1), eq(DAY_OF_WEEK, 1)])
+                .aggregate(Aggregate::Sum(cref(db, DISTANCE))),
         ),
         // F3.x: (≈0.1–0.6 %).
         NamedQuery::new(
@@ -192,8 +199,12 @@ pub fn queries(db: &Database) -> Vec<NamedQuery> {
         // F5.1: (≈0.01–0.05 %).
         NamedQuery::new(
             "F5.1",
-            q(vec![eq(DEST, 11), eq(AIRLINE, 3), (YEAR, PredOp::Cmp(CmpOp::Ge, Value::Int(2018)))])
-                .aggregate(Aggregate::Avg(cref(db, AIR_TIME))),
+            q(vec![
+                eq(DEST, 11),
+                eq(AIRLINE, 3),
+                (YEAR, PredOp::Cmp(CmpOp::Ge, Value::Int(2018))),
+            ])
+            .aggregate(Aggregate::Avg(cref(db, AIR_TIME))),
         ),
     ]
 }
@@ -209,7 +220,10 @@ pub fn f52_pair(db: &Database) -> (NamedQuery, NamedQuery) {
         .filter(f, AIRLINE, PredOp::Cmp(CmpOp::Eq, Value::Int(4)))
         .filter(f, MONTH, PredOp::Cmp(CmpOp::Eq, Value::Int(7)));
     (
-        NamedQuery::new("F5.2a", base.clone().aggregate(Aggregate::Sum(cref(db, ARR_DELAY)))),
+        NamedQuery::new(
+            "F5.2a",
+            base.clone().aggregate(Aggregate::Sum(cref(db, ARR_DELAY))),
+        ),
         NamedQuery::new("F5.2b", base.aggregate(Aggregate::Sum(cref(db, DEP_DELAY)))),
     )
 }
@@ -233,7 +247,10 @@ mod tests {
     use deepdb_storage::execute;
 
     fn tiny() -> Database {
-        generate(Scale { factor: 0.05, seed: 9 }) // 15k flights
+        generate(Scale {
+            factor: 0.05,
+            seed: 9,
+        }) // 15k flights
     }
 
     #[test]
@@ -259,8 +276,7 @@ mod tests {
             syy += y * y;
             sxy += x * y;
         }
-        let corr = (n * sxy - sx * sy)
-            / ((n * sxx - sx * sx).sqrt() * (n * syy - sy * sy).sqrt());
+        let corr = (n * sxy - sx * sy) / ((n * sxx - sx * sx).sqrt() * (n * syy - sy * sy).sqrt());
         assert!(corr > 0.95, "distance/air_time correlation {corr}");
     }
 
@@ -268,7 +284,9 @@ mod tests {
     fn arr_delay_has_nulls_and_tracks_dep_delay() {
         let db = tiny();
         let t = db.table(db.table_id("flights").unwrap());
-        let nulls = (0..t.n_rows()).filter(|&r| t.value(r, cols::ARR_DELAY).is_null()).count();
+        let nulls = (0..t.n_rows())
+            .filter(|&r| t.value(r, cols::ARR_DELAY).is_null())
+            .count();
         let frac = nulls as f64 / t.n_rows() as f64;
         assert!(frac > 0.005 && frac < 0.04, "cancelled fraction {frac}");
     }
@@ -277,9 +295,7 @@ mod tests {
     fn query_selectivity_ladder_descends() {
         let db = tiny();
         let total = db.table(db.table_id("flights").unwrap()).n_rows() as f64;
-        let sel = |nq: &NamedQuery| {
-            execute(&db, &nq.query).unwrap().scalar().count as f64 / total
-        };
+        let sel = |nq: &NamedQuery| execute(&db, &nq.query).unwrap().scalar().count as f64 / total;
         let qs = queries(&db);
         for nq in &qs {
             nq.query.validate(&db).unwrap();
@@ -296,7 +312,10 @@ mod tests {
     fn f52_pair_shares_filters() {
         let db = tiny();
         let (a, b) = f52_pair(&db);
-        assert_eq!(format!("{:?}", a.query.predicates), format!("{:?}", b.query.predicates));
+        assert_eq!(
+            format!("{:?}", a.query.predicates),
+            format!("{:?}", b.query.predicates)
+        );
         let ta = execute(&db, &a.query).unwrap().scalar();
         let tb = execute(&db, &b.query).unwrap().scalar();
         assert!(ta.count > 0 && tb.count > 0);

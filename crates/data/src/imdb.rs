@@ -45,8 +45,14 @@ pub const YEAR_RANGE: (i64, i64) = (1930, 2019);
 pub const DEFAULT_TITLES: usize = 30_000;
 
 /// Table names in creation order.
-pub const TABLES: [&str; 6] =
-    ["title", "cast_info", "movie_info", "movie_info_idx", "movie_keyword", "movie_companies"];
+pub const TABLES: [&str; 6] = [
+    "title",
+    "cast_info",
+    "movie_info",
+    "movie_info_idx",
+    "movie_keyword",
+    "movie_companies",
+];
 
 /// Build the schema (empty tables + foreign keys).
 pub fn schema() -> Database {
@@ -96,7 +102,8 @@ pub fn schema() -> Database {
     )
     .expect("fresh catalog");
     for child in &TABLES[1..] {
-        db.add_foreign_key(child, "movie_id", "title").expect("valid fk");
+        db.add_foreign_key(child, "movie_id", "title")
+            .expect("valid fk");
     }
     db
 }
@@ -105,7 +112,7 @@ pub fn schema() -> Database {
 pub fn generate(scale: Scale) -> Database {
     let mut db = schema();
     let n_titles = scale.rows(DEFAULT_TITLES);
-    let mut rng = Xor64::new(scale.seed ^ 0x1Bdb);
+    let mut rng = Xor64::new(scale.seed ^ 0x1BDB);
     let mut ids = ChildIds::default();
     for title_id in 1..=n_titles as i64 {
         generate_title(&mut db, &mut rng, &mut ids, title_id, None);
@@ -134,8 +141,7 @@ pub fn generate_title(
 ) {
     let (y0, y1) = YEAR_RANGE;
     // Years skew recent: quadratic ramp.
-    let year = force_year
-        .unwrap_or_else(|| y0 + ((y1 - y0) as f64 * rng.f64().sqrt()) as i64);
+    let year = force_year.unwrap_or_else(|| y0 + ((y1 - y0) as f64 * rng.f64().sqrt()) as i64);
     let recency = (year - y0) as f64 / (y1 - y0) as f64; // 0 old … 1 new
 
     // kind ↔ year correlation: TV kinds (2,3) rare before ~1960, common late.
@@ -154,8 +160,16 @@ pub fn generate_title(
     } else {
         Value::Null
     };
-    db.insert("title", &[Value::Int(title_id), Value::Int(kind), Value::Int(year), season])
-        .expect("valid title row");
+    db.insert(
+        "title",
+        &[
+            Value::Int(title_id),
+            Value::Int(kind),
+            Value::Int(year),
+            season,
+        ],
+    )
+    .expect("valid title row");
 
     // Fan-outs correlate with recency and kind.
     let boost = 0.5 + 1.5 * recency;
@@ -170,7 +184,11 @@ pub fn generate_title(
         };
         db.insert(
             "cast_info",
-            &[Value::Int(ids.cast_info), Value::Int(title_id), Value::Int(role)],
+            &[
+                Value::Int(ids.cast_info),
+                Value::Int(title_id),
+                Value::Int(role),
+            ],
         )
         .expect("valid row");
     }
@@ -181,7 +199,11 @@ pub fn generate_title(
         let it = ((rng.zipf(N_INFO_TYPES as usize) as i64) + kind * 3) % N_INFO_TYPES;
         db.insert(
             "movie_info",
-            &[Value::Int(ids.movie_info), Value::Int(title_id), Value::Int(it)],
+            &[
+                Value::Int(ids.movie_info),
+                Value::Int(title_id),
+                Value::Int(it),
+            ],
         )
         .expect("valid row");
     }
@@ -191,7 +213,11 @@ pub fn generate_title(
         let it = rng.zipf(N_INFO_TYPES as usize) as i64;
         db.insert(
             "movie_info_idx",
-            &[Value::Int(ids.movie_info_idx), Value::Int(title_id), Value::Int(it)],
+            &[
+                Value::Int(ids.movie_info_idx),
+                Value::Int(title_id),
+                Value::Int(it),
+            ],
         )
         .expect("valid row");
     }
@@ -201,7 +227,11 @@ pub fn generate_title(
         let kw = rng.zipf(N_KEYWORDS as usize) as i64;
         db.insert(
             "movie_keyword",
-            &[Value::Int(ids.movie_keyword), Value::Int(title_id), Value::Int(kw)],
+            &[
+                Value::Int(ids.movie_keyword),
+                Value::Int(title_id),
+                Value::Int(kw),
+            ],
         )
         .expect("valid row");
     }
@@ -229,7 +259,10 @@ mod tests {
     use deepdb_storage::{execute, CmpOp, PredOp, Query};
 
     fn tiny() -> Database {
-        generate(Scale { factor: 0.05, seed: 7 }) // 1500 titles
+        generate(Scale {
+            factor: 0.05,
+            seed: 7,
+        }) // 1500 titles
     }
 
     #[test]
@@ -241,7 +274,10 @@ mod tests {
         let title = db.table_id("title").unwrap();
         assert_eq!(db.table(title).n_rows(), 1500);
         for t in &TABLES[1..] {
-            assert!(db.table(db.table_id(t).unwrap()).n_rows() > 100, "{t} too small");
+            assert!(
+                db.table(db.table_id(t).unwrap()).n_rows() > 100,
+                "{t} too small"
+            );
         }
     }
 
@@ -282,7 +318,10 @@ mod tests {
         .unwrap()
         .scalar()
         .count as f64;
-        assert!(tv_late / late > tv_early / early.max(1.0) + 0.1, "kind-year correlation missing");
+        assert!(
+            tv_late / late > tv_early / early.max(1.0) + 0.1,
+            "kind-year correlation missing"
+        );
     }
 
     #[test]
@@ -293,23 +332,32 @@ mod tests {
         let per_title = |lo: i64, hi: i64| -> f64 {
             let joined = execute(
                 &db,
-                &Query::count(vec![title, ci])
-                    .filter(title, 2, PredOp::Between(Value::Int(lo), Value::Int(hi))),
+                &Query::count(vec![title, ci]).filter(
+                    title,
+                    2,
+                    PredOp::Between(Value::Int(lo), Value::Int(hi)),
+                ),
             )
             .unwrap()
             .scalar()
             .count as f64;
             let titles = execute(
                 &db,
-                &Query::count(vec![title])
-                    .filter(title, 2, PredOp::Between(Value::Int(lo), Value::Int(hi))),
+                &Query::count(vec![title]).filter(
+                    title,
+                    2,
+                    PredOp::Between(Value::Int(lo), Value::Int(hi)),
+                ),
             )
             .unwrap()
             .scalar()
             .count as f64;
             joined / titles.max(1.0)
         };
-        assert!(per_title(2000, 2019) > per_title(1930, 1960) * 1.4, "fan-out correlation missing");
+        assert!(
+            per_title(2000, 2019) > per_title(1930, 1960) * 1.4,
+            "fan-out correlation missing"
+        );
     }
 
     #[test]
@@ -326,8 +374,14 @@ mod tests {
 
     #[test]
     fn deterministic_generation() {
-        let a = generate(Scale { factor: 0.02, seed: 5 });
-        let b = generate(Scale { factor: 0.02, seed: 5 });
+        let a = generate(Scale {
+            factor: 0.02,
+            seed: 5,
+        });
+        let b = generate(Scale {
+            factor: 0.02,
+            seed: 5,
+        });
         let ta = a.table(1);
         let tb = b.table(1);
         assert_eq!(ta.n_rows(), tb.n_rows());

@@ -23,12 +23,7 @@ fn tables(db: &Database) -> [TableId; 6] {
 }
 
 /// A random predicate on one of the workload columns of `table`.
-fn random_predicate(
-    db: &Database,
-    rng: &mut Xor64,
-    q: Query,
-    table_name: &str,
-) -> Query {
+fn random_predicate(db: &Database, rng: &mut Xor64, q: Query, table_name: &str) -> Query {
     let t = db.table_id(table_name).expect("imdb schema");
     match table_name {
         "title" => match rng.below(3) {
@@ -41,16 +36,30 @@ fn random_predicate(
                 };
                 q.filter(t, 2, op)
             }
-            1 => q.filter(t, 1, PredOp::Cmp(CmpOp::Eq, Value::Int(rng.below(imdb::N_KINDS as usize) as i64))),
+            1 => q.filter(
+                t,
+                1,
+                PredOp::Cmp(
+                    CmpOp::Eq,
+                    Value::Int(rng.below(imdb::N_KINDS as usize) as i64),
+                ),
+            ),
             _ => {
                 let lo = 1935 + rng.below(60) as i64;
-                q.filter(t, 2, PredOp::Between(Value::Int(lo), Value::Int(lo + 5 + rng.below(20) as i64)))
+                q.filter(
+                    t,
+                    2,
+                    PredOp::Between(Value::Int(lo), Value::Int(lo + 5 + rng.below(20) as i64)),
+                )
             }
         },
         "cast_info" => q.filter(
             t,
             2,
-            PredOp::Cmp(CmpOp::Eq, Value::Int(1 + rng.zipf((imdb::N_ROLES - 1) as usize) as i64)),
+            PredOp::Cmp(
+                CmpOp::Eq,
+                Value::Int(1 + rng.zipf((imdb::N_ROLES - 1) as usize) as i64),
+            ),
         ),
         "movie_info" | "movie_info_idx" => {
             let v = rng.zipf(imdb::N_INFO_TYPES as usize) as i64;
@@ -67,12 +76,19 @@ fn random_predicate(
         }
         "movie_companies" => {
             if rng.f64() < 0.5 {
-                q.filter(t, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(rng.below(2) as i64)))
+                q.filter(
+                    t,
+                    3,
+                    PredOp::Cmp(CmpOp::Eq, Value::Int(rng.below(2) as i64)),
+                )
             } else {
                 q.filter(
                     t,
                     2,
-                    PredOp::Cmp(CmpOp::Lt, Value::Int(1 + rng.zipf(imdb::N_COMPANIES as usize) as i64)),
+                    PredOp::Cmp(
+                        CmpOp::Lt,
+                        Value::Int(1 + rng.zipf(imdb::N_COMPANIES as usize) as i64),
+                    ),
                 )
             }
         }
@@ -82,12 +98,7 @@ fn random_predicate(
 
 /// Build a query joining `title` with `n_children` children and carrying
 /// `n_preds` predicates (at least one on `title`).
-fn build_query(
-    db: &Database,
-    rng: &mut Xor64,
-    n_children: usize,
-    n_preds: usize,
-) -> Query {
+fn build_query(db: &Database, rng: &mut Xor64, n_children: usize, n_preds: usize) -> Query {
     let ids = tables(db);
     let mut children: Vec<usize> = (1..6).collect();
     // Fisher-Yates shuffle.
@@ -117,7 +128,7 @@ pub fn job_light(db: &Database, seed: u64) -> Vec<NamedQuery> {
         // Join-size mix of the real benchmark: mostly 2-4 tables.
         let n_children = match i % 7 {
             0 | 1 => 1,
-            2 | 3 | 4 => 2,
+            2..=4 => 2,
             5 => 3,
             _ => 4,
         };
@@ -156,7 +167,10 @@ mod tests {
     use crate::workload::{ground_truth_cardinalities, Scale};
 
     fn db() -> Database {
-        crate::imdb::generate(Scale { factor: 0.03, seed: 11 })
+        crate::imdb::generate(Scale {
+            factor: 0.03,
+            seed: 11,
+        })
     }
 
     #[test]
@@ -165,7 +179,9 @@ mod tests {
         let wl = job_light(&db, 1);
         assert_eq!(wl.len(), 70);
         for nq in &wl {
-            nq.query.validate(&db).unwrap_or_else(|e| panic!("{}: {e}", nq.name));
+            nq.query
+                .validate(&db)
+                .unwrap_or_else(|e| panic!("{}: {e}", nq.name));
             assert!(!nq.query.predicates.is_empty());
             assert!(nq.query.tables.len() >= 2 && nq.query.tables.len() <= 5);
         }
@@ -189,7 +205,10 @@ mod tests {
         let wl = job_light(&db, 1);
         let truths = ground_truth_cardinalities(&db, &wl);
         let nontrivial = truths.iter().filter(|&&t| t > 1.0).count();
-        assert!(nontrivial > 40, "only {nontrivial}/70 queries have nonzero results");
+        assert!(
+            nontrivial > 40,
+            "only {nontrivial}/70 queries have nonzero results"
+        );
     }
 
     #[test]
@@ -199,7 +218,10 @@ mod tests {
         let b = job_light(&db, 9);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.query.tables, y.query.tables);
-            assert_eq!(format!("{:?}", x.query.predicates), format!("{:?}", y.query.predicates));
+            assert_eq!(
+                format!("{:?}", x.query.predicates),
+                format!("{:?}", y.query.predicates)
+            );
         }
     }
 }

@@ -96,10 +96,14 @@ pub fn schema() -> Database {
             .col("lo_profit", Domain::Continuous),
     )
     .expect("fresh catalog");
-    db.add_foreign_key("lineorder", "lo_custkey", "customer").expect("fk");
-    db.add_foreign_key("lineorder", "lo_partkey", "part").expect("fk");
-    db.add_foreign_key("lineorder", "lo_suppkey", "supplier").expect("fk");
-    db.add_foreign_key("lineorder", "lo_orderdate", "date").expect("fk");
+    db.add_foreign_key("lineorder", "lo_custkey", "customer")
+        .expect("fk");
+    db.add_foreign_key("lineorder", "lo_partkey", "part")
+        .expect("fk");
+    db.add_foreign_key("lineorder", "lo_suppkey", "supplier")
+        .expect("fk");
+    db.add_foreign_key("lineorder", "lo_orderdate", "date")
+        .expect("fk");
     db
 }
 
@@ -214,13 +218,17 @@ pub fn generate(scale: Scale) -> Database {
 /// Column helper.
 fn col(db: &Database, table: &str, col: &str) -> ColumnRef {
     let (t, c) = db.column_id(table, col).expect("ssb schema");
-    ColumnRef { table: t, column: c }
+    ColumnRef {
+        table: t,
+        column: c,
+    }
 }
 
 /// The 13 standard SSB queries (S1.1–S4.3), adapted as documented in the
 /// module docs. Aggregates use `lo_discounted` (S1.x, for
 /// `extendedprice*discount`), `lo_revenue` (S2.x, S3.x), and `lo_profit`
 /// (S4.x, for `revenue-supplycost`).
+#[allow(clippy::vec_init_then_push)]
 pub fn queries(db: &Database) -> Vec<NamedQuery> {
     let lo = db.table_id("lineorder").expect("ssb");
     let c = db.table_id("customer").expect("ssb");
@@ -294,7 +302,11 @@ pub fn queries(db: &Database) -> Vec<NamedQuery> {
         Query::count(vec![lo, c, s, d])
             .filter(c, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(2)))
             .filter(s, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(2)))
-            .filter(d, d_year, PredOp::Between(Value::Int(1992), Value::Int(1997)))
+            .filter(
+                d,
+                d_year,
+                PredOp::Between(Value::Int(1992), Value::Int(1997)),
+            )
             .aggregate(Aggregate::Sum(revenue))
             .group(c, 2)
             .group(s, 2)
@@ -305,7 +317,11 @@ pub fn queries(db: &Database) -> Vec<NamedQuery> {
         Query::count(vec![lo, c, s, d])
             .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(4)))
             .filter(s, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(4)))
-            .filter(d, d_year, PredOp::Between(Value::Int(1992), Value::Int(1997)))
+            .filter(
+                d,
+                d_year,
+                PredOp::Between(Value::Int(1992), Value::Int(1997)),
+            )
             .aggregate(Aggregate::Sum(revenue))
             .group(c, 1)
             .group(s, 1)
@@ -316,7 +332,11 @@ pub fn queries(db: &Database) -> Vec<NamedQuery> {
         Query::count(vec![lo, c, s, d])
             .filter(c, 1, PredOp::In(vec![Value::Int(12), Value::Int(13)]))
             .filter(s, 1, PredOp::In(vec![Value::Int(12), Value::Int(13)]))
-            .filter(d, d_year, PredOp::Between(Value::Int(1992), Value::Int(1997)))
+            .filter(
+                d,
+                d_year,
+                PredOp::Between(Value::Int(1992), Value::Int(1997)),
+            )
             .aggregate(Aggregate::Sum(revenue))
             .group(c, 1)
             .group(s, 1)
@@ -350,7 +370,11 @@ pub fn queries(db: &Database) -> Vec<NamedQuery> {
             .filter(c, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))
             .filter(s, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))
             .filter(p, 1, PredOp::In(vec![Value::Int(0), Value::Int(1)]))
-            .filter(d, d_year, PredOp::In(vec![Value::Int(1997), Value::Int(1998)]))
+            .filter(
+                d,
+                d_year,
+                PredOp::In(vec![Value::Int(1997), Value::Int(1998)]),
+            )
             .aggregate(Aggregate::Sum(profit))
             .group(d, d_year)
             .group(s, 2)
@@ -362,7 +386,11 @@ pub fn queries(db: &Database) -> Vec<NamedQuery> {
             .filter(c, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))
             .filter(s, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(3)))
             .filter(p, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(7)))
-            .filter(d, d_year, PredOp::In(vec![Value::Int(1997), Value::Int(1998)]))
+            .filter(
+                d,
+                d_year,
+                PredOp::In(vec![Value::Int(1997), Value::Int(1998)]),
+            )
             .aggregate(Aggregate::Sum(profit))
             .group(d, d_year)
             .group(s, 1)
@@ -377,7 +405,10 @@ mod tests {
     use deepdb_storage::execute;
 
     fn tiny() -> Database {
-        generate(Scale { factor: 0.02, seed: 3 }) // 8k lineorders
+        generate(Scale {
+            factor: 0.02,
+            seed: 3,
+        }) // 8k lineorders
     }
 
     #[test]
@@ -398,7 +429,10 @@ mod tests {
         for r in 0..p.n_rows() {
             let brand = p.column(3).i64_at(r).unwrap();
             assert_eq!(p.column(2).i64_at(r).unwrap(), category_of_brand(brand));
-            assert_eq!(p.column(1).i64_at(r).unwrap(), mfgr_of_category(category_of_brand(brand)));
+            assert_eq!(
+                p.column(1).i64_at(r).unwrap(),
+                mfgr_of_category(category_of_brand(brand))
+            );
         }
     }
 
@@ -407,11 +441,12 @@ mod tests {
         let db = tiny();
         let qs = queries(&db);
         assert_eq!(qs.len(), 13);
-        let total =
-            db.table(db.table_id("lineorder").unwrap()).n_rows() as f64;
+        let total = db.table(db.table_id("lineorder").unwrap()).n_rows() as f64;
         let mut sels = Vec::new();
         for nq in &qs {
-            nq.query.validate(&db).unwrap_or_else(|e| panic!("{}: {e}", nq.name));
+            nq.query
+                .validate(&db)
+                .unwrap_or_else(|e| panic!("{}: {e}", nq.name));
             let count = execute(&db, &nq.query).unwrap().scalar().count as f64;
             sels.push((nq.name.clone(), count / total));
         }

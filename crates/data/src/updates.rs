@@ -38,7 +38,9 @@ pub fn split_imdb_temporal(scale: Scale, cutoff_year: i64) -> (Database, InsertS
 pub fn cutoff_for_fraction(scale: Scale, fraction: f64) -> i64 {
     let full = imdb::generate(scale);
     let t = full.table(full.table_id("title").expect("imdb"));
-    let mut years: Vec<i64> = (0..t.n_rows()).filter_map(|r| t.column(2).i64_at(r)).collect();
+    let mut years: Vec<i64> = (0..t.n_rows())
+        .filter_map(|r| t.column(2).i64_at(r))
+        .collect();
     years.sort_unstable();
     let idx = ((1.0 - fraction) * years.len() as f64) as usize;
     years[idx.min(years.len() - 1)]
@@ -95,7 +97,10 @@ fn split(full: Database, mut hold: impl FnMut(i64, i64) -> bool) -> (Database, I
 mod tests {
     use super::*;
 
-    const SCALE: Scale = Scale { factor: 0.02, seed: 13 };
+    const SCALE: Scale = Scale {
+        factor: 0.02,
+        seed: 13,
+    };
 
     #[test]
     fn random_split_preserves_integrity_at_every_prefix() {

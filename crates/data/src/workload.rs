@@ -12,7 +12,10 @@ pub struct NamedQuery {
 
 impl NamedQuery {
     pub fn new(name: impl Into<String>, query: Query) -> Self {
-        Self { name: name.into(), query }
+        Self {
+            name: name.into(),
+            query,
+        }
     }
 }
 
@@ -27,7 +30,10 @@ pub struct Scale {
 
 impl Default for Scale {
     fn default() -> Self {
-        Self { factor: 1.0, seed: 42 }
+        Self {
+            factor: 1.0,
+            seed: 42,
+        }
     }
 }
 
@@ -74,7 +80,9 @@ pub struct Xor64 {
 
 impl Xor64 {
     pub fn new(seed: u64) -> Self {
-        Self { state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1 }
+        Self {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -114,7 +122,10 @@ mod tests {
 
     #[test]
     fn scale_rows_applies_factor() {
-        let s = Scale { factor: 0.5, seed: 1 };
+        let s = Scale {
+            factor: 0.5,
+            seed: 1,
+        };
         assert_eq!(s.rows(1000), 500);
         assert_eq!(s.rows(4), 10, "floor at 10 rows");
     }
@@ -140,6 +151,9 @@ mod tests {
         let mut rng = Xor64::new(3);
         let n = 10_000;
         let low = (0..n).filter(|_| rng.zipf(100) < 10).count();
-        assert!(low > n / 3, "zipf should concentrate mass on low ranks: {low}");
+        assert!(
+            low > n / 3,
+            "zipf should concentrate mass on low ranks: {low}"
+        );
     }
 }

@@ -143,7 +143,10 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
-        assert!(matches!(cholesky(&a), Err(CholeskyError::NotPositiveDefinite { .. })));
+        assert!(matches!(
+            cholesky(&a),
+            Err(CholeskyError::NotPositiveDefinite { .. })
+        ));
     }
 
     #[test]

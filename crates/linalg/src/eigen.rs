@@ -18,7 +18,10 @@ pub struct EigenOptions {
 
 impl Default for EigenOptions {
     fn default() -> Self {
-        Self { tolerance: 1e-12, max_sweeps: 100 }
+        Self {
+            tolerance: 1e-12,
+            max_sweeps: 100,
+        }
     }
 }
 
@@ -128,7 +131,9 @@ mod tests {
         let mut a = Matrix::zeros(n, n);
         let mut state = 42u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for i in 0..n {
@@ -139,11 +144,17 @@ mod tests {
             }
         }
         let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
-        let frob2: f64 = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).map(|(i, j)| a[(i, j)] * a[(i, j)]).sum();
+        let frob2: f64 = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .map(|(i, j)| a[(i, j)] * a[(i, j)])
+            .sum();
         let e = symmetric_eigenvalues(&a, EigenOptions::default());
         let esum: f64 = e.iter().sum();
         let e2: f64 = e.iter().map(|v| v * v).sum();
-        assert!((esum - trace).abs() < 1e-8, "trace {trace} vs eig sum {esum}");
+        assert!(
+            (esum - trace).abs() < 1e-8,
+            "trace {trace} vs eig sum {esum}"
+        );
         assert!((e2 - frob2).abs() < 1e-8, "frobenius mismatch");
     }
 

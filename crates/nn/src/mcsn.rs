@@ -108,8 +108,10 @@ impl McsnNet {
                 continue;
             }
             let inv = 1.0 / caches.len() as f64;
-            let grad_elem: Vec<f64> =
-                grad_concat[offset..offset + h].iter().map(|g| g * inv).collect();
+            let grad_elem: Vec<f64> = grad_concat[offset..offset + h]
+                .iter()
+                .map(|g| g * inv)
+                .collect();
             for acts in caches {
                 mlp.backward(acts, grad_elem.clone());
             }
@@ -133,7 +135,9 @@ mod tests {
     fn toy_sample(n_tables: usize, pred_val: f64) -> SetSample {
         SetSample {
             tables: (0..n_tables).map(|i| vec![1.0, i as f64 / 4.0]).collect(),
-            joins: (0..n_tables.saturating_sub(1)).map(|i| vec![i as f64 / 4.0]).collect(),
+            joins: (0..n_tables.saturating_sub(1))
+                .map(|i| vec![i as f64 / 4.0])
+                .collect(),
             predicates: vec![vec![pred_val, 1.0]],
         }
     }
@@ -153,7 +157,10 @@ mod tests {
             for pv in [0.0, 0.5, 1.0] {
                 let target = nt as f64 * 0.2 + pv * 0.5;
                 let got = net.predict(&toy_sample(nt, pv));
-                assert!((got - target).abs() < 0.1, "nt={nt} pv={pv}: {got} vs {target}");
+                assert!(
+                    (got - target).abs() < 0.1,
+                    "nt={nt} pv={pv}: {got} vs {target}"
+                );
             }
         }
     }
@@ -161,7 +168,11 @@ mod tests {
     #[test]
     fn empty_sets_are_handled() {
         let net = McsnNet::new(2, 1, 2, 8, 1e-3, 1);
-        let s = SetSample { tables: vec![vec![1.0, 0.0]], joins: vec![], predicates: vec![] };
+        let s = SetSample {
+            tables: vec![vec![1.0, 0.0]],
+            joins: vec![],
+            predicates: vec![],
+        };
         assert!(net.predict(&s).is_finite());
     }
 

@@ -62,7 +62,11 @@ impl Dense {
         let mut grad_in = vec![0.0; self.in_dim];
         for o in 0..self.out_dim {
             // ReLU gate: output 0 ⇒ dead unit (y > 0 iff pre-activation > 0).
-            let g = if self.relu && y[o] <= 0.0 { 0.0 } else { grad_out[o] };
+            let g = if self.relu && y[o] <= 0.0 {
+                0.0
+            } else {
+                grad_out[o]
+            };
             if g == 0.0 {
                 continue;
             }
@@ -163,7 +167,15 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(lr: f64) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Apply accumulated gradients of `net` and clear them.
@@ -311,7 +323,12 @@ mod tests {
         let mut rng = seeded_rng(11);
         let mut mlp = Mlp::new(&[2, 12, 12, 1], &mut rng);
         let mut opt = Adam::new(1e-2);
-        let data = [([0.0, 0.0], 0.0), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
+        let data = [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
         for _ in 0..800 {
             for (x, t) in &data {
                 mlp.train_mse(x, *t, &mut opt);

@@ -1,0 +1,272 @@
+//! Arena-compiled SPN: the tree flattened into contiguous struct-of-arrays
+//! storage, evaluated without recursion.
+//!
+//! [`CompiledSpn`] is built once from an [`Spn`] (and rebuilt after updates —
+//! see `deepdb-core`'s dirty-flag recompilation). Nodes are laid out in
+//! **topological bottom-up order** (every child precedes its parent, the root
+//! is last), so a single forward sweep over the arrays evaluates the whole
+//! network; there is no pointer chasing and no per-visit allocation.
+//!
+//! Mixture weights are frozen to `count / total` at compile time, and leaf
+//! prefix sums are rebuilt eagerly, which makes evaluation a pure `&self`
+//! operation — the prerequisite for the batched evaluator in [`crate::batch`]
+//! and for future parallel/sharded ensembles.
+//!
+//! The recursive evaluator in [`crate::infer`] stays as the reference oracle;
+//! differential property tests assert both paths agree. Arithmetic here
+//! mirrors the recursive path operation-for-operation (same accumulation
+//! order, same zero-skips), so agreement is exact, not merely approximate.
+
+use crate::node::{Node, Spn};
+use crate::Leaf;
+
+/// Node kind tag in the flattened arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CompiledKind {
+    Sum,
+    Product,
+    Leaf,
+}
+
+/// Sentinel for "not a leaf" in the `leaf_of` array.
+const NOT_A_LEAF: u32 = u32::MAX;
+
+/// A compiled, immutable SPN in struct-of-arrays form.
+///
+/// Evaluation lives in [`crate::batch::BatchEvaluator`]; this type also
+/// offers a convenience single-query [`CompiledSpn::evaluate`].
+#[derive(Debug, Clone)]
+pub struct CompiledSpn {
+    /// Node kinds in bottom-up topological order; `kinds.len() - 1` is root.
+    pub(crate) kinds: Vec<CompiledKind>,
+    /// Per-node range `[child_start[i], child_end[i])` into `children` /
+    /// `weights`; empty for leaves.
+    pub(crate) child_start: Vec<u32>,
+    pub(crate) child_end: Vec<u32>,
+    /// Flattened child node ids (always smaller than the parent id).
+    pub(crate) children: Vec<u32>,
+    /// Mixture weight per child edge (`count / total` for sum children — 0.0
+    /// edges are skipped, matching the recursive evaluator; 1.0 for product
+    /// edges).
+    pub(crate) weights: Vec<f64>,
+    /// Per-node leaf payload index into `leaves` (`NOT_A_LEAF` for inner
+    /// nodes).
+    pub(crate) leaf_of: Vec<u32>,
+    /// Cloned leaves with prefix sums rebuilt — immutable at query time.
+    pub(crate) leaves: Vec<Leaf>,
+    /// Column modeled by each leaf payload (mirrors `leaves[i].col`).
+    pub(crate) leaf_col: Vec<u32>,
+    n_cols: usize,
+    n_rows: u64,
+}
+
+impl CompiledSpn {
+    /// Flatten `spn` into arena form. Cost is one tree walk plus one clone of
+    /// the leaf histograms; cheap enough to re-run after a batch of updates.
+    pub fn compile(spn: &Spn) -> Self {
+        let mut c = CompiledSpn {
+            kinds: Vec::new(),
+            child_start: Vec::new(),
+            child_end: Vec::new(),
+            children: Vec::new(),
+            weights: Vec::new(),
+            leaf_of: Vec::new(),
+            leaves: Vec::new(),
+            leaf_col: Vec::new(),
+            n_cols: spn.n_columns(),
+            n_rows: spn.n_rows(),
+        };
+        c.flatten(&spn.root);
+        c
+    }
+
+    /// Post-order flattening; returns the arena id of `node`.
+    fn flatten(&mut self, node: &Node) -> u32 {
+        match node {
+            Node::Leaf(leaf) => {
+                let mut leaf = leaf.clone();
+                leaf.ensure_prefix();
+                let payload = self.leaves.len() as u32;
+                self.leaf_col.push(leaf.col as u32);
+                self.leaves.push(leaf);
+                self.push_node(CompiledKind::Leaf, Vec::new(), Vec::new(), payload)
+            }
+            Node::Product(p) => {
+                let ids: Vec<u32> = p.children.iter().map(|ch| self.flatten(ch)).collect();
+                let weights = vec![1.0; ids.len()];
+                self.push_node(CompiledKind::Product, ids, weights, NOT_A_LEAF)
+            }
+            Node::Sum(s) => {
+                let ids: Vec<u32> = s.children.iter().map(|ch| self.flatten(ch)).collect();
+                let total: u64 = s.counts.iter().sum();
+                // Freeze the weights exactly as the recursive evaluator
+                // computes them so both paths are bit-identical. A zeroed-out
+                // sum node keeps all-zero weights and evaluates to 0.
+                let weights: Vec<f64> = s
+                    .counts
+                    .iter()
+                    .map(|&cnt| {
+                        if total == 0 {
+                            0.0
+                        } else {
+                            cnt as f64 / total as f64
+                        }
+                    })
+                    .collect();
+                self.push_node(CompiledKind::Sum, ids, weights, NOT_A_LEAF)
+            }
+        }
+    }
+
+    fn push_node(
+        &mut self,
+        kind: CompiledKind,
+        child_ids: Vec<u32>,
+        weights: Vec<f64>,
+        payload: u32,
+    ) -> u32 {
+        let id = self.kinds.len() as u32;
+        self.kinds.push(kind);
+        self.child_start.push(self.children.len() as u32);
+        self.children.extend_from_slice(&child_ids);
+        self.weights.extend_from_slice(&weights);
+        self.child_end.push(self.children.len() as u32);
+        self.leaf_of.push(payload);
+        id
+    }
+
+    /// Nodes in the arena.
+    pub fn n_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Leaf histograms in the arena.
+    pub fn n_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Columns the underlying model covers.
+    pub fn n_columns(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Rows represented at compile time.
+    pub fn n_rows(&self) -> u64 {
+        self.n_rows
+    }
+
+    /// Convenience single-query evaluation (allocates a fresh scratch; for
+    /// hot paths hold a [`crate::BatchEvaluator`] and batch queries).
+    pub fn evaluate(&self, query: &crate::SpnQuery) -> f64 {
+        crate::batch::BatchEvaluator::new().evaluate(self, std::slice::from_ref(query))[0]
+    }
+}
+
+impl Spn {
+    /// Compile this SPN into the arena representation. The result is a
+    /// snapshot: later [`Spn::insert`]/[`Spn::delete`] calls do not affect
+    /// it — recompile after updates (callers in `deepdb-core` track this
+    /// with a dirty flag).
+    pub fn compile(&self) -> CompiledSpn {
+        CompiledSpn::compile(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnMeta, DataView, LeafFunc, LeafPred, SpnParams, SpnQuery};
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        }
+    }
+
+    fn sample_spn(n: usize, seed: u64) -> Spn {
+        let mut rng = lcg(seed);
+        let mut a = Vec::with_capacity(n);
+        let mut b = Vec::with_capacity(n);
+        for _ in 0..n {
+            if rng() < 0.3 {
+                a.push(0.0);
+                b.push(60.0 + (rng() * 40.0).floor());
+            } else {
+                a.push(1.0);
+                b.push(20.0 + (rng() * 30.0).floor());
+            }
+        }
+        let cols = vec![a, b];
+        let meta = vec![ColumnMeta::discrete("a"), ColumnMeta::discrete("b")];
+        Spn::learn(DataView::new(&cols, &meta), &SpnParams::default())
+    }
+
+    #[test]
+    fn arena_preserves_node_count_and_topology() {
+        let spn = sample_spn(3000, 7);
+        let compiled = spn.compile();
+        assert_eq!(compiled.n_nodes(), spn.size());
+        assert_eq!(compiled.n_columns(), spn.n_columns());
+        assert_eq!(compiled.n_rows(), spn.n_rows());
+        // Bottom-up order: every child id is smaller than its parent's.
+        for node in 0..compiled.n_nodes() {
+            let (s, e) = (
+                compiled.child_start[node] as usize,
+                compiled.child_end[node] as usize,
+            );
+            for &child in &compiled.children[s..e] {
+                assert!(
+                    (child as usize) < node,
+                    "child {child} not before parent {node}"
+                );
+            }
+        }
+        // The root is the last node.
+        let root_children: std::collections::HashSet<u32> =
+            compiled.children.iter().copied().collect();
+        assert!(!root_children.contains(&(compiled.n_nodes() as u32 - 1)));
+    }
+
+    #[test]
+    fn compiled_matches_recursive_on_basic_queries() {
+        let mut spn = sample_spn(4000, 11);
+        let compiled = spn.compile();
+        let queries = vec![
+            SpnQuery::new(2),
+            SpnQuery::new(2).with_pred(0, LeafPred::eq(0.0)),
+            SpnQuery::new(2)
+                .with_pred(0, LeafPred::eq(0.0))
+                .with_pred(1, LeafPred::lt(30.0)),
+            SpnQuery::new(2).with_func(1, LeafFunc::X),
+            SpnQuery::new(2)
+                .with_func(1, LeafFunc::X2)
+                .with_pred(0, LeafPred::eq(1.0)),
+        ];
+        for q in &queries {
+            let want = spn.evaluate(q);
+            let got = compiled.evaluate(q);
+            assert!((got - want).abs() < 1e-12, "{got} vs {want} for {q:?}");
+        }
+    }
+
+    #[test]
+    fn compiled_is_a_snapshot_of_compile_time_state() {
+        let mut spn = sample_spn(2000, 3);
+        let compiled = spn.compile();
+        let q = SpnQuery::new(2).with_pred(0, LeafPred::eq(0.0));
+        let before = compiled.evaluate(&q);
+        // Mutate the tree: the compiled form must not change.
+        for _ in 0..500 {
+            spn.insert(&[0.0, 70.0]);
+        }
+        assert_eq!(compiled.evaluate(&q), before);
+        // Recompiling picks the updates up.
+        let recompiled = spn.compile();
+        assert!((recompiled.evaluate(&q) - spn.evaluate(&q)).abs() < 1e-12);
+        assert!(recompiled.evaluate(&q) > before);
+    }
+}

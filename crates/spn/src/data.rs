@@ -12,11 +12,17 @@ pub struct ColumnMeta {
 
 impl ColumnMeta {
     pub fn discrete(name: impl Into<String>) -> Self {
-        Self { name: name.into(), discrete: true }
+        Self {
+            name: name.into(),
+            discrete: true,
+        }
     }
 
     pub fn continuous(name: impl Into<String>) -> Self {
-        Self { name: name.into(), discrete: false }
+        Self {
+            name: name.into(),
+            discrete: false,
+        }
     }
 }
 

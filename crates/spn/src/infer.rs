@@ -28,7 +28,12 @@ pub enum LeafFunc {
 #[derive(Debug, Clone, PartialEq)]
 pub enum LeafPred {
     /// Interval with per-side inclusivity; use ±∞ for one-sided ranges.
-    Range { lo: f64, hi: f64, lo_incl: bool, hi_incl: bool },
+    Range {
+        lo: f64,
+        hi: f64,
+        lo_incl: bool,
+        hi_incl: bool,
+    },
     /// Value must be one of the set.
     In(Vec<f64>),
     /// Value must be none of the set (NULL still fails — SQL `!=`).
@@ -45,18 +50,38 @@ impl LeafPred {
 
     /// `x ≤ v` / `x < v`.
     pub fn le(v: f64) -> Self {
-        LeafPred::Range { lo: f64::NEG_INFINITY, hi: v, lo_incl: true, hi_incl: true }
+        LeafPred::Range {
+            lo: f64::NEG_INFINITY,
+            hi: v,
+            lo_incl: true,
+            hi_incl: true,
+        }
     }
     pub fn lt(v: f64) -> Self {
-        LeafPred::Range { lo: f64::NEG_INFINITY, hi: v, lo_incl: true, hi_incl: false }
+        LeafPred::Range {
+            lo: f64::NEG_INFINITY,
+            hi: v,
+            lo_incl: true,
+            hi_incl: false,
+        }
     }
 
     /// `x ≥ v` / `x > v`.
     pub fn ge(v: f64) -> Self {
-        LeafPred::Range { lo: v, hi: f64::INFINITY, lo_incl: true, hi_incl: true }
+        LeafPred::Range {
+            lo: v,
+            hi: f64::INFINITY,
+            lo_incl: true,
+            hi_incl: true,
+        }
     }
     pub fn gt(v: f64) -> Self {
-        LeafPred::Range { lo: v, hi: f64::INFINITY, lo_incl: false, hi_incl: true }
+        LeafPred::Range {
+            lo: v,
+            hi: f64::INFINITY,
+            lo_incl: false,
+            hi_incl: true,
+        }
     }
 }
 
@@ -77,7 +102,9 @@ pub struct SpnQuery {
 
 impl SpnQuery {
     pub fn new(n_cols: usize) -> Self {
-        Self { slots: vec![None; n_cols] }
+        Self {
+            slots: vec![None; n_cols],
+        }
     }
 
     /// Attach a predicate to a column (conjunctive).
@@ -87,7 +114,10 @@ impl SpnQuery {
     }
 
     pub fn add_pred(&mut self, col: usize, pred: LeafPred) {
-        self.slots[col].get_or_insert_with(Slot::default).preds.push(pred);
+        self.slots[col]
+            .get_or_insert_with(Slot::default)
+            .preds
+            .push(pred);
     }
 
     /// Set the moment function of a column.
@@ -110,7 +140,10 @@ impl SpnQuery {
 
     /// Columns that carry a slot.
     pub fn active_columns(&self) -> impl Iterator<Item = usize> + '_ {
-        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|_| i))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
     }
 }
 
@@ -158,9 +191,10 @@ pub(crate) fn mpe(node: &mut Node, query: &SpnQuery, target: usize) -> (f64, Opt
             } else {
                 match query.slot(leaf.col) {
                     None => (1.0, None),
-                    Some(slot) => {
-                        (leaf.expect(slot.func.unwrap_or(LeafFunc::One), &slot.preds), None)
-                    }
+                    Some(slot) => (
+                        leaf.expect(slot.func.unwrap_or(LeafFunc::One), &slot.preds),
+                        None,
+                    ),
                 }
             }
         }

@@ -67,9 +67,8 @@ pub fn kmeans_two(
         }
     };
 
-    let dist2 = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-    };
+    let dist2 =
+        |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut buf = Vec::with_capacity(d);
@@ -158,7 +157,11 @@ pub fn kmeans_two(
     if clusters[0].is_empty() || clusters[1].is_empty() {
         return None;
     }
-    Some(KMeansResult { clusters, centroids, norm })
+    Some(KMeansResult {
+        clusters,
+        centroids,
+        norm,
+    })
 }
 
 #[cfg(test)]
@@ -169,7 +172,15 @@ mod tests {
     #[test]
     fn separates_two_obvious_blobs() {
         // Two clusters: values near 0 and near 100.
-        let col: Vec<f64> = (0..40).map(|i| if i < 20 { i as f64 * 0.1 } else { 100.0 + i as f64 * 0.1 }).collect();
+        let col: Vec<f64> = (0..40)
+            .map(|i| {
+                if i < 20 {
+                    i as f64 * 0.1
+                } else {
+                    100.0 + i as f64 * 0.1
+                }
+            })
+            .collect();
         let cols = vec![col];
         let meta = vec![ColumnMeta::continuous("x")];
         let data = DataView::new(&cols, &meta);
@@ -212,7 +223,9 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let col: Vec<f64> = (0..50).map(|i| (i % 7) as f64 + if i % 2 == 0 { 50.0 } else { 0.0 }).collect();
+        let col: Vec<f64> = (0..50)
+            .map(|i| (i % 7) as f64 + if i % 2 == 0 { 50.0 } else { 0.0 })
+            .collect();
         let cols = vec![col];
         let meta = vec![ColumnMeta::continuous("x")];
         let data = DataView::new(&cols, &meta);

@@ -53,12 +53,20 @@ fn apply(func: LeafFunc, v: f64) -> f64 {
     }
 }
 
-const FUNCS: [LeafFunc; 5] =
-    [LeafFunc::One, LeafFunc::X, LeafFunc::X2, LeafFunc::InvClamp1, LeafFunc::InvSqClamp1];
+const FUNCS: [LeafFunc; 5] = [
+    LeafFunc::One,
+    LeafFunc::X,
+    LeafFunc::X2,
+    LeafFunc::InvClamp1,
+    LeafFunc::InvSqClamp1,
+];
 
 /// Conjunction of leaf predicates normalized to one range + value sets.
-#[derive(Debug)]
-struct NormPred {
+/// Built once per (query, column) by the batch evaluator and reused across
+/// every leaf with that column — the recursive evaluator rebuilds it per
+/// leaf visit.
+#[derive(Debug, Clone)]
+pub(crate) struct NormPred {
     lo: f64,
     hi: f64,
     lo_strict: bool,
@@ -70,7 +78,7 @@ struct NormPred {
 }
 
 impl NormPred {
-    fn new(preds: &[LeafPred]) -> Self {
+    pub(crate) fn new(preds: &[LeafPred]) -> Self {
         let mut np = NormPred {
             lo: f64::NEG_INFINITY,
             hi: f64::INFINITY,
@@ -83,7 +91,12 @@ impl NormPred {
         };
         for p in preds {
             match p {
-                LeafPred::Range { lo, hi, lo_incl, hi_incl } => {
+                LeafPred::Range {
+                    lo,
+                    hi,
+                    lo_incl,
+                    hi_incl,
+                } => {
                     if *lo > np.lo || (*lo == np.lo && !lo_incl) {
                         np.lo = *lo;
                         np.lo_strict = !lo_incl;
@@ -118,11 +131,11 @@ impl NormPred {
             return false;
         }
         if let Some(set) = &self.in_set {
-            if !set.iter().any(|&s| s == v) {
+            if !set.contains(&v) {
                 return false;
             }
         }
-        !self.not_in.iter().any(|&s| s == v)
+        !self.not_in.contains(&v)
     }
 }
 
@@ -163,7 +176,11 @@ impl Leaf {
         }
 
         let kind = if discrete || values.len() <= max_distinct_exact || values.len() < 2 {
-            LeafKind::Exact { values, counts, cum: Default::default() }
+            LeafKind::Exact {
+                values,
+                counts,
+                cum: Default::default(),
+            }
         } else {
             let lo = values[0];
             let hi = *values.last().unwrap();
@@ -176,7 +193,14 @@ impl Leaf {
                 sq_sums: vec![0.0; n_bins],
                 distincts: vec![0; n_bins],
             };
-            if let LeafKind::Binned { counts: bc, sums, sq_sums, distincts, .. } = &mut b {
+            if let LeafKind::Binned {
+                counts: bc,
+                sums,
+                sq_sums,
+                distincts,
+                ..
+            } = &mut b
+            {
                 for (v, c) in values.iter().zip(&counts) {
                     let idx = (((v - lo) / width) as usize).min(n_bins - 1);
                     bc[idx] += c;
@@ -202,6 +226,12 @@ impl Leaf {
         leaf
     }
 
+    /// The leaf's scope as a slice (always exactly one column), borrowed
+    /// from `col` so [`crate::Node::scope`] never allocates.
+    pub fn scope(&self) -> &[usize] {
+        std::slice::from_ref(&self.col)
+    }
+
     /// Rows this leaf was built from / currently represents.
     pub fn total(&self) -> u64 {
         self.total
@@ -213,7 +243,12 @@ impl Leaf {
     }
 
     fn rebuild_prefix(&mut self) {
-        if let LeafKind::Exact { values, counts, cum } = &mut self.kind {
+        if let LeafKind::Exact {
+            values,
+            counts,
+            cum,
+        } = &mut self.kind
+        {
             for (fi, func) in FUNCS.iter().enumerate() {
                 let mut acc = 0.0;
                 let arr = &mut cum[fi];
@@ -233,13 +268,25 @@ impl Leaf {
     /// (normalized by the total row count including NULLs). NULL rows only
     /// contribute to `IsNull` queries with `g = One`.
     pub fn expect(&mut self, func: LeafFunc, preds: &[LeafPred]) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
+        self.ensure_prefix();
+        self.expect_norm(func, &NormPred::new(preds))
+    }
+
+    /// Rebuild the g-weighted prefix sums if updates invalidated them.
+    pub(crate) fn ensure_prefix(&mut self) {
         if self.dirty {
             self.rebuild_prefix();
         }
-        let np = NormPred::new(preds);
+    }
+
+    /// Immutable expectation against a pre-normalized predicate. Requires the
+    /// prefix sums to be current (see [`Leaf::ensure_prefix`]); this is the
+    /// hot path of both the recursive and the compiled evaluator.
+    pub(crate) fn expect_norm(&self, func: LeafFunc, np: &NormPred) -> f64 {
+        debug_assert!(!self.dirty, "expect_norm on a dirty leaf");
+        if self.total == 0 {
+            return 0.0;
+        }
         let total = self.total as f64;
         if np.want_null {
             // NULL fails every other constraint.
@@ -250,11 +297,19 @@ impl Leaf {
             if constrained {
                 return 0.0;
             }
-            return if matches!(func, LeafFunc::One) { self.null_count as f64 / total } else { 0.0 };
+            return if matches!(func, LeafFunc::One) {
+                self.null_count as f64 / total
+            } else {
+                0.0
+            };
         }
 
         match &self.kind {
-            LeafKind::Exact { values, counts, cum } => {
+            LeafKind::Exact {
+                values,
+                counts,
+                cum,
+            } => {
                 let fi = FUNCS.iter().position(|f| *f == func).unwrap();
                 if let Some(set) = &np.in_set {
                     let mut acc = 0.0;
@@ -262,9 +317,9 @@ impl Leaf {
                         if !np.value_passes(v) {
                             continue;
                         }
-                        if let Ok(i) = values
-                            .binary_search_by(|a| a.partial_cmp(&v).unwrap_or(std::cmp::Ordering::Equal))
-                        {
+                        if let Ok(i) = values.binary_search_by(|a| {
+                            a.partial_cmp(&v).unwrap_or(std::cmp::Ordering::Equal)
+                        }) {
                             acc += apply(func, v) * counts[i] as f64;
                         }
                     }
@@ -293,9 +348,9 @@ impl Leaf {
                     if v < np.lo || v > np.hi {
                         continue;
                     }
-                    if let Ok(i) = values
-                        .binary_search_by(|a| a.partial_cmp(&v).unwrap_or(std::cmp::Ordering::Equal))
-                    {
+                    if let Ok(i) = values.binary_search_by(|a| {
+                        a.partial_cmp(&v).unwrap_or(std::cmp::Ordering::Equal)
+                    }) {
                         if i >= start && i < end {
                             acc -= apply(func, v) * counts[i] as f64;
                         }
@@ -303,7 +358,14 @@ impl Leaf {
                 }
                 acc / total
             }
-            LeafKind::Binned { lo, width, counts, sums, sq_sums, distincts } => {
+            LeafKind::Binned {
+                lo,
+                width,
+                counts,
+                sums,
+                sq_sums,
+                distincts,
+            } => {
                 let nb = counts.len();
                 if let Some(set) = &np.in_set {
                     // Point queries on a binned leaf: approximate P(X = v) by
@@ -408,7 +470,14 @@ impl Leaf {
                     }
                 }
             }
-            LeafKind::Binned { lo, width, counts, sums, sq_sums, .. } => {
+            LeafKind::Binned {
+                lo,
+                width,
+                counts,
+                sums,
+                sq_sums,
+                ..
+            } => {
                 let nb = counts.len();
                 // Out-of-range inserts clamp to the edge bins.
                 let idx = (((v - *lo) / *width) as isize).clamp(0, nb as isize - 1) as usize;
@@ -451,7 +520,14 @@ impl Leaf {
                     _ => false,
                 }
             }
-            LeafKind::Binned { lo, width, counts, sums, sq_sums, .. } => {
+            LeafKind::Binned {
+                lo,
+                width,
+                counts,
+                sums,
+                sq_sums,
+                ..
+            } => {
                 let nb = counts.len();
                 let idx = (((v - *lo) / *width) as isize).clamp(0, nb as isize - 1) as usize;
                 if counts[idx] == 0 {
@@ -487,7 +563,14 @@ impl Leaf {
                 write_f64s(w, values)?;
                 write_u64s(w, counts)?;
             }
-            LeafKind::Binned { lo, width, counts, sums, sq_sums, distincts } => {
+            LeafKind::Binned {
+                lo,
+                width,
+                counts,
+                sums,
+                sq_sums,
+                distincts,
+            } => {
                 write_u8(w, 1)?;
                 write_f64(w, *lo)?;
                 write_f64(w, *width)?;
@@ -516,7 +599,11 @@ impl Leaf {
                 if values.len() != counts.len() {
                     return Err(corrupt("leaf value/count mismatch"));
                 }
-                LeafKind::Exact { values, counts, cum: Default::default() }
+                LeafKind::Exact {
+                    values,
+                    counts,
+                    cum: Default::default(),
+                }
             }
             1 => {
                 let lo = read_f64(r)?;
@@ -528,7 +615,14 @@ impl Leaf {
                 if sums.len() != counts.len() || sq_sums.len() != counts.len() {
                     return Err(corrupt("leaf bin arity"));
                 }
-                LeafKind::Binned { lo, width, counts, sums, sq_sums, distincts }
+                LeafKind::Binned {
+                    lo,
+                    width,
+                    counts,
+                    sums,
+                    sq_sums,
+                    distincts,
+                }
             }
             _ => return Err(corrupt("leaf kind tag")),
         };
@@ -565,8 +659,14 @@ impl Leaf {
             sq[idx] += v * v * *c as f64;
             distincts[idx] += 1;
         }
-        self.kind =
-            LeafKind::Binned { lo, width, counts: bc, sums, sq_sums: sq, distincts };
+        self.kind = LeafKind::Binned {
+            lo,
+            width,
+            counts: bc,
+            sums,
+            sq_sums: sq,
+            distincts,
+        };
     }
 }
 
@@ -614,14 +714,29 @@ mod tests {
         let mut leaf = leaf_from(&vals, true);
         let cases: Vec<Vec<LeafPred>> = vec![
             vec![],
-            vec![LeafPred::Range { lo: 2.0, hi: 5.0, lo_incl: true, hi_incl: true }],
-            vec![LeafPred::Range { lo: 2.0, hi: 5.0, lo_incl: false, hi_incl: false }],
+            vec![LeafPred::Range {
+                lo: 2.0,
+                hi: 5.0,
+                lo_incl: true,
+                hi_incl: true,
+            }],
+            vec![LeafPred::Range {
+                lo: 2.0,
+                hi: 5.0,
+                lo_incl: false,
+                hi_incl: false,
+            }],
             vec![LeafPred::In(vec![2.0, 9.0, 42.0])],
             vec![LeafPred::NotIn(vec![5.0])],
             vec![LeafPred::IsNull],
             vec![LeafPred::IsNotNull],
             vec![
-                LeafPred::Range { lo: 1.5, hi: 8.5, lo_incl: true, hi_incl: true },
+                LeafPred::Range {
+                    lo: 1.5,
+                    hi: 8.5,
+                    lo_incl: true,
+                    hi_incl: true,
+                },
                 LeafPred::NotIn(vec![3.0]),
             ],
         ];
@@ -666,7 +781,12 @@ mod tests {
         let mut leaf = leaf_from(&vals, false);
         let p = leaf.expect(
             LeafFunc::One,
-            &[LeafPred::Range { lo: 0.0, hi: 2500.0, lo_incl: true, hi_incl: true }],
+            &[LeafPred::Range {
+                lo: 0.0,
+                hi: 2500.0,
+                lo_incl: true,
+                hi_incl: true,
+            }],
         );
         assert!((p - 0.25).abs() < 0.01, "p = {p}");
         let e = leaf.expect(LeafFunc::X, &[]);
@@ -732,9 +852,12 @@ mod tests {
         let mut leaf = leaf_from(&[1.0, 2.0, 3.0], true);
         let p = leaf.expect(
             LeafFunc::One,
-            &[
-                LeafPred::Range { lo: 2.5, hi: 2.0, lo_incl: true, hi_incl: true },
-            ],
+            &[LeafPred::Range {
+                lo: 2.5,
+                hi: 2.0,
+                lo_incl: true,
+                hi_incl: true,
+            }],
         );
         assert_eq!(p, 0.0);
         let p2 = leaf.expect(LeafFunc::One, &[LeafPred::IsNull, LeafPred::IsNotNull]);

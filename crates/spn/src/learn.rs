@@ -47,7 +47,7 @@ impl Default for SpnParams {
             n_bins: 64,
             kmeans_iters: 25,
             max_depth: 64,
-            seed: 0xDEE9_DB,
+            seed: 0x00DE_E9DB,
         }
     }
 }
@@ -65,14 +65,24 @@ impl Spn {
         let rows: Vec<u32> = (0..n as u32).collect();
         let scope: Vec<usize> = (0..data.n_cols()).collect();
         let min_rows = ((params.min_instance_ratio * n as f64).ceil() as usize).max(2);
-        let ctx = Ctx { data, params, min_rows };
+        let ctx = Ctx {
+            data,
+            params,
+            min_rows,
+        };
         let root = build(&ctx, &rows, &scope, params.seed, 0);
         Spn::new(root, data.meta.to_vec(), n as u64)
     }
 }
 
 fn leaf(ctx: &Ctx<'_>, rows: &[u32], col: usize) -> Node {
-    Node::Leaf(Leaf::build(&ctx.data, rows, col, ctx.params.max_distinct_exact, ctx.params.n_bins))
+    Node::Leaf(Leaf::build(
+        &ctx.data,
+        rows,
+        col,
+        ctx.params.max_distinct_exact,
+        ctx.params.n_bins,
+    ))
 }
 
 /// Product of independent leaves — the terminal factorization.
@@ -100,19 +110,46 @@ fn build(ctx: &Ctx<'_>, rows: &[u32], scope: &[usize], seed: u64, depth: usize) 
             .iter()
             .enumerate()
             .map(|(i, comp)| {
-                build(ctx, rows, comp, seed.wrapping_add(0x9e37 + i as u64), depth + 1)
+                build(
+                    ctx,
+                    rows,
+                    comp,
+                    seed.wrapping_add(0x9e37 + i as u64),
+                    depth + 1,
+                )
             })
             .collect();
-        return Node::Product(ProductNode { scope: scope.to_vec(), children });
+        return Node::Product(ProductNode {
+            scope: scope.to_vec(),
+            children,
+        });
     }
 
     // Row split via k-means.
-    match kmeans_two(&ctx.data, rows, scope, seed ^ 0xC1C1, ctx.params.kmeans_iters) {
+    match kmeans_two(
+        &ctx.data,
+        rows,
+        scope,
+        seed ^ 0xC1C1,
+        ctx.params.kmeans_iters,
+    ) {
         Some(km) => {
             let counts = vec![km.clusters[0].len() as u64, km.clusters[1].len() as u64];
             let children = vec![
-                build(ctx, &km.clusters[0], scope, seed.wrapping_mul(31).wrapping_add(1), depth + 1),
-                build(ctx, &km.clusters[1], scope, seed.wrapping_mul(31).wrapping_add(2), depth + 1),
+                build(
+                    ctx,
+                    &km.clusters[0],
+                    scope,
+                    seed.wrapping_mul(31).wrapping_add(1),
+                    depth + 1,
+                ),
+                build(
+                    ctx,
+                    &km.clusters[1],
+                    scope,
+                    seed.wrapping_mul(31).wrapping_add(2),
+                    depth + 1,
+                ),
             ];
             Node::Sum(SumNode {
                 scope: scope.to_vec(),
@@ -130,6 +167,7 @@ fn build(ctx: &Ctx<'_>, rows: &[u32], scope: &[usize], seed: u64, depth: usize) 
 
 /// Split `scope` into groups that are pairwise-independent at the RDC
 /// threshold. `None` if everything is connected (no split possible).
+#[allow(clippy::ptr_arg, clippy::needless_range_loop)]
 fn independent_components(ctx: &Ctx<'_>, rows: &[u32], scope: &[usize]) -> Option<Vec<Vec<usize>>> {
     let cols: Vec<&[f64]> = scope.iter().map(|&c| ctx.data.cols[c].as_slice()).collect();
     let m = pairwise_rdc(&cols, rows, ctx.params.rdc_sample_rows, &ctx.params.rdc);
@@ -182,7 +220,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> f64 {
         let mut state = seed;
         move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         }
     }
@@ -202,7 +242,10 @@ mod tests {
                 age.push(20.0 + (rng() * 30.0).floor());
             }
         }
-        (vec![region, age], vec![ColumnMeta::discrete("region"), ColumnMeta::discrete("age")])
+        (
+            vec![region, age],
+            vec![ColumnMeta::discrete("region"), ColumnMeta::discrete("age")],
+        )
     }
 
     #[test]
@@ -215,11 +258,15 @@ mod tests {
         let p = spn.probability(&q);
         assert!((p - 0.3).abs() < 0.03, "P(EU) = {p}");
         // P(EU ∧ age < 30) is near zero (Europeans are 60+).
-        let q = SpnQuery::new(2).with_pred(0, LeafPred::eq(0.0)).with_pred(1, LeafPred::lt(30.0));
+        let q = SpnQuery::new(2)
+            .with_pred(0, LeafPred::eq(0.0))
+            .with_pred(1, LeafPred::lt(30.0));
         let p = spn.probability(&q);
         assert!(p < 0.02, "P(EU ∧ young) = {p}");
         // P(ASIA ∧ age < 30) ≈ 0.7 · (1/3).
-        let q = SpnQuery::new(2).with_pred(0, LeafPred::eq(1.0)).with_pred(1, LeafPred::lt(30.0));
+        let q = SpnQuery::new(2)
+            .with_pred(0, LeafPred::eq(1.0))
+            .with_pred(1, LeafPred::lt(30.0));
         let p = spn.probability(&q);
         assert!((p - 0.7 / 3.0).abs() < 0.05, "P(ASIA ∧ young) = {p}");
     }
@@ -229,6 +276,7 @@ mod tests {
         let (cols, meta) = figure3_data(8000);
         // Ground truth E[age | EU].
         let (mut s, mut k) = (0.0, 0u64);
+        #[allow(clippy::needless_range_loop)]
         for i in 0..cols[0].len() {
             if cols[0][i] == 0.0 {
                 s += cols[1][i];
@@ -238,8 +286,11 @@ mod tests {
         let truth = s / k as f64;
         let data = DataView::new(&cols, &meta);
         let mut spn = Spn::learn(data, &SpnParams::default());
-        let num = spn
-            .evaluate(&SpnQuery::new(2).with_func(1, LeafFunc::X).with_pred(0, LeafPred::eq(0.0)));
+        let num = spn.evaluate(
+            &SpnQuery::new(2)
+                .with_func(1, LeafFunc::X)
+                .with_pred(0, LeafPred::eq(0.0)),
+        );
         let den = spn.probability(&SpnQuery::new(2).with_pred(0, LeafPred::eq(0.0)));
         let cond = num / den;
         assert!((cond - truth).abs() < 2.0, "E[age|EU] = {cond} vs {truth}");

@@ -11,12 +11,19 @@
 //!   fallback for high-cardinality continuous columns;
 //! * [`Spn`] — structure learning, bottom-up inference of
 //!   `E[∏ g_c(X_c) · 1_C]` expectations, max-product MPE, and direct
-//!   insert/delete updates (paper Algorithm 1).
+//!   insert/delete updates (paper Algorithm 1);
+//! * [`CompiledSpn`] / [`BatchEvaluator`] — the tree flattened into an
+//!   arena (contiguous SoA arrays in bottom-up topological order) and
+//!   evaluated for whole batches of queries in one non-recursive sweep.
+//!   The recursive evaluator remains the reference oracle; the compiled
+//!   engine is what the layers above actually query.
 //!
 //! The SPN operates on an opaque `f64` matrix (NaN = NULL); the relational
 //! interpretation (tables, tuple factors, join indicators) lives in
 //! `deepdb-core`.
 
+mod arena;
+mod batch;
 mod data;
 mod infer;
 mod kmeans;
@@ -28,6 +35,8 @@ mod serialize;
 mod update;
 pub mod wire;
 
+pub use arena::CompiledSpn;
+pub use batch::BatchEvaluator;
 pub use data::{ColumnMeta, DataView};
 pub use infer::{LeafFunc, LeafPred, Slot, SpnQuery};
 pub use kmeans::{kmeans_two, KMeansResult};

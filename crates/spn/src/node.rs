@@ -34,12 +34,13 @@ pub enum Node {
 }
 
 impl Node {
-    /// Columns this node models.
-    pub fn scope(&self) -> Vec<usize> {
+    /// Columns this node models, borrowed (leaves store their own one-element
+    /// scope, so no visit allocates).
+    pub fn scope(&self) -> &[usize] {
         match self {
-            Node::Sum(s) => s.scope.clone(),
-            Node::Product(p) => p.scope.clone(),
-            Node::Leaf(l) => vec![l.col],
+            Node::Sum(s) => &s.scope,
+            Node::Product(p) => &p.scope,
+            Node::Leaf(l) => l.scope(),
         }
     }
 

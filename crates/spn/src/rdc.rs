@@ -25,7 +25,12 @@ pub struct RdcParams {
 
 impl Default for RdcParams {
     fn default() -> Self {
-        Self { features: 16, scale: 1.0 / 6.0, regularization: 1e-4, seed: 0x5eed_0001 }
+        Self {
+            features: 16,
+            scale: 1.0 / 6.0,
+            regularization: 1e-4,
+            seed: 0x5eed_0001,
+        }
     }
 }
 
@@ -36,7 +41,9 @@ pub fn copula_transform(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_by(|&a, &b| {
-        values[a as usize].partial_cmp(&values[b as usize]).unwrap_or(std::cmp::Ordering::Equal)
+        values[a as usize]
+            .partial_cmp(&values[b as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut ranks = vec![0.0; n];
     let mut i = 0;
@@ -118,7 +125,9 @@ pub fn pairwise_rdc(
     let d = cols.len();
     let picked: Vec<u32> = if rows.len() > max_rows {
         let stride = rows.len() as f64 / max_rows as f64;
-        (0..max_rows).map(|i| rows[(i as f64 * stride) as usize]).collect()
+        (0..max_rows)
+            .map(|i| rows[(i as f64 * stride) as usize])
+            .collect()
     } else {
         rows.to_vec()
     };
@@ -145,7 +154,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> f64 {
         let mut state = seed;
         move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         }
     }
@@ -243,13 +254,18 @@ mod tests {
         let cols: Vec<&[f64]> = vec![&a, &b, &c];
         let rows: Vec<u32> = (0..n as u32).collect();
         let m = pairwise_rdc(&cols, &rows, 1000, &RdcParams::default());
+        #[allow(clippy::needless_range_loop)]
         for i in 0..3 {
             assert_eq!(m[i][i], 1.0);
             for j in 0..3 {
                 assert_eq!(m[i][j], m[j][i]);
             }
         }
-        assert!(m[0][1] > 0.9, "perfect anticorrelation should be detected: {}", m[0][1]);
+        assert!(
+            m[0][1] > 0.9,
+            "perfect anticorrelation should be detected: {}",
+            m[0][1]
+        );
         assert!(m[0][2] < 0.35);
     }
 }

@@ -60,8 +60,9 @@ fn read_node(r: &mut impl Read, depth: usize) -> io::Result<Node> {
             let scope = read_usizes(r)?;
             let counts = read_u64s(r)?;
             let n_centroids = read_u32(r)? as usize;
-            let centroids: Vec<Vec<f64>> =
-                (0..n_centroids).map(|_| read_f64s(r)).collect::<io::Result<_>>()?;
+            let centroids: Vec<Vec<f64>> = (0..n_centroids)
+                .map(|_| read_f64s(r))
+                .collect::<io::Result<_>>()?;
             let n_norm = read_u32(r)? as usize;
             let norm: Vec<(f64, f64)> = (0..n_norm)
                 .map(|_| Ok::<_, io::Error>((read_f64(r)?, read_f64(r)?)))
@@ -70,9 +71,16 @@ fn read_node(r: &mut impl Read, depth: usize) -> io::Result<Node> {
             if n_children != counts.len() || n_children != centroids.len() {
                 return Err(corrupt("sum node arity"));
             }
-            let children: Vec<Node> =
-                (0..n_children).map(|_| read_node(r, depth + 1)).collect::<io::Result<_>>()?;
-            Ok(Node::Sum(SumNode { scope, children, counts, centroids, norm }))
+            let children: Vec<Node> = (0..n_children)
+                .map(|_| read_node(r, depth + 1))
+                .collect::<io::Result<_>>()?;
+            Ok(Node::Sum(SumNode {
+                scope,
+                children,
+                counts,
+                centroids,
+                norm,
+            }))
         }
         2 => {
             let scope = read_usizes(r)?;
@@ -80,8 +88,9 @@ fn read_node(r: &mut impl Read, depth: usize) -> io::Result<Node> {
             if n_children > 1 << 20 {
                 return Err(corrupt("product arity"));
             }
-            let children: Vec<Node> =
-                (0..n_children).map(|_| read_node(r, depth + 1)).collect::<io::Result<_>>()?;
+            let children: Vec<Node> = (0..n_children)
+                .map(|_| read_node(r, depth + 1))
+                .collect::<io::Result<_>>()?;
             Ok(Node::Product(ProductNode { scope, children }))
         }
         _ => Err(corrupt("node tag")),
@@ -134,7 +143,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> f64 {
         let mut state = seed;
         move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         }
     }
@@ -147,9 +158,21 @@ mod tests {
         let mut c = Vec::with_capacity(n);
         for _ in 0..n {
             let cluster = rng() < 0.4;
-            a.push(if cluster { (rng() * 3.0).floor() } else { 3.0 + (rng() * 3.0).floor() });
-            b.push(if cluster { rng() * 10.0 } else { 50.0 + rng() * 10.0 });
-            c.push(if rng() < 0.05 { f64::NAN } else { rng() * 100.0 });
+            a.push(if cluster {
+                (rng() * 3.0).floor()
+            } else {
+                3.0 + (rng() * 3.0).floor()
+            });
+            b.push(if cluster {
+                rng() * 10.0
+            } else {
+                50.0 + rng() * 10.0
+            });
+            c.push(if rng() < 0.05 {
+                f64::NAN
+            } else {
+                rng() * 100.0
+            });
         }
         let cols = vec![a, b, c];
         let meta = vec![
@@ -158,7 +181,10 @@ mod tests {
             ColumnMeta::continuous("c"),
         ];
         // Force binning on column c by keeping the exact limit small.
-        let params = SpnParams { max_distinct_exact: 100, ..SpnParams::default() };
+        let params = SpnParams {
+            max_distinct_exact: 100,
+            ..SpnParams::default()
+        };
         Spn::learn(DataView::new(&cols, &meta), &params)
     }
 
@@ -181,7 +207,9 @@ mod tests {
                 .with_pred(0, LeafPred::In(vec![1.0, 4.0]))
                 .with_func(1, LeafFunc::X),
             SpnQuery::new(3).with_pred(2, LeafPred::IsNull),
-            SpnQuery::new(3).with_func(2, LeafFunc::X2).with_pred(0, LeafPred::le(3.0)),
+            SpnQuery::new(3)
+                .with_func(2, LeafFunc::X2)
+                .with_pred(0, LeafPred::le(3.0)),
         ];
         for q in &queries {
             let a = original.evaluate(q);

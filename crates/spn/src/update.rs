@@ -98,7 +98,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> f64 {
         let mut state = seed;
         move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         }
     }
@@ -116,7 +118,10 @@ mod tests {
                 age.push(20.0 + (rng() * 30.0).floor());
             }
         }
-        (vec![region, age], vec![ColumnMeta::discrete("region"), ColumnMeta::discrete("age")])
+        (
+            vec![region, age],
+            vec![ColumnMeta::discrete("region"), ColumnMeta::discrete("age")],
+        )
     }
 
     #[test]

@@ -117,7 +117,10 @@ pub fn read_usizes(r: &mut impl Read) -> io::Result<Vec<usize>> {
 
 /// Uniform corrupt-snapshot error.
 pub fn corrupt(what: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt snapshot: {what}"))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt snapshot: {what}"),
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,147 @@
+//! Differential property suite: the arena/batch engine must agree with the
+//! recursive reference evaluator on randomized SPNs × randomized query
+//! batches — including NULL handling (`IsNull`/`IsNotNull`), `In`/`NotIn`
+//! sets, one- and two-sided ranges, and every moment slot (`X`, `X²`,
+//! `InvClamp1`, `InvSqClamp1`).
+
+use deepdb_spn::{
+    BatchEvaluator, ColumnMeta, DataView, LeafFunc, LeafPred, Spn, SpnParams, SpnQuery,
+};
+use proptest::prelude::*;
+
+/// Learn a 3-column SPN: a small discrete column, a wider discrete column,
+/// and a factor-like column where `0` encodes NULL (exercises the NULL slot
+/// and the clamped-inverse moments).
+fn learn(rows: &[(i64, i64, i64)]) -> Spn {
+    let a: Vec<f64> = rows.iter().map(|&(x, _, _)| x as f64).collect();
+    let b: Vec<f64> = rows.iter().map(|&(_, y, _)| y as f64).collect();
+    let f: Vec<f64> = rows
+        .iter()
+        .map(|&(_, _, z)| if z == 0 { f64::NAN } else { z as f64 })
+        .collect();
+    let meta = vec![
+        ColumnMeta::discrete("a"),
+        ColumnMeta::discrete("b"),
+        ColumnMeta::discrete("f"),
+    ];
+    let cols = vec![a, b, f];
+    let params = SpnParams {
+        rdc_sample_rows: 400,
+        ..SpnParams::default()
+    };
+    Spn::learn(DataView::new(&cols, &meta), &params)
+}
+
+const FUNCS: [LeafFunc; 5] = [
+    LeafFunc::One,
+    LeafFunc::X,
+    LeafFunc::X2,
+    LeafFunc::InvClamp1,
+    LeafFunc::InvSqClamp1,
+];
+
+/// Build one query from a list of slot specs
+/// `(col, pred_kind, v1, v2, func_kind)`.
+fn build_query(specs: &[(usize, i64, i64, i64, usize)]) -> SpnQuery {
+    let mut q = SpnQuery::new(3);
+    for &(col, kind, v1, v2, func) in specs {
+        let (lo, hi) = (v1.min(v2) as f64, v1.max(v2) as f64);
+        match kind {
+            0 => q.add_pred(
+                col,
+                LeafPred::Range {
+                    lo,
+                    hi,
+                    lo_incl: true,
+                    hi_incl: v1 % 2 == 0,
+                },
+            ),
+            1 => q.add_pred(col, LeafPred::lt(v1 as f64)),
+            2 => q.add_pred(col, LeafPred::In(vec![v1 as f64, v2 as f64])),
+            3 => q.add_pred(col, LeafPred::NotIn(vec![v1 as f64])),
+            4 => q.add_pred(col, LeafPred::IsNull),
+            _ => q.add_pred(col, LeafPred::IsNotNull),
+        }
+        q.set_func(col, FUNCS[func % FUNCS.len()]);
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Batched arena evaluation ≡ recursive evaluation, query by query.
+    #[test]
+    fn batch_matches_recursive_on_random_spns(
+        rows in prop::collection::vec((0i64..6, 0i64..40, 0i64..5), 20..300),
+        // Batch sizes straddle the evaluator's internal tile width (32) so
+        // the multi-tile path — the one production GROUP BY / bench batches
+        // take — is differentially tested too.
+        batch in prop::collection::vec(
+            prop::collection::vec((0usize..3, 0i64..6, 0i64..40, 0i64..40, 0usize..5), 0..4),
+            1..80,
+        ),
+    ) {
+        let mut spn = learn(&rows);
+        let compiled = spn.compile();
+        let queries: Vec<SpnQuery> = batch.iter().map(|specs| build_query(specs)).collect();
+        let got = BatchEvaluator::new().evaluate(&compiled, &queries);
+        prop_assert_eq!(got.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let want = spn.evaluate(q);
+            prop_assert!(
+                (got[i] - want).abs() < 1e-12,
+                "query {i}: batch {} vs recursive {} ({q:?})", got[i], want
+            );
+        }
+    }
+
+    /// The NULL slot and the clamped-inverse tuple-factor moments agree —
+    /// these are the paths cardinality estimation leans on hardest.
+    #[test]
+    fn null_and_invclamp_slots_agree(
+        rows in prop::collection::vec((0i64..4, 0i64..20, 0i64..6), 30..200),
+        probe in 0i64..4,
+    ) {
+        let mut spn = learn(&rows);
+        let compiled = spn.compile();
+        let queries = vec![
+            SpnQuery::new(3).with_pred(2, LeafPred::IsNull),
+            SpnQuery::new(3).with_pred(2, LeafPred::IsNotNull),
+            SpnQuery::new(3).with_func(2, LeafFunc::InvClamp1),
+            SpnQuery::new(3).with_func(2, LeafFunc::InvSqClamp1),
+            SpnQuery::new(3)
+                .with_pred(0, LeafPred::eq(probe as f64))
+                .with_func(2, LeafFunc::InvClamp1),
+            SpnQuery::new(3)
+                .with_pred(0, LeafPred::eq(probe as f64))
+                .with_pred(2, LeafPred::IsNull),
+        ];
+        let got = BatchEvaluator::new().evaluate(&compiled, &queries);
+        for (i, q) in queries.iter().enumerate() {
+            let want = spn.evaluate(q);
+            prop_assert!(
+                (got[i] - want).abs() < 1e-12,
+                "probe {i}: batch {} vs recursive {}", got[i], want
+            );
+        }
+    }
+
+    /// Recompiling after updates re-synchronizes the arena with the tree.
+    #[test]
+    fn recompiled_arena_tracks_updates(
+        rows in prop::collection::vec((0i64..5, 0i64..30, 0i64..4), 30..150),
+        tuples in prop::collection::vec((0i64..5, 0i64..30, 0i64..4), 1..10),
+        probe in 0i64..5,
+    ) {
+        let mut spn = learn(&rows);
+        for &(x, y, z) in &tuples {
+            spn.insert(&[x as f64, y as f64, if z == 0 { f64::NAN } else { z as f64 }]);
+        }
+        let compiled = spn.compile();
+        let q = SpnQuery::new(3).with_pred(0, LeafPred::eq(probe as f64));
+        let got = BatchEvaluator::new().evaluate(&compiled, std::slice::from_ref(&q))[0];
+        let want = spn.evaluate(&q);
+        prop_assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+}

@@ -5,9 +5,13 @@ use deepdb_spn::{ColumnMeta, DataView, LeafFunc, LeafPred, Spn, SpnParams, SpnQu
 use proptest::prelude::*;
 
 fn learn(cols: Vec<Vec<f64>>) -> Spn {
-    let meta: Vec<ColumnMeta> =
-        (0..cols.len()).map(|i| ColumnMeta::discrete(format!("c{i}"))).collect();
-    let params = SpnParams { rdc_sample_rows: 500, ..SpnParams::default() };
+    let meta: Vec<ColumnMeta> = (0..cols.len())
+        .map(|i| ColumnMeta::discrete(format!("c{i}")))
+        .collect();
+    let params = SpnParams {
+        rdc_sample_rows: 500,
+        ..SpnParams::default()
+    };
     Spn::learn(DataView::new(&cols, &meta), &params)
 }
 

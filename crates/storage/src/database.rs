@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::{
-    ColId, ForeignKey, StorageError, Table, TableId, TableSchema, Value,
-};
+use crate::{ColId, ForeignKey, StorageError, Table, TableId, TableSchema, Value};
 
 /// A database: named tables and the foreign keys connecting them.
 ///
@@ -56,18 +54,25 @@ impl Database {
     ) -> Result<(), StorageError> {
         let child_table = self.table_id(child)?;
         let parent_table = self.table_id(parent)?;
-        let child_col = self
-            .tables[child_table]
+        let child_col = self.tables[child_table]
             .schema()
             .column_id(child_col)
             .ok_or_else(|| StorageError::UnknownColumn {
                 table: child.to_string(),
                 column: child_col.to_string(),
             })?;
-        let parent_col = self.tables[parent_table].schema().primary_key().ok_or_else(|| {
-            StorageError::InvalidForeignKey(format!("parent `{parent}` has no primary key"))
-        })?;
-        self.foreign_keys.push(ForeignKey { child_table, child_col, parent_table, parent_col });
+        let parent_col = self.tables[parent_table]
+            .schema()
+            .primary_key()
+            .ok_or_else(|| {
+                StorageError::InvalidForeignKey(format!("parent `{parent}` has no primary key"))
+            })?;
+        self.foreign_keys.push(ForeignKey {
+            child_table,
+            child_col,
+            parent_table,
+            parent_col,
+        });
         Ok(())
     }
 
@@ -85,14 +90,20 @@ impl Database {
 
     /// Resolve a table name.
     pub fn table_id(&self, name: &str) -> Result<TableId, StorageError> {
-        self.by_name.get(name).copied().ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
     /// Resolve `table.column` names to ids.
     pub fn column_id(&self, table: &str, column: &str) -> Result<(TableId, ColId), StorageError> {
         let tid = self.table_id(table)?;
         let cid = self.tables[tid].schema().column_id(column).ok_or_else(|| {
-            StorageError::UnknownColumn { table: table.to_string(), column: column.to_string() }
+            StorageError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            }
         })?;
         Ok((tid, cid))
     }
@@ -108,7 +119,9 @@ impl Database {
 
     /// The unique FK edge between two tables, if any.
     pub fn edge_between(&self, a: TableId, b: TableId) -> Option<&ForeignKey> {
-        self.foreign_keys.iter().find(|fk| fk.touches(a) && fk.touches(b) && a != b)
+        self.foreign_keys
+            .iter()
+            .find(|fk| fk.touches(a) && fk.touches(b) && a != b)
     }
 
     /// Tuple factor `F_{parent←child}`: for every row of the FK's parent
@@ -220,11 +233,19 @@ pub(crate) mod test_fixtures {
         db.add_foreign_key("orders", "c_id", "customer").unwrap();
         let rows = [(1, 20, 0), (2, 50, 0), (3, 80, 1)];
         for (id, age, region) in rows {
-            db.insert("customer", &[Value::Int(id), Value::Int(age), Value::Int(region)]).unwrap();
+            db.insert(
+                "customer",
+                &[Value::Int(id), Value::Int(age), Value::Int(region)],
+            )
+            .unwrap();
         }
         let orders = [(1, 1, 0), (2, 1, 1), (3, 3, 0), (4, 3, 1)];
         for (id, cid, channel) in orders {
-            db.insert("orders", &[Value::Int(id), Value::Int(cid), Value::Int(channel)]).unwrap();
+            db.insert(
+                "orders",
+                &[Value::Int(id), Value::Int(cid), Value::Int(channel)],
+            )
+            .unwrap();
         }
         db
     }
@@ -259,7 +280,8 @@ mod tests {
         let mut db = paper_customer_order();
         db.validate_integrity().unwrap();
         // Order referencing a missing customer breaks integrity.
-        db.insert("orders", &[Value::Int(5), Value::Int(99), Value::Int(0)]).unwrap();
+        db.insert("orders", &[Value::Int(5), Value::Int(99), Value::Int(0)])
+            .unwrap();
         assert!(db.validate_integrity().is_err());
     }
 

@@ -10,7 +10,11 @@ pub enum StorageError {
     /// A column name was not found in a table.
     UnknownColumn { table: String, column: String },
     /// Row arity did not match the schema.
-    ArityMismatch { table: String, expected: usize, got: usize },
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
     /// A value's physical type did not match the column.
     TypeMismatch { expected: ColType, got: ColType },
     /// NULL written to a non-nullable column.
@@ -32,7 +36,11 @@ impl std::fmt::Display for StorageError {
             Self::UnknownColumn { table, column } => {
                 write!(f, "unknown column `{column}` in table `{table}`")
             }
-            Self::ArityMismatch { table, expected, got } => {
+            Self::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => {
                 write!(f, "table `{table}` expects {expected} values, got {got}")
             }
             Self::TypeMismatch { expected, got } => {

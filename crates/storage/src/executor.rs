@@ -8,9 +8,7 @@
 
 use std::collections::HashMap;
 
-use crate::{
-    Aggregate, ColId, Database, Indexes, Predicate, Query, StorageError, TableId, Value,
-};
+use crate::{Aggregate, ColId, Database, Indexes, Predicate, Query, StorageError, TableId, Value};
 
 /// Accumulated aggregate state for one (group of) result row(s).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -111,8 +109,10 @@ pub fn execute_with_indexes(
     let order = plan_order(db, &q.tables)?;
 
     // Per-level predicate lists.
-    let preds: Vec<Vec<&Predicate>> =
-        order.iter().map(|&t| q.predicates_on(t).collect()).collect();
+    let preds: Vec<Vec<&Predicate>> = order
+        .iter()
+        .map(|&t| q.predicates_on(t).collect())
+        .collect();
 
     // Build hash maps for non-base tables (level ≥ 1).
     let mut steps: Vec<JoinStep> = Vec::new();
@@ -129,7 +129,12 @@ pub fn execute_with_indexes(
             // New table is the one side: probe with the child's FK value.
             (fk.child_col, fk.parent_col)
         };
-        steps.push(JoinStep { table: t, from_level, probe_col, build_col });
+        steps.push(JoinStep {
+            table: t,
+            from_level,
+            probe_col,
+            build_col,
+        });
     }
 
     // Hash index per step (reuse prebuilt children indexes when they match).
@@ -160,10 +165,14 @@ pub fn execute_with_indexes(
     let mut assignment: Vec<u32> = vec![0; order.len()];
     let level_of = |t: TableId| order.iter().position(|&u| u == t).unwrap();
     let agg_level = agg_input.map(|c| (level_of(c.table), c.column));
-    let group_levels: Vec<(usize, ColId)> =
-        q.group_by.iter().map(|c| (level_of(c.table), c.column)).collect();
+    let group_levels: Vec<(usize, ColId)> = q
+        .group_by
+        .iter()
+        .map(|c| (level_of(c.table), c.column))
+        .collect();
 
     // Recursive closure via explicit stack to avoid lifetime gymnastics.
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         db: &Database,
         order: &[TableId],
@@ -210,8 +219,18 @@ pub fn execute_with_indexes(
             }
             assignment[level] = r;
             recurse(
-                db, order, steps, built, preds, assignment, level + 1, agg_level, group_levels,
-                grouped, scalar, groups,
+                db,
+                order,
+                steps,
+                built,
+                preds,
+                assignment,
+                level + 1,
+                agg_level,
+                group_levels,
+                grouped,
+                scalar,
+                groups,
             );
         }
     }
@@ -273,7 +292,10 @@ mod tests {
     use crate::{Aggregate, CmpOp, ColumnRef, PredOp, Query};
 
     fn ids(db: &Database) -> (TableId, TableId) {
-        (db.table_id("customer").unwrap(), db.table_id("orders").unwrap())
+        (
+            db.table_id("customer").unwrap(),
+            db.table_id("orders").unwrap(),
+        )
     }
 
     #[test]
@@ -312,7 +334,10 @@ mod tests {
         let (c, _) = ids(&db);
         let q = Query::count(vec![c])
             .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
-            .aggregate(Aggregate::Avg(ColumnRef { table: c, column: 1 }));
+            .aggregate(Aggregate::Avg(ColumnRef {
+                table: c,
+                column: 1,
+            }));
         let out = execute(&db, &q).unwrap().scalar();
         assert_eq!(out.avg(), Some(35.0)); // (20 + 50) / 2, paper §4.2
     }
@@ -322,7 +347,10 @@ mod tests {
         let db = paper_customer_order();
         let (c, o) = ids(&db);
         // Joined AVG(c_age): customers 1 and 3 contribute twice each.
-        let q = Query::count(vec![c, o]).aggregate(Aggregate::Avg(ColumnRef { table: c, column: 1 }));
+        let q = Query::count(vec![c, o]).aggregate(Aggregate::Avg(ColumnRef {
+            table: c,
+            column: 1,
+        }));
         let out = execute(&db, &q).unwrap().scalar();
         assert_eq!(out.avg(), Some((20.0 * 2.0 + 80.0 * 2.0) / 4.0));
     }
@@ -344,13 +372,18 @@ mod tests {
     fn sum_ignores_nulls() {
         let mut db = Database::new("t");
         db.create_table(
-            crate::TableSchema::new("x").pk("id").nullable_col("v", crate::Domain::Continuous),
+            crate::TableSchema::new("x")
+                .pk("id")
+                .nullable_col("v", crate::Domain::Continuous),
         )
         .unwrap();
         db.insert("x", &[Value::Int(1), Value::Float(2.0)]).unwrap();
         db.insert("x", &[Value::Int(2), Value::Null]).unwrap();
         let x = db.table_id("x").unwrap();
-        let q = Query::count(vec![x]).aggregate(Aggregate::Sum(ColumnRef { table: x, column: 1 }));
+        let q = Query::count(vec![x]).aggregate(Aggregate::Sum(ColumnRef {
+            table: x,
+            column: 1,
+        }));
         let out = execute(&db, &q).unwrap().scalar();
         assert_eq!(out.sum, 2.0);
         assert_eq!(out.count, 2);
@@ -374,7 +407,8 @@ mod tests {
         let db = paper_customer_order();
         let (c, o) = ids(&db);
         let base = Query::count(vec![c, o]);
-        let narrowed = Query::count(vec![c, o]).filter(c, 1, PredOp::Cmp(CmpOp::Lt, Value::Int(50)));
+        let narrowed =
+            Query::count(vec![c, o]).filter(c, 1, PredOp::Cmp(CmpOp::Lt, Value::Int(50)));
         let a = execute(&db, &base).unwrap().scalar().count;
         let b = execute(&db, &narrowed).unwrap().scalar().count;
         assert!(b <= a);

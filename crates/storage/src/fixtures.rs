@@ -28,14 +28,21 @@ pub fn paper_customer_order() -> Database {
             .col("o_channel", Domain::categorical(["ONLINE", "STORE"])),
     )
     .expect("fresh catalog");
-    db.add_foreign_key("orders", "c_id", "customer").expect("valid fk");
+    db.add_foreign_key("orders", "c_id", "customer")
+        .expect("valid fk");
     for (id, age, region) in [(1, 20, 0), (2, 50, 0), (3, 80, 1)] {
-        db.insert("customer", &[Value::Int(id), Value::Int(age), Value::Int(region)])
-            .expect("valid row");
+        db.insert(
+            "customer",
+            &[Value::Int(id), Value::Int(age), Value::Int(region)],
+        )
+        .expect("valid row");
     }
     for (id, cid, channel) in [(1, 1, 0), (2, 1, 1), (3, 3, 0), (4, 3, 1)] {
-        db.insert("orders", &[Value::Int(id), Value::Int(cid), Value::Int(channel)])
-            .expect("valid row");
+        db.insert(
+            "orders",
+            &[Value::Int(id), Value::Int(cid), Value::Int(channel)],
+        )
+        .expect("valid row");
     }
     db
 }
@@ -49,7 +56,10 @@ pub fn correlated_customer_order(n_customers: usize, seed: u64) -> Database {
         TableSchema::new("customer")
             .pk("c_id")
             .col("c_age", Domain::Discrete)
-            .col("c_region", Domain::categorical(["EUROPE", "ASIA", "AMERICA"])),
+            .col(
+                "c_region",
+                Domain::categorical(["EUROPE", "ASIA", "AMERICA"]),
+            ),
     )
     .expect("fresh catalog");
     db.create_table(
@@ -60,7 +70,8 @@ pub fn correlated_customer_order(n_customers: usize, seed: u64) -> Database {
             .col("o_amount", Domain::Continuous),
     )
     .expect("fresh catalog");
-    db.add_foreign_key("orders", "c_id", "customer").expect("valid fk");
+    db.add_foreign_key("orders", "c_id", "customer")
+        .expect("valid fk");
 
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let mut next = move || {
@@ -78,8 +89,11 @@ pub fn correlated_customer_order(n_customers: usize, seed: u64) -> Database {
             0 => 50 + (next() * 40.0) as i64,
             _ => 18 + (next() * 40.0) as i64,
         };
-        db.insert("customer", &[Value::Int(c), Value::Int(age), Value::Int(region)])
-            .expect("valid row");
+        db.insert(
+            "customer",
+            &[Value::Int(c), Value::Int(age), Value::Int(region)],
+        )
+        .expect("valid row");
         // Fan-out 0..4 correlated with age (older → more orders).
         let lambda = if age > 50 { 2.5 } else { 1.0 };
         let n_orders = (next() * lambda * 2.0) as i64;
@@ -93,7 +107,12 @@ pub fn correlated_customer_order(n_customers: usize, seed: u64) -> Database {
             let amount = 10.0 + next() * 490.0;
             db.insert(
                 "orders",
-                &[Value::Int(order_id), Value::Int(c), Value::Int(channel), Value::Float(amount)],
+                &[
+                    Value::Int(order_id),
+                    Value::Int(c),
+                    Value::Int(channel),
+                    Value::Float(amount),
+                ],
             )
             .expect("valid row");
             order_id += 1;
@@ -122,6 +141,9 @@ mod tests {
         let oa = a.table(a.table_id("orders").unwrap()).n_rows();
         let ob = b.table(b.table_id("orders").unwrap()).n_rows();
         assert_eq!(oa, ob);
-        assert!(oa > 50, "should generate a reasonable number of orders, got {oa}");
+        assert!(
+            oa > 50,
+            "should generate a reasonable number of orders, got {oa}"
+        );
     }
 }

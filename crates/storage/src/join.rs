@@ -122,7 +122,10 @@ impl JoinTree {
                 .expect("plan_order guarantees connectivity");
             tree_parent[i] = pidx;
             tree_children[pidx].push(i);
-            edges[i] = Some(TreeEdge { fk, node_is_fk_child: fk.child_table == nodes[i] });
+            edges[i] = Some(TreeEdge {
+                fk,
+                node_is_fk_child: fk.child_table == nodes[i],
+            });
         }
 
         // Per-node indexes for descent.
@@ -173,7 +176,9 @@ impl JoinTree {
                             .i64_at(r)
                             .and_then(|k| idx.get(&k))
                             .map(|rows| {
-                                rows.iter().map(|&s| counts[j][s as usize]).fold(0u64, u64::saturating_add)
+                                rows.iter()
+                                    .map(|&s| counts[j][s as usize])
+                                    .fold(0u64, u64::saturating_add)
                             })
                             .unwrap_or(0)
                             .max(1);
@@ -208,7 +213,11 @@ impl JoinTree {
                 cumulative.push(acc);
             }
             total = total.saturating_add(acc);
-            anchors.push(Anchor { node: 0, rows, cumulative });
+            anchors.push(Anchor {
+                node: 0,
+                rows,
+                cumulative,
+            });
         }
         for i in 1..n {
             let edge = edges[i].unwrap();
@@ -230,8 +239,9 @@ impl JoinTree {
             let mut rows = Vec::new();
             let mut cumulative = Vec::new();
             let mut acc = 0u64;
+            #[allow(clippy::needless_range_loop)]
             for r in 0..table.n_rows() {
-                let dangling = pkcol.i64_at(r).map_or(true, |k| !referenced.contains(&k));
+                let dangling = pkcol.i64_at(r).is_none_or(|k| !referenced.contains(&k));
                 if dangling {
                     acc = acc.saturating_add(counts[i][r]);
                     rows.push(r as u32);
@@ -240,7 +250,11 @@ impl JoinTree {
             }
             if !rows.is_empty() {
                 total = total.saturating_add(acc);
-                anchors.push(Anchor { node: i, rows, cumulative });
+                anchors.push(Anchor {
+                    node: i,
+                    rows,
+                    cumulative,
+                });
             }
         }
 
@@ -284,8 +298,7 @@ impl JoinTree {
             }
             u -= anchor_total;
         }
-        let (anchor_node, anchor_row) =
-            chosen.expect("total is the sum of anchor totals");
+        let (anchor_node, anchor_row) = chosen.expect("total is the sum of anchor totals");
         assignment[anchor_node] = Some(anchor_row);
         self.descend(db, anchor_node, anchor_row, &mut assignment, rng);
         assignment
@@ -309,8 +322,10 @@ impl JoinTree {
                 let matches = key.and_then(|k| idx.get(&k));
                 if let Some(matches) = matches.filter(|m| !m.is_empty()) {
                     // Weighted choice proportional to subtree counts.
-                    let weights: Vec<u64> =
-                        matches.iter().map(|&s| self.counts[j][s as usize]).collect();
+                    let weights: Vec<u64> = matches
+                        .iter()
+                        .map(|&s| self.counts[j][s as usize])
+                        .collect();
                     let total: u64 = weights.iter().fold(0u64, |a, &b| a.saturating_add(b));
                     let pick = if total == 0 {
                         matches[rng.gen_range(0..matches.len())]
@@ -332,8 +347,10 @@ impl JoinTree {
                 // else: branch NULL-padded (assignment[j] stays None)
             } else {
                 let idx = self.pk_index[j].as_ref().unwrap();
-                if let Some(&s) =
-                    table.column(edge.fk.child_col).i64_at(row as usize).and_then(|k| idx.get(&k))
+                if let Some(&s) = table
+                    .column(edge.fk.child_col)
+                    .i64_at(row as usize)
+                    .and_then(|k| idx.get(&k))
                 {
                     assignment[j] = Some(s);
                     self.descend(db, j, s, assignment, rng);
@@ -350,9 +367,18 @@ impl JoinTree {
         let mut columns: Vec<JoinColumnMeta> = Vec::new();
         // Per output column: how to compute it from an assignment.
         enum Src {
-            Data { node: usize, col: ColId },
-            Indicator { node: usize },
-            Factor { node: usize, factors: Vec<u32>, clamped: bool },
+            Data {
+                node: usize,
+                col: ColId,
+            },
+            Indicator {
+                node: usize,
+            },
+            Factor {
+                node: usize,
+                factors: Vec<u32>,
+                clamped: bool,
+            },
         }
         let mut sources: Vec<Src> = Vec::new();
 
@@ -394,7 +420,11 @@ impl JoinTree {
                     discrete: true,
                     nullable: false,
                 });
-                sources.push(Src::Factor { node, factors, clamped });
+                sources.push(Src::Factor {
+                    node,
+                    factors,
+                    clamped,
+                });
             }
         }
 
@@ -404,7 +434,10 @@ impl JoinTree {
             for (out, src) in data.iter_mut().zip(&sources) {
                 let v = match src {
                     Src::Data { node, col } => match assignment[*node] {
-                        Some(r) => db.table(self.nodes[*node]).column(*col).f64_or_nan(r as usize),
+                        Some(r) => db
+                            .table(self.nodes[*node])
+                            .column(*col)
+                            .f64_or_nan(r as usize),
                         None => f64::NAN,
                     },
                     Src::Indicator { node } => {
@@ -414,7 +447,11 @@ impl JoinTree {
                             0.0
                         }
                     }
-                    Src::Factor { node, factors, clamped } => match assignment[*node] {
+                    Src::Factor {
+                        node,
+                        factors,
+                        clamped,
+                    } => match assignment[*node] {
                         Some(r) => {
                             let f = factors[r as usize] as f64;
                             if *clamped {
@@ -454,7 +491,7 @@ mod tests {
         let o = db.table_id("orders").unwrap();
         let tree = JoinTree::new(&db, &[c, o]).unwrap();
         assert_eq!(tree.full_count(), 5); // 4 joined rows + customer 2 padded
-        // Root choice must not matter.
+                                          // Root choice must not matter.
         let tree2 = JoinTree::new(&db, &[o, c]).unwrap();
         assert_eq!(tree2.full_count(), 5);
     }
@@ -521,13 +558,18 @@ mod tests {
     fn three_table_chain_counts() {
         // customer ← orders ← items chain with a dangling customer and order.
         let mut db = Database::new("chain");
-        db.create_table(crate::TableSchema::new("c").pk("id")).unwrap();
+        db.create_table(crate::TableSchema::new("c").pk("id"))
+            .unwrap();
         db.create_table(
-            crate::TableSchema::new("o").pk("id").col("cid", crate::Domain::Key),
+            crate::TableSchema::new("o")
+                .pk("id")
+                .col("cid", crate::Domain::Key),
         )
         .unwrap();
         db.create_table(
-            crate::TableSchema::new("i").pk("id").col("oid", crate::Domain::Key),
+            crate::TableSchema::new("i")
+                .pk("id")
+                .col("oid", crate::Domain::Key),
         )
         .unwrap();
         db.add_foreign_key("o", "cid", "c").unwrap();
@@ -557,9 +599,12 @@ mod tests {
     fn anchored_dangling_parents_are_sampled() {
         // suppliers never referenced must appear as NULL-padded anchor rows.
         let mut db = Database::new("d");
-        db.create_table(crate::TableSchema::new("s").pk("id")).unwrap();
+        db.create_table(crate::TableSchema::new("s").pk("id"))
+            .unwrap();
         db.create_table(
-            crate::TableSchema::new("lo").pk("id").col("sid", crate::Domain::Key),
+            crate::TableSchema::new("lo")
+                .pk("id")
+                .col("sid", crate::Domain::Key),
         )
         .unwrap();
         db.add_foreign_key("lo", "sid", "s").unwrap();

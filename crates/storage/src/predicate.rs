@@ -138,7 +138,11 @@ mod tests {
         assert!(!inlist.passes(&Value::Int(25)));
         assert_eq!(inlist.eval(&Value::Null), None);
         let with_null = p(PredOp::In(vec![Value::Int(1), Value::Null]));
-        assert_eq!(with_null.eval(&Value::Int(2)), None, "no match + NULL in list = unknown");
+        assert_eq!(
+            with_null.eval(&Value::Int(2)),
+            None,
+            "no match + NULL in list = unknown"
+        );
         assert_eq!(with_null.eval(&Value::Int(1)), Some(true));
     }
 

@@ -37,7 +37,12 @@ impl Query {
     /// `SELECT COUNT(*) FROM tables WHERE …` — the cardinality-estimation
     /// query shape.
     pub fn count(tables: Vec<TableId>) -> Self {
-        Self { tables, predicates: Vec::new(), aggregate: Aggregate::CountStar, group_by: Vec::new() }
+        Self {
+            tables,
+            predicates: Vec::new(),
+            aggregate: Aggregate::CountStar,
+            group_by: Vec::new(),
+        }
     }
 
     /// Add a predicate (builder style).
@@ -151,7 +156,10 @@ mod tests {
             .unwrap();
         let c = db.table_id("customer").unwrap();
         let q = Query::count(vec![c, island]);
-        assert!(matches!(q.validate(&db), Err(StorageError::DisconnectedJoin(_))));
+        assert!(matches!(
+            q.validate(&db),
+            Err(StorageError::DisconnectedJoin(_))
+        ));
     }
 
     #[test]
@@ -167,8 +175,17 @@ mod tests {
     fn aggregate_input_extraction() {
         let db = paper_customer_order();
         let c = db.table_id("customer").unwrap();
-        let q = Query::count(vec![c]).aggregate(Aggregate::Avg(ColumnRef { table: c, column: 1 }));
-        assert_eq!(q.aggregate_input(), Some(ColumnRef { table: c, column: 1 }));
+        let q = Query::count(vec![c]).aggregate(Aggregate::Avg(ColumnRef {
+            table: c,
+            column: 1,
+        }));
+        assert_eq!(
+            q.aggregate_input(),
+            Some(ColumnRef {
+                table: c,
+                column: 1
+            })
+        );
         q.validate(&db).unwrap();
     }
 }

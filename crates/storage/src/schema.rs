@@ -18,7 +18,9 @@ pub enum Domain {
 impl Domain {
     /// Convenience constructor for categorical columns.
     pub fn categorical<S: Into<String>>(labels: impl IntoIterator<Item = S>) -> Self {
-        Domain::Categorical { labels: labels.into_iter().map(Into::into).collect() }
+        Domain::Categorical {
+            labels: labels.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Physical type implied by the domain.
@@ -58,26 +60,45 @@ pub struct TableSchema {
 
 impl TableSchema {
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), columns: Vec::new(), primary_key: None }
+        Self {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: None,
+        }
     }
 
     /// Add an integer primary-key column (non-null, `Domain::Key`).
     pub fn pk(mut self, name: impl Into<String>) -> Self {
-        assert!(self.primary_key.is_none(), "table already has a primary key");
+        assert!(
+            self.primary_key.is_none(),
+            "table already has a primary key"
+        );
         self.primary_key = Some(self.columns.len());
-        self.columns.push(ColumnDef { name: name.into(), domain: Domain::Key, nullable: false });
+        self.columns.push(ColumnDef {
+            name: name.into(),
+            domain: Domain::Key,
+            nullable: false,
+        });
         self
     }
 
     /// Add a non-null column.
     pub fn col(mut self, name: impl Into<String>, domain: Domain) -> Self {
-        self.columns.push(ColumnDef { name: name.into(), domain, nullable: false });
+        self.columns.push(ColumnDef {
+            name: name.into(),
+            domain,
+            nullable: false,
+        });
         self
     }
 
     /// Add a nullable column.
     pub fn nullable_col(mut self, name: impl Into<String>, domain: Domain) -> Self {
-        self.columns.push(ColumnDef { name: name.into(), domain, nullable: true });
+        self.columns.push(ColumnDef {
+            name: name.into(),
+            domain,
+            nullable: true,
+        });
         self
     }
 
@@ -167,7 +188,12 @@ mod tests {
 
     #[test]
     fn fk_other_side() {
-        let fk = ForeignKey { child_table: 1, child_col: 0, parent_table: 0, parent_col: 0 };
+        let fk = ForeignKey {
+            child_table: 1,
+            child_col: 0,
+            parent_table: 0,
+            parent_col: 0,
+        };
         assert_eq!(fk.other(1), 0);
         assert_eq!(fk.other(0), 1);
         assert!(fk.touches(0) && fk.touches(1) && !fk.touches(2));

@@ -22,7 +22,10 @@ impl Column {
             ColType::Int => ColumnData::Int(Vec::new()),
             ColType::Float => ColumnData::Float(Vec::new()),
         };
-        Self { data, validity: None }
+        Self {
+            data,
+            validity: None,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -77,7 +80,7 @@ impl Column {
     }
 
     pub fn is_valid(&self, row: usize) -> bool {
-        self.validity.as_ref().map_or(true, |v| v[row])
+        self.validity.as_ref().is_none_or(|v| v[row])
     }
 
     fn push(&mut self, value: &Value) -> Result<(), StorageError> {
@@ -139,8 +142,16 @@ pub struct Table {
 
 impl Table {
     pub fn new(schema: TableSchema) -> Self {
-        let columns = schema.columns().iter().map(|c| Column::new(c.domain.col_type())).collect();
-        Self { schema, columns, n_rows: 0 }
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| Column::new(c.domain.col_type()))
+            .collect();
+        Self {
+            schema,
+            columns,
+            n_rows: 0,
+        }
     }
 
     pub fn schema(&self) -> &TableSchema {
@@ -186,7 +197,10 @@ impl Table {
     /// across deletes — callers must rebuild indexes).
     pub fn swap_remove_row(&mut self, row: usize) -> Result<Vec<Value>, StorageError> {
         if row >= self.n_rows {
-            return Err(StorageError::RowOutOfRange { row, n_rows: self.n_rows });
+            return Err(StorageError::RowOutOfRange {
+                row,
+                n_rows: self.n_rows,
+            });
         }
         let values = self.row_values(row);
         for col in &mut self.columns {
@@ -227,8 +241,10 @@ mod tests {
     #[test]
     fn push_and_read_back() {
         let mut t = customer();
-        t.push_row(&[Value::Int(1), Value::Int(30), Value::Float(0.5)]).unwrap();
-        t.push_row(&[Value::Int(2), Value::Int(40), Value::Null]).unwrap();
+        t.push_row(&[Value::Int(1), Value::Int(30), Value::Float(0.5)])
+            .unwrap();
+        t.push_row(&[Value::Int(2), Value::Int(40), Value::Null])
+            .unwrap();
         assert_eq!(t.n_rows(), 2);
         assert_eq!(t.value(0, 1), Value::Int(30));
         assert!(t.value(1, 2).is_null());
@@ -262,7 +278,8 @@ mod tests {
     fn swap_remove_keeps_remaining_rows() {
         let mut t = customer();
         for i in 0..3 {
-            t.push_row(&[Value::Int(i), Value::Int(10 * i), Value::Float(i as f64)]).unwrap();
+            t.push_row(&[Value::Int(i), Value::Int(10 * i), Value::Float(i as f64)])
+                .unwrap();
         }
         let removed = t.swap_remove_row(0).unwrap();
         assert_eq!(removed[0], Value::Int(0));
@@ -275,7 +292,8 @@ mod tests {
     #[test]
     fn find_pk_scans() {
         let mut t = customer();
-        t.push_row(&[Value::Int(7), Value::Int(1), Value::Null]).unwrap();
+        t.push_row(&[Value::Int(7), Value::Int(1), Value::Null])
+            .unwrap();
         assert_eq!(t.find_pk(7), Some(0));
         assert_eq!(t.find_pk(8), None);
     }
@@ -283,7 +301,8 @@ mod tests {
     #[test]
     fn int_literal_coerces_into_float_column() {
         let mut t = customer();
-        t.push_row(&[Value::Int(1), Value::Int(5), Value::Int(2)]).unwrap();
+        t.push_row(&[Value::Int(1), Value::Int(5), Value::Int(2)])
+            .unwrap();
         assert_eq!(t.value(0, 2), Value::Float(2.0));
     }
 }

@@ -153,7 +153,10 @@ mod tests {
         assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
         assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
-        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(2.0)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]

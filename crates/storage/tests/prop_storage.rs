@@ -29,14 +29,25 @@ fn build_db(customers: &[(i64, i64)], orders: &[(usize, i64)]) -> Database {
     for (i, &(age, region)) in customers.iter().enumerate() {
         db.insert(
             "customer",
-            &[Value::Int(i as i64 + 1), Value::Int(age), Value::Int(region)],
+            &[
+                Value::Int(i as i64 + 1),
+                Value::Int(age),
+                Value::Int(region),
+            ],
         )
         .unwrap();
     }
     for (j, &(ci, channel)) in orders.iter().enumerate() {
         let cid = (ci % customers.len()) as i64 + 1;
-        db.insert("orders", &[Value::Int(j as i64 + 1), Value::Int(cid), Value::Int(channel)])
-            .unwrap();
+        db.insert(
+            "orders",
+            &[
+                Value::Int(j as i64 + 1),
+                Value::Int(cid),
+                Value::Int(channel),
+            ],
+        )
+        .unwrap();
     }
     db
 }
@@ -53,10 +64,7 @@ fn brute_force_count(
     for (j, &(ci, ch)) in orders.iter().enumerate() {
         let _ = j;
         let (age, reg) = customers[ci % customers.len()];
-        if age >= age_min
-            && region.map_or(true, |r| reg == r)
-            && channel.map_or(true, |c| ch == c)
-        {
+        if age >= age_min && region.is_none_or(|r| reg == r) && channel.is_none_or(|c| ch == c) {
             count += 1;
         }
     }

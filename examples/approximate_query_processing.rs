@@ -10,20 +10,29 @@ use deepdb::data::{flights, Scale};
 use deepdb::prelude::*;
 
 fn main() -> Result<(), DeepDbError> {
-    let scale = Scale { factor: 0.3, seed: 3 };
+    let scale = Scale {
+        factor: 0.3,
+        seed: 3,
+    };
     let db = flights::generate(scale);
     let f = db.table_id("flights")?;
     println!("flights table: {} rows", db.table(f).n_rows());
 
     let mut ensemble = EnsembleBuilder::new(&db)
-        .params(EnsembleParams { seed: scale.seed, ..EnsembleParams::default() })
+        .params(EnsembleParams {
+            seed: scale.seed,
+            ..EnsembleParams::default()
+        })
         .build()?;
 
     // Scalar AVG with CI: average departure delay of one airline.
     use deepdb::data::flights::cols;
     let q = Query::count(vec![f])
         .filter(f, cols::AIRLINE, PredOp::Cmp(CmpOp::Eq, Value::Int(2)))
-        .aggregate(Aggregate::Avg(ColumnRef { table: f, column: cols::DEP_DELAY }));
+        .aggregate(Aggregate::Avg(ColumnRef {
+            table: f,
+            column: cols::DEP_DELAY,
+        }));
     let truth = execute(&db, &q).expect("executor").scalar().avg().unwrap();
     let t0 = std::time::Instant::now();
     let out = execute_aqp(&mut ensemble, &db, &q)?;
@@ -61,7 +70,10 @@ fn main() -> Result<(), DeepDbError> {
         .filter(f, cols::ORIGIN, PredOp::Cmp(CmpOp::Eq, Value::Int(9)))
         .filter(f, cols::MONTH, PredOp::Cmp(CmpOp::Eq, Value::Int(2)))
         .filter(f, cols::YEAR, PredOp::Cmp(CmpOp::Eq, Value::Int(2016)))
-        .aggregate(Aggregate::Sum(ColumnRef { table: f, column: cols::DISTANCE }));
+        .aggregate(Aggregate::Sum(ColumnRef {
+            table: f,
+            column: cols::DISTANCE,
+        }));
     let truth = execute(&db, &q).expect("executor").scalar().sum;
     if let AqpOutput::Scalar(r) = execute_aqp(&mut ensemble, &db, &q)? {
         println!(

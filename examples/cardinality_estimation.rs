@@ -8,12 +8,15 @@
 //!
 //! Run with: `cargo run --release --example cardinality_estimation`
 
-use deepdb::prelude::*;
 use deepdb::baselines::postgres::PostgresEstimator;
 use deepdb::data::{imdb, joblight, Scale};
+use deepdb::prelude::*;
 
 fn main() -> Result<(), DeepDbError> {
-    let scale = Scale { factor: 0.2, seed: 7 };
+    let scale = Scale {
+        factor: 0.2,
+        seed: 7,
+    };
     println!("generating IMDb-synth (JOB-light schema)...");
     let db = imdb::generate(scale);
     println!(
@@ -26,13 +29,23 @@ fn main() -> Result<(), DeepDbError> {
     println!("learning the RSPN ensemble (data-driven, no workload needed)...");
     let t0 = std::time::Instant::now();
     let mut ensemble = EnsembleBuilder::new(&db)
-        .params(EnsembleParams { seed: scale.seed, ..EnsembleParams::default() })
+        .params(EnsembleParams {
+            seed: scale.seed,
+            ..EnsembleParams::default()
+        })
         .build()?;
-    println!("ensemble ready in {:.1?}: {} RSPNs\n", t0.elapsed(), ensemble.rspns().len());
+    println!(
+        "ensemble ready in {:.1?}: {} RSPNs\n",
+        t0.elapsed(),
+        ensemble.rspns().len()
+    );
 
     let postgres = PostgresEstimator::analyze(&db);
 
-    println!("{:<8} {:>10} {:>12} {:>12} {:>8} {:>8}", "query", "truth", "deepdb", "postgres", "q(deep)", "q(pg)");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>8} {:>8}",
+        "query", "truth", "deepdb", "postgres", "q(deep)", "q(pg)"
+    );
     let workload = joblight::job_light(&db, scale.seed);
     let qerr = |est: f64, truth: f64| -> f64 {
         let t = truth.max(1.0);
@@ -48,7 +61,12 @@ fn main() -> Result<(), DeepDbError> {
         pg_qs.push(qerr(p, truth));
         println!(
             "{:<8} {:>10.0} {:>12.1} {:>12.1} {:>8.2} {:>8.2}",
-            nq.name, truth, d, p, qerr(d, truth), qerr(p, truth)
+            nq.name,
+            truth,
+            d,
+            p,
+            qerr(d, truth),
+            qerr(p, truth)
         );
     }
     let med = |v: &mut Vec<f64>| {

@@ -11,7 +11,10 @@ use deepdb::data::{joblight, updates, Scale};
 use deepdb::prelude::*;
 
 fn main() -> Result<(), DeepDbError> {
-    let scale = Scale { factor: 0.15, seed: 9 };
+    let scale = Scale {
+        factor: 0.15,
+        seed: 9,
+    };
     let (mut db, stream) = updates::split_imdb_random(scale, 0.2, 11);
     println!(
         "initial database: {} rows; held-out insert stream: {} tuples",
@@ -19,7 +22,10 @@ fn main() -> Result<(), DeepDbError> {
         stream.len()
     );
 
-    let mut params = EnsembleParams { seed: scale.seed, ..EnsembleParams::default() };
+    let mut params = EnsembleParams {
+        seed: scale.seed,
+        ..EnsembleParams::default()
+    };
     params.budget_factor = 0.0; // base ensemble, as in the paper's Table 2
     let mut ensemble = EnsembleBuilder::new(&db).params(params).build()?;
 
@@ -30,8 +36,7 @@ fn main() -> Result<(), DeepDbError> {
             .iter()
             .map(|nq| {
                 let truth = execute(db, &nq.query).expect("executor").scalar().count as f64;
-                let est =
-                    compile::estimate_cardinality(ens, db, &nq.query).expect("estimate");
+                let est = compile::estimate_cardinality(ens, db, &nq.query).expect("estimate");
                 (est.max(1.0) / truth.max(1.0)).max(truth.max(1.0) / est.max(1.0))
             })
             .collect();
@@ -39,7 +44,10 @@ fn main() -> Result<(), DeepDbError> {
         qs[qs.len() / 2]
     };
 
-    println!("median q-error before updates: {:.3}", median_qerr(&mut ensemble, &db));
+    println!(
+        "median q-error before updates: {:.3}",
+        median_qerr(&mut ensemble, &db)
+    );
 
     let t0 = std::time::Instant::now();
     let n = stream.len();
@@ -54,7 +62,10 @@ fn main() -> Result<(), DeepDbError> {
         n as f64 / dt.as_secs_f64()
     );
 
-    println!("median q-error after updates:  {:.3}", median_qerr(&mut ensemble, &db));
+    println!(
+        "median q-error after updates:  {:.3}",
+        median_qerr(&mut ensemble, &db)
+    );
 
     // Deletes are supported symmetrically.
     let title = db.table_id("title")?;

@@ -11,12 +11,18 @@ use deepdb::data::{flights, Scale};
 use deepdb::prelude::*;
 
 fn main() -> Result<(), DeepDbError> {
-    let scale = Scale { factor: 0.2, seed: 5 };
+    let scale = Scale {
+        factor: 0.2,
+        seed: 5,
+    };
     let db = flights::generate(scale);
     let f = db.table_id("flights")?;
 
     let mut ensemble = EnsembleBuilder::new(&db)
-        .params(EnsembleParams { seed: scale.seed, ..EnsembleParams::default() })
+        .params(EnsembleParams {
+            seed: scale.seed,
+            ..EnsembleParams::default()
+        })
         .build()?;
     println!("ensemble learned once; every task below reuses it.\n");
 
@@ -64,10 +70,18 @@ fn main() -> Result<(), DeepDbError> {
     // Compare one regression against the exact conditional mean.
     let q = Query::count(vec![f])
         .filter(f, cols::ORIGIN, PredOp::Cmp(CmpOp::Eq, Value::Int(2)))
-        .aggregate(Aggregate::Avg(ColumnRef { table: f, column: cols::TAXI_OUT }));
+        .aggregate(Aggregate::Avg(ColumnRef {
+            table: f,
+            column: cols::TAXI_OUT,
+        }));
     let exact = execute(&db, &q).expect("executor").scalar().avg().unwrap();
-    let pred =
-        predict_regression(&mut ensemble, &db, f, cols::TAXI_OUT, &[(cols::ORIGIN, Value::Int(2))])?;
+    let pred = predict_regression(
+        &mut ensemble,
+        &db,
+        f,
+        cols::TAXI_OUT,
+        &[(cols::ORIGIN, Value::Int(2))],
+    )?;
     println!("E[taxi_out | origin=2] = {pred:.2} (exact {exact:.2})");
     Ok(())
 }

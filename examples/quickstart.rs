@@ -28,14 +28,23 @@ fn main() -> Result<(), DeepDbError> {
     println!(
         "learned {} RSPN(s); joint full-outer-join size |J| = {}",
         ensemble.rspns().len(),
-        ensemble.rspns().iter().map(|r| r.full_join_count()).max().unwrap_or(0),
+        ensemble
+            .rspns()
+            .iter()
+            .map(|r| r.full_join_count())
+            .max()
+            .unwrap_or(0),
     );
 
     // Q1: SELECT COUNT(*) FROM customer WHERE c_region = 'EUROPE'  → 2.
-    let q1 = Query::count(vec![customer]).filter(customer, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+    let q1 =
+        Query::count(vec![customer]).filter(customer, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
     let est = compile::estimate_count(&mut ensemble, &db, &q1)?;
     let truth = execute(&db, &q1).expect("executor").scalar().count;
-    println!("Q1 (European customers):      estimate {:.2}, truth {truth}", est.value);
+    println!(
+        "Q1 (European customers):      estimate {:.2}, truth {truth}",
+        est.value
+    );
 
     // Q2: COUNT over customer ⋈ orders WHERE region=EUROPE AND channel=ONLINE → 1.
     let q2 = Query::count(vec![customer, orders])
@@ -43,39 +52,60 @@ fn main() -> Result<(), DeepDbError> {
         .filter(orders, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
     let est = compile::estimate_count(&mut ensemble, &db, &q2)?;
     let truth = execute(&db, &q2).expect("executor").scalar().count;
-    println!("Q2 (EU online orders):        estimate {:.2}, truth {truth}", est.value);
+    println!(
+        "Q2 (EU online orders):        estimate {:.2}, truth {truth}",
+        est.value
+    );
 
     // Q3: AVG(c_age) of European customers → 35 (not the join-weighted 30!).
     let q3 = Query::count(vec![customer])
         .filter(customer, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
-        .aggregate(Aggregate::Avg(ColumnRef { table: customer, column: 1 }));
+        .aggregate(Aggregate::Avg(ColumnRef {
+            table: customer,
+            column: 1,
+        }));
     let est = compile::estimate_avg(&mut ensemble, &db, &q3)?;
-    println!("Q3 (AVG age of Europeans):    estimate {:.2}, truth 35.00", est.value);
+    println!(
+        "Q3 (AVG age of Europeans):    estimate {:.2}, truth 35.00",
+        est.value
+    );
 
     // AQP with a confidence interval.
     let out = execute_aqp(&mut ensemble, &db, &q1)?;
     if let AqpOutput::Scalar(r) = out {
-        println!("Q1 with 95% CI:               {:.2} ∈ [{:.2}, {:.2}]", r.value, r.ci_low, r.ci_high);
+        println!(
+            "Q1 with 95% CI:               {:.2} ∈ [{:.2}, {:.2}]",
+            r.value, r.ci_low, r.ci_high
+        );
     }
 
     // Direct updates (paper Algorithm 1): insert young European customers —
     // the motivating scenario of §3.2 — and watch the model track them.
     println!("\ninserting 3 young European customers (no retraining)...");
     for (id, age) in [(4, 22), (5, 25), (6, 28)] {
-        ensemble.apply_insert(&mut db, customer, &[Value::Int(id), Value::Int(age), Value::Int(0)])?;
+        ensemble.apply_insert(
+            &mut db,
+            customer,
+            &[Value::Int(id), Value::Int(age), Value::Int(0)],
+        )?;
     }
     let est = compile::estimate_count(&mut ensemble, &db, &q1)?;
     let truth = execute(&db, &q1).expect("executor").scalar().count;
-    println!("Q1 after updates:             estimate {:.2}, truth {truth}", est.value);
+    println!(
+        "Q1 after updates:             estimate {:.2}, truth {truth}",
+        est.value
+    );
 
     // Ensembles persist like indexes: snapshot, reload, keep estimating.
     let path = std::env::temp_dir().join("deepdb_quickstart.ens");
     ensemble.save_to_file(&path).expect("snapshot");
     let mut reloaded = Ensemble::load_from_file(&path).expect("reload");
     let est = compile::estimate_count(&mut reloaded, &db, &q1)?;
-    println!("Q1 from reloaded snapshot:    estimate {:.2} ({} bytes on disk)",
+    println!(
+        "Q1 from reloaded snapshot:    estimate {:.2} ({} bytes on disk)",
         est.value,
-        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0));
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
     let _ = std::fs::remove_file(&path);
     Ok(())
 }

@@ -48,11 +48,23 @@
 //! | Crate | Contents |
 //! |---|---|
 //! | [`storage`] | columnar tables, FK catalog, ground-truth executor, full-outer-join sampler |
-//! | [`spn`] | RDC, k-means, leaves, SPN learning/inference/updates |
+//! | [`spn`] | RDC, k-means, leaves, SPN learning/updates; recursive oracle **and** the compiled arena/batch engine ([`spn::CompiledSpn`], [`spn::BatchEvaluator`]) |
 //! | [`core_`] | RSPNs, ensembles, probabilistic query compilation, AQP, CIs, ML |
+//! | [`linalg`] | dense matrices, Cholesky, symmetric eigen, CCA (for RDC) |
 //! | [`nn`] | MLP + Adam + multi-set network (for the learned baselines) |
 //! | [`baselines`] | Postgres-style, IBJS, sampling, MCSN, VerdictDB-, TABLESAMPLE-, WanderJoin-, DBEst-style, regression tree |
 //! | [`data`] | synthetic IMDb (JOB-light), SSB, Flights generators + workloads |
+//!
+//! ## Inference engine
+//!
+//! Every expectation probe issued by the layers above runs on the
+//! **arena-compiled** SPN: the tree is flattened into contiguous
+//! struct-of-arrays storage in bottom-up topological order and whole query
+//! batches are evaluated in one non-recursive sweep
+//! ([`spn::BatchEvaluator`]). Models compile at learn/load time; inserts and
+//! deletes mark them dirty and the next evaluation recompiles (or call
+//! [`Ensemble::recompile_models`] eagerly after a bulk update). The
+//! recursive evaluator remains as the differential-test oracle and MPE path.
 
 pub use deepdb_baselines as baselines;
 pub use deepdb_core as core_;
@@ -68,15 +80,15 @@ pub use deepdb_core::{
     EnsembleParams, EnsembleStrategy, Estimate, FunctionalDependency, Rspn,
 };
 pub use deepdb_storage::{
-    execute, Aggregate, CmpOp, ColumnRef, Database, Domain, PredOp, Predicate, Query,
-    TableSchema, Value,
+    execute, Aggregate, CmpOp, ColumnRef, Database, Domain, PredOp, Predicate, Query, TableSchema,
+    Value,
 };
 
 /// Everything needed for typical use, importable as `use deepdb::prelude::*`.
 pub mod prelude {
     pub use crate::{
         compile, execute, execute_aqp, Aggregate, AqpOutput, CmpOp, ColumnRef, Database,
-        DeepDbError, Domain, Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy,
-        PredOp, Query, TableSchema, Value,
+        DeepDbError, Domain, Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy, PredOp,
+        Query, TableSchema, Value,
     };
 }

@@ -4,10 +4,18 @@
 use deepdb::data::{flights, imdb, joblight, ssb, updates, Scale};
 use deepdb::prelude::*;
 
-const SCALE: Scale = Scale { factor: 0.08, seed: 17 };
+const SCALE: Scale = Scale {
+    factor: 0.08,
+    seed: 17,
+};
 
 fn params() -> EnsembleParams {
-    EnsembleParams { sample_size: 20_000, correlation_sample: 1_500, seed: 17, ..EnsembleParams::default() }
+    EnsembleParams {
+        sample_size: 20_000,
+        correlation_sample: 1_500,
+        seed: 17,
+        ..EnsembleParams::default()
+    }
 }
 
 fn median(mut v: Vec<f64>) -> f64 {
@@ -31,7 +39,10 @@ fn imdb_joblight_cardinality_pipeline() {
         })
         .collect();
     let med = median(qs);
-    assert!(med < 2.0, "median q-error {med} too high for an end-to-end sanity bound");
+    assert!(
+        med < 2.0,
+        "median q-error {med} too high for an end-to-end sanity bound"
+    );
 }
 
 #[test]
@@ -44,10 +55,17 @@ fn flights_aqp_pipeline_with_confidence() {
         let out = execute_aqp(&mut ens, &db, &nq.query).unwrap();
         match out {
             AqpOutput::Scalar(r) => {
-                let truth = truth_out.scalar().value_for(nq.query.aggregate).unwrap_or(0.0);
+                let truth = truth_out
+                    .scalar()
+                    .value_for(nq.query.aggregate)
+                    .unwrap_or(0.0);
                 let rel = (r.value - truth).abs() / truth.abs().max(1.0);
                 assert!(rel < 0.35, "{}: rel error {rel}", nq.name);
-                assert!(r.ci_low <= r.value && r.value <= r.ci_high, "{}: CI ordering", nq.name);
+                assert!(
+                    r.ci_low <= r.value && r.value <= r.ci_high,
+                    "{}: CI ordering",
+                    nq.name
+                );
                 checked += 1;
             }
             AqpOutput::Grouped(groups) => {
@@ -61,7 +79,10 @@ fn flights_aqp_pipeline_with_confidence() {
 
 #[test]
 fn ssb_fd_declarations_answer_region_queries() {
-    let db = ssb::generate(Scale { factor: 0.03, seed: 17 });
+    let db = ssb::generate(Scale {
+        factor: 0.03,
+        seed: 17,
+    });
     let c = db.table_id("customer").unwrap();
     let s = db.table_id("supplier").unwrap();
     // Declare nation → region; region columns are then answered via the FD
@@ -108,7 +129,10 @@ fn update_stream_keeps_estimates_calibrated() {
 
 #[test]
 fn ml_regression_beats_marginal_mean_on_correlated_target() {
-    let db = flights::generate(Scale { factor: 0.05, seed: 17 });
+    let db = flights::generate(Scale {
+        factor: 0.05,
+        seed: 17,
+    });
     let f = db.table_id("flights").unwrap();
     let mut ens = EnsembleBuilder::new(&db).params(params()).build().unwrap();
     use deepdb::data::flights::cols;
@@ -124,8 +148,14 @@ fn ml_regression_beats_marginal_mean_on_correlated_target() {
     for r in 0..n_test {
         let truth = table.column(cols::AIR_TIME).f64_or_nan(r);
         let d = table.value(r, cols::DISTANCE);
-        let pred = deepdb::ml::predict_regression(&mut ens, &db, f, cols::AIR_TIME, &[(cols::DISTANCE, d)])
-            .unwrap();
+        let pred = deepdb::ml::predict_regression(
+            &mut ens,
+            &db,
+            f,
+            cols::AIR_TIME,
+            &[(cols::DISTANCE, d)],
+        )
+        .unwrap();
         se_model += (pred - truth) * (pred - truth);
         se_mean += (mean - truth) * (mean - truth);
     }
@@ -141,7 +171,10 @@ fn ml_regression_beats_marginal_mean_on_correlated_target() {
 fn estimation_never_touches_base_tables_after_learning() {
     // DeepDB's contract: estimates come from the models. Drop the data
     // after learning and keep estimating.
-    let db = imdb::generate(Scale { factor: 0.03, seed: 17 });
+    let db = imdb::generate(Scale {
+        factor: 0.03,
+        seed: 17,
+    });
     let mut ens = EnsembleBuilder::new(&db).params(params()).build().unwrap();
     let workload = joblight::job_light(&db, 31);
     let q = &workload[0].query;
@@ -150,5 +183,8 @@ fn estimation_never_touches_base_tables_after_learning() {
     // consulted at estimation time.
     let empty = imdb::schema();
     let after = compile::estimate_cardinality(&mut ens, &empty, q).unwrap();
-    assert_eq!(before, after, "estimates must be independent of table contents");
+    assert_eq!(
+        before, after,
+        "estimates must be independent of table contents"
+    );
 }

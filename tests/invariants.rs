@@ -12,7 +12,10 @@ use std::sync::OnceLock;
 fn fixture() -> &'static (Database, std::sync::Mutex<Ensemble>) {
     static FIX: OnceLock<(Database, std::sync::Mutex<Ensemble>)> = OnceLock::new();
     FIX.get_or_init(|| {
-        let db = imdb::generate(Scale { factor: 0.03, seed: 5 });
+        let db = imdb::generate(Scale {
+            factor: 0.03,
+            seed: 5,
+        });
         let ens = EnsembleBuilder::new(&db)
             .params(EnsembleParams {
                 sample_size: 10_000,

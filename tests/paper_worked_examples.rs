@@ -9,14 +9,21 @@ fn ensemble_for(db: &Database, joint: bool) -> Ensemble {
         rdc_threshold: if joint { 0.0 } else { 2.0 }, // force joint vs singles
         ..EnsembleParams::default()
     };
-    EnsembleBuilder::new(db).params(params).build().expect("ensemble")
+    EnsembleBuilder::new(db)
+        .params(params)
+        .build()
+        .expect("ensemble")
 }
 
 #[test]
 fn figure_5b_full_outer_join_has_five_rows() {
     let db = deepdb::storage::fixtures::paper_customer_order();
     let ens = ensemble_for(&db, true);
-    let joint = ens.rspns().iter().find(|r| r.tables().len() == 2).expect("joint RSPN");
+    let joint = ens
+        .rspns()
+        .iter()
+        .find(|r| r.tables().len() == 2)
+        .expect("joint RSPN");
     assert_eq!(joint.full_join_count(), 5);
 }
 
@@ -59,7 +66,10 @@ fn q3_avg_age_of_europeans_is_35_not_join_weighted() {
     let c = db.table_id("customer").unwrap();
     let q = Query::count(vec![c])
         .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
-        .aggregate(Aggregate::Avg(ColumnRef { table: c, column: 1 }));
+        .aggregate(Aggregate::Avg(ColumnRef {
+            table: c,
+            column: 1,
+        }));
     let est = compile::estimate_avg(&mut ens, &db, &q).unwrap();
     assert!((est.value - 35.0).abs() < 2.0, "Q3 = {}", est.value);
 }
@@ -70,7 +80,10 @@ fn figure_3d_style_probability_query() {
     // validated statistically on the correlated fixture.
     let db = deepdb::storage::fixtures::correlated_customer_order(3000, 77);
     let mut ens = EnsembleBuilder::new(&db)
-        .params(EnsembleParams { sample_size: 30_000, ..EnsembleParams::default() })
+        .params(EnsembleParams {
+            sample_size: 30_000,
+            ..EnsembleParams::default()
+        })
         .build()
         .unwrap();
     let c = db.table_id("customer").unwrap();
@@ -94,10 +107,17 @@ fn inserting_young_europeans_updates_the_model() {
         .filter(c, 1, PredOp::Cmp(CmpOp::Lt, Value::Int(30)));
     let before = compile::estimate_count(&mut ens, &db, &q).unwrap().value;
     for id in 10..30 {
-        ens.apply_insert(&mut db, c, &[Value::Int(id), Value::Int(25), Value::Int(0)]).unwrap();
+        ens.apply_insert(&mut db, c, &[Value::Int(id), Value::Int(25), Value::Int(0)])
+            .unwrap();
     }
     let after = compile::estimate_count(&mut ens, &db, &q).unwrap().value;
     let truth = execute(&db, &q).unwrap().scalar().count as f64;
-    assert!(after > before + 10.0, "model must absorb the inserts: {before} → {after}");
-    assert!((after - truth).abs() / truth < 0.35, "after = {after}, truth = {truth}");
+    assert!(
+        after > before + 10.0,
+        "model must absorb the inserts: {before} → {after}"
+    );
+    assert!(
+        (after - truth).abs() / truth < 0.35,
+        "after = {after}, truth = {truth}"
+    );
 }
