@@ -3,14 +3,26 @@
 //! COUNT/SUM/AVG queries — optionally with GROUP BY — are answered purely
 //! from the models: no table data is touched at query time. Group-by queries
 //! are compiled into one estimate per group over the observed domain of the
-//! grouping columns (paper §4.2), and every estimate carries the §5.1
-//! confidence interval.
+//! grouping columns (paper §4.2) — including a NULL group for nullable
+//! grouping columns — and every estimate carries the §5.1 confidence
+//! interval.
+//!
+//! GROUP BY enumeration is **plan-fused**: every group's probe bundle
+//! (count fraction, probability factor, second moment, AVG
+//! numerator/denominator) is registered on one [`crate::ProbePlan`], so the
+//! whole result set costs exactly one fused arena sweep per touched RSPN
+//! member, parallelized across the ensemble's probe-thread budget. Groups
+//! whose COUNT needs Case-3 RSPN combination resolve through the eager
+//! fallback inside [`crate::compile::resolve_scalar`].
 
-use deepdb_storage::{Aggregate, Database, Domain, PredOp, Query, Value};
+use deepdb_storage::{Aggregate, Database, Domain, Query, Value};
 
-use crate::compile::{estimate_avg, estimate_count, estimate_count_values, estimate_sum};
+use crate::compile::{
+    estimate_count_values_inner, register_scalar, resolve_scalar, value_predicate,
+};
 use crate::ensemble::Ensemble;
 use crate::estimate::Estimate;
+use crate::plan::ProbePlan;
 use crate::DeepDbError;
 
 /// One approximate aggregate with its confidence interval.
@@ -60,6 +72,11 @@ pub fn execute_aqp(
     query: &Query,
 ) -> Result<AqpOutput, DeepDbError> {
     query.validate(db)?;
+    // The one mutable step of the query path: recompile update-dirtied
+    // engines. Everything after evaluates on `&Ensemble`.
+    ens.recompile_models();
+    let ens: &Ensemble = ens;
+
     if query.group_by.is_empty() {
         let (agg, count) = scalar_estimates(ens, db, query)?;
         return Ok(AqpOutput::Scalar(to_result(agg, count)));
@@ -83,7 +100,7 @@ pub fn execute_aqp(
                 table: g.table,
                 column: g.column,
             };
-            let counts = estimate_count_values(ens, db, &mq, target, &domain)?;
+            let counts = estimate_count_values_inner(ens, db, &mq, target, &domain)?;
             domain
                 .into_iter()
                 .zip(counts)
@@ -98,7 +115,12 @@ pub fn execute_aqp(
         }
         group_domains.push(survivors);
     }
-    let mut groups = Vec::new();
+
+    // Enumerate all group combinations (mixed-radix counter) and register
+    // every group's full probe bundle on ONE plan, then sweep each touched
+    // member once.
+    let mut plan = ProbePlan::new();
+    let mut pending = Vec::new();
     let mut combo = vec![0usize; group_domains.len()];
     'outer: loop {
         let key: Vec<Value> = combo
@@ -109,17 +131,9 @@ pub fn execute_aqp(
         let mut gq = query.clone();
         gq.group_by.clear();
         for (g, v) in query.group_by.iter().zip(&key) {
-            gq.predicates.push(deepdb_storage::Predicate::new(
-                g.table,
-                g.column,
-                PredOp::Cmp(deepdb_storage::CmpOp::Eq, *v),
-            ));
+            gq.predicates.push(value_predicate(g.table, g.column, *v));
         }
-        let (agg, count) = scalar_estimates(ens, db, &gq)?;
-        // Suppress groups the model considers empty (< half a row).
-        if count.value >= 0.5 {
-            groups.push((key, to_result(agg, count)));
-        }
+        pending.push((key, register_scalar(&mut plan, ens, &gq)?));
         // Advance the mixed-radix counter over group combinations.
         for d in 0..combo.len() {
             combo[d] += 1;
@@ -129,6 +143,16 @@ pub fn execute_aqp(
             combo[d] = 0;
         }
         break;
+    }
+
+    let results = plan.execute(ens);
+    let mut groups = Vec::new();
+    for (key, deferred) in pending {
+        let (agg, count) = resolve_scalar(ens, db, &deferred, &results)?;
+        // Suppress groups the model considers empty (< half a row).
+        if count.value >= 0.5 {
+            groups.push((key, to_result(agg, count)));
+        }
     }
     Ok(AqpOutput::Grouped(groups))
 }
@@ -143,26 +167,25 @@ fn to_result(agg: Estimate, count: Estimate) -> AqpResult {
     }
 }
 
-/// (aggregate estimate, count estimate) for a scalar query.
+/// (aggregate estimate, count estimate) for a scalar query: one plan, one
+/// fused sweep per touched member (COUNT and the aggregate's probes ride
+/// together even when they pick different members).
 fn scalar_estimates(
-    ens: &mut Ensemble,
+    ens: &Ensemble,
     db: &Database,
     query: &Query,
 ) -> Result<(Estimate, Estimate), DeepDbError> {
-    let mut count_q = query.clone();
-    count_q.aggregate = Aggregate::CountStar;
-    count_q.group_by.clear();
-    let count = estimate_count(ens, db, &count_q)?;
-    let agg = match query.aggregate {
-        Aggregate::CountStar => count,
-        Aggregate::Avg(_) => estimate_avg(ens, db, query)?,
-        Aggregate::Sum(_) => estimate_sum(ens, db, query)?,
-    };
-    Ok((agg, count))
+    let mut scalar_q = query.clone();
+    scalar_q.group_by.clear();
+    let mut plan = ProbePlan::new();
+    let deferred = register_scalar(&mut plan, ens, &scalar_q)?;
+    let results = plan.execute(ens);
+    resolve_scalar(ens, db, &deferred, &results)
 }
 
-/// Observed domain of a grouping column, from RSPN distinct-value tracking,
-/// falling back to the catalog's categorical labels.
+/// Observed domain of a grouping column, from RSPN distinct-value tracking
+/// (plus a NULL group when the column is nullable — SQL groups NULLs
+/// together), falling back to the catalog's categorical labels.
 fn group_domain(
     ens: &Ensemble,
     db: &Database,
@@ -173,21 +196,31 @@ fn group_domain(
         if let Some(col) = rspn.data_column(table, column) {
             if let Some(values) = rspn.distinct_values(col) {
                 let def = &db.table(table).schema().columns()[column];
-                let as_values = values
+                let mut as_values: Vec<Value> = values
                     .into_iter()
                     .map(|v| match def.domain {
                         Domain::Continuous => Value::Float(v),
                         _ => Value::Int(v as i64),
                     })
                     .collect();
+                if rspn.columns()[col].nullable {
+                    // Candidate NULL group; the model suppresses it like any
+                    // other empty group if no NULLs were actually observed.
+                    as_values.push(Value::Null);
+                }
                 return Ok(as_values);
             }
         }
     }
-    // Fallback: categorical labels from the schema.
+    // Fallback: categorical labels from the schema (plus the NULL group for
+    // nullable columns, mirroring the distinct-values path above).
     let def = &db.table(table).schema().columns()[column];
     if let Domain::Categorical { labels } = &def.domain {
-        return Ok((0..labels.len() as i64).map(Value::Int).collect());
+        let mut vals: Vec<Value> = (0..labels.len() as i64).map(Value::Int).collect();
+        if def.nullable {
+            vals.push(Value::Null);
+        }
+        return Ok(vals);
     }
     Err(DeepDbError::Unsupported(format!(
         "cannot enumerate GROUP BY domain for ({table}, {column})"

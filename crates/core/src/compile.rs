@@ -13,6 +13,17 @@
 //!
 //! RSPN choice is greedy by the sum of pairwise RDC values among the filter
 //! columns an RSPN can handle ("Execution Strategy", §4.1).
+//!
+//! Probes are **deferred, not eager**: the `register_*` functions translate
+//! a (sub)query into [`deepdb_spn::SpnQuery`] probes on a [`ProbePlan`] and return typed
+//! deferred estimates holding [`ProbeHandle`]s; a single
+//! [`ProbePlan::execute`] then sweeps each touched RSPN member's arena once
+//! and the deferred values `resolve` against the results. Entry points that
+//! need only one bundle (a scalar COUNT, one Theorem-2 extension step) build
+//! a local plan; `aqp::execute_aqp` fuses the bundles of *every* GROUP BY
+//! group into one plan. Case 3 extension is inherently sequential (each step
+//! depends on the covered set so far) and stays eager, but each step's
+//! probes are still fused.
 
 use std::collections::BTreeSet;
 
@@ -21,6 +32,7 @@ use deepdb_storage::{Aggregate, ColumnRef, Database, Predicate, Query, TableId};
 
 use crate::ensemble::Ensemble;
 use crate::estimate::Estimate;
+use crate::plan::{ProbeHandle, ProbePlan, ProbeResults};
 use crate::rspn::count_fraction_query;
 use crate::DeepDbError;
 
@@ -31,15 +43,29 @@ pub fn estimate_count(
     db: &Database,
     query: &Query,
 ) -> Result<Estimate, DeepDbError> {
+    ens.recompile_models();
+    estimate_count_inner(ens, db, query)
+}
+
+/// [`estimate_count`] behind a shared ensemble reference (engines must be
+/// compiled — the `&mut` entry points guarantee it).
+pub(crate) fn estimate_count_inner(
+    ens: &Ensemble,
+    db: &Database,
+    query: &Query,
+) -> Result<Estimate, DeepDbError> {
     query.validate(db)?;
     let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
-
-    // Case 1/2: one RSPN covering every query table.
-    if let Some(idx) = best_covering_rspn(ens, &qtables, &query.predicates) {
-        return single_rspn_count(ens, idx, &qtables, &query.predicates);
+    let mut plan = ProbePlan::new();
+    match register_count(&mut plan, ens, &qtables, &query.predicates)? {
+        // Case 1/2: one RSPN covering every query table, one fused sweep.
+        Some(deferred) => {
+            let results = plan.execute(ens);
+            Ok(deferred.resolve(&results))
+        }
+        // Case 3: combine RSPNs.
+        None => multi_rspn_count(ens, db, &qtables, &query.predicates),
     }
-    // Case 3: combine RSPNs.
-    multi_rspn_count(ens, db, &qtables, &query.predicates)
 }
 
 /// Cardinality estimate clamped to ≥ 1 tuple (q-error convention).
@@ -56,10 +82,10 @@ pub fn estimate_cardinality(
 /// where one query fans out into one probe per candidate group value.
 ///
 /// When a single RSPN covers the query (paper Cases 1/2) all probes are
-/// translated up front and evaluated in **one** pass over the compiled arena
-/// (`|J| · E[1/F' · 1_{C ∧ target=v} · ∏N_T]` per value). Otherwise this
-/// falls back to one [`estimate_count`] per value (Case 3 needs per-value
-/// RSPN combination).
+/// registered on one [`ProbePlan`] and the member is swept **once**, tiles
+/// parallelized (`|J| · E[1/F' · 1_{C ∧ target=v} · ∏N_T]` per value).
+/// Otherwise this falls back to one [`estimate_count`] per value (Case 3
+/// needs per-value RSPN combination).
 pub fn estimate_count_values(
     ens: &mut Ensemble,
     db: &Database,
@@ -67,15 +93,20 @@ pub fn estimate_count_values(
     target: ColumnRef,
     values: &[deepdb_storage::Value],
 ) -> Result<Vec<f64>, DeepDbError> {
+    ens.recompile_models();
+    estimate_count_values_inner(ens, db, query, target, values)
+}
+
+pub(crate) fn estimate_count_values_inner(
+    ens: &Ensemble,
+    db: &Database,
+    query: &Query,
+    target: ColumnRef,
+    values: &[deepdb_storage::Value],
+) -> Result<Vec<f64>, DeepDbError> {
     query.validate(db)?;
     let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
-    let eq_pred = |v: &deepdb_storage::Value| {
-        Predicate::new(
-            target.table,
-            target.column,
-            deepdb_storage::PredOp::Cmp(deepdb_storage::CmpOp::Eq, *v),
-        )
-    };
+    let eq_pred = |v: &deepdb_storage::Value| value_predicate(target.table, target.column, *v);
 
     // Representative predicate set for RSPN selection (the choice is
     // identical for every value: only the constant differs).
@@ -86,22 +117,26 @@ pub fn estimate_count_values(
     let single = best_covering_rspn(ens, &qtables, &selector_preds).and_then(|idx| {
         // The whole batch must translate against this one RSPN.
         let rspn = &ens.rspns()[idx];
-        let mut probes = Vec::with_capacity(values.len());
+        let mut plan = ProbePlan::new();
+        let mut handles = Vec::with_capacity(values.len());
         for v in values {
             let mut preds = query.predicates.clone();
             preds.push(eq_pred(v));
             match count_fraction_query(rspn, &qtables, &preds, false) {
-                Ok((q, _)) => probes.push(q),
+                Ok((q, _)) => handles.push(plan.register(idx, q)),
                 Err(_) => return None,
             }
         }
-        Some((idx, probes))
+        Some((idx, plan, handles))
     });
 
-    if let Some((idx, probes)) = single {
+    if let Some((idx, plan, handles)) = single {
         let j = ens.rspns()[idx].full_join_count() as f64;
-        let fractions = ens.rspns_mut()[idx].expect_batch(&probes);
-        return Ok(fractions.into_iter().map(|f| (f * j).max(0.0)).collect());
+        let results = plan.execute(ens);
+        return Ok(handles
+            .into_iter()
+            .map(|h| (results[h] * j).max(0.0))
+            .collect());
     }
 
     // Case 3 fallback: one full estimate per value.
@@ -109,9 +144,28 @@ pub fn estimate_count_values(
     for v in values {
         let mut sub = query.clone();
         sub.predicates.push(eq_pred(v));
-        out.push(estimate_count(ens, db, &sub)?.value.max(0.0));
+        out.push(estimate_count_inner(ens, db, &sub)?.value.max(0.0));
     }
     Ok(out)
+}
+
+/// Equality predicate for a concrete value; NULL group keys become `IS NULL`
+/// (an `=` comparison against NULL is SQL-unknown and would drop the group).
+pub(crate) fn value_predicate(
+    table: TableId,
+    column: deepdb_storage::ColId,
+    v: deepdb_storage::Value,
+) -> Predicate {
+    match v {
+        deepdb_storage::Value::Null => {
+            Predicate::new(table, column, deepdb_storage::PredOp::IsNull)
+        }
+        _ => Predicate::new(
+            table,
+            column,
+            deepdb_storage::PredOp::Cmp(deepdb_storage::CmpOp::Eq, v),
+        ),
+    }
 }
 
 /// Maximum number of disjuncts accepted by [`estimate_count_disjunction`]
@@ -125,9 +179,11 @@ pub const MAX_DISJUNCTS: usize = 10;
 ///
 /// `COUNT(∨ᵢ Dᵢ) = Σ_{∅≠S} (−1)^{|S|+1} · COUNT(∧_{i∈S} Dᵢ)`.
 ///
-/// Variances of the 2^k − 1 conjunctive terms are summed (the terms reuse
-/// the same models, so this over-states independence; documented
-/// approximation). The estimate is clamped to ≥ 0.
+/// All 2^k − 1 conjunctive terms are registered on **one** probe plan (terms
+/// needing Case-3 combination fall back to eager evaluation), so the whole
+/// disjunction costs one sweep per touched member. Variances of the terms
+/// are summed (the terms reuse the same models, so this over-states
+/// independence; documented approximation). The estimate is clamped to ≥ 0.
 pub fn estimate_count_disjunction(
     ens: &mut Ensemble,
     db: &Database,
@@ -143,8 +199,14 @@ pub fn estimate_count_disjunction(
             disjuncts.len()
         )));
     }
+    ens.recompile_models();
+    let ens: &Ensemble = ens;
+    query.validate(db)?;
+    let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
+
     let k = disjuncts.len();
-    let mut total = Estimate::exact(0.0);
+    let mut plan = ProbePlan::new();
+    let mut terms: Vec<(f64, Option<DeferredCount>, Vec<Predicate>)> = Vec::new();
     for mask in 1u32..(1 << k) {
         let mut sub = query.clone();
         for (i, d) in disjuncts.iter().enumerate() {
@@ -152,11 +214,23 @@ pub fn estimate_count_disjunction(
                 sub.predicates.extend(d.iter().cloned());
             }
         }
-        let term = estimate_count(ens, db, &sub)?;
+        // Validate each inclusion–exclusion term like the eager path did —
+        // disjunct predicates can reference tables outside the FROM list.
+        sub.validate(db)?;
         let sign = if mask.count_ones() % 2 == 1 {
             1.0
         } else {
             -1.0
+        };
+        let deferred = register_count(&mut plan, ens, &qtables, &sub.predicates)?;
+        terms.push((sign, deferred, sub.predicates));
+    }
+    let results = plan.execute(ens);
+    let mut total = Estimate::exact(0.0);
+    for (sign, deferred, preds) in terms {
+        let term = match deferred {
+            Some(d) => d.resolve(&results),
+            None => multi_rspn_count(ens, db, &qtables, &preds)?,
         };
         total = total.add(term.scale(sign));
     }
@@ -170,38 +244,54 @@ pub fn estimate_avg(
     db: &Database,
     query: &Query,
 ) -> Result<Estimate, DeepDbError> {
+    ens.recompile_models();
     query.validate(db)?;
     let Aggregate::Avg(target) = query.aggregate else {
         return Err(DeepDbError::Unsupported(
             "estimate_avg requires an AVG aggregate".into(),
         ));
     };
-    avg_over_ensemble(ens, &query.tables, &query.predicates, target)
+    let mut plan = ProbePlan::new();
+    let deferred = register_avg(&mut plan, ens, &query.tables, &query.predicates, target)?;
+    let results = plan.execute(ens);
+    Ok(deferred.resolve(&results))
 }
 
-/// Estimate `SUM(col)` = COUNT × AVG (paper §4.2).
+/// Estimate `SUM(col)` = COUNT × AVG (paper §4.2). The COUNT probes (over
+/// non-NULL summands) and the AVG numerator/denominator/moment probes are
+/// fused into one plan — one sweep per touched member even when COUNT and
+/// AVG pick different members.
 pub fn estimate_sum(
     ens: &mut Ensemble,
     db: &Database,
     query: &Query,
 ) -> Result<Estimate, DeepDbError> {
+    ens.recompile_models();
+    let ens: &Ensemble = ens;
     query.validate(db)?;
     let Aggregate::Sum(target) = query.aggregate else {
         return Err(DeepDbError::Unsupported(
             "estimate_sum requires a SUM aggregate".into(),
         ));
     };
-    let mut count_q = query.clone();
-    count_q.aggregate = Aggregate::CountStar;
+    let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
     // COUNT must only include rows where the summand is non-NULL.
-    count_q.predicates.push(Predicate::new(
+    let mut count_preds = query.predicates.clone();
+    count_preds.push(Predicate::new(
         target.table,
         target.column,
         deepdb_storage::PredOp::IsNotNull,
     ));
-    let count = estimate_count(ens, db, &count_q)?;
-    let avg = avg_over_ensemble(ens, &query.tables, &query.predicates, target)?;
-    Ok(count.product(avg))
+
+    let mut plan = ProbePlan::new();
+    let count_deferred = register_count(&mut plan, ens, &qtables, &count_preds)?;
+    let avg_deferred = register_avg(&mut plan, ens, &query.tables, &query.predicates, target)?;
+    let results = plan.execute(ens);
+    let count = match count_deferred {
+        Some(d) => d.resolve(&results),
+        None => multi_rspn_count(ens, db, &qtables, &count_preds)?,
+    };
+    Ok(count.product(avg_deferred.resolve(&results)))
 }
 
 /// Pick the best RSPN whose tables cover all of `qtables` (greedy RDC
@@ -226,11 +316,296 @@ fn best_covering_rspn(
     best.map(|(_, _, i)| i)
 }
 
-/// Theorem-1 estimate on one RSPN: `|J| · E[1/F' · 1_C · ∏N_T]`, with the
-/// variance split into a binomial predicate part and a Koenig–Huygens
-/// conditional-expectation part (paper §5.1).
+// ---------------------------------------------------------------------------
+// Deferred probe bundles: register on a ProbePlan now, resolve to Estimates
+// after one fused execute().
+// ---------------------------------------------------------------------------
+
+/// Deferred `E[1/F'(Q,J) · 1_C · ∏N_T]` with variance: the point probe,
+/// plus — when tuple-factor normalization is active — the probability factor
+/// and the second-moment probe (three probes, same member, one sweep).
+pub(crate) struct DeferredFraction {
+    n: u64,
+    /// The fraction probe (moment functions applied).
+    point: ProbeHandle,
+    /// `P(C ∧ ∏N_T)` — same query without the moment functions.
+    prob: Option<ProbeHandle>,
+    /// Squared-moment probe for the Koenig–Huygens variance.
+    sq: Option<ProbeHandle>,
+}
+
+impl DeferredFraction {
+    pub(crate) fn resolve(&self, r: &ProbeResults) -> Estimate {
+        let n = self.n;
+        let (Some(prob), Some(sq)) = (self.prob, self.sq) else {
+            // No tuple-factor normalization: the fraction *is* the
+            // probability (binomial variance, paper §5.1).
+            let p = r[self.point].clamp(0.0, 1.0);
+            if p <= 0.0 {
+                return Estimate::exact(0.0);
+            }
+            return Estimate::probability(p, n);
+        };
+        let p = r[prob].clamp(0.0, 1.0);
+        if p <= 0.0 {
+            return Estimate::exact(0.0);
+        }
+        let e_g1c = r[self.point]; // E[g·1_C]
+        let e_g2c = r[sq]; // E[g²·1_C]
+        let n_eff = (n as f64 * p).max(1.0);
+        let cond = Estimate::conditional_expectation(e_g1c / p, e_g2c / p, n_eff);
+        cond.product(Estimate::probability(p, n))
+    }
+}
+
+/// Register the probes of one count fraction on RSPN member `idx` (the
+/// split into a binomial predicate part and a Koenig–Huygens
+/// conditional-expectation part follows paper §5.1).
+pub(crate) fn register_fraction(
+    plan: &mut ProbePlan,
+    ens: &Ensemble,
+    idx: usize,
+    qtables: &BTreeSet<TableId>,
+    preds: &[Predicate],
+) -> Result<DeferredFraction, DeepDbError> {
+    let rspn = &ens.rspns()[idx];
+    let n = rspn.n_training();
+    let (q, factors) = count_fraction_query(rspn, qtables, preds, false)?;
+    if factors.is_empty() {
+        return Ok(DeferredFraction {
+            n,
+            point: plan.register(idx, q),
+            prob: None,
+            sq: None,
+        });
+    }
+    // P(C ∧ ∏N_T): same query without the moment functions.
+    let mut prob_q = q.clone();
+    for &f in &factors {
+        prob_q.set_func(f, LeafFunc::One);
+    }
+    let (q_sq, _) = count_fraction_query(rspn, qtables, preds, true)?;
+    Ok(DeferredFraction {
+        n,
+        point: plan.register(idx, q),
+        prob: Some(plan.register(idx, prob_q)),
+        sq: Some(plan.register(idx, q_sq)),
+    })
+}
+
+/// Deferred Theorem-1 count on a single covering member:
+/// `|J| · E[1/F' · 1_C · ∏N_T]`.
+pub(crate) struct DeferredCount {
+    j: f64,
+    fraction: DeferredFraction,
+}
+
+impl DeferredCount {
+    pub(crate) fn resolve(&self, r: &ProbeResults) -> Estimate {
+        self.fraction.resolve(r).scale(self.j)
+    }
+}
+
+/// Register a full COUNT estimate if one RSPN covers the query tables
+/// (Cases 1/2). `Ok(None)` means Case 3: the caller must fall back to
+/// eager [`multi_rspn_count`]. Translation failures propagate as errors.
+pub(crate) fn register_count(
+    plan: &mut ProbePlan,
+    ens: &Ensemble,
+    qtables: &BTreeSet<TableId>,
+    preds: &[Predicate],
+) -> Result<Option<DeferredCount>, DeepDbError> {
+    let Some(idx) = best_covering_rspn(ens, qtables, preds) else {
+        return Ok(None);
+    };
+    let fraction = register_fraction(plan, ens, idx, qtables, preds)?;
+    Ok(Some(DeferredCount {
+        j: ens.rspns()[idx].full_join_count() as f64,
+        fraction,
+    }))
+}
+
+/// Deferred AVG via normalized conditional expectation (paper §4.2):
+/// numerator `E[A/F' · 1_C]`, denominator `E[1_{A not null}/F' · 1_C]`, and
+/// the second moment `E[(A/F')²·1_C]` for the Koenig–Huygens variance.
+pub(crate) struct DeferredAvg {
+    n: u64,
+    num: ProbeHandle,
+    den: ProbeHandle,
+    sq: ProbeHandle,
+}
+
+impl DeferredAvg {
+    pub(crate) fn resolve(&self, r: &ProbeResults) -> Estimate {
+        let (den, num, e2) = (r[self.den], r[self.num], r[self.sq]);
+        if den <= 0.0 {
+            return Estimate::exact(0.0);
+        }
+        let n_eff = (self.n as f64 * den).max(1.0);
+        Estimate::conditional_expectation(num / den, e2 / den, n_eff)
+    }
+}
+
+/// Register an AVG estimate: choose the RSPN containing the aggregate column
+/// with the best predicate coverage; predicates on tables outside that RSPN
+/// are ignored (approximation noted in the paper).
+pub(crate) fn register_avg(
+    plan: &mut ProbePlan,
+    ens: &Ensemble,
+    tables: &[TableId],
+    preds: &[Predicate],
+    target: ColumnRef,
+) -> Result<DeferredAvg, DeepDbError> {
+    let idx = best_rspn_with(ens, preds, |r| {
+        r.tables().contains(&target.table) && r.data_column(target.table, target.column).is_some()
+    })
+    .ok_or_else(|| {
+        DeepDbError::NotAnswerable(format!(
+            "no RSPN models AVG column ({}, {})",
+            target.table, target.column
+        ))
+    })?;
+
+    let rspn = &ens.rspns()[idx];
+    let target_col = rspn
+        .data_column(target.table, target.column)
+        .expect("checked above");
+    let present: BTreeSet<TableId> = tables
+        .iter()
+        .copied()
+        .filter(|t| rspn.tables().contains(t))
+        .collect();
+    let usable: Vec<Predicate> = preds
+        .iter()
+        .filter(|p| rspn.tables().contains(&p.table))
+        .cloned()
+        .collect();
+
+    let (mut num_q, _) = count_fraction_query(rspn, &present, &usable, false)?;
+    num_q.set_func(target_col, LeafFunc::X);
+    let (mut den_q, _) = count_fraction_query(rspn, &present, &usable, false)?;
+    den_q.add_pred(target_col, LeafPred::IsNotNull);
+    let (mut sq_q, _) = count_fraction_query(rspn, &present, &usable, true)?;
+    sq_q.set_func(target_col, LeafFunc::X2);
+
+    Ok(DeferredAvg {
+        n: rspn.n_training(),
+        num: plan.register(idx, num_q),
+        den: plan.register(idx, den_q),
+        sq: plan.register(idx, sq_q),
+    })
+}
+
+/// A deferred (aggregate, count) pair for one scalar (or one GROUP BY group)
+/// subquery — what `aqp` fuses across all groups of a query.
+pub(crate) struct DeferredScalar {
+    qtables: BTreeSet<TableId>,
+    preds: Vec<Predicate>,
+    /// `None` = the COUNT needs Case-3 combination (eager fallback).
+    count: Option<DeferredCount>,
+    agg: DeferredAggKind,
+}
+
+pub(crate) enum DeferredAggKind {
+    /// Aggregate is the COUNT itself.
+    Count,
+    Avg(DeferredAvg),
+    Sum {
+        nn_preds: Vec<Predicate>,
+        count_nn: Option<DeferredCount>,
+        avg: DeferredAvg,
+    },
+}
+
+/// Register all probes of one scalar aggregate query (COUNT plus the
+/// aggregate's own probes) on `plan`.
+pub(crate) fn register_scalar(
+    plan: &mut ProbePlan,
+    ens: &Ensemble,
+    query: &Query,
+) -> Result<DeferredScalar, DeepDbError> {
+    let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
+    let count = register_count(plan, ens, &qtables, &query.predicates)?;
+    let agg = match query.aggregate {
+        Aggregate::CountStar => DeferredAggKind::Count,
+        Aggregate::Avg(target) => DeferredAggKind::Avg(register_avg(
+            plan,
+            ens,
+            &query.tables,
+            &query.predicates,
+            target,
+        )?),
+        Aggregate::Sum(target) => {
+            let mut nn_preds = query.predicates.clone();
+            nn_preds.push(Predicate::new(
+                target.table,
+                target.column,
+                deepdb_storage::PredOp::IsNotNull,
+            ));
+            DeferredAggKind::Sum {
+                count_nn: register_count(plan, ens, &qtables, &nn_preds)?,
+                nn_preds,
+                avg: register_avg(plan, ens, &query.tables, &query.predicates, target)?,
+            }
+        }
+    };
+    Ok(DeferredScalar {
+        qtables,
+        preds: query.predicates.clone(),
+        count,
+        agg,
+    })
+}
+
+/// Resolve a [`DeferredScalar`] into `(aggregate, count)` estimates,
+/// falling back to eager Case-3 combination where registration could not
+/// cover the COUNT.
+pub(crate) fn resolve_scalar(
+    ens: &Ensemble,
+    db: &Database,
+    deferred: &DeferredScalar,
+    r: &ProbeResults,
+) -> Result<(Estimate, Estimate), DeepDbError> {
+    let count = match &deferred.count {
+        Some(d) => d.resolve(r),
+        None => multi_rspn_count(ens, db, &deferred.qtables, &deferred.preds)?,
+    };
+    let agg = match &deferred.agg {
+        DeferredAggKind::Count => count,
+        DeferredAggKind::Avg(avg) => avg.resolve(r),
+        DeferredAggKind::Sum {
+            nn_preds,
+            count_nn,
+            avg,
+        } => {
+            let nn_count = match count_nn {
+                Some(d) => d.resolve(r),
+                None => multi_rspn_count(ens, db, &deferred.qtables, nn_preds)?,
+            };
+            nn_count.product(avg.resolve(r))
+        }
+    };
+    Ok((agg, count))
+}
+
+/// `E[1/F'(Q,J) · 1_C · ∏N_T]` with variance, evaluated immediately on
+/// member `idx` (registration + one single-member sweep) — the building
+/// block of the sequential Case-3 extension loop.
+fn count_fraction(
+    ens: &Ensemble,
+    idx: usize,
+    qtables: &BTreeSet<TableId>,
+    preds: &[Predicate],
+) -> Result<Estimate, DeepDbError> {
+    let mut plan = ProbePlan::new();
+    let deferred = register_fraction(&mut plan, ens, idx, qtables, preds)?;
+    let results = plan.execute(ens);
+    Ok(deferred.resolve(&results))
+}
+
+/// Theorem-1 estimate on one RSPN: `|J| · E[1/F' · 1_C · ∏N_T]`.
 fn single_rspn_count(
-    ens: &mut Ensemble,
+    ens: &Ensemble,
     idx: usize,
     qtables: &BTreeSet<TableId>,
     preds: &[Predicate],
@@ -240,55 +615,13 @@ fn single_rspn_count(
     Ok(fraction.scale(j))
 }
 
-/// `E[1/F'(Q,J) · 1_C · ∏N_T]` with variance, as an [`Estimate`].
-///
-/// The point estimate, its probability factor, and its second-moment probe
-/// are three expectation queries over the same RSPN — evaluated as **one**
-/// batched pass over the compiled arena instead of three recursive walks.
-fn count_fraction(
-    ens: &mut Ensemble,
-    idx: usize,
-    qtables: &BTreeSet<TableId>,
-    preds: &[Predicate],
-) -> Result<Estimate, DeepDbError> {
-    let rspn = &ens.rspns()[idx];
-    let (q, factors) = count_fraction_query(rspn, qtables, preds, false)?;
-    let rspn = &mut ens.rspns_mut()[idx];
-    let n = rspn.n_training();
-
-    if factors.is_empty() {
-        // No tuple-factor normalization: the fraction *is* the probability.
-        let p = rspn.expect(&q).clamp(0.0, 1.0);
-        if p <= 0.0 {
-            return Ok(Estimate::exact(0.0));
-        }
-        return Ok(Estimate::probability(p, n));
-    }
-
-    // P(C ∧ ∏N_T): same query without the moment functions.
-    let mut prob_q = q.clone();
-    for &f in &factors {
-        prob_q.set_func(f, LeafFunc::One);
-    }
-    let rspn_ref = &ens.rspns()[idx];
-    let (q_sq, _) = count_fraction_query(rspn_ref, qtables, preds, true)?;
-    let rspn = &mut ens.rspns_mut()[idx];
-    let probes = rspn.expect_batch(&[prob_q, q, q_sq]);
-    let p = probes[0].clamp(0.0, 1.0);
-    if p <= 0.0 {
-        return Ok(Estimate::exact(0.0));
-    }
-    let e_g1c = probes[1]; // E[g·1_C]
-    let e_g2c = probes[2]; // E[g²·1_C]
-    let n_eff = (n as f64 * p).max(1.0);
-    let cond = Estimate::conditional_expectation(e_g1c / p, e_g2c / p, n_eff);
-    Ok(cond.product(Estimate::probability(p, n)))
-}
-
 /// Case 3: extend a covered table set across FK edges, multiplying
-/// conditional ratios (Theorem 2).
-fn multi_rspn_count(
-    ens: &mut Ensemble,
+/// conditional ratios (Theorem 2). Each extension step depends on the
+/// covered set so far, so the loop is sequential — but every step fuses its
+/// probes (numerator + denominator fractions, or the three factor-weighted
+/// ratio probes) into one plan, i.e. one sweep per step per member.
+pub(crate) fn multi_rspn_count(
+    ens: &Ensemble,
     db: &Database,
     qtables: &BTreeSet<TableId>,
     preds: &[Predicate],
@@ -373,9 +706,12 @@ fn multi_rspn_count(
                 .filter(|p| overlap.contains(&p.table))
                 .cloned()
                 .collect();
-            let num = count_fraction(ens, b, &extended, &num_preds)?;
-            let den = count_fraction(ens, b, &overlap, &den_preds)?;
-            est = est.product(num.divide(den));
+            // Both fractions of the Theorem-2 ratio in one fused sweep.
+            let mut plan = ProbePlan::new();
+            let num = register_fraction(&mut plan, ens, b, &extended, &num_preds)?;
+            let den = register_fraction(&mut plan, ens, b, &overlap, &den_preds)?;
+            let results = plan.execute(ens);
+            est = est.product(num.resolve(&results).divide(den.resolve(&results)));
             covered.extend(extended);
             continue;
         }
@@ -408,9 +744,14 @@ fn multi_rspn_count(
                 .ok_or_else(|| DeepDbError::NotAnswerable(format!("no RSPN models table {v}")))?;
             let v_set = BTreeSet::from([v]);
             let v_preds: Vec<Predicate> = preds.iter().filter(|p| p.table == v).cloned().collect();
-            let num = count_fraction(ens, b, &v_set, &v_preds)?;
-            let den = count_fraction(ens, b, &v_set, &[])?;
-            est = est.product(fanout).product(num.divide(den));
+            // Selectivity numerator and denominator fused on member b.
+            let mut plan = ProbePlan::new();
+            let num = register_fraction(&mut plan, ens, b, &v_set, &v_preds)?;
+            let den = register_fraction(&mut plan, ens, b, &v_set, &[])?;
+            let results = plan.execute(ens);
+            est = est
+                .product(fanout)
+                .product(num.resolve(&results).divide(den.resolve(&results)));
         } else {
             // Upward to the parent v: no row multiplication; weight v's rows
             // by their child counts (the paper's alternative formula):
@@ -439,8 +780,11 @@ fn multi_rspn_count(
 ///   `E[F_fk·1_{vp}·F(set)·1_C] / E[F_fk·F(set)·1_C]` — the fraction of
 ///   child rows whose parent satisfies `vp` (the paper's alternative Q2
 ///   formula).
+///
+/// Numerator, denominator, and second moment go through one fused
+/// single-member plan.
 fn factor_weighted_ratio(
-    ens: &mut Ensemble,
+    ens: &Ensemble,
     idx: usize,
     set: &BTreeSet<TableId>,
     preds: &[Predicate],
@@ -473,11 +817,13 @@ fn factor_weighted_ratio(
         }
     }
 
-    let rspn = &mut ens.rspns_mut()[idx];
     let n = rspn.n_training();
-    // Numerator, denominator, and second moment in one batched arena pass.
-    let probes = rspn.expect_batch(&[num_q, den_q, sq_q]);
-    let (num, den, e2_raw) = (probes[0], probes[1], probes[2]);
+    let mut plan = ProbePlan::new();
+    let h_num = plan.register(idx, num_q);
+    let h_den = plan.register(idx, den_q);
+    let h_sq = plan.register(idx, sq_q);
+    let results = plan.execute(ens);
+    let (num, den, e2_raw) = (results[h_num], results[h_den], results[h_sq]);
     if den <= 0.0 {
         return Ok(Estimate::exact(0.0));
     }
@@ -523,66 +869,6 @@ fn best_rspn_with(
         }
     }
     best.map(|(_, i)| i)
-}
-
-/// AVG via normalized conditional expectation (paper §4.2): choose the RSPN
-/// containing the aggregate column with the best predicate coverage;
-/// predicates on tables outside that RSPN are ignored (approximation noted
-/// in the paper).
-fn avg_over_ensemble(
-    ens: &mut Ensemble,
-    tables: &[TableId],
-    preds: &[Predicate],
-    target: ColumnRef,
-) -> Result<Estimate, DeepDbError> {
-    let idx = best_rspn_with(ens, preds, |r| {
-        r.tables().contains(&target.table) && r.data_column(target.table, target.column).is_some()
-    })
-    .ok_or_else(|| {
-        DeepDbError::NotAnswerable(format!(
-            "no RSPN models AVG column ({}, {})",
-            target.table, target.column
-        ))
-    })?;
-
-    let rspn = &ens.rspns()[idx];
-    let target_col = rspn
-        .data_column(target.table, target.column)
-        .expect("checked above");
-    let present: BTreeSet<TableId> = tables
-        .iter()
-        .copied()
-        .filter(|t| rspn.tables().contains(t))
-        .collect();
-    let usable: Vec<Predicate> = preds
-        .iter()
-        .filter(|p| rspn.tables().contains(&p.table))
-        .cloned()
-        .collect();
-
-    // Numerator: E[A/F' · 1_C]; denominator: E[1_{A not null}/F' · 1_C].
-    let (mut num_q, _) = count_fraction_query(rspn, &present, &usable, false)?;
-    num_q.set_func(target_col, LeafFunc::X);
-    let (mut den_q, _) = count_fraction_query(rspn, &present, &usable, false)?;
-    den_q.add_pred(target_col, LeafPred::IsNotNull);
-    // Second moment for the Koenig–Huygens variance: E[(A/F')²·1_C].
-    let (mut sq_q, _) = count_fraction_query(rspn, &present, &usable, true)?;
-    sq_q.set_func(target_col, LeafFunc::X2);
-
-    let rspn = &mut ens.rspns_mut()[idx];
-    let n = rspn.n_training();
-    // One batched pass for E[A/F'·1_C], the not-NULL mass, and E[(A)²/F'²·1_C].
-    let probes = rspn.expect_batch(&[den_q, num_q, sq_q]);
-    let (den, num, e2) = (probes[0], probes[1], probes[2]);
-    if den <= 0.0 {
-        return Ok(Estimate::exact(0.0));
-    }
-    let n_eff = (n as f64 * den).max(1.0);
-    Ok(Estimate::conditional_expectation(
-        num / den,
-        e2 / den,
-        n_eff,
-    ))
 }
 
 #[cfg(test)]

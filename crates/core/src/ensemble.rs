@@ -258,6 +258,7 @@ impl<'a> EnsembleBuilder<'a> {
             params: self.params,
             update_rng: StdRng::seed_from_u64(0x0BDA7E5),
             updates_absorbed: 0,
+            probe_threads: 0,
         })
     }
 }
@@ -275,6 +276,9 @@ pub struct Ensemble {
     params: EnsembleParams,
     update_rng: StdRng,
     updates_absorbed: u64,
+    /// Worker-thread cap for probe-plan execution; 0 = auto (available
+    /// parallelism). Runtime-only, not part of snapshots.
+    probe_threads: usize,
 }
 
 fn ordered(a: TableId, b: TableId) -> (TableId, TableId) {
@@ -411,10 +415,37 @@ impl Ensemble {
     /// use. Updates ([`Ensemble::apply_insert`] / [`Ensemble::apply_delete`])
     /// only mark the compiled form dirty — call this after a bulk-update
     /// burst to take the one-tree-walk recompilation cost off the query path.
+    /// Every query entry point calls this up front (a no-op when nothing is
+    /// dirty), which is what lets probe evaluation itself run on `&self`.
     pub fn recompile_models(&mut self) {
         for rspn in &mut self.rspns {
             rspn.ensure_compiled();
         }
+    }
+
+    /// Cap the worker threads used to execute probe plans; `0` restores the
+    /// default (available parallelism).
+    pub fn set_probe_threads(&mut self, threads: usize) {
+        self.probe_threads = threads;
+    }
+
+    /// Worker threads probe-plan execution may use.
+    pub fn probe_thread_budget(&self) -> usize {
+        static HOST_PARALLELISM: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        if self.probe_threads > 0 {
+            self.probe_threads
+        } else {
+            *HOST_PARALLELISM
+                .get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        }
+    }
+
+    /// Execute a [`crate::ProbePlan`]: recompile any update-dirtied member
+    /// engines, then run one fused arena sweep per touched member with tiles
+    /// spread over the probe-thread budget.
+    pub fn execute_plan(&mut self, plan: &crate::ProbePlan) -> crate::ProbeResults {
+        self.recompile_models();
+        plan.execute(self)
     }
 
     /// Insert a row into the database **and** absorb it into every affected
@@ -851,6 +882,7 @@ impl Ensemble {
             },
             update_rng: StdRng::seed_from_u64(seed ^ 0x0BDA7E5),
             updates_absorbed,
+            probe_threads: 0,
         })
     }
 

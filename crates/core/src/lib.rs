@@ -12,6 +12,10 @@
 //! * [`compile`] — probabilistic query compilation of COUNT/SUM/AVG
 //!   (+ GROUP BY) queries into products of expectations over the ensemble,
 //!   covering the paper's Cases 1–3 including Theorems 1 and 2 (§4).
+//! * [`ProbePlan`] — deferred probe plans: call sites register probes
+//!   against ensemble members and resolve typed handles after a single
+//!   `execute()`, which sweeps each touched member's compiled arena exactly
+//!   once with members/tiles evaluated concurrently on scoped threads.
 //! * [`Estimate`] — point estimates with variances propagated per §5.1,
 //!   yielding confidence intervals.
 //! * ML tasks (regression via conditional expectation, classification via
@@ -24,6 +28,7 @@ mod error;
 mod estimate;
 mod fd;
 pub mod ml;
+mod plan;
 mod rspn;
 
 pub use aqp::{execute_aqp, AqpOutput, AqpResult};
@@ -31,4 +36,5 @@ pub use ensemble::{Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy};
 pub use error::DeepDbError;
 pub use estimate::Estimate;
 pub use fd::FunctionalDependency;
+pub use plan::{ProbeHandle, ProbePlan, ProbeResults};
 pub use rspn::Rspn;

@@ -6,6 +6,7 @@ use deepdb_spn::{LeafFunc, LeafPred};
 use deepdb_storage::{ColId, Database, TableId, Value};
 
 use crate::ensemble::Ensemble;
+use crate::plan::ProbePlan;
 use crate::DeepDbError;
 
 /// Width (in training standard deviations) of the evidence window used when
@@ -17,7 +18,9 @@ const CONTINUOUS_EVIDENCE_SIGMA: f64 = 0.35;
 /// Discrete features condition exactly; continuous features condition on a
 /// ±0.35σ window around the given value. Features whose columns the chosen
 /// RSPN does not model are ignored. Falls back to the unconditional mean if
-/// the evidence has no support.
+/// the evidence has no support — the fallback's probes ride in the **same**
+/// fused probe plan as the conditional ones, so a prediction always costs
+/// exactly one arena sweep, support or not.
 pub fn predict_regression(
     ens: &mut Ensemble,
     db: &Database,
@@ -26,6 +29,8 @@ pub fn predict_regression(
     features: &[(ColId, Value)],
 ) -> Result<f64, DeepDbError> {
     let idx = rspn_for(ens, table, target)?;
+    ens.recompile_models();
+    let ens: &Ensemble = ens;
     let rspn = &ens.rspns()[idx];
     let target_col = rspn
         .data_column(table, target)
@@ -45,22 +50,28 @@ pub fn predict_regression(
     q.set_func(target_col, LeafFunc::X);
     den_q.add_pred(target_col, LeafPred::IsNotNull);
 
-    let rspn = &mut ens.rspns_mut()[idx];
-    // Numerator and denominator in one batched pass over the compiled arena.
-    let probes = rspn.expect_batch(&[den_q, q]);
-    let (den, num) = (probes[0], probes[1]);
+    // Unconditional (still factor-normalized) mean, used when the evidence
+    // has no support.
+    let mut uq = rspn.new_query();
+    uq.set_func(target_col, LeafFunc::X);
+    let mut upq = rspn.new_query();
+    upq.add_pred(target_col, LeafPred::IsNotNull);
+    for &f in &factors {
+        uq.set_func(f, LeafFunc::InvClamp1);
+        upq.set_func(f, LeafFunc::InvClamp1);
+    }
+
+    // Numerator, denominator, and both fallback probes in one fused sweep.
+    let mut plan = ProbePlan::new();
+    let h_den = plan.register(idx, den_q);
+    let h_num = plan.register(idx, q);
+    let h_u_num = plan.register(idx, uq);
+    let h_u_den = plan.register(idx, upq);
+    let results = plan.execute(ens);
+
+    let (den, num) = (results[h_den], results[h_num]);
     if den <= 1e-12 {
-        // No support: unconditional (still factor-normalized) mean.
-        let mut uq = rspn.new_query();
-        uq.set_func(target_col, LeafFunc::X);
-        let mut upq = rspn.new_query();
-        upq.add_pred(target_col, LeafPred::IsNotNull);
-        for &f in &factors {
-            uq.set_func(f, LeafFunc::InvClamp1);
-            upq.set_func(f, LeafFunc::InvClamp1);
-        }
-        let fallback = rspn.expect_batch(&[uq, upq]);
-        return Ok(fallback[0] / fallback[1].max(1e-12));
+        return Ok(results[h_u_num] / results[h_u_den].max(1e-12));
     }
     Ok(num / den)
 }
@@ -80,6 +91,8 @@ pub fn predict_classification(
         .expect("selected to contain target");
     let mut q = rspn.new_query();
     add_evidence(rspn, db, table, features, &mut q);
+    // MPE runs on the recursive max-product path, which is still `&mut`
+    // (no compiled engine involved).
     let rspn = &mut ens.rspns_mut()[idx];
     Ok(rspn.most_probable_value(target_col, &q).map(|v| {
         if v.fract() == 0.0 {

@@ -1,0 +1,185 @@
+//! Deferred probe plans: collect every SPN probe of a SQL query first, then
+//! sweep each touched RSPN member exactly once.
+//!
+//! Probabilistic query compilation (paper §4) answers one SQL query with
+//! many independent expectation probes — count fractions, probability
+//! factors, squared moments, one numerator/denominator pair per AVG, and one
+//! probe bundle per GROUP BY group. Issuing them eagerly costs one arena
+//! pass per call site; a [`ProbePlan`] inverts control instead:
+//!
+//! 1. **register** — call sites enqueue [`SpnQuery`] probes against an
+//!    ensemble member index and hold on to the returned [`ProbeHandle`]s
+//!    (plain indices; no borrow of the ensemble is kept);
+//! 2. **fuse** — the plan groups probes by member, preserving registration
+//!    order within each member;
+//! 3. **sweep** — [`ProbePlan::execute`] runs **one fused
+//!    [`deepdb_spn::BatchEvaluator`] sweep per touched member**, with the
+//!    tiles of all members load-balanced across a scoped worker pool
+//!    ([`deepdb_spn::sweep_models`]); members and tiles evaluate
+//!    concurrently, results are bitwise identical for any thread count;
+//! 4. **resolve** — handles index into the returned [`ProbeResults`].
+//!
+//! The per-query probe *count* is unchanged by planning; what drops is the
+//! number of arena passes (one per touched member) and the wall-clock on
+//! multi-member / multi-group workloads, which now scale across cores.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use deepdb_spn::{sweep_models, SpnQuery, SweepJob, SWEEP_TILE};
+
+use crate::ensemble::Ensemble;
+
+/// Process-unique plan ids so a handle can never silently read another
+/// plan's results.
+static PLAN_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// Ticket for one registered probe; redeem against the [`ProbeResults`] of
+/// the plan that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeHandle {
+    /// Plan that issued the handle (cross-plan lookups panic).
+    plan: u64,
+    /// Ensemble member (RSPN index) the probe runs against.
+    member: usize,
+    /// Position within that member's probe batch.
+    slot: usize,
+}
+
+impl ProbeHandle {
+    /// Ensemble member this probe targets.
+    pub fn member(&self) -> usize {
+        self.member
+    }
+}
+
+/// A batch of deferred probes, grouped by RSPN member.
+#[derive(Debug, Clone)]
+pub struct ProbePlan {
+    id: u64,
+    /// `(member, probes)` in first-registration order of the member.
+    members: Vec<(usize, Vec<SpnQuery>)>,
+}
+
+impl Default for ProbePlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProbePlan {
+    pub fn new() -> Self {
+        Self {
+            id: PLAN_IDS.fetch_add(1, Ordering::Relaxed),
+            members: Vec::new(),
+        }
+    }
+
+    /// Enqueue one probe against ensemble member `member`; the handle
+    /// resolves to its value after [`ProbePlan::execute`].
+    pub fn register(&mut self, member: usize, probe: SpnQuery) -> ProbeHandle {
+        let entry = match self.members.iter().position(|(m, _)| *m == member) {
+            Some(i) => &mut self.members[i],
+            None => {
+                self.members.push((member, Vec::new()));
+                self.members.last_mut().expect("just pushed")
+            }
+        };
+        entry.1.push(probe);
+        ProbeHandle {
+            plan: self.id,
+            member,
+            slot: entry.1.len() - 1,
+        }
+    }
+
+    /// Total probes registered so far.
+    pub fn n_probes(&self) -> usize {
+        self.members.iter().map(|(_, p)| p.len()).sum()
+    }
+
+    /// Distinct ensemble members the plan touches.
+    pub fn n_members(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Execute the plan: one fused arena sweep per touched member, tiles
+    /// parallelized over the ensemble's probe-thread budget. Every member's
+    /// engine must be compiled (the public query entry points call
+    /// [`Ensemble::recompile_models`] first; external callers can use
+    /// [`Ensemble::execute_plan`], which does it for them).
+    pub fn execute(&self, ens: &Ensemble) -> ProbeResults {
+        self.execute_with_threads(ens, ens.probe_thread_budget())
+    }
+
+    /// Like [`ProbePlan::execute`] with an explicit worker-thread cap.
+    /// `threads <= 1` runs inline; results are identical either way.
+    pub fn execute_with_threads(&self, ens: &Ensemble, threads: usize) -> ProbeResults {
+        let mut results: Vec<(usize, Vec<f64>)> = self
+            .members
+            .iter()
+            .map(|(m, probes)| (*m, vec![0.0; probes.len()]))
+            .collect();
+        // Spawning is only worth it once there is more than one tile's worth
+        // of work — tiny plans (scalar COUNT/AVG/SUM bundles, even across
+        // several members) run inline.
+        let threads = if self.n_probes() <= SWEEP_TILE {
+            1
+        } else {
+            threads
+        };
+        let jobs: Vec<SweepJob<'_>> = self
+            .members
+            .iter()
+            .zip(results.iter_mut())
+            .map(|((m, probes), (_, out))| SweepJob {
+                spn: ens.rspns()[*m].engine(),
+                queries: probes,
+                out,
+            })
+            .collect();
+        sweep_models(jobs, threads);
+        ProbeResults {
+            plan: self.id,
+            members: results,
+        }
+    }
+}
+
+/// Resolved probe values, indexed by [`ProbeHandle`].
+#[derive(Debug, Clone)]
+pub struct ProbeResults {
+    plan: u64,
+    members: Vec<(usize, Vec<f64>)>,
+}
+
+impl ProbeResults {
+    /// Value of a registered probe. Panics if the handle was issued by a
+    /// different plan.
+    pub fn value(&self, h: ProbeHandle) -> f64 {
+        *self.lookup(h)
+    }
+
+    fn lookup(&self, h: ProbeHandle) -> &f64 {
+        assert_eq!(
+            h.plan, self.plan,
+            "probe handle {h:?} was issued by a different plan"
+        );
+        self.members
+            .iter()
+            .find(|(m, _)| *m == h.member)
+            .and_then(|(_, vals)| vals.get(h.slot))
+            .unwrap_or_else(|| panic!("probe handle {h:?} does not belong to these results"))
+    }
+}
+
+impl std::ops::Index<ProbeHandle> for ProbeResults {
+    type Output = f64;
+
+    fn index(&self, h: ProbeHandle) -> &f64 {
+        self.lookup(h)
+    }
+}

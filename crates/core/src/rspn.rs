@@ -29,11 +29,11 @@ const MAX_GROUP_DISTINCT: usize = 4096;
 pub struct Rspn {
     spn: Spn,
     /// Arena-compiled form of `spn` — the engine every expectation query
-    /// actually runs against. Rebuilt lazily (dirty flag) after updates.
+    /// actually runs against. Rebuilt explicitly ([`Rspn::ensure_compiled`])
+    /// after updates flag it dirty; evaluation itself is `&self` so probe
+    /// plans can sweep members from worker threads.
     compiled: CompiledSpn,
     compiled_dirty: bool,
-    /// Reusable batch-evaluation scratch (no steady-state allocation).
-    evaluator: BatchEvaluator,
     tables: Vec<TableId>,
     columns: Vec<JoinColumnMeta>,
     full_join_count: u64,
@@ -170,7 +170,6 @@ impl Rspn {
             spn,
             compiled,
             compiled_dirty: false,
-            evaluator: BatchEvaluator::new(),
             tables: sample.tables.clone(),
             columns,
             full_join_count: sample.full_join_count,
@@ -267,9 +266,11 @@ impl Rspn {
         SpnQuery::new(self.columns.len())
     }
 
-    /// Recompile the arena engine if updates invalidated it. Called lazily
-    /// by every evaluation entry point; exposed so batch-update workloads can
-    /// choose when to pay the (cheap, one-tree-walk) recompilation.
+    /// Recompile the arena engine if updates invalidated it. Recompilation
+    /// is the **only** mutable step of the query path: evaluation itself is
+    /// `&self`, so callers recompile up front (the public entry points in
+    /// `compile`/`aqp`/`ml` do this via [`crate::Ensemble::recompile_models`])
+    /// and then fan probes out across threads freely.
     pub fn ensure_compiled(&mut self) {
         if self.compiled_dirty {
             self.compiled = self.spn.compile();
@@ -277,20 +278,47 @@ impl Rspn {
         }
     }
 
-    /// Evaluate an expectation on the compiled arena engine.
-    pub fn expect(&mut self, q: &SpnQuery) -> f64 {
-        self.ensure_compiled();
-        self.evaluator
-            .evaluate(&self.compiled, std::slice::from_ref(q))[0]
+    /// Whether updates have invalidated the compiled engine.
+    pub fn needs_recompile(&self) -> bool {
+        self.compiled_dirty
     }
 
-    /// Evaluate a whole batch of expectations in one pass over the arena
-    /// (one scratch buffer, predicate normalization hoisted per query) —
-    /// the backbone of probabilistic query compilation, which issues several
-    /// probes per SQL query.
-    pub fn expect_batch(&mut self, queries: &[SpnQuery]) -> Vec<f64> {
-        self.ensure_compiled();
-        self.evaluator.evaluate(&self.compiled, queries)
+    /// The compiled arena engine. Panics if updates left it stale — callers
+    /// must run [`Rspn::ensure_compiled`] (or
+    /// [`crate::Ensemble::recompile_models`]) first; evaluation deliberately
+    /// cannot recompile behind a shared reference.
+    pub(crate) fn engine(&self) -> &CompiledSpn {
+        assert!(
+            !self.compiled_dirty,
+            "RSPN arena engine is stale after updates; call ensure_compiled()/recompile_models() \
+             before evaluating"
+        );
+        &self.compiled
+    }
+
+    /// Fused arena sweeps executed against this member's compiled engine so
+    /// far (diagnostics; lets tests assert probe plans touch each member
+    /// exactly once per query). Resets when updates force a recompile.
+    pub fn probe_passes(&self) -> u64 {
+        self.compiled.sweep_count()
+    }
+
+    /// Evaluate an expectation on the compiled arena engine.
+    pub fn expect(&self, q: &SpnQuery) -> f64 {
+        self.expect_batch(std::slice::from_ref(q))[0]
+    }
+
+    /// Evaluate a whole batch of expectations in one fused pass over the
+    /// arena (one scratch buffer, predicate normalization hoisted per query)
+    /// — the backbone of probabilistic query compilation, which issues
+    /// several probes per SQL query. Scratch is thread-local, so this is
+    /// `&self` and safe to call from probe-plan worker threads.
+    pub fn expect_batch(&self, queries: &[SpnQuery]) -> Vec<f64> {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<BatchEvaluator> =
+                std::cell::RefCell::new(BatchEvaluator::new());
+        }
+        SCRATCH.with(|ev| ev.borrow_mut().evaluate(self.engine(), queries))
     }
 
     /// Most probable value of an SPN column given evidence.
@@ -536,7 +564,6 @@ impl Rspn {
             spn,
             compiled,
             compiled_dirty: false,
-            evaluator: BatchEvaluator::new(),
             tables,
             columns,
             full_join_count,
@@ -693,7 +720,7 @@ mod tests {
 
     #[test]
     fn count_fraction_reproduces_paper_numbers() {
-        let (db, mut rspn) = learn_joint(40_000);
+        let (db, rspn) = learn_joint(40_000);
         let c = db.table_id("customer").unwrap();
         let o = db.table_id("orders").unwrap();
 

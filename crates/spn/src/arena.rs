@@ -17,6 +17,8 @@
 //! mirrors the recursive path operation-for-operation (same accumulation
 //! order, same zero-skips), so agreement is exact, not merely approximate.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::node::{Node, Spn};
 use crate::Leaf;
 
@@ -35,7 +37,7 @@ const NOT_A_LEAF: u32 = u32::MAX;
 ///
 /// Evaluation lives in [`crate::batch::BatchEvaluator`]; this type also
 /// offers a convenience single-query [`CompiledSpn::evaluate`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CompiledSpn {
     /// Node kinds in bottom-up topological order; `kinds.len() - 1` is root.
     pub(crate) kinds: Vec<CompiledKind>,
@@ -58,6 +60,29 @@ pub struct CompiledSpn {
     pub(crate) leaf_col: Vec<u32>,
     n_cols: usize,
     n_rows: u64,
+    /// Fused batch sweeps executed against this arena (diagnostics; lets
+    /// tests assert "one sweep per touched model per query"). A sweep is one
+    /// fused pass over a whole probe batch, regardless of how many tiles or
+    /// worker threads carried it out.
+    sweeps: AtomicU64,
+}
+
+impl Clone for CompiledSpn {
+    fn clone(&self) -> Self {
+        CompiledSpn {
+            kinds: self.kinds.clone(),
+            child_start: self.child_start.clone(),
+            child_end: self.child_end.clone(),
+            children: self.children.clone(),
+            weights: self.weights.clone(),
+            leaf_of: self.leaf_of.clone(),
+            leaves: self.leaves.clone(),
+            leaf_col: self.leaf_col.clone(),
+            n_cols: self.n_cols,
+            n_rows: self.n_rows,
+            sweeps: AtomicU64::new(self.sweeps.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl CompiledSpn {
@@ -75,6 +100,7 @@ impl CompiledSpn {
             leaf_col: Vec::new(),
             n_cols: spn.n_columns(),
             n_rows: spn.n_rows(),
+            sweeps: AtomicU64::new(0),
         };
         c.flatten(&spn.root);
         c
@@ -153,6 +179,17 @@ impl CompiledSpn {
     /// Rows represented at compile time.
     pub fn n_rows(&self) -> u64 {
         self.n_rows
+    }
+
+    /// Fused batch sweeps run against this arena so far.
+    pub fn sweep_count(&self) -> u64 {
+        self.sweeps.load(Ordering::Relaxed)
+    }
+
+    /// Record one fused batch sweep (called once per batch by the
+    /// evaluation entry points in [`crate::batch`], not per tile).
+    pub(crate) fn note_sweep(&self) {
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Convenience single-query evaluation (allocates a fresh scratch; for

@@ -21,15 +21,27 @@
 //!
 //! The evaluator owns only scratch; it can be reused across arbitrary
 //! [`CompiledSpn`]s and never allocates at steady state.
+//!
+//! On top of the single-model path, [`sweep_models`] executes one fused
+//! sweep per model with the tiles of *all* models load-balanced across a
+//! scoped worker pool: query slots never interact (each query reads only its
+//! own column slots and its own scratch row), so results are bitwise
+//! identical to the sequential path for any thread count. This is the engine
+//! behind `deepdb-core`'s probe plans, which collect every probe of a SQL
+//! query per RSPN member and then sweep each touched member exactly once.
+
+use std::sync::Mutex;
 
 use crate::arena::{CompiledKind, CompiledSpn};
 use crate::leaf::NormPred;
 use crate::{LeafFunc, SpnQuery};
 
-/// Queries evaluated per sweep. Bounds the scratch to `n_nodes × TILE`
-/// doubles (L2-resident for realistic models) no matter how large the batch
-/// is; tiles are independent, so tiling never changes results.
-const TILE: usize = 32;
+/// Queries evaluated per tile of a sweep. Bounds the scratch to
+/// `n_nodes × SWEEP_TILE` doubles (L2-resident for realistic models) no
+/// matter how large the batch is; tiles are independent — every query slot
+/// reads only its own normalized slots and writes only its own scratch
+/// column — so tiling (and tile-parallel execution) never changes results.
+pub const SWEEP_TILE: usize = 32;
 
 /// Reusable scratch for batched arena evaluation.
 #[derive(Debug, Clone, Default)]
@@ -47,33 +59,44 @@ impl BatchEvaluator {
     }
 
     /// Evaluate every query against `spn`, returning one expectation per
-    /// query (same order).
+    /// query (same order). Counts as one fused sweep.
     pub fn evaluate(&mut self, spn: &CompiledSpn, queries: &[SpnQuery]) -> Vec<f64> {
-        let mut out = Vec::with_capacity(queries.len());
+        let mut out = Vec::new();
         self.evaluate_into(spn, queries, &mut out);
         out
     }
 
-    /// Like [`BatchEvaluator::evaluate`] but appending into a caller-owned
-    /// buffer (cleared first), for allocation-free steady state.
+    /// Like [`BatchEvaluator::evaluate`] but into a caller-owned buffer
+    /// (cleared first), for allocation-free steady state. Counts as one
+    /// fused sweep.
     pub fn evaluate_into(&mut self, spn: &CompiledSpn, queries: &[SpnQuery], out: &mut Vec<f64>) {
         out.clear();
         if queries.is_empty() {
+            return;
+        }
+        spn.note_sweep();
+        out.resize(queries.len(), 0.0);
+        for (tile, dst) in queries.chunks(SWEEP_TILE).zip(out.chunks_mut(SWEEP_TILE)) {
+            self.evaluate_chunk(spn, tile, dst);
+        }
+    }
+
+    /// One forward sweep over the arena for a single chunk of queries,
+    /// writing one expectation per query into `out` (same order). Does
+    /// **not** bump the model's sweep counter — callers orchestrating a
+    /// larger fused sweep ([`sweep_models`]) account for it once per model.
+    /// Chunks at or below [`SWEEP_TILE`] queries keep the scratch
+    /// cache-resident; larger chunks work but grow it.
+    pub fn evaluate_chunk(&mut self, spn: &CompiledSpn, queries: &[SpnQuery], out: &mut [f64]) {
+        let n_q = queries.len();
+        assert_eq!(n_q, out.len(), "output slice arity mismatch");
+        if n_q == 0 {
             return;
         }
         let n_cols = spn.n_columns();
         for q in queries {
             assert_eq!(q.n_cols(), n_cols, "query arity mismatch");
         }
-        for tile in queries.chunks(TILE) {
-            self.evaluate_tile(spn, tile, out);
-        }
-    }
-
-    /// One forward sweep over the arena for up to [`TILE`] queries.
-    fn evaluate_tile(&mut self, spn: &CompiledSpn, queries: &[SpnQuery], out: &mut Vec<f64>) {
-        let n_q = queries.len();
-        let n_cols = spn.n_columns();
 
         // Hoist predicate normalization: once per (query, column).
         self.slots.clear();
@@ -136,8 +159,77 @@ impl BatchEvaluator {
             }
         }
 
-        out.extend_from_slice(&self.values[(n_nodes - 1) * n_q..]);
+        out.copy_from_slice(&self.values[(n_nodes - 1) * n_q..]);
     }
+}
+
+/// One model's share of a fused multi-model sweep: a probe batch against a
+/// compiled arena, with a caller-owned output slice of the same length.
+pub struct SweepJob<'a> {
+    pub spn: &'a CompiledSpn,
+    pub queries: &'a [SpnQuery],
+    pub out: &'a mut [f64],
+}
+
+/// Execute one fused sweep per job, with the [`SWEEP_TILE`]-sized tiles of
+/// **all** jobs load-balanced across up to `threads` scoped worker threads
+/// (`std::thread::scope`; no pool retained between calls). Each worker owns
+/// its own [`BatchEvaluator`] scratch, so evaluation only needs `&CompiledSpn`.
+///
+/// Results are bitwise identical for every thread count (including the
+/// inline `threads <= 1` path): a query's value depends only on its own
+/// normalized slots and its own scratch column, never on tile-mates or
+/// scheduling order, and each tile writes a disjoint output range.
+pub fn sweep_models(jobs: Vec<SweepJob<'_>>, threads: usize) {
+    // Split every job into independent (model, queries, out) tiles.
+    let mut tiles: Vec<(&CompiledSpn, &[SpnQuery], &mut [f64])> = Vec::new();
+    for job in jobs {
+        let SweepJob {
+            spn,
+            mut queries,
+            mut out,
+        } = job;
+        assert_eq!(queries.len(), out.len(), "sweep job arity mismatch");
+        if queries.is_empty() {
+            continue;
+        }
+        spn.note_sweep();
+        while !queries.is_empty() {
+            let k = queries.len().min(SWEEP_TILE);
+            let (q_head, q_tail) = queries.split_at(k);
+            let (o_head, o_tail) = std::mem::take(&mut out).split_at_mut(k);
+            tiles.push((spn, q_head, o_head));
+            queries = q_tail;
+            out = o_tail;
+        }
+    }
+
+    let workers = threads.max(1).min(tiles.len());
+    if workers <= 1 {
+        let mut ev = BatchEvaluator::new();
+        for (spn, queries, out) in tiles {
+            ev.evaluate_chunk(spn, queries, out);
+        }
+        return;
+    }
+
+    // Work-stealing over the tile list: tiles are coarse (SWEEP_TILE queries
+    // × whole arena), so a Mutex'd stack is contention-free in practice.
+    let queue = Mutex::new(tiles);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut ev = BatchEvaluator::new();
+                loop {
+                    let tile = queue.lock().expect("sweep queue poisoned").pop();
+                    match tile {
+                        Some((spn, queries, out)) => ev.evaluate_chunk(spn, queries, out),
+                        None => break,
+                    }
+                }
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -154,11 +246,8 @@ mod tests {
         Spn::learn(DataView::new(&cols, &meta), &SpnParams::default())
     }
 
-    #[test]
-    fn batch_matches_sequential_single_queries() {
-        let mut spn = small_spn();
-        let compiled = spn.compile();
-        let queries: Vec<SpnQuery> = vec![
+    fn probe_mix() -> Vec<SpnQuery> {
+        vec![
             SpnQuery::new(2),
             SpnQuery::new(2).with_pred(0, LeafPred::eq(0.0)),
             SpnQuery::new(2).with_pred(0, LeafPred::IsNull),
@@ -166,7 +255,14 @@ mod tests {
                 .with_pred(1, LeafPred::ge(30.0))
                 .with_func(1, LeafFunc::X),
             SpnQuery::new(2).with_func(0, LeafFunc::InvClamp1),
-        ];
+        ]
+    }
+
+    #[test]
+    fn batch_matches_sequential_single_queries() {
+        let mut spn = small_spn();
+        let compiled = spn.compile();
+        let queries = probe_mix();
         let mut ev = BatchEvaluator::new();
         let batch = ev.evaluate(&compiled, &queries);
         assert_eq!(batch.len(), queries.len());
@@ -210,5 +306,79 @@ mod tests {
         let spn = small_spn();
         let compiled = spn.compile();
         BatchEvaluator::new().evaluate(&compiled, &[SpnQuery::new(3)]);
+    }
+
+    #[test]
+    fn sweep_models_matches_sequential_bitwise_any_thread_count() {
+        let spn_a = small_spn();
+        let cols = vec![vec![5.0, 6.0, 7.0, 5.0], vec![1.0, 1.0, 2.0, 2.0]];
+        let meta = vec![ColumnMeta::discrete("x"), ColumnMeta::discrete("y")];
+        let spn_b = Spn::learn(DataView::new(&cols, &meta), &SpnParams::default());
+        let (ca, cb) = (spn_a.compile(), spn_b.compile());
+
+        // Batches larger than one tile so the parallel path actually splits.
+        let base = probe_mix();
+        let qa: Vec<SpnQuery> = (0..100).map(|i| base[i % base.len()].clone()).collect();
+        let qb: Vec<SpnQuery> = (0..67)
+            .map(|i| SpnQuery::new(2).with_pred(0, LeafPred::eq(5.0 + (i % 3) as f64)))
+            .collect();
+
+        let mut ev = BatchEvaluator::new();
+        let want_a = ev.evaluate(&ca, &qa);
+        let want_b = ev.evaluate(&cb, &qb);
+
+        for threads in [1, 2, 4, 7] {
+            let mut got_a = vec![0.0; qa.len()];
+            let mut got_b = vec![0.0; qb.len()];
+            sweep_models(
+                vec![
+                    SweepJob {
+                        spn: &ca,
+                        queries: &qa,
+                        out: &mut got_a,
+                    },
+                    SweepJob {
+                        spn: &cb,
+                        queries: &qb,
+                        out: &mut got_b,
+                    },
+                ],
+                threads,
+            );
+            assert_eq!(got_a, want_a, "model a, {threads} threads");
+            assert_eq!(got_b, want_b, "model b, {threads} threads");
+        }
+    }
+
+    #[test]
+    fn sweep_counting_is_per_model_per_batch() {
+        let spn = small_spn();
+        let compiled = spn.compile();
+        let queries: Vec<SpnQuery> = (0..80).map(|_| SpnQuery::new(2)).collect();
+        let before = compiled.sweep_count();
+        // One evaluate call = one sweep, regardless of tile count.
+        BatchEvaluator::new().evaluate(&compiled, &queries);
+        assert_eq!(compiled.sweep_count(), before + 1);
+        // One sweep_models job = one sweep, even multi-threaded.
+        let mut out = vec![0.0; queries.len()];
+        sweep_models(
+            vec![SweepJob {
+                spn: &compiled,
+                queries: &queries,
+                out: &mut out,
+            }],
+            4,
+        );
+        assert_eq!(compiled.sweep_count(), before + 2);
+        // Empty jobs don't count.
+        sweep_models(
+            vec![SweepJob {
+                spn: &compiled,
+                queries: &[],
+                out: &mut [],
+            }],
+            2,
+        );
+        assert_eq!(compiled.sweep_count(), before + 2);
     }
 }

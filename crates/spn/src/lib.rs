@@ -16,7 +16,12 @@
 //!   arena (contiguous SoA arrays in bottom-up topological order) and
 //!   evaluated for whole batches of queries in one non-recursive sweep.
 //!   The recursive evaluator remains the reference oracle; the compiled
-//!   engine is what the layers above actually query.
+//!   engine is what the layers above actually query;
+//! * [`sweep_models`] — one fused sweep per compiled model with the tiles of
+//!   all models load-balanced across scoped worker threads; the execution
+//!   engine of `deepdb-core`'s probe plans. Evaluation is `&self`-safe
+//!   (scratch lives in per-worker [`BatchEvaluator`]s), and results are
+//!   bitwise identical for every thread count.
 //!
 //! The SPN operates on an opaque `f64` matrix (NaN = NULL); the relational
 //! interpretation (tables, tuple factors, join indicators) lives in
@@ -36,7 +41,7 @@ mod update;
 pub mod wire;
 
 pub use arena::CompiledSpn;
-pub use batch::BatchEvaluator;
+pub use batch::{sweep_models, BatchEvaluator, SweepJob, SWEEP_TILE};
 pub use data::{ColumnMeta, DataView};
 pub use infer::{LeafFunc, LeafPred, Slot, SpnQuery};
 pub use kmeans::{kmeans_two, KMeansResult};
