@@ -18,7 +18,7 @@
 use deepdb_storage::{Aggregate, Database, Domain, Query, Value};
 
 use crate::compile::{
-    estimate_count_values_inner, register_scalar, resolve_scalar, value_predicate,
+    estimate_count_values_inner, register_scalar, resolve_scalar, value_predicate, ScalarTemplate,
 };
 use crate::ensemble::Ensemble;
 use crate::estimate::Estimate;
@@ -118,7 +118,12 @@ pub fn execute_aqp(
 
     // Enumerate all group combinations (mixed-radix counter) and register
     // every group's full probe bundle on ONE plan, then sweep each touched
-    // member once.
+    // member once. Member selection and the translation of the shared
+    // (non-group) predicates happen ONCE in the template; each group only
+    // appends its own value predicates to the cloned bases.
+    let mut shared_q = query.clone();
+    shared_q.group_by.clear();
+    let template = ScalarTemplate::prepare(ens, &shared_q, &query.group_by)?;
     let mut plan = ProbePlan::new();
     let mut pending = Vec::new();
     let mut combo = vec![0usize; group_domains.len()];
@@ -128,12 +133,13 @@ pub fn execute_aqp(
             .zip(&group_domains)
             .map(|(&i, d)| d[i])
             .collect();
-        let mut gq = query.clone();
-        gq.group_by.clear();
-        for (g, v) in query.group_by.iter().zip(&key) {
-            gq.predicates.push(value_predicate(g.table, g.column, *v));
-        }
-        pending.push((key, register_scalar(&mut plan, ens, &gq)?));
+        let group_preds: Vec<_> = query
+            .group_by
+            .iter()
+            .zip(&key)
+            .map(|(g, v)| value_predicate(g.table, g.column, *v))
+            .collect();
+        pending.push((key, template.register_group(&mut plan, ens, &group_preds)?));
         // Advance the mixed-radix counter over group combinations.
         for d in 0..combo.len() {
             combo[d] += 1;

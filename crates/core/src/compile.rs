@@ -27,7 +27,7 @@
 
 use std::collections::BTreeSet;
 
-use deepdb_spn::{LeafFunc, LeafPred};
+use deepdb_spn::{LeafFunc, LeafPred, SpnQuery};
 use deepdb_storage::{Aggregate, ColumnRef, Database, Predicate, Query, TableId};
 
 use crate::ensemble::Ensemble;
@@ -115,15 +115,19 @@ pub(crate) fn estimate_count_values_inner(
         selector_preds.push(eq_pred(v));
     }
     let single = best_covering_rspn(ens, &qtables, &selector_preds).and_then(|idx| {
-        // The whole batch must translate against this one RSPN.
+        // The whole batch must translate against this one RSPN. The shared
+        // predicates are translated once into a base query; each value only
+        // appends its own equality predicate.
         let rspn = &ens.rspns()[idx];
+        let base = count_fraction_query(rspn, &qtables, &query.predicates, false)
+            .ok()
+            .map(|(q, _)| q)?;
         let mut plan = ProbePlan::new();
         let mut handles = Vec::with_capacity(values.len());
         for v in values {
-            let mut preds = query.predicates.clone();
-            preds.push(eq_pred(v));
-            match count_fraction_query(rspn, &qtables, &preds, false) {
-                Ok((q, _)) => handles.push(plan.register(idx, q)),
+            let mut q = base.clone();
+            match rspn.add_predicate(&mut q, &eq_pred(v)) {
+                Ok(()) => handles.push(plan.register(idx, q)),
                 Err(_) => return None,
             }
         }
@@ -360,7 +364,9 @@ impl DeferredFraction {
 
 /// Register the probes of one count fraction on RSPN member `idx` (the
 /// split into a binomial predicate part and a Koenig–Huygens
-/// conditional-expectation part follows paper §5.1).
+/// conditional-expectation part follows paper §5.1). Thin wrapper over
+/// [`CountTemplate`] — the single source of the point/prob/sq bundle —
+/// with no deferred group predicates.
 pub(crate) fn register_fraction(
     plan: &mut ProbePlan,
     ens: &Ensemble,
@@ -368,29 +374,9 @@ pub(crate) fn register_fraction(
     qtables: &BTreeSet<TableId>,
     preds: &[Predicate],
 ) -> Result<DeferredFraction, DeepDbError> {
-    let rspn = &ens.rspns()[idx];
-    let n = rspn.n_training();
-    let (q, factors) = count_fraction_query(rspn, qtables, preds, false)?;
-    if factors.is_empty() {
-        return Ok(DeferredFraction {
-            n,
-            point: plan.register(idx, q),
-            prob: None,
-            sq: None,
-        });
-    }
-    // P(C ∧ ∏N_T): same query without the moment functions.
-    let mut prob_q = q.clone();
-    for &f in &factors {
-        prob_q.set_func(f, LeafFunc::One);
-    }
-    let (q_sq, _) = count_fraction_query(rspn, qtables, preds, true)?;
-    Ok(DeferredFraction {
-        n,
-        point: plan.register(idx, q),
-        prob: Some(plan.register(idx, prob_q)),
-        sq: Some(plan.register(idx, q_sq)),
-    })
+    Ok(CountTemplate::build(ens, idx, qtables, preds)?
+        .register(plan, ens, &[])?
+        .fraction)
 }
 
 /// Deferred Theorem-1 count on a single covering member:
@@ -448,7 +434,8 @@ impl DeferredAvg {
 
 /// Register an AVG estimate: choose the RSPN containing the aggregate column
 /// with the best predicate coverage; predicates on tables outside that RSPN
-/// are ignored (approximation noted in the paper).
+/// are ignored (approximation noted in the paper). Thin wrapper over
+/// [`AvgTemplate`] with no deferred group predicates.
 pub(crate) fn register_avg(
     plan: &mut ProbePlan,
     ens: &Ensemble,
@@ -456,44 +443,7 @@ pub(crate) fn register_avg(
     preds: &[Predicate],
     target: ColumnRef,
 ) -> Result<DeferredAvg, DeepDbError> {
-    let idx = best_rspn_with(ens, preds, |r| {
-        r.tables().contains(&target.table) && r.data_column(target.table, target.column).is_some()
-    })
-    .ok_or_else(|| {
-        DeepDbError::NotAnswerable(format!(
-            "no RSPN models AVG column ({}, {})",
-            target.table, target.column
-        ))
-    })?;
-
-    let rspn = &ens.rspns()[idx];
-    let target_col = rspn
-        .data_column(target.table, target.column)
-        .expect("checked above");
-    let present: BTreeSet<TableId> = tables
-        .iter()
-        .copied()
-        .filter(|t| rspn.tables().contains(t))
-        .collect();
-    let usable: Vec<Predicate> = preds
-        .iter()
-        .filter(|p| rspn.tables().contains(&p.table))
-        .cloned()
-        .collect();
-
-    let (mut num_q, _) = count_fraction_query(rspn, &present, &usable, false)?;
-    num_q.set_func(target_col, LeafFunc::X);
-    let (mut den_q, _) = count_fraction_query(rspn, &present, &usable, false)?;
-    den_q.add_pred(target_col, LeafPred::IsNotNull);
-    let (mut sq_q, _) = count_fraction_query(rspn, &present, &usable, true)?;
-    sq_q.set_func(target_col, LeafFunc::X2);
-
-    Ok(DeferredAvg {
-        n: rspn.n_training(),
-        num: plan.register(idx, num_q),
-        den: plan.register(idx, den_q),
-        sq: plan.register(idx, sq_q),
-    })
+    AvgTemplate::build(ens, tables, preds, preds, target)?.register(plan, ens, &[])
 }
 
 /// A deferred (aggregate, count) pair for one scalar (or one GROUP BY group)
@@ -524,37 +474,321 @@ pub(crate) fn register_scalar(
     ens: &Ensemble,
     query: &Query,
 ) -> Result<DeferredScalar, DeepDbError> {
-    let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
-    let count = register_count(plan, ens, &qtables, &query.predicates)?;
-    let agg = match query.aggregate {
-        Aggregate::CountStar => DeferredAggKind::Count,
-        Aggregate::Avg(target) => DeferredAggKind::Avg(register_avg(
-            plan,
-            ens,
-            &query.tables,
-            &query.predicates,
-            target,
-        )?),
-        Aggregate::Sum(target) => {
-            let mut nn_preds = query.predicates.clone();
-            nn_preds.push(Predicate::new(
-                target.table,
-                target.column,
-                deepdb_storage::PredOp::IsNotNull,
-            ));
-            DeferredAggKind::Sum {
-                count_nn: register_count(plan, ens, &qtables, &nn_preds)?,
-                nn_preds,
-                avg: register_avg(plan, ens, &query.tables, &query.predicates, target)?,
+    ScalarTemplate::prepare(ens, query, &[])?.register_group(plan, ens, &[])
+}
+
+// ---------------------------------------------------------------------------
+// Scalar templates: GROUP BY enumeration registers the same probe bundle
+// once per group, with only the group-value predicates changing. A
+// `ScalarTemplate` performs the member selection and translates the shared
+// (non-group) predicates into base `SpnQuery`s ONCE; each group then clones
+// the bases and appends just its own per-value predicates — O(groups ×
+// group columns) instead of O(groups × all predicates) translation work.
+// ---------------------------------------------------------------------------
+
+/// Pre-translated probe bases for a family of scalar queries that differ
+/// only in appended group-value predicates. Built by
+/// [`ScalarTemplate::prepare`]; consumed once per group via
+/// [`ScalarTemplate::register_group`]. The scalar path is the degenerate
+/// no-group-columns case, so both paths share one translation.
+pub(crate) struct ScalarTemplate {
+    qtables: BTreeSet<TableId>,
+    shared_preds: Vec<Predicate>,
+    /// `None` = the COUNT needs Case-3 combination (eager per-group fallback).
+    count: Option<CountTemplate>,
+    agg: AggTemplate,
+}
+
+/// Base queries of one deferred Theorem-1 count on a fixed member.
+struct CountTemplate {
+    idx: usize,
+    j: f64,
+    n: u64,
+    point: SpnQuery,
+    prob: Option<SpnQuery>,
+    sq: Option<SpnQuery>,
+}
+
+/// Base queries of one deferred AVG on a fixed member.
+struct AvgTemplate {
+    idx: usize,
+    n: u64,
+    num: SpnQuery,
+    den: SpnQuery,
+    sq: SpnQuery,
+}
+
+enum AggTemplate {
+    Count,
+    Avg(AvgTemplate),
+    Sum {
+        target: ColumnRef,
+        count_nn: Option<CountTemplate>,
+        avg: AvgTemplate,
+    },
+}
+
+impl CountTemplate {
+    /// Translate the shared predicates of one count bundle against member
+    /// `idx` — the single source of the Theorem-1 point/prob/sq bundle
+    /// ([`register_fraction`] delegates here).
+    fn build(
+        ens: &Ensemble,
+        idx: usize,
+        qtables: &BTreeSet<TableId>,
+        preds: &[Predicate],
+    ) -> Result<Self, DeepDbError> {
+        let rspn = &ens.rspns()[idx];
+        let (point, factors) = count_fraction_query(rspn, qtables, preds, false)?;
+        let (prob, sq) = if factors.is_empty() {
+            (None, None)
+        } else {
+            let mut prob_q = point.clone();
+            for &f in &factors {
+                prob_q.set_func(f, LeafFunc::One);
             }
-        }
-    };
-    Ok(DeferredScalar {
-        qtables,
-        preds: query.predicates.clone(),
-        count,
-        agg,
-    })
+            let (sq_q, _) = count_fraction_query(rspn, qtables, preds, true)?;
+            (Some(prob_q), Some(sq_q))
+        };
+        Ok(CountTemplate {
+            idx,
+            j: rspn.full_join_count() as f64,
+            n: rspn.n_training(),
+            point,
+            prob,
+            sq,
+        })
+    }
+
+    fn register(
+        &self,
+        plan: &mut ProbePlan,
+        ens: &Ensemble,
+        group_preds: &[Predicate],
+    ) -> Result<DeferredCount, DeepDbError> {
+        let rspn = &ens.rspns()[self.idx];
+        let extend = |base: &SpnQuery| -> Result<SpnQuery, DeepDbError> {
+            let mut q = base.clone();
+            for p in group_preds {
+                rspn.add_predicate(&mut q, p)?;
+            }
+            Ok(q)
+        };
+        let point = plan.register(self.idx, extend(&self.point)?);
+        let prob = match &self.prob {
+            Some(b) => Some(plan.register(self.idx, extend(b)?)),
+            None => None,
+        };
+        let sq = match &self.sq {
+            Some(b) => Some(plan.register(self.idx, extend(b)?)),
+            None => None,
+        };
+        Ok(DeferredCount {
+            j: self.j,
+            fraction: DeferredFraction {
+                n: self.n,
+                point,
+                prob,
+                sq,
+            },
+        })
+    }
+}
+
+impl AvgTemplate {
+    /// Member selection + shared-predicate translation of one AVG bundle
+    /// (mirrors the former eager `register_avg` body). `selector_preds`
+    /// drive the member choice (they include representative group
+    /// predicates — scoring depends only on predicate columns, never on the
+    /// group value); the base queries carry only the translated shared
+    /// predicates.
+    fn build(
+        ens: &Ensemble,
+        tables: &[TableId],
+        preds: &[Predicate],
+        selector_preds: &[Predicate],
+        target: ColumnRef,
+    ) -> Result<Self, DeepDbError> {
+        let idx = best_rspn_with(ens, selector_preds, |r| {
+            r.tables().contains(&target.table)
+                && r.data_column(target.table, target.column).is_some()
+        })
+        .ok_or_else(|| {
+            DeepDbError::NotAnswerable(format!(
+                "no RSPN models AVG column ({}, {})",
+                target.table, target.column
+            ))
+        })?;
+
+        let rspn = &ens.rspns()[idx];
+        let target_col = rspn
+            .data_column(target.table, target.column)
+            .expect("checked above");
+        let present: BTreeSet<TableId> = tables
+            .iter()
+            .copied()
+            .filter(|t| rspn.tables().contains(t))
+            .collect();
+        let usable: Vec<Predicate> = preds
+            .iter()
+            .filter(|p| rspn.tables().contains(&p.table))
+            .cloned()
+            .collect();
+
+        let (mut num, _) = count_fraction_query(rspn, &present, &usable, false)?;
+        num.set_func(target_col, LeafFunc::X);
+        let (mut den, _) = count_fraction_query(rspn, &present, &usable, false)?;
+        den.add_pred(target_col, LeafPred::IsNotNull);
+        let (mut sq, _) = count_fraction_query(rspn, &present, &usable, true)?;
+        sq.set_func(target_col, LeafFunc::X2);
+
+        Ok(AvgTemplate {
+            idx,
+            n: rspn.n_training(),
+            num,
+            den,
+            sq,
+        })
+    }
+
+    fn register(
+        &self,
+        plan: &mut ProbePlan,
+        ens: &Ensemble,
+        group_preds: &[Predicate],
+    ) -> Result<DeferredAvg, DeepDbError> {
+        let rspn = &ens.rspns()[self.idx];
+        let extend = |base: &SpnQuery| -> Result<SpnQuery, DeepDbError> {
+            let mut q = base.clone();
+            // Same filter the shared predicates went through: predicates on
+            // tables outside this member are ignored (documented
+            // approximation of the paper's AVG translation).
+            for p in group_preds {
+                if rspn.tables().contains(&p.table) {
+                    rspn.add_predicate(&mut q, p)?;
+                }
+            }
+            Ok(q)
+        };
+        Ok(DeferredAvg {
+            n: self.n,
+            num: plan.register(self.idx, extend(&self.num)?),
+            den: plan.register(self.idx, extend(&self.den)?),
+            sq: plan.register(self.idx, extend(&self.sq)?),
+        })
+    }
+}
+
+impl ScalarTemplate {
+    /// Select members and translate the shared predicates of `query` once.
+    /// `group_cols` are the GROUP BY columns whose per-value predicates will
+    /// be appended group by group; member selection sees representative
+    /// equality predicates on them (scores depend only on the columns).
+    pub(crate) fn prepare(
+        ens: &Ensemble,
+        query: &Query,
+        group_cols: &[ColumnRef],
+    ) -> Result<Self, DeepDbError> {
+        let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
+        let rep: Vec<Predicate> = group_cols
+            .iter()
+            .map(|c| value_predicate(c.table, c.column, deepdb_storage::Value::Int(0)))
+            .collect();
+        let selector: Vec<Predicate> = query.predicates.iter().chain(rep.iter()).cloned().collect();
+
+        let count = match best_covering_rspn(ens, &qtables, &selector) {
+            Some(idx) => Some(CountTemplate::build(ens, idx, &qtables, &query.predicates)?),
+            None => None,
+        };
+        let agg = match query.aggregate {
+            Aggregate::CountStar => AggTemplate::Count,
+            Aggregate::Avg(target) => AggTemplate::Avg(AvgTemplate::build(
+                ens,
+                &query.tables,
+                &query.predicates,
+                &selector,
+                target,
+            )?),
+            Aggregate::Sum(target) => {
+                let nn = Predicate::new(
+                    target.table,
+                    target.column,
+                    deepdb_storage::PredOp::IsNotNull,
+                );
+                let mut nn_base = query.predicates.clone();
+                nn_base.push(nn.clone());
+                let mut nn_selector = selector.clone();
+                nn_selector.push(nn);
+                let count_nn = match best_covering_rspn(ens, &qtables, &nn_selector) {
+                    Some(idx) => Some(CountTemplate::build(ens, idx, &qtables, &nn_base)?),
+                    None => None,
+                };
+                AggTemplate::Sum {
+                    target,
+                    count_nn,
+                    avg: AvgTemplate::build(
+                        ens,
+                        &query.tables,
+                        &query.predicates,
+                        &selector,
+                        target,
+                    )?,
+                }
+            }
+        };
+        Ok(ScalarTemplate {
+            qtables,
+            shared_preds: query.predicates.clone(),
+            count,
+            agg,
+        })
+    }
+
+    /// Register one group's probe bundle: clone the translated bases and
+    /// append only this group's value predicates.
+    pub(crate) fn register_group(
+        &self,
+        plan: &mut ProbePlan,
+        ens: &Ensemble,
+        group_preds: &[Predicate],
+    ) -> Result<DeferredScalar, DeepDbError> {
+        let mut preds = self.shared_preds.clone();
+        preds.extend(group_preds.iter().cloned());
+        let count = match &self.count {
+            Some(t) => Some(t.register(plan, ens, group_preds)?),
+            None => None,
+        };
+        let agg = match &self.agg {
+            AggTemplate::Count => DeferredAggKind::Count,
+            AggTemplate::Avg(t) => DeferredAggKind::Avg(t.register(plan, ens, group_preds)?),
+            AggTemplate::Sum {
+                target,
+                count_nn,
+                avg,
+            } => {
+                let mut nn_preds = preds.clone();
+                nn_preds.push(Predicate::new(
+                    target.table,
+                    target.column,
+                    deepdb_storage::PredOp::IsNotNull,
+                ));
+                DeferredAggKind::Sum {
+                    count_nn: match count_nn {
+                        Some(t) => Some(t.register(plan, ens, group_preds)?),
+                        None => None,
+                    },
+                    nn_preds,
+                    avg: avg.register(plan, ens, group_preds)?,
+                }
+            }
+        };
+        Ok(DeferredScalar {
+            qtables: self.qtables.clone(),
+            preds,
+            count,
+            agg,
+        })
+    }
 }
 
 /// Resolve a [`DeferredScalar`] into `(aggregate, count)` estimates,

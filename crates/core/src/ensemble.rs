@@ -411,12 +411,13 @@ impl Ensemble {
         self.rspns.iter().map(Rspn::model_size).sum()
     }
 
-    /// Recompile every RSPN's arena engine now instead of lazily on first
-    /// use. Updates ([`Ensemble::apply_insert`] / [`Ensemble::apply_delete`])
-    /// only mark the compiled form dirty — call this after a bulk-update
-    /// burst to take the one-tree-walk recompilation cost off the query path.
-    /// Every query entry point calls this up front (a no-op when nothing is
-    /// dirty), which is what lets probe evaluation itself run on `&self`.
+    /// Recompile any RSPN arena engine that was structurally invalidated.
+    /// Updates ([`Ensemble::apply_insert`] / [`Ensemble::apply_delete`] and
+    /// the batched [`Ensemble::apply_insert_batch`]) patch the compiled
+    /// arenas **in place**, so on the steady-state update/query path this is
+    /// a no-op — it exists as the escape hatch for structural changes.
+    /// Every query entry point still calls it up front, which is what lets
+    /// probe evaluation itself run on `&self`.
     pub fn recompile_models(&mut self) {
         for rspn in &mut self.rspns {
             rspn.ensure_compiled();
@@ -450,9 +451,10 @@ impl Ensemble {
 
     /// Insert a row into the database **and** absorb it into every affected
     /// RSPN (paper Algorithm 1 + §6.1 update protocol). The row is appended
-    /// to `db` first; the model update follows. Affected RSPNs mark their
-    /// compiled arena dirty and recompile on the next query (or eagerly via
-    /// [`Ensemble::recompile_models`]).
+    /// to `db` first; the model update follows, patching each affected
+    /// member's compiled arena in place — the engines are never stale, so an
+    /// interleaved update/query stream pays O(tree depth) per tuple instead
+    /// of a full recompile per query.
     pub fn apply_insert(
         &mut self,
         db: &mut Database,
@@ -463,6 +465,28 @@ impl Ensemble {
         self.absorb_insert(db, table, values)
     }
 
+    /// Insert a batch of rows into one table and absorb them into the
+    /// models, fanning each member's accumulated tuple batch to it in one
+    /// routed traversal (one weight renormalization per touched sum node for
+    /// the whole batch). Bookkeeping (PK/factor caches, |J| maintenance,
+    /// sampling decisions) runs row by row in insertion order, so the result
+    /// is bitwise identical to the same sequence of
+    /// [`Ensemble::apply_insert`] calls.
+    pub fn apply_insert_batch(
+        &mut self,
+        db: &mut Database,
+        table: TableId,
+        rows: &[Vec<Value>],
+    ) -> Result<(), DeepDbError> {
+        let mut batches: Vec<Vec<Vec<f64>>> = vec![Vec::new(); self.rspns.len()];
+        for values in rows {
+            db.table_mut(table).push_row(values)?;
+            self.bookkeep_insert(db, table, values, &mut batches)?;
+        }
+        self.fan_insert_batches(batches);
+        Ok(())
+    }
+
     /// Absorb an already-inserted row into the models. `db` must already
     /// contain the row (as its last row of `table`).
     pub fn absorb_insert(
@@ -471,6 +495,34 @@ impl Ensemble {
         table: TableId,
         values: &[Value],
     ) -> Result<(), DeepDbError> {
+        let mut batches: Vec<Vec<Vec<f64>>> = vec![Vec::new(); self.rspns.len()];
+        self.bookkeep_insert(db, table, values, &mut batches)?;
+        self.fan_insert_batches(batches);
+        Ok(())
+    }
+
+    /// Patch each member's tree + arena with its accumulated tuple batch.
+    fn fan_insert_batches(&mut self, batches: Vec<Vec<Vec<f64>>>) {
+        for (i, batch) in batches.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.rspns[i].insert_rows(&batch);
+            }
+        }
+    }
+
+    /// The non-model half of an insert: cache/|J| maintenance plus the
+    /// sampled assembly of each affected member's join row(s), pushed into
+    /// `batches` instead of applied immediately so callers can fold a whole
+    /// batch into one model update per member.
+    fn bookkeep_insert(
+        &mut self,
+        db: &Database,
+        table: TableId,
+        values: &[Value],
+        batches: &mut [Vec<Vec<f64>>],
+    ) -> Result<(), DeepDbError> {
+        // (Index loop below: the body borrows `self` mutably for the RNG and
+        // join-row assembly, so iterating `self.rspns` directly won't borrow.)
         self.updates_absorbed += 1;
         self.row_counts[table] += 1;
         let new_row = db.table(table).n_rows() - 1;
@@ -511,6 +563,7 @@ impl Ensemble {
             }
         }
 
+        #[allow(clippy::needless_range_loop)]
         for i in 0..self.rspns.len() {
             if !self.rspns[i].tables().contains(&table) {
                 continue;
@@ -543,7 +596,7 @@ impl Ensemble {
             if copies > 0 {
                 if let Some(row) = self.assemble_join_row(db, i, table, values) {
                     for _ in 0..copies {
-                        self.rspns[i].insert_row(&row);
+                        batches[i].push(row.clone());
                     }
                 }
             }

@@ -8,7 +8,11 @@
 //! * [`Ensemble`] / [`EnsembleBuilder`] — base-ensemble construction from
 //!   pairwise RDC table correlations plus budget-constrained ensemble
 //!   optimization (paper §3.3, §5.3), direct insert/delete updates
-//!   (paper §5.2), and the RDC-greedy execution strategy.
+//!   (paper §5.2) that patch each member's compiled arena **in place**
+//!   (single-row and batched via `Ensemble::apply_insert_batch` — the
+//!   engines are never stale, so interleaved update/query streams pay
+//!   O(tree depth) per tuple, not a recompile per query), and the
+//!   RDC-greedy execution strategy.
 //! * [`compile`] — probabilistic query compilation of COUNT/SUM/AVG
 //!   (+ GROUP BY) queries into products of expectations over the ensemble,
 //!   covering the paper's Cases 1–3 including Theorems 1 and 2 (§4).

@@ -29,9 +29,11 @@ const MAX_GROUP_DISTINCT: usize = 4096;
 pub struct Rspn {
     spn: Spn,
     /// Arena-compiled form of `spn` — the engine every expectation query
-    /// actually runs against. Rebuilt explicitly ([`Rspn::ensure_compiled`])
-    /// after updates flag it dirty; evaluation itself is `&self` so probe
-    /// plans can sweep members from worker threads.
+    /// actually runs against. Updates patch it **in place** (lockstep with
+    /// the tree, O(depth) per tuple), so it is never stale on the hot path;
+    /// [`Rspn::ensure_compiled`] remains as a structural-change escape
+    /// hatch. Evaluation itself is `&self` so probe plans can sweep members
+    /// from worker threads.
     compiled: CompiledSpn,
     compiled_dirty: bool,
     tables: Vec<TableId>,
@@ -266,11 +268,14 @@ impl Rspn {
         SpnQuery::new(self.columns.len())
     }
 
-    /// Recompile the arena engine if updates invalidated it. Recompilation
-    /// is the **only** mutable step of the query path: evaluation itself is
-    /// `&self`, so callers recompile up front (the public entry points in
-    /// `compile`/`aqp`/`ml` do this via [`crate::Ensemble::recompile_models`])
-    /// and then fan probes out across threads freely.
+    /// Recompile the arena engine if something invalidated it. Since
+    /// inserts/deletes patch the arena in place, this is a **structural
+    /// escape hatch** (future structure adaptation, e.g. leaf splitting on
+    /// drift), not part of the steady-state update path — on the hot path it
+    /// is a no-op, which keeps [`Rspn::probe_passes`] counters alive across
+    /// update streams. The public query entry points in `compile`/`aqp`/`ml`
+    /// still call it up front via [`crate::Ensemble::recompile_models`] so
+    /// evaluation can fan probes out across threads on `&self`.
     pub fn ensure_compiled(&mut self) {
         if self.compiled_dirty {
             self.compiled = self.spn.compile();
@@ -278,7 +283,8 @@ impl Rspn {
         }
     }
 
-    /// Whether updates have invalidated the compiled engine.
+    /// Whether something invalidated the compiled engine (never set by the
+    /// in-place update path; reserved for structural changes).
     pub fn needs_recompile(&self) -> bool {
         self.compiled_dirty
     }
@@ -581,9 +587,38 @@ impl Rspn {
     }
 
     /// Absorb one full-outer-join row (paper Algorithm 1), already assembled
-    /// in SPN column order. Marks the compiled engine dirty; it recompiles
-    /// lazily on the next evaluation.
+    /// in SPN column order. The tree **and** the compiled arena engine are
+    /// patched in place — O(depth + touched bins), no recompilation, and
+    /// query results are bitwise identical to a full recompile.
     pub fn insert_row(&mut self, row: &[f64]) {
+        self.track_distincts(row);
+        self.spn.insert_patch(&mut self.compiled, row);
+    }
+
+    /// Absorb a batch of full-outer-join rows in one routed traversal; arena
+    /// deltas are folded per node (one weight renormalization per touched
+    /// sum for the whole batch).
+    pub fn insert_rows(&mut self, rows: &[Vec<f64>]) {
+        for row in rows {
+            self.track_distincts(row);
+        }
+        self.spn.insert_batch(&mut self.compiled, rows);
+    }
+
+    /// Remove one full-outer-join row, patching tree and arena in place.
+    /// Returns `false` (a consistent no-op) if the routed path cannot absorb
+    /// the delete — e.g. the tuple was never represented.
+    pub fn delete_row(&mut self, row: &[f64]) -> bool {
+        self.spn.delete_patch(&mut self.compiled, row)
+    }
+
+    /// Remove a batch of rows; returns how many actually applied. Arena
+    /// finalization is folded per batch like [`Rspn::insert_rows`].
+    pub fn delete_rows(&mut self, rows: &[Vec<f64>]) -> usize {
+        self.spn.delete_batch(&mut self.compiled, rows)
+    }
+
+    fn track_distincts(&mut self, row: &[f64]) {
         for (i, &v) in row.iter().enumerate() {
             if v.is_finite() && self.columns[i].discrete {
                 if let Some(set) = self.distincts.get_mut(&i) {
@@ -593,14 +628,6 @@ impl Rspn {
                 }
             }
         }
-        self.spn.insert(row);
-        self.compiled_dirty = true;
-    }
-
-    /// Remove one full-outer-join row. Marks the compiled engine dirty.
-    pub fn delete_row(&mut self, row: &[f64]) {
-        self.spn.delete(row);
-        self.compiled_dirty = true;
     }
 }
 

@@ -1,16 +1,24 @@
 //! Arena-compiled SPN: the tree flattened into contiguous struct-of-arrays
 //! storage, evaluated without recursion.
 //!
-//! [`CompiledSpn`] is built once from an [`Spn`] (and rebuilt after updates —
-//! see `deepdb-core`'s dirty-flag recompilation). Nodes are laid out in
-//! **topological bottom-up order** (every child precedes its parent, the root
-//! is last), so a single forward sweep over the arrays evaluates the whole
-//! network; there is no pointer chasing and no per-visit allocation.
+//! [`CompiledSpn`] is built once from an [`Spn`] and then **patched in
+//! place** as updates stream in (paper Algorithm 1 never changes the
+//! structure, only sum weights and leaf histograms — see [`crate::update`]'s
+//! lockstep tree+arena walk). Nodes are laid out in **topological bottom-up
+//! order** (every child precedes its parent, the root is last), so a single
+//! forward sweep over the arrays evaluates the whole network; there is no
+//! pointer chasing and no per-visit allocation.
 //!
-//! Mixture weights are frozen to `count / total` at compile time, and leaf
-//! prefix sums are rebuilt eagerly, which makes evaluation a pure `&self`
-//! operation — the prerequisite for the batched evaluator in [`crate::batch`]
-//! and for future parallel/sharded ensembles.
+//! Sum-node counts are stored next to the frozen `count / total` mixture
+//! weights; a patch adjusts the counts of the routed edges and
+//! [`ArenaPatch`] defers the per-sum weight renormalization and the per-leaf
+//! prefix-sum rebuild to one commit per batch — one renormalization per
+//! touched sum, not per tuple. Renormalization replays the exact arithmetic
+//! of [`CompiledSpn::compile`], so a patched arena is **bitwise identical**
+//! to a full recompile of the patched tree (property-tested in
+//! `tests/prop_update.rs`). Evaluation stays a pure `&self` operation — the
+//! prerequisite for the batched evaluator in [`crate::batch`] and for
+//! parallel/sharded ensembles.
 //!
 //! The recursive evaluator in [`crate::infer`] stays as the reference oracle;
 //! differential property tests assert both paths agree. Arithmetic here
@@ -51,6 +59,10 @@ pub struct CompiledSpn {
     /// edges are skipped, matching the recursive evaluator; 1.0 for product
     /// edges).
     pub(crate) weights: Vec<f64>,
+    /// Raw row count per child edge, aligned with `weights` (mirrors
+    /// `SumNode::counts`; 0 for product edges). The patch path adjusts these
+    /// and re-derives `weights` with the exact arithmetic of `compile`.
+    pub(crate) counts: Vec<u64>,
     /// Per-node leaf payload index into `leaves` (`NOT_A_LEAF` for inner
     /// nodes).
     pub(crate) leaf_of: Vec<u32>,
@@ -75,6 +87,7 @@ impl Clone for CompiledSpn {
             child_end: self.child_end.clone(),
             children: self.children.clone(),
             weights: self.weights.clone(),
+            counts: self.counts.clone(),
             leaf_of: self.leaf_of.clone(),
             leaves: self.leaves.clone(),
             leaf_col: self.leaf_col.clone(),
@@ -95,6 +108,7 @@ impl CompiledSpn {
             child_end: Vec::new(),
             children: Vec::new(),
             weights: Vec::new(),
+            counts: Vec::new(),
             leaf_of: Vec::new(),
             leaves: Vec::new(),
             leaf_col: Vec::new(),
@@ -115,12 +129,19 @@ impl CompiledSpn {
                 let payload = self.leaves.len() as u32;
                 self.leaf_col.push(leaf.col as u32);
                 self.leaves.push(leaf);
-                self.push_node(CompiledKind::Leaf, Vec::new(), Vec::new(), payload)
+                self.push_node(
+                    CompiledKind::Leaf,
+                    Vec::new(),
+                    Vec::new(),
+                    Vec::new(),
+                    payload,
+                )
             }
             Node::Product(p) => {
                 let ids: Vec<u32> = p.children.iter().map(|ch| self.flatten(ch)).collect();
                 let weights = vec![1.0; ids.len()];
-                self.push_node(CompiledKind::Product, ids, weights, NOT_A_LEAF)
+                let counts = vec![0; ids.len()];
+                self.push_node(CompiledKind::Product, ids, weights, counts, NOT_A_LEAF)
             }
             Node::Sum(s) => {
                 let ids: Vec<u32> = s.children.iter().map(|ch| self.flatten(ch)).collect();
@@ -139,7 +160,13 @@ impl CompiledSpn {
                         }
                     })
                     .collect();
-                self.push_node(CompiledKind::Sum, ids, weights, NOT_A_LEAF)
+                self.push_node(
+                    CompiledKind::Sum,
+                    ids,
+                    weights,
+                    s.counts.clone(),
+                    NOT_A_LEAF,
+                )
             }
         }
     }
@@ -149,6 +176,7 @@ impl CompiledSpn {
         kind: CompiledKind,
         child_ids: Vec<u32>,
         weights: Vec<f64>,
+        counts: Vec<u64>,
         payload: u32,
     ) -> u32 {
         let id = self.kinds.len() as u32;
@@ -156,6 +184,7 @@ impl CompiledSpn {
         self.child_start.push(self.children.len() as u32);
         self.children.extend_from_slice(&child_ids);
         self.weights.extend_from_slice(&weights);
+        self.counts.extend_from_slice(&counts);
         self.child_end.push(self.children.len() as u32);
         self.leaf_of.push(payload);
         id
@@ -197,13 +226,137 @@ impl CompiledSpn {
     pub fn evaluate(&self, query: &crate::SpnQuery) -> f64 {
         crate::batch::BatchEvaluator::new().evaluate(self, std::slice::from_ref(query))[0]
     }
+
+    // -- In-place patching ---------------------------------------------------
+    //
+    // The update walk in `crate::update` routes tuples through the tree and
+    // the arena in lockstep, calling the low-level mutators below; the
+    // expensive per-node finalization (weight renormalization, leaf prefix
+    // rebuilds) is deferred into an `ArenaPatch` and folded to once per
+    // touched node per batch by `commit_patch`.
+
+    /// Arena id of the `k`-th child of `node` (child order mirrors the
+    /// tree's, by construction of [`CompiledSpn::compile`]).
+    pub(crate) fn child_id(&self, node: u32, k: usize) -> u32 {
+        self.children[self.child_start[node as usize] as usize + k]
+    }
+
+    /// Leaf payload index of a leaf node.
+    pub(crate) fn leaf_payload(&self, node: u32) -> u32 {
+        let payload = self.leaf_of[node as usize];
+        debug_assert_ne!(payload, NOT_A_LEAF, "node {node} is not a leaf");
+        payload
+    }
+
+    /// Mutable access to a leaf histogram by payload index (patching applies
+    /// the same `Leaf::insert`/`Leaf::remove` as the tree copy receives, so
+    /// both stay bitwise identical).
+    pub(crate) fn leaf_mut(&mut self, payload: u32) -> &mut Leaf {
+        &mut self.leaves[payload as usize]
+    }
+
+    /// Adjust the raw count of sum edge `(node, k)`. Weights are stale until
+    /// [`CompiledSpn::commit_patch`] renormalizes the touched sums.
+    pub(crate) fn sum_count_delta(&mut self, node: u32, k: usize, delta: i64) {
+        debug_assert_eq!(self.kinds[node as usize], CompiledKind::Sum);
+        let e = self.child_start[node as usize] as usize + k;
+        self.counts[e] = (self.counts[e] as i64 + delta).max(0) as u64;
+    }
+
+    /// Recompute one sum node's weights from its counts — the same
+    /// `cnt / total` arithmetic as [`CompiledSpn::compile`], so a patched
+    /// arena and a recompiled one agree bitwise.
+    fn renormalize_sum(&mut self, node: u32) {
+        let (s, e) = (
+            self.child_start[node as usize] as usize,
+            self.child_end[node as usize] as usize,
+        );
+        let total: u64 = self.counts[s..e].iter().sum();
+        for i in s..e {
+            self.weights[i] = if total == 0 {
+                0.0
+            } else {
+                self.counts[i] as f64 / total as f64
+            };
+        }
+    }
+
+    /// Apply the deferred finalization of a patch batch: renormalize every
+    /// touched sum once, rebuild every touched leaf's prefix sums once, and
+    /// sync the represented row count.
+    pub(crate) fn commit_patch(&mut self, patch: ArenaPatch, n_rows: u64) {
+        for node in patch.touched_sums {
+            self.renormalize_sum(node);
+        }
+        for payload in patch.touched_leaves {
+            self.leaves[payload as usize].ensure_prefix();
+        }
+        self.n_rows = n_rows;
+    }
+
+    /// Bitwise structural equality with another arena (weights compared by
+    /// bit pattern; the sweep diagnostics counter is ignored). This is the
+    /// acceptance check of the incremental patch path: after any update
+    /// stream, the patched arena must equal a full recompile exactly.
+    pub fn bitwise_eq(&self, other: &Self) -> bool {
+        self.kinds == other.kinds
+            && self.child_start == other.child_start
+            && self.child_end == other.child_end
+            && self.children == other.children
+            && self.counts == other.counts
+            && self.leaf_of == other.leaf_of
+            && self.leaf_col == other.leaf_col
+            && self.n_cols == other.n_cols
+            && self.n_rows == other.n_rows
+            && self.weights.len() == other.weights.len()
+            && self
+                .weights
+                .iter()
+                .zip(&other.weights)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.leaves.len() == other.leaves.len()
+            && self
+                .leaves
+                .iter()
+                .zip(&other.leaves)
+                .all(|(a, b)| a.bitwise_eq(b))
+    }
+}
+
+/// Deferred finalization of an in-place arena patch batch: records which
+/// sums and leaves a batch of routed tuples touched, so renormalization and
+/// prefix rebuilds run once per node per batch (not per tuple). Created by
+/// the patched update entry points in [`crate::update`], consumed by
+/// [`CompiledSpn::commit_patch`].
+#[derive(Debug, Default)]
+pub(crate) struct ArenaPatch {
+    touched_sums: Vec<u32>,
+    touched_leaves: Vec<u32>,
+    sum_seen: std::collections::HashSet<u32>,
+    leaf_seen: std::collections::HashSet<u32>,
+}
+
+impl ArenaPatch {
+    pub(crate) fn touch_sum(&mut self, node: u32) {
+        if self.sum_seen.insert(node) {
+            self.touched_sums.push(node);
+        }
+    }
+
+    pub(crate) fn touch_leaf(&mut self, payload: u32) {
+        if self.leaf_seen.insert(payload) {
+            self.touched_leaves.push(payload);
+        }
+    }
 }
 
 impl Spn {
     /// Compile this SPN into the arena representation. The result is a
-    /// snapshot: later [`Spn::insert`]/[`Spn::delete`] calls do not affect
-    /// it — recompile after updates (callers in `deepdb-core` track this
-    /// with a dirty flag).
+    /// snapshot: later tree-only [`Spn::insert`]/[`Spn::delete`] calls do
+    /// not affect it. The patched update entry points
+    /// ([`Spn::insert_patch`], [`Spn::insert_batch`], …) keep an arena in
+    /// sync in place, so recompilation is only needed after structural
+    /// changes (or to bootstrap an arena for a freshly loaded tree).
     pub fn compile(&self) -> CompiledSpn {
         CompiledSpn::compile(self)
     }

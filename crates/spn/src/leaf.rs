@@ -61,6 +61,14 @@ const FUNCS: [LeafFunc; 5] = [
     LeafFunc::InvSqClamp1,
 ];
 
+/// Bin of `v` in an equi-width binned leaf; out-of-range values clamp to the
+/// edge bins. `insert`, `can_remove`, and `remove` must agree on this
+/// bit-for-bit — the check-then-apply delete protocol validates against the
+/// same bin it later drains.
+fn bin_index(lo: f64, width: f64, nb: usize, v: f64) -> usize {
+    (((v - lo) / width) as isize).clamp(0, nb as isize - 1) as usize
+}
+
 /// Conjunction of leaf predicates normalized to one range + value sets.
 /// Built once per (query, column) by the batch evaluator and reused across
 /// every leaf with that column — the recursive evaluator rebuilds it per
@@ -478,9 +486,7 @@ impl Leaf {
                 sq_sums,
                 ..
             } => {
-                let nb = counts.len();
-                // Out-of-range inserts clamp to the edge bins.
-                let idx = (((v - *lo) / *width) as isize).clamp(0, nb as isize - 1) as usize;
+                let idx = bin_index(*lo, *width, counts.len(), v);
                 counts[idx] += 1;
                 sums[idx] += v;
                 sq_sums[idx] += v * v;
@@ -489,6 +495,25 @@ impl Leaf {
         };
         if needs_bin_conversion {
             self.convert_to_binned();
+        }
+    }
+
+    /// Whether [`Leaf::remove`] of `v` would succeed right now — the
+    /// read-only half of the check-then-apply delete protocol in
+    /// [`crate::update`], which keeps sum counts and leaf masses consistent
+    /// by refusing a delete along the *whole* routed path if any step would
+    /// be a no-op.
+    pub(crate) fn can_remove(&self, v: f64) -> bool {
+        if !v.is_finite() {
+            return self.null_count > 0;
+        }
+        match &self.kind {
+            LeafKind::Exact { values, counts, .. } => values
+                .binary_search_by(|a| a.partial_cmp(&v).unwrap_or(std::cmp::Ordering::Equal))
+                .is_ok_and(|i| counts[i] > 0),
+            LeafKind::Binned {
+                lo, width, counts, ..
+            } => counts[bin_index(*lo, *width, counts.len(), v)] > 0,
         }
     }
 
@@ -528,8 +553,7 @@ impl Leaf {
                 sq_sums,
                 ..
             } => {
-                let nb = counts.len();
-                let idx = (((v - *lo) / *width) as isize).clamp(0, nb as isize - 1) as usize;
+                let idx = bin_index(*lo, *width, counts.len(), v);
                 if counts[idx] == 0 {
                     false
                 } else {
@@ -638,6 +662,64 @@ impl Leaf {
         };
         leaf.rebuild_prefix();
         Ok(leaf)
+    }
+
+    /// Bitwise equality of the histogram state (floats compared by bit
+    /// pattern; the lazy `dirty` flag and cached prefix sums are excluded —
+    /// they are derived state). Used by [`crate::CompiledSpn::bitwise_eq`].
+    pub(crate) fn bitwise_eq(&self, other: &Self) -> bool {
+        fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        }
+        if self.col != other.col
+            || self.discrete != other.discrete
+            || self.null_count != other.null_count
+            || self.total != other.total
+            || self.max_distinct_exact != other.max_distinct_exact
+            || self.n_bins != other.n_bins
+        {
+            return false;
+        }
+        match (&self.kind, &other.kind) {
+            (
+                LeafKind::Exact {
+                    values: va,
+                    counts: ca,
+                    ..
+                },
+                LeafKind::Exact {
+                    values: vb,
+                    counts: cb,
+                    ..
+                },
+            ) => bits_eq(va, vb) && ca == cb,
+            (
+                LeafKind::Binned {
+                    lo: la,
+                    width: wa,
+                    counts: ca,
+                    sums: sa,
+                    sq_sums: qa,
+                    distincts: da,
+                },
+                LeafKind::Binned {
+                    lo: lb,
+                    width: wb,
+                    counts: cb,
+                    sums: sb,
+                    sq_sums: qb,
+                    distincts: db,
+                },
+            ) => {
+                la.to_bits() == lb.to_bits()
+                    && wa.to_bits() == wb.to_bits()
+                    && ca == cb
+                    && bits_eq(sa, sb)
+                    && bits_eq(qa, qb)
+                    && da == db
+            }
+            _ => false,
+        }
     }
 
     fn convert_to_binned(&mut self) {

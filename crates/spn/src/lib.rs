@@ -11,12 +11,20 @@
 //!   fallback for high-cardinality continuous columns;
 //! * [`Spn`] — structure learning, bottom-up inference of
 //!   `E[∏ g_c(X_c) · 1_C]` expectations, max-product MPE, and direct
-//!   insert/delete updates (paper Algorithm 1);
+//!   insert/delete updates (paper Algorithm 1). Deletes are
+//!   check-then-apply: an update the routed path cannot absorb is a
+//!   consistent no-op, never a partial decrement;
 //! * [`CompiledSpn`] / [`BatchEvaluator`] — the tree flattened into an
 //!   arena (contiguous SoA arrays in bottom-up topological order) and
 //!   evaluated for whole batches of queries in one non-recursive sweep.
 //!   The recursive evaluator remains the reference oracle; the compiled
-//!   engine is what the layers above actually query;
+//!   engine is what the layers above actually query. Updates **patch the
+//!   arena in place** ([`Spn::insert_patch`] / [`Spn::insert_batch`] and
+//!   the delete twins): tree and arena are walked in lockstep, sum-edge
+//!   counts and leaf histograms are edited directly, and per-node
+//!   finalization (weight renormalization, prefix rebuilds) is folded to
+//!   once per touched node per batch — O(depth + touched bins) per tuple
+//!   and bitwise identical to a full recompile;
 //! * [`sweep_models`] — one fused sweep per compiled model with the tiles of
 //!   all models load-balanced across scoped worker threads; the execution
 //!   engine of `deepdb-core`'s probe plans. Evaluation is `&self`-safe

@@ -62,9 +62,11 @@
 //! struct-of-arrays storage in bottom-up topological order and whole query
 //! batches are evaluated in one non-recursive sweep
 //! ([`spn::BatchEvaluator`]). Models compile at learn/load time; inserts and
-//! deletes mark them dirty and the next evaluation recompiles (or call
-//! [`Ensemble::recompile_models`] eagerly after a bulk update). The
-//! recursive evaluator remains as the differential-test oracle and MPE path.
+//! deletes then **patch the arena in place** (lockstep with the tree,
+//! O(depth) per tuple, bitwise identical to a recompile), so the engines are
+//! never stale between updates and queries — [`Ensemble::recompile_models`]
+//! remains only as a structural-change escape hatch. The recursive
+//! evaluator remains as the differential-test oracle and MPE path.
 
 pub use deepdb_baselines as baselines;
 pub use deepdb_core as core_;
