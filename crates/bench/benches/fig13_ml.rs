@@ -44,7 +44,7 @@ fn main() {
     });
 
     // DeepDB: reuse the AQP ensemble — no additional training (paper: "0s").
-    let (mut ensemble, ensemble_time) = build_ensemble(&db, default_ensemble_params(scale.seed));
+    let (ensemble, ensemble_time) = build_ensemble(&db, default_ensemble_params(scale.seed));
     println!(
         "AQP ensemble trained once in {} and reused for all regression tasks",
         fmt_dur(ensemble_time)
@@ -112,7 +112,7 @@ fn main() {
             se_mlp += (p - truth).powi(2);
             let evidence: Vec<(usize, Value)> =
                 feats.iter().map(|&c| (c, table.value(r, c))).collect();
-            let d = predict_regression(&mut ensemble, &db, f, target, &evidence)
+            let d = predict_regression(&ensemble, &db, f, target, &evidence)
                 .expect("deepdb regression");
             se_deepdb += (d - truth).powi(2);
         }

@@ -379,12 +379,11 @@ fn connected_subsets(db: &Database, min: usize, max: usize) -> Vec<Vec<TableId>>
 }
 
 impl Ensemble {
+    /// The ensemble's members. Every query path — expectations and MPE —
+    /// works on `&Rspn`; there is deliberately no `rspns_mut()` (mutation
+    /// goes through the update/maintenance entry points below).
     pub fn rspns(&self) -> &[Rspn] {
         &self.rspns
-    }
-
-    pub fn rspns_mut(&mut self) -> &mut [Rspn] {
-        &mut self.rspns
     }
 
     pub fn params(&self) -> &EnsembleParams {

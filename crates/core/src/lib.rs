@@ -17,13 +17,20 @@
 //!   (+ GROUP BY) queries into products of expectations over the ensemble,
 //!   covering the paper's Cases 1–3 including Theorems 1 and 2 (§4).
 //! * [`ProbePlan`] — deferred probe plans: call sites register probes
-//!   against ensemble members and resolve typed handles after a single
-//!   `execute()`, which sweeps each touched member's compiled arena exactly
-//!   once with members/tiles evaluated concurrently on scoped threads.
+//!   (expectations **and** max-product MPE probes) against ensemble members
+//!   and resolve typed handles after a single `execute()`, which sweeps each
+//!   touched member's compiled arena exactly once — both probe kinds ride
+//!   the same sweep — with members/tiles evaluated concurrently on scoped
+//!   threads.
 //! * [`Estimate`] — point estimates with variances propagated per §5.1,
 //!   yielding confidence intervals.
 //! * ML tasks (regression via conditional expectation, classification via
-//!   MPE) on the same models (§4.3).
+//!   compiled max-product MPE) on the same models (§4.3), all on
+//!   `&Ensemble` — no query path needs `&mut` — with batched entry points
+//!   ([`ml::predict_classification_batch`], [`ml::predict_regression_batch`])
+//!   that amortize one arena sweep over a whole batch of predictions. The
+//!   recursive evaluator survives only as the differential-test oracle in
+//!   `deepdb-spn`.
 
 mod aqp;
 pub mod compile;
@@ -40,5 +47,5 @@ pub use ensemble::{Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy};
 pub use error::DeepDbError;
 pub use estimate::Estimate;
 pub use fd::FunctionalDependency;
-pub use plan::{ProbeHandle, ProbePlan, ProbeResults};
+pub use plan::{MpeHandle, ProbeHandle, ProbePlan, ProbeResults};
 pub use rspn::Rspn;

@@ -1,17 +1,29 @@
 //! ML tasks on RSPNs (paper §4.3, Exp. 3): regression via conditional
-//! expectation, classification via most probable explanation — with no
+//! expectation, classification via most-probable-explanation — with no
 //! additional training beyond the ensemble itself.
+//!
+//! Every entry point takes `&Ensemble`: both probe kinds (expectations and
+//! max-product MPE) run on the compiled arena engines, which updates keep
+//! patched in place — there is no `&mut` query path left. Each prediction
+//! registers its probes on one [`ProbePlan`], so a prediction (or a whole
+//! batch of predictions — [`predict_classification_batch`] /
+//! [`predict_regression_batch`], the serving-traffic shape) costs exactly
+//! **one fused arena sweep per touched member**, fallback probes included.
 
 use deepdb_spn::{LeafFunc, LeafPred};
 use deepdb_storage::{ColId, Database, TableId, Value};
 
 use crate::ensemble::Ensemble;
-use crate::plan::ProbePlan;
+use crate::plan::{MpeHandle, ProbeHandle, ProbePlan};
 use crate::DeepDbError;
 
 /// Width (in training standard deviations) of the evidence window used when
 /// conditioning on a continuous feature value.
 const CONTINUOUS_EVIDENCE_SIGMA: f64 = 0.35;
+
+/// Evidence support below this threshold triggers the unconditional
+/// fallback (shared by regression and classification).
+const MIN_EVIDENCE_SUPPORT: f64 = 1e-12;
 
 /// Predict a numeric target column as `E[target | features]`.
 ///
@@ -22,15 +34,30 @@ const CONTINUOUS_EVIDENCE_SIGMA: f64 = 0.35;
 /// fused probe plan as the conditional ones, so a prediction always costs
 /// exactly one arena sweep, support or not.
 pub fn predict_regression(
-    ens: &mut Ensemble,
+    ens: &Ensemble,
     db: &Database,
     table: TableId,
     target: ColId,
     features: &[(ColId, Value)],
 ) -> Result<f64, DeepDbError> {
+    let row = [features];
+    Ok(predict_regression_batch(ens, db, table, target, &row)?[0])
+}
+
+/// Batched [`predict_regression`]: one fused probe plan answers every
+/// evidence row, costing one arena sweep on the chosen member for the whole
+/// batch (the per-row path would pay one sweep per prediction).
+pub fn predict_regression_batch<R: AsRef<[(ColId, Value)]>>(
+    ens: &Ensemble,
+    db: &Database,
+    table: TableId,
+    target: ColId,
+    rows: &[R],
+) -> Result<Vec<f64>, DeepDbError> {
+    if rows.is_empty() {
+        return Ok(Vec::new());
+    }
     let idx = rspn_for(ens, table, target)?;
-    ens.recompile_models();
-    let ens: &Ensemble = ens;
     let rspn = &ens.rspns()[idx];
     let target_col = rspn
         .data_column(table, target)
@@ -40,18 +67,23 @@ pub fn predict_regression(
     let present = std::collections::BTreeSet::from([table]);
     let factors = rspn.normalization_factor_cols(&present);
 
-    let mut q = rspn.new_query();
-    rspn.require_present(&mut q, table);
-    add_evidence(rspn, db, table, features, &mut q);
-    for &f in &factors {
-        q.set_func(f, LeafFunc::InvClamp1);
+    let mut plan = ProbePlan::new();
+    let mut handles: Vec<(ProbeHandle, ProbeHandle)> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut q = rspn.new_query();
+        rspn.require_present(&mut q, table);
+        add_evidence(rspn, db, table, row.as_ref(), &mut q);
+        for &f in &factors {
+            q.set_func(f, LeafFunc::InvClamp1);
+        }
+        let mut den_q = q.clone();
+        q.set_func(target_col, LeafFunc::X);
+        den_q.add_pred(target_col, LeafPred::IsNotNull);
+        handles.push((plan.register(idx, den_q), plan.register(idx, q)));
     }
-    let mut den_q = q.clone();
-    q.set_func(target_col, LeafFunc::X);
-    den_q.add_pred(target_col, LeafPred::IsNotNull);
 
-    // Unconditional (still factor-normalized) mean, used when the evidence
-    // has no support.
+    // Unconditional (still factor-normalized) mean, used when a row's
+    // evidence has no support; registered once for the whole batch.
     let mut uq = rspn.new_query();
     uq.set_func(target_col, LeafFunc::X);
     let mut upq = rspn.new_query();
@@ -60,47 +92,91 @@ pub fn predict_regression(
         uq.set_func(f, LeafFunc::InvClamp1);
         upq.set_func(f, LeafFunc::InvClamp1);
     }
-
-    // Numerator, denominator, and both fallback probes in one fused sweep.
-    let mut plan = ProbePlan::new();
-    let h_den = plan.register(idx, den_q);
-    let h_num = plan.register(idx, q);
     let h_u_num = plan.register(idx, uq);
     let h_u_den = plan.register(idx, upq);
-    let results = plan.execute(ens);
 
-    let (den, num) = (results[h_den], results[h_num]);
-    if den <= 1e-12 {
-        return Ok(results[h_u_num] / results[h_u_den].max(1e-12));
-    }
-    Ok(num / den)
+    let results = plan.execute(ens);
+    Ok(handles
+        .into_iter()
+        .map(|(h_den, h_num)| {
+            let (den, num) = (results[h_den], results[h_num]);
+            if den <= MIN_EVIDENCE_SUPPORT {
+                results[h_u_num] / results[h_u_den].max(MIN_EVIDENCE_SUPPORT)
+            } else {
+                num / den
+            }
+        })
+        .collect())
 }
 
-/// Predict a categorical target via MPE given the evidence.
+/// Predict a categorical target via MPE given the evidence, on the compiled
+/// max-product path.
 pub fn predict_classification(
-    ens: &mut Ensemble,
+    ens: &Ensemble,
     db: &Database,
     table: TableId,
     target: ColId,
     features: &[(ColId, Value)],
 ) -> Result<Option<Value>, DeepDbError> {
+    let row = [features];
+    Ok(predict_classification_batch(ens, db, table, target, &row)?.remove(0))
+}
+
+/// Batched [`predict_classification`]: every evidence row registers one MPE
+/// probe plus one evidence-support probe on a single plan, and a shared
+/// unconditional-MPE fallback covers rows whose evidence has no support —
+/// the whole batch runs in **one fused arena sweep** on the chosen member
+/// (both probe kinds ride the same [`deepdb_spn::sweep_models`] pass).
+pub fn predict_classification_batch<R: AsRef<[(ColId, Value)]>>(
+    ens: &Ensemble,
+    db: &Database,
+    table: TableId,
+    target: ColId,
+    rows: &[R],
+) -> Result<Vec<Option<Value>>, DeepDbError> {
+    if rows.is_empty() {
+        return Ok(Vec::new());
+    }
     let idx = rspn_for(ens, table, target)?;
     let rspn = &ens.rspns()[idx];
     let target_col = rspn
         .data_column(table, target)
         .expect("selected to contain target");
-    let mut q = rspn.new_query();
-    add_evidence(rspn, db, table, features, &mut q);
-    // MPE runs on the recursive max-product path, which is still `&mut`
-    // (no compiled engine involved).
-    let rspn = &mut ens.rspns_mut()[idx];
-    Ok(rspn.most_probable_value(target_col, &q).map(|v| {
-        if v.fract() == 0.0 {
-            Value::Int(v as i64)
-        } else {
-            Value::Float(v)
-        }
-    }))
+
+    let mut plan = ProbePlan::new();
+    let mut handles: Vec<(ProbeHandle, MpeHandle)> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut q = rspn.new_query();
+        add_evidence(rspn, db, table, row.as_ref(), &mut q);
+        // Evidence-support probe: P(evidence), fused into the same sweep.
+        let h_ev = plan.register(idx, q.clone());
+        let h_mpe = plan.register_mpe(idx, target_col, q);
+        handles.push((h_ev, h_mpe));
+    }
+    // Unconditional MPE (marginal mode of the target), registered once:
+    // the fallback for rows whose evidence the model gives zero mass.
+    let h_fallback = plan.register_mpe(idx, target_col, rspn.new_query());
+
+    let results = plan.execute(ens);
+    Ok(handles
+        .into_iter()
+        .map(|(h_ev, h_mpe)| {
+            let mode = if results[h_ev] > MIN_EVIDENCE_SUPPORT {
+                results.mpe_value(h_mpe)
+            } else {
+                results.mpe_value(h_fallback)
+            };
+            mode.map(mode_to_value)
+        })
+        .collect())
+}
+
+fn mode_to_value(v: f64) -> Value {
+    if v.fract() == 0.0 {
+        Value::Int(v as i64)
+    } else {
+        Value::Float(v)
+    }
 }
 
 fn rspn_for(ens: &Ensemble, table: TableId, target: ColId) -> Result<usize, DeepDbError> {
@@ -169,11 +245,11 @@ mod tests {
 
     #[test]
     fn regression_tracks_conditional_means() {
-        let (db, mut ens) = setup();
+        let (db, ens) = setup();
         let c = db.table_id("customer").unwrap();
         // E[age | region]: Europeans (region 0) skew older by construction.
-        let age_eu = predict_regression(&mut ens, &db, c, 1, &[(2, Value::Int(0))]).unwrap();
-        let age_asia = predict_regression(&mut ens, &db, c, 1, &[(2, Value::Int(1))]).unwrap();
+        let age_eu = predict_regression(&ens, &db, c, 1, &[(2, Value::Int(0))]).unwrap();
+        let age_asia = predict_regression(&ens, &db, c, 1, &[(2, Value::Int(1))]).unwrap();
         assert!(
             age_eu > age_asia + 10.0,
             "EU mean {age_eu} should exceed ASIA mean {age_asia}"
@@ -193,18 +269,63 @@ mod tests {
 
     #[test]
     fn classification_predicts_dominant_region() {
-        let (db, mut ens) = setup();
+        let (db, ens) = setup();
         let c = db.table_id("customer").unwrap();
         // Old customers are predominantly European (region 0).
-        let pred = predict_classification(&mut ens, &db, c, 2, &[(1, Value::Int(80))]).unwrap();
+        let pred = predict_classification(&ens, &db, c, 2, &[(1, Value::Int(80))]).unwrap();
         assert_eq!(pred, Some(Value::Int(0)));
     }
 
     #[test]
-    fn regression_without_features_returns_marginal_mean() {
-        let (db, mut ens) = setup();
+    fn classification_without_support_falls_back_to_marginal_mode() {
+        let (db, ens) = setup();
         let c = db.table_id("customer").unwrap();
-        let est = predict_regression(&mut ens, &db, c, 1, &[]).unwrap();
+        // Age 999 was never observed: the marginal mode of region answers.
+        let fallback = predict_classification(&ens, &db, c, 2, &[(1, Value::Int(999))]).unwrap();
+        let marginal = predict_classification(&ens, &db, c, 2, &[]).unwrap();
+        assert_eq!(fallback, marginal);
+        assert!(fallback.is_some());
+    }
+
+    #[test]
+    fn classification_batch_matches_sequential_predictions() {
+        let (db, ens) = setup();
+        let c = db.table_id("customer").unwrap();
+        let rows: Vec<Vec<(ColId, Value)>> = (0..40)
+            .map(|i| vec![(1usize, Value::Int(20 + (i % 8) * 10))])
+            .collect();
+        let batch = predict_classification_batch(&ens, &db, c, 2, &rows).unwrap();
+        for (row, got) in rows.iter().zip(&batch) {
+            let want = predict_classification(&ens, &db, c, 2, row).unwrap();
+            assert_eq!(*got, want, "evidence {row:?}");
+        }
+    }
+
+    #[test]
+    fn regression_batch_matches_sequential_predictions() {
+        let (db, ens) = setup();
+        let c = db.table_id("customer").unwrap();
+        let rows: Vec<Vec<(ColId, Value)>> = (0..24)
+            .map(|i| {
+                if i % 5 == 0 {
+                    vec![(2usize, Value::Int(77))] // no support → fallback
+                } else {
+                    vec![(2usize, Value::Int(i % 2))]
+                }
+            })
+            .collect();
+        let batch = predict_regression_batch(&ens, &db, c, 1, &rows).unwrap();
+        for (row, &got) in rows.iter().zip(&batch) {
+            let want = predict_regression(&ens, &db, c, 1, row).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "evidence {row:?}");
+        }
+    }
+
+    #[test]
+    fn regression_without_features_returns_marginal_mean() {
+        let (db, ens) = setup();
+        let c = db.table_id("customer").unwrap();
+        let est = predict_regression(&ens, &db, c, 1, &[]).unwrap();
         let table = db.table(c);
         let truth: f64 = (0..table.n_rows())
             .map(|r| table.column(1).f64_or_nan(r))
@@ -215,9 +336,9 @@ mod tests {
 
     #[test]
     fn unsupported_column_errors() {
-        let (db, mut ens) = setup();
+        let (db, ens) = setup();
         let c = db.table_id("customer").unwrap();
         // Column 0 is the primary key — not modeled.
-        assert!(predict_regression(&mut ens, &db, c, 0, &[]).is_err());
+        assert!(predict_regression(&ens, &db, c, 0, &[]).is_err());
     }
 }

@@ -4,28 +4,34 @@
 //! Probabilistic query compilation (paper §4) answers one SQL query with
 //! many independent expectation probes — count fractions, probability
 //! factors, squared moments, one numerator/denominator pair per AVG, and one
-//! probe bundle per GROUP BY group. Issuing them eagerly costs one arena
-//! pass per call site; a [`ProbePlan`] inverts control instead:
+//! probe bundle per GROUP BY group. Classification (paper §4.3) adds a
+//! second probe kind: **max-product MPE probes**, answered by the same arena
+//! in the (max, ×) semiring. Issuing probes eagerly costs one arena pass per
+//! call site; a [`ProbePlan`] inverts control instead:
 //!
-//! 1. **register** — call sites enqueue [`SpnQuery`] probes against an
-//!    ensemble member index and hold on to the returned [`ProbeHandle`]s
-//!    (plain indices; no borrow of the ensemble is kept);
+//! 1. **register** — call sites enqueue [`SpnQuery`] expectation probes
+//!    ([`ProbePlan::register`]) and MPE probes ([`ProbePlan::register_mpe`])
+//!    against an ensemble member index and hold on to the returned typed
+//!    handles (plain indices; no borrow of the ensemble is kept);
 //! 2. **fuse** — the plan groups probes by member, preserving registration
-//!    order within each member;
-//! 3. **sweep** — [`ProbePlan::execute`] runs **one fused
-//!    [`deepdb_spn::BatchEvaluator`] sweep per touched member**, with the
-//!    tiles of all members load-balanced across a scoped worker pool
+//!    order within each member and probe kind;
+//! 3. **sweep** — [`ProbePlan::execute`] runs **one fused sweep per touched
+//!    member** covering both probe kinds, with the tiles of all members
+//!    load-balanced across a scoped worker pool
 //!    ([`deepdb_spn::sweep_models`]); members and tiles evaluate
 //!    concurrently, results are bitwise identical for any thread count;
-//! 4. **resolve** — handles index into the returned [`ProbeResults`].
+//! 4. **resolve** — handles index into the returned [`ProbeResults`]
+//!    ([`ProbeResults::value`] for expectations, [`ProbeResults::mpe_value`]
+//!    / [`ProbeResults::mpe_outcome`] for MPE probes).
 //!
 //! The per-query probe *count* is unchanged by planning; what drops is the
 //! number of arena passes (one per touched member) and the wall-clock on
-//! multi-member / multi-group workloads, which now scale across cores.
+//! multi-member / multi-group / batched-prediction workloads, which now
+//! scale across cores.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use deepdb_spn::{sweep_models, SpnQuery, SweepJob, SWEEP_TILE};
+use deepdb_spn::{sweep_models, MpeOutcome, MpeProbe, SpnQuery, SweepJob, SWEEP_TILE};
 
 use crate::ensemble::Ensemble;
 
@@ -33,15 +39,15 @@ use crate::ensemble::Ensemble;
 /// plan's results.
 static PLAN_IDS: AtomicU64 = AtomicU64::new(0);
 
-/// Ticket for one registered probe; redeem against the [`ProbeResults`] of
-/// the plan that issued it.
+/// Ticket for one registered expectation probe; redeem against the
+/// [`ProbeResults`] of the plan that issued it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProbeHandle {
     /// Plan that issued the handle (cross-plan lookups panic).
     plan: u64,
     /// Ensemble member (RSPN index) the probe runs against.
     member: usize,
-    /// Position within that member's probe batch.
+    /// Position within that member's expectation-probe batch.
     slot: usize,
 }
 
@@ -52,12 +58,36 @@ impl ProbeHandle {
     }
 }
 
+/// Ticket for one registered max-product (MPE) probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpeHandle {
+    plan: u64,
+    member: usize,
+    /// Position within that member's MPE-probe batch.
+    slot: usize,
+}
+
+impl MpeHandle {
+    /// Ensemble member this probe targets.
+    pub fn member(&self) -> usize {
+        self.member
+    }
+}
+
+/// One member's deferred probes, both kinds, in registration order.
+#[derive(Debug, Clone)]
+struct MemberProbes {
+    member: usize,
+    expect: Vec<SpnQuery>,
+    mpe: Vec<MpeProbe>,
+}
+
 /// A batch of deferred probes, grouped by RSPN member.
 #[derive(Debug, Clone)]
 pub struct ProbePlan {
     id: u64,
-    /// `(member, probes)` in first-registration order of the member.
-    members: Vec<(usize, Vec<SpnQuery>)>,
+    /// Per-member batches in first-registration order of the member.
+    members: Vec<MemberProbes>,
 }
 
 impl Default for ProbePlan {
@@ -74,27 +104,54 @@ impl ProbePlan {
         }
     }
 
-    /// Enqueue one probe against ensemble member `member`; the handle
-    /// resolves to its value after [`ProbePlan::execute`].
-    pub fn register(&mut self, member: usize, probe: SpnQuery) -> ProbeHandle {
-        let entry = match self.members.iter().position(|(m, _)| *m == member) {
+    fn member_entry(&mut self, member: usize) -> &mut MemberProbes {
+        match self.members.iter().position(|m| m.member == member) {
             Some(i) => &mut self.members[i],
             None => {
-                self.members.push((member, Vec::new()));
+                self.members.push(MemberProbes {
+                    member,
+                    expect: Vec::new(),
+                    mpe: Vec::new(),
+                });
                 self.members.last_mut().expect("just pushed")
             }
-        };
-        entry.1.push(probe);
-        ProbeHandle {
-            plan: self.id,
-            member,
-            slot: entry.1.len() - 1,
         }
     }
 
-    /// Total probes registered so far.
+    /// Enqueue one expectation probe against ensemble member `member`; the
+    /// handle resolves to its value after [`ProbePlan::execute`].
+    pub fn register(&mut self, member: usize, probe: SpnQuery) -> ProbeHandle {
+        let plan = self.id;
+        let entry = self.member_entry(member);
+        entry.expect.push(probe);
+        ProbeHandle {
+            plan,
+            member,
+            slot: entry.expect.len() - 1,
+        }
+    }
+
+    /// Enqueue one max-product probe (most probable value of SPN column
+    /// `target` given the evidence in `probe`) against member `member`. The
+    /// probe rides the **same fused sweep** as the member's expectation
+    /// probes — a classification batch costs no extra arena passes.
+    pub fn register_mpe(&mut self, member: usize, target: usize, probe: SpnQuery) -> MpeHandle {
+        let plan = self.id;
+        let entry = self.member_entry(member);
+        entry.mpe.push(MpeProbe::new(target, probe));
+        MpeHandle {
+            plan,
+            member,
+            slot: entry.mpe.len() - 1,
+        }
+    }
+
+    /// Total probes registered so far (both kinds).
     pub fn n_probes(&self) -> usize {
-        self.members.iter().map(|(_, p)| p.len()).sum()
+        self.members
+            .iter()
+            .map(|m| m.expect.len() + m.mpe.len())
+            .sum()
     }
 
     /// Distinct ensemble members the plan touches.
@@ -118,14 +175,18 @@ impl ProbePlan {
     /// Like [`ProbePlan::execute`] with an explicit worker-thread cap.
     /// `threads <= 1` runs inline; results are identical either way.
     pub fn execute_with_threads(&self, ens: &Ensemble, threads: usize) -> ProbeResults {
-        let mut results: Vec<(usize, Vec<f64>)> = self
+        let mut results: Vec<MemberResults> = self
             .members
             .iter()
-            .map(|(m, probes)| (*m, vec![0.0; probes.len()]))
+            .map(|m| MemberResults {
+                member: m.member,
+                values: vec![0.0; m.expect.len()],
+                mpe: vec![MpeOutcome::default(); m.mpe.len()],
+            })
             .collect();
         // Spawning is only worth it once there is more than one tile's worth
-        // of work — tiny plans (scalar COUNT/AVG/SUM bundles, even across
-        // several members) run inline.
+        // of work — tiny plans (scalar COUNT/AVG/SUM bundles, single
+        // predictions, even across several members) run inline.
         let threads = if self.n_probes() <= SWEEP_TILE {
             1
         } else {
@@ -135,10 +196,12 @@ impl ProbePlan {
             .members
             .iter()
             .zip(results.iter_mut())
-            .map(|((m, probes), (_, out))| SweepJob {
-                spn: ens.rspns()[*m].engine(),
-                queries: probes,
-                out,
+            .map(|(m, r)| SweepJob {
+                spn: ens.rspns()[m.member].engine(),
+                queries: &m.expect,
+                out: &mut r.values,
+                mpe: &m.mpe,
+                mpe_out: &mut r.mpe,
             })
             .collect();
         sweep_models(jobs, threads);
@@ -149,18 +212,45 @@ impl ProbePlan {
     }
 }
 
-/// Resolved probe values, indexed by [`ProbeHandle`].
+#[derive(Debug, Clone)]
+struct MemberResults {
+    member: usize,
+    values: Vec<f64>,
+    mpe: Vec<MpeOutcome>,
+}
+
+/// Resolved probe values, indexed by [`ProbeHandle`] / [`MpeHandle`].
 #[derive(Debug, Clone)]
 pub struct ProbeResults {
     plan: u64,
-    members: Vec<(usize, Vec<f64>)>,
+    members: Vec<MemberResults>,
 }
 
 impl ProbeResults {
-    /// Value of a registered probe. Panics if the handle was issued by a
-    /// different plan.
+    /// Value of a registered expectation probe. Panics if the handle was
+    /// issued by a different plan.
     pub fn value(&self, h: ProbeHandle) -> f64 {
         *self.lookup(h)
+    }
+
+    /// Most probable value resolved by a registered MPE probe (`None` when
+    /// the model holds no leaf for the target, or that leaf is empty).
+    pub fn mpe_value(&self, h: MpeHandle) -> Option<f64> {
+        self.mpe_outcome(h).value
+    }
+
+    /// Full outcome (max-product evidence score + value) of an MPE probe.
+    pub fn mpe_outcome(&self, h: MpeHandle) -> MpeOutcome {
+        assert_eq!(
+            h.plan, self.plan,
+            "MPE handle {h:?} was issued by a different plan"
+        );
+        self.members
+            .iter()
+            .find(|m| m.member == h.member)
+            .and_then(|m| m.mpe.get(h.slot))
+            .copied()
+            .unwrap_or_else(|| panic!("MPE handle {h:?} does not belong to these results"))
     }
 
     fn lookup(&self, h: ProbeHandle) -> &f64 {
@@ -170,8 +260,8 @@ impl ProbeResults {
         );
         self.members
             .iter()
-            .find(|(m, _)| *m == h.member)
-            .and_then(|(_, vals)| vals.get(h.slot))
+            .find(|m| m.member == h.member)
+            .and_then(|m| m.values.get(h.slot))
             .unwrap_or_else(|| panic!("probe handle {h:?} does not belong to these results"))
     }
 }

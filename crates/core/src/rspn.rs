@@ -10,7 +10,8 @@
 use std::collections::{BTreeSet, HashMap};
 
 use deepdb_spn::{
-    BatchEvaluator, ColumnMeta, CompiledSpn, DataView, LeafFunc, LeafPred, Spn, SpnParams, SpnQuery,
+    BatchEvaluator, ColumnMeta, CompiledSpn, DataView, LeafFunc, LeafPred, MaxProductEvaluator,
+    MpeOutcome, MpeProbe, Spn, SpnParams, SpnQuery,
 };
 use deepdb_storage::{
     CmpOp, ColId, Database, ForeignKey, JoinColumnMeta, JoinColumnRole, JoinSample, PredOp,
@@ -327,9 +328,24 @@ impl Rspn {
         SCRATCH.with(|ev| ev.borrow_mut().evaluate(self.engine(), queries))
     }
 
-    /// Most probable value of an SPN column given evidence.
-    pub fn most_probable_value(&mut self, target: usize, q: &SpnQuery) -> Option<f64> {
-        self.spn.most_probable_value(target, q)
+    /// Most probable value of an SPN column given evidence, on the compiled
+    /// max-product path (`&self`, recursion-free). Classification batches
+    /// should go through [`crate::ProbePlan::register_mpe`] instead, which
+    /// fuses MPE probes into the same per-member sweep as expectation
+    /// probes.
+    pub fn most_probable_value(&self, target: usize, q: &SpnQuery) -> Option<f64> {
+        self.mpe_batch(std::slice::from_ref(&MpeProbe::new(target, q.clone())))[0].value
+    }
+
+    /// Evaluate a batch of max-product probes in one fused pass over the
+    /// arena — the MPE twin of [`Rspn::expect_batch`]. Scratch is
+    /// thread-local, so this is `&self` and safe from worker threads.
+    pub fn mpe_batch(&self, probes: &[MpeProbe]) -> Vec<MpeOutcome> {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<MaxProductEvaluator> =
+                std::cell::RefCell::new(MaxProductEvaluator::new());
+        }
+        SCRATCH.with(|ev| ev.borrow_mut().evaluate(self.engine(), probes))
     }
 
     /// Require `N_T = 1` for a table (inner-join semantics, Case 1/2).

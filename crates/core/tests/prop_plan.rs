@@ -298,12 +298,12 @@ fn groupby_costs_one_sweep_per_touched_member() {
 }
 
 /// The ML regression path costs exactly one sweep, including its no-support
-/// fallback probes (they ride in the same fused plan).
+/// fallback probes (they ride in the same fused plan) — on `&Ensemble`.
 #[test]
 fn regression_costs_one_sweep_even_without_support() {
     let (db, ens) = joint_ensemble();
     let c = db.table_id("customer").unwrap();
-    let mut ens = clone_for_test(ens);
+    let ens = clone_for_test(ens);
 
     for features in [
         vec![(2usize, Value::Int(0))],
@@ -311,7 +311,7 @@ fn regression_costs_one_sweep_even_without_support() {
         vec![(2usize, Value::Int(77))],
     ] {
         let before: Vec<u64> = ens.rspns().iter().map(|r| r.probe_passes()).collect();
-        deepdb_core::ml::predict_regression(&mut ens, db, c, 1, &features).unwrap();
+        deepdb_core::ml::predict_regression(&ens, db, c, 1, &features).unwrap();
         let after: Vec<u64> = ens.rspns().iter().map(|r| r.probe_passes()).collect();
         let total: u64 = before.iter().zip(&after).map(|(b, a)| a - b).sum();
         assert_eq!(total, 1, "regression with features {features:?}");

@@ -70,6 +70,11 @@ pub struct CompiledSpn {
     pub(crate) leaves: Vec<Leaf>,
     /// Column modeled by each leaf payload (mirrors `leaves[i].col`).
     pub(crate) leaf_col: Vec<u32>,
+    /// Cached [`Leaf::mode`] per leaf payload (`NaN` = empty leaf), so the
+    /// max-product pass resolves a winning branch's target value in O(1)
+    /// instead of re-scanning the histogram. Refreshed by
+    /// [`CompiledSpn::commit_patch`] alongside the prefix sums.
+    pub(crate) leaf_mode: Vec<f64>,
     n_cols: usize,
     n_rows: u64,
     /// Fused batch sweeps executed against this arena (diagnostics; lets
@@ -91,6 +96,7 @@ impl Clone for CompiledSpn {
             leaf_of: self.leaf_of.clone(),
             leaves: self.leaves.clone(),
             leaf_col: self.leaf_col.clone(),
+            leaf_mode: self.leaf_mode.clone(),
             n_cols: self.n_cols,
             n_rows: self.n_rows,
             sweeps: AtomicU64::new(self.sweeps.load(Ordering::Relaxed)),
@@ -112,6 +118,7 @@ impl CompiledSpn {
             leaf_of: Vec::new(),
             leaves: Vec::new(),
             leaf_col: Vec::new(),
+            leaf_mode: Vec::new(),
             n_cols: spn.n_columns(),
             n_rows: spn.n_rows(),
             sweeps: AtomicU64::new(0),
@@ -128,6 +135,7 @@ impl CompiledSpn {
                 leaf.ensure_prefix();
                 let payload = self.leaves.len() as u32;
                 self.leaf_col.push(leaf.col as u32);
+                self.leaf_mode.push(leaf.mode().unwrap_or(f64::NAN));
                 self.leaves.push(leaf);
                 self.push_node(
                     CompiledKind::Leaf,
@@ -227,6 +235,27 @@ impl CompiledSpn {
         crate::batch::BatchEvaluator::new().evaluate(self, std::slice::from_ref(query))[0]
     }
 
+    /// Cached mode of a leaf payload (`None` for an empty leaf) — the O(1)
+    /// lookup the max-product backtrace resolves winning branches against.
+    pub(crate) fn leaf_mode(&self, payload: u32) -> Option<f64> {
+        let m = self.leaf_mode[payload as usize];
+        if m.is_nan() {
+            None
+        } else {
+            Some(m)
+        }
+    }
+
+    /// Convenience single-probe MPE: most probable value of column `target`
+    /// given the evidence in `query`, on the compiled max-product path
+    /// (allocates a fresh scratch; hot paths should hold a
+    /// [`crate::MaxProductEvaluator`] and batch probes).
+    pub fn most_probable_value(&self, target: usize, query: &crate::SpnQuery) -> Option<f64> {
+        let probe = crate::MpeProbe::new(target, query.clone());
+        crate::maxprod::MaxProductEvaluator::new().evaluate(self, std::slice::from_ref(&probe))[0]
+            .value
+    }
+
     // -- In-place patching ---------------------------------------------------
     //
     // The update walk in `crate::update` routes tuples through the tree and
@@ -282,14 +311,16 @@ impl CompiledSpn {
     }
 
     /// Apply the deferred finalization of a patch batch: renormalize every
-    /// touched sum once, rebuild every touched leaf's prefix sums once, and
-    /// sync the represented row count.
+    /// touched sum once, rebuild every touched leaf's prefix sums **and its
+    /// cached mode** once, and sync the represented row count.
     pub(crate) fn commit_patch(&mut self, patch: ArenaPatch, n_rows: u64) {
         for node in patch.touched_sums {
             self.renormalize_sum(node);
         }
         for payload in patch.touched_leaves {
-            self.leaves[payload as usize].ensure_prefix();
+            let leaf = &mut self.leaves[payload as usize];
+            leaf.ensure_prefix();
+            self.leaf_mode[payload as usize] = leaf.mode().unwrap_or(f64::NAN);
         }
         self.n_rows = n_rows;
     }
@@ -306,6 +337,12 @@ impl CompiledSpn {
             && self.counts == other.counts
             && self.leaf_of == other.leaf_of
             && self.leaf_col == other.leaf_col
+            && self.leaf_mode.len() == other.leaf_mode.len()
+            && self
+                .leaf_mode
+                .iter()
+                .zip(&other.leaf_mode)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
             && self.n_cols == other.n_cols
             && self.n_rows == other.n_rows
             && self.weights.len() == other.weights.len()

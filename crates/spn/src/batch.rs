@@ -34,6 +34,7 @@ use std::sync::Mutex;
 
 use crate::arena::{CompiledKind, CompiledSpn};
 use crate::leaf::NormPred;
+use crate::maxprod::{MaxProductEvaluator, MpeOutcome, MpeProbe};
 use crate::{LeafFunc, SpnQuery};
 
 /// Queries evaluated per tile of a sweep. Bounds the scratch to
@@ -163,12 +164,53 @@ impl BatchEvaluator {
     }
 }
 
-/// One model's share of a fused multi-model sweep: a probe batch against a
-/// compiled arena, with a caller-owned output slice of the same length.
+/// One model's share of a fused multi-model sweep: an expectation-probe
+/// batch **and** a max-product probe batch against one compiled arena, each
+/// with a caller-owned output slice of the same length. Both batches belong
+/// to the same logical sweep — the model's sweep counter advances once per
+/// job, no matter which probe kinds it carries.
 pub struct SweepJob<'a> {
     pub spn: &'a CompiledSpn,
     pub queries: &'a [SpnQuery],
     pub out: &'a mut [f64],
+    /// Max-product probes riding the same sweep (classification / MPE).
+    pub mpe: &'a [MpeProbe],
+    pub mpe_out: &'a mut [MpeOutcome],
+}
+
+impl<'a> SweepJob<'a> {
+    /// Expectation-only job (the common AQP/cardinality shape).
+    pub fn expect(spn: &'a CompiledSpn, queries: &'a [SpnQuery], out: &'a mut [f64]) -> Self {
+        Self {
+            spn,
+            queries,
+            out,
+            mpe: &[],
+            mpe_out: &mut [],
+        }
+    }
+}
+
+/// A unit of worker work: one tile of one probe kind against one model.
+enum Tile<'a> {
+    Expect(&'a CompiledSpn, &'a [SpnQuery], &'a mut [f64]),
+    Mpe(&'a CompiledSpn, &'a [MpeProbe], &'a mut [MpeOutcome]),
+}
+
+/// Per-worker scratch: one evaluator per probe kind, reused across tiles.
+#[derive(Default)]
+struct WorkerScratch {
+    expect: BatchEvaluator,
+    maxprod: MaxProductEvaluator,
+}
+
+impl WorkerScratch {
+    fn run(&mut self, tile: Tile<'_>) {
+        match tile {
+            Tile::Expect(spn, queries, out) => self.expect.evaluate_chunk(spn, queries, out),
+            Tile::Mpe(spn, probes, out) => self.maxprod.evaluate_chunk(spn, probes, out),
+        }
+    }
 }
 
 /// Execute one fused sweep per job, with the [`SWEEP_TILE`]-sized tiles of
@@ -181,34 +223,46 @@ pub struct SweepJob<'a> {
 /// normalized slots and its own scratch column, never on tile-mates or
 /// scheduling order, and each tile writes a disjoint output range.
 pub fn sweep_models(jobs: Vec<SweepJob<'_>>, threads: usize) {
-    // Split every job into independent (model, queries, out) tiles.
-    let mut tiles: Vec<(&CompiledSpn, &[SpnQuery], &mut [f64])> = Vec::new();
+    // Split every job into independent per-kind tiles.
+    let mut tiles: Vec<Tile<'_>> = Vec::new();
     for job in jobs {
         let SweepJob {
             spn,
             mut queries,
             mut out,
+            mut mpe,
+            mut mpe_out,
         } = job;
         assert_eq!(queries.len(), out.len(), "sweep job arity mismatch");
-        if queries.is_empty() {
+        assert_eq!(mpe.len(), mpe_out.len(), "sweep job MPE arity mismatch");
+        if queries.is_empty() && mpe.is_empty() {
             continue;
         }
+        // Both probe kinds of one job are one fused sweep of the model.
         spn.note_sweep();
         while !queries.is_empty() {
             let k = queries.len().min(SWEEP_TILE);
             let (q_head, q_tail) = queries.split_at(k);
             let (o_head, o_tail) = std::mem::take(&mut out).split_at_mut(k);
-            tiles.push((spn, q_head, o_head));
+            tiles.push(Tile::Expect(spn, q_head, o_head));
             queries = q_tail;
             out = o_tail;
+        }
+        while !mpe.is_empty() {
+            let k = mpe.len().min(SWEEP_TILE);
+            let (p_head, p_tail) = mpe.split_at(k);
+            let (o_head, o_tail) = std::mem::take(&mut mpe_out).split_at_mut(k);
+            tiles.push(Tile::Mpe(spn, p_head, o_head));
+            mpe = p_tail;
+            mpe_out = o_tail;
         }
     }
 
     let workers = threads.max(1).min(tiles.len());
     if workers <= 1 {
-        let mut ev = BatchEvaluator::new();
-        for (spn, queries, out) in tiles {
-            ev.evaluate_chunk(spn, queries, out);
+        let mut scratch = WorkerScratch::default();
+        for tile in tiles {
+            scratch.run(tile);
         }
         return;
     }
@@ -219,11 +273,11 @@ pub fn sweep_models(jobs: Vec<SweepJob<'_>>, threads: usize) {
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| {
-                let mut ev = BatchEvaluator::new();
+                let mut scratch = WorkerScratch::default();
                 loop {
                     let tile = queue.lock().expect("sweep queue poisoned").pop();
                     match tile {
-                        Some((spn, queries, out)) => ev.evaluate_chunk(spn, queries, out),
+                        Some(tile) => scratch.run(tile),
                         None => break,
                     }
                 }
@@ -332,16 +386,8 @@ mod tests {
             let mut got_b = vec![0.0; qb.len()];
             sweep_models(
                 vec![
-                    SweepJob {
-                        spn: &ca,
-                        queries: &qa,
-                        out: &mut got_a,
-                    },
-                    SweepJob {
-                        spn: &cb,
-                        queries: &qb,
-                        out: &mut got_b,
-                    },
+                    SweepJob::expect(&ca, &qa, &mut got_a),
+                    SweepJob::expect(&cb, &qb, &mut got_b),
                 ],
                 threads,
             );
@@ -361,24 +407,65 @@ mod tests {
         assert_eq!(compiled.sweep_count(), before + 1);
         // One sweep_models job = one sweep, even multi-threaded.
         let mut out = vec![0.0; queries.len()];
+        sweep_models(vec![SweepJob::expect(&compiled, &queries, &mut out)], 4);
+        assert_eq!(compiled.sweep_count(), before + 2);
+        // Empty jobs don't count.
+        sweep_models(vec![SweepJob::expect(&compiled, &[], &mut [])], 2);
+        assert_eq!(compiled.sweep_count(), before + 2);
+        // A job carrying both probe kinds still counts as ONE sweep.
+        let probes: Vec<MpeProbe> = (0..40)
+            .map(|i| MpeProbe::new(0, SpnQuery::new(2).with_pred(1, LeafPred::ge(i as f64))))
+            .collect();
+        let mut mpe_out = vec![MpeOutcome::default(); probes.len()];
         sweep_models(
             vec![SweepJob {
                 spn: &compiled,
                 queries: &queries,
                 out: &mut out,
+                mpe: &probes,
+                mpe_out: &mut mpe_out,
             }],
             4,
         );
-        assert_eq!(compiled.sweep_count(), before + 2);
-        // Empty jobs don't count.
-        sweep_models(
-            vec![SweepJob {
-                spn: &compiled,
-                queries: &[],
-                out: &mut [],
-            }],
-            2,
-        );
-        assert_eq!(compiled.sweep_count(), before + 2);
+        assert_eq!(compiled.sweep_count(), before + 3);
+    }
+
+    #[test]
+    fn mixed_sweep_matches_dedicated_evaluators_any_thread_count() {
+        let mut spn = small_spn();
+        let compiled = spn.compile();
+        let queries = probe_mix();
+        let probes: Vec<MpeProbe> = (0..70)
+            .map(|i| {
+                MpeProbe::new(
+                    i % 2,
+                    SpnQuery::new(2).with_pred(1 - i % 2, LeafPred::ge((i % 4) as f64 * 10.0)),
+                )
+            })
+            .collect();
+        let want_q = BatchEvaluator::new().evaluate(&compiled, &queries);
+        let want_p = MaxProductEvaluator::new().evaluate(&compiled, &probes);
+        // And both must equal the recursive oracle.
+        for (p, w) in probes.iter().zip(&want_p) {
+            let (score, value) = spn.mpe_outcome(p.target, &p.query);
+            assert_eq!(w.value, value);
+            assert_eq!(w.score.to_bits(), score.to_bits());
+        }
+        for threads in [1, 2, 4] {
+            let mut got_q = vec![0.0; queries.len()];
+            let mut got_p = vec![MpeOutcome::default(); probes.len()];
+            sweep_models(
+                vec![SweepJob {
+                    spn: &compiled,
+                    queries: &queries,
+                    out: &mut got_q,
+                    mpe: &probes,
+                    mpe_out: &mut got_p,
+                }],
+                threads,
+            );
+            assert_eq!(got_q, want_q, "{threads} threads");
+            assert_eq!(got_p, want_p, "{threads} threads");
+        }
     }
 }

@@ -183,6 +183,15 @@ pub(crate) fn evaluate(node: &mut Node, query: &SpnQuery) -> f64 {
 
 /// Max-product traversal: likelihood of the evidence on the most probable
 /// branch, together with the mode of `target` on that branch.
+///
+/// This is the **reference oracle** for the compiled max-product pass in
+/// [`crate::MaxProductEvaluator`]; production MPE runs on the arena. The two
+/// share one tie-break rule — at a sum node the **lowest-index child wins**
+/// among equally scored branches (a later child must be *strictly* better to
+/// replace the incumbent) — and one arithmetic order (the mixture weight
+/// `c/total` is formed first, then multiplied into the child score, exactly
+/// as the arena stores frozen weights), so the differential tests in
+/// `tests/prop_mpe.rs` can assert bitwise equality, not approximation.
 pub(crate) fn mpe(node: &mut Node, query: &SpnQuery, target: usize) -> (f64, Option<f64>) {
     match node {
         Node::Leaf(leaf) => {
@@ -213,18 +222,20 @@ pub(crate) fn mpe(node: &mut Node, query: &SpnQuery, target: usize) -> (f64, Opt
             if total == 0 {
                 return (0.0, None);
             }
-            let mut best = (0.0, None);
+            let mut best: Option<(f64, Option<f64>)> = None;
             for (child, &c) in s.children.iter_mut().zip(&s.counts) {
                 if c == 0 {
                     continue;
                 }
+                let w = c as f64 / total as f64;
                 let (score, v) = mpe(child, query, target);
-                let weighted = score * c as f64 / total as f64;
-                if weighted > best.0 || best.1.is_none() && v.is_some() && weighted == best.0 {
-                    best = (weighted, v);
+                let weighted = w * score;
+                match best {
+                    Some((incumbent, _)) if weighted <= incumbent => {}
+                    _ => best = Some((weighted, v)),
                 }
             }
-            best
+            best.unwrap_or((0.0, None))
         }
     }
 }
@@ -244,8 +255,20 @@ impl Spn {
     }
 
     /// Most probable value of `target` given the evidence in `query`
-    /// (approximate MPE via max-product).
+    /// (approximate MPE via max-product), on the **recursive oracle path**.
+    ///
+    /// This exists for differential tests only; production classification
+    /// runs on the compiled arena ([`crate::CompiledSpn::most_probable_value`]
+    /// / [`crate::MaxProductEvaluator`]), which is `&self`, batched, and
+    /// recursion-free while returning identical results.
     pub fn most_probable_value(&mut self, target: usize, query: &SpnQuery) -> Option<f64> {
         mpe(&mut self.root, query, target).1
+    }
+
+    /// Oracle twin of [`crate::MaxProductEvaluator`]'s per-probe outcome:
+    /// the max-product evidence score together with the target's mode on the
+    /// best branch. Differential-test use only.
+    pub fn mpe_outcome(&mut self, target: usize, query: &SpnQuery) -> (f64, Option<f64>) {
+        mpe(&mut self.root, query, target)
     }
 }

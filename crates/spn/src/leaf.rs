@@ -436,20 +436,27 @@ impl Leaf {
         }
     }
 
-    /// Most frequent value (MPE at the leaf level); `None` when empty.
+    /// Most frequent value (MPE at the leaf level); `None` when empty. Ties
+    /// break toward the **lowest value index** (i.e. the smallest value /
+    /// lowest bin), mirroring the lowest-child-wins rule of the max-product
+    /// sum nodes so MPE answers are deterministic end to end. Both the
+    /// recursive oracle and the arena's cached mode table go through this
+    /// one function.
     pub fn mode(&self) -> Option<f64> {
+        fn argmax_first(counts: &[u64]) -> Option<usize> {
+            let mut best: Option<(usize, u64)> = None;
+            for (i, &c) in counts.iter().enumerate() {
+                if c > 0 && best.is_none_or(|(_, bc)| c > bc) {
+                    best = Some((i, c));
+                }
+            }
+            best.map(|(i, _)| i)
+        }
         match &self.kind {
-            LeafKind::Exact { values, counts, .. } => counts
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &c)| c)
-                .map(|(i, _)| values[i]),
-            LeafKind::Binned { counts, sums, .. } => counts
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &c)| c)
-                .filter(|(_, &c)| c > 0)
-                .map(|(i, _)| sums[i] / counts[i] as f64),
+            LeafKind::Exact { values, counts, .. } => argmax_first(counts).map(|i| values[i]),
+            LeafKind::Binned { counts, sums, .. } => {
+                argmax_first(counts).map(|i| sums[i] / counts[i] as f64)
+            }
         }
     }
 

@@ -365,11 +365,16 @@ mod tests {
         let (cols, meta) = figure3_data(5000);
         let data = DataView::new(&cols, &meta);
         let mut spn = Spn::learn(data, &SpnParams::default());
+        // Production MPE runs on the compiled max-product path; the
+        // recursive walk is kept as the oracle and must agree.
+        let compiled = spn.compile();
         // Given an old customer, the most probable region is EUROPE (0).
         let q = SpnQuery::new(2).with_pred(1, LeafPred::ge(70.0));
+        assert_eq!(compiled.most_probable_value(0, &q), Some(0.0));
         assert_eq!(spn.most_probable_value(0, &q), Some(0.0));
         // Given a young customer, ASIA (1).
         let q = SpnQuery::new(2).with_pred(1, LeafPred::le(25.0));
+        assert_eq!(compiled.most_probable_value(0, &q), Some(1.0));
         assert_eq!(spn.most_probable_value(0, &q), Some(1.0));
     }
 }

@@ -17,19 +17,27 @@
 //! * [`CompiledSpn`] / [`BatchEvaluator`] — the tree flattened into an
 //!   arena (contiguous SoA arrays in bottom-up topological order) and
 //!   evaluated for whole batches of queries in one non-recursive sweep.
-//!   The recursive evaluator remains the reference oracle; the compiled
-//!   engine is what the layers above actually query. Updates **patch the
+//!   The recursive evaluator survives **only as the differential-test
+//!   oracle**; every production query path — expectations *and*
+//!   max-product MPE — runs on the compiled engine. Updates **patch the
 //!   arena in place** ([`Spn::insert_patch`] / [`Spn::insert_batch`] and
 //!   the delete twins): tree and arena are walked in lockstep, sum-edge
 //!   counts and leaf histograms are edited directly, and per-node
-//!   finalization (weight renormalization, prefix rebuilds) is folded to
-//!   once per touched node per batch — O(depth + touched bins) per tuple
-//!   and bitwise identical to a full recompile;
+//!   finalization (weight renormalization, prefix rebuilds, cached leaf
+//!   modes) is folded to once per touched node per batch — O(depth +
+//!   touched bins) per tuple and bitwise identical to a full recompile;
+//! * [`MaxProductEvaluator`] — the compiled **max-product** pass
+//!   (classification / most-probable-explanation, paper §4.3): sum nodes
+//!   take the best weighted child instead of the average, each probe tracks
+//!   the target-column leaf on its winning branch, and the answer resolves
+//!   against the arena's O(1) cached leaf modes. Tie-breaking is
+//!   deterministic (lowest child index wins) and shared with the recursive
+//!   oracle, so both agree bitwise;
 //! * [`sweep_models`] — one fused sweep per compiled model with the tiles of
-//!   all models load-balanced across scoped worker threads; the execution
-//!   engine of `deepdb-core`'s probe plans. Evaluation is `&self`-safe
-//!   (scratch lives in per-worker [`BatchEvaluator`]s), and results are
-//!   bitwise identical for every thread count.
+//!   all models (expectation **and** MPE probes alike) load-balanced across
+//!   scoped worker threads; the execution engine of `deepdb-core`'s probe
+//!   plans. Evaluation is `&self`-safe (scratch lives in per-worker
+//!   evaluators), and results are bitwise identical for every thread count.
 //!
 //! The SPN operates on an opaque `f64` matrix (NaN = NULL); the relational
 //! interpretation (tables, tuple factors, join indicators) lives in
@@ -42,6 +50,7 @@ mod infer;
 mod kmeans;
 mod leaf;
 mod learn;
+pub(crate) mod maxprod;
 mod node;
 pub mod rdc;
 mod serialize;
@@ -55,4 +64,5 @@ pub use infer::{LeafFunc, LeafPred, Slot, SpnQuery};
 pub use kmeans::{kmeans_two, KMeansResult};
 pub use leaf::Leaf;
 pub use learn::SpnParams;
+pub use maxprod::{MaxProductEvaluator, MpeOutcome, MpeProbe};
 pub use node::{Node, ProductNode, Spn, SumNode};

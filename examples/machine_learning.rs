@@ -18,7 +18,10 @@ fn main() -> Result<(), DeepDbError> {
     let db = flights::generate(scale);
     let f = db.table_id("flights")?;
 
-    let mut ensemble = EnsembleBuilder::new(&db)
+    // Every ML entry point below takes `&ensemble`: predictions run on the
+    // shared compiled arenas, so AQP and ML traffic can be served from the
+    // same immutable models concurrently.
+    let ensemble = EnsembleBuilder::new(&db)
         .params(EnsembleParams {
             seed: scale.seed,
             ..EnsembleParams::default()
@@ -31,7 +34,7 @@ fn main() -> Result<(), DeepDbError> {
     // construction: air_time ≈ distance / 7.8 + 18).
     for distance in [300.0, 900.0, 2000.0] {
         let pred = predict_regression(
-            &mut ensemble,
+            &ensemble,
             &db,
             f,
             cols::AIR_TIME,
@@ -46,7 +49,7 @@ fn main() -> Result<(), DeepDbError> {
     // Regression with mixed evidence: arrival delay given departure delay.
     for dep in [-5.0, 30.0, 90.0] {
         let pred = predict_regression(
-            &mut ensemble,
+            &ensemble,
             &db,
             f,
             cols::ARR_DELAY,
@@ -59,7 +62,7 @@ fn main() -> Result<(), DeepDbError> {
     // December flight (higher airline ids have heavier delay tails by
     // construction).
     let predicted = predict_classification(
-        &mut ensemble,
+        &ensemble,
         &db,
         f,
         cols::AIRLINE,
@@ -76,7 +79,7 @@ fn main() -> Result<(), DeepDbError> {
         }));
     let exact = execute(&db, &q).expect("executor").scalar().avg().unwrap();
     let pred = predict_regression(
-        &mut ensemble,
+        &ensemble,
         &db,
         f,
         cols::TAXI_OUT,

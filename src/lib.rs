@@ -57,16 +57,24 @@
 //!
 //! ## Inference engine
 //!
-//! Every expectation probe issued by the layers above runs on the
-//! **arena-compiled** SPN: the tree is flattened into contiguous
-//! struct-of-arrays storage in bottom-up topological order and whole query
+//! Every probe issued by the layers above — expectation probes for
+//! cardinality/AQP **and** max-product MPE probes for classification — runs
+//! on the **arena-compiled** SPN: the tree is flattened into contiguous
+//! struct-of-arrays storage in bottom-up topological order and whole probe
 //! batches are evaluated in one non-recursive sweep
-//! ([`spn::BatchEvaluator`]). Models compile at learn/load time; inserts and
-//! deletes then **patch the arena in place** (lockstep with the tree,
-//! O(depth) per tuple, bitwise identical to a recompile), so the engines are
+//! ([`spn::BatchEvaluator`] in the (+, ×) semiring,
+//! [`spn::MaxProductEvaluator`] in (max, ×) with deterministic
+//! lowest-child-wins tie-breaking and O(1) cached leaf-mode backtraces).
+//! Models compile at learn/load time; inserts and deletes then **patch the
+//! arena in place** (lockstep with the tree, O(depth) per tuple, bitwise
+//! identical to a recompile — cached modes included), so the engines are
 //! never stale between updates and queries — [`Ensemble::recompile_models`]
-//! remains only as a structural-change escape hatch. The recursive
-//! evaluator remains as the differential-test oracle and MPE path.
+//! remains only as a structural-change escape hatch. Because every query
+//! path is `&self`, the ML entry points take `&Ensemble` and ship batched
+//! forms ([`ml::predict_classification_batch`],
+//! [`ml::predict_regression_batch`]) that answer K evidence rows in one
+//! arena sweep of the touched member. The recursive evaluator survives
+//! **only** as the differential-test oracle.
 
 pub use deepdb_baselines as baselines;
 pub use deepdb_core as core_;

@@ -134,7 +134,7 @@ fn ml_regression_beats_marginal_mean_on_correlated_target() {
         seed: 17,
     });
     let f = db.table_id("flights").unwrap();
-    let mut ens = EnsembleBuilder::new(&db).params(params()).build().unwrap();
+    let ens = EnsembleBuilder::new(&db).params(params()).build().unwrap();
     use deepdb::data::flights::cols;
     let table = db.table(f);
     // RMSE of E[air_time | distance] vs RMSE of the marginal mean.
@@ -148,14 +148,9 @@ fn ml_regression_beats_marginal_mean_on_correlated_target() {
     for r in 0..n_test {
         let truth = table.column(cols::AIR_TIME).f64_or_nan(r);
         let d = table.value(r, cols::DISTANCE);
-        let pred = deepdb::ml::predict_regression(
-            &mut ens,
-            &db,
-            f,
-            cols::AIR_TIME,
-            &[(cols::DISTANCE, d)],
-        )
-        .unwrap();
+        let pred =
+            deepdb::ml::predict_regression(&ens, &db, f, cols::AIR_TIME, &[(cols::DISTANCE, d)])
+                .unwrap();
         se_model += (pred - truth) * (pred - truth);
         se_mean += (mean - truth) * (mean - truth);
     }
