@@ -44,7 +44,7 @@ fn main() {
     let c = db.table_id("customer").unwrap();
     let s = db.table_id("supplier").unwrap();
     let t0 = Instant::now();
-    let mut ensemble = EnsembleBuilder::new(&db)
+    let ensemble = EnsembleBuilder::new(&db)
         .params(default_ensemble_params(scale.seed))
         .functional_dependency(c, 2, 3)
         .functional_dependency(s, 2, 3)
@@ -93,7 +93,7 @@ fn main() {
             rel_error_pct(t_scalar, ts)
         };
         let t0 = Instant::now();
-        let out = execute_aqp(&mut ensemble, &db, &nq.query).expect("deepdb aqp");
+        let out = execute_aqp(&ensemble, &db, &nq.query).expect("deepdb aqp");
         let d_lat = t0.elapsed();
         deepdb_max_latency = deepdb_max_latency.max(d_lat);
         let d_err = match &out {

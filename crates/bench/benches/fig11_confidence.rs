@@ -90,11 +90,11 @@ fn main() {
     let (fa, fb) = flights::f52_pair(&fdb);
     let ca = sample_based_ci(&fdb, &fa.query, n_samples, 0.95, scale.seed ^ 0x12).expect("ci");
     let cb = sample_based_ci(&fdb, &fb.query, n_samples, 0.95, scale.seed ^ 0x13).expect("ci");
-    let da = execute_aqp(&mut fens, &fdb, &fa.query)
+    let da = execute_aqp(&fens, &fdb, &fa.query)
         .expect("aqp")
         .scalar()
         .expect("scalar");
-    let dbv = execute_aqp(&mut fens, &fdb, &fb.query)
+    let dbv = execute_aqp(&fens, &fdb, &fb.query)
         .expect("aqp")
         .scalar()
         .expect("scalar");

@@ -24,7 +24,7 @@ fn main() {
     );
     let db = imdb::generate(scale);
 
-    let (mut ensemble, _) = build_ensemble(&db, default_ensemble_params(scale.seed));
+    let (ensemble, _) = build_ensemble(&db, default_ensemble_params(scale.seed));
 
     // MCSN trained on ≤3-table queries only.
     let n_train = if deepdb_bench::fast_mode() { 180 } else { 1200 };
@@ -57,7 +57,7 @@ fn main() {
     for (nq, &truth) in grid.iter().zip(&truths) {
         let tables = nq.query.tables.len();
         let preds = nq.query.predicates.len();
-        let d = estimate_cardinality(&mut ensemble, &db, &nq.query).expect("deepdb");
+        let d = estimate_cardinality(&ensemble, &db, &nq.query).expect("deepdb");
         let m = mcsn.estimate(&db, &nq.query);
         let entry = cells.entry((tables, preds)).or_default();
         entry.0.push(qerror(d, truth));

@@ -21,7 +21,7 @@ fn eval_ensemble(
     params: deepdb_core::EnsembleParams,
 ) -> (f64, f64, f64, f64, std::time::Duration) {
     let t0 = Instant::now();
-    let mut ens = EnsembleBuilder::new(db)
+    let ens = EnsembleBuilder::new(db)
         .params(params)
         .build()
         .expect("ensemble");
@@ -31,7 +31,7 @@ fn eval_ensemble(
         .zip(truths)
         .map(|(nq, &t)| {
             qerror(
-                estimate_cardinality(&mut ens, db, &nq.query).expect("estimate"),
+                estimate_cardinality(&ens, db, &nq.query).expect("estimate"),
                 t,
             )
         })

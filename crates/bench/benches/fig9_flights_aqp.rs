@@ -37,7 +37,7 @@ fn main() {
     let db = flights::generate(scale);
     println!("flights rows: {}", db.total_rows());
 
-    let (mut ensemble, train_time) = build_ensemble(&db, default_ensemble_params(scale.seed));
+    let (ensemble, train_time) = build_ensemble(&db, default_ensemble_params(scale.seed));
     println!("DeepDB ensemble training: {}", fmt_dur(train_time));
     let verdict = VerdictDb::build(&db, 0.01, scale.seed ^ 0x1).expect("verdict scrambles");
     println!("VerdictDB scramble build: {}", fmt_dur(verdict.build_time));
@@ -69,7 +69,7 @@ fn main() {
         };
         // DeepDB.
         let t0 = Instant::now();
-        let out = execute_aqp(&mut ensemble, &db, &nq.query).expect("deepdb aqp");
+        let out = execute_aqp(&ensemble, &db, &nq.query).expect("deepdb aqp");
         let d_lat = t0.elapsed();
         deepdb_max_latency = deepdb_max_latency.max(d_lat);
         let d_err = match &out {
@@ -107,11 +107,11 @@ fn main() {
     let _ = tga;
     let t_diff = ta.zip(tb).map(|(a, b)| a - b);
     let t0 = Instant::now();
-    let da = execute_aqp(&mut ensemble, &db, &fa.query)
+    let da = execute_aqp(&ensemble, &db, &fa.query)
         .expect("aqp")
         .scalar()
         .expect("scalar");
-    let db_ = execute_aqp(&mut ensemble, &db, &fb.query)
+    let db_ = execute_aqp(&ensemble, &db, &fb.query)
         .expect("aqp")
         .scalar()
         .expect("scalar");

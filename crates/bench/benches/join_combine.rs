@@ -1,0 +1,225 @@
+//! `join_combine`: the symbolic Case-3 combine planner (all extension
+//! steps of every group registered on ONE fused probe plan) vs. the
+//! retained eager oracle (one throwaway plan + arena sweep per step per
+//! group), at 1 / 8 / 64 groups over a 3-table Case-3 join.
+//!
+//! The fixture is a `nation ← customer ← orders` chain modeled by
+//! single-table RSPNs only, so every multi-table COUNT combines three
+//! members through the downward fan-out / upward factor-weighted branches —
+//! exactly the queries the paper calls hardest (§4.1.2). The bench asserts
+//! the planned per-group counts are **bitwise identical** to the eager
+//! oracle before timing anything, then writes `BENCH_join_combine.json`
+//! with ns/group for both paths (`eager_over_planned` ≥ 1 means the
+//! planner wins). `DEEPDB_FAST=1` shrinks the fixture and rep counts for
+//! the CI smoke run.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepdb_core::{combine, compile, Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy};
+use deepdb_storage::{
+    CmpOp, ColumnRef, Database, Domain, PredOp, Predicate, Query, TableSchema, Value,
+};
+
+fn fast() -> bool {
+    std::env::var("DEEPDB_FAST").is_ok_and(|v| v == "1")
+}
+
+fn lcg(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed;
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    }
+}
+
+/// 3-table chain whose customer `c_group` column carries 64 distinct values
+/// (the GROUP BY domain) and whose other columns track a latent cluster so
+/// SPN learning produces realistically deep models.
+fn fixture() -> (Database, Ensemble) {
+    let n_customers: i64 = if fast() { 1_500 } else { 8_000 };
+    let mut db = Database::new("join_combine_fixture");
+    db.create_table(
+        TableSchema::new("nation")
+            .pk("n_id")
+            .col("n_region", Domain::Discrete),
+    )
+    .expect("fresh catalog");
+    db.create_table(
+        TableSchema::new("customer")
+            .pk("c_id")
+            .col("n_id", Domain::Key)
+            .col("c_group", Domain::Discrete)
+            .col("c_age", Domain::Discrete),
+    )
+    .expect("fresh catalog");
+    db.create_table(
+        TableSchema::new("orders")
+            .pk("o_id")
+            .col("c_id", Domain::Key)
+            .col("o_channel", Domain::Discrete),
+    )
+    .expect("fresh catalog");
+    db.add_foreign_key("customer", "n_id", "nation")
+        .expect("valid fk");
+    db.add_foreign_key("orders", "c_id", "customer")
+        .expect("valid fk");
+
+    let mut rng = lcg(0xC0FFEE);
+    for n in 1..=8i64 {
+        db.insert("nation", &[Value::Int(n), Value::Int((n - 1) % 4)])
+            .expect("valid row");
+    }
+    let mut order_id = 1i64;
+    for c in 1..=n_customers {
+        let cluster = (rng() * 16.0).floor();
+        let group = cluster * 4.0 + (rng() * 4.0).floor(); // 64 group values
+        let nation = 1 + (rng() * 8.0) as i64;
+        let age = 18 + (cluster * 3.0 + rng() * 10.0) as i64;
+        db.insert(
+            "customer",
+            &[
+                Value::Int(c),
+                Value::Int(nation),
+                Value::Int(group as i64),
+                Value::Int(age),
+            ],
+        )
+        .expect("valid row");
+        for _ in 0..(rng() * 3.0) as i64 {
+            db.insert(
+                "orders",
+                &[
+                    Value::Int(order_id),
+                    Value::Int(c),
+                    Value::Int(i64::from(rng() < 0.5)),
+                ],
+            )
+            .expect("valid row");
+            order_id += 1;
+        }
+    }
+
+    let params = EnsembleParams {
+        strategy: EnsembleStrategy::SingleTables, // every join is Case 3
+        sample_size: if fast() { 4_000 } else { 20_000 },
+        correlation_sample: 500,
+        ..EnsembleParams::default()
+    };
+    let ens = EnsembleBuilder::new(&db)
+        .params(params)
+        .build()
+        .expect("ensemble");
+    (db, ens)
+}
+
+/// Median ns over `reps` runs of `f`.
+fn median_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn bench_join_combine(c: &mut Criterion) {
+    let reps = if fast() { 7 } else { 21 };
+    let (db, ens) = fixture();
+    let n = db.table_id("nation").unwrap();
+    let cu = db.table_id("customer").unwrap();
+    let o = db.table_id("orders").unwrap();
+    // The 3-table Case-3 join with one shared filter; groups come from
+    // appending `c_group = v` per value.
+    let base = Query::count(vec![n, cu, o]).filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+    let qtables: BTreeSet<usize> = [n, cu, o].into_iter().collect();
+    let target = ColumnRef {
+        table: cu,
+        column: 2,
+    };
+    let all_values: Vec<Value> = (0..64).map(Value::Int).collect();
+
+    // Planned path: every group's combine plan rides ONE fused probe plan.
+    let planned =
+        |values: &[Value]| compile::estimate_count_values(&ens, &db, &base, target, values);
+    // Eager oracle: the retired per-step loop, one plan + sweep per step
+    // per group.
+    let eager = |values: &[Value]| -> Vec<f64> {
+        values
+            .iter()
+            .map(|v| {
+                let mut preds = base.predicates.clone();
+                preds.push(Predicate::new(cu, 2, PredOp::Cmp(CmpOp::Eq, *v)));
+                combine::multi_rspn_count(&ens, &db, &qtables, &preds)
+                    .expect("oracle")
+                    .value
+                    .max(0.0)
+            })
+            .collect()
+    };
+
+    // Acceptance first: planned ≡ eager, bitwise, on every group count.
+    let planned_all = planned(&all_values).expect("planned path");
+    let eager_all = eager(&all_values);
+    for (i, (p, e)) in planned_all.iter().zip(&eager_all).enumerate() {
+        assert_eq!(
+            p.to_bits(),
+            e.to_bits(),
+            "group {i}: planned {p} vs eager {e}"
+        );
+    }
+
+    let mut rows = Vec::new();
+    for groups in [1usize, 8, 64] {
+        let values = &all_values[..groups];
+        c.bench_function(&format!("join_combine/{groups}/planned"), |b| {
+            b.iter(|| planned(values).expect("planned path"))
+        });
+        c.bench_function(&format!("join_combine/{groups}/eager"), |b| {
+            b.iter(|| eager(values))
+        });
+        let planned_ns = median_ns(reps, || planned(values).expect("planned path")) / groups as f64;
+        let eager_ns = median_ns(reps, || eager(values)) / groups as f64;
+        rows.push((groups, planned_ns, eager_ns));
+    }
+
+    let host = std::thread::available_parallelism().map_or(1, |x| x.get());
+    let model_nodes: usize = ens.rspns().iter().map(|r| r.model_size()).sum();
+    let mut json = String::from("{\n  \"bench\": \"join_combine\",\n");
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"ensemble_members\": {},\n", ens.rspns().len()));
+    json.push_str(&format!("  \"model_nodes_total\": {model_nodes},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, (groups, planned_ns, eager_ns)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"groups\": {groups}, \"planned_ns_per_group\": {planned_ns:.0}, \
+             \"eager_ns_per_group\": {eager_ns:.0}, \
+             \"eager_over_planned\": {:.2}}}{}\n",
+            eager_ns / planned_ns.max(1.0),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_join_combine.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+    println!("{json}");
+}
+
+criterion_group! {
+    name = benches;
+    config = {
+        let (samples, secs) = if fast() { (5, 1) } else { (15, 3) };
+        Criterion::default()
+            .sample_size(samples)
+            .measurement_time(std::time::Duration::from_secs(secs))
+            .warm_up_time(std::time::Duration::from_millis(if fast() { 100 } else { 500 }))
+    };
+    targets = bench_join_combine
+}
+criterion_main!(benches);

@@ -25,7 +25,7 @@ fn bench_cardinality_latency(c: &mut Criterion) {
         seed: 42,
     };
     let db = imdb::generate(scale);
-    let mut ens = EnsembleBuilder::new(&db)
+    let ens = EnsembleBuilder::new(&db)
         .params(default_ensemble_params(scale.seed))
         .build()
         .expect("ensemble");
@@ -35,7 +35,7 @@ fn bench_cardinality_latency(c: &mut Criterion) {
         b.iter(|| {
             let q = &workload[i % workload.len()].query;
             i += 1;
-            std::hint::black_box(estimate_cardinality(&mut ens, &db, q).expect("estimate"))
+            std::hint::black_box(estimate_cardinality(&ens, &db, q).expect("estimate"))
         })
     });
     // Ground-truth executor for comparison (what the estimate replaces).
@@ -55,7 +55,7 @@ fn bench_aqp_latency(c: &mut Criterion) {
         seed: 42,
     };
     let db = flights::generate(scale);
-    let mut ens = EnsembleBuilder::new(&db)
+    let ens = EnsembleBuilder::new(&db)
         .params(default_ensemble_params(scale.seed))
         .build()
         .expect("ensemble");
@@ -65,7 +65,7 @@ fn bench_aqp_latency(c: &mut Criterion) {
         b.iter(|| {
             let q = &queries[i % queries.len()].query;
             i += 1;
-            std::hint::black_box(execute_aqp(&mut ens, &db, q).expect("aqp"))
+            std::hint::black_box(execute_aqp(&ens, &db, q).expect("aqp"))
         })
     });
 }

@@ -39,7 +39,7 @@ fn main() {
     let truths = ground_truth_cardinalities(&db, &workload);
 
     // DeepDB: data-driven ensemble (no workload needed).
-    let (mut ensemble, deepdb_time) = build_ensemble(&db, default_ensemble_params(scale.seed));
+    let (ensemble, deepdb_time) = build_ensemble(&db, default_ensemble_params(scale.seed));
 
     // MCSN: workload-driven — training queries limited to ≤ 3 tables (§6.1).
     let n_train = if deepdb_bench::fast_mode() { 200 } else { 1500 };
@@ -71,7 +71,7 @@ fn main() {
     let mut est_latency_us = Vec::new();
     for (nq, &truth) in workload.iter().zip(&truths) {
         let t = Instant::now();
-        let est = estimate_cardinality(&mut ensemble, &db, &nq.query).expect("deepdb estimate");
+        let est = estimate_cardinality(&ensemble, &db, &nq.query).expect("deepdb estimate");
         est_latency_us.push(t.elapsed().as_secs_f64() * 1e6);
         q_deepdb.push(qerror(est, truth));
         q_mcsn.push(qerror(mcsn.estimate(&db, &nq.query), truth));

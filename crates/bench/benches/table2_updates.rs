@@ -75,7 +75,7 @@ fn main() {
                 .zip(&truths)
                 .map(|(nq, &t)| {
                     qerror(
-                        estimate_cardinality(&mut ensemble, &db, &nq.query).expect("estimate"),
+                        estimate_cardinality(&ensemble, &db, &nq.query).expect("estimate"),
                         t,
                     )
                 })

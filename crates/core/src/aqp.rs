@@ -12,13 +12,17 @@
 //! numerator/denominator) is registered on one [`crate::ProbePlan`], so the
 //! whole result set costs exactly one fused arena sweep per touched RSPN
 //! member, parallelized across the ensemble's probe-thread budget. Groups
-//! whose COUNT needs Case-3 RSPN combination resolve through the eager
-//! fallback inside [`crate::compile::resolve_scalar`].
+//! whose COUNT needs Case-3 RSPN combination register their symbolic
+//! [`crate::combine::CombinePlan`] bundles on the same shared plan — the
+//! one-sweep-per-member invariant holds for multi-RSPN GROUP BY too.
+//!
+//! The whole query path runs on `&Ensemble`; structural recompilation is an
+//! explicit maintenance call ([`Ensemble::recompile_models`]).
 
 use deepdb_storage::{Aggregate, Database, Domain, Query, Value};
 
 use crate::compile::{
-    estimate_count_values_inner, register_scalar, resolve_scalar, value_predicate, ScalarTemplate,
+    estimate_count_values, register_scalar, resolve_scalar, value_predicate, ScalarTemplate,
 };
 use crate::ensemble::Ensemble;
 use crate::estimate::Estimate;
@@ -66,16 +70,8 @@ impl AqpOutput {
 pub const CONFIDENCE: f64 = 0.95;
 
 /// Answer an aggregate query approximately from the ensemble.
-pub fn execute_aqp(
-    ens: &mut Ensemble,
-    db: &Database,
-    query: &Query,
-) -> Result<AqpOutput, DeepDbError> {
+pub fn execute_aqp(ens: &Ensemble, db: &Database, query: &Query) -> Result<AqpOutput, DeepDbError> {
     query.validate(db)?;
-    // The one mutable step of the query path: recompile update-dirtied
-    // engines. Everything after evaluates on `&Ensemble`.
-    ens.recompile_models();
-    let ens: &Ensemble = ens;
 
     if query.group_by.is_empty() {
         let (agg, count) = scalar_estimates(ens, db, query)?;
@@ -100,7 +96,7 @@ pub fn execute_aqp(
                 table: g.table,
                 column: g.column,
             };
-            let counts = estimate_count_values_inner(ens, db, &mq, target, &domain)?;
+            let counts = estimate_count_values(ens, db, &mq, target, &domain)?;
             domain
                 .into_iter()
                 .zip(counts)
@@ -118,12 +114,13 @@ pub fn execute_aqp(
 
     // Enumerate all group combinations (mixed-radix counter) and register
     // every group's full probe bundle on ONE plan, then sweep each touched
-    // member once. Member selection and the translation of the shared
-    // (non-group) predicates happen ONCE in the template; each group only
+    // member once. Member selection, the translation of the shared
+    // (non-group) predicates, and — for multi-RSPN counts — the whole
+    // Case-3 combine plan happen ONCE in the template; each group only
     // appends its own value predicates to the cloned bases.
     let mut shared_q = query.clone();
     shared_q.group_by.clear();
-    let template = ScalarTemplate::prepare(ens, &shared_q, &query.group_by)?;
+    let template = ScalarTemplate::prepare(ens, db, &shared_q, &query.group_by)?;
     let mut plan = ProbePlan::new();
     let mut pending = Vec::new();
     let mut combo = vec![0usize; group_domains.len()];
@@ -154,7 +151,7 @@ pub fn execute_aqp(
     let results = plan.execute(ens);
     let mut groups = Vec::new();
     for (key, deferred) in pending {
-        let (agg, count) = resolve_scalar(ens, db, &deferred, &results)?;
+        let (agg, count) = resolve_scalar(&deferred, &results)?;
         // Suppress groups the model considers empty (< half a row).
         if count.value >= 0.5 {
             groups.push((key, to_result(agg, count)));
@@ -184,9 +181,9 @@ fn scalar_estimates(
     let mut scalar_q = query.clone();
     scalar_q.group_by.clear();
     let mut plan = ProbePlan::new();
-    let deferred = register_scalar(&mut plan, ens, &scalar_q)?;
+    let deferred = register_scalar(&mut plan, ens, db, &scalar_q)?;
     let results = plan.execute(ens);
-    resolve_scalar(ens, db, &deferred, &results)
+    resolve_scalar(&deferred, &results)
 }
 
 /// Observed domain of a grouping column, from RSPN distinct-value tracking
@@ -253,11 +250,11 @@ mod tests {
 
     #[test]
     fn scalar_count_with_ci() {
-        let (db, mut ens) = setup();
+        let (db, ens) = setup();
         let c = db.table_id("customer").unwrap();
         let q = Query::count(vec![c]).filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
         let truth = execute(&db, &q).unwrap().scalar().count as f64;
-        let out = execute_aqp(&mut ens, &db, &q).unwrap();
+        let out = execute_aqp(&ens, &db, &q).unwrap();
         let r = out.scalar().unwrap();
         let rel = (r.value - truth).abs() / truth;
         assert!(rel < 0.1, "rel err {rel}");
@@ -266,7 +263,7 @@ mod tests {
 
     #[test]
     fn group_by_region_matches_executor_per_group() {
-        let (db, mut ens) = setup();
+        let (db, ens) = setup();
         let c = db.table_id("customer").unwrap();
         let o = db.table_id("orders").unwrap();
         let q = Query::count(vec![c, o])
@@ -276,7 +273,7 @@ mod tests {
             }))
             .group(c, 2);
         let truth = execute(&db, &q).unwrap();
-        let out = execute_aqp(&mut ens, &db, &q).unwrap();
+        let out = execute_aqp(&ens, &db, &q).unwrap();
         let groups = out.groups();
         assert_eq!(groups.len(), truth.groups().len(), "group count");
         for (key, res) in groups {
@@ -297,10 +294,10 @@ mod tests {
 
     #[test]
     fn grouped_counts_sum_to_total() {
-        let (db, mut ens) = setup();
+        let (db, ens) = setup();
         let c = db.table_id("customer").unwrap();
         let q = Query::count(vec![c]).group(c, 2);
-        let out = execute_aqp(&mut ens, &db, &q).unwrap();
+        let out = execute_aqp(&ens, &db, &q).unwrap();
         let total: f64 = out.groups().iter().map(|(_, r)| r.value).sum();
         let truth = db.table(c).n_rows() as f64;
         assert!((total - truth).abs() / truth < 0.05, "{total} vs {truth}");
@@ -308,7 +305,7 @@ mod tests {
 
     #[test]
     fn sum_aggregate_group_by() {
-        let (db, mut ens) = setup();
+        let (db, ens) = setup();
         let c = db.table_id("customer").unwrap();
         let o = db.table_id("orders").unwrap();
         let q = Query::count(vec![c, o])
@@ -318,7 +315,7 @@ mod tests {
             }))
             .group(c, 2);
         let truth = execute(&db, &q).unwrap();
-        let out = execute_aqp(&mut ens, &db, &q).unwrap();
+        let out = execute_aqp(&ens, &db, &q).unwrap();
         for (key, res) in out.groups() {
             let t = truth
                 .groups()

@@ -12,24 +12,32 @@
 //!   paper's worked alternatives).
 //!
 //! RSPN choice is greedy by the sum of pairwise RDC values among the filter
-//! columns an RSPN can handle ("Execution Strategy", §4.1).
+//! columns an RSPN can handle ("Execution Strategy", §4.1), with ties broken
+//! deterministically to the lowest member index (the MPE tie rule).
 //!
 //! Probes are **deferred, not eager**: the `register_*` functions translate
 //! a (sub)query into [`deepdb_spn::SpnQuery`] probes on a [`ProbePlan`] and return typed
 //! deferred estimates holding [`ProbeHandle`]s; a single
 //! [`ProbePlan::execute`] then sweeps each touched RSPN member's arena once
-//! and the deferred values `resolve` against the results. Entry points that
-//! need only one bundle (a scalar COUNT, one Theorem-2 extension step) build
-//! a local plan; `aqp::execute_aqp` fuses the bundles of *every* GROUP BY
-//! group into one plan. Case 3 extension is inherently sequential (each step
-//! depends on the covered set so far) and stays eager, but each step's
-//! probes are still fused.
+//! and the deferred values `resolve` against the results. This now covers
+//! Case 3 too: [`crate::combine::CombinePlan`] plans the whole multi-RSPN
+//! combination symbolically and registers **every** extension step's
+//! fraction bundles on the same plan, so a COUNT costs one sweep per
+//! touched member no matter how many RSPNs it combines.
+//! `aqp::execute_aqp` fuses the bundles of *every* GROUP BY group — combine
+//! plans included — into one plan. The retired eager Case-3 loop survives
+//! only as the differential-test oracle [`crate::combine::multi_rspn_count`].
+//!
+//! All query entry points take `&Ensemble`: the compiled engines are kept
+//! fresh in place by the update path, and structural recompilation is an
+//! explicit maintenance call ([`Ensemble::recompile_models`]).
 
 use std::collections::BTreeSet;
 
 use deepdb_spn::{LeafFunc, LeafPred, SpnQuery};
 use deepdb_storage::{Aggregate, ColumnRef, Database, Predicate, Query, TableId};
 
+use crate::combine::{CombineExpr, CombinePlan};
 use crate::ensemble::Ensemble;
 use crate::estimate::Estimate;
 use crate::plan::{ProbeHandle, ProbePlan, ProbeResults};
@@ -39,17 +47,6 @@ use crate::DeepDbError;
 /// Estimate `COUNT(*)` of an inner-join query (cardinality estimation /
 /// COUNT AQP). Returns the point estimate with propagated variance.
 pub fn estimate_count(
-    ens: &mut Ensemble,
-    db: &Database,
-    query: &Query,
-) -> Result<Estimate, DeepDbError> {
-    ens.recompile_models();
-    estimate_count_inner(ens, db, query)
-}
-
-/// [`estimate_count`] behind a shared ensemble reference (engines must be
-/// compiled — the `&mut` entry points guarantee it).
-pub(crate) fn estimate_count_inner(
     ens: &Ensemble,
     db: &Database,
     query: &Query,
@@ -57,20 +54,14 @@ pub(crate) fn estimate_count_inner(
     query.validate(db)?;
     let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
     let mut plan = ProbePlan::new();
-    match register_count(&mut plan, ens, &qtables, &query.predicates)? {
-        // Case 1/2: one RSPN covering every query table, one fused sweep.
-        Some(deferred) => {
-            let results = plan.execute(ens);
-            Ok(deferred.resolve(&results))
-        }
-        // Case 3: combine RSPNs.
-        None => multi_rspn_count(ens, db, &qtables, &query.predicates),
-    }
+    let deferred = register_count(&mut plan, ens, db, &qtables, &query.predicates)?;
+    let results = plan.execute(ens);
+    deferred.resolve(&results)
 }
 
 /// Cardinality estimate clamped to ≥ 1 tuple (q-error convention).
 pub fn estimate_cardinality(
-    ens: &mut Ensemble,
+    ens: &Ensemble,
     db: &Database,
     query: &Query,
 ) -> Result<f64, DeepDbError> {
@@ -84,20 +75,10 @@ pub fn estimate_cardinality(
 /// When a single RSPN covers the query (paper Cases 1/2) all probes are
 /// registered on one [`ProbePlan`] and the member is swept **once**, tiles
 /// parallelized (`|J| · E[1/F' · 1_{C ∧ target=v} · ∏N_T]` per value).
-/// Otherwise this falls back to one [`estimate_count`] per value (Case 3
-/// needs per-value RSPN combination).
+/// Otherwise every value's combine plan is registered on one shared plan
+/// (Case-3 combination is planned symbolically, so the whole batch still
+/// costs one sweep per touched member).
 pub fn estimate_count_values(
-    ens: &mut Ensemble,
-    db: &Database,
-    query: &Query,
-    target: ColumnRef,
-    values: &[deepdb_storage::Value],
-) -> Result<Vec<f64>, DeepDbError> {
-    ens.recompile_models();
-    estimate_count_values_inner(ens, db, query, target, values)
-}
-
-pub(crate) fn estimate_count_values_inner(
     ens: &Ensemble,
     db: &Database,
     query: &Query,
@@ -143,14 +124,22 @@ pub(crate) fn estimate_count_values_inner(
             .collect());
     }
 
-    // Case 3 fallback: one full estimate per value.
-    let mut out = Vec::with_capacity(values.len());
+    // Case 3 (or translation-failure) fallback: prepare the combine plan
+    // once and register every value's bundle set on ONE shared plan — still
+    // one fused sweep per touched member for the whole batch.
+    let mut count_q = query.clone();
+    count_q.aggregate = Aggregate::CountStar;
+    let template = ScalarTemplate::prepare(ens, db, &count_q, std::slice::from_ref(&target))?;
+    let mut plan = ProbePlan::new();
+    let mut deferred = Vec::with_capacity(values.len());
     for v in values {
-        let mut sub = query.clone();
-        sub.predicates.push(eq_pred(v));
-        out.push(estimate_count_inner(ens, db, &sub)?.value.max(0.0));
+        deferred.push(template.register_group(&mut plan, ens, &[eq_pred(v)])?);
     }
-    Ok(out)
+    let results = plan.execute(ens);
+    deferred
+        .iter()
+        .map(|d| Ok(d.count.resolve(&results)?.value.max(0.0)))
+        .collect()
 }
 
 /// Equality predicate for a concrete value; NULL group keys become `IS NULL`
@@ -183,13 +172,14 @@ pub const MAX_DISJUNCTS: usize = 10;
 ///
 /// `COUNT(∨ᵢ Dᵢ) = Σ_{∅≠S} (−1)^{|S|+1} · COUNT(∧_{i∈S} Dᵢ)`.
 ///
-/// All 2^k − 1 conjunctive terms are registered on **one** probe plan (terms
-/// needing Case-3 combination fall back to eager evaluation), so the whole
-/// disjunction costs one sweep per touched member. Variances of the terms
-/// are summed (the terms reuse the same models, so this over-states
-/// independence; documented approximation). The estimate is clamped to ≥ 0.
+/// All 2^k − 1 conjunctive terms are registered on **one** probe plan —
+/// terms needing Case-3 combination register their combine plans on the same
+/// plan — so the whole disjunction costs one sweep per touched member.
+/// Variances of the terms are summed (the terms reuse the same models, so
+/// this over-states independence; documented approximation). The estimate is
+/// clamped to ≥ 0.
 pub fn estimate_count_disjunction(
-    ens: &mut Ensemble,
+    ens: &Ensemble,
     db: &Database,
     query: &Query,
     disjuncts: &[Vec<Predicate>],
@@ -203,14 +193,12 @@ pub fn estimate_count_disjunction(
             disjuncts.len()
         )));
     }
-    ens.recompile_models();
-    let ens: &Ensemble = ens;
     query.validate(db)?;
     let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
 
     let k = disjuncts.len();
     let mut plan = ProbePlan::new();
-    let mut terms: Vec<(f64, Option<DeferredCount>, Vec<Predicate>)> = Vec::new();
+    let mut terms: Vec<(f64, DeferredCountExpr)> = Vec::new();
     for mask in 1u32..(1 << k) {
         let mut sub = query.clone();
         for (i, d) in disjuncts.iter().enumerate() {
@@ -218,37 +206,28 @@ pub fn estimate_count_disjunction(
                 sub.predicates.extend(d.iter().cloned());
             }
         }
-        // Validate each inclusion–exclusion term like the eager path did —
-        // disjunct predicates can reference tables outside the FROM list.
+        // Validate each inclusion–exclusion term separately — disjunct
+        // predicates can reference tables outside the FROM list.
         sub.validate(db)?;
         let sign = if mask.count_ones() % 2 == 1 {
             1.0
         } else {
             -1.0
         };
-        let deferred = register_count(&mut plan, ens, &qtables, &sub.predicates)?;
-        terms.push((sign, deferred, sub.predicates));
+        let deferred = register_count(&mut plan, ens, db, &qtables, &sub.predicates)?;
+        terms.push((sign, deferred));
     }
     let results = plan.execute(ens);
     let mut total = Estimate::exact(0.0);
-    for (sign, deferred, preds) in terms {
-        let term = match deferred {
-            Some(d) => d.resolve(&results),
-            None => multi_rspn_count(ens, db, &qtables, &preds)?,
-        };
-        total = total.add(term.scale(sign));
+    for (sign, deferred) in terms {
+        total = total.add(deferred.resolve(&results)?.scale(sign));
     }
     total.value = total.value.max(0.0);
     Ok(total)
 }
 
 /// Estimate `AVG(col)` with tuple-factor normalization (paper §4.2).
-pub fn estimate_avg(
-    ens: &mut Ensemble,
-    db: &Database,
-    query: &Query,
-) -> Result<Estimate, DeepDbError> {
-    ens.recompile_models();
+pub fn estimate_avg(ens: &Ensemble, db: &Database, query: &Query) -> Result<Estimate, DeepDbError> {
     query.validate(db)?;
     let Aggregate::Avg(target) = query.aggregate else {
         return Err(DeepDbError::Unsupported(
@@ -265,13 +244,7 @@ pub fn estimate_avg(
 /// non-NULL summands) and the AVG numerator/denominator/moment probes are
 /// fused into one plan — one sweep per touched member even when COUNT and
 /// AVG pick different members.
-pub fn estimate_sum(
-    ens: &mut Ensemble,
-    db: &Database,
-    query: &Query,
-) -> Result<Estimate, DeepDbError> {
-    ens.recompile_models();
-    let ens: &Ensemble = ens;
+pub fn estimate_sum(ens: &Ensemble, db: &Database, query: &Query) -> Result<Estimate, DeepDbError> {
     query.validate(db)?;
     let Aggregate::Sum(target) = query.aggregate else {
         return Err(DeepDbError::Unsupported(
@@ -288,18 +261,17 @@ pub fn estimate_sum(
     ));
 
     let mut plan = ProbePlan::new();
-    let count_deferred = register_count(&mut plan, ens, &qtables, &count_preds)?;
+    let count_deferred = register_count(&mut plan, ens, db, &qtables, &count_preds)?;
     let avg_deferred = register_avg(&mut plan, ens, &query.tables, &query.predicates, target)?;
     let results = plan.execute(ens);
-    let count = match count_deferred {
-        Some(d) => d.resolve(&results),
-        None => multi_rspn_count(ens, db, &qtables, &count_preds)?,
-    };
+    let count = count_deferred.resolve(&results)?;
     Ok(count.product(avg_deferred.resolve(&results)))
 }
 
 /// Pick the best RSPN whose tables cover all of `qtables` (greedy RDC
-/// strategy; smaller RSPNs win ties to avoid needless normalization).
+/// strategy; smaller RSPNs win ties to avoid needless normalization, and
+/// among same-size candidates the lowest member index wins — selection is
+/// reproducible across runs).
 fn best_covering_rspn(
     ens: &Ensemble,
     qtables: &BTreeSet<TableId>,
@@ -313,6 +285,8 @@ fn best_covering_rspn(
         let score = rspn.strategy_score(preds);
         let size_penalty = -(rspn.tables().len() as isize);
         let key = (score, size_penalty, i);
+        // Strictly-better keys only: on a full tie the first (lowest-index)
+        // candidate is kept.
         if best.is_none_or(|(s, p, _)| (score, size_penalty) > (s, p)) {
             best = Some(key);
         }
@@ -328,14 +302,16 @@ fn best_covering_rspn(
 /// Deferred `E[1/F'(Q,J) · 1_C · ∏N_T]` with variance: the point probe,
 /// plus — when tuple-factor normalization is active — the probability factor
 /// and the second-moment probe (three probes, same member, one sweep).
+/// Fields are crate-visible so `combine.rs` can assemble the same bundle
+/// shape for its Case-3 extension steps.
 pub(crate) struct DeferredFraction {
-    n: u64,
+    pub(crate) n: u64,
     /// The fraction probe (moment functions applied).
-    point: ProbeHandle,
+    pub(crate) point: ProbeHandle,
     /// `P(C ∧ ∏N_T)` — same query without the moment functions.
-    prob: Option<ProbeHandle>,
+    pub(crate) prob: Option<ProbeHandle>,
     /// Squared-moment probe for the Koenig–Huygens variance.
-    sq: Option<ProbeHandle>,
+    pub(crate) sq: Option<ProbeHandle>,
 }
 
 impl DeferredFraction {
@@ -365,8 +341,8 @@ impl DeferredFraction {
 /// Register the probes of one count fraction on RSPN member `idx` (the
 /// split into a binomial predicate part and a Koenig–Huygens
 /// conditional-expectation part follows paper §5.1). Thin wrapper over
-/// [`CountTemplate`] — the single source of the point/prob/sq bundle —
-/// with no deferred group predicates.
+/// [`CountTemplate`] — whose probe recipe lives in
+/// [`fraction_bundle_queries`] — with no deferred group predicates.
 pub(crate) fn register_fraction(
     plan: &mut ProbePlan,
     ens: &Ensemble,
@@ -392,23 +368,85 @@ impl DeferredCount {
     }
 }
 
-/// Register a full COUNT estimate if one RSPN covers the query tables
-/// (Cases 1/2). `Ok(None)` means Case 3: the caller must fall back to
-/// eager [`multi_rspn_count`]. Translation failures propagate as errors.
+/// A deferred COUNT that always resolves from the plan's results: either a
+/// Theorem-1 bundle on one covering member (Cases 1/2) or a symbolic
+/// multi-RSPN combination (Case 3) — there is no eager arm left.
+pub(crate) enum DeferredCountExpr {
+    Covered(DeferredCount),
+    Combined(CombineExpr),
+}
+
+impl DeferredCountExpr {
+    pub(crate) fn resolve(&self, r: &ProbeResults) -> Result<Estimate, DeepDbError> {
+        match self {
+            DeferredCountExpr::Covered(d) => Ok(d.resolve(r)),
+            DeferredCountExpr::Combined(e) => e.resolve(r),
+        }
+    }
+}
+
+/// Register a full COUNT estimate on `plan`: Theorem 1 when one RSPN covers
+/// the query tables (Cases 1/2), otherwise the symbolic Case-3 combine plan
+/// — either way every probe rides the caller's fused sweep. Translation
+/// failures propagate as errors.
 pub(crate) fn register_count(
     plan: &mut ProbePlan,
     ens: &Ensemble,
+    db: &Database,
     qtables: &BTreeSet<TableId>,
     preds: &[Predicate],
-) -> Result<Option<DeferredCount>, DeepDbError> {
-    let Some(idx) = best_covering_rspn(ens, qtables, preds) else {
-        return Ok(None);
-    };
-    let fraction = register_fraction(plan, ens, idx, qtables, preds)?;
-    Ok(Some(DeferredCount {
-        j: ens.rspns()[idx].full_join_count() as f64,
-        fraction,
-    }))
+) -> Result<DeferredCountExpr, DeepDbError> {
+    CountSource::prepare(ens, db, qtables, preds, preds)?.register(plan, ens, &[])
+}
+
+/// Where a COUNT's probes come from: a single covering member's translated
+/// bundle, or a planned multi-RSPN combination. Prepared once per query
+/// (GROUP BY re-registers it per group with the group's value predicates).
+enum CountSource {
+    Covered(CountTemplate),
+    Combined(CombinePlan),
+}
+
+impl CountSource {
+    fn prepare(
+        ens: &Ensemble,
+        db: &Database,
+        qtables: &BTreeSet<TableId>,
+        shared_preds: &[Predicate],
+        selector_preds: &[Predicate],
+    ) -> Result<Self, DeepDbError> {
+        match best_covering_rspn(ens, qtables, selector_preds) {
+            Some(idx) => Ok(CountSource::Covered(CountTemplate::build(
+                ens,
+                idx,
+                qtables,
+                shared_preds,
+            )?)),
+            None => Ok(CountSource::Combined(CombinePlan::build(
+                ens,
+                db,
+                qtables,
+                shared_preds,
+                selector_preds,
+            )?)),
+        }
+    }
+
+    fn register(
+        &self,
+        plan: &mut ProbePlan,
+        ens: &Ensemble,
+        group_preds: &[Predicate],
+    ) -> Result<DeferredCountExpr, DeepDbError> {
+        Ok(match self {
+            CountSource::Covered(t) => {
+                DeferredCountExpr::Covered(t.register(plan, ens, group_preds)?)
+            }
+            CountSource::Combined(c) => {
+                DeferredCountExpr::Combined(c.register(plan, ens, group_preds)?)
+            }
+        })
+    }
 }
 
 /// Deferred AVG via normalized conditional expectation (paper §4.2):
@@ -447,12 +485,10 @@ pub(crate) fn register_avg(
 }
 
 /// A deferred (aggregate, count) pair for one scalar (or one GROUP BY group)
-/// subquery — what `aqp` fuses across all groups of a query.
+/// subquery — what `aqp` fuses across all groups of a query. Every arm,
+/// Case-3 combinations included, resolves purely from the plan's results.
 pub(crate) struct DeferredScalar {
-    qtables: BTreeSet<TableId>,
-    preds: Vec<Predicate>,
-    /// `None` = the COUNT needs Case-3 combination (eager fallback).
-    count: Option<DeferredCount>,
+    pub(crate) count: DeferredCountExpr,
     agg: DeferredAggKind,
 }
 
@@ -461,8 +497,7 @@ pub(crate) enum DeferredAggKind {
     Count,
     Avg(DeferredAvg),
     Sum {
-        nn_preds: Vec<Predicate>,
-        count_nn: Option<DeferredCount>,
+        count_nn: DeferredCountExpr,
         avg: DeferredAvg,
     },
 }
@@ -472,9 +507,10 @@ pub(crate) enum DeferredAggKind {
 pub(crate) fn register_scalar(
     plan: &mut ProbePlan,
     ens: &Ensemble,
+    db: &Database,
     query: &Query,
 ) -> Result<DeferredScalar, DeepDbError> {
-    ScalarTemplate::prepare(ens, query, &[])?.register_group(plan, ens, &[])
+    ScalarTemplate::prepare(ens, db, query, &[])?.register_group(plan, ens, &[])
 }
 
 // ---------------------------------------------------------------------------
@@ -490,12 +526,11 @@ pub(crate) fn register_scalar(
 /// only in appended group-value predicates. Built by
 /// [`ScalarTemplate::prepare`]; consumed once per group via
 /// [`ScalarTemplate::register_group`]. The scalar path is the degenerate
-/// no-group-columns case, so both paths share one translation.
+/// no-group-columns case, so both paths share one translation. Counts that
+/// need Case-3 combination hold a prepared [`CombinePlan`], so even
+/// multi-RSPN GROUP BY registers every group on the one shared plan.
 pub(crate) struct ScalarTemplate {
-    qtables: BTreeSet<TableId>,
-    shared_preds: Vec<Predicate>,
-    /// `None` = the COUNT needs Case-3 combination (eager per-group fallback).
-    count: Option<CountTemplate>,
+    count: CountSource,
     agg: AggTemplate,
 }
 
@@ -522,16 +557,41 @@ enum AggTemplate {
     Count,
     Avg(AvgTemplate),
     Sum {
-        target: ColumnRef,
-        count_nn: Option<CountTemplate>,
+        count_nn: CountSource,
         avg: AvgTemplate,
     },
 }
 
+/// Translate the base queries of one Theorem-1 fraction bundle against a
+/// member: the point probe, plus — when tuple-factor normalization is
+/// active — the probability factor (same query, moment functions replaced
+/// by `One`) and the squared-moment probe. The **single source** of the
+/// point/prob/sq recipe: [`CountTemplate::build`] (Cases 1/2) and the
+/// combine planner's per-step bundles (Case 3) both delegate here, which is
+/// what keeps the planned path bitwise-equal to the eager oracle.
+pub(crate) fn fraction_bundle_queries(
+    rspn: &crate::rspn::Rspn,
+    set: &BTreeSet<TableId>,
+    preds: &[Predicate],
+) -> Result<(SpnQuery, Option<SpnQuery>, Option<SpnQuery>), DeepDbError> {
+    let (point, factors) = count_fraction_query(rspn, set, preds, false)?;
+    let (prob, sq) = if factors.is_empty() {
+        (None, None)
+    } else {
+        let mut prob_q = point.clone();
+        for &f in &factors {
+            prob_q.set_func(f, LeafFunc::One);
+        }
+        let (sq_q, _) = count_fraction_query(rspn, set, preds, true)?;
+        (Some(prob_q), Some(sq_q))
+    };
+    Ok((point, prob, sq))
+}
+
 impl CountTemplate {
     /// Translate the shared predicates of one count bundle against member
-    /// `idx` — the single source of the Theorem-1 point/prob/sq bundle
-    /// ([`register_fraction`] delegates here).
+    /// `idx` ([`register_fraction`] delegates here,
+    /// [`fraction_bundle_queries`] holds the probe recipe).
     fn build(
         ens: &Ensemble,
         idx: usize,
@@ -539,17 +599,7 @@ impl CountTemplate {
         preds: &[Predicate],
     ) -> Result<Self, DeepDbError> {
         let rspn = &ens.rspns()[idx];
-        let (point, factors) = count_fraction_query(rspn, qtables, preds, false)?;
-        let (prob, sq) = if factors.is_empty() {
-            (None, None)
-        } else {
-            let mut prob_q = point.clone();
-            for &f in &factors {
-                prob_q.set_func(f, LeafFunc::One);
-            }
-            let (sq_q, _) = count_fraction_query(rspn, qtables, preds, true)?;
-            (Some(prob_q), Some(sq_q))
-        };
+        let (point, prob, sq) = fraction_bundle_queries(rspn, qtables, preds)?;
         Ok(CountTemplate {
             idx,
             j: rspn.full_join_count() as f64,
@@ -683,9 +733,11 @@ impl ScalarTemplate {
     /// Select members and translate the shared predicates of `query` once.
     /// `group_cols` are the GROUP BY columns whose per-value predicates will
     /// be appended group by group; member selection sees representative
-    /// equality predicates on them (scores depend only on the columns).
+    /// equality predicates on them (scores depend only on the columns) —
+    /// which is also what lets one [`CombinePlan`] serve every group.
     pub(crate) fn prepare(
         ens: &Ensemble,
+        db: &Database,
         query: &Query,
         group_cols: &[ColumnRef],
     ) -> Result<Self, DeepDbError> {
@@ -696,10 +748,7 @@ impl ScalarTemplate {
             .collect();
         let selector: Vec<Predicate> = query.predicates.iter().chain(rep.iter()).cloned().collect();
 
-        let count = match best_covering_rspn(ens, &qtables, &selector) {
-            Some(idx) => Some(CountTemplate::build(ens, idx, &qtables, &query.predicates)?),
-            None => None,
-        };
+        let count = CountSource::prepare(ens, db, &qtables, &query.predicates, &selector)?;
         let agg = match query.aggregate {
             Aggregate::CountStar => AggTemplate::Count,
             Aggregate::Avg(target) => AggTemplate::Avg(AvgTemplate::build(
@@ -719,13 +768,8 @@ impl ScalarTemplate {
                 nn_base.push(nn.clone());
                 let mut nn_selector = selector.clone();
                 nn_selector.push(nn);
-                let count_nn = match best_covering_rspn(ens, &qtables, &nn_selector) {
-                    Some(idx) => Some(CountTemplate::build(ens, idx, &qtables, &nn_base)?),
-                    None => None,
-                };
                 AggTemplate::Sum {
-                    target,
-                    count_nn,
+                    count_nn: CountSource::prepare(ens, db, &qtables, &nn_base, &nn_selector)?,
                     avg: AvgTemplate::build(
                         ens,
                         &query.tables,
@@ -736,12 +780,7 @@ impl ScalarTemplate {
                 }
             }
         };
-        Ok(ScalarTemplate {
-            qtables,
-            shared_preds: query.predicates.clone(),
-            count,
-            agg,
-        })
+        Ok(ScalarTemplate { count, agg })
     }
 
     /// Register one group's probe bundle: clone the translated bases and
@@ -752,337 +791,40 @@ impl ScalarTemplate {
         ens: &Ensemble,
         group_preds: &[Predicate],
     ) -> Result<DeferredScalar, DeepDbError> {
-        let mut preds = self.shared_preds.clone();
-        preds.extend(group_preds.iter().cloned());
-        let count = match &self.count {
-            Some(t) => Some(t.register(plan, ens, group_preds)?),
-            None => None,
-        };
+        let count = self.count.register(plan, ens, group_preds)?;
         let agg = match &self.agg {
             AggTemplate::Count => DeferredAggKind::Count,
             AggTemplate::Avg(t) => DeferredAggKind::Avg(t.register(plan, ens, group_preds)?),
-            AggTemplate::Sum {
-                target,
-                count_nn,
-                avg,
-            } => {
-                let mut nn_preds = preds.clone();
-                nn_preds.push(Predicate::new(
-                    target.table,
-                    target.column,
-                    deepdb_storage::PredOp::IsNotNull,
-                ));
-                DeferredAggKind::Sum {
-                    count_nn: match count_nn {
-                        Some(t) => Some(t.register(plan, ens, group_preds)?),
-                        None => None,
-                    },
-                    nn_preds,
-                    avg: avg.register(plan, ens, group_preds)?,
-                }
-            }
+            AggTemplate::Sum { count_nn, avg } => DeferredAggKind::Sum {
+                count_nn: count_nn.register(plan, ens, group_preds)?,
+                avg: avg.register(plan, ens, group_preds)?,
+            },
         };
-        Ok(DeferredScalar {
-            qtables: self.qtables.clone(),
-            preds,
-            count,
-            agg,
-        })
+        Ok(DeferredScalar { count, agg })
     }
 }
 
-/// Resolve a [`DeferredScalar`] into `(aggregate, count)` estimates,
-/// falling back to eager Case-3 combination where registration could not
-/// cover the COUNT.
+/// Resolve a [`DeferredScalar`] into `(aggregate, count)` estimates. Every
+/// arm reads the caller's probe results — there is no eager fallback path
+/// left, so resolution never sweeps an arena.
 pub(crate) fn resolve_scalar(
-    ens: &Ensemble,
-    db: &Database,
     deferred: &DeferredScalar,
     r: &ProbeResults,
 ) -> Result<(Estimate, Estimate), DeepDbError> {
-    let count = match &deferred.count {
-        Some(d) => d.resolve(r),
-        None => multi_rspn_count(ens, db, &deferred.qtables, &deferred.preds)?,
-    };
+    let count = deferred.count.resolve(r)?;
     let agg = match &deferred.agg {
         DeferredAggKind::Count => count,
         DeferredAggKind::Avg(avg) => avg.resolve(r),
-        DeferredAggKind::Sum {
-            nn_preds,
-            count_nn,
-            avg,
-        } => {
-            let nn_count = match count_nn {
-                Some(d) => d.resolve(r),
-                None => multi_rspn_count(ens, db, &deferred.qtables, nn_preds)?,
-            };
-            nn_count.product(avg.resolve(r))
-        }
+        DeferredAggKind::Sum { count_nn, avg } => count_nn.resolve(r)?.product(avg.resolve(r)),
     };
     Ok((agg, count))
 }
 
-/// `E[1/F'(Q,J) · 1_C · ∏N_T]` with variance, evaluated immediately on
-/// member `idx` (registration + one single-member sweep) — the building
-/// block of the sequential Case-3 extension loop.
-fn count_fraction(
-    ens: &Ensemble,
-    idx: usize,
-    qtables: &BTreeSet<TableId>,
-    preds: &[Predicate],
-) -> Result<Estimate, DeepDbError> {
-    let mut plan = ProbePlan::new();
-    let deferred = register_fraction(&mut plan, ens, idx, qtables, preds)?;
-    let results = plan.execute(ens);
-    Ok(deferred.resolve(&results))
-}
-
-/// Theorem-1 estimate on one RSPN: `|J| · E[1/F' · 1_C · ∏N_T]`.
-fn single_rspn_count(
-    ens: &Ensemble,
-    idx: usize,
-    qtables: &BTreeSet<TableId>,
-    preds: &[Predicate],
-) -> Result<Estimate, DeepDbError> {
-    let fraction = count_fraction(ens, idx, qtables, preds)?;
-    let j = ens.rspns()[idx].full_join_count() as f64;
-    Ok(fraction.scale(j))
-}
-
-/// Case 3: extend a covered table set across FK edges, multiplying
-/// conditional ratios (Theorem 2). Each extension step depends on the
-/// covered set so far, so the loop is sequential — but every step fuses its
-/// probes (numerator + denominator fractions, or the three factor-weighted
-/// ratio probes) into one plan, i.e. one sweep per step per member.
-pub(crate) fn multi_rspn_count(
-    ens: &Ensemble,
-    db: &Database,
-    qtables: &BTreeSet<TableId>,
-    preds: &[Predicate],
-) -> Result<Estimate, DeepDbError> {
-    // Start with the RSPN overlapping the query that scores best.
-    let mut start: Option<(f64, usize)> = None;
-    for (i, rspn) in ens.rspns().iter().enumerate() {
-        let overlap = rspn.tables().iter().filter(|t| qtables.contains(t)).count();
-        if overlap == 0 {
-            continue;
-        }
-        let handled: Vec<Predicate> = preds
-            .iter()
-            .filter(|p| rspn.tables().contains(&p.table))
-            .cloned()
-            .collect();
-        let score = rspn.strategy_score(&handled) + overlap as f64;
-        if start.is_none_or(|(s, _)| score > s) {
-            start = Some((score, i));
-        }
-    }
-    let (_, start_idx) = start
-        .ok_or_else(|| DeepDbError::NotAnswerable("no RSPN overlaps the query tables".into()))?;
-
-    let mut covered: BTreeSet<TableId> = ens.rspns()[start_idx]
-        .tables()
-        .iter()
-        .filter(|t| qtables.contains(t))
-        .copied()
-        .collect();
-    let covered_preds: Vec<Predicate> = preds
-        .iter()
-        .filter(|p| covered.contains(&p.table))
-        .cloned()
-        .collect();
-    let mut est = single_rspn_count(ens, start_idx, &covered.clone(), &covered_preds)?;
-
-    let mut guard = 0;
-    while covered != *qtables {
-        guard += 1;
-        if guard > qtables.len() + 2 {
-            return Err(DeepDbError::NotAnswerable(format!(
-                "could not extend coverage beyond {covered:?} for query {qtables:?}"
-            )));
-        }
-        // Find an FK edge from a covered table to an uncovered query table.
-        let Some((u, v, fk)) = qtables.iter().find_map(|&v| {
-            if covered.contains(&v) {
-                return None;
-            }
-            covered
-                .iter()
-                .find_map(|&u| db.edge_between(u, v).map(|fk| (u, v, *fk)))
-        }) else {
-            return Err(DeepDbError::NotAnswerable(format!(
-                "query tables {qtables:?} not FK-connected through {covered:?}"
-            )));
-        };
-
-        // Prefer an RSPN spanning both sides of the edge (Theorem 2 with a
-        // non-empty overlap).
-        let spanning = best_rspn_with(ens, preds, |r| {
-            r.tables().contains(&u) && r.tables().contains(&v)
-        });
-        if let Some(b) = spanning {
-            let b_tables: BTreeSet<TableId> = ens.rspns()[b].tables().iter().copied().collect();
-            let overlap: BTreeSet<TableId> = covered.intersection(&b_tables).copied().collect();
-            let mut extended = overlap.clone();
-            // Absorb every uncovered query table the RSPN can reach.
-            for t in b_tables.iter() {
-                if qtables.contains(t) {
-                    extended.insert(*t);
-                }
-            }
-            let num_preds: Vec<Predicate> = preds
-                .iter()
-                .filter(|p| extended.contains(&p.table))
-                .cloned()
-                .collect();
-            let den_preds: Vec<Predicate> = preds
-                .iter()
-                .filter(|p| overlap.contains(&p.table))
-                .cloned()
-                .collect();
-            // Both fractions of the Theorem-2 ratio in one fused sweep.
-            let mut plan = ProbePlan::new();
-            let num = register_fraction(&mut plan, ens, b, &extended, &num_preds)?;
-            let den = register_fraction(&mut plan, ens, b, &overlap, &den_preds)?;
-            let results = plan.execute(ens);
-            est = est.product(num.resolve(&results).divide(den.resolve(&results)));
-            covered.extend(extended);
-            continue;
-        }
-
-        // Disjoint RSPNs: fan-out from the covered side times conditional
-        // selectivity on the new side (the paper's Q2 factorization).
-        if fk.parent_table == u {
-            // Downward: E(F(Q_cov)·F_{u←v}) / E(F(Q_cov)) from an RSPN with
-            // the raw factor column, then P(preds_v) from an RSPN over v.
-            let a = best_rspn_with(ens, preds, |r| r.tables().contains(&u) && r.has_factor(&fk))
-                .ok_or_else(|| {
-                    DeepDbError::NotAnswerable(format!(
-                        "no RSPN stores tuple factor for edge {u}->{v}"
-                    ))
-                })?;
-            let cov_a: BTreeSet<TableId> = ens.rspns()[a]
-                .tables()
-                .iter()
-                .filter(|t| covered.contains(t))
-                .copied()
-                .collect();
-            let a_preds: Vec<Predicate> = preds
-                .iter()
-                .filter(|p| cov_a.contains(&p.table))
-                .cloned()
-                .collect();
-            let fanout = factor_weighted_ratio(ens, a, &cov_a, &a_preds, &fk, None)?;
-
-            let b = best_rspn_with(ens, preds, |r| r.tables().contains(&v))
-                .ok_or_else(|| DeepDbError::NotAnswerable(format!("no RSPN models table {v}")))?;
-            let v_set = BTreeSet::from([v]);
-            let v_preds: Vec<Predicate> = preds.iter().filter(|p| p.table == v).cloned().collect();
-            // Selectivity numerator and denominator fused on member b.
-            let mut plan = ProbePlan::new();
-            let num = register_fraction(&mut plan, ens, b, &v_set, &v_preds)?;
-            let den = register_fraction(&mut plan, ens, b, &v_set, &[])?;
-            let results = plan.execute(ens);
-            est = est
-                .product(fanout)
-                .product(num.resolve(&results).divide(den.resolve(&results)));
-        } else {
-            // Upward to the parent v: no row multiplication; weight v's rows
-            // by their child counts (the paper's alternative formula):
-            // E(1_{preds_v} · F_{v←u}) / E(F_{v←u}).
-            let a = best_rspn_with(ens, preds, |r| r.tables().contains(&v) && r.has_factor(&fk))
-                .ok_or_else(|| {
-                    DeepDbError::NotAnswerable(format!(
-                        "no RSPN stores tuple factor for edge {v}<-{u}"
-                    ))
-                })?;
-            let v_set = BTreeSet::from([v]);
-            let v_preds: Vec<Predicate> = preds.iter().filter(|p| p.table == v).cloned().collect();
-            let ratio = factor_weighted_ratio(ens, a, &v_set, &[], &fk, Some(&v_preds))?;
-            est = est.product(ratio);
-        }
-        covered.insert(v);
-    }
-    Ok(est)
-}
-
-/// Raw tuple-factor ratios for the disjoint-RSPN extensions of Case 3.
-///
-/// * Fan-out (`extra_num_preds = None`): `E[F(set)·F_fk·1_C] / E[F(set)·1_C]`
-///   — the expected number of new-side partners per covered row.
-/// * Weighted selectivity (`extra_num_preds = Some(vp)`):
-///   `E[F_fk·1_{vp}·F(set)·1_C] / E[F_fk·F(set)·1_C]` — the fraction of
-///   child rows whose parent satisfies `vp` (the paper's alternative Q2
-///   formula).
-///
-/// Numerator, denominator, and second moment go through one fused
-/// single-member plan.
-fn factor_weighted_ratio(
-    ens: &Ensemble,
-    idx: usize,
-    set: &BTreeSet<TableId>,
-    preds: &[Predicate],
-    fk: &deepdb_storage::ForeignKey,
-    extra_num_preds: Option<&[Predicate]>,
-) -> Result<Estimate, DeepDbError> {
-    let rspn = &ens.rspns()[idx];
-    let factor_col = rspn
-        .factor_column(fk)
-        .ok_or_else(|| DeepDbError::NotAnswerable("missing factor column".into()))?;
-
-    let (mut num_q, _) = count_fraction_query(rspn, set, preds, false)?;
-    num_q.set_func(factor_col, LeafFunc::X);
-    if let Some(extra) = extra_num_preds {
-        for p in extra {
-            rspn.add_predicate(&mut num_q, p)?;
-        }
-    }
-    let (mut den_q, _) = count_fraction_query(rspn, set, preds, false)?;
-    if extra_num_preds.is_some() {
-        // Weighted selectivity: denominator keeps the factor weight.
-        den_q.set_func(factor_col, LeafFunc::X);
-    }
-    // Second moment of the weighted quantity for the variance.
-    let (mut sq_q, _) = count_fraction_query(rspn, set, preds, true)?;
-    sq_q.set_func(factor_col, LeafFunc::X2);
-    if let Some(extra) = extra_num_preds {
-        for p in extra {
-            rspn.add_predicate(&mut sq_q, p)?;
-        }
-    }
-
-    let n = rspn.n_training();
-    let mut plan = ProbePlan::new();
-    let h_num = plan.register(idx, num_q);
-    let h_den = plan.register(idx, den_q);
-    let h_sq = plan.register(idx, sq_q);
-    let results = plan.execute(ens);
-    let (num, den, e2_raw) = (results[h_num], results[h_den], results[h_sq]);
-    if den <= 0.0 {
-        return Ok(Estimate::exact(0.0));
-    }
-    let ratio = num / den;
-    let n_eff = (n as f64 * den.min(1.0)).max(1.0);
-    if extra_num_preds.is_some() {
-        // Weighted fraction in [0,1]: binomial-style variance.
-        let p = ratio.clamp(0.0, 1.0);
-        Ok(Estimate {
-            value: ratio,
-            variance: p * (1.0 - p) / n_eff,
-        })
-    } else {
-        // Expected fan-out: Koenig–Huygens on the weighted measure.
-        let e2 = e2_raw / den;
-        Ok(Estimate::conditional_expectation(
-            ratio,
-            e2.max(ratio * ratio),
-            n_eff,
-        ))
-    }
-}
-
-/// Best RSPN satisfying a shape filter, by strategy score.
-fn best_rspn_with(
+/// Best RSPN satisfying a shape filter, by strategy score. Deterministic:
+/// only a strictly better score displaces the incumbent, so the lowest
+/// member index wins ties (the same rule as compiled MPE tie-breaking) and
+/// plan construction is reproducible across runs.
+pub(crate) fn best_rspn_with(
     ens: &Ensemble,
     preds: &[Predicate],
     accept: impl Fn(&crate::rspn::Rspn) -> bool,
@@ -1138,20 +880,20 @@ mod tests {
         let db = paper_customer_order();
         let mut p = params(40_000);
         p.rdc_threshold = 0.0; // force the joint RSPN
-        let mut ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
+        let ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
         let c = db.table_id("customer").unwrap();
         let o = db.table_id("orders").unwrap();
 
         // Q1: European customers = 2 (answered via Case 2).
         let q1 = Query::count(vec![c]).filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
-        let est = estimate_count(&mut ens, &db, &q1).unwrap();
+        let est = estimate_count(&ens, &db, &q1).unwrap();
         assert_close(est.value, 2.0, 1.15, "Q1");
 
         // Q2: European online orders = 1 (Case 1).
         let q2 = Query::count(vec![c, o])
             .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
             .filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
-        let est = estimate_count(&mut ens, &db, &q2).unwrap();
+        let est = estimate_count(&ens, &db, &q2).unwrap();
         assert_close(est.value, 1.0, 1.6, "Q2");
     }
 
@@ -1160,19 +902,19 @@ mod tests {
         let db = paper_customer_order();
         let mut p = params(40_000);
         p.strategy = EnsembleStrategy::SingleTables;
-        let mut ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
+        let ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
         let c = db.table_id("customer").unwrap();
         let o = db.table_id("orders").unwrap();
         // Paper §4.1 Case 3: |C|·E(1_EU·F_{C←O})·E(1_ONLINE) = 3·(2/3)·(1/2) = 1.
         let q2 = Query::count(vec![c, o])
             .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
             .filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
-        let est = estimate_count(&mut ens, &db, &q2).unwrap();
+        let est = estimate_count(&ens, &db, &q2).unwrap();
         assert_close(est.value, 1.0, 1.3, "Q2 case 3");
 
         // Join count without predicates = 4 orders.
         let q = Query::count(vec![c, o]);
-        let est = estimate_count(&mut ens, &db, &q).unwrap();
+        let est = estimate_count(&ens, &db, &q).unwrap();
         assert_close(est.value, 4.0, 1.2, "join count case 3");
     }
 
@@ -1181,7 +923,7 @@ mod tests {
         let db = paper_customer_order();
         let mut p = params(40_000);
         p.rdc_threshold = 0.0;
-        let mut ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
+        let ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
         let c = db.table_id("customer").unwrap();
         // AVG(c_age | EU) over the *customer* table must be 35, not the
         // join-weighted 20·2+50 / 3 — the tuple-factor normalization of §4.2.
@@ -1191,14 +933,14 @@ mod tests {
                 table: c,
                 column: 1,
             }));
-        let est = estimate_avg(&mut ens, &db, &q3).unwrap();
+        let est = estimate_avg(&ens, &db, &q3).unwrap();
         assert!((est.value - 35.0).abs() < 2.5, "AVG = {}", est.value);
     }
 
     #[test]
     fn statistical_accuracy_against_executor() {
         let db = correlated_customer_order(2500, 11);
-        let mut ens = EnsembleBuilder::new(&db)
+        let ens = EnsembleBuilder::new(&db)
             .params(params(30_000))
             .build()
             .unwrap();
@@ -1217,7 +959,7 @@ mod tests {
         ];
         for (i, q) in queries.iter().enumerate() {
             let truth = execute(&db, q).unwrap().scalar().count as f64;
-            let est = estimate_cardinality(&mut ens, &db, q).unwrap();
+            let est = estimate_cardinality(&ens, &db, q).unwrap();
             assert_close(est, truth.max(1.0), 1.35, &format!("workload query {i}"));
         }
     }
@@ -1225,7 +967,7 @@ mod tests {
     #[test]
     fn sum_estimate_matches_executor() {
         let db = correlated_customer_order(2000, 13);
-        let mut ens = EnsembleBuilder::new(&db)
+        let ens = EnsembleBuilder::new(&db)
             .params(params(30_000))
             .build()
             .unwrap();
@@ -1238,7 +980,7 @@ mod tests {
                 column: 3,
             }));
         let truth = execute(&db, &q).unwrap().scalar().sum;
-        let est = estimate_sum(&mut ens, &db, &q).unwrap();
+        let est = estimate_sum(&ens, &db, &q).unwrap();
         let rel = (est.value - truth).abs() / truth.abs().max(1.0);
         assert!(rel < 0.35, "SUM rel error {rel}: {} vs {truth}", est.value);
     }
@@ -1246,14 +988,14 @@ mod tests {
     #[test]
     fn count_estimate_carries_confidence_interval() {
         let db = correlated_customer_order(2000, 17);
-        let mut ens = EnsembleBuilder::new(&db)
+        let ens = EnsembleBuilder::new(&db)
             .params(params(20_000))
             .build()
             .unwrap();
         let c = db.table_id("customer").unwrap();
         let q = Query::count(vec![c]).filter(c, 1, PredOp::Cmp(CmpOp::Lt, Value::Int(40)));
         let truth = execute(&db, &q).unwrap().scalar().count as f64;
-        let est = estimate_count(&mut ens, &db, &q).unwrap();
+        let est = estimate_count(&ens, &db, &q).unwrap();
         let (lo, hi) = est.confidence_interval(0.95);
         assert!(lo <= est.value && est.value <= hi);
         assert!(
@@ -1265,7 +1007,7 @@ mod tests {
     #[test]
     fn disjunction_via_inclusion_exclusion() {
         let db = correlated_customer_order(2500, 19);
-        let mut ens = EnsembleBuilder::new(&db)
+        let ens = EnsembleBuilder::new(&db)
             .params(params(25_000))
             .build()
             .unwrap();
@@ -1274,13 +1016,9 @@ mod tests {
         let base = Query::count(vec![c]);
         let d1 = vec![Predicate::new(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))];
         let d2 = vec![Predicate::new(c, 1, PredOp::Cmp(CmpOp::Lt, Value::Int(30)))];
-        let est = crate::compile::estimate_count_disjunction(
-            &mut ens,
-            &db,
-            &base,
-            &[d1.clone(), d2.clone()],
-        )
-        .unwrap();
+        let est =
+            crate::compile::estimate_count_disjunction(&ens, &db, &base, &[d1.clone(), d2.clone()])
+                .unwrap();
         // Exact truth via inclusion-exclusion over exact conjunctive counts.
         let count = |preds: Vec<Predicate>| {
             let mut q = Query::count(vec![c]);
@@ -1292,7 +1030,7 @@ mod tests {
         let rel = (est.value - truth).abs() / truth;
         assert!(rel < 0.1, "disjunction estimate {} vs {truth}", est.value);
         // Union is at least as large as each disjunct alone.
-        let single = estimate_count(&mut ens, &db, &{
+        let single = estimate_count(&ens, &db, &{
             let mut q = Query::count(vec![c]);
             q.predicates = d1;
             q
@@ -1306,11 +1044,11 @@ mod tests {
         let db = paper_customer_order();
         let mut p = params(5_000);
         p.rdc_threshold = 0.0;
-        let mut ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
+        let ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
         let c = db.table_id("customer").unwrap();
         let q = Query::count(vec![c]);
-        let a = estimate_count(&mut ens, &db, &q).unwrap();
-        let b = crate::compile::estimate_count_disjunction(&mut ens, &db, &q, &[]).unwrap();
+        let a = estimate_count(&ens, &db, &q).unwrap();
+        let b = crate::compile::estimate_count_disjunction(&ens, &db, &q, &[]).unwrap();
         assert_eq!(a.value, b.value);
     }
 
@@ -1319,10 +1057,51 @@ mod tests {
         let db = paper_customer_order();
         let mut p = params(5_000);
         p.rdc_threshold = 0.0;
-        let mut ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
+        let ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
         let c = db.table_id("customer").unwrap();
         let q = Query::count(vec![c]).filter(c, 1, PredOp::Cmp(CmpOp::Gt, Value::Int(1000)));
-        let est = estimate_count(&mut ens, &db, &q).unwrap();
+        let est = estimate_count(&ens, &db, &q).unwrap();
         assert!(est.value < 0.1, "impossible predicate gave {}", est.value);
+    }
+
+    /// Member selection is deterministically tie-broken: with no predicates
+    /// every candidate scores 0.0, and the lowest index must win — the same
+    /// rule as compiled-MPE tie-breaking, so plan construction is
+    /// reproducible across runs.
+    #[test]
+    fn best_rspn_with_breaks_ties_to_lowest_index() {
+        let db = paper_customer_order();
+        let mut p = params(4_000);
+        p.strategy = EnsembleStrategy::SingleTables;
+        let ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
+        assert!(ens.rspns().len() >= 2);
+        // All members accepted, all scores tied at 0.0 → member 0.
+        assert_eq!(best_rspn_with(&ens, &[], |_| true), Some(0));
+        // A predicate only the orders member can handle breaks the tie.
+        let o = db.table_id("orders").unwrap();
+        let o_pred = vec![Predicate::new(
+            o,
+            2,
+            deepdb_storage::PredOp::Cmp(CmpOp::Eq, Value::Int(0)),
+        )];
+        let orders_member = ens.rspns().iter().position(|r| r.tables() == [o]).unwrap();
+        assert_eq!(best_rspn_with(&ens, &o_pred, |_| true), Some(orders_member));
+    }
+
+    /// Covering-member selection ties (same score, same size) also break to
+    /// the lowest index.
+    #[test]
+    fn best_covering_rspn_is_deterministic() {
+        let db = paper_customer_order();
+        let mut p = params(4_000);
+        p.strategy = EnsembleStrategy::SingleTables;
+        let ens = EnsembleBuilder::new(&db).params(p).build().unwrap();
+        let c = db.table_id("customer").unwrap();
+        let qtables = BTreeSet::from([c]);
+        let picked = best_covering_rspn(&ens, &qtables, &[]);
+        assert!(picked.is_some());
+        for _ in 0..3 {
+            assert_eq!(best_covering_rspn(&ens, &qtables, &[]), picked);
+        }
     }
 }

@@ -410,13 +410,15 @@ impl Ensemble {
         self.rspns.iter().map(Rspn::model_size).sum()
     }
 
-    /// Recompile any RSPN arena engine that was structurally invalidated.
+    /// Recompile any RSPN arena engine that was structurally invalidated —
+    /// the **explicit maintenance entry point** of the engine lifecycle.
     /// Updates ([`Ensemble::apply_insert`] / [`Ensemble::apply_delete`] and
     /// the batched [`Ensemble::apply_insert_batch`]) patch the compiled
-    /// arenas **in place**, so on the steady-state update/query path this is
-    /// a no-op — it exists as the escape hatch for structural changes.
-    /// Every query entry point still calls it up front, which is what lets
-    /// probe evaluation itself run on `&self`.
+    /// arenas **in place**, so in steady state this is a no-op; call it
+    /// after an operation that reports structural invalidation (future
+    /// drift-driven adaptation, external model surgery). The query surface
+    /// (`compile`/`aqp`/`ml`) is entirely `&Ensemble` and never recompiles
+    /// behind your back.
     pub fn recompile_models(&mut self) {
         for rspn in &mut self.rspns {
             rspn.ensure_compiled();
@@ -440,11 +442,12 @@ impl Ensemble {
         }
     }
 
-    /// Execute a [`crate::ProbePlan`]: recompile any update-dirtied member
-    /// engines, then run one fused arena sweep per touched member with tiles
-    /// spread over the probe-thread budget.
-    pub fn execute_plan(&mut self, plan: &crate::ProbePlan) -> crate::ProbeResults {
-        self.recompile_models();
+    /// Execute a [`crate::ProbePlan`]: one fused arena sweep per touched
+    /// member with tiles spread over the probe-thread budget. Pure `&self`
+    /// — updates keep the engines patched in place, and structural
+    /// recompilation is the caller's explicit
+    /// [`Ensemble::recompile_models`] maintenance call.
+    pub fn execute_plan(&self, plan: &crate::ProbePlan) -> crate::ProbeResults {
         plan.execute(self)
     }
 
@@ -1081,7 +1084,7 @@ mod tests {
         let db = correlated_customer_order(1200, 21);
         let mut params = small_params();
         params.rdc_threshold = 0.0;
-        let mut original = EnsembleBuilder::new(&db).params(params).build().unwrap();
+        let original = EnsembleBuilder::new(&db).params(params).build().unwrap();
 
         let mut buf = Vec::new();
         original.save(&mut buf).unwrap();
@@ -1097,8 +1100,8 @@ mod tests {
             2,
             deepdb_storage::PredOp::Cmp(deepdb_storage::CmpOp::Eq, Value::Int(0)),
         );
-        let a = crate::compile::estimate_count(&mut original, &db, &q).unwrap();
-        let b = crate::compile::estimate_count(&mut restored, &db, &q).unwrap();
+        let a = crate::compile::estimate_count(&original, &db, &q).unwrap();
+        let b = crate::compile::estimate_count(&restored, &db, &q).unwrap();
         assert_eq!(a.value, b.value);
         assert_eq!(a.variance, b.variance);
         // Restored ensembles keep absorbing updates.

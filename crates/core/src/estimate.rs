@@ -101,6 +101,21 @@ impl Estimate {
         }
     }
 
+    /// Guarded [`Estimate::divide`] for ratios whose denominator must carry
+    /// actual support — the Theorem-2 conditional ratios of multi-RSPN
+    /// combination. Returns `None` when the denominator is degenerate (zero
+    /// within `f64::EPSILON`, NaN, or infinite — e.g. the overlap fraction
+    /// of an extension step resolved to an empty estimate), so callers can
+    /// surface a clean `NotAnswerable` instead of propagating NaN/∞ through
+    /// the product chain. For well-supported denominators the result is
+    /// bitwise identical to [`Estimate::divide`].
+    pub fn try_divide(self, other: Estimate) -> Option<Estimate> {
+        if !other.value.is_finite() || other.value.abs() < f64::EPSILON {
+            return None;
+        }
+        Some(self.divide(other))
+    }
+
     /// Standard deviation of the estimator.
     pub fn std_dev(&self) -> f64 {
         self.variance.max(0.0).sqrt()
@@ -241,6 +256,31 @@ mod tests {
         assert!((r.variance - 0.25).abs() < 1e-12);
         let zero = num.divide(Estimate::exact(0.0));
         assert_eq!(zero.value, 0.0);
+    }
+
+    #[test]
+    fn try_divide_rejects_degenerate_denominators() {
+        let num = Estimate {
+            value: 10.0,
+            variance: 1.0,
+        };
+        // Zero, NaN, and infinite denominators are all rejected instead of
+        // producing 0/NaN/∞ ratios.
+        assert!(num.try_divide(Estimate::exact(0.0)).is_none());
+        assert!(num.try_divide(Estimate::exact(f64::NAN)).is_none());
+        assert!(num.try_divide(Estimate::exact(f64::INFINITY)).is_none());
+        assert!(num
+            .try_divide(Estimate::exact(f64::EPSILON / 2.0))
+            .is_none());
+        // A supported denominator matches divide() bitwise.
+        let den = Estimate {
+            value: 2.0,
+            variance: 0.25,
+        };
+        let a = num.try_divide(den).unwrap();
+        let b = num.divide(den);
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+        assert_eq!(a.variance.to_bits(), b.variance.to_bits());
     }
 
     #[test]

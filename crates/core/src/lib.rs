@@ -15,7 +15,15 @@
 //!   RDC-greedy execution strategy.
 //! * [`compile`] — probabilistic query compilation of COUNT/SUM/AVG
 //!   (+ GROUP BY) queries into products of expectations over the ensemble,
-//!   covering the paper's Cases 1–3 including Theorems 1 and 2 (§4).
+//!   covering the paper's Cases 1–3 including Theorems 1 and 2 (§4). All
+//!   query entry points take `&Ensemble`; structural recompilation is an
+//!   explicit maintenance call ([`Ensemble::recompile_models`]).
+//! * [`combine`] — symbolic Case-3 planning: when no single RSPN covers the
+//!   query, a `CombinePlan` walks the FK graph once, registers **all**
+//!   extension steps' fraction bundles on the caller's probe plan, and
+//!   resolves a `Scale`/`Product`/`Divide` expression tree afterwards — the
+//!   retired eager per-step loop survives only as the differential-test
+//!   oracle [`combine::multi_rspn_count`].
 //! * [`ProbePlan`] — deferred probe plans: call sites register probes
 //!   (expectations **and** max-product MPE probes) against ensemble members
 //!   and resolve typed handles after a single `execute()`, which sweeps each
@@ -33,6 +41,7 @@
 //!   `deepdb-spn`.
 
 mod aqp;
+pub mod combine;
 pub mod compile;
 mod ensemble;
 mod error;

@@ -159,15 +159,31 @@ impl ProbePlan {
         self.members.len()
     }
 
+    /// Member indices the plan touches, in first-registration order —
+    /// accounting for tests/benches that assert how a query's probes (e.g.
+    /// all steps of a Case-3 combine plan) fan out across the ensemble.
+    pub fn members(&self) -> Vec<usize> {
+        self.members.iter().map(|m| m.member).collect()
+    }
+
+    /// Probes registered against one member (both kinds) — 0 if the plan
+    /// does not touch it.
+    pub fn probes_for_member(&self, member: usize) -> usize {
+        self.members
+            .iter()
+            .find(|m| m.member == member)
+            .map_or(0, |m| m.expect.len() + m.mpe.len())
+    }
+
     pub fn is_empty(&self) -> bool {
         self.members.is_empty()
     }
 
     /// Execute the plan: one fused arena sweep per touched member, tiles
     /// parallelized over the ensemble's probe-thread budget. Every member's
-    /// engine must be compiled (the public query entry points call
-    /// [`Ensemble::recompile_models`] first; external callers can use
-    /// [`Ensemble::execute_plan`], which does it for them).
+    /// engine must be compiled — updates patch the arenas in place, so this
+    /// holds in steady state; after a structural invalidation run the
+    /// explicit maintenance call [`Ensemble::recompile_models`] first.
     pub fn execute(&self, ens: &Ensemble) -> ProbeResults {
         self.execute_with_threads(ens, ens.probe_thread_budget())
     }

@@ -274,9 +274,9 @@ impl Rspn {
     /// escape hatch** (future structure adaptation, e.g. leaf splitting on
     /// drift), not part of the steady-state update path — on the hot path it
     /// is a no-op, which keeps [`Rspn::probe_passes`] counters alive across
-    /// update streams. The public query entry points in `compile`/`aqp`/`ml`
-    /// still call it up front via [`crate::Ensemble::recompile_models`] so
-    /// evaluation can fan probes out across threads on `&self`.
+    /// update streams. The query surface in `compile`/`aqp`/`ml` is entirely
+    /// `&Ensemble` and never calls this; structural maintenance goes through
+    /// the explicit [`crate::Ensemble::recompile_models`] entry point.
     pub fn ensure_compiled(&mut self) {
         if self.compiled_dirty {
             self.compiled = self.spn.compile();

@@ -1,0 +1,456 @@
+//! Differential and accounting suite for the symbolic Case-3 combine
+//! planner: the planned path (all extension steps registered on one fused
+//! probe plan) must agree **bitwise** with the retained eager oracle
+//! (`deepdb_core::combine::multi_rspn_count`, one throwaway plan + sweep per
+//! step), and a multi-RSPN GROUP BY query must cost exactly one arena sweep
+//! per touched member. Covers the spanning Theorem-2 case (pair-RSPN
+//! ensembles over a 3-table chain), the downward fan-out and upward
+//! factor-weighted cases (single-table ensembles), NULL predicates and NULL
+//! groups, and the degenerate-denominator guard.
+
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+use deepdb_core::{
+    combine, compile, execute_aqp, Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy,
+};
+use deepdb_storage::{
+    execute, CmpOp, ColumnRef, Database, Domain, PredOp, Predicate, Query, TableId, TableSchema,
+    Value,
+};
+use proptest::prelude::*;
+
+/// 3-table FK chain `nation ← customer ← orders` with a nullable customer
+/// segment column, correlated enough that estimates are meaningful and small
+/// enough that ensembles build fast. Deterministic.
+fn chain_db() -> Database {
+    let mut db = Database::new("chain3");
+    db.create_table(
+        TableSchema::new("nation")
+            .pk("n_id")
+            .col("n_region", Domain::categorical(["EU", "AS", "AM", "AF"])),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("customer")
+            .pk("c_id")
+            .col("n_id", Domain::Key)
+            .col("c_age", Domain::Discrete)
+            .nullable_col("c_segment", Domain::categorical(["A", "B", "C"])),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("orders")
+            .pk("o_id")
+            .col("c_id", Domain::Key)
+            .col("o_channel", Domain::categorical(["ONLINE", "STORE"]))
+            .col("o_amount", Domain::Continuous),
+    )
+    .unwrap();
+    db.add_foreign_key("customer", "n_id", "nation").unwrap();
+    db.add_foreign_key("orders", "c_id", "customer").unwrap();
+
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for n in 1..=5i64 {
+        db.insert("nation", &[Value::Int(n), Value::Int((n - 1) % 4)])
+            .unwrap();
+    }
+    let mut order_id = 1i64;
+    for c in 1..=300i64 {
+        let nation = 1 + (next() * 5.0) as i64;
+        let age = 18 + ((nation * 13) as f64 + next() * 40.0) as i64;
+        let segment = if next() < 0.2 {
+            Value::Null
+        } else {
+            Value::Int((next() * 3.0) as i64)
+        };
+        db.insert(
+            "customer",
+            &[Value::Int(c), Value::Int(nation), Value::Int(age), segment],
+        )
+        .unwrap();
+        let n_orders = (next() * if age > 50 { 4.0 } else { 2.0 }) as i64;
+        for _ in 0..n_orders {
+            let channel = i64::from(next() < 0.6);
+            db.insert(
+                "orders",
+                &[
+                    Value::Int(order_id),
+                    Value::Int(c),
+                    Value::Int(channel),
+                    Value::Float(10.0 + next() * 200.0),
+                ],
+            )
+            .unwrap();
+            order_id += 1;
+        }
+    }
+    db
+}
+
+/// Single-table members only: every multi-table query is Case 3 through the
+/// downward fan-out / upward factor-weighted branches.
+fn singles() -> &'static (Database, Ensemble) {
+    static CELL: OnceLock<(Database, Ensemble)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let db = chain_db();
+        let params = EnsembleParams {
+            strategy: EnsembleStrategy::SingleTables,
+            sample_size: 8_000,
+            correlation_sample: 500,
+            ..EnsembleParams::default()
+        };
+        let ens = EnsembleBuilder::new(&db).params(params).build().unwrap();
+        (db, ens)
+    })
+}
+
+/// One pair RSPN per FK edge ({nation,customer}, {customer,orders}): the
+/// full 3-table query is Case 3 through the spanning Theorem-2 branch.
+fn pairs() -> &'static (Database, Ensemble) {
+    static CELL: OnceLock<(Database, Ensemble)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let db = chain_db();
+        let params = EnsembleParams {
+            strategy: EnsembleStrategy::Relational,
+            rdc_threshold: 0.0, // force a pair RSPN on every FK edge
+            budget_factor: 0.0, // no larger RSPNs: keep the 3-table query Case 3
+            sample_size: 8_000,
+            correlation_sample: 500,
+            ..EnsembleParams::default()
+        };
+        let ens = EnsembleBuilder::new(&db).params(params).build().unwrap();
+        assert!(
+            ens.rspns().iter().all(|r| r.tables().len() <= 2),
+            "fixture must not cover the 3-table query with one member"
+        );
+        (db, ens)
+    })
+}
+
+/// Predicate generator over the chain schema: `(slot_sel, op_sel, value)`
+/// picks a (table, column) among the modeled columns — including the
+/// nullable segment — and an operator including IS NULL / IS NOT NULL /
+/// BETWEEN, with values straying outside the observed domains.
+fn make_pred(db: &Database, slot_sel: u8, op_sel: u8, v: i64) -> Predicate {
+    let n = db.table_id("nation").unwrap();
+    let c = db.table_id("customer").unwrap();
+    let o = db.table_id("orders").unwrap();
+    let (table, col) = match slot_sel % 5 {
+        0 => (n, 1),
+        1 => (c, 2),
+        2 => (c, 3),
+        3 => (o, 2),
+        _ => (o, 3),
+    };
+    let op = match op_sel % 6 {
+        0 => PredOp::Cmp(CmpOp::Eq, Value::Int(v)),
+        1 => PredOp::Cmp(CmpOp::Le, Value::Int(v)),
+        2 => PredOp::Cmp(CmpOp::Ge, Value::Int(v)),
+        3 => PredOp::IsNull,
+        4 => PredOp::IsNotNull,
+        _ => PredOp::Between(Value::Int(v), Value::Int(v + 20)),
+    };
+    Predicate::new(table, col, op)
+}
+
+/// Planned vs. oracle comparison for one Case-3 query: both must agree on
+/// answerability, and when both answer, value AND variance must be bitwise
+/// identical.
+fn assert_planned_matches_oracle(
+    db: &Database,
+    ens: &Ensemble,
+    tables: Vec<TableId>,
+    preds: Vec<Predicate>,
+) {
+    let qtables: BTreeSet<TableId> = tables.iter().copied().collect();
+    let mut query = Query::count(tables);
+    query.predicates = preds.clone();
+    let planned = compile::estimate_count(ens, db, &query);
+    let oracle = combine::multi_rspn_count(ens, db, &qtables, &preds);
+    match (planned, oracle) {
+        (Ok(p), Ok(e)) => {
+            assert_eq!(
+                p.value.to_bits(),
+                e.value.to_bits(),
+                "planned {} vs oracle {} for preds {preds:?}",
+                p.value,
+                e.value
+            );
+            assert_eq!(
+                p.variance.to_bits(),
+                e.variance.to_bits(),
+                "variances diverged for preds {preds:?}"
+            );
+        }
+        (Err(_), Err(_)) => {}
+        (p, e) => panic!("answerability diverged for preds {preds:?}: planned {p:?}, oracle {e:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Downward/upward factor cases: single-table ensemble, randomized
+    /// 2- and 3-table queries with randomized predicates (incl. NULLs and
+    /// out-of-domain constants) — planned resolution ≡ eager oracle bitwise.
+    #[test]
+    fn planned_matches_eager_oracle_factor_cases(
+        tables_sel in 0u8..3,
+        preds in prop::collection::vec((0u8..8, 0u8..8, -5i64..90), 0..4),
+    ) {
+        let (db, ens) = singles();
+        let n = db.table_id("nation").unwrap();
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let tables = match tables_sel {
+            0 => vec![c, o],
+            1 => vec![n, c],
+            _ => vec![n, c, o],
+        };
+        let preds: Vec<Predicate> = preds
+            .iter()
+            .map(|&(s, op, v)| make_pred(db, s, op, v))
+            .filter(|p| tables.contains(&p.table))
+            .collect();
+        assert_planned_matches_oracle(db, ens, tables, preds);
+    }
+
+    /// Spanning Theorem-2 case: pair-RSPN ensemble, the full 3-table chain
+    /// query — planned resolution ≡ eager oracle bitwise.
+    #[test]
+    fn planned_matches_eager_oracle_spanning_case(
+        preds in prop::collection::vec((0u8..8, 0u8..8, -5i64..90), 0..4),
+    ) {
+        let (db, ens) = pairs();
+        let n = db.table_id("nation").unwrap();
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let preds: Vec<Predicate> = preds
+            .iter()
+            .map(|&(s, op, v)| make_pred(db, s, op, v))
+            .collect();
+        assert_planned_matches_oracle(db, ens, vec![n, c, o], preds);
+    }
+}
+
+/// Acceptance invariant (the tentpole's headline win): a multi-RSPN (Case-3)
+/// GROUP BY query registers every group's combine plan on ONE shared probe
+/// plan, so the whole grouped result costs exactly one fused sweep per
+/// touched member — not O(groups × steps) passes.
+#[test]
+fn case3_groupby_costs_one_sweep_per_touched_member() {
+    let (db, ens) = singles();
+    let ens = clone_for_test(ens);
+    let c = db.table_id("customer").unwrap();
+    let o = db.table_id("orders").unwrap();
+    // COUNT over customer ⋈ orders grouped by the nullable segment: no
+    // single member covers {c,o}, so every group's count is a combine plan.
+    let q = Query::count(vec![c, o]).group(c, 3);
+
+    let before: Vec<u64> = ens.rspns().iter().map(|r| r.probe_passes()).collect();
+    let out = execute_aqp(&ens, db, &q).unwrap();
+    let after: Vec<u64> = ens.rspns().iter().map(|r| r.probe_passes()).collect();
+
+    assert!(
+        out.groups().len() >= 3,
+        "needs several groups to be meaningful, got {:?}",
+        out.groups()
+    );
+    assert!(
+        out.groups().iter().any(|(k, _)| k[0] == Value::Null),
+        "NULL group must be enumerated through the combine path"
+    );
+    let deltas: Vec<u64> = before.iter().zip(&after).map(|(b, a)| a - b).collect();
+    assert!(
+        deltas.iter().all(|&d| d <= 1),
+        "a member was swept more than once for a grouped Case-3 query: {deltas:?}"
+    );
+    // The combination spans at least the customer and orders members.
+    assert!(
+        deltas.iter().sum::<u64>() >= 2,
+        "a Case-3 combination must touch multiple members: {deltas:?}"
+    );
+}
+
+/// A scalar Case-3 COUNT also costs one sweep per touched member (all
+/// extension steps fused), and agrees with the ground-truth executor within
+/// a loose statistical bound.
+#[test]
+fn case3_scalar_count_is_fused_and_sane() {
+    let (db, ens) = singles();
+    let ens = clone_for_test(ens);
+    let n = db.table_id("nation").unwrap();
+    let c = db.table_id("customer").unwrap();
+    let o = db.table_id("orders").unwrap();
+    let q = Query::count(vec![n, c, o]).filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+
+    let before: Vec<u64> = ens.rspns().iter().map(|r| r.probe_passes()).collect();
+    let est = compile::estimate_count(&ens, db, &q).unwrap();
+    let after: Vec<u64> = ens.rspns().iter().map(|r| r.probe_passes()).collect();
+    let deltas: Vec<u64> = before.iter().zip(&after).map(|(b, a)| a - b).collect();
+    assert!(
+        deltas.iter().all(|&d| d <= 1),
+        "scalar Case-3 swept a member more than once: {deltas:?}"
+    );
+    assert!(deltas.iter().sum::<u64>() >= 2);
+
+    let truth = execute(db, &q).unwrap().scalar().count as f64;
+    let q_err = (est.value.max(1.0) / truth.max(1.0)).max(truth.max(1.0) / est.value.max(1.0));
+    assert!(
+        q_err < 2.5,
+        "3-table combine estimate {} vs truth {truth} (q-error {q_err:.2})",
+        est.value
+    );
+}
+
+/// The fused multi-value Case-3 path (`estimate_count_values`, the GROUP BY
+/// domain-pruning workhorse) returns bitwise the same per-value counts as
+/// running the eager oracle once per value.
+#[test]
+fn count_values_case3_matches_per_value_oracle() {
+    let (db, ens) = singles();
+    let c = db.table_id("customer").unwrap();
+    let o = db.table_id("orders").unwrap();
+    let qtables: BTreeSet<TableId> = [c, o].into_iter().collect();
+    let base = Query::count(vec![c, o]).filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(1)));
+    let target = ColumnRef {
+        table: c,
+        column: 3,
+    };
+    let values = [Value::Int(0), Value::Int(1), Value::Int(2), Value::Null];
+
+    let planned = compile::estimate_count_values(ens, db, &base, target, &values).unwrap();
+    for (v, got) in values.iter().zip(&planned) {
+        let mut preds = base.predicates.clone();
+        preds.push(match v {
+            Value::Null => Predicate::new(c, 3, PredOp::IsNull),
+            _ => Predicate::new(c, 3, PredOp::Cmp(CmpOp::Eq, *v)),
+        });
+        let want = combine::multi_rspn_count(ens, db, &qtables, &preds)
+            .unwrap()
+            .value
+            .max(0.0);
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "value {v:?}: planned {got} vs oracle {want}"
+        );
+    }
+}
+
+/// Degenerate denominators end to end: an impossible predicate on the
+/// Theorem-2 overlap empties numerator AND denominator, which must resolve
+/// to a clean zero count (not NaN, not a panic) on both paths.
+#[test]
+fn empty_overlap_resolves_to_clean_zero() {
+    let (db, ens) = pairs();
+    let n = db.table_id("nation").unwrap();
+    let c = db.table_id("customer").unwrap();
+    let o = db.table_id("orders").unwrap();
+    // c_segment = 77 was never observed: zero mass on the overlap.
+    let q = Query::count(vec![n, c, o]).filter(c, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(77)));
+    let qtables: BTreeSet<TableId> = [n, c, o].into_iter().collect();
+
+    let planned = compile::estimate_count(ens, db, &q);
+    let oracle = combine::multi_rspn_count(ens, db, &qtables, &q.predicates);
+    match (planned, oracle) {
+        (Ok(p), Ok(e)) => {
+            assert!(p.value.is_finite(), "planned must not leak NaN/∞");
+            assert!(p.value.abs() < 1e-6, "impossible overlap gave {}", p.value);
+            assert_eq!(p.value.to_bits(), e.value.to_bits());
+        }
+        // Both paths may also agree the ratio is unanswerable.
+        (Err(deepdb_core::DeepDbError::NotAnswerable(_)), Err(_)) => {}
+        (p, e) => panic!("paths diverged: planned {p:?}, oracle {e:?}"),
+    }
+}
+
+/// Multi-RSPN GROUP BY groups resolve bitwise identically to issuing each
+/// group's scalar COUNT on its own — the combine template's per-group
+/// registration appends exactly the predicates the scalar path translates.
+#[test]
+fn case3_grouped_counts_match_per_group_scalars() {
+    let (db, ens) = singles();
+    let c = db.table_id("customer").unwrap();
+    let o = db.table_id("orders").unwrap();
+    let q = Query::count(vec![c, o]).group(c, 3);
+    let out = execute_aqp(ens, db, &q).unwrap();
+    assert!(!out.groups().is_empty());
+    for (key, got) in out.groups() {
+        let scalar = match key[0] {
+            Value::Null => Query::count(vec![c, o]).filter(c, 3, PredOp::IsNull),
+            v => Query::count(vec![c, o]).filter(c, 3, PredOp::Cmp(CmpOp::Eq, v)),
+        };
+        let want = compile::estimate_count(ens, db, &scalar).unwrap();
+        assert_eq!(
+            got.count_estimate.to_bits(),
+            want.value.to_bits(),
+            "group {key:?}"
+        );
+    }
+}
+
+/// Plan determinism across snapshot round-trips: the same Case-3 query on a
+/// reloaded ensemble resolves to bitwise the same estimate (member
+/// tie-breaking and edge order are reproducible).
+#[test]
+fn combine_is_deterministic_across_reloads() {
+    let (db, ens) = singles();
+    let c = db.table_id("customer").unwrap();
+    let o = db.table_id("orders").unwrap();
+    let q = Query::count(vec![c, o]).filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+    let a = compile::estimate_count(ens, db, &q).unwrap();
+    for _ in 0..3 {
+        let reloaded = clone_for_test(ens);
+        let b = compile::estimate_count(&reloaded, db, &q).unwrap();
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+        assert_eq!(a.variance.to_bits(), b.variance.to_bits());
+    }
+}
+
+/// Case-3 GROUP BY also survives the Grouped aggregate kinds: AVG and SUM
+/// ride the same shared plan and match the executor loosely.
+#[test]
+fn case3_grouped_sum_tracks_executor() {
+    let (db, ens) = singles();
+    let c = db.table_id("customer").unwrap();
+    let o = db.table_id("orders").unwrap();
+    let q = Query::count(vec![c, o])
+        .aggregate(deepdb_storage::Aggregate::Sum(ColumnRef {
+            table: o,
+            column: 3,
+        }))
+        .group(c, 3);
+    let truth = execute(db, &q).unwrap();
+    let out = execute_aqp(ens, db, &q).unwrap();
+    assert!(!out.groups().is_empty());
+    for (key, res) in out.groups() {
+        let t = truth
+            .groups()
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, a)| a.sum)
+            .unwrap_or(0.0);
+        let rel = (res.value - t).abs() / t.abs().max(1.0);
+        assert!(
+            rel < 0.6,
+            "group {key:?}: {} vs {t} (rel {rel:.2})",
+            res.value
+        );
+    }
+}
+
+/// Ensembles are cheap to snapshot-clone for isolated sweep-count
+/// bookkeeping (also exercises load-path combine planning).
+fn clone_for_test(ens: &Ensemble) -> Ensemble {
+    let mut buf = Vec::new();
+    ens.save(&mut buf).unwrap();
+    Ensemble::load(&mut buf.as_slice()).unwrap()
+}

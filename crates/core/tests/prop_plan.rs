@@ -185,8 +185,8 @@ fn grouped_plan_matches_per_group_scalar_queries() {
         }),
     ] {
         let grouped = Query::count(vec![c, o]).aggregate(aggregate).group(c, 2);
-        let mut ens_a = clone_for_test(ens);
-        let out = execute_aqp(&mut ens_a, db, &grouped).unwrap();
+        let ens_a = clone_for_test(ens);
+        let out = execute_aqp(&ens_a, db, &grouped).unwrap();
         let groups = out.groups();
         assert!(!groups.is_empty(), "grouped result should not be empty");
         for (key, got) in groups {
@@ -195,8 +195,8 @@ fn grouped_plan_matches_per_group_scalar_queries() {
                 2,
                 PredOp::Cmp(CmpOp::Eq, key[0]),
             );
-            let mut ens_b = clone_for_test(ens);
-            let want = execute_aqp(&mut ens_b, db, &scalar).unwrap();
+            let ens_b = clone_for_test(ens);
+            let want = execute_aqp(&ens_b, db, &scalar).unwrap();
             let want = want.scalar().unwrap();
             assert_eq!(got.value.to_bits(), want.value.to_bits(), "group {key:?}");
             assert_eq!(got.ci_low.to_bits(), want.ci_low.to_bits());
@@ -229,7 +229,7 @@ fn grouped_plan_covers_null_groups() {
             .unwrap();
     }
     let t = db.table_id("t").unwrap();
-    let mut ens = EnsembleBuilder::new(&db)
+    let ens = EnsembleBuilder::new(&db)
         .params(EnsembleParams {
             sample_size: 12_000,
             correlation_sample: 500,
@@ -240,7 +240,7 @@ fn grouped_plan_covers_null_groups() {
 
     let q = Query::count(vec![t]).group(t, 1);
     let truth = execute(&db, &q).unwrap();
-    let out = execute_aqp(&mut ens, &db, &q).unwrap();
+    let out = execute_aqp(&ens, &db, &q).unwrap();
     let groups = out.groups();
     assert_eq!(
         groups.len(),
@@ -270,7 +270,7 @@ fn groupby_costs_one_sweep_per_touched_member() {
     let (db, ens) = joint_ensemble();
     let c = db.table_id("customer").unwrap();
     let o = db.table_id("orders").unwrap();
-    let mut ens = clone_for_test(ens);
+    let ens = clone_for_test(ens);
     let q = Query::count(vec![c, o])
         .aggregate(Aggregate::Avg(ColumnRef {
             table: o,
@@ -279,7 +279,7 @@ fn groupby_costs_one_sweep_per_touched_member() {
         .group(c, 2);
 
     let before: Vec<u64> = ens.rspns().iter().map(|r| r.probe_passes()).collect();
-    let out = execute_aqp(&mut ens, db, &q).unwrap();
+    let out = execute_aqp(&ens, db, &q).unwrap();
     assert!(
         out.groups().len() >= 2,
         "needs multiple groups to be meaningful"

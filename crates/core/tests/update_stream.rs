@@ -99,10 +99,10 @@ fn interleaved_update_stream_matches_recompile_bitwise() {
         }
 
         // Queries on the patched engines ≡ queries on a recompiled model.
-        let mut baseline = snapshot_round_trip(&ens);
+        let baseline = snapshot_round_trip(&ens);
         for (qi, q) in queries.iter().enumerate() {
-            let got = execute_aqp(&mut ens, &db, q).unwrap();
-            let want = execute_aqp(&mut baseline, &db, q).unwrap();
+            let got = execute_aqp(&ens, &db, q).unwrap();
+            let want = execute_aqp(&baseline, &db, q).unwrap();
             match (&got, &want) {
                 (deepdb_core::AqpOutput::Scalar(g), deepdb_core::AqpOutput::Scalar(w)) => {
                     assert_eq!(g.value.to_bits(), w.value.to_bits(), "burst {burst} q{qi}");
@@ -161,8 +161,8 @@ fn batched_ensemble_updates_match_sequential_bitwise() {
         assert_eq!(a.full_join_count(), b.full_join_count());
     }
     for (qi, q) in workload(c, o).iter().enumerate() {
-        let a = execute_aqp(&mut ens_seq, &db_seq, q).unwrap();
-        let b = execute_aqp(&mut ens_batch, &db_batch, q).unwrap();
+        let a = execute_aqp(&ens_seq, &db_seq, q).unwrap();
+        let b = execute_aqp(&ens_batch, &db_batch, q).unwrap();
         match (&a, &b) {
             (deepdb_core::AqpOutput::Scalar(x), deepdb_core::AqpOutput::Scalar(y)) => {
                 assert_eq!(x.value.to_bits(), y.value.to_bits(), "q{qi}");
@@ -192,7 +192,7 @@ fn ensemble_delete_keeps_models_consistent() {
     // which check-then-apply guarantees for tuples we just inserted.
     let c_tbl = db.table_id("customer").unwrap();
     let q = Query::count(vec![c_tbl, o]).filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
-    let before = execute_aqp(&mut ens, &db, &q).unwrap().scalar().unwrap();
+    let before = execute_aqp(&ens, &db, &q).unwrap().scalar().unwrap();
 
     let mut pks = Vec::new();
     for k in 0..30 {
@@ -210,7 +210,7 @@ fn ensemble_delete_keeps_models_consistent() {
         .unwrap();
         pks.push(pk);
     }
-    let mid = execute_aqp(&mut ens, &db, &q).unwrap().scalar().unwrap();
+    let mid = execute_aqp(&ens, &db, &q).unwrap().scalar().unwrap();
     assert!(mid.value >= before.value, "inserts must raise the count");
 
     for pk in pks {
@@ -218,7 +218,7 @@ fn ensemble_delete_keeps_models_consistent() {
         ens.apply_delete(&mut db, o, row).unwrap();
     }
     db.validate_integrity().unwrap();
-    let after = execute_aqp(&mut ens, &db, &q).unwrap().scalar().unwrap();
+    let after = execute_aqp(&ens, &db, &q).unwrap().scalar().unwrap();
     // Sampled absorption may skip some tuples, but whatever was absorbed was
     // reversed along the same routes; the estimate lands close to `before`.
     let rel = (after.value - before.value).abs() / before.value.max(1.0);

@@ -18,7 +18,7 @@ fn main() -> Result<(), DeepDbError> {
     let f = db.table_id("flights")?;
     println!("flights table: {} rows", db.table(f).n_rows());
 
-    let mut ensemble = EnsembleBuilder::new(&db)
+    let ensemble = EnsembleBuilder::new(&db)
         .params(EnsembleParams {
             seed: scale.seed,
             ..EnsembleParams::default()
@@ -35,7 +35,7 @@ fn main() -> Result<(), DeepDbError> {
         }));
     let truth = execute(&db, &q).expect("executor").scalar().avg().unwrap();
     let t0 = std::time::Instant::now();
-    let out = execute_aqp(&mut ensemble, &db, &q)?;
+    let out = execute_aqp(&ensemble, &db, &q)?;
     let latency = t0.elapsed();
     if let AqpOutput::Scalar(r) = out {
         println!(
@@ -53,7 +53,7 @@ fn main() -> Result<(), DeepDbError> {
         .filter(f, cols::ORIGIN, PredOp::Cmp(CmpOp::Eq, Value::Int(3)))
         .group(f, cols::YEAR);
     let truth = execute(&db, &q).expect("executor");
-    let out = execute_aqp(&mut ensemble, &db, &q)?;
+    let out = execute_aqp(&ensemble, &db, &q)?;
     println!("\nflights from origin 3 per year (estimate vs exact):");
     for (key, r) in out.groups() {
         let t = truth
@@ -75,7 +75,7 @@ fn main() -> Result<(), DeepDbError> {
             column: cols::DISTANCE,
         }));
     let truth = execute(&db, &q).expect("executor").scalar().sum;
-    if let AqpOutput::Scalar(r) = execute_aqp(&mut ensemble, &db, &q)? {
+    if let AqpOutput::Scalar(r) = execute_aqp(&ensemble, &db, &q)? {
         println!(
             "\nselective SUM(distance): estimate {:.0} (exact {:.0}, rel err {:.1}%)",
             r.value,

@@ -28,7 +28,7 @@ fn main() -> Result<(), DeepDbError> {
 
     println!("learning the RSPN ensemble (data-driven, no workload needed)...");
     let t0 = std::time::Instant::now();
-    let mut ensemble = EnsembleBuilder::new(&db)
+    let ensemble = EnsembleBuilder::new(&db)
         .params(EnsembleParams {
             seed: scale.seed,
             ..EnsembleParams::default()
@@ -55,7 +55,7 @@ fn main() -> Result<(), DeepDbError> {
     let mut pg_qs = Vec::new();
     for nq in workload.iter().take(15) {
         let truth = execute(&db, &nq.query).expect("executor").scalar().count as f64;
-        let d = compile::estimate_cardinality(&mut ensemble, &db, &nq.query)?;
+        let d = compile::estimate_cardinality(&ensemble, &db, &nq.query)?;
         let p = postgres.estimate(&db, &nq.query);
         deep_qs.push(qerr(d, truth));
         pg_qs.push(qerr(p, truth));

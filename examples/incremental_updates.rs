@@ -31,7 +31,7 @@ fn main() -> Result<(), DeepDbError> {
 
     let workload = joblight::job_light(&db, scale.seed);
     let sample: Vec<_> = workload.into_iter().take(20).collect();
-    let median_qerr = |ens: &mut Ensemble, db: &Database| -> f64 {
+    let median_qerr = |ens: &Ensemble, db: &Database| -> f64 {
         let mut qs: Vec<f64> = sample
             .iter()
             .map(|nq| {
@@ -46,7 +46,7 @@ fn main() -> Result<(), DeepDbError> {
 
     println!(
         "median q-error before updates: {:.3}",
-        median_qerr(&mut ensemble, &db)
+        median_qerr(&ensemble, &db)
     );
 
     let t0 = std::time::Instant::now();
@@ -64,7 +64,7 @@ fn main() -> Result<(), DeepDbError> {
 
     println!(
         "median q-error after updates:  {:.3}",
-        median_qerr(&mut ensemble, &db)
+        median_qerr(&ensemble, &db)
     );
 
     // Deletes are supported symmetrically.

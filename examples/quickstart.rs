@@ -39,7 +39,7 @@ fn main() -> Result<(), DeepDbError> {
     // Q1: SELECT COUNT(*) FROM customer WHERE c_region = 'EUROPE'  → 2.
     let q1 =
         Query::count(vec![customer]).filter(customer, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
-    let est = compile::estimate_count(&mut ensemble, &db, &q1)?;
+    let est = compile::estimate_count(&ensemble, &db, &q1)?;
     let truth = execute(&db, &q1).expect("executor").scalar().count;
     println!(
         "Q1 (European customers):      estimate {:.2}, truth {truth}",
@@ -50,7 +50,7 @@ fn main() -> Result<(), DeepDbError> {
     let q2 = Query::count(vec![customer, orders])
         .filter(customer, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
         .filter(orders, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
-    let est = compile::estimate_count(&mut ensemble, &db, &q2)?;
+    let est = compile::estimate_count(&ensemble, &db, &q2)?;
     let truth = execute(&db, &q2).expect("executor").scalar().count;
     println!(
         "Q2 (EU online orders):        estimate {:.2}, truth {truth}",
@@ -64,14 +64,14 @@ fn main() -> Result<(), DeepDbError> {
             table: customer,
             column: 1,
         }));
-    let est = compile::estimate_avg(&mut ensemble, &db, &q3)?;
+    let est = compile::estimate_avg(&ensemble, &db, &q3)?;
     println!(
         "Q3 (AVG age of Europeans):    estimate {:.2}, truth 35.00",
         est.value
     );
 
     // AQP with a confidence interval.
-    let out = execute_aqp(&mut ensemble, &db, &q1)?;
+    let out = execute_aqp(&ensemble, &db, &q1)?;
     if let AqpOutput::Scalar(r) = out {
         println!(
             "Q1 with 95% CI:               {:.2} ∈ [{:.2}, {:.2}]",
@@ -89,7 +89,7 @@ fn main() -> Result<(), DeepDbError> {
             &[Value::Int(id), Value::Int(age), Value::Int(0)],
         )?;
     }
-    let est = compile::estimate_count(&mut ensemble, &db, &q1)?;
+    let est = compile::estimate_count(&ensemble, &db, &q1)?;
     let truth = execute(&db, &q1).expect("executor").scalar().count;
     println!(
         "Q1 after updates:             estimate {:.2}, truth {truth}",
@@ -99,8 +99,8 @@ fn main() -> Result<(), DeepDbError> {
     // Ensembles persist like indexes: snapshot, reload, keep estimating.
     let path = std::env::temp_dir().join("deepdb_quickstart.ens");
     ensemble.save_to_file(&path).expect("snapshot");
-    let mut reloaded = Ensemble::load_from_file(&path).expect("reload");
-    let est = compile::estimate_count(&mut reloaded, &db, &q1)?;
+    let reloaded = Ensemble::load_from_file(&path).expect("reload");
+    let est = compile::estimate_count(&reloaded, &db, &q1)?;
     println!(
         "Q1 from reloaded snapshot:    estimate {:.2} ({} bytes on disk)",
         est.value,

@@ -31,15 +31,16 @@
 //!     rdc_threshold: 0.0, // force the joint customer⟗orders RSPN
 //!     ..EnsembleParams::default()
 //! };
-//! let mut ensemble = EnsembleBuilder::new(&db).params(params).build().unwrap();
+//! let ensemble = EnsembleBuilder::new(&db).params(params).build().unwrap();
 //!
 //! // Runtime: estimate |customer ⋈ orders WHERE region = EUROPE AND channel = ONLINE|.
+//! // The whole query surface is `&Ensemble` — queries never mutate the models.
 //! let customer = db.table_id("customer").unwrap();
 //! let orders = db.table_id("orders").unwrap();
 //! let q = Query::count(vec![customer, orders])
 //!     .filter(customer, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
 //!     .filter(orders, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
-//! let estimate = compile::estimate_cardinality(&mut ensemble, &db, &q).unwrap();
+//! let estimate = compile::estimate_cardinality(&ensemble, &db, &q).unwrap();
 //! assert!((estimate - 1.0).abs() < 0.8); // true answer: 1 (paper Q2)
 //! ```
 //!
@@ -69,12 +70,17 @@
 //! arena in place** (lockstep with the tree, O(depth) per tuple, bitwise
 //! identical to a recompile — cached modes included), so the engines are
 //! never stale between updates and queries — [`Ensemble::recompile_models`]
-//! remains only as a structural-change escape hatch. Because every query
-//! path is `&self`, the ML entry points take `&Ensemble` and ship batched
-//! forms ([`ml::predict_classification_batch`],
-//! [`ml::predict_regression_batch`]) that answer K evidence rows in one
-//! arena sweep of the touched member. The recursive evaluator survives
-//! **only** as the differential-test oracle.
+//! remains only as an explicit structural-maintenance entry point. The
+//! **entire query surface takes `&Ensemble`** — cardinality, AQP, and the
+//! ML entry points, which ship batched forms
+//! ([`ml::predict_classification_batch`], [`ml::predict_regression_batch`])
+//! answering K evidence rows in one arena sweep of the touched member.
+//! Multi-RSPN (Case-3) joins are planned **symbolically**
+//! ([`core_::combine`]): one walk of the FK graph registers every extension
+//! step's probe bundles on one fused plan, and a `Scale`/`Product`/`Divide`
+//! expression tree resolves after the sweep. Both retired evaluation
+//! strategies — the recursive SPN walk and the eager per-step combine loop
+//! — survive **only** as differential-test oracles.
 
 pub use deepdb_baselines as baselines;
 pub use deepdb_core as core_;

@@ -27,14 +27,14 @@ fn median(mut v: Vec<f64>) -> f64 {
 fn imdb_joblight_cardinality_pipeline() {
     let db = imdb::generate(SCALE);
     db.validate_integrity().unwrap();
-    let mut ens = EnsembleBuilder::new(&db).params(params()).build().unwrap();
+    let ens = EnsembleBuilder::new(&db).params(params()).build().unwrap();
     let workload = joblight::job_light(&db, 17);
     let qs: Vec<f64> = workload
         .iter()
         .take(30)
         .map(|nq| {
             let truth = execute(&db, &nq.query).unwrap().scalar().count as f64;
-            let est = compile::estimate_cardinality(&mut ens, &db, &nq.query).unwrap();
+            let est = compile::estimate_cardinality(&ens, &db, &nq.query).unwrap();
             (est.max(1.0) / truth.max(1.0)).max(truth.max(1.0) / est.max(1.0))
         })
         .collect();
@@ -48,11 +48,11 @@ fn imdb_joblight_cardinality_pipeline() {
 #[test]
 fn flights_aqp_pipeline_with_confidence() {
     let db = flights::generate(SCALE);
-    let mut ens = EnsembleBuilder::new(&db).params(params()).build().unwrap();
+    let ens = EnsembleBuilder::new(&db).params(params()).build().unwrap();
     let mut checked = 0;
     for nq in flights::queries(&db).iter().take(5) {
         let truth_out = execute(&db, &nq.query).unwrap();
-        let out = execute_aqp(&mut ens, &db, &nq.query).unwrap();
+        let out = execute_aqp(&ens, &db, &nq.query).unwrap();
         match out {
             AqpOutput::Scalar(r) => {
                 let truth = truth_out
@@ -87,7 +87,7 @@ fn ssb_fd_declarations_answer_region_queries() {
     let s = db.table_id("supplier").unwrap();
     // Declare nation → region; region columns are then answered via the FD
     // dictionary even though they are omitted from the learned models.
-    let mut ens = EnsembleBuilder::new(&db)
+    let ens = EnsembleBuilder::new(&db)
         .params(params())
         .functional_dependency(c, 2, 3)
         .functional_dependency(s, 2, 3)
@@ -96,7 +96,7 @@ fn ssb_fd_declarations_answer_region_queries() {
     let lo = db.table_id("lineorder").unwrap();
     let q = Query::count(vec![lo, c]).filter(c, 3, PredOp::Cmp(CmpOp::Eq, Value::Int(1)));
     let truth = execute(&db, &q).unwrap().scalar().count as f64;
-    let est = compile::estimate_cardinality(&mut ens, &db, &q).unwrap();
+    let est = compile::estimate_cardinality(&ens, &db, &q).unwrap();
     let qerr = (est / truth.max(1.0)).max(truth.max(1.0) / est);
     assert!(qerr < 1.5, "FD-translated region query: {est} vs {truth}");
 }
@@ -119,7 +119,7 @@ fn update_stream_keeps_estimates_calibrated() {
         .take(20)
         .map(|nq| {
             let truth = execute(&db, &nq.query).unwrap().scalar().count as f64;
-            let est = compile::estimate_cardinality(&mut ens, &db, &nq.query).unwrap();
+            let est = compile::estimate_cardinality(&ens, &db, &nq.query).unwrap();
             (est.max(1.0) / truth.max(1.0)).max(truth.max(1.0) / est.max(1.0))
         })
         .collect();
@@ -170,14 +170,14 @@ fn estimation_never_touches_base_tables_after_learning() {
         factor: 0.03,
         seed: 17,
     });
-    let mut ens = EnsembleBuilder::new(&db).params(params()).build().unwrap();
+    let ens = EnsembleBuilder::new(&db).params(params()).build().unwrap();
     let workload = joblight::job_light(&db, 31);
     let q = &workload[0].query;
-    let before = compile::estimate_cardinality(&mut ens, &db, q).unwrap();
+    let before = compile::estimate_cardinality(&ens, &db, q).unwrap();
     // Rebuild an empty database with the same schema: only the catalog is
     // consulted at estimation time.
     let empty = imdb::schema();
-    let after = compile::estimate_cardinality(&mut ens, &empty, q).unwrap();
+    let after = compile::estimate_cardinality(&ens, &empty, q).unwrap();
     assert_eq!(
         before, after,
         "estimates must be independent of table contents"

@@ -37,10 +37,10 @@ proptest! {
     #[test]
     fn estimates_are_finite_and_positive(seed in 0u64..5_000) {
         let (db, ens) = fixture();
-        let mut ens = ens.lock().unwrap();
+        let ens = ens.lock().unwrap();
         let wl = joblight::synthetic(db, &[2, 3, 4], &[1, 2], 1, seed);
         for nq in &wl {
-            let est = compile::estimate_cardinality(&mut ens, db, &nq.query).unwrap();
+            let est = compile::estimate_cardinality(&ens, db, &nq.query).unwrap();
             prop_assert!(est.is_finite());
             prop_assert!(est >= 1.0);
         }
@@ -51,7 +51,7 @@ proptest! {
     #[test]
     fn conjunction_is_monotone_in_truth(year in 1935i64..2015) {
         let (db, ens) = fixture();
-        let mut ens = ens.lock().unwrap();
+        let ens = ens.lock().unwrap();
         let title = db.table_id("title").unwrap();
         let base = Query::count(vec![title]);
         let narrowed = Query::count(vec![title])
@@ -60,9 +60,9 @@ proptest! {
             .filter(title, 2, PredOp::Cmp(CmpOp::Ge, Value::Int(year)))
             .filter(title, 1, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
         // Truth is monotone; estimates should be within noise of monotone.
-        let e0 = compile::estimate_count(&mut ens, db, &base).unwrap().value;
-        let e1 = compile::estimate_count(&mut ens, db, &narrowed).unwrap().value;
-        let e2 = compile::estimate_count(&mut ens, db, &further).unwrap().value;
+        let e0 = compile::estimate_count(&ens, db, &base).unwrap().value;
+        let e1 = compile::estimate_count(&ens, db, &narrowed).unwrap().value;
+        let e2 = compile::estimate_count(&ens, db, &further).unwrap().value;
         prop_assert!(e1 <= e0 * 1.05, "narrowing grew the estimate: {e1} > {e0}");
         prop_assert!(e2 <= e1 * 1.05, "further narrowing grew the estimate: {e2} > {e1}");
     }
@@ -72,12 +72,12 @@ proptest! {
     #[test]
     fn complementary_predicates_sum_to_total(year in 1940i64..2010) {
         let (db, ens) = fixture();
-        let mut ens = ens.lock().unwrap();
+        let ens = ens.lock().unwrap();
         let title = db.table_id("title").unwrap();
-        let total = compile::estimate_count(&mut ens, db, &Query::count(vec![title])).unwrap().value;
-        let lo = compile::estimate_count(&mut ens, db,
+        let total = compile::estimate_count(&ens, db, &Query::count(vec![title])).unwrap().value;
+        let lo = compile::estimate_count(&ens, db,
             &Query::count(vec![title]).filter(title, 2, PredOp::Cmp(CmpOp::Lt, Value::Int(year)))).unwrap().value;
-        let hi = compile::estimate_count(&mut ens, db,
+        let hi = compile::estimate_count(&ens, db,
             &Query::count(vec![title]).filter(title, 2, PredOp::Cmp(CmpOp::Ge, Value::Int(year)))).unwrap().value;
         let rel = ((lo + hi) - total).abs() / total.max(1.0);
         prop_assert!(rel < 0.02, "partition mismatch: {lo} + {hi} vs {total}");
@@ -88,10 +88,10 @@ proptest! {
     #[test]
     fn confidence_intervals_are_ordered(year in 1950i64..2010) {
         let (db, ens) = fixture();
-        let mut ens = ens.lock().unwrap();
+        let ens = ens.lock().unwrap();
         let title = db.table_id("title").unwrap();
         let q = Query::count(vec![title]).filter(title, 2, PredOp::Cmp(CmpOp::Le, Value::Int(year)));
-        let est = compile::estimate_count(&mut ens, db, &q).unwrap();
+        let est = compile::estimate_count(&ens, db, &q).unwrap();
         let (l95, h95) = est.confidence_interval(0.95);
         let (l99, h99) = est.confidence_interval(0.99);
         prop_assert!(l95 <= est.value && est.value <= h95);

@@ -30,10 +30,10 @@ fn figure_5b_full_outer_join_has_five_rows() {
 #[test]
 fn q1_count_european_customers_is_2_via_case_2() {
     let db = deepdb::storage::fixtures::paper_customer_order();
-    let mut ens = ensemble_for(&db, true);
+    let ens = ensemble_for(&db, true);
     let c = db.table_id("customer").unwrap();
     let q = Query::count(vec![c]).filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
-    let est = compile::estimate_count(&mut ens, &db, &q).unwrap();
+    let est = compile::estimate_count(&ens, &db, &q).unwrap();
     assert!((est.value - 2.0).abs() < 0.3, "Q1 = {}", est.value);
 }
 
@@ -46,14 +46,14 @@ fn q2_join_count_is_1_via_case_1_and_case_3() {
         .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
         .filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
     // Case 1: the joint RSPN covers both tables.
-    let mut joint = ensemble_for(&db, true);
-    let est = compile::estimate_count(&mut joint, &db, &q).unwrap();
+    let joint = ensemble_for(&db, true);
+    let est = compile::estimate_count(&joint, &db, &q).unwrap();
     assert!((est.value - 1.0).abs() < 0.6, "Q2 case 1 = {}", est.value);
     // Case 3: single-table RSPNs combined via tuple factors
     // (|C|·E(1_EU·F_{C←O})·E(1_ONLINE) = 3·(2/3)·(1/2) = 1, paper §4.1).
-    let mut singles = ensemble_for(&db, false);
+    let singles = ensemble_for(&db, false);
     assert!(singles.rspns().iter().all(|r| r.tables().len() == 1));
-    let est = compile::estimate_count(&mut singles, &db, &q).unwrap();
+    let est = compile::estimate_count(&singles, &db, &q).unwrap();
     assert!((est.value - 1.0).abs() < 0.35, "Q2 case 3 = {}", est.value);
 }
 
@@ -62,7 +62,7 @@ fn q3_avg_age_of_europeans_is_35_not_join_weighted() {
     // §4.2: the naive join-weighted average would be (20·2 + 50)/3 = 30;
     // tuple-factor normalization recovers the per-customer 35.
     let db = deepdb::storage::fixtures::paper_customer_order();
-    let mut ens = ensemble_for(&db, true);
+    let ens = ensemble_for(&db, true);
     let c = db.table_id("customer").unwrap();
     let q = Query::count(vec![c])
         .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
@@ -70,7 +70,7 @@ fn q3_avg_age_of_europeans_is_35_not_join_weighted() {
             table: c,
             column: 1,
         }));
-    let est = compile::estimate_avg(&mut ens, &db, &q).unwrap();
+    let est = compile::estimate_avg(&ens, &db, &q).unwrap();
     assert!((est.value - 35.0).abs() < 2.0, "Q3 = {}", est.value);
 }
 
@@ -79,7 +79,7 @@ fn figure_3d_style_probability_query() {
     // P(young Europeans) on a clustered population — the §3.1 walk-through,
     // validated statistically on the correlated fixture.
     let db = deepdb::storage::fixtures::correlated_customer_order(3000, 77);
-    let mut ens = EnsembleBuilder::new(&db)
+    let ens = EnsembleBuilder::new(&db)
         .params(EnsembleParams {
             sample_size: 30_000,
             ..EnsembleParams::default()
@@ -91,7 +91,7 @@ fn figure_3d_style_probability_query() {
         .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
         .filter(c, 1, PredOp::Cmp(CmpOp::Lt, Value::Int(30)));
     let truth = execute(&db, &q).unwrap().scalar().count as f64;
-    let est = compile::estimate_cardinality(&mut ens, &db, &q).unwrap();
+    let est = compile::estimate_cardinality(&ens, &db, &q).unwrap();
     let qerr = (est / truth.max(1.0)).max(truth.max(1.0) / est);
     assert!(qerr < 1.5, "estimate {est} vs truth {truth}");
 }
@@ -105,12 +105,12 @@ fn inserting_young_europeans_updates_the_model() {
     let q = Query::count(vec![c])
         .filter(c, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)))
         .filter(c, 1, PredOp::Cmp(CmpOp::Lt, Value::Int(30)));
-    let before = compile::estimate_count(&mut ens, &db, &q).unwrap().value;
+    let before = compile::estimate_count(&ens, &db, &q).unwrap().value;
     for id in 10..30 {
         ens.apply_insert(&mut db, c, &[Value::Int(id), Value::Int(25), Value::Int(0)])
             .unwrap();
     }
-    let after = compile::estimate_count(&mut ens, &db, &q).unwrap().value;
+    let after = compile::estimate_count(&ens, &db, &q).unwrap().value;
     let truth = execute(&db, &q).unwrap().scalar().count as f64;
     assert!(
         after > before + 10.0,
