@@ -5,11 +5,12 @@
 //! normalization hoisted per probe and resolves winning branches against the
 //! arena's cached leaf modes; the recursive baseline walks the `Node` tree
 //! per prediction, re-normalizing predicates at every leaf visit. The JSON
-//! summary (`BENCH_mpe_batch.json`) records ns/prediction for both paths per
+//! summary (`BENCH_mpe_batch.json`) records ns/prediction for the SIMD
+//! compiled path, its scalar-kernel twin, and the recursive baseline per
 //! batch size so the trajectory is machine-checkable; `DEEPDB_FAST=1`
 //! shrinks the model and rep counts for the CI smoke run. The bench asserts
-//! both paths return identical predictions (value equality, bitwise score
-//! equality) before timing anything.
+//! all paths return identical predictions (value equality, bitwise score
+//! equality; SIMD ≡ scalar bitwise) before timing anything.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepdb_spn::{
@@ -99,9 +100,11 @@ fn bench_mpe_batch(c: &mut Criterion) {
     let model_nodes = spn.size();
     let probes = probe_batch(256, 0xD00D);
 
-    // Acceptance first: compiled ≡ recursive on every probe.
+    // Acceptance first: compiled ≡ recursive on every probe, and the SIMD
+    // kernels ≡ the scalar reference path bitwise.
     let mut ev = MaxProductEvaluator::new();
     let compiled_out = ev.evaluate(&arena, &probes);
+    let scalar_out = ev.evaluate_scalar(&arena, &probes);
     for (i, p) in probes.iter().enumerate() {
         let (score, value) = spn.mpe_outcome(p.target, &p.query);
         assert_eq!(compiled_out[i].value, value, "probe {i}: paths diverged");
@@ -110,6 +113,7 @@ fn bench_mpe_batch(c: &mut Criterion) {
             score.to_bits(),
             "probe {i}: scores diverged"
         );
+        assert_eq!(compiled_out[i], scalar_out[i], "probe {i}: simd vs scalar");
     }
 
     let mut rows = Vec::new();
@@ -117,6 +121,9 @@ fn bench_mpe_batch(c: &mut Criterion) {
         let slice = &probes[..batch];
         c.bench_function(&format!("mpe_batch/{batch}/compiled"), |b| {
             b.iter(|| ev.evaluate(&arena, slice))
+        });
+        c.bench_function(&format!("mpe_batch/{batch}/compiled_scalar"), |b| {
+            b.iter(|| ev.evaluate_scalar(&arena, slice))
         });
         c.bench_function(&format!("mpe_batch/{batch}/recursive"), |b| {
             b.iter(|| {
@@ -127,13 +134,14 @@ fn bench_mpe_batch(c: &mut Criterion) {
             })
         });
         let compiled_ns = median_ns(reps, || ev.evaluate(&arena, slice)) / batch as f64;
+        let scalar_ns = median_ns(reps, || ev.evaluate_scalar(&arena, slice)) / batch as f64;
         let recursive_ns = median_ns(reps, || {
             slice
                 .iter()
                 .map(|p| spn.most_probable_value(p.target, &p.query))
                 .collect::<Vec<_>>()
         }) / batch as f64;
-        rows.push((batch, compiled_ns, recursive_ns));
+        rows.push((batch, compiled_ns, scalar_ns, recursive_ns));
     }
 
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -142,12 +150,14 @@ fn bench_mpe_batch(c: &mut Criterion) {
     json.push_str(&format!("  \"model_nodes\": {model_nodes},\n"));
     json.push_str(&format!("  \"training_rows\": {n},\n"));
     json.push_str("  \"results\": [\n");
-    for (i, (batch, compiled_ns, recursive_ns)) in rows.iter().enumerate() {
+    for (i, (batch, compiled_ns, scalar_ns, recursive_ns)) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"batch\": {batch}, \"compiled_ns_per_pred\": {compiled_ns:.0}, \
+             \"scalar_ns_per_pred\": {scalar_ns:.0}, \
              \"recursive_ns_per_pred\": {recursive_ns:.0}, \
-             \"recursive_over_compiled\": {:.2}}}{}\n",
+             \"recursive_over_compiled\": {:.2}, \"simd_vs_scalar\": {:.2}}}{}\n",
             recursive_ns / compiled_ns.max(1.0),
+            scalar_ns / compiled_ns.max(1.0),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -4,7 +4,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use deepdb_spn::rdc::{rdc, RdcParams};
-use deepdb_spn::SpnParams;
+use deepdb_spn::{SpnParams, WorkerPool};
 use deepdb_storage::{ColId, Database, ForeignKey, JoinColumnRole, JoinTree, TableId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -259,6 +259,7 @@ impl<'a> EnsembleBuilder<'a> {
             update_rng: StdRng::seed_from_u64(0x0BDA7E5),
             updates_absorbed: 0,
             probe_threads: 0,
+            pool: WorkerPool::new(),
         })
     }
 }
@@ -279,6 +280,12 @@ pub struct Ensemble {
     /// Worker-thread cap for probe-plan execution; 0 = auto (available
     /// parallelism). Runtime-only, not part of snapshots.
     probe_threads: usize,
+    /// Persistent sweep worker pool: every probe-plan execution (AQP,
+    /// cardinality, classification batches) reuses these workers and their
+    /// pinned evaluator scratch instead of spawning threads per call.
+    /// Workers spawn lazily on the first parallel sweep and park between
+    /// jobs. Runtime-only, not part of snapshots.
+    pool: WorkerPool,
 }
 
 fn ordered(a: TableId, b: TableId) -> (TableId, TableId) {
@@ -431,15 +438,23 @@ impl Ensemble {
         self.probe_threads = threads;
     }
 
-    /// Worker threads probe-plan execution may use.
+    /// Worker threads probe-plan execution may use: the explicit cap from
+    /// [`Ensemble::set_probe_threads`], or the host default
+    /// ([`deepdb_spn::default_threads`]) when unset.
     pub fn probe_thread_budget(&self) -> usize {
-        static HOST_PARALLELISM: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
         if self.probe_threads > 0 {
             self.probe_threads
         } else {
-            *HOST_PARALLELISM
-                .get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            deepdb_spn::default_threads()
         }
+    }
+
+    /// The ensemble's persistent sweep worker pool. Probe-plan execution
+    /// submits its fused sweeps here; the workers (and their pinned
+    /// evaluator scratch) live as long as the ensemble and park idle
+    /// between jobs.
+    pub fn worker_pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// Execute a [`crate::ProbePlan`]: one fused arena sweep per touched
@@ -938,6 +953,7 @@ impl Ensemble {
             update_rng: StdRng::seed_from_u64(seed ^ 0x0BDA7E5),
             updates_absorbed,
             probe_threads: 0,
+            pool: WorkerPool::new(),
         })
     }
 

@@ -17,9 +17,13 @@
 //!    order within each member and probe kind;
 //! 3. **sweep** — [`ProbePlan::execute`] runs **one fused sweep per touched
 //!    member** covering both probe kinds, with the tiles of all members
-//!    load-balanced across a scoped worker pool
-//!    ([`deepdb_spn::sweep_models`]); members and tiles evaluate
-//!    concurrently, results are bitwise identical for any thread count;
+//!    load-balanced across the ensemble's **persistent worker pool**
+//!    ([`deepdb_spn::WorkerPool`], owned by
+//!    [`Ensemble`](crate::Ensemble)): workers keep pinned evaluator
+//!    scratch, claim tiles off an atomic cursor, and park between plans, so
+//!    repeated plan executions pay no spawn cost; members and tiles
+//!    evaluate concurrently, results are bitwise identical for any thread
+//!    count;
 //! 4. **resolve** — handles index into the returned [`ProbeResults`]
 //!    ([`ProbeResults::value`] for expectations, [`ProbeResults::mpe_value`]
 //!    / [`ProbeResults::mpe_outcome`] for MPE probes).
@@ -31,7 +35,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use deepdb_spn::{sweep_models, MpeOutcome, MpeProbe, SpnQuery, SweepJob, SWEEP_TILE};
+use deepdb_spn::{MpeOutcome, MpeProbe, SpnQuery, SweepJob, SWEEP_TILE};
 
 use crate::ensemble::Ensemble;
 
@@ -188,8 +192,9 @@ impl ProbePlan {
         self.execute_with_threads(ens, ens.probe_thread_budget())
     }
 
-    /// Like [`ProbePlan::execute`] with an explicit worker-thread cap.
-    /// `threads <= 1` runs inline; results are identical either way.
+    /// Like [`ProbePlan::execute`] with an explicit worker-thread cap
+    /// (`0` = the ensemble's budget). `threads <= 1` runs inline; results
+    /// are identical either way.
     pub fn execute_with_threads(&self, ens: &Ensemble, threads: usize) -> ProbeResults {
         let mut results: Vec<MemberResults> = self
             .members
@@ -200,9 +205,14 @@ impl ProbePlan {
                 mpe: vec![MpeOutcome::default(); m.mpe.len()],
             })
             .collect();
-        // Spawning is only worth it once there is more than one tile's worth
-        // of work — tiny plans (scalar COUNT/AVG/SUM bundles, single
-        // predictions, even across several members) run inline.
+        let threads = if threads == 0 {
+            ens.probe_thread_budget()
+        } else {
+            threads
+        };
+        // Waking workers is only worth it once there is more than one
+        // tile's worth of work — tiny plans (scalar COUNT/AVG/SUM bundles,
+        // single predictions, even across several members) run inline.
         let threads = if self.n_probes() <= SWEEP_TILE {
             1
         } else {
@@ -220,7 +230,7 @@ impl ProbePlan {
                 mpe_out: &mut r.mpe,
             })
             .collect();
-        sweep_models(jobs, threads);
+        ens.worker_pool().sweep(jobs, threads);
         ProbeResults {
             plan: self.id,
             members: results,

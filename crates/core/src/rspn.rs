@@ -316,10 +316,11 @@ impl Rspn {
     }
 
     /// Evaluate a whole batch of expectations in one fused pass over the
-    /// arena (one scratch buffer, predicate normalization hoisted per query)
-    /// — the backbone of probabilistic query compilation, which issues
-    /// several probes per SQL query. Scratch is thread-local, so this is
-    /// `&self` and safe to call from probe-plan worker threads.
+    /// arena (one scratch buffer, predicate normalization hoisted per
+    /// query, SIMD semiring kernels over the query lanes) — the backbone of
+    /// probabilistic query compilation, which issues several probes per SQL
+    /// query. Scratch is thread-local, so this is `&self` and safe to call
+    /// from probe-plan worker threads.
     pub fn expect_batch(&self, queries: &[SpnQuery]) -> Vec<f64> {
         thread_local! {
             static SCRATCH: std::cell::RefCell<BatchEvaluator> =

@@ -38,6 +38,19 @@ pub(crate) enum CompiledKind {
     Leaf,
 }
 
+/// A maximal run of consecutive same-kind nodes in topological order. The
+/// sweep kernels in [`crate::kernel`] dispatch once per run instead of once
+/// per node, so one kernel call covers every consecutive sum (or product, or
+/// leaf) node. Derived from `kinds` at compile time; updates never change
+/// the structure, so runs stay valid across in-place patches.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeRun {
+    pub kind: CompiledKind,
+    /// Arena ids `[start, end)` covered by this run.
+    pub start: u32,
+    pub end: u32,
+}
+
 /// Sentinel for "not a leaf" in the `leaf_of` array.
 const NOT_A_LEAF: u32 = u32::MAX;
 
@@ -70,6 +83,9 @@ pub struct CompiledSpn {
     pub(crate) leaves: Vec<Leaf>,
     /// Column modeled by each leaf payload (mirrors `leaves[i].col`).
     pub(crate) leaf_col: Vec<u32>,
+    /// Maximal same-kind node runs in sweep order (derived from `kinds`;
+    /// rebuilt by [`CompiledSpn::compile`], never touched by patches).
+    pub(crate) runs: Vec<NodeRun>,
     /// Cached [`Leaf::mode`] per leaf payload (`NaN` = empty leaf), so the
     /// max-product pass resolves a winning branch's target value in O(1)
     /// instead of re-scanning the histogram. Refreshed by
@@ -96,6 +112,7 @@ impl Clone for CompiledSpn {
             leaf_of: self.leaf_of.clone(),
             leaves: self.leaves.clone(),
             leaf_col: self.leaf_col.clone(),
+            runs: self.runs.clone(),
             leaf_mode: self.leaf_mode.clone(),
             n_cols: self.n_cols,
             n_rows: self.n_rows,
@@ -118,13 +135,49 @@ impl CompiledSpn {
             leaf_of: Vec::new(),
             leaves: Vec::new(),
             leaf_col: Vec::new(),
+            runs: Vec::new(),
             leaf_mode: Vec::new(),
             n_cols: spn.n_columns(),
             n_rows: spn.n_rows(),
             sweeps: AtomicU64::new(0),
         };
         c.flatten(&spn.root);
+        c.build_runs();
         c
+    }
+
+    /// Scan `kinds` into maximal same-kind runs so the sweep kernels can
+    /// dispatch once per run.
+    fn build_runs(&mut self) {
+        self.runs.clear();
+        let mut start = 0usize;
+        while start < self.kinds.len() {
+            let kind = self.kinds[start];
+            let mut end = start + 1;
+            while end < self.kinds.len() && self.kinds[end] == kind {
+                end += 1;
+            }
+            self.runs.push(NodeRun {
+                kind,
+                start: start as u32,
+                end: end as u32,
+            });
+            start = end;
+        }
+    }
+
+    /// Same-kind node runs in sweep (bottom-up topological) order.
+    pub(crate) fn node_runs(&self) -> &[NodeRun] {
+        &self.runs
+    }
+
+    /// `[start, end)` range of a node's edges in `children` / `weights`.
+    #[inline(always)]
+    pub(crate) fn child_range(&self, node: usize) -> (usize, usize) {
+        (
+            self.child_start[node] as usize,
+            self.child_end[node] as usize,
+        )
     }
 
     /// Post-order flattening; returns the arena id of `node`.
@@ -456,6 +509,26 @@ mod tests {
         let root_children: std::collections::HashSet<u32> =
             compiled.children.iter().copied().collect();
         assert!(!root_children.contains(&(compiled.n_nodes() as u32 - 1)));
+    }
+
+    #[test]
+    fn node_runs_partition_the_arena_by_kind() {
+        let spn = sample_spn(3000, 7);
+        let compiled = spn.compile();
+        let mut covered = 0usize;
+        for run in compiled.node_runs() {
+            assert_eq!(run.start as usize, covered, "runs must be contiguous");
+            assert!(run.end > run.start, "runs are non-empty");
+            for node in run.start as usize..run.end as usize {
+                assert_eq!(compiled.kinds[node], run.kind, "run kind mismatch");
+            }
+            covered = run.end as usize;
+        }
+        assert_eq!(covered, compiled.n_nodes(), "runs must cover every node");
+        // Maximality: adjacent runs differ in kind.
+        for w in compiled.node_runs().windows(2) {
+            assert_ne!(w[0].kind, w[1].kind, "adjacent runs should be merged");
+        }
     }
 
     #[test]

@@ -1,57 +1,56 @@
-//! Batched evaluation over the arena-compiled SPN.
+//! Batched expectation evaluation over the arena-compiled SPN.
 //!
 //! Cardinality estimation compiles one SQL query into *many* expectation
 //! probes per ensemble member (count fraction, squared-moment, probability,
 //! confidence-interval and GROUP BY probes). [`BatchEvaluator`] answers a
 //! whole slice of [`SpnQuery`]s in a single forward sweep over the arena
-//! arrays:
+//! arrays, running the (+, ×) kernels of the shared semiring skeleton in
+//! [`crate::kernel`]:
 //!
-//! * one `values` scratch buffer of `n_nodes × n_queries` partial results —
-//!   node-major, so each node's row is written sequentially (large batches
-//!   are processed in fixed-size query tiles, keeping the scratch
-//!   cache-resident and memory bounded);
-//! * per-query predicate normalization ([`NormPred`]) hoisted out of the
-//!   leaf loop: the recursive evaluator re-normalizes at every leaf visit,
-//!   here it happens once per (query, column) and is shared by every leaf on
-//!   that column;
-//! * leaves evaluate all query slots back-to-back ("vectorized per query
-//!   slot"), then inner nodes combine child rows with the exact arithmetic
-//!   of the recursive oracle (same order, same zero-skips), so results are
-//!   identical, not approximately equal.
+//! * one node-major scratch buffer of partial results (large batches are
+//!   processed in fixed-size query tiles, keeping the scratch
+//!   cache-resident and memory bounded); the scratch is grow-only — it is
+//!   **never re-zeroed** on the hot path, since every slot is written
+//!   before it is read within a sweep;
+//! * leaf evaluation hoisted to a per-batch
+//!   [`crate::kernel::LeafValueTable`]: predicate normalization runs once
+//!   per (query, column), slots are deduplicated per column by float-bits
+//!   equality, and every (leaf, distinct slot) pair is evaluated exactly
+//!   once for the whole batch — the per-tile leaf kernels are pure gathers;
+//! * the SIMD inner-node kernels combine child rows four query lanes at a
+//!   time, one kernel call per run of consecutive same-kind nodes — with
+//!   the exact arithmetic of
+//!   the recursive oracle (same order, same zero-skips, no FMA
+//!   contraction), so results are **bitwise identical**, not approximately
+//!   equal. [`BatchEvaluator::evaluate_scalar`] keeps the scalar reference
+//!   path alive for differential tests and benches.
 //!
 //! The evaluator owns only scratch; it can be reused across arbitrary
 //! [`CompiledSpn`]s and never allocates at steady state.
 //!
-//! On top of the single-model path, [`sweep_models`] executes one fused
-//! sweep per model with the tiles of *all* models load-balanced across a
-//! scoped worker pool: query slots never interact (each query reads only its
-//! own column slots and its own scratch row), so results are bitwise
-//! identical to the sequential path for any thread count. This is the engine
-//! behind `deepdb-core`'s probe plans, which collect every probe of a SQL
-//! query per RSPN member and then sweep each touched member exactly once.
+//! Multi-model fused sweeps (the engine behind `deepdb-core`'s probe plans)
+//! live in [`crate::pool`]: [`crate::sweep_models`] load-balances the tiles
+//! of all models across a persistent worker pool, bitwise identical to the
+//! sequential path for any thread count.
 
-use std::sync::Mutex;
-
-use crate::arena::{CompiledKind, CompiledSpn};
-use crate::leaf::NormPred;
-use crate::maxprod::{MaxProductEvaluator, MpeOutcome, MpeProbe};
-use crate::{LeafFunc, SpnQuery};
+use crate::arena::CompiledSpn;
+use crate::kernel::{Expectation, LeafValueTable, SweepScratch};
+use crate::SpnQuery;
 
 /// Queries evaluated per tile of a sweep. Bounds the scratch to
 /// `n_nodes × SWEEP_TILE` doubles (L2-resident for realistic models) no
 /// matter how large the batch is; tiles are independent — every query slot
-/// reads only its own normalized slots and writes only its own scratch
-/// column — so tiling (and tile-parallel execution) never changes results.
+/// reads only its own normalized slots and its own scratch column — so
+/// tiling (and tile-parallel execution) never changes results.
 pub const SWEEP_TILE: usize = 32;
 
 /// Reusable scratch for batched arena evaluation.
 #[derive(Debug, Clone, Default)]
 pub struct BatchEvaluator {
-    /// `n_nodes × tile` partial expectations, node-major.
-    values: Vec<f64>,
-    /// `tile × n_cols` compiled slots: moment function + normalized
-    /// predicate conjunction, `None` for marginalized columns.
-    slots: Vec<Option<(LeafFunc, NormPred)>>,
+    scratch: SweepScratch,
+    /// Per-batch (leaf × distinct slot) value table for self-contained
+    /// evaluations; pooled sweeps pass a job-wide table in instead.
+    table: LeafValueTable,
 }
 
 impl BatchEvaluator {
@@ -71,225 +70,100 @@ impl BatchEvaluator {
     /// (cleared first), for allocation-free steady state. Counts as one
     /// fused sweep.
     pub fn evaluate_into(&mut self, spn: &CompiledSpn, queries: &[SpnQuery], out: &mut Vec<f64>) {
+        self.evaluate_into_impl(spn, queries, out, true);
+    }
+
+    /// Scalar-kernel twin of [`BatchEvaluator::evaluate`]: the reference
+    /// path the SIMD kernels are differentially tested against (results are
+    /// bitwise identical). Counts as one fused sweep.
+    pub fn evaluate_scalar(&mut self, spn: &CompiledSpn, queries: &[SpnQuery]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.evaluate_into_impl(spn, queries, &mut out, false);
+        out
+    }
+
+    fn evaluate_into_impl(
+        &mut self,
+        spn: &CompiledSpn,
+        queries: &[SpnQuery],
+        out: &mut Vec<f64>,
+        simd: bool,
+    ) {
         out.clear();
         if queries.is_empty() {
             return;
         }
         spn.note_sweep();
         out.resize(queries.len(), 0.0);
+        // Leaf values are evaluated once per (leaf, distinct slot) for the
+        // WHOLE batch; the per-tile sweeps below only gather from the table.
+        self.table.build::<Expectation>(spn, queries);
+        let mut base = 0;
         for (tile, dst) in queries.chunks(SWEEP_TILE).zip(out.chunks_mut(SWEEP_TILE)) {
-            self.evaluate_chunk(spn, tile, dst);
+            chunk(&mut self.scratch, &self.table, spn, tile, base, dst, simd);
+            base += tile.len();
         }
     }
 
     /// One forward sweep over the arena for a single chunk of queries,
     /// writing one expectation per query into `out` (same order). Does
     /// **not** bump the model's sweep counter — callers orchestrating a
-    /// larger fused sweep ([`sweep_models`]) account for it once per model.
-    /// Chunks at or below [`SWEEP_TILE`] queries keep the scratch
+    /// larger fused sweep ([`crate::sweep_models`]) account for it once per
+    /// model. Chunks at or below [`SWEEP_TILE`] queries keep the scratch
     /// cache-resident; larger chunks work but grow it.
     pub fn evaluate_chunk(&mut self, spn: &CompiledSpn, queries: &[SpnQuery], out: &mut [f64]) {
-        let n_q = queries.len();
-        assert_eq!(n_q, out.len(), "output slice arity mismatch");
-        if n_q == 0 {
-            return;
-        }
-        let n_cols = spn.n_columns();
-        for q in queries {
-            assert_eq!(q.n_cols(), n_cols, "query arity mismatch");
-        }
+        self.table.build::<Expectation>(spn, queries);
+        chunk(&mut self.scratch, &self.table, spn, queries, 0, out, true);
+    }
 
-        // Hoist predicate normalization: once per (query, column).
-        self.slots.clear();
-        self.slots.reserve(n_q * n_cols);
-        for q in queries {
-            for col in 0..n_cols {
-                self.slots.push(
-                    q.slot(col)
-                        .map(|s| (s.func.unwrap_or(LeafFunc::One), NormPred::new(&s.preds))),
-                );
-            }
-        }
+    /// Scalar-kernel twin of [`BatchEvaluator::evaluate_chunk`].
+    pub fn evaluate_chunk_scalar(
+        &mut self,
+        spn: &CompiledSpn,
+        queries: &[SpnQuery],
+        out: &mut [f64],
+    ) {
+        self.table.build::<Expectation>(spn, queries);
+        chunk(&mut self.scratch, &self.table, spn, queries, 0, out, false);
+    }
 
-        let n_nodes = spn.n_nodes();
-        self.values.clear();
-        self.values.resize(n_nodes * n_q, 0.0);
-
-        // Single forward sweep: children always precede parents.
-        for node in 0..n_nodes {
-            let row = node * n_q;
-            match spn.kinds[node] {
-                CompiledKind::Leaf => {
-                    let payload = spn.leaf_of[node] as usize;
-                    let leaf = &spn.leaves[payload];
-                    let col = spn.leaf_col[payload] as usize;
-                    for qi in 0..n_q {
-                        self.values[row + qi] = match &self.slots[qi * n_cols + col] {
-                            None => 1.0,
-                            Some((func, np)) => leaf.expect_norm(*func, np),
-                        };
-                    }
-                }
-                CompiledKind::Product => {
-                    let (s, e) = (spn.child_start[node] as usize, spn.child_end[node] as usize);
-                    for qi in 0..n_q {
-                        let mut acc = 1.0;
-                        for &child in &spn.children[s..e] {
-                            acc *= self.values[child as usize * n_q + qi];
-                            if acc == 0.0 {
-                                break;
-                            }
-                        }
-                        self.values[row + qi] = acc;
-                    }
-                }
-                CompiledKind::Sum => {
-                    let (s, e) = (spn.child_start[node] as usize, spn.child_end[node] as usize);
-                    for qi in 0..n_q {
-                        let mut acc = 0.0;
-                        for (k, &child) in spn.children[s..e].iter().enumerate() {
-                            let w = spn.weights[s + k];
-                            if w == 0.0 {
-                                continue;
-                            }
-                            acc += w * self.values[child as usize * n_q + qi];
-                        }
-                        self.values[row + qi] = acc;
-                    }
-                }
-            }
-        }
-
-        out.copy_from_slice(&self.values[(n_nodes - 1) * n_q..]);
+    /// Pooled-tile entry: sweep one tile against a **job-wide** leaf-value
+    /// table built by the submitter (`base` = the tile's offset within the
+    /// job's query batch), so tiles never re-evaluate shared leaf work.
+    pub(crate) fn evaluate_chunk_shared(
+        &mut self,
+        spn: &CompiledSpn,
+        queries: &[SpnQuery],
+        table: &LeafValueTable,
+        base: usize,
+        out: &mut [f64],
+    ) {
+        chunk(&mut self.scratch, table, spn, queries, base, out, true);
     }
 }
 
-/// One model's share of a fused multi-model sweep: an expectation-probe
-/// batch **and** a max-product probe batch against one compiled arena, each
-/// with a caller-owned output slice of the same length. Both batches belong
-/// to the same logical sweep — the model's sweep counter advances once per
-/// job, no matter which probe kinds it carries.
-pub struct SweepJob<'a> {
-    pub spn: &'a CompiledSpn,
-    pub queries: &'a [SpnQuery],
-    pub out: &'a mut [f64],
-    /// Max-product probes riding the same sweep (classification / MPE).
-    pub mpe: &'a [MpeProbe],
-    pub mpe_out: &'a mut [MpeOutcome],
-}
-
-impl<'a> SweepJob<'a> {
-    /// Expectation-only job (the common AQP/cardinality shape).
-    pub fn expect(spn: &'a CompiledSpn, queries: &'a [SpnQuery], out: &'a mut [f64]) -> Self {
-        Self {
-            spn,
-            queries,
-            out,
-            mpe: &[],
-            mpe_out: &mut [],
-        }
-    }
-}
-
-/// A unit of worker work: one tile of one probe kind against one model.
-enum Tile<'a> {
-    Expect(&'a CompiledSpn, &'a [SpnQuery], &'a mut [f64]),
-    Mpe(&'a CompiledSpn, &'a [MpeProbe], &'a mut [MpeOutcome]),
-}
-
-/// Per-worker scratch: one evaluator per probe kind, reused across tiles.
-#[derive(Default)]
-struct WorkerScratch {
-    expect: BatchEvaluator,
-    maxprod: MaxProductEvaluator,
-}
-
-impl WorkerScratch {
-    fn run(&mut self, tile: Tile<'_>) {
-        match tile {
-            Tile::Expect(spn, queries, out) => self.expect.evaluate_chunk(spn, queries, out),
-            Tile::Mpe(spn, probes, out) => self.maxprod.evaluate_chunk(spn, probes, out),
-        }
-    }
-}
-
-/// Execute one fused sweep per job, with the [`SWEEP_TILE`]-sized tiles of
-/// **all** jobs load-balanced across up to `threads` scoped worker threads
-/// (`std::thread::scope`; no pool retained between calls). Each worker owns
-/// its own [`BatchEvaluator`] scratch, so evaluation only needs `&CompiledSpn`.
-///
-/// Results are bitwise identical for every thread count (including the
-/// inline `threads <= 1` path): a query's value depends only on its own
-/// normalized slots and its own scratch column, never on tile-mates or
-/// scheduling order, and each tile writes a disjoint output range.
-pub fn sweep_models(jobs: Vec<SweepJob<'_>>, threads: usize) {
-    // Split every job into independent per-kind tiles.
-    let mut tiles: Vec<Tile<'_>> = Vec::new();
-    for job in jobs {
-        let SweepJob {
-            spn,
-            mut queries,
-            mut out,
-            mut mpe,
-            mut mpe_out,
-        } = job;
-        assert_eq!(queries.len(), out.len(), "sweep job arity mismatch");
-        assert_eq!(mpe.len(), mpe_out.len(), "sweep job MPE arity mismatch");
-        if queries.is_empty() && mpe.is_empty() {
-            continue;
-        }
-        // Both probe kinds of one job are one fused sweep of the model.
-        spn.note_sweep();
-        while !queries.is_empty() {
-            let k = queries.len().min(SWEEP_TILE);
-            let (q_head, q_tail) = queries.split_at(k);
-            let (o_head, o_tail) = std::mem::take(&mut out).split_at_mut(k);
-            tiles.push(Tile::Expect(spn, q_head, o_head));
-            queries = q_tail;
-            out = o_tail;
-        }
-        while !mpe.is_empty() {
-            let k = mpe.len().min(SWEEP_TILE);
-            let (p_head, p_tail) = mpe.split_at(k);
-            let (o_head, o_tail) = std::mem::take(&mut mpe_out).split_at_mut(k);
-            tiles.push(Tile::Mpe(spn, p_head, o_head));
-            mpe = p_tail;
-            mpe_out = o_tail;
-        }
-    }
-
-    let workers = threads.max(1).min(tiles.len());
-    if workers <= 1 {
-        let mut scratch = WorkerScratch::default();
-        for tile in tiles {
-            scratch.run(tile);
-        }
+fn chunk(
+    scratch: &mut SweepScratch,
+    table: &LeafValueTable,
+    spn: &CompiledSpn,
+    queries: &[SpnQuery],
+    base: usize,
+    out: &mut [f64],
+    simd: bool,
+) {
+    assert_eq!(queries.len(), out.len(), "output slice arity mismatch");
+    if queries.is_empty() {
         return;
     }
-
-    // Work-stealing over the tile list: tiles are coarse (SWEEP_TILE queries
-    // × whole arena), so a Mutex'd stack is contention-free in practice.
-    let queue = Mutex::new(tiles);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
-                let mut scratch = WorkerScratch::default();
-                loop {
-                    let tile = queue.lock().expect("sweep queue poisoned").pop();
-                    match tile {
-                        Some(tile) => scratch.run(tile),
-                        None => break,
-                    }
-                }
-            });
-        }
-    });
+    scratch.sweep::<Expectation>(spn, queries, table, base, simd);
+    out.copy_from_slice(scratch.root_values());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ColumnMeta, DataView, LeafPred, Spn, SpnParams};
+    use crate::maxprod::{MaxProductEvaluator, MpeOutcome, MpeProbe};
+    use crate::{sweep_models, ColumnMeta, DataView, LeafFunc, LeafPred, Spn, SpnParams, SweepJob};
 
     fn small_spn() -> Spn {
         let cols = vec![
@@ -328,6 +202,88 @@ mod tests {
                 batch[i]
             );
         }
+    }
+
+    #[test]
+    fn simd_and_scalar_kernels_agree_bitwise() {
+        let spn = small_spn();
+        let compiled = spn.compile();
+        // Batch sizes straddling tile and lane boundaries, including the
+        // degenerate single-query lane.
+        let base = probe_mix();
+        for n in [1, 2, 3, 4, 5, 31, 32, 33, 65] {
+            let queries: Vec<SpnQuery> = (0..n).map(|i| base[i % base.len()].clone()).collect();
+            let mut ev = BatchEvaluator::new();
+            let simd = ev.evaluate(&compiled, &queries);
+            let scalar = ev.evaluate_scalar(&compiled, &queries);
+            let simd_bits: Vec<u64> = simd.iter().map(|v| v.to_bits()).collect();
+            let scalar_bits: Vec<u64> = scalar.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(simd_bits, scalar_bits, "batch size {n}");
+        }
+    }
+
+    /// Degenerate structures the SIMD kernels must not mishandle:
+    /// single-child sum and product runs, and an all-zero-weight sum node
+    /// (every edge skipped → the node evaluates to exactly 0.0).
+    #[test]
+    fn degenerate_nodes_agree_simd_scalar_recursive() {
+        use crate::node::{Node, ProductNode, SumNode};
+        use crate::Leaf;
+        fn leaf_over(values: &[f64], col: usize) -> Leaf {
+            let cols = vec![values.to_vec()];
+            let meta = vec![ColumnMeta::discrete("x")];
+            let data = DataView::new(&cols, &meta);
+            let rows: Vec<u32> = (0..values.len() as u32).collect();
+            let mut leaf = Leaf::build(&data, &rows, 0, 1000, 16);
+            leaf.col = col;
+            leaf
+        }
+        // root sum ── single-child product ── single-child sum ── leaf(col 0)
+        //          └─ zero-weight leaf(col 0)        (counts [4, 0])
+        let root = Node::Sum(SumNode {
+            scope: vec![0],
+            children: vec![
+                Node::Product(ProductNode {
+                    scope: vec![0],
+                    children: vec![Node::Sum(SumNode {
+                        scope: vec![0],
+                        children: vec![Node::Leaf(leaf_over(&[1.0, 1.0, 2.0, 5.0], 0))],
+                        counts: vec![4],
+                        centroids: vec![vec![0.0]],
+                        norm: vec![(0.0, 1.0)],
+                    })],
+                }),
+                Node::Leaf(leaf_over(&[9.0], 0)),
+            ],
+            counts: vec![4, 0],
+            centroids: vec![vec![-1.0], vec![1.0]],
+            norm: vec![(0.0, 1.0)],
+        });
+        let mut spn = crate::Spn::new(root, vec![ColumnMeta::discrete("x")], 4);
+        let compiled = spn.compile();
+        // 33 queries straddle a tile boundary AND leave a partial lane.
+        let queries: Vec<SpnQuery> = (0..33)
+            .map(|i| match i % 4 {
+                0 => SpnQuery::new(1),
+                1 => SpnQuery::new(1).with_pred(0, LeafPred::eq(1.0)),
+                2 => SpnQuery::new(1).with_pred(0, LeafPred::eq(9.0)), // zero-weight branch only
+                _ => SpnQuery::new(1).with_func(0, LeafFunc::X),
+            })
+            .collect();
+        let mut ev = BatchEvaluator::new();
+        let simd = ev.evaluate(&compiled, &queries);
+        let scalar = ev.evaluate_scalar(&compiled, &queries);
+        for (i, (s, c)) in simd.iter().zip(&scalar).enumerate() {
+            assert_eq!(s.to_bits(), c.to_bits(), "query {i}: simd vs scalar");
+            let want = spn.evaluate(&queries[i]);
+            assert!(
+                (s - want).abs() < 1e-12,
+                "query {i}: {s} vs recursive {want}"
+            );
+        }
+        // The zero-weight branch is dead: probability of its exclusive
+        // value is exactly 0 on every path.
+        assert_eq!(simd[2].to_bits(), 0.0f64.to_bits());
     }
 
     #[test]

@@ -131,6 +131,29 @@ impl NormPred {
         np
     }
 
+    /// Structural equality by float *bits* (NaN-safe, `±0.0`-distinguishing).
+    /// Used by the sweep kernels to dedup identical per-(query, column)
+    /// slots: bits-equal predicates make [`Leaf::expect_norm`] return
+    /// bits-equal values, so one evaluation can serve every query sharing
+    /// the slot. A false negative only costs a redundant evaluation.
+    pub(crate) fn bits_eq(&self, other: &NormPred) -> bool {
+        fn vec_bits_eq(a: &[f64], b: &[f64]) -> bool {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        }
+        self.lo.to_bits() == other.lo.to_bits()
+            && self.hi.to_bits() == other.hi.to_bits()
+            && self.lo_strict == other.lo_strict
+            && self.hi_strict == other.hi_strict
+            && self.want_null == other.want_null
+            && self.want_not_null == other.want_not_null
+            && vec_bits_eq(&self.not_in, &other.not_in)
+            && match (&self.in_set, &other.in_set) {
+                (None, None) => true,
+                (Some(a), Some(b)) => vec_bits_eq(a, b),
+                _ => false,
+            }
+    }
+
     fn value_passes(&self, v: f64) -> bool {
         if v < self.lo || (v == self.lo && self.lo_strict) {
             return false;

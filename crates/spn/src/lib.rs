@@ -33,11 +33,21 @@
 //!   against the arena's O(1) cached leaf modes. Tie-breaking is
 //!   deterministic (lowest child index wins) and shared with the recursive
 //!   oracle, so both agree bitwise;
-//! * [`sweep_models`] — one fused sweep per compiled model with the tiles of
-//!   all models (expectation **and** MPE probes alike) load-balanced across
-//!   scoped worker threads; the execution engine of `deepdb-core`'s probe
-//!   plans. Evaluation is `&self`-safe (scratch lives in per-worker
-//!   evaluators), and results are bitwise identical for every thread count.
+//! * `kernel` (internal) — both evaluators run one shared sweep skeleton
+//!   parameterized by per-node-run semiring kernels
+//!   (`LeafKernel`/`SumKernel`/`ProductKernel` for (+, ×) and (max, ×)):
+//!   consecutive same-kind arena nodes are dispatched as one kernel call,
+//!   and the inner kernels process four query lanes at a time with
+//!   explicit-lane (`f64x4`-style) arithmetic that is **bitwise identical**
+//!   to the scalar reference path (`evaluate_scalar`) — no FMA contraction,
+//!   no reassociation, zero-skips as lanewise freezes;
+//! * [`sweep_models`] / [`WorkerPool`] — one fused sweep per compiled model
+//!   with the tiles of all models (expectation **and** MPE probes alike)
+//!   load-balanced across a **persistent worker pool**: workers keep pinned
+//!   evaluator scratch for their lifetime, claim tiles off an atomic
+//!   cursor, and park between jobs; the execution engine of `deepdb-core`'s
+//!   probe plans. Evaluation is `&self`-safe, and results are bitwise
+//!   identical for every thread count and kernel flavor.
 //!
 //! The SPN operates on an opaque `f64` matrix (NaN = NULL); the relational
 //! interpretation (tables, tuple factors, join indicators) lives in
@@ -47,18 +57,20 @@ mod arena;
 mod batch;
 mod data;
 mod infer;
+mod kernel;
 mod kmeans;
 mod leaf;
 mod learn;
 pub(crate) mod maxprod;
 mod node;
+pub mod pool;
 pub mod rdc;
 mod serialize;
 mod update;
 pub mod wire;
 
 pub use arena::CompiledSpn;
-pub use batch::{sweep_models, BatchEvaluator, SweepJob, SWEEP_TILE};
+pub use batch::{BatchEvaluator, SWEEP_TILE};
 pub use data::{ColumnMeta, DataView};
 pub use infer::{LeafFunc, LeafPred, Slot, SpnQuery};
 pub use kmeans::{kmeans_two, KMeansResult};
@@ -66,3 +78,4 @@ pub use leaf::Leaf;
 pub use learn::SpnParams;
 pub use maxprod::{MaxProductEvaluator, MpeOutcome, MpeProbe};
 pub use node::{Node, ProductNode, Spn, SumNode};
+pub use pool::{default_threads, sweep_models, SweepJob, WorkerPool};

@@ -11,23 +11,23 @@
 //! its mode is a single O(1) lookup in the arena's cached
 //! [`crate::CompiledSpn`] `leaf_mode` table (rebuilt by `commit_patch`
 //! whenever updates touch a leaf). No recursion, no second top-down pass,
-//! no per-visit allocation.
+//! no per-visit allocation. Both semirings run the same sweep skeleton and
+//! lane-structured kernels ([`crate::kernel`]); the scalar reference path
+//! survives as [`MaxProductEvaluator::evaluate_scalar`].
 //!
 //! Determinism: at a sum node the **lowest-index child wins ties** (a later
 //! child must score *strictly* higher to replace the incumbent), and the
 //! frozen `count/total` mixture weight multiplies the child score in exactly
 //! the order the recursive oracle in [`crate::infer`] uses — so compiled and
 //! recursive MPE agree **bitwise** (score and value), which
-//! `tests/prop_mpe.rs` enforces. Results are also independent of tiling and
-//! thread count: a probe reads only its own slots and scratch column.
+//! `tests/prop_mpe.rs` enforces. Results are also independent of kernel
+//! flavor (SIMD vs scalar), tiling, and thread count: a probe reads only its
+//! own slots and its own scratch lane.
 
-use crate::arena::{CompiledKind, CompiledSpn};
+use crate::arena::CompiledSpn;
 use crate::batch::SWEEP_TILE;
-use crate::leaf::NormPred;
-use crate::{LeafFunc, SpnQuery};
-
-/// Sentinel leaf payload id: "no target leaf on this branch".
-const NO_LEAF: u32 = u32::MAX;
+use crate::kernel::{LeafValueTable, MaxProduct, SweepScratch, NO_LEAF};
+use crate::SpnQuery;
 
 /// One max-product probe: evidence (an [`SpnQuery`]) plus the column whose
 /// most probable value is wanted. Any slot the query carries on the target
@@ -67,16 +67,14 @@ impl Default for MpeOutcome {
 }
 
 /// Reusable scratch for batched arena max-product evaluation; the MPE twin
-/// of [`crate::BatchEvaluator`], with the same tiling and hoisting scheme.
+/// of [`crate::BatchEvaluator`], with the same tiling scheme and per-batch
+/// leaf-value table.
 #[derive(Debug, Clone, Default)]
 pub struct MaxProductEvaluator {
-    /// `n_nodes × tile` best-branch scores, node-major.
-    scores: Vec<f64>,
-    /// `n_nodes × tile` target-leaf payload on the best branch (`NO_LEAF`
-    /// when the subtree holds no target leaf).
-    best_leaf: Vec<u32>,
-    /// `tile × n_cols` compiled slots, hoisted once per (probe, column).
-    slots: Vec<Option<(LeafFunc, NormPred)>>,
+    scratch: SweepScratch,
+    /// Per-batch (leaf × distinct slot) value table for self-contained
+    /// evaluations; pooled sweeps pass a job-wide table in instead.
+    table: LeafValueTable,
 }
 
 impl MaxProductEvaluator {
@@ -100,14 +98,38 @@ impl MaxProductEvaluator {
         probes: &[MpeProbe],
         out: &mut Vec<MpeOutcome>,
     ) {
+        self.evaluate_into_impl(spn, probes, out, true);
+    }
+
+    /// Scalar-kernel twin of [`MaxProductEvaluator::evaluate`]: the
+    /// reference path the SIMD kernels are differentially tested against
+    /// (results are bitwise identical). Counts as one fused sweep.
+    pub fn evaluate_scalar(&mut self, spn: &CompiledSpn, probes: &[MpeProbe]) -> Vec<MpeOutcome> {
+        let mut out = Vec::new();
+        self.evaluate_into_impl(spn, probes, &mut out, false);
+        out
+    }
+
+    fn evaluate_into_impl(
+        &mut self,
+        spn: &CompiledSpn,
+        probes: &[MpeProbe],
+        out: &mut Vec<MpeOutcome>,
+        simd: bool,
+    ) {
         out.clear();
         if probes.is_empty() {
             return;
         }
         spn.note_sweep();
         out.resize(probes.len(), MpeOutcome::default());
+        // Leaf values are evaluated once per (leaf, distinct slot) for the
+        // WHOLE batch; the per-tile sweeps below only gather from the table.
+        self.table.build::<MaxProduct>(spn, probes);
+        let mut base = 0;
         for (tile, dst) in probes.chunks(SWEEP_TILE).zip(out.chunks_mut(SWEEP_TILE)) {
-            self.evaluate_chunk(spn, tile, dst);
+            chunk(&mut self.scratch, &self.table, spn, tile, base, dst, simd);
+            base += tile.len();
         }
     }
 
@@ -121,110 +143,60 @@ impl MaxProductEvaluator {
         probes: &[MpeProbe],
         out: &mut [MpeOutcome],
     ) {
-        let n_q = probes.len();
-        assert_eq!(n_q, out.len(), "output slice arity mismatch");
-        if n_q == 0 {
-            return;
-        }
-        let n_cols = spn.n_columns();
-        for p in probes {
-            assert_eq!(p.query.n_cols(), n_cols, "probe arity mismatch");
-            assert!(p.target < n_cols, "MPE target column out of range");
-        }
+        self.table.build::<MaxProduct>(spn, probes);
+        chunk(&mut self.scratch, &self.table, spn, probes, 0, out, true);
+    }
 
-        // Hoist predicate normalization: once per (probe, column).
-        self.slots.clear();
-        self.slots.reserve(n_q * n_cols);
-        for p in probes {
-            for col in 0..n_cols {
-                self.slots.push(
-                    p.query
-                        .slot(col)
-                        .map(|s| (s.func.unwrap_or(LeafFunc::One), NormPred::new(&s.preds))),
-                );
-            }
-        }
+    /// Scalar-kernel twin of [`MaxProductEvaluator::evaluate_chunk`].
+    pub fn evaluate_chunk_scalar(
+        &mut self,
+        spn: &CompiledSpn,
+        probes: &[MpeProbe],
+        out: &mut [MpeOutcome],
+    ) {
+        self.table.build::<MaxProduct>(spn, probes);
+        chunk(&mut self.scratch, &self.table, spn, probes, 0, out, false);
+    }
 
-        let n_nodes = spn.n_nodes();
-        self.scores.clear();
-        self.scores.resize(n_nodes * n_q, 0.0);
-        self.best_leaf.clear();
-        self.best_leaf.resize(n_nodes * n_q, NO_LEAF);
+    /// Pooled-tile entry: sweep one tile against a **job-wide** leaf-value
+    /// table built by the submitter (`base` = the tile's offset within the
+    /// job's probe batch), so tiles never re-evaluate shared leaf work.
+    pub(crate) fn evaluate_chunk_shared(
+        &mut self,
+        spn: &CompiledSpn,
+        probes: &[MpeProbe],
+        table: &LeafValueTable,
+        base: usize,
+        out: &mut [MpeOutcome],
+    ) {
+        chunk(&mut self.scratch, table, spn, probes, base, out, true);
+    }
+}
 
-        // Single forward sweep: children always precede parents.
-        for node in 0..n_nodes {
-            let row = node * n_q;
-            match spn.kinds[node] {
-                CompiledKind::Leaf => {
-                    let payload = spn.leaf_of[node] as usize;
-                    let leaf = &spn.leaves[payload];
-                    let col = spn.leaf_col[payload] as usize;
-                    for (qi, probe) in probes.iter().enumerate() {
-                        if probe.target == col {
-                            // Target leaves contribute score 1 and resolve
-                            // the branch's value, exactly like the oracle.
-                            self.scores[row + qi] = 1.0;
-                            self.best_leaf[row + qi] = payload as u32;
-                        } else {
-                            self.scores[row + qi] = match &self.slots[qi * n_cols + col] {
-                                None => 1.0,
-                                Some((func, np)) => leaf.expect_norm(*func, np),
-                            };
-                        }
-                    }
-                }
-                CompiledKind::Product => {
-                    let (s, e) = (spn.child_start[node] as usize, spn.child_end[node] as usize);
-                    for qi in 0..n_q {
-                        let mut acc = 1.0;
-                        let mut leaf = NO_LEAF;
-                        for &child in &spn.children[s..e] {
-                            acc *= self.scores[child as usize * n_q + qi];
-                            if leaf == NO_LEAF {
-                                leaf = self.best_leaf[child as usize * n_q + qi];
-                            }
-                        }
-                        self.scores[row + qi] = acc;
-                        self.best_leaf[row + qi] = leaf;
-                    }
-                }
-                CompiledKind::Sum => {
-                    let (s, e) = (spn.child_start[node] as usize, spn.child_end[node] as usize);
-                    for qi in 0..n_q {
-                        // Lowest-index child wins ties: only a strictly
-                        // higher weighted score replaces the incumbent.
-                        let mut found = false;
-                        let mut best_score = 0.0;
-                        let mut best = NO_LEAF;
-                        for (k, &child) in spn.children[s..e].iter().enumerate() {
-                            let w = spn.weights[s + k];
-                            if w == 0.0 {
-                                continue;
-                            }
-                            let weighted = w * self.scores[child as usize * n_q + qi];
-                            if !found || weighted > best_score {
-                                found = true;
-                                best_score = weighted;
-                                best = self.best_leaf[child as usize * n_q + qi];
-                            }
-                        }
-                        self.scores[row + qi] = best_score;
-                        self.best_leaf[row + qi] = best;
-                    }
-                }
-            }
-        }
-
-        let root = (n_nodes - 1) * n_q;
-        for (qi, slot) in out.iter_mut().enumerate() {
-            *slot = MpeOutcome {
-                score: self.scores[root + qi],
-                value: match self.best_leaf[root + qi] {
-                    NO_LEAF => None,
-                    payload => spn.leaf_mode(payload),
-                },
-            };
-        }
+fn chunk(
+    scratch: &mut SweepScratch,
+    table: &LeafValueTable,
+    spn: &CompiledSpn,
+    probes: &[MpeProbe],
+    base: usize,
+    out: &mut [MpeOutcome],
+    simd: bool,
+) {
+    assert_eq!(probes.len(), out.len(), "output slice arity mismatch");
+    if probes.is_empty() {
+        return;
+    }
+    scratch.sweep::<MaxProduct>(spn, probes, table, base, simd);
+    let scores = scratch.root_values();
+    let leaves = scratch.root_aux();
+    for ((slot, &score), &leaf) in out.iter_mut().zip(scores).zip(leaves) {
+        *slot = MpeOutcome {
+            score,
+            value: match leaf {
+                NO_LEAF => None,
+                payload => spn.leaf_mode(payload),
+            },
+        };
     }
 }
 
@@ -277,6 +249,35 @@ mod tests {
         assert_eq!(leaf.mode(), Some(1.0));
     }
 
+    /// All-zero-weight sum node: no child ever becomes the incumbent, so
+    /// the score is 0 and no target leaf resolves — on the SIMD and scalar
+    /// kernels alike.
+    #[test]
+    fn all_zero_weight_sum_yields_empty_outcome() {
+        let root = Node::Sum(SumNode {
+            scope: vec![0],
+            children: vec![
+                Node::Leaf(leaf_over(&[7.0, 7.0], 0)),
+                Node::Leaf(leaf_over(&[3.0], 0)),
+            ],
+            counts: vec![0, 0],
+            centroids: vec![vec![-1.0], vec![1.0]],
+            norm: vec![(0.0, 1.0)],
+        });
+        let spn = Spn::new(root, vec![ColumnMeta::discrete("x")], 0);
+        let compiled = spn.compile();
+        let probes: Vec<MpeProbe> = (0..33)
+            .map(|_| MpeProbe::new(0, SpnQuery::new(1)))
+            .collect();
+        let simd = MaxProductEvaluator::new().evaluate(&compiled, &probes);
+        let scalar = MaxProductEvaluator::new().evaluate_scalar(&compiled, &probes);
+        assert_eq!(simd, scalar);
+        for got in &simd {
+            assert_eq!(got.score.to_bits(), 0.0f64.to_bits());
+            assert_eq!(got.value, None);
+        }
+    }
+
     #[test]
     fn compiled_mpe_matches_oracle_on_learned_model() {
         let cols = vec![
@@ -326,6 +327,12 @@ mod tests {
             let (score, value) = spn.mpe_outcome(p.target, &p.query);
             assert_eq!(got[i].value, value, "probe {i}");
             assert_eq!(got[i].score.to_bits(), score.to_bits(), "probe {i}");
+        }
+        // SIMD and scalar kernels agree bitwise across the whole batch.
+        let scalar = MaxProductEvaluator::new().evaluate_scalar(&compiled, &probes);
+        for (i, (a, b)) in got.iter().zip(&scalar).enumerate() {
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "probe {i}");
+            assert_eq!(a.value, b.value, "probe {i}");
         }
     }
 

@@ -1,0 +1,573 @@
+//! Persistent worker pool for fused multi-model sweeps.
+//!
+//! [`sweep_models`] used to spawn fresh scoped threads behind a
+//! `Mutex<Vec>` tile queue on every call — measurable fixed overhead that
+//! made small multi-threaded probe plans *slower* than running inline. This
+//! module replaces it with a [`WorkerPool`] that keeps its workers alive
+//! across sweeps:
+//!
+//! * **pinned scratch** — each worker owns one [`WorkerScratch`] (a
+//!   [`BatchEvaluator`] plus a [`MaxProductEvaluator`]) for its whole
+//!   lifetime, so steady-state sweeps allocate nothing. The submitting
+//!   thread participates too, with a thread-local scratch of its own.
+//! * **atomic tile cursor** — tiles are claimed by `fetch_add` on a shared
+//!   counter instead of popping a locked stack; claiming a tile is one
+//!   uncontended atomic op.
+//! * **park/unpark idling** — idle workers block on a condvar and are woken
+//!   only when a job is published; an idle pool burns no CPU.
+//!
+//! Jobs are published as epochs: the submitter installs a tile-claiming
+//! closure under the pool lock, wakes the workers, helps drain the cursor
+//! itself, then closes the job and waits until every worker that joined the
+//! epoch has retired before returning — which is what makes it sound to
+//! hand workers short-lived tile borrows. A panic inside any tile is caught,
+//! the job still drains, and the payload is rethrown on the submitting
+//! thread.
+//!
+//! Determinism is unchanged from the scoped-thread implementation: a tile's
+//! result depends only on its own probes and its own scratch, never on which
+//! worker ran it or in what order, so every thread count (including the
+//! inline `threads <= 1` path) produces bitwise-identical results.
+//!
+//! One process-wide pool ([`WorkerPool::global`]) serves the free
+//! [`sweep_models`] function; embedders that want isolation (e.g. one pool
+//! per `Ensemble`) construct their own with [`WorkerPool::new`].
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+use crate::arena::CompiledSpn;
+use crate::batch::{BatchEvaluator, SWEEP_TILE};
+use crate::kernel::{Expectation, LeafValueTable, MaxProduct};
+use crate::maxprod::{MaxProductEvaluator, MpeOutcome, MpeProbe};
+use crate::SpnQuery;
+
+/// Upper bound on pool workers — a backstop against pathological `threads`
+/// arguments, far above any realistic sweep parallelism.
+const MAX_WORKERS: usize = 32;
+
+/// Default worker-thread count for sweeps when callers pass `threads == 0`:
+/// the host's available parallelism, clamped to `[1, 16]` (sweep tiles are
+/// coarse; past ~16 workers the tile count, not the host, is the limit).
+/// Probed once per process.
+pub fn default_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 16)
+    })
+}
+
+/// One model's share of a fused multi-model sweep: an expectation-probe
+/// batch **and** a max-product probe batch against one compiled arena, each
+/// with a caller-owned output slice of the same length. Both batches belong
+/// to the same logical sweep — the model's sweep counter advances once per
+/// job, no matter which probe kinds it carries.
+pub struct SweepJob<'a> {
+    pub spn: &'a CompiledSpn,
+    pub queries: &'a [SpnQuery],
+    pub out: &'a mut [f64],
+    /// Max-product probes riding the same sweep (classification / MPE).
+    pub mpe: &'a [MpeProbe],
+    pub mpe_out: &'a mut [MpeOutcome],
+}
+
+impl<'a> SweepJob<'a> {
+    /// Expectation-only job (the common AQP/cardinality shape).
+    pub fn expect(spn: &'a CompiledSpn, queries: &'a [SpnQuery], out: &'a mut [f64]) -> Self {
+        Self {
+            spn,
+            queries,
+            out,
+            mpe: &[],
+            mpe_out: &mut [],
+        }
+    }
+}
+
+/// A unit of worker work: one tile of one probe kind against one model,
+/// plus the job-wide leaf-value table the tile gathers from and the tile's
+/// probe offset within its job batch.
+enum Tile<'a> {
+    Expect(
+        &'a CompiledSpn,
+        &'a [SpnQuery],
+        &'a mut [f64],
+        &'a LeafValueTable,
+        usize,
+    ),
+    Mpe(
+        &'a CompiledSpn,
+        &'a [MpeProbe],
+        &'a mut [MpeOutcome],
+        &'a LeafValueTable,
+        usize,
+    ),
+}
+
+/// Per-worker evaluator scratch, pinned to its worker (or to the submitting
+/// thread) for the thread's lifetime so sweeps are allocation-free at
+/// steady state.
+#[derive(Default)]
+struct WorkerScratch {
+    expect: BatchEvaluator,
+    maxprod: MaxProductEvaluator,
+}
+
+impl WorkerScratch {
+    fn run(&mut self, tile: &mut Tile<'_>) {
+        match tile {
+            Tile::Expect(spn, queries, out, table, base) => self
+                .expect
+                .evaluate_chunk_shared(spn, queries, table, *base, out),
+            Tile::Mpe(spn, probes, out, table, base) => self
+                .maxprod
+                .evaluate_chunk_shared(spn, probes, table, *base, out),
+        }
+    }
+}
+
+thread_local! {
+    /// The submitting thread's own pinned scratch — it drains tiles
+    /// alongside the workers.
+    static SUBMITTER_SCRATCH: RefCell<WorkerScratch> = RefCell::new(WorkerScratch::default());
+}
+
+/// A tile-claiming closure: returns `false` once the cursor is exhausted.
+/// The `'static` is a checked lie — see the completion handshake in
+/// [`WorkerPool::run_tiles`].
+type Task = dyn Fn(&mut WorkerScratch) -> bool + Sync;
+
+/// Pool state a job transitions through, guarded by one mutex.
+struct JobState {
+    /// Monotonic job id; workers join an epoch at most once.
+    epoch: u64,
+    /// The open job's tile-claiming closure; `None` while idle/closed.
+    task: Option<&'static Task>,
+    /// Workers that observed this epoch and entered the job.
+    joined: usize,
+    /// Workers that finished the job (no further tile accesses).
+    completed: usize,
+    /// First panic payload raised inside a worker's tile, if any.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    job: Mutex<JobState>,
+    /// Workers park here between jobs.
+    work: Condvar,
+    /// The submitter parks here while draining stragglers.
+    done: Condvar,
+}
+
+impl Shared {
+    fn lock_job(&self) -> MutexGuard<'_, JobState> {
+        // Tile panics are caught before the lock is re-taken, so the state
+        // is never torn; recover instead of cascading the poison.
+        self.job.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Raw tile-slice pointer smuggled into the job closure. Safety argument in
+/// [`WorkerPool::run_tiles`].
+struct TilePtr(*mut Tile<'static>);
+unsafe impl Send for TilePtr {}
+unsafe impl Sync for TilePtr {}
+
+impl TilePtr {
+    /// Accessor (rather than a public field) so closures capture the whole
+    /// `Send + Sync` wrapper, not the bare pointer field.
+    fn get(&self) -> *mut Tile<'static> {
+        self.0
+    }
+}
+
+/// A persistent sweep worker pool. Workers are spawned lazily on first
+/// parallel use (up to the requested thread count), park between jobs, and
+/// live until the pool is dropped. Dropping the pool (or process exit for
+/// [`WorkerPool::global`]) shuts the workers down.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Serializes submissions: one fused sweep owns the workers at a time.
+    submit: Mutex<()>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let workers = self.workers.lock().map(|w| w.len()).unwrap_or(0);
+        f.debug_struct("WorkerPool")
+            .field("workers", &workers)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// An empty pool: no threads until the first parallel sweep asks for
+    /// them.
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                job: Mutex::new(JobState {
+                    epoch: 0,
+                    task: None,
+                    joined: 0,
+                    completed: 0,
+                    panic: None,
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                done: Condvar::new(),
+            }),
+            workers: Mutex::new(Vec::new()),
+            submit: Mutex::new(()),
+        }
+    }
+
+    /// The process-wide pool behind [`sweep_models`].
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(WorkerPool::new)
+    }
+
+    /// Execute one fused sweep per job, the tiles of **all** jobs
+    /// load-balanced across up to `threads` threads (the submitting thread
+    /// included). `threads == 0` means [`default_threads`]. Results are
+    /// bitwise identical for every thread count.
+    pub fn sweep(&self, jobs: Vec<SweepJob<'_>>, threads: usize) {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        // Build one job-wide leaf-value table per probe kind per job on the
+        // submitting thread: every (leaf, distinct slot) pair is evaluated
+        // exactly once per job, and the tiles below only gather from it.
+        let mut tables: Vec<(LeafValueTable, LeafValueTable)> = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            let mut t = (LeafValueTable::default(), LeafValueTable::default());
+            if !job.queries.is_empty() {
+                t.0.build::<Expectation>(job.spn, job.queries);
+            }
+            if !job.mpe.is_empty() {
+                t.1.build::<MaxProduct>(job.spn, job.mpe);
+            }
+            tables.push(t);
+        }
+        // Split every job into independent per-kind tiles.
+        let mut tiles: Vec<Tile<'_>> = Vec::new();
+        for (job, tabs) in jobs.into_iter().zip(&tables) {
+            let SweepJob {
+                spn,
+                mut queries,
+                mut out,
+                mut mpe,
+                mut mpe_out,
+            } = job;
+            assert_eq!(queries.len(), out.len(), "sweep job arity mismatch");
+            assert_eq!(mpe.len(), mpe_out.len(), "sweep job MPE arity mismatch");
+            if queries.is_empty() && mpe.is_empty() {
+                continue;
+            }
+            // Both probe kinds of one job are one fused sweep of the model.
+            spn.note_sweep();
+            let mut base = 0;
+            while !queries.is_empty() {
+                let k = queries.len().min(SWEEP_TILE);
+                let (q_head, q_tail) = queries.split_at(k);
+                let (o_head, o_tail) = std::mem::take(&mut out).split_at_mut(k);
+                tiles.push(Tile::Expect(spn, q_head, o_head, &tabs.0, base));
+                queries = q_tail;
+                out = o_tail;
+                base += k;
+            }
+            let mut base = 0;
+            while !mpe.is_empty() {
+                let k = mpe.len().min(SWEEP_TILE);
+                let (p_head, p_tail) = mpe.split_at(k);
+                let (o_head, o_tail) = std::mem::take(&mut mpe_out).split_at_mut(k);
+                tiles.push(Tile::Mpe(spn, p_head, o_head, &tabs.1, base));
+                mpe = p_tail;
+                mpe_out = o_tail;
+                base += k;
+            }
+        }
+        self.run_tiles(&mut tiles, threads);
+    }
+
+    /// Drain `tiles` across the submitting thread plus up to `threads - 1`
+    /// pool workers.
+    fn run_tiles(&self, tiles: &mut [Tile<'_>], threads: usize) {
+        let n = tiles.len();
+        let helpers = threads.clamp(1, MAX_WORKERS).min(n.max(1)) - 1;
+        if helpers == 0 {
+            // Inline path: no handoff, no locks; same per-tile arithmetic.
+            SUBMITTER_SCRATCH.with(|s| {
+                let scratch = &mut *s.borrow_mut();
+                for tile in tiles.iter_mut() {
+                    scratch.run(tile);
+                }
+            });
+            return;
+        }
+
+        let _submit = self.submit.lock().unwrap_or_else(PoisonError::into_inner);
+        self.ensure_workers(helpers);
+
+        let cursor = AtomicUsize::new(0);
+        // SAFETY (lifetime erasure): workers only reach the tiles through
+        // `task` below. The closure hands each claimed index to exactly one
+        // thread (`fetch_add`), so tile accesses never alias; and before
+        // this function returns — whether the submitter's own drain panics
+        // or not — the job is closed and the submitter blocks until
+        // `completed == joined`, i.e. until no worker can touch `task` or
+        // the tiles again. The erased borrows therefore never outlive the
+        // data they point to.
+        let tiles_ptr = TilePtr(tiles.as_mut_ptr().cast());
+        let task = move |scratch: &mut WorkerScratch| -> bool {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                return false;
+            }
+            let tile = unsafe { &mut *tiles_ptr.get().add(i) };
+            scratch.run(tile);
+            true
+        };
+        let task_ref: &Task = &task;
+        let task_static: &'static Task = unsafe { std::mem::transmute(task_ref) };
+
+        {
+            let mut job = self.shared.lock_job();
+            job.epoch += 1;
+            job.task = Some(task_static);
+            job.joined = 0;
+            job.completed = 0;
+            job.panic = None;
+        }
+        self.shared.work.notify_all();
+
+        // The submitter drains tiles too, with its own pinned scratch. A
+        // panic here must not skip the close-and-wait handshake, so it is
+        // caught and rethrown after the stragglers retire.
+        let own = catch_unwind(AssertUnwindSafe(|| {
+            SUBMITTER_SCRATCH.with(|s| {
+                let scratch = &mut *s.borrow_mut();
+                while task(scratch) {}
+            })
+        }));
+
+        // Close the job and wait for every joined worker to retire.
+        let worker_panic = {
+            let mut job = self.shared.lock_job();
+            job.task = None;
+            while job.completed < job.joined {
+                job = self
+                    .shared
+                    .done
+                    .wait(job)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            job.panic.take()
+        };
+        if let Err(payload) = own {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Grow the worker set to at least `want` threads (never shrinks;
+    /// capped at [`MAX_WORKERS`]).
+    fn ensure_workers(&self, want: usize) {
+        let want = want.min(MAX_WORKERS);
+        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+        while workers.len() < want {
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("deepdb-sweep-{}", workers.len()))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn sweep worker");
+            workers.push(handle);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.lock_job().shutdown = true;
+        self.shared.work.notify_all();
+        let workers =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Body of one pool worker: park until a job epoch opens, drain its tile
+/// cursor with the pinned scratch, report completion, repeat.
+fn worker_loop(shared: Arc<Shared>) {
+    let mut scratch = WorkerScratch::default();
+    let mut seen = 0u64;
+    loop {
+        let task = {
+            let mut job = shared.lock_job();
+            loop {
+                if job.shutdown {
+                    return;
+                }
+                if job.epoch != seen {
+                    if let Some(task) = job.task {
+                        seen = job.epoch;
+                        job.joined += 1;
+                        break task;
+                    }
+                    // Epoch already closed before this worker woke: skip it.
+                    seen = job.epoch;
+                }
+                job = shared
+                    .work
+                    .wait(job)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| while task(&mut scratch) {}));
+        let mut job = shared.lock_job();
+        if let Err(payload) = result {
+            // The scratch may be mid-update; replace it wholesale.
+            scratch = WorkerScratch::default();
+            if job.panic.is_none() {
+                job.panic = Some(payload);
+            }
+        }
+        job.completed += 1;
+        shared.done.notify_all();
+    }
+}
+
+/// Execute one fused sweep per job on the process-wide [`WorkerPool`], the
+/// tiles of **all** jobs load-balanced across up to `threads` threads
+/// (`0` = [`default_threads`]). Each participating thread owns pinned
+/// evaluator scratch, so evaluation only needs `&CompiledSpn`.
+///
+/// Results are bitwise identical for every thread count (including the
+/// inline `threads <= 1` path): a query's value depends only on its own
+/// normalized slots and its own scratch column, never on tile-mates or
+/// scheduling order, and each tile writes a disjoint output range.
+pub fn sweep_models(jobs: Vec<SweepJob<'_>>, threads: usize) {
+    WorkerPool::global().sweep(jobs, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnMeta, DataView, LeafPred, Spn, SpnParams};
+
+    fn model() -> Spn {
+        let cols = vec![
+            vec![0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0, f64::NAN],
+            vec![10.0, 20.0, 30.0, 30.0, 40.0, 10.0, 20.0, 30.0],
+        ];
+        let meta = vec![ColumnMeta::discrete("a"), ColumnMeta::discrete("b")];
+        Spn::learn(DataView::new(&cols, &meta), &SpnParams::default())
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_sweeps() {
+        let spn = model();
+        let compiled = spn.compile();
+        let queries: Vec<SpnQuery> = (0..4 * SWEEP_TILE)
+            .map(|i| SpnQuery::new(2).with_pred(1, LeafPred::ge((i % 5) as f64 * 10.0)))
+            .collect();
+        let pool = WorkerPool::new();
+        let mut want = vec![0.0; queries.len()];
+        pool.sweep(vec![SweepJob::expect(&compiled, &queries, &mut want)], 1);
+        for round in 0..3 {
+            let mut got = vec![0.0; queries.len()];
+            pool.sweep(vec![SweepJob::expect(&compiled, &queries, &mut got)], 4);
+            assert_eq!(got, want, "round {round}");
+        }
+        // Lazy spawn: parallel sweeps grew the pool, but only to helpers-1.
+        let spawned = pool.workers.lock().unwrap().len();
+        assert!(
+            (1..=3).contains(&spawned),
+            "expected 1..=3 helpers, got {spawned}"
+        );
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let spn = model();
+        let compiled = spn.compile();
+        let queries: Vec<SpnQuery> = (0..3 * SWEEP_TILE).map(|_| SpnQuery::new(2)).collect();
+        let mut want = vec![0.0; queries.len()];
+        sweep_models(vec![SweepJob::expect(&compiled, &queries, &mut want)], 1);
+        let mut got = vec![0.0; queries.len()];
+        sweep_models(vec![SweepJob::expect(&compiled, &queries, &mut got)], 0);
+        assert_eq!(got, want);
+        assert!(default_threads() >= 1 && default_threads() <= 16);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let spn = model();
+        let compiled = spn.compile();
+        let pool = Arc::new(WorkerPool::new());
+        // An out-of-range MPE target panics inside the tile.
+        let bad: Vec<MpeProbe> = (0..2 * SWEEP_TILE)
+            .map(|_| MpeProbe::new(99, SpnQuery::new(2)))
+            .collect();
+        let panicked = {
+            let pool = Arc::clone(&pool);
+            let compiled = compiled.clone();
+            std::thread::spawn(move || {
+                let mut out = vec![MpeOutcome::default(); bad.len()];
+                catch_unwind(AssertUnwindSafe(|| {
+                    pool.sweep(
+                        vec![SweepJob {
+                            spn: &compiled,
+                            queries: &[],
+                            out: &mut [],
+                            mpe: &bad,
+                            mpe_out: &mut out,
+                        }],
+                        4,
+                    )
+                }))
+                .is_err()
+            })
+            .join()
+            .expect("driver thread")
+        };
+        assert!(panicked, "target-out-of-range must propagate");
+        // The pool still runs clean jobs afterwards.
+        let queries: Vec<SpnQuery> = (0..2 * SWEEP_TILE).map(|_| SpnQuery::new(2)).collect();
+        let mut out = vec![0.0; queries.len()];
+        pool.sweep(vec![SweepJob::expect(&compiled, &queries, &mut out)], 4);
+        assert!(out.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers() {
+        let spn = model();
+        let compiled = spn.compile();
+        let queries: Vec<SpnQuery> = (0..2 * SWEEP_TILE).map(|_| SpnQuery::new(2)).collect();
+        let mut out = vec![0.0; queries.len()];
+        let pool = WorkerPool::new();
+        pool.sweep(vec![SweepJob::expect(&compiled, &queries, &mut out)], 2);
+        drop(pool); // must not hang or leak threads
+    }
+}

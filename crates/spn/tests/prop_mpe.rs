@@ -5,7 +5,10 @@
 //! targets (evidence values the model never saw), and tied clusters (small
 //! discrete domains make exact weight/score ties common). Both paths share
 //! one tie-break rule: the lowest-index child wins at sum nodes, the lowest
-//! value wins inside a leaf.
+//! value wins inside a leaf. The SIMD (max, ×) kernels are additionally
+//! held to **bitwise** equality against the scalar reference path
+//! ([`MaxProductEvaluator::evaluate_scalar`]), including after in-place
+//! patched-update streams.
 
 use deepdb_spn::{
     ColumnMeta, DataView, LeafPred, MaxProductEvaluator, MpeProbe, Spn, SpnParams, SpnQuery,
@@ -87,6 +90,15 @@ proptest! {
                 i, got[i].score, want_score
             );
         }
+        // And the SIMD kernels reproduce the scalar path bit for bit.
+        let scalar = MaxProductEvaluator::new().evaluate_scalar(&compiled, &probes);
+        for (i, (s, c)) in got.iter().zip(&scalar).enumerate() {
+            prop_assert_eq!(s.value, c.value, "probe {}: simd vs scalar value", i);
+            prop_assert_eq!(
+                s.score.to_bits(), c.score.to_bits(),
+                "probe {}: simd {} vs scalar {}", i, s.score, c.score
+            );
+        }
     }
 
     /// Empty-support evidence (values outside the training domain, or
@@ -143,5 +155,22 @@ proptest! {
         let (want_score, want_value) = spn.mpe_outcome(target, &q);
         prop_assert_eq!(got.value, want_value);
         prop_assert_eq!(got.score.to_bits(), want_score.to_bits());
+        // SIMD ≡ scalar bitwise on the patched arena, across a batch that
+        // straddles the tile width.
+        let probes: Vec<MpeProbe> = (0..40)
+            .map(|i| MpeProbe::new(
+                (target + i) % 3,
+                SpnQuery::new(3).with_pred((target + i + 1) % 3, LeafPred::ge((i % 4) as f64)),
+            ))
+            .collect();
+        let simd = MaxProductEvaluator::new().evaluate(&arena, &probes);
+        let scalar = MaxProductEvaluator::new().evaluate_scalar(&arena, &probes);
+        for (i, (s, c)) in simd.iter().zip(&scalar).enumerate() {
+            prop_assert_eq!(s.value, c.value, "probe {}: simd vs scalar value", i);
+            prop_assert_eq!(
+                s.score.to_bits(), c.score.to_bits(),
+                "probe {}: simd {} vs scalar {}", i, s.score, c.score
+            );
+        }
     }
 }
