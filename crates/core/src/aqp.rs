@@ -21,9 +21,7 @@
 
 use deepdb_storage::{Aggregate, Database, Domain, Query, Value};
 
-use crate::compile::{
-    estimate_count_values, register_scalar, resolve_scalar, value_predicate, ScalarTemplate,
-};
+use crate::compile::{estimate_count_values, resolve_scalar, value_predicate};
 use crate::ensemble::Ensemble;
 use crate::estimate::Estimate;
 use crate::plan::ProbePlan;
@@ -120,7 +118,7 @@ pub fn execute_aqp(ens: &Ensemble, db: &Database, query: &Query) -> Result<AqpOu
     // appends its own value predicates to the cloned bases.
     let mut shared_q = query.clone();
     shared_q.group_by.clear();
-    let template = ScalarTemplate::prepare(ens, db, &shared_q, &query.group_by)?;
+    let template = crate::cache::grouped_template(ens, db, &shared_q, &query.group_by)?;
     let mut plan = ProbePlan::new();
     let mut pending = Vec::new();
     let mut combo = vec![0usize; group_domains.len()];
@@ -180,10 +178,7 @@ fn scalar_estimates(
 ) -> Result<(Estimate, Estimate), DeepDbError> {
     let mut scalar_q = query.clone();
     scalar_q.group_by.clear();
-    let mut plan = ProbePlan::new();
-    let deferred = register_scalar(&mut plan, ens, db, &scalar_q)?;
-    let results = plan.execute(ens);
-    resolve_scalar(&deferred, &results)
+    crate::cache::aqp_scalar(ens, db, &scalar_q)
 }
 
 /// Observed domain of a grouping column, from RSPN distinct-value tracking

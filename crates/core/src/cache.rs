@@ -1,0 +1,1005 @@
+//! Cross-query plan caching and prepared queries.
+//!
+//! PR 5 established that **planning is value-independent**: member selection
+//! (`best_covering_rspn` / `best_rspn_with` / the Case-3 combine planner)
+//! and predicate translation structure depend only on schema, ensemble
+//! coverage, and the *columns* predicates touch — never on the literal
+//! values. Production traffic repeats query **shapes** with different
+//! literals, so the FK-graph walks, RDC scoring, and `SpnQuery` translation
+//! can be done once per shape and reused.
+//!
+//! Three cache tiers live behind one LRU map ([`PlanCache`], owned
+//! runtime-only by [`Ensemble`]):
+//!
+//! * **Full plan artifacts** (`COUNT`/`AVG`/`SUM`/disjunction/AQP-scalar
+//!   entry points): the fully-registered [`ProbePlan`] plus its deferred
+//!   resolver, with **literal binds** mapping flat probe-literal positions
+//!   back to query-literal indices. A hit clones the plan, rewrites just the
+//!   bound `f64` slots, executes, and resolves — zero planning work.
+//! * **Grouped templates** ([`ScalarTemplate`] for GROUP BY / batched
+//!   count-values): keyed on shape **plus literal bits** (templates bake
+//!   translated shared-predicate literals into their base queries, so only
+//!   exact literal matches may share one).
+//! * **Selection preludes**: the covering-member choice of the
+//!   count-values fast path and the ML entry points' (member, target
+//!   column, normalization factors) prelude — pure member selection, safely
+//!   shared across literals.
+//!
+//! # Literal binds via sentinel discovery
+//!
+//! Rather than trusting the translation layer to report where literals land,
+//! the cache **observes** it: on a miss the artifact is built twice — once
+//! with the real literals, once with every literal replaced by a
+//! distinguishable sentinel `f64` ([`sentinel`], quiet bit patterns near the
+//! top of the finite range). If both builds have the same plan layout
+//! ([`ProbePlan::same_layout`]), the flat literal walks are diffed bitwise:
+//! an unchanged slot is a plan constant (±∞ range endpoints, join-indicator
+//! values, translated representatives); a slot that changed must hold
+//! sentinel *i* in the sentinel build and literal *i*'s exact bits in the
+//! real build, and becomes a bind `(flat position, literal index)`. Any
+//! unexplained difference — value-dependent translation (e.g. the
+//! functional-dependency dictionary rewrite), layout divergence, a real
+//! literal colliding with the sentinel range — rejects caching for that
+//! shape. **Conservative by construction**: a query either gets a provably
+//! value-independent artifact or plans cold like before.
+//!
+//! # Prepared queries
+//!
+//! [`Ensemble::prepare`] turns a scalar aggregate query into a
+//! [`PreparedQuery`]: planning, translation, and bind discovery happen once;
+//! [`PreparedQuery::execute`] only rewrites the bound literal slots in a
+//! pre-sized plan and runs one inline fused sweep per member
+//! ([`ProbePlan::execute_into`] over a reusable
+//! [`InlineSweep`]) into pre-sized results — **zero allocations** in steady
+//! state. Shapes whose binds cannot be discovered still prepare, but fall
+//! back to cold planning per execution (see [`PreparedQuery::is_bound`]).
+//!
+//! # Invalidation
+//!
+//! Every cache key embeds the ensemble's **plan epoch**
+//! ([`Ensemble::plan_epoch`]), bumped by `recompile_models` and every
+//! coverage-/count-changing maintenance operation (inserts, deletes, join
+//! count refreshes). Stale entries can never hit again and die lazily
+//! through LRU eviction; a [`PreparedQuery`] from an old epoch fails its
+//! next `execute` with [`DeepDbError::StalePlan`].
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
+
+use deepdb_spn::InlineSweep;
+use deepdb_storage::{
+    Aggregate, CmpOp, ColId, ColumnRef, Database, PredOp, Predicate, Query, TableId, Value,
+};
+
+use crate::compile::{
+    best_covering_rspn, register_avg, register_count, register_scalar, resolve_scalar, DeferredAvg,
+    DeferredCountExpr, DeferredScalar, ScalarTemplate,
+};
+use crate::ensemble::Ensemble;
+use crate::estimate::Estimate;
+use crate::plan::{ProbePlan, ProbeResults};
+use crate::DeepDbError;
+
+/// Default [`PlanCache`] capacity (entries across all tiers). `0` disables
+/// caching entirely — lookups, discovery, and inserts are all skipped, so a
+/// capacity-0 ensemble measures the true planned-cold path.
+pub(crate) const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Sentinels
+// ---------------------------------------------------------------------------
+
+/// Base bit pattern of the sentinel range: huge finite doubles (~9e307) that
+/// cannot occur as translated plan constants and survive every
+/// literal-preserving translation bitwise.
+const SENT_BASE: u64 = 0x7FE0_0000_0000_0000;
+
+/// Sentinel stand-in for literal `i` during bind discovery.
+fn sentinel(i: u32) -> f64 {
+    f64::from_bits(SENT_BASE + u64::from(i))
+}
+
+// ---------------------------------------------------------------------------
+// Query shapes (cache keys)
+// ---------------------------------------------------------------------------
+
+/// Structural fingerprint of one predicate: which column it touches and the
+/// operator *shape* (literal nullness included — NULL comparisons translate
+/// to different probe structures), but never the literal values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PredShape {
+    table: TableId,
+    column: ColId,
+    op: OpShape,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum OpShape {
+    /// Comparison operator code + whether the literal is NULL.
+    Cmp(u8, bool),
+    /// Per-element nullness of the IN list (length implied).
+    In(Vec<bool>),
+    /// Nullness of the lower/upper bound.
+    Between(bool, bool),
+    IsNull,
+    IsNotNull,
+}
+
+fn cmp_code(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn pred_shape(p: &Predicate) -> PredShape {
+    let op = match &p.op {
+        PredOp::Cmp(op, v) => OpShape::Cmp(cmp_code(*op), matches!(v, Value::Null)),
+        PredOp::In(vs) => OpShape::In(vs.iter().map(|v| matches!(v, Value::Null)).collect()),
+        PredOp::Between(lo, hi) => {
+            OpShape::Between(matches!(lo, Value::Null), matches!(hi, Value::Null))
+        }
+        PredOp::IsNull => OpShape::IsNull,
+        PredOp::IsNotNull => OpShape::IsNotNull,
+    };
+    PredShape {
+        table: p.table,
+        column: p.column,
+        op,
+    }
+}
+
+fn pred_shapes(preds: &[Predicate]) -> Vec<PredShape> {
+    preds.iter().map(pred_shape).collect()
+}
+
+/// Canonical cache key: everything that determines plan structure, nothing
+/// that a literal rebind can change. `literal_bits` stays empty for
+/// bind-discovered artifact tiers and carries the exact literal bits for the
+/// template tier (templates bake literals into their base queries).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct QueryShape {
+    tag: u8,
+    epoch: u64,
+    tables: Vec<TableId>,
+    agg: (u8, TableId, ColId),
+    group_cols: Vec<(TableId, ColId)>,
+    preds: Vec<PredShape>,
+    disjuncts: Vec<Vec<PredShape>>,
+    literal_bits: Vec<u64>,
+}
+
+/// Which entry point an artifact serves (and therefore how it resolves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ArtifactKind {
+    /// `estimate_count` — plain COUNT resolution.
+    Count,
+    /// `estimate_avg` on the given target column.
+    Avg(ColumnRef),
+    /// `estimate_sum`: non-NULL COUNT × AVG on the given target column.
+    Sum(ColumnRef),
+    /// `execute_aqp`'s scalar path: a `(aggregate, count)` pair via
+    /// [`register_scalar`] (aggregate kind read from the query).
+    AqpScalar,
+}
+
+fn agg_code(kind: ArtifactKind, query: &Query) -> (u8, TableId, ColId) {
+    match kind {
+        ArtifactKind::Count => (0, 0, 0),
+        ArtifactKind::Avg(t) => (1, t.table, t.column),
+        ArtifactKind::Sum(t) => (2, t.table, t.column),
+        ArtifactKind::AqpScalar => match query.aggregate {
+            Aggregate::CountStar => (3, 0, 0),
+            Aggregate::Avg(t) => (4, t.table, t.column),
+            Aggregate::Sum(t) => (5, t.table, t.column),
+        },
+    }
+}
+
+fn artifact_shape(
+    epoch: u64,
+    query: &Query,
+    kind: ArtifactKind,
+    disjuncts: &[Vec<Predicate>],
+) -> QueryShape {
+    let tag = match (kind, disjuncts.is_empty()) {
+        (ArtifactKind::Count, true) => 0,
+        (ArtifactKind::Count, false) => 1,
+        (ArtifactKind::Avg(_), _) => 2,
+        (ArtifactKind::Sum(_), _) => 3,
+        (ArtifactKind::AqpScalar, _) => 4,
+    };
+    QueryShape {
+        tag,
+        epoch,
+        tables: query.tables.clone(),
+        agg: agg_code(kind, query),
+        group_cols: Vec::new(),
+        preds: pred_shapes(&query.predicates),
+        disjuncts: disjuncts.iter().map(|d| pred_shapes(d)).collect(),
+        literal_bits: Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Literal extraction / substitution
+// ---------------------------------------------------------------------------
+
+/// Walk the literal slots of a predicate list in canonical order — predicate
+/// order, within `Cmp` the value, within `Between` lo then hi, within `In`
+/// the elements in order, non-NULL slots only — calling `f` on each.
+fn walk_pred_literals(preds: &mut [Predicate], mut f: impl FnMut(&mut Value)) {
+    for p in preds {
+        match &mut p.op {
+            PredOp::Cmp(_, v) => {
+                if !matches!(v, Value::Null) {
+                    f(v);
+                }
+            }
+            PredOp::Between(lo, hi) => {
+                for v in [lo, hi] {
+                    if !matches!(v, Value::Null) {
+                        f(v);
+                    }
+                }
+            }
+            PredOp::In(vs) => {
+                for v in vs.iter_mut() {
+                    if !matches!(v, Value::Null) {
+                        f(v);
+                    }
+                }
+            }
+            PredOp::IsNull | PredOp::IsNotNull => {}
+        }
+    }
+}
+
+fn collect_pred_literals(preds: &[Predicate], out: &mut Vec<f64>) {
+    let mut preds = preds.to_vec();
+    walk_pred_literals(&mut preds, |v| {
+        out.push(v.as_f64().expect("non-NULL literal"));
+    });
+}
+
+/// Every non-NULL literal of the query (and disjuncts, in order) as `f64` —
+/// the **bind vector** of the query's shape. This is the order
+/// [`PreparedQuery::execute`] expects its `literals` argument in; the
+/// convenience extractor [`query_literals`] exposes it publicly.
+fn collect_all_literals(query: &Query, disjuncts: &[Vec<Predicate>]) -> Vec<f64> {
+    let mut out = Vec::new();
+    collect_pred_literals(&query.predicates, &mut out);
+    for d in disjuncts {
+        collect_pred_literals(d, &mut out);
+    }
+    out
+}
+
+/// The literal vector of a query in the canonical bind order (predicate
+/// order; within a predicate: `Cmp` value, `Between` lo then hi, `In`
+/// elements in order; NULL literals are structural, not bindable). Pass a
+/// same-shaped vector to [`PreparedQuery::execute`] to rebind.
+pub fn query_literals(query: &Query) -> Vec<f64> {
+    collect_all_literals(query, &[])
+}
+
+/// Clone of the query (and disjuncts) with every literal replaced by its
+/// sentinel — the second build of bind discovery.
+fn sentinel_variant(query: &Query, disjuncts: &[Vec<Predicate>]) -> (Query, Vec<Vec<Predicate>>) {
+    let mut i = 0u32;
+    let mut q = query.clone();
+    walk_pred_literals(&mut q.predicates, |v| {
+        *v = Value::Float(sentinel(i));
+        i += 1;
+    });
+    let ds = disjuncts
+        .iter()
+        .map(|d| {
+            let mut d = d.clone();
+            walk_pred_literals(&mut d, |v| {
+                *v = Value::Float(sentinel(i));
+                i += 1;
+            });
+            d
+        })
+        .collect();
+    (q, ds)
+}
+
+/// Overwrite the query's literal slots with `literals` (f64-space; every
+/// translation layer compares through [`Value::as_f64`], so `Float`
+/// replacements behave identically to the original `Int` literals).
+fn rebind_query_literals(query: &mut Query, literals: &[f64]) {
+    let mut i = 0usize;
+    walk_pred_literals(&mut query.predicates, |v| {
+        *v = Value::Float(literals[i]);
+        i += 1;
+    });
+    debug_assert_eq!(i, literals.len(), "literal arity mismatch");
+}
+
+// ---------------------------------------------------------------------------
+// Artifact building + bind discovery
+// ---------------------------------------------------------------------------
+
+/// How a cached plan's results resolve to estimates — one variant per entry
+/// point, reproducing its exact arithmetic.
+pub(crate) enum Resolver {
+    Count(DeferredCountExpr),
+    Avg(DeferredAvg),
+    Sum {
+        count_nn: DeferredCountExpr,
+        avg: DeferredAvg,
+    },
+    /// Inclusion–exclusion terms: `(sign, deferred count)` per mask.
+    Disjunction(Vec<(f64, DeferredCountExpr)>),
+    /// AQP scalar `(aggregate, count)` pair.
+    Scalar(DeferredScalar),
+}
+
+impl Resolver {
+    fn resolve_single(&self, r: &ProbeResults) -> Result<Estimate, DeepDbError> {
+        match self {
+            Resolver::Count(d) => d.resolve(r),
+            Resolver::Avg(d) => Ok(d.resolve(r)),
+            Resolver::Sum { count_nn, avg } => Ok(count_nn.resolve(r)?.product(avg.resolve(r))),
+            Resolver::Disjunction(terms) => {
+                let mut total = Estimate::exact(0.0);
+                for (sign, d) in terms {
+                    total = total.add(d.resolve(r)?.scale(*sign));
+                }
+                total.value = total.value.max(0.0);
+                Ok(total)
+            }
+            Resolver::Scalar(_) => unreachable!("AQP scalar artifacts resolve to a pair"),
+        }
+    }
+
+    fn resolve_pair(&self, r: &ProbeResults) -> Result<(Estimate, Estimate), DeepDbError> {
+        match self {
+            Resolver::Scalar(d) => resolve_scalar(d, r),
+            _ => unreachable!("single-estimate artifacts resolve via resolve_single"),
+        }
+    }
+}
+
+/// Build the fully-registered plan + resolver for one entry point — exactly
+/// the probe registrations the cold path performs, factored out so cache
+/// hits, misses, and sentinel builds share one recipe. `validate_terms`
+/// keeps the disjunction path's per-term validation on the real build only
+/// (validation is value-independent, so sentinel builds may skip it).
+fn build_artifact(
+    ens: &Ensemble,
+    db: &Database,
+    query: &Query,
+    kind: ArtifactKind,
+    disjuncts: &[Vec<Predicate>],
+    validate_terms: bool,
+) -> Result<(ProbePlan, Resolver), DeepDbError> {
+    let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
+    let mut plan = ProbePlan::new();
+    let resolver = if !disjuncts.is_empty() {
+        let k = disjuncts.len();
+        let mut terms = Vec::with_capacity((1usize << k) - 1);
+        for mask in 1u32..(1 << k) {
+            let mut sub = query.clone();
+            for (i, d) in disjuncts.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    sub.predicates.extend(d.iter().cloned());
+                }
+            }
+            if validate_terms {
+                sub.validate(db)?;
+            }
+            let sign = if mask.count_ones() % 2 == 1 {
+                1.0
+            } else {
+                -1.0
+            };
+            let deferred = register_count(&mut plan, ens, db, &qtables, &sub.predicates)?;
+            terms.push((sign, deferred));
+        }
+        Resolver::Disjunction(terms)
+    } else {
+        match kind {
+            ArtifactKind::Count => Resolver::Count(register_count(
+                &mut plan,
+                ens,
+                db,
+                &qtables,
+                &query.predicates,
+            )?),
+            ArtifactKind::Avg(target) => Resolver::Avg(register_avg(
+                &mut plan,
+                ens,
+                &query.tables,
+                &query.predicates,
+                target,
+            )?),
+            ArtifactKind::Sum(target) => {
+                let mut count_preds = query.predicates.clone();
+                count_preds.push(Predicate::new(
+                    target.table,
+                    target.column,
+                    PredOp::IsNotNull,
+                ));
+                let count_nn = register_count(&mut plan, ens, db, &qtables, &count_preds)?;
+                let avg = register_avg(&mut plan, ens, &query.tables, &query.predicates, target)?;
+                Resolver::Sum { count_nn, avg }
+            }
+            ArtifactKind::AqpScalar => {
+                Resolver::Scalar(register_scalar(&mut plan, ens, db, query)?)
+            }
+        }
+    };
+    Ok((plan, resolver))
+}
+
+/// A cached, rebindable plan: the registered probe plan, its resolver, and
+/// the discovered literal binds. Shared via `Arc` — hits clone only the
+/// [`ProbePlan`] (the derived clone preserves the plan id, so the stored
+/// resolver's handles resolve against the clone's results).
+pub(crate) struct PlanArtifact {
+    plan: ProbePlan,
+    resolver: Resolver,
+    /// `(flat literal position, query literal index)`, sorted by position.
+    binds: Vec<(u32, u32)>,
+    n_literals: usize,
+}
+
+/// Diff the real build against a sentinel build to locate literal slots.
+/// Returns `None` — don't cache — on any unexplained difference.
+fn discover_binds(
+    ens: &Ensemble,
+    db: &Database,
+    query: &Query,
+    kind: ArtifactKind,
+    disjuncts: &[Vec<Predicate>],
+    plan: &ProbePlan,
+    literals: &[f64],
+) -> Option<Vec<(u32, u32)>> {
+    let n = literals.len() as u64;
+    // A real literal inside the sentinel range could masquerade as a plan
+    // constant (or a bind of the wrong index) — refuse to cache.
+    if literals.iter().any(|v| {
+        let b = v.to_bits();
+        b >= SENT_BASE && b < SENT_BASE + n
+    }) {
+        return None;
+    }
+    let (sq, sd) = sentinel_variant(query, disjuncts);
+    let (sent_plan, _) = build_artifact(ens, db, &sq, kind, &sd, false).ok()?;
+    if !plan.same_layout(&sent_plan) {
+        return None;
+    }
+    let mut real = Vec::new();
+    let mut sent = Vec::new();
+    plan.flat_literals(&mut real);
+    sent_plan.flat_literals(&mut sent);
+    debug_assert_eq!(real.len(), sent.len(), "same_layout implies equal walks");
+    let mut binds = Vec::new();
+    for (pos, (&a, &b)) in real.iter().zip(&sent).enumerate() {
+        if a.to_bits() == b.to_bits() {
+            continue; // plan constant
+        }
+        let i = b.to_bits().wrapping_sub(SENT_BASE);
+        if i >= n || a.to_bits() != literals[i as usize].to_bits() {
+            return None; // value-dependent translation — not rebindable
+        }
+        binds.push((pos as u32, i as u32));
+    }
+    Some(binds)
+}
+
+// ---------------------------------------------------------------------------
+// The LRU cache
+// ---------------------------------------------------------------------------
+
+/// Cache observability counters ([`Ensemble::plan_cache_stats`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a cached artifact.
+    pub hits: u64,
+    /// Lookups that found nothing (cold plans).
+    pub misses: u64,
+    /// Entries dropped by LRU pressure.
+    pub evictions: u64,
+    /// Live entries across all tiers.
+    pub entries: usize,
+}
+
+#[derive(Clone)]
+pub(crate) enum CachedValue {
+    Plan(Arc<PlanArtifact>),
+    Template(Arc<ScalarTemplate>),
+    Member(usize),
+    Ml(Arc<MlPrelude>),
+}
+
+struct CacheEntry {
+    value: CachedValue,
+    last_used: u64,
+}
+
+struct CacheInner {
+    map: HashMap<QueryShape, CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    capacity: usize,
+}
+
+/// LRU plan cache keyed on [`QueryShape`]. Counter-based recency (a lookup
+/// or insert advances a logical tick); capacity 0 disables the cache —
+/// callers skip lookup, discovery, and insert entirely, so the cold path is
+/// measured honestly.
+pub(crate) struct PlanCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl PlanCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                capacity,
+            }),
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.inner.lock().expect("plan cache poisoned").capacity > 0
+    }
+
+    fn lookup(&self, shape: &QueryShape) -> Option<CachedValue> {
+        let mut g = self.inner.lock().expect("plan cache poisoned");
+        g.tick += 1;
+        let tick = g.tick;
+        match g.map.get_mut(shape) {
+            Some(e) => {
+                e.last_used = tick;
+                let v = e.value.clone();
+                g.hits += 1;
+                Some(v)
+            }
+            None => {
+                g.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&self, shape: QueryShape, value: CachedValue) {
+        let mut g = self.inner.lock().expect("plan cache poisoned");
+        if g.capacity == 0 {
+            return;
+        }
+        g.tick += 1;
+        let tick = g.tick;
+        if g.map.len() >= g.capacity && !g.map.contains_key(&shape) {
+            if let Some(victim) = g
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                g.map.remove(&victim);
+                g.evictions += 1;
+            }
+        }
+        g.map.insert(
+            shape,
+            CacheEntry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        let g = self.inner.lock().expect("plan cache poisoned");
+        CacheStats {
+            hits: g.hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            entries: g.map.len(),
+        }
+    }
+
+    /// Resize (0 disables). Clears all entries and counters so bench lanes
+    /// and tests start from a known-cold state.
+    pub(crate) fn set_capacity(&self, capacity: usize) {
+        let mut g = self.inner.lock().expect("plan cache poisoned");
+        g.map.clear();
+        g.tick = 0;
+        g.hits = 0;
+        g.misses = 0;
+        g.evictions = 0;
+        g.capacity = capacity;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cached entry-point routing
+// ---------------------------------------------------------------------------
+
+enum Obtained {
+    Owned(Box<Resolver>),
+    Shared(Arc<PlanArtifact>),
+}
+
+impl Obtained {
+    fn resolver(&self) -> &Resolver {
+        match self {
+            Obtained::Owned(r) => r,
+            Obtained::Shared(a) => &a.resolver,
+        }
+    }
+}
+
+/// Get an executable plan for `(query, kind, disjuncts)`: a rebound clone of
+/// a cached artifact on a hit; a cold build (inserted when bind discovery
+/// succeeds) otherwise. With the cache disabled this is exactly the old cold
+/// path — no lookup, no discovery.
+fn obtain(
+    ens: &Ensemble,
+    db: &Database,
+    query: &Query,
+    kind: ArtifactKind,
+    disjuncts: &[Vec<Predicate>],
+) -> Result<(ProbePlan, Obtained), DeepDbError> {
+    let cache = ens.plan_cache();
+    if !cache.enabled() {
+        let (plan, resolver) = build_artifact(ens, db, query, kind, disjuncts, true)?;
+        return Ok((plan, Obtained::Owned(Box::new(resolver))));
+    }
+    let shape = artifact_shape(ens.plan_epoch(), query, kind, disjuncts);
+    let literals = collect_all_literals(query, disjuncts);
+    if let Some(CachedValue::Plan(art)) = cache.lookup(&shape) {
+        if art.n_literals == literals.len() {
+            let mut plan = art.plan.clone();
+            plan.rebind_literals(&art.binds, &literals);
+            return Ok((plan, Obtained::Shared(art)));
+        }
+    }
+    let (plan, resolver) = build_artifact(ens, db, query, kind, disjuncts, true)?;
+    match discover_binds(ens, db, query, kind, disjuncts, &plan, &literals) {
+        Some(binds) => {
+            let art = Arc::new(PlanArtifact {
+                plan: plan.clone(),
+                resolver,
+                binds,
+                n_literals: literals.len(),
+            });
+            cache.insert(shape, CachedValue::Plan(Arc::clone(&art)));
+            Ok((plan, Obtained::Shared(art)))
+        }
+        None => Ok((plan, Obtained::Owned(Box::new(resolver)))),
+    }
+}
+
+/// Cache-routed single-estimate entry point (`COUNT`/`AVG`/`SUM`/
+/// disjunction). The caller has validated the query.
+pub(crate) fn scalar_estimate(
+    ens: &Ensemble,
+    db: &Database,
+    query: &Query,
+    kind: ArtifactKind,
+    disjuncts: &[Vec<Predicate>],
+) -> Result<Estimate, DeepDbError> {
+    let (plan, obtained) = obtain(ens, db, query, kind, disjuncts)?;
+    let results = plan.execute(ens);
+    obtained.resolver().resolve_single(&results)
+}
+
+/// Cache-routed `(aggregate, count)` pair for `execute_aqp`'s scalar path.
+pub(crate) fn aqp_scalar(
+    ens: &Ensemble,
+    db: &Database,
+    query: &Query,
+) -> Result<(Estimate, Estimate), DeepDbError> {
+    let (plan, obtained) = obtain(ens, db, query, ArtifactKind::AqpScalar, &[])?;
+    let results = plan.execute(ens);
+    obtained.resolver().resolve_pair(&results)
+}
+
+/// Cache-routed [`ScalarTemplate`] for GROUP BY enumeration and the
+/// count-values fallback. Keyed on shape **plus exact literal bits**:
+/// templates bake translated shared-predicate literals into their base
+/// queries, so only bit-identical literals may share one.
+pub(crate) fn grouped_template(
+    ens: &Ensemble,
+    db: &Database,
+    shared_q: &Query,
+    group_cols: &[ColumnRef],
+) -> Result<Arc<ScalarTemplate>, DeepDbError> {
+    let cache = ens.plan_cache();
+    if !cache.enabled() {
+        return Ok(Arc::new(ScalarTemplate::prepare(
+            ens, db, shared_q, group_cols,
+        )?));
+    }
+    let shape = QueryShape {
+        tag: 5,
+        epoch: ens.plan_epoch(),
+        tables: shared_q.tables.clone(),
+        agg: agg_code(ArtifactKind::AqpScalar, shared_q),
+        group_cols: group_cols.iter().map(|c| (c.table, c.column)).collect(),
+        preds: pred_shapes(&shared_q.predicates),
+        disjuncts: Vec::new(),
+        literal_bits: collect_all_literals(shared_q, &[])
+            .iter()
+            .map(|v| v.to_bits())
+            .collect(),
+    };
+    if let Some(CachedValue::Template(t)) = cache.lookup(&shape) {
+        return Ok(t);
+    }
+    let t = Arc::new(ScalarTemplate::prepare(ens, db, shared_q, group_cols)?);
+    cache.insert(shape, CachedValue::Template(Arc::clone(&t)));
+    Ok(t)
+}
+
+/// Cache-routed covering-member selection for the count-values fast path.
+/// Selection depends only on coverage and predicate columns, so the key
+/// carries no literals. An uncoverable shape is not cached (it re-checks and
+/// falls through to the combined path each time).
+pub(crate) fn covering_member(
+    ens: &Ensemble,
+    qtables: &BTreeSet<TableId>,
+    selector_preds: &[Predicate],
+) -> Option<usize> {
+    let cache = ens.plan_cache();
+    if !cache.enabled() {
+        return best_covering_rspn(ens, qtables, selector_preds);
+    }
+    let shape = QueryShape {
+        tag: 6,
+        epoch: ens.plan_epoch(),
+        tables: qtables.iter().copied().collect(),
+        agg: (0, 0, 0),
+        group_cols: Vec::new(),
+        preds: pred_shapes(selector_preds),
+        disjuncts: Vec::new(),
+        literal_bits: Vec::new(),
+    };
+    if let Some(CachedValue::Member(i)) = cache.lookup(&shape) {
+        return Some(i);
+    }
+    let idx = best_covering_rspn(ens, qtables, selector_preds)?;
+    cache.insert(shape, CachedValue::Member(idx));
+    Some(idx)
+}
+
+/// Member selection + target/normalization prelude of the ML entry points.
+pub(crate) struct MlPrelude {
+    pub(crate) idx: usize,
+    pub(crate) target_col: usize,
+    /// Tuple-factor normalization columns (regression only; empty for
+    /// classification).
+    pub(crate) factors: Vec<usize>,
+}
+
+/// Cache-routed ML prelude: skips the member scan, target-column lookup,
+/// and (for regression) the normalization-factor BFS on repeated
+/// `(table, target)` prediction shapes.
+pub(crate) fn ml_prelude(
+    ens: &Ensemble,
+    table: TableId,
+    target: ColId,
+    regression: bool,
+) -> Result<Arc<MlPrelude>, DeepDbError> {
+    let cache = ens.plan_cache();
+    let shape = QueryShape {
+        tag: if regression { 7 } else { 8 },
+        epoch: ens.plan_epoch(),
+        tables: vec![table],
+        agg: (0, 0, 0),
+        group_cols: vec![(table, target)],
+        preds: Vec::new(),
+        disjuncts: Vec::new(),
+        literal_bits: Vec::new(),
+    };
+    if cache.enabled() {
+        if let Some(CachedValue::Ml(p)) = cache.lookup(&shape) {
+            return Ok(p);
+        }
+    }
+    let idx = crate::ml::rspn_for(ens, table, target)?;
+    let rspn = &ens.rspns()[idx];
+    let target_col = rspn
+        .data_column(table, target)
+        .expect("selected to contain target");
+    let factors = if regression {
+        rspn.normalization_factor_cols(&BTreeSet::from([table]))
+    } else {
+        Vec::new()
+    };
+    let prelude = Arc::new(MlPrelude {
+        idx,
+        target_col,
+        factors,
+    });
+    if cache.enabled() {
+        cache.insert(shape, CachedValue::Ml(Arc::clone(&prelude)));
+    }
+    Ok(prelude)
+}
+
+// ---------------------------------------------------------------------------
+// Prepared queries
+// ---------------------------------------------------------------------------
+
+/// A query prepared once, executable many times with different literals.
+///
+/// Created by [`Ensemble::prepare`]. The bound form holds a working
+/// [`ProbePlan`] clone, pre-sized results, and a reusable inline sweep:
+/// [`PreparedQuery::execute`] rewrites the bound literal slots in place,
+/// runs one fused inline sweep per touched member, and resolves — **zero
+/// planning work and zero allocations** in steady state. Shapes whose binds
+/// could not be discovered (value-dependent translation, e.g. functional
+/// dependency rewrites) fall back to cold planning per execution.
+pub struct PreparedQuery {
+    epoch: u64,
+    n_literals: usize,
+    inner: PreparedInner,
+}
+
+enum PreparedInner {
+    Bound {
+        artifact: Arc<PlanArtifact>,
+        plan: ProbePlan,
+        results: ProbeResults,
+        /// One sweep (with its grow-only leaf-value tables) per plan member,
+        /// so alternating members never reshapes shared scratch.
+        sweeps: Vec<InlineSweep>,
+    },
+    Fallback {
+        query: Query,
+        kind: ArtifactKind,
+    },
+}
+
+/// Prepare `query` against the ensemble: plan, translate, and discover
+/// literal binds once ([`Ensemble::prepare`] delegates here).
+pub(crate) fn prepare(
+    ens: &Ensemble,
+    db: &Database,
+    query: &Query,
+) -> Result<PreparedQuery, DeepDbError> {
+    query.validate(db)?;
+    if !query.group_by.is_empty() {
+        return Err(DeepDbError::Unsupported(
+            "prepare supports scalar aggregates; GROUP BY queries go through execute_aqp".into(),
+        ));
+    }
+    let kind = match query.aggregate {
+        Aggregate::CountStar => ArtifactKind::Count,
+        Aggregate::Avg(t) => ArtifactKind::Avg(t),
+        Aggregate::Sum(t) => ArtifactKind::Sum(t),
+    };
+    let epoch = ens.plan_epoch();
+    let literals = collect_all_literals(query, &[]);
+    let cache = ens.plan_cache();
+
+    let cached = if cache.enabled() {
+        let shape = artifact_shape(epoch, query, kind, &[]);
+        match cache.lookup(&shape) {
+            Some(CachedValue::Plan(a)) if a.n_literals == literals.len() => Some(a),
+            _ => {
+                let (plan, resolver) = build_artifact(ens, db, query, kind, &[], true)?;
+                discover_binds(ens, db, query, kind, &[], &plan, &literals).map(|binds| {
+                    let a = Arc::new(PlanArtifact {
+                        plan,
+                        resolver,
+                        binds,
+                        n_literals: literals.len(),
+                    });
+                    cache.insert(shape, CachedValue::Plan(Arc::clone(&a)));
+                    a
+                })
+            }
+        }
+    } else {
+        // Cache disabled: the prepared query still owns a private artifact.
+        let (plan, resolver) = build_artifact(ens, db, query, kind, &[], true)?;
+        discover_binds(ens, db, query, kind, &[], &plan, &literals).map(|binds| {
+            Arc::new(PlanArtifact {
+                plan,
+                resolver,
+                binds,
+                n_literals: literals.len(),
+            })
+        })
+    };
+
+    let inner = match cached {
+        Some(artifact) => {
+            let mut plan = artifact.plan.clone();
+            plan.rebind_literals(&artifact.binds, &literals);
+            let results = plan.blank_results();
+            PreparedInner::Bound {
+                artifact,
+                plan,
+                results,
+                sweeps: Vec::new(),
+            }
+        }
+        None => PreparedInner::Fallback {
+            query: query.clone(),
+            kind,
+        },
+    };
+    Ok(PreparedQuery {
+        epoch,
+        n_literals: literals.len(),
+        inner,
+    })
+}
+
+impl PreparedQuery {
+    /// Execute with fresh literals (in [`query_literals`] order; same arity
+    /// as the prepared query's). Returns [`DeepDbError::StalePlan`] once the
+    /// ensemble's plan epoch has advanced past the prepared one.
+    pub fn execute(
+        &mut self,
+        ens: &Ensemble,
+        db: &Database,
+        literals: &[f64],
+    ) -> Result<Estimate, DeepDbError> {
+        if ens.plan_epoch() != self.epoch {
+            return Err(DeepDbError::StalePlan);
+        }
+        if literals.len() != self.n_literals {
+            return Err(DeepDbError::Unsupported(format!(
+                "prepared query binds {} literals, got {}",
+                self.n_literals,
+                literals.len()
+            )));
+        }
+        match &mut self.inner {
+            PreparedInner::Bound {
+                artifact,
+                plan,
+                results,
+                sweeps,
+            } => {
+                plan.rebind_literals(&artifact.binds, literals);
+                plan.execute_into(ens, sweeps, results);
+                artifact.resolver.resolve_single(results)
+            }
+            PreparedInner::Fallback { query, kind } => {
+                rebind_query_literals(query, literals);
+                let (plan, resolver) = build_artifact(ens, db, query, *kind, &[], false)?;
+                let results = plan.execute(ens);
+                resolver.resolve_single(&results)
+            }
+        }
+    }
+
+    /// Number of literal slots [`PreparedQuery::execute`] expects.
+    pub fn n_literals(&self) -> usize {
+        self.n_literals
+    }
+
+    /// Whether bind discovery succeeded: `true` means executions rebind a
+    /// frozen artifact (zero planning work); `false` means the shape is
+    /// value-dependent and each execution plans cold.
+    pub fn is_bound(&self) -> bool {
+        matches!(self.inner, PreparedInner::Bound { .. })
+    }
+
+    /// Plan epoch this query was prepared under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}

@@ -52,11 +52,7 @@ pub fn estimate_count(
     query: &Query,
 ) -> Result<Estimate, DeepDbError> {
     query.validate(db)?;
-    let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
-    let mut plan = ProbePlan::new();
-    let deferred = register_count(&mut plan, ens, db, &qtables, &query.predicates)?;
-    let results = plan.execute(ens);
-    deferred.resolve(&results)
+    crate::cache::scalar_estimate(ens, db, query, crate::cache::ArtifactKind::Count, &[])
 }
 
 /// Cardinality estimate clamped to ≥ 1 tuple (q-error convention).
@@ -95,7 +91,7 @@ pub fn estimate_count_values(
     if let Some(v) = values.first() {
         selector_preds.push(eq_pred(v));
     }
-    let single = best_covering_rspn(ens, &qtables, &selector_preds).and_then(|idx| {
+    let single = crate::cache::covering_member(ens, &qtables, &selector_preds).and_then(|idx| {
         // The whole batch must translate against this one RSPN. The shared
         // predicates are translated once into a base query; each value only
         // appends its own equality predicate.
@@ -129,7 +125,8 @@ pub fn estimate_count_values(
     // one fused sweep per touched member for the whole batch.
     let mut count_q = query.clone();
     count_q.aggregate = Aggregate::CountStar;
-    let template = ScalarTemplate::prepare(ens, db, &count_q, std::slice::from_ref(&target))?;
+    let template =
+        crate::cache::grouped_template(ens, db, &count_q, std::slice::from_ref(&target))?;
     let mut plan = ProbePlan::new();
     let mut deferred = Vec::with_capacity(values.len());
     for v in values {
@@ -194,36 +191,11 @@ pub fn estimate_count_disjunction(
         )));
     }
     query.validate(db)?;
-    let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
-
-    let k = disjuncts.len();
-    let mut plan = ProbePlan::new();
-    let mut terms: Vec<(f64, DeferredCountExpr)> = Vec::new();
-    for mask in 1u32..(1 << k) {
-        let mut sub = query.clone();
-        for (i, d) in disjuncts.iter().enumerate() {
-            if mask & (1 << i) != 0 {
-                sub.predicates.extend(d.iter().cloned());
-            }
-        }
-        // Validate each inclusion–exclusion term separately — disjunct
-        // predicates can reference tables outside the FROM list.
-        sub.validate(db)?;
-        let sign = if mask.count_ones() % 2 == 1 {
-            1.0
-        } else {
-            -1.0
-        };
-        let deferred = register_count(&mut plan, ens, db, &qtables, &sub.predicates)?;
-        terms.push((sign, deferred));
-    }
-    let results = plan.execute(ens);
-    let mut total = Estimate::exact(0.0);
-    for (sign, deferred) in terms {
-        total = total.add(deferred.resolve(&results)?.scale(sign));
-    }
-    total.value = total.value.max(0.0);
-    Ok(total)
+    // Term enumeration, per-term validation (disjunct predicates can
+    // reference tables outside the FROM list), registration, and the signed
+    // inclusion–exclusion resolution all live in the shared cache-routed
+    // builder so repeated disjunction shapes reuse one plan artifact.
+    crate::cache::scalar_estimate(ens, db, query, crate::cache::ArtifactKind::Count, disjuncts)
 }
 
 /// Estimate `AVG(col)` with tuple-factor normalization (paper §4.2).
@@ -234,10 +206,7 @@ pub fn estimate_avg(ens: &Ensemble, db: &Database, query: &Query) -> Result<Esti
             "estimate_avg requires an AVG aggregate".into(),
         ));
     };
-    let mut plan = ProbePlan::new();
-    let deferred = register_avg(&mut plan, ens, &query.tables, &query.predicates, target)?;
-    let results = plan.execute(ens);
-    Ok(deferred.resolve(&results))
+    crate::cache::scalar_estimate(ens, db, query, crate::cache::ArtifactKind::Avg(target), &[])
 }
 
 /// Estimate `SUM(col)` = COUNT × AVG (paper §4.2). The COUNT probes (over
@@ -251,28 +220,16 @@ pub fn estimate_sum(ens: &Ensemble, db: &Database, query: &Query) -> Result<Esti
             "estimate_sum requires a SUM aggregate".into(),
         ));
     };
-    let qtables: BTreeSet<TableId> = query.tables.iter().copied().collect();
-    // COUNT must only include rows where the summand is non-NULL.
-    let mut count_preds = query.predicates.clone();
-    count_preds.push(Predicate::new(
-        target.table,
-        target.column,
-        deepdb_storage::PredOp::IsNotNull,
-    ));
-
-    let mut plan = ProbePlan::new();
-    let count_deferred = register_count(&mut plan, ens, db, &qtables, &count_preds)?;
-    let avg_deferred = register_avg(&mut plan, ens, &query.tables, &query.predicates, target)?;
-    let results = plan.execute(ens);
-    let count = count_deferred.resolve(&results)?;
-    Ok(count.product(avg_deferred.resolve(&results)))
+    // The non-NULL COUNT restriction and the fused COUNT/AVG registration
+    // live in the shared cache-routed builder.
+    crate::cache::scalar_estimate(ens, db, query, crate::cache::ArtifactKind::Sum(target), &[])
 }
 
 /// Pick the best RSPN whose tables cover all of `qtables` (greedy RDC
 /// strategy; smaller RSPNs win ties to avoid needless normalization, and
 /// among same-size candidates the lowest member index wins — selection is
 /// reproducible across runs).
-fn best_covering_rspn(
+pub(crate) fn best_covering_rspn(
     ens: &Ensemble,
     qtables: &BTreeSet<TableId>,
     preds: &[Predicate],

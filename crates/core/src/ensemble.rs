@@ -5,10 +5,13 @@ use std::collections::{BTreeSet, HashMap};
 
 use deepdb_spn::rdc::{rdc, RdcParams};
 use deepdb_spn::{SpnParams, WorkerPool};
-use deepdb_storage::{ColId, Database, ForeignKey, JoinColumnRole, JoinTree, TableId, Value};
+use deepdb_storage::{
+    ColId, Database, ForeignKey, JoinColumnRole, JoinTree, Query, TableId, Value,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::cache::{CacheStats, PlanCache, PreparedQuery, DEFAULT_PLAN_CACHE_CAPACITY};
 use crate::fd::FunctionalDependency;
 use crate::rspn::Rspn;
 use crate::DeepDbError;
@@ -260,6 +263,8 @@ impl<'a> EnsembleBuilder<'a> {
             updates_absorbed: 0,
             probe_threads: 0,
             pool: WorkerPool::new(),
+            plan_epoch: 0,
+            plan_cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
         })
     }
 }
@@ -286,6 +291,15 @@ pub struct Ensemble {
     /// Workers spawn lazily on the first parallel sweep and park between
     /// jobs. Runtime-only, not part of snapshots.
     pool: WorkerPool,
+    /// Plan-cache invalidation epoch: bumped by [`Ensemble::recompile_models`]
+    /// and every coverage-/count-changing maintenance operation. Every cache
+    /// key and [`crate::PreparedQuery`] embeds the epoch at creation, so
+    /// stale plans can never be reused. Runtime-only, not part of snapshots.
+    plan_epoch: u64,
+    /// Shape-keyed LRU cache of plan artifacts, grouped templates, and
+    /// member-selection preludes (see [`crate::cache`]). Runtime-only, not
+    /// part of snapshots.
+    plan_cache: PlanCache,
 }
 
 fn ordered(a: TableId, b: TableId) -> (TableId, TableId) {
@@ -426,10 +440,17 @@ impl Ensemble {
     /// drift-driven adaptation, external model surgery). The query surface
     /// (`compile`/`aqp`/`ml`) is entirely `&Ensemble` and never recompiles
     /// behind your back.
+    ///
+    /// **Epoch contract:** recompilation may change model structure, so this
+    /// bumps the plan epoch — every cached plan artifact and outstanding
+    /// [`crate::PreparedQuery`] becomes stale (the latter fail their next
+    /// `execute` with [`DeepDbError::StalePlan`]; cached artifacts simply
+    /// never hit again and age out of the LRU).
     pub fn recompile_models(&mut self) {
         for rspn in &mut self.rspns {
             rspn.ensure_compiled();
         }
+        self.bump_plan_epoch();
     }
 
     /// Cap the worker threads used to execute probe plans; `0` restores the
@@ -464,6 +485,42 @@ impl Ensemble {
     /// [`Ensemble::recompile_models`] maintenance call.
     pub fn execute_plan(&self, plan: &crate::ProbePlan) -> crate::ProbeResults {
         plan.execute(self)
+    }
+
+    /// Current plan-cache invalidation epoch. Bumped by
+    /// [`Ensemble::recompile_models`] and every update/maintenance call;
+    /// cache keys and [`crate::PreparedQuery`] handles embed it.
+    pub fn plan_epoch(&self) -> u64 {
+        self.plan_epoch
+    }
+
+    fn bump_plan_epoch(&mut self) {
+        self.plan_epoch += 1;
+    }
+
+    pub(crate) fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// Hit/miss/eviction/occupancy counters of the plan cache.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Resize the plan cache (`0` disables caching entirely — every query
+    /// plans cold, with no lookup or bind-discovery overhead). Clears all
+    /// entries and counters.
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        self.plan_cache.set_capacity(capacity);
+    }
+
+    /// Prepare a scalar aggregate query for repeated execution with varying
+    /// literals: planning, translation, and literal-bind discovery happen
+    /// once, then [`crate::PreparedQuery::execute`] rebinds literal slots in
+    /// place and sweeps with zero planning work and zero steady-state
+    /// allocations. See the [`crate::cache`] module docs for the lifecycle.
+    pub fn prepare(&self, db: &Database, query: &Query) -> Result<PreparedQuery, DeepDbError> {
+        crate::cache::prepare(self, db, query)
     }
 
     /// Insert a row into the database **and** absorb it into every affected
@@ -540,6 +597,7 @@ impl Ensemble {
     ) -> Result<(), DeepDbError> {
         // (Index loop below: the body borrows `self` mutably for the RNG and
         // join-row assembly, so iterating `self.rspns` directly won't borrow.)
+        self.bump_plan_epoch();
         self.updates_absorbed += 1;
         self.row_counts[table] += 1;
         let new_row = db.table(table).n_rows() - 1;
@@ -630,6 +688,7 @@ impl Ensemble {
     ) -> Result<(), DeepDbError> {
         let values = db.table(table).row_values(row);
         // Model update first (needs parent rows still present in db).
+        self.bump_plan_epoch();
         self.updates_absorbed += 1;
         self.row_counts[table] = self.row_counts[table].saturating_sub(1);
 
@@ -696,6 +755,7 @@ impl Ensemble {
     /// Recompute exact full-outer-join counts for RSPNs whose incremental
     /// bookkeeping went stale (3+-table joins).
     pub fn refresh_join_counts(&mut self, db: &Database) -> Result<(), DeepDbError> {
+        self.bump_plan_epoch();
         for rspn in &mut self.rspns {
             if rspn.join_count_dirty() {
                 let tree = JoinTree::new(db, rspn.tables())?;
@@ -954,6 +1014,8 @@ impl Ensemble {
             updates_absorbed,
             probe_threads: 0,
             pool: WorkerPool::new(),
+            plan_epoch: 0,
+            plan_cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
         })
     }
 

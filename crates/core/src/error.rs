@@ -13,6 +13,11 @@ pub enum DeepDbError {
     Unsupported(String),
     /// Ensemble construction failed.
     Learning(String),
+    /// A [`PreparedQuery`](crate::PreparedQuery) outlived its plan epoch:
+    /// the ensemble was recompiled or absorbed updates since `prepare`, so
+    /// the frozen probe artifact may no longer match the models. Re-prepare
+    /// against the current ensemble.
+    StalePlan,
 }
 
 impl From<StorageError> for DeepDbError {
@@ -28,6 +33,11 @@ impl std::fmt::Display for DeepDbError {
             Self::NotAnswerable(msg) => write!(f, "query not answerable by ensemble: {msg}"),
             Self::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
             Self::Learning(msg) => write!(f, "ensemble learning failed: {msg}"),
+            Self::StalePlan => write!(
+                f,
+                "prepared query is stale: the ensemble's plan epoch advanced \
+                 (recompile or update since prepare); re-prepare required"
+            ),
         }
     }
 }

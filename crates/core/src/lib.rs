@@ -41,6 +41,7 @@
 //!   `deepdb-spn`.
 
 mod aqp;
+pub mod cache;
 pub mod combine;
 pub mod compile;
 mod ensemble;
@@ -52,6 +53,7 @@ mod plan;
 mod rspn;
 
 pub use aqp::{execute_aqp, AqpOutput, AqpResult};
+pub use cache::{query_literals, CacheStats, PreparedQuery};
 pub use ensemble::{Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy};
 pub use error::DeepDbError;
 pub use estimate::Estimate;

@@ -57,15 +57,13 @@ pub fn predict_regression_batch<R: AsRef<[(ColId, Value)]>>(
     if rows.is_empty() {
         return Ok(Vec::new());
     }
-    let idx = rspn_for(ens, table, target)?;
+    // Member selection, target column, and the join-normalization factor
+    // columns (paper §4.2: per-`table`-row answers, not per-join-row) are a
+    // pure function of (table, target) — cached across batches.
+    let prelude = crate::cache::ml_prelude(ens, table, target, true)?;
+    let (idx, target_col) = (prelude.idx, prelude.target_col);
     let rspn = &ens.rspns()[idx];
-    let target_col = rspn
-        .data_column(table, target)
-        .expect("selected to contain target");
-    // If the RSPN spans a join, normalize by the tuple factors so the answer
-    // is per-`table`-row, not per-join-row (paper §4.2).
-    let present = std::collections::BTreeSet::from([table]);
-    let factors = rspn.normalization_factor_cols(&present);
+    let factors = &prelude.factors;
 
     let mut plan = ProbePlan::new();
     let mut handles: Vec<(ProbeHandle, ProbeHandle)> = Vec::with_capacity(rows.len());
@@ -73,7 +71,7 @@ pub fn predict_regression_batch<R: AsRef<[(ColId, Value)]>>(
         let mut q = rspn.new_query();
         rspn.require_present(&mut q, table);
         add_evidence(rspn, db, table, row.as_ref(), &mut q);
-        for &f in &factors {
+        for &f in factors {
             q.set_func(f, LeafFunc::InvClamp1);
         }
         let mut den_q = q.clone();
@@ -88,7 +86,7 @@ pub fn predict_regression_batch<R: AsRef<[(ColId, Value)]>>(
     uq.set_func(target_col, LeafFunc::X);
     let mut upq = rspn.new_query();
     upq.add_pred(target_col, LeafPred::IsNotNull);
-    for &f in &factors {
+    for &f in factors {
         uq.set_func(f, LeafFunc::InvClamp1);
         upq.set_func(f, LeafFunc::InvClamp1);
     }
@@ -137,11 +135,11 @@ pub fn predict_classification_batch<R: AsRef<[(ColId, Value)]>>(
     if rows.is_empty() {
         return Ok(Vec::new());
     }
-    let idx = rspn_for(ens, table, target)?;
+    // Member selection and target column are a pure function of
+    // (table, target) — cached across batches.
+    let prelude = crate::cache::ml_prelude(ens, table, target, false)?;
+    let (idx, target_col) = (prelude.idx, prelude.target_col);
     let rspn = &ens.rspns()[idx];
-    let target_col = rspn
-        .data_column(table, target)
-        .expect("selected to contain target");
 
     let mut plan = ProbePlan::new();
     let mut handles: Vec<(ProbeHandle, MpeHandle)> = Vec::with_capacity(rows.len());
@@ -179,7 +177,11 @@ fn mode_to_value(v: f64) -> Value {
     }
 }
 
-fn rspn_for(ens: &Ensemble, table: TableId, target: ColId) -> Result<usize, DeepDbError> {
+pub(crate) fn rspn_for(
+    ens: &Ensemble,
+    table: TableId,
+    target: ColId,
+) -> Result<usize, DeepDbError> {
     ens.rspns()
         .iter()
         .enumerate()

@@ -236,6 +236,106 @@ impl ProbePlan {
             members: results,
         }
     }
+
+    /// Whether two plans have identical probe *structure*: same member
+    /// sequence, same per-member probe counts, and pairwise shape-equal
+    /// expectation probes ([`SpnQuery::same_shape`]) — everything except the
+    /// literal `f64` values. Layout-equal plans expose identical
+    /// [`ProbePlan::flat_literals`] walks, which is what lets the plan cache
+    /// diff two builds of the same query shape and record literal binds.
+    pub(crate) fn same_layout(&self, other: &ProbePlan) -> bool {
+        self.members.len() == other.members.len()
+            && self.members.iter().zip(&other.members).all(|(a, b)| {
+                a.member == b.member
+                    && a.expect.len() == b.expect.len()
+                    && a.mpe.len() == b.mpe.len()
+                    && a.expect.iter().zip(&b.expect).all(|(x, y)| x.same_shape(y))
+            })
+    }
+
+    /// Append every literal of every expectation probe to `out`, in the
+    /// canonical flat order: members in first-registration order, probes in
+    /// registration order, literals in [`SpnQuery::for_each_literal`] order.
+    pub(crate) fn flat_literals(&self, out: &mut Vec<f64>) {
+        for m in &self.members {
+            for q in &m.expect {
+                q.for_each_literal(|v| out.push(v));
+            }
+        }
+    }
+
+    /// Overwrite bound literal slots in place: `binds` maps flat literal
+    /// positions (the [`ProbePlan::flat_literals`] order) to indices into
+    /// `literals`, sorted ascending by position. Unbound positions (plan
+    /// constants: ±∞ range endpoints, join-indicator values, translated
+    /// representatives) are left untouched. Allocation-free.
+    pub(crate) fn rebind_literals(&mut self, binds: &[(u32, u32)], literals: &[f64]) {
+        let mut next = 0usize;
+        let mut pos = 0u32;
+        for m in &mut self.members {
+            for q in &mut m.expect {
+                q.for_each_literal_mut(|slot| {
+                    if next < binds.len() && binds[next].0 == pos {
+                        *slot = literals[binds[next].1 as usize];
+                        next += 1;
+                    }
+                    pos += 1;
+                });
+            }
+        }
+        debug_assert_eq!(next, binds.len(), "bind positions out of range");
+    }
+
+    /// A pre-sized result holder for [`ProbePlan::execute_into`] — allocate
+    /// once at prepare time, reuse for every execution.
+    pub(crate) fn blank_results(&self) -> ProbeResults {
+        ProbeResults {
+            plan: self.id,
+            members: self
+                .members
+                .iter()
+                .map(|m| MemberResults {
+                    member: m.member,
+                    values: vec![0.0; m.expect.len()],
+                    mpe: vec![MpeOutcome::default(); m.mpe.len()],
+                })
+                .collect(),
+        }
+    }
+
+    /// Execute the plan inline on the calling thread into pre-sized
+    /// `results`, reusing grow-only sweep scratch: the zero-allocation hot
+    /// path of a [`PreparedQuery`](crate::PreparedQuery). One fused sweep
+    /// per touched member, each member owning its own [`InlineSweep`] so the
+    /// leaf-value tables keep their per-model shape across executions
+    /// (sharing one table across differently-shaped models would realloc on
+    /// every alternation). Bitwise identical to [`ProbePlan::execute`] (the
+    /// per-tile arithmetic is shared with the pooled path).
+    pub(crate) fn execute_into(
+        &self,
+        ens: &Ensemble,
+        sweeps: &mut Vec<deepdb_spn::InlineSweep>,
+        results: &mut ProbeResults,
+    ) {
+        assert_eq!(results.plan, self.id, "results belong to a different plan");
+        if sweeps.len() < self.members.len() {
+            sweeps.resize_with(self.members.len(), deepdb_spn::InlineSweep::new);
+        }
+        for ((m, r), sweep) in self
+            .members
+            .iter()
+            .zip(results.members.iter_mut())
+            .zip(sweeps.iter_mut())
+        {
+            sweep.sweep(
+                ens.rspns()[m.member].engine(),
+                &m.expect,
+                &mut r.values,
+                &m.mpe,
+                &mut r.mpe,
+            );
+        }
+    }
 }
 
 #[derive(Debug, Clone)]

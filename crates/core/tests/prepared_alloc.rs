@@ -1,0 +1,90 @@
+//! Acceptance check: the prepared-query execute path performs **zero heap
+//! allocations** in steady state. A counting `#[global_allocator]` wraps the
+//! system allocator; after a short warmup (thread-local evaluator scratch and
+//! the inline sweep's grow-only leaf-value tables reach capacity), repeated
+//! `PreparedQuery::execute` calls must not allocate at all.
+//!
+//! Everything runs in ONE `#[test]` so no concurrently running test can
+//! pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use deepdb_core::{query_literals, EnsembleBuilder, EnsembleParams, EnsembleStrategy};
+use deepdb_storage::fixtures::correlated_customer_order;
+use deepdb_storage::{CmpOp, PredOp, Query, Value};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`; only adds a relaxed counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn prepared_execute_steady_state_allocates_nothing() {
+    let db = correlated_customer_order(900, 13);
+    let params = EnsembleParams {
+        strategy: EnsembleStrategy::SingleTables,
+        sample_size: 8_000,
+        correlation_sample: 800,
+        ..EnsembleParams::default()
+    };
+    let ens = EnsembleBuilder::new(&db).params(params).build().unwrap();
+
+    // Covered single-table COUNT and a Case-3 two-table COUNT (the
+    // single-table ensemble must combine both members).
+    let scenarios = [
+        Query::count(vec![0])
+            .filter(0, 1, PredOp::Between(Value::Int(20), Value::Int(60)))
+            .filter(0, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(1))),
+        Query::count(vec![0, 1])
+            .filter(0, 1, PredOp::Cmp(CmpOp::Le, Value::Int(55)))
+            .filter(1, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0))),
+    ];
+
+    for (si, query) in scenarios.iter().enumerate() {
+        let mut prepared = ens.prepare(&db, query).unwrap();
+        assert!(prepared.is_bound(), "scenario {si} must bind");
+        let mut literals = query_literals(query);
+
+        // Warmup: grow the inline sweep tables and thread-local scratch.
+        for _ in 0..3 {
+            prepared.execute(&ens, &db, &literals).unwrap();
+        }
+
+        // Steady state: vary a literal each round (forcing real rebinds) and
+        // demand zero allocations across 10 executions.
+        let mut sink = 0.0;
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for round in 0..10 {
+            literals[0] = 20.0 + round as f64;
+            sink += prepared.execute(&ens, &db, &literals).unwrap().value;
+        }
+        let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+        assert_eq!(
+            allocs, 0,
+            "scenario {si}: prepared execute allocated {allocs} times in steady state"
+        );
+        assert!(sink.is_finite());
+    }
+}

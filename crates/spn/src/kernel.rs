@@ -164,16 +164,38 @@ impl LeafValueTable {
         self.n_cols = n_cols;
 
         // Hoist predicate normalization: once per (probe, column) per batch.
-        // The recursive oracle re-normalizes at every leaf visit.
-        self.slots.clear();
-        self.slots.reserve(n_q * n_cols);
+        // The recursive oracle re-normalizes at every leaf visit. Existing
+        // compiled slots are re-assigned in place ([`NormPred::assign`]), so
+        // a table rebuilt for the same probe layout — the steady state of a
+        // prepared query — allocates nothing.
+        self.slots.truncate(n_q * n_cols);
+        let reusable = self.slots.len();
+        let mut idx = 0;
         for p in probes {
             let q = K::query(p);
             for col in 0..n_cols {
-                self.slots.push(
-                    q.slot(col)
-                        .map(|s| (s.func.unwrap_or(LeafFunc::One), NormPred::new(&s.preds))),
-                );
+                let src = q.slot(col);
+                if idx < reusable {
+                    let dst = &mut self.slots[idx];
+                    match src {
+                        None => *dst = None,
+                        Some(s) => {
+                            let func = s.func.unwrap_or(LeafFunc::One);
+                            match dst {
+                                Some((f, np)) => {
+                                    *f = func;
+                                    np.assign(&s.preds);
+                                }
+                                None => *dst = Some((func, NormPred::new(&s.preds))),
+                            }
+                        }
+                    }
+                } else {
+                    self.slots.push(
+                        src.map(|s| (s.func.unwrap_or(LeafFunc::One), NormPred::new(&s.preds))),
+                    );
+                }
+                idx += 1;
             }
         }
 

@@ -69,6 +69,22 @@ fn bin_index(lo: f64, width: f64, nb: usize, v: f64) -> usize {
     (((v - lo) / width) as isize).clamp(0, nb as isize - 1) as usize
 }
 
+/// Shape class of a normalized predicate, computed once per slot so the
+/// per-leaf hot path ([`Leaf::expect_norm`]) can dispatch straight to a
+/// single histogram lookup for the two dominant query shapes (equality
+/// points and pure ranges) instead of walking the general machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PredClass {
+    /// Exactly one finite equality value, no range/not-in constraints:
+    /// one binary search answers it.
+    Point,
+    /// Pure range (possibly unbounded), no value sets: two partition
+    /// points and a prefix-sum difference answer it.
+    Range,
+    /// Everything else takes the general path.
+    General,
+}
+
 /// Conjunction of leaf predicates normalized to one range + value sets.
 /// Built once per (query, column) by the batch evaluator and reused across
 /// every leaf with that column — the recursive evaluator rebuilds it per
@@ -83,6 +99,10 @@ pub(crate) struct NormPred {
     not_in: Vec<f64>,
     want_null: bool,
     want_not_null: bool,
+    /// Spare buffer so [`NormPred::assign`] can drop an `In` set without
+    /// losing its allocation for the next reuse of this slot.
+    in_spare: Vec<f64>,
+    class: PredClass,
 }
 
 impl NormPred {
@@ -96,7 +116,28 @@ impl NormPred {
             not_in: Vec::new(),
             want_null: false,
             want_not_null: false,
+            in_spare: Vec::new(),
+            class: PredClass::General,
         };
+        np.assign(preds);
+        np
+    }
+
+    /// Re-normalize `preds` into this slot in place, reusing every buffer —
+    /// the steady-state path of a reused
+    /// [`crate::kernel::LeafValueTable`] allocates nothing here.
+    pub(crate) fn assign(&mut self, preds: &[LeafPred]) {
+        self.lo = f64::NEG_INFINITY;
+        self.hi = f64::INFINITY;
+        self.lo_strict = false;
+        self.hi_strict = false;
+        if let Some(mut set) = self.in_set.take() {
+            set.clear();
+            self.in_spare = set;
+        }
+        self.not_in.clear();
+        self.want_null = false;
+        self.want_not_null = false;
         for p in preds {
             match p {
                 LeafPred::Range {
@@ -105,30 +146,53 @@ impl NormPred {
                     lo_incl,
                     hi_incl,
                 } => {
-                    if *lo > np.lo || (*lo == np.lo && !lo_incl) {
-                        np.lo = *lo;
-                        np.lo_strict = !lo_incl;
+                    if *lo > self.lo || (*lo == self.lo && !lo_incl) {
+                        self.lo = *lo;
+                        self.lo_strict = !lo_incl;
                     }
-                    if *hi < np.hi || (*hi == np.hi && !hi_incl) {
-                        np.hi = *hi;
-                        np.hi_strict = !hi_incl;
+                    if *hi < self.hi || (*hi == self.hi && !hi_incl) {
+                        self.hi = *hi;
+                        self.hi_strict = !hi_incl;
                     }
                 }
-                LeafPred::In(vs) => {
-                    let mut vs = vs.clone();
-                    vs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-                    vs.dedup();
-                    np.in_set = Some(match np.in_set.take() {
-                        None => vs,
-                        Some(prev) => prev.into_iter().filter(|v| vs.contains(v)).collect(),
-                    });
-                }
-                LeafPred::NotIn(vs) => np.not_in.extend_from_slice(vs),
-                LeafPred::IsNull => np.want_null = true,
-                LeafPred::IsNotNull => np.want_not_null = true,
+                LeafPred::In(vs) => match &mut self.in_set {
+                    None => {
+                        let mut buf = std::mem::take(&mut self.in_spare);
+                        buf.clear();
+                        buf.extend_from_slice(vs);
+                        buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                        buf.dedup();
+                        self.in_set = Some(buf);
+                    }
+                    // Intersection: membership is set-based, so checking
+                    // against the raw (unsorted) new list keeps results
+                    // identical to sorting it first.
+                    Some(prev) => prev.retain(|v| vs.contains(v)),
+                },
+                LeafPred::NotIn(vs) => self.not_in.extend_from_slice(vs),
+                LeafPred::IsNull => self.want_null = true,
+                LeafPred::IsNotNull => self.want_not_null = true,
             }
         }
-        np
+        // NaN equality values must stay on the general path: its
+        // `value_passes` filter rejects them before the binary search (whose
+        // total-order fallback could otherwise spuriously match).
+        self.class = if self.want_null || !self.not_in.is_empty() {
+            PredClass::General
+        } else {
+            match &self.in_set {
+                None => PredClass::Range,
+                Some(s)
+                    if s.len() == 1
+                        && s[0].is_finite()
+                        && self.lo == f64::NEG_INFINITY
+                        && self.hi == f64::INFINITY =>
+                {
+                    PredClass::Point
+                }
+                Some(_) => PredClass::General,
+            }
+        };
     }
 
     /// Structural equality by float *bits* (NaN-safe, `±0.0`-distinguishing).
@@ -342,6 +406,45 @@ impl Leaf {
                 cum,
             } => {
                 let fi = FUNCS.iter().position(|f| *f == func).unwrap();
+                match np.class {
+                    // Equality point: one binary search, no per-value
+                    // filtering. The `0.0 +` mirrors the general
+                    // accumulator's first addition so a `-0.0` contribution
+                    // stays bitwise identical.
+                    PredClass::Point => {
+                        let v = np.in_set.as_deref().expect("point class has a set")[0];
+                        let mut acc = 0.0;
+                        if let Ok(i) = values.binary_search_by(|a| {
+                            a.partial_cmp(&v).unwrap_or(std::cmp::Ordering::Equal)
+                        }) {
+                            acc += apply(func, v) * counts[i] as f64;
+                        }
+                        return acc / total;
+                    }
+                    // Pure range: prefix-sum difference with no NotIn
+                    // subtraction pass (it would iterate an empty set).
+                    PredClass::Range => {
+                        let start = if np.lo == f64::NEG_INFINITY {
+                            0
+                        } else if np.lo_strict {
+                            values.partition_point(|&v| v <= np.lo)
+                        } else {
+                            values.partition_point(|&v| v < np.lo)
+                        };
+                        let end = if np.hi == f64::INFINITY {
+                            values.len()
+                        } else if np.hi_strict {
+                            values.partition_point(|&v| v < np.hi)
+                        } else {
+                            values.partition_point(|&v| v <= np.hi)
+                        };
+                        if start >= end {
+                            return 0.0;
+                        }
+                        return (cum[fi][end] - cum[fi][start]) / total;
+                    }
+                    PredClass::General => {}
+                }
                 if let Some(set) = &np.in_set {
                     let mut acc = 0.0;
                     for &v in set {
@@ -839,6 +942,9 @@ mod tests {
                 hi_incl: false,
             }],
             vec![LeafPred::In(vec![2.0, 9.0, 42.0])],
+            vec![LeafPred::In(vec![5.0])],
+            vec![LeafPred::In(vec![42.0])],
+            vec![LeafPred::In(vec![f64::NAN])],
             vec![LeafPred::NotIn(vec![5.0])],
             vec![LeafPred::IsNull],
             vec![LeafPred::IsNotNull],

@@ -471,6 +471,70 @@ pub fn sweep_models(jobs: Vec<SweepJob<'_>>, threads: usize) {
     WorkerPool::global().sweep(jobs, threads)
 }
 
+/// Allocation-free single-threaded fused sweep for prepared queries.
+///
+/// [`WorkerPool::sweep`] builds fresh per-job leaf-value tables and a tile
+/// vector on every call — fine for ad-hoc plans, but a prepared query that
+/// executes thousands of times wants a **zero-allocation** steady state.
+/// `InlineSweep` owns both job-wide tables (grow-only, reassigned in place
+/// per sweep) and drives the tiles inline on the calling thread with its
+/// thread-local pinned scratch. The per-tile arithmetic is the same
+/// [`crate::BatchEvaluator`] chunk path every other sweep runs, so results
+/// are bitwise identical to pooled and ad-hoc execution.
+#[derive(Debug, Clone, Default)]
+pub struct InlineSweep {
+    expect_table: LeafValueTable,
+    mpe_table: LeafValueTable,
+}
+
+impl InlineSweep {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One fused sweep of one model: expectation probes and max-product
+    /// probes (either batch may be empty), outputs written in probe order.
+    /// Advances the model's sweep counter once when any probe ran.
+    pub fn sweep(
+        &mut self,
+        spn: &CompiledSpn,
+        queries: &[SpnQuery],
+        out: &mut [f64],
+        mpe: &[MpeProbe],
+        mpe_out: &mut [MpeOutcome],
+    ) {
+        assert_eq!(queries.len(), out.len(), "sweep job arity mismatch");
+        assert_eq!(mpe.len(), mpe_out.len(), "sweep job MPE arity mismatch");
+        if queries.is_empty() && mpe.is_empty() {
+            return;
+        }
+        if !queries.is_empty() {
+            self.expect_table.build::<Expectation>(spn, queries);
+        }
+        if !mpe.is_empty() {
+            self.mpe_table.build::<MaxProduct>(spn, mpe);
+        }
+        spn.note_sweep();
+        SUBMITTER_SCRATCH.with(|s| {
+            let scratch = &mut *s.borrow_mut();
+            let mut base = 0;
+            for (q, o) in queries.chunks(SWEEP_TILE).zip(out.chunks_mut(SWEEP_TILE)) {
+                scratch
+                    .expect
+                    .evaluate_chunk_shared(spn, q, &self.expect_table, base, o);
+                base += q.len();
+            }
+            let mut base = 0;
+            for (p, o) in mpe.chunks(SWEEP_TILE).zip(mpe_out.chunks_mut(SWEEP_TILE)) {
+                scratch
+                    .maxprod
+                    .evaluate_chunk_shared(spn, p, &self.mpe_table, base, o);
+                base += p.len();
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -92,8 +92,9 @@ pub use deepdb_storage as storage;
 
 // Flat re-exports of the primary public API.
 pub use deepdb_core::{
-    compile, execute_aqp, ml, AqpOutput, AqpResult, DeepDbError, Ensemble, EnsembleBuilder,
-    EnsembleParams, EnsembleStrategy, Estimate, FunctionalDependency, Rspn,
+    compile, execute_aqp, ml, query_literals, AqpOutput, AqpResult, CacheStats, DeepDbError,
+    Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy, Estimate, FunctionalDependency,
+    PreparedQuery, Rspn,
 };
 pub use deepdb_storage::{
     execute, Aggregate, CmpOp, ColumnRef, Database, Domain, PredOp, Predicate, Query, TableSchema,
@@ -103,8 +104,8 @@ pub use deepdb_storage::{
 /// Everything needed for typical use, importable as `use deepdb::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        compile, execute, execute_aqp, Aggregate, AqpOutput, CmpOp, ColumnRef, Database,
-        DeepDbError, Domain, Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy, PredOp,
-        Query, TableSchema, Value,
+        compile, execute, execute_aqp, query_literals, Aggregate, AqpOutput, CacheStats, CmpOp,
+        ColumnRef, Database, DeepDbError, Domain, Ensemble, EnsembleBuilder, EnsembleParams,
+        EnsembleStrategy, PredOp, PreparedQuery, Query, TableSchema, Value,
     };
 }
