@@ -342,7 +342,7 @@ pub(crate) enum Resolver {
 }
 
 impl Resolver {
-    fn resolve_single(&self, r: &ProbeResults) -> Result<Estimate, DeepDbError> {
+    pub(crate) fn resolve_single(&self, r: &ProbeResults) -> Result<Estimate, DeepDbError> {
         match self {
             Resolver::Count(d) => d.resolve(r),
             Resolver::Avg(d) => Ok(d.resolve(r)),
@@ -632,13 +632,13 @@ impl PlanCache {
 // Cached entry-point routing
 // ---------------------------------------------------------------------------
 
-enum Obtained {
+pub(crate) enum Obtained {
     Owned(Box<Resolver>),
     Shared(Arc<PlanArtifact>),
 }
 
 impl Obtained {
-    fn resolver(&self) -> &Resolver {
+    pub(crate) fn resolver(&self) -> &Resolver {
         match self {
             Obtained::Owned(r) => r,
             Obtained::Shared(a) => &a.resolver,
@@ -649,8 +649,10 @@ impl Obtained {
 /// Get an executable plan for `(query, kind, disjuncts)`: a rebound clone of
 /// a cached artifact on a hit; a cold build (inserted when bind discovery
 /// succeeds) otherwise. With the cache disabled this is exactly the old cold
-/// path — no lookup, no discovery.
-fn obtain(
+/// path — no lookup, no discovery. Also the per-request planning step of the
+/// serving front-end ([`crate::serve`]), whose batches absorb the returned
+/// plan and resolve through the returned [`Obtained`].
+pub(crate) fn obtain(
     ens: &Ensemble,
     db: &Database,
     query: &Query,
@@ -851,6 +853,9 @@ pub(crate) fn ml_prelude(
 pub struct PreparedQuery {
     epoch: u64,
     n_literals: usize,
+    /// The original query, kept pristine so the serving layer can
+    /// re-prepare after a [`DeepDbError::StalePlan`].
+    source: Query,
     inner: PreparedInner,
 }
 
@@ -942,6 +947,7 @@ pub(crate) fn prepare(
     Ok(PreparedQuery {
         epoch,
         n_literals: literals.len(),
+        source: query.clone(),
         inner,
     })
 }
@@ -1001,5 +1007,12 @@ impl PreparedQuery {
     /// Plan epoch this query was prepared under.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The source query this was prepared from (literals as of prepare
+    /// time) — what [`crate::serve::ServeFront::serve_prepared`] re-prepares
+    /// after a [`DeepDbError::StalePlan`].
+    pub fn source(&self) -> &Query {
+        &self.source
     }
 }

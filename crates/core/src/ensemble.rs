@@ -2,6 +2,7 @@
 //! direct updates (paper §3.3, §5.2, §5.3).
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use deepdb_spn::rdc::{rdc, RdcParams};
 use deepdb_spn::{SpnParams, WorkerPool};
@@ -263,7 +264,7 @@ impl<'a> EnsembleBuilder<'a> {
             updates_absorbed: 0,
             probe_threads: 0,
             pool: WorkerPool::new(),
-            plan_epoch: 0,
+            plan_epoch: AtomicU64::new(0),
             plan_cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
         })
     }
@@ -294,8 +295,10 @@ pub struct Ensemble {
     /// Plan-cache invalidation epoch: bumped by [`Ensemble::recompile_models`]
     /// and every coverage-/count-changing maintenance operation. Every cache
     /// key and [`crate::PreparedQuery`] embeds the epoch at creation, so
-    /// stale plans can never be reused. Runtime-only, not part of snapshots.
-    plan_epoch: u64,
+    /// stale plans can never be reused. Atomic so concurrent serving can
+    /// observe (and [`Ensemble::invalidate_plans`] can bump) it through
+    /// `&Ensemble`. Runtime-only, not part of snapshots.
+    plan_epoch: AtomicU64,
     /// Shape-keyed LRU cache of plan artifacts, grouped templates, and
     /// member-selection preludes (see [`crate::cache`]). Runtime-only, not
     /// part of snapshots.
@@ -491,11 +494,22 @@ impl Ensemble {
     /// [`Ensemble::recompile_models`] and every update/maintenance call;
     /// cache keys and [`crate::PreparedQuery`] handles embed it.
     pub fn plan_epoch(&self) -> u64 {
-        self.plan_epoch
+        self.plan_epoch.load(Ordering::Acquire)
     }
 
-    fn bump_plan_epoch(&mut self) {
-        self.plan_epoch += 1;
+    fn bump_plan_epoch(&self) {
+        self.plan_epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Advance the plan epoch through a shared reference, invalidating every
+    /// cached plan artifact and outstanding [`crate::PreparedQuery`] without
+    /// touching the models — the escape hatch for external model surgery
+    /// and the chaos harness's mid-flight "maintenance landed" injection.
+    /// Regular maintenance ([`Ensemble::recompile_models`], the update
+    /// entry points) bumps the epoch itself; calling this as well is
+    /// harmless (plans just go stale twice).
+    pub fn invalidate_plans(&self) {
+        self.bump_plan_epoch();
     }
 
     pub(crate) fn plan_cache(&self) -> &PlanCache {
@@ -951,7 +965,11 @@ impl Ensemble {
                 parent_col: read_u64(r)? as usize,
             };
             let n = read_u32(r)? as usize;
-            let mut map = HashMap::with_capacity(n);
+            // Cap the preallocation: `n` is attacker-/corruption-controlled
+            // (up to u32::MAX); the map still grows to the real entry count,
+            // but a bit-flipped length can no longer demand gigabytes up
+            // front — it just runs into EOF below.
+            let mut map = HashMap::with_capacity(n.min(1 << 16));
             for _ in 0..n {
                 let k = read_i64(r)?;
                 map.insert(k, read_u32(r)?);
@@ -963,7 +981,8 @@ impl Ensemble {
         for _ in 0..n_pk {
             let t = read_u64(r)? as usize;
             let n = read_u32(r)? as usize;
-            let mut map = HashMap::with_capacity(n);
+            // Same corruption-bounded preallocation cap as factor caches.
+            let mut map = HashMap::with_capacity(n.min(1 << 16));
             for _ in 0..n {
                 let k = read_i64(r)?;
                 map.insert(k, read_u32(r)?);
@@ -1014,7 +1033,7 @@ impl Ensemble {
             updates_absorbed,
             probe_threads: 0,
             pool: WorkerPool::new(),
-            plan_epoch: 0,
+            plan_epoch: AtomicU64::new(0),
             plan_cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
         })
     }

@@ -51,6 +51,7 @@ mod fd;
 pub mod ml;
 mod plan;
 mod rspn;
+pub mod serve;
 
 pub use aqp::{execute_aqp, AqpOutput, AqpResult};
 pub use cache::{query_literals, CacheStats, PreparedQuery};
@@ -60,3 +61,4 @@ pub use estimate::Estimate;
 pub use fd::FunctionalDependency;
 pub use plan::{MpeHandle, ProbeHandle, ProbePlan, ProbeResults};
 pub use rspn::Rspn;
+pub use serve::{FaultPlan, FaultSite, ServeConfig, ServeFront, ServeStats};

@@ -35,7 +35,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use deepdb_spn::{MpeOutcome, MpeProbe, SpnQuery, SweepJob, SWEEP_TILE};
+use deepdb_spn::{CancelFlag, MpeOutcome, MpeProbe, SpnQuery, SweepJob, TileFaultFn, SWEEP_TILE};
 
 use crate::ensemble::Ensemble;
 
@@ -196,6 +196,22 @@ impl ProbePlan {
     /// (`0` = the ensemble's budget). `threads <= 1` runs inline; results
     /// are identical either way.
     pub fn execute_with_threads(&self, ens: &Ensemble, threads: usize) -> ProbeResults {
+        self.execute_guarded(ens, threads, None, None)
+    }
+
+    /// Like [`ProbePlan::execute_with_threads`], with serving hooks: a
+    /// cooperative [`CancelFlag`] checked at every tile claim (deadline
+    /// enforcement — a cancelled execution's outputs are garbage, so the
+    /// caller must check the flag before trusting them) and a
+    /// deterministic tile fault hook (chaos testing). With both `None`
+    /// this *is* `execute_with_threads`, bitwise.
+    pub fn execute_guarded(
+        &self,
+        ens: &Ensemble,
+        threads: usize,
+        cancel: Option<&CancelFlag>,
+        fault: Option<&TileFaultFn<'_>>,
+    ) -> ProbeResults {
         let mut results: Vec<MemberResults> = self
             .members
             .iter()
@@ -228,12 +244,46 @@ impl ProbePlan {
                 out: &mut r.values,
                 mpe: &m.mpe,
                 mpe_out: &mut r.mpe,
+                cancel,
+                fault,
             })
             .collect();
         ens.worker_pool().sweep(jobs, threads);
         ProbeResults {
             plan: self.id,
             members: results,
+        }
+    }
+
+    /// Cross-query fusion: append every probe of `other` into this plan's
+    /// per-member batches, returning a [`PlanStitch`] that records where
+    /// each of `other`'s per-member slices landed. After executing `self`
+    /// once (one fused sweep per touched member covering *all* absorbed
+    /// clients), [`ProbeResults::extract`] demuxes a per-client
+    /// `ProbeResults` whose plan id is `other.id` — so handles and
+    /// resolvers issued against `other` resolve against it unchanged.
+    ///
+    /// Registration order within each member is preserved per client, and
+    /// a probe's value depends only on its own `SpnQuery` and the semiring
+    /// sweep (never on batch-mates), so the fused values are bitwise
+    /// identical to executing `other` alone.
+    pub(crate) fn absorb(&mut self, other: &ProbePlan) -> PlanStitch {
+        let mut parts = Vec::with_capacity(other.members.len());
+        for m in &other.members {
+            let entry = self.member_entry(m.member);
+            parts.push(StitchPart {
+                member: m.member,
+                expect_off: entry.expect.len(),
+                expect_len: m.expect.len(),
+                mpe_off: entry.mpe.len(),
+                mpe_len: m.mpe.len(),
+            });
+            entry.expect.extend(m.expect.iter().cloned());
+            entry.mpe.extend(m.mpe.iter().cloned());
+        }
+        PlanStitch {
+            plan: other.id,
+            parts,
         }
     }
 
@@ -338,6 +388,26 @@ impl ProbePlan {
     }
 }
 
+/// One absorbed client's footprint inside one member batch of a fused
+/// serving plan.
+#[derive(Debug, Clone)]
+struct StitchPart {
+    member: usize,
+    expect_off: usize,
+    expect_len: usize,
+    mpe_off: usize,
+    mpe_len: usize,
+}
+
+/// Where one absorbed client plan's probes landed inside a fused serving
+/// plan — the demux map consumed by [`ProbeResults::extract`].
+#[derive(Debug, Clone)]
+pub(crate) struct PlanStitch {
+    /// Id of the absorbed (client) plan; extracted results carry it.
+    plan: u64,
+    parts: Vec<StitchPart>,
+}
+
 #[derive(Debug, Clone)]
 struct MemberResults {
     member: usize,
@@ -377,6 +447,32 @@ impl ProbeResults {
             .and_then(|m| m.mpe.get(h.slot))
             .copied()
             .unwrap_or_else(|| panic!("MPE handle {h:?} does not belong to these results"))
+    }
+
+    /// Demux one absorbed client's slice of a fused serving sweep back into
+    /// a standalone `ProbeResults` carrying the client plan's id — the
+    /// client's own handles and resolvers index it directly.
+    pub(crate) fn extract(&self, stitch: &PlanStitch) -> ProbeResults {
+        let members = stitch
+            .parts
+            .iter()
+            .map(|p| {
+                let m = self
+                    .members
+                    .iter()
+                    .find(|m| m.member == p.member)
+                    .expect("stitch member missing from fused results");
+                MemberResults {
+                    member: p.member,
+                    values: m.values[p.expect_off..p.expect_off + p.expect_len].to_vec(),
+                    mpe: m.mpe[p.mpe_off..p.mpe_off + p.mpe_len].to_vec(),
+                }
+            })
+            .collect();
+        ProbeResults {
+            plan: stitch.plan,
+            members,
+        }
     }
 
     fn lookup(&self, h: ProbeHandle) -> &f64 {

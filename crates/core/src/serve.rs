@@ -1,0 +1,913 @@
+//! Fault-tolerant concurrent serving front-end with cross-query probe
+//! fusion.
+//!
+//! [`ProbePlan`] fuses all probes of *one* query into one sweep per touched
+//! member; [`ServeFront`] fuses the probes of *many in-flight queries* the
+//! same way — the classic dynamic-batching trick from model serving, sound
+//! here because a probe's value depends only on its own `SpnQuery` and the
+//! semiring sweep, never on batch-mates (so fused answers are **bitwise**
+//! identical to per-client execution).
+//!
+//! # Serving lifecycle
+//!
+//! 1. **Admission** — a bounded in-flight counter; requests beyond
+//!    [`ServeConfig::queue_capacity`] are rejected immediately with
+//!    [`DeepDbError::Overloaded`] (backpressure, no unbounded queueing).
+//! 2. **Plan** — the request routes through the plan cache
+//!    ([`crate::cache`]): a shape hit costs one literal rebind.
+//! 3. **Window** — the request's probes are absorbed into the forming
+//!    batch's shared [`ProbePlan`] ([`ProbePlan::absorb`]); the first
+//!    client in becomes the batch **leader** and waits up to the (pressure-
+//!    adjusted) batching window for co-batched arrivals, or until the batch
+//!    reaches [`ServeConfig::max_batch`].
+//! 4. **Fused sweep** — the leader executes the shared plan: **one fused
+//!    sweep per touched RSPN member per window**, tiles spread over the
+//!    ensemble's persistent worker pool, with a batch-wide [`CancelFlag`]
+//!    checked at every tile claim.
+//! 5. **Demux** — per-client slices are extracted back out
+//!    ([`ProbeResults::extract`]) and handed to each waiting client through
+//!    its slot; each client resolves its own typed handles.
+//!
+//! # Robustness contract
+//!
+//! Every `serve` call returns either a **bitwise-correct answer** (equal to
+//! executing the query alone, unfused) or a **typed error** — never a wrong
+//! answer, never a hang:
+//!
+//! * **Deadlines** — a per-query deadline cancels shared sweeps
+//!   cooperatively at tile boundaries (only once *every* co-batched query's
+//!   deadline has passed — shared work is cancelled only when nobody wants
+//!   it) and bounds the client's wait on its result slot. Misses surface as
+//!   [`DeepDbError::DeadlineExceeded`] and shrink the batching window
+//!   (graceful degradation: less batching latency under pressure, window
+//!   recovery on clean batches).
+//! * **Panic isolation** — a panic inside the fused sweep aborts only the
+//!   shared execution; the leader re-executes every co-batched query
+//!   *individually* under its own `catch_unwind`, so the faulty query alone
+//!   fails with [`DeepDbError::QueryPanicked`] while its peers still get
+//!   bitwise-correct answers. The worker pool self-heals (panicked workers
+//!   replace their scratch wholesale).
+//! * **Maintenance races** — plan-epoch bumps landing mid-flight are
+//!   detected after the sweep; affected requests retry **once** end to end
+//!   (re-plan, re-batch, re-sweep) and only then surface
+//!   [`DeepDbError::StalePlan`]. Stale results are never returned.
+//!
+//! # Chaos testing
+//!
+//! [`FaultPlan`] is a deterministic, seeded fault injector with hooks at
+//! four named sites — [`FaultSite::Admission`], [`FaultSite::CacheLookup`],
+//! [`FaultSite::TileStart`], [`FaultSite::CombineResolve`] — injecting
+//! panics, delays, and plan-epoch bumps at configurable rates. The chaos
+//! suite (`crates/core/tests/chaos.rs`) drives 64 concurrent clients
+//! against an injected front and asserts the contract above holds for every
+//! single request.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use deepdb_spn::{CancelFlag, TileFault, TileFaultFn};
+use deepdb_storage::{Aggregate, Database, Query};
+
+use crate::cache::{self, ArtifactKind, Obtained, PreparedQuery};
+use crate::ensemble::Ensemble;
+use crate::estimate::Estimate;
+use crate::plan::{PlanStitch, ProbePlan, ProbeResults};
+use crate::DeepDbError;
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// Named injection sites of the serving path, in request order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// `serve` entry, before the admission check.
+    Admission,
+    /// Before the plan-cache lookup / artifact build.
+    CacheLookup,
+    /// Inside the worker pool, at every claimed sweep tile.
+    TileStart,
+    /// Before the client resolves its demuxed results.
+    CombineResolve,
+}
+
+const N_SITES: usize = 4;
+
+/// What the injector decided for one hook invocation.
+#[derive(Clone, Copy)]
+enum Injected {
+    Panic,
+    Delay,
+    EpochBump,
+}
+
+/// A deterministic, seeded fault plan: each hook invocation at each site
+/// draws a pseudo-random decision from `hash(seed, site, invocation #)`, so
+/// a given seed always injects the same faults at the same points
+/// regardless of thread interleaving *per site sequence*. Rates are per
+/// 1024 invocations.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    panic_per_1024: u32,
+    delay_per_1024: u32,
+    bump_per_1024: u32,
+    delay: Duration,
+    /// Remaining panics this plan may inject (defaults to unlimited).
+    panic_budget: AtomicU64,
+    /// When set, faults inject at this site only.
+    only: Option<FaultSite>,
+    counters: [AtomicU64; N_SITES],
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A fault plan that injects nothing until rates are configured.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            panic_per_1024: 0,
+            delay_per_1024: 0,
+            bump_per_1024: 0,
+            delay: Duration::from_millis(1),
+            panic_budget: AtomicU64::new(u64::MAX),
+            only: None,
+            counters: Default::default(),
+        }
+    }
+
+    /// Inject panics at `per_1024` out of 1024 hook invocations.
+    pub fn with_panics(mut self, per_1024: u32) -> Self {
+        self.panic_per_1024 = per_1024;
+        self
+    }
+
+    /// Inject `delay`-long sleeps at `per_1024` out of 1024 invocations.
+    pub fn with_delays(mut self, per_1024: u32, delay: Duration) -> Self {
+        self.delay_per_1024 = per_1024;
+        self.delay = delay;
+        self
+    }
+
+    /// Inject plan-epoch bumps (simulated mid-flight maintenance) at
+    /// `per_1024` out of 1024 invocations.
+    pub fn with_epoch_bumps(mut self, per_1024: u32) -> Self {
+        self.bump_per_1024 = per_1024;
+        self
+    }
+
+    /// Cap the total number of panics this plan will ever inject (the
+    /// budget spends across all sites; further panic draws become no-ops).
+    /// Lets tests stage an exact fault sequence — e.g. "panic the fused
+    /// sweep once, then the first isolated re-execution, then behave".
+    pub fn with_panic_budget(self, n: u64) -> Self {
+        self.panic_budget.store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Restrict injection to one site (e.g. only [`FaultSite::TileStart`]
+    /// to fault sweeps while leaving the serve layer clean).
+    pub fn only_at(mut self, site: FaultSite) -> Self {
+        self.only = Some(site);
+        self
+    }
+
+    /// Total hook invocations so far at `site` (diagnostics).
+    pub fn invocations(&self, site: FaultSite) -> u64 {
+        self.counters[site as usize].load(Ordering::Relaxed)
+    }
+
+    fn decide(&self, site: FaultSite) -> Option<Injected> {
+        let n = self.counters[site as usize].fetch_add(1, Ordering::Relaxed);
+        if self.only.is_some_and(|s| s != site) {
+            return None;
+        }
+        let h = splitmix(
+            self.seed
+                ^ (site as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let r = (h % 1024) as u32;
+        if r < self.panic_per_1024 {
+            let in_budget = self
+                .panic_budget
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                .is_ok();
+            in_budget.then_some(Injected::Panic)
+        } else if r < self.panic_per_1024 + self.delay_per_1024 {
+            Some(Injected::Delay)
+        } else if r < self.panic_per_1024 + self.delay_per_1024 + self.bump_per_1024 {
+            Some(Injected::EpochBump)
+        } else {
+            None
+        }
+    }
+
+    /// The [`FaultSite::TileStart`] hook, adapted to the pool's
+    /// [`TileFault`] vocabulary (epoch bumps happen here, inline, since the
+    /// pool has no ensemble handle).
+    fn tile_fault(&self, ens: &Ensemble) -> Option<TileFault> {
+        match self.decide(FaultSite::TileStart) {
+            Some(Injected::Panic) => Some(TileFault::Panic),
+            Some(Injected::Delay) => Some(TileFault::Delay(self.delay)),
+            Some(Injected::EpochBump) => {
+                ens.invalidate_plans();
+                None
+            }
+            None => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration and stats
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs of a [`ServeFront`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Max concurrently admitted requests (queued + executing); beyond it,
+    /// `serve` rejects with [`DeepDbError::Overloaded`].
+    pub queue_capacity: usize,
+    /// A forming batch executes as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// How long a batch leader waits for co-batched arrivals. Shrunk
+    /// (halved per consecutive deadline miss) under deadline pressure,
+    /// restored on clean batches; `0` disables batching entirely (every
+    /// request sweeps alone).
+    pub window: Duration,
+    /// Worker-thread cap for fused sweeps (`0` = the ensemble's budget).
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            max_batch: 64,
+            window: Duration::from_micros(200),
+            threads: 0,
+        }
+    }
+}
+
+/// Shrink exponent cap: a fully-degraded window is `window / 2^12` — for
+/// any practical window that is "don't wait at all".
+const MAX_SHRINK: u32 = 12;
+
+/// Monotonic serving counters (snapshot via [`ServeFront::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests that passed admission.
+    pub admitted: u64,
+    /// Requests rejected with `Overloaded`.
+    pub rejected_overloaded: u64,
+    /// Requests that ended in `DeadlineExceeded` (either cancelled sweeps
+    /// or missed slot pickups).
+    pub deadline_misses: u64,
+    /// Requests that ended in `QueryPanicked`.
+    pub query_panics: u64,
+    /// `StalePlan` outcomes that triggered the internal one-shot retry.
+    pub stale_retries: u64,
+    /// Batches executed (fused or singleton).
+    pub batches: u64,
+    /// Requests served through a batch of size ≥ 2 (i.e. actually fused).
+    pub fused_requests: u64,
+    /// Per-client isolated re-executions after a fused-sweep panic.
+    pub isolated_fallbacks: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Batch plumbing
+// ---------------------------------------------------------------------------
+
+/// One client's result mailbox: filled exactly once (first write wins), the
+/// client waits on the condvar with its own deadline.
+#[derive(Default)]
+struct Slot {
+    cell: Mutex<Option<Result<ProbeResults, DeepDbError>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, r: Result<ProbeResults, DeepDbError>) {
+        let mut g = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
+        if g.is_none() {
+            *g = Some(r);
+        }
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, deadline: Option<Instant>) -> Result<ProbeResults, DeepDbError> {
+        let mut g = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(r) = g.take() {
+                return r;
+            }
+            match deadline {
+                None => {
+                    g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(DeepDbError::DeadlineExceeded);
+                    }
+                    let (ng, _) = self
+                        .cv
+                        .wait_timeout(g, d - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    g = ng;
+                }
+            }
+        }
+    }
+}
+
+/// One admitted request inside a forming batch.
+struct Entry {
+    slot: Arc<Slot>,
+    /// Where this request's probes landed in the shared plan.
+    stitch: PlanStitch,
+    /// The request's standalone plan — the isolation fallback re-executes
+    /// it alone after a fused-sweep panic.
+    solo: ProbePlan,
+    /// Plan epoch observed when the request planned; a different epoch
+    /// after the sweep means maintenance landed mid-flight → retry.
+    epoch: u64,
+    deadline: Option<Instant>,
+}
+
+struct FormingBatch {
+    plan: ProbePlan,
+    entries: Vec<Entry>,
+    opened: Instant,
+}
+
+struct FrontState {
+    in_flight: usize,
+    forming: Option<FormingBatch>,
+}
+
+/// Fills every still-empty slot of a batch with `QueryPanicked` on drop —
+/// the no-hang backstop: even if batch execution unwinds in an unforeseen
+/// way, no client waits forever. (Slot fills are first-write-wins, so this
+/// is a no-op after a normal execution.)
+struct FillGuard<'e> {
+    entries: &'e [Entry],
+}
+
+impl Drop for FillGuard<'_> {
+    fn drop(&mut self) {
+        for e in self.entries {
+            e.slot.fill(Err(DeepDbError::QueryPanicked(
+                "serving batch executor unwound before filling this slot".into(),
+            )));
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Decrements `in_flight` on drop, so admission is released even when the
+/// request unwinds through an injected panic.
+struct AdmissionGuard<'f, 'a> {
+    front: &'f ServeFront<'a>,
+}
+
+impl Drop for AdmissionGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.front.lock_state().in_flight -= 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The front-end
+// ---------------------------------------------------------------------------
+
+/// A concurrent serving front-end over `&Ensemble`: bounded admission, a
+/// batching window fusing co-arriving queries' probes into shared
+/// per-member sweeps, per-query deadlines with cooperative cancellation,
+/// panic isolation, and one-shot retry on mid-flight maintenance. See the
+/// module docs for the lifecycle and the robustness contract.
+///
+/// `ServeFront` is `Sync`: clients call [`ServeFront::serve`] concurrently
+/// through a shared reference (typically one `ServeFront` per process,
+/// shared across request threads).
+pub struct ServeFront<'a> {
+    ens: &'a Ensemble,
+    db: &'a Database,
+    cfg: ServeConfig,
+    faults: Option<Arc<FaultPlan>>,
+    state: Mutex<FrontState>,
+    /// Batch leaders wait here for their batch to fill.
+    batch_cv: Condvar,
+    /// Window shrink exponent under deadline pressure.
+    shrink: AtomicU32,
+    admitted: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    deadline_misses: AtomicU64,
+    query_panics: AtomicU64,
+    stale_retries: AtomicU64,
+    batches: AtomicU64,
+    fused_requests: AtomicU64,
+    isolated_fallbacks: AtomicU64,
+}
+
+impl<'a> ServeFront<'a> {
+    /// A front with the default [`ServeConfig`].
+    pub fn new(ens: &'a Ensemble, db: &'a Database) -> Self {
+        Self::with_config(ens, db, ServeConfig::default())
+    }
+
+    pub fn with_config(ens: &'a Ensemble, db: &'a Database, cfg: ServeConfig) -> Self {
+        Self {
+            ens,
+            db,
+            cfg,
+            faults: None,
+            state: Mutex::new(FrontState {
+                in_flight: 0,
+                forming: None,
+            }),
+            batch_cv: Condvar::new(),
+            shrink: AtomicU32::new(0),
+            admitted: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            query_panics: AtomicU64::new(0),
+            stale_retries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            fused_requests: AtomicU64::new(0),
+            isolated_fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Attach a deterministic fault injector (chaos testing).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(faults));
+        self
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            query_panics: self.query_panics.load(Ordering::Relaxed),
+            stale_retries: self.stale_retries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            fused_requests: self.fused_requests.load(Ordering::Relaxed),
+            isolated_fallbacks: self.isolated_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The batching window currently in effect: the configured window
+    /// halved once per consecutive deadline miss (graceful degradation),
+    /// restored step by step on clean batches.
+    pub fn effective_window(&self) -> Duration {
+        let s = self.shrink.load(Ordering::Relaxed).min(MAX_SHRINK);
+        self.cfg.window / (1u32 << s)
+    }
+
+    /// Requests currently admitted (queued or executing).
+    pub fn in_flight(&self) -> usize {
+        self.lock_state().in_flight
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, FrontState> {
+        // Serving state is never left torn: every mutation under this lock
+        // is a push/take/counter update completed before unlock, and batch
+        // execution happens outside it. Recover from poison.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Fire an injected fault at a serve-layer site (panics propagate to
+    /// the per-request `catch_unwind`, surfacing as `QueryPanicked` for
+    /// this request alone).
+    fn fire(&self, site: FaultSite) {
+        if let Some(fp) = &self.faults {
+            match fp.decide(site) {
+                Some(Injected::Panic) => panic!("injected fault at {site:?}"),
+                Some(Injected::Delay) => std::thread::sleep(fp.delay),
+                Some(Injected::EpochBump) => self.ens.invalidate_plans(),
+                None => {}
+            }
+        }
+    }
+
+    fn note_deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .shrink
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some((s + 1).min(MAX_SHRINK))
+            });
+    }
+
+    fn note_clean_batch(&self) {
+        let _ = self
+            .shrink
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_sub(1))
+            });
+    }
+
+    // -- request path -------------------------------------------------------
+
+    /// Serve one scalar aggregate query (COUNT/AVG/SUM over conjunctive
+    /// predicates), optionally under a deadline. Returns a bitwise-correct
+    /// estimate (identical to the unfused single-query path) or a typed
+    /// error — see the module-level robustness contract and the
+    /// [`crate::error`] taxonomy.
+    pub fn serve(
+        &self,
+        query: &Query,
+        deadline: Option<Duration>,
+    ) -> Result<Estimate, DeepDbError> {
+        let deadline = deadline.map(|d| Instant::now() + d);
+        match catch_unwind(AssertUnwindSafe(|| self.serve_at(query, deadline))) {
+            Ok(r) => r,
+            Err(payload) => {
+                self.query_panics.fetch_add(1, Ordering::Relaxed);
+                Err(DeepDbError::QueryPanicked(panic_message(payload)))
+            }
+        }
+    }
+
+    fn serve_at(&self, query: &Query, deadline: Option<Instant>) -> Result<Estimate, DeepDbError> {
+        self.fire(FaultSite::Admission);
+        let _admission = self.admit()?;
+        query.validate(self.db)?;
+        if !query.group_by.is_empty() {
+            return Err(DeepDbError::Unsupported(
+                "serve handles scalar aggregates; GROUP BY goes through execute_aqp".into(),
+            ));
+        }
+        match self.request_once(query, deadline) {
+            // Maintenance landed mid-flight: retry once end to end
+            // (re-plan against the new epoch, re-batch, re-sweep).
+            Err(DeepDbError::StalePlan) => {
+                self.stale_retries.fetch_add(1, Ordering::Relaxed);
+                self.request_once(query, deadline)
+            }
+            r => r,
+        }
+    }
+
+    /// Serve a [`PreparedQuery`] with fresh literals. Prepared execution is
+    /// the zero-allocation inline path, so it bypasses the batching window;
+    /// it still gets admission control, deadline accounting, panic
+    /// isolation, and — the serving contract for mid-flight maintenance —
+    /// an automatic one-shot **re-prepare-and-retry** on
+    /// [`DeepDbError::StalePlan`] (re-preparing from
+    /// [`PreparedQuery::source`] in place).
+    pub fn serve_prepared(
+        &self,
+        prepared: &mut PreparedQuery,
+        literals: &[f64],
+        deadline: Option<Duration>,
+    ) -> Result<Estimate, DeepDbError> {
+        let deadline = deadline.map(|d| Instant::now() + d);
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.serve_prepared_at(prepared, literals, deadline)
+        })) {
+            Ok(r) => r,
+            Err(payload) => {
+                self.query_panics.fetch_add(1, Ordering::Relaxed);
+                Err(DeepDbError::QueryPanicked(panic_message(payload)))
+            }
+        }
+    }
+
+    fn serve_prepared_at(
+        &self,
+        prepared: &mut PreparedQuery,
+        literals: &[f64],
+        deadline: Option<Instant>,
+    ) -> Result<Estimate, DeepDbError> {
+        self.fire(FaultSite::Admission);
+        let _admission = self.admit()?;
+        self.fire(FaultSite::CacheLookup);
+        let out = match prepared.execute(self.ens, self.db, literals) {
+            Err(DeepDbError::StalePlan) => {
+                self.stale_retries.fetch_add(1, Ordering::Relaxed);
+                *prepared = self.ens.prepare(self.db, prepared.source())?;
+                prepared.execute(self.ens, self.db, literals)
+            }
+            r => r,
+        };
+        self.fire(FaultSite::CombineResolve);
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                self.note_deadline_miss();
+                return Err(DeepDbError::DeadlineExceeded);
+            }
+        }
+        out
+    }
+
+    fn admit(&self) -> Result<AdmissionGuard<'_, 'a>, DeepDbError> {
+        let mut st = self.lock_state();
+        if st.in_flight >= self.cfg.queue_capacity.max(1) {
+            drop(st);
+            self.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+            return Err(DeepDbError::Overloaded);
+        }
+        st.in_flight += 1;
+        drop(st);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(AdmissionGuard { front: self })
+    }
+
+    /// One full pass: plan, join/lead a batch, wait for the demuxed slice,
+    /// resolve.
+    fn request_once(
+        &self,
+        query: &Query,
+        deadline: Option<Instant>,
+    ) -> Result<Estimate, DeepDbError> {
+        self.fire(FaultSite::CacheLookup);
+        let kind = match query.aggregate {
+            Aggregate::CountStar => ArtifactKind::Count,
+            Aggregate::Avg(t) => ArtifactKind::Avg(t),
+            Aggregate::Sum(t) => ArtifactKind::Sum(t),
+        };
+        let epoch = self.ens.plan_epoch();
+        let (plan, obtained): (ProbePlan, Obtained) =
+            cache::obtain(self.ens, self.db, query, kind, &[])?;
+
+        let slot = Arc::new(Slot::default());
+        let leader = {
+            let mut st = self.lock_state();
+            let forming = st.forming.get_or_insert_with(|| FormingBatch {
+                plan: ProbePlan::new(),
+                entries: Vec::new(),
+                opened: Instant::now(),
+            });
+            let stitch = forming.plan.absorb(&plan);
+            forming.entries.push(Entry {
+                slot: Arc::clone(&slot),
+                stitch,
+                solo: plan,
+                epoch,
+                deadline,
+            });
+            let leader = forming.entries.len() == 1;
+            if forming.entries.len() >= self.cfg.max_batch.max(1) {
+                // Batch is full: wake the leader early.
+                self.batch_cv.notify_all();
+            }
+            leader
+        };
+        if leader {
+            self.lead_batch();
+        }
+        let results = match slot.wait(deadline) {
+            Ok(r) => r,
+            Err(e) => {
+                if e == DeepDbError::DeadlineExceeded {
+                    self.note_deadline_miss();
+                }
+                return Err(e);
+            }
+        };
+        self.fire(FaultSite::CombineResolve);
+        obtained.resolver().resolve_single(&results)
+    }
+
+    /// Leader role: wait out the batching window (or until the batch is
+    /// full), take the batch, execute and demux it. The leader's own slot
+    /// is filled along with everyone else's.
+    fn lead_batch(&self) {
+        let window = self.effective_window();
+        let full = |st: &FrontState| {
+            st.forming
+                .as_ref()
+                .is_none_or(|f| f.entries.len() >= self.cfg.max_batch.max(1))
+        };
+        let batch = {
+            let mut st = self.lock_state();
+            if !window.is_zero() {
+                let end = st.forming.as_ref().map(|f| f.opened + window);
+                if let Some(end) = end {
+                    while !full(&st) {
+                        let now = Instant::now();
+                        if now >= end {
+                            break;
+                        }
+                        let (g, _) = self
+                            .batch_cv
+                            .wait_timeout(st, end - now)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        st = g;
+                    }
+                }
+            }
+            st.forming.take()
+        };
+        if let Some(batch) = batch {
+            self.execute_batch(batch);
+        }
+    }
+
+    /// Execute a taken batch: one fused sweep per touched member, then
+    /// demux per client — falling back to per-client isolated execution if
+    /// the fused sweep panics, and to `DeadlineExceeded` if it was
+    /// cancelled. Every slot is filled on every path (`FillGuard` backstops
+    /// the unforeseen ones).
+    fn execute_batch(&self, batch: FormingBatch) {
+        let FormingBatch { plan, entries, .. } = batch;
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if entries.len() >= 2 {
+            self.fused_requests
+                .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        }
+        let guard = FillGuard { entries: &entries };
+
+        // The shared sweep is cancelled only when *every* co-batched
+        // request's deadline has passed — cancel only when nobody is left
+        // to want the results.
+        let mut latest: Option<Instant> = None;
+        let mut all_have_deadlines = true;
+        for e in &entries {
+            match e.deadline {
+                Some(d) => latest = Some(latest.map_or(d, |l| l.max(d))),
+                None => all_have_deadlines = false,
+            }
+        }
+        let flag = match latest {
+            Some(d) if all_have_deadlines => CancelFlag::with_deadline(d),
+            _ => CancelFlag::new(),
+        };
+        let tile_hook = self.faults.clone().map(|fp| {
+            let ens = self.ens;
+            move || fp.tile_fault(ens)
+        });
+        let fault: Option<&TileFaultFn<'_>> = tile_hook.as_ref().map(|f| f as &TileFaultFn<'_>);
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            plan.execute_guarded(self.ens, self.cfg.threads, Some(&flag), fault)
+        }));
+        match outcome {
+            Ok(results) if !flag.is_cancelled() => {
+                let cur = self.ens.plan_epoch();
+                for e in &entries {
+                    if e.epoch != cur {
+                        e.slot.fill(Err(DeepDbError::StalePlan));
+                    } else {
+                        e.slot.fill(Ok(results.extract(&e.stitch)));
+                    }
+                }
+                self.note_clean_batch();
+            }
+            Ok(_) => {
+                // Cancelled: every deadline in the batch has passed.
+                for e in &entries {
+                    e.slot.fill(Err(DeepDbError::DeadlineExceeded));
+                }
+                self.note_deadline_miss();
+            }
+            Err(_) => {
+                // Fused sweep panicked: isolate — re-run every co-batched
+                // request alone so only the faulty one fails.
+                self.isolate(&entries, fault);
+            }
+        }
+        drop(guard);
+    }
+
+    /// Per-client isolated fallback after a fused-sweep panic: each
+    /// request's standalone plan re-executes under its own `catch_unwind`
+    /// and its own deadline flag, so the faulty request alone gets
+    /// `QueryPanicked` while its peers complete bitwise-correctly. The
+    /// worker pool has already self-healed (panicked workers replaced
+    /// their scratch).
+    fn isolate(&self, entries: &[Entry], fault: Option<&TileFaultFn<'_>>) {
+        for e in entries {
+            self.isolated_fallbacks.fetch_add(1, Ordering::Relaxed);
+            let flag = match e.deadline {
+                Some(d) => CancelFlag::with_deadline(d),
+                None => CancelFlag::new(),
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                e.solo
+                    .execute_guarded(self.ens, self.cfg.threads, Some(&flag), fault)
+            }));
+            let filled = match outcome {
+                Ok(_) if flag.is_cancelled() => Err(DeepDbError::DeadlineExceeded),
+                Ok(results) => {
+                    if e.epoch != self.ens.plan_epoch() {
+                        Err(DeepDbError::StalePlan)
+                    } else {
+                        Ok(results)
+                    }
+                }
+                Err(payload) => {
+                    self.query_panics.fetch_add(1, Ordering::Relaxed);
+                    Err(DeepDbError::QueryPanicked(panic_message(payload)))
+                }
+            };
+            e.slot.fill(filled);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_is_deterministic_per_seed() {
+        let a = FaultPlan::new(7)
+            .with_panics(100)
+            .with_delays(50, Duration::from_micros(10))
+            .with_epoch_bumps(30);
+        let b = FaultPlan::new(7)
+            .with_panics(100)
+            .with_delays(50, Duration::from_micros(10))
+            .with_epoch_bumps(30);
+        for _ in 0..2048 {
+            let da = a.decide(FaultSite::Admission);
+            let db = b.decide(FaultSite::Admission);
+            assert_eq!(
+                std::mem::discriminant(&da.unwrap_or(Injected::Delay)),
+                std::mem::discriminant(&db.unwrap_or(Injected::Delay)),
+            );
+            assert_eq!(da.is_none(), db.is_none());
+        }
+        // Different seeds diverge somewhere in the first 2048 draws.
+        let c = FaultPlan::new(8).with_panics(100);
+        let d = FaultPlan::new(9).with_panics(100);
+        let mut diverged = false;
+        for _ in 0..2048 {
+            if c.decide(FaultSite::TileStart).is_some() != d.decide(FaultSite::TileStart).is_some()
+            {
+                diverged = true;
+            }
+        }
+        assert!(diverged);
+    }
+
+    #[test]
+    fn fault_plan_rates_are_roughly_honored() {
+        let fp = FaultPlan::new(42).with_panics(256); // 25%
+        let mut hits = 0;
+        for _ in 0..4096 {
+            if fp.decide(FaultSite::CacheLookup).is_some() {
+                hits += 1;
+            }
+        }
+        // 25% ± generous slack.
+        assert!((700..=1350).contains(&hits), "hits = {hits}");
+        assert_eq!(fp.invocations(FaultSite::CacheLookup), 4096);
+    }
+
+    #[test]
+    fn window_shrinks_under_pressure_and_recovers() {
+        let db = Database::new("empty");
+        let ens_db = db.clone();
+        // A front needs an ensemble; build a trivial one over zero tables.
+        let ens = crate::EnsembleBuilder::new(&ens_db).build().unwrap();
+        let front = ServeFront::with_config(
+            &ens,
+            &db,
+            ServeConfig {
+                window: Duration::from_millis(4),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(front.effective_window(), Duration::from_millis(4));
+        front.note_deadline_miss();
+        front.note_deadline_miss();
+        assert_eq!(front.effective_window(), Duration::from_millis(1));
+        front.note_clean_batch();
+        assert_eq!(front.effective_window(), Duration::from_millis(2));
+        for _ in 0..40 {
+            front.note_deadline_miss();
+        }
+        // Saturates at the max shrink, never underflows to zero division.
+        assert!(front.effective_window() <= Duration::from_micros(1));
+        for _ in 0..40 {
+            front.note_clean_batch();
+        }
+        assert_eq!(front.effective_window(), Duration::from_millis(4));
+    }
+}

@@ -1,0 +1,98 @@
+//! Corrupted ensemble-snapshot fuzzing: `Ensemble::load` must treat the
+//! byte stream as hostile. Truncations and bit flips of a valid snapshot
+//! either fail cleanly with a typed `InvalidData` error or load into an
+//! ensemble that still answers queries — never a panic, never an unbounded
+//! allocation.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+use deepdb_core::{compile, Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy};
+use deepdb_storage::fixtures::correlated_customer_order;
+use deepdb_storage::{CmpOp, Database, PredOp, Query, Value};
+use proptest::prelude::*;
+
+fn db() -> &'static Database {
+    static CELL: OnceLock<Database> = OnceLock::new();
+    CELL.get_or_init(|| correlated_customer_order(300, 11))
+}
+
+/// A small two-member ensemble, serialized once.
+fn snapshot() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let params = EnsembleParams {
+            strategy: EnsembleStrategy::SingleTables,
+            sample_size: 3_000,
+            correlation_sample: 300,
+            ..EnsembleParams::default()
+        };
+        let ens = EnsembleBuilder::new(db()).params(params).build().unwrap();
+        let mut buf = Vec::new();
+        ens.save(&mut buf).unwrap();
+        buf
+    })
+}
+
+/// Load `bytes` and, if it parses, run a real query against the decoded
+/// ensemble — whatever state survived the corruption must not panic.
+fn load_and_exercise(bytes: &[u8]) -> Result<(), String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        if let Ok(ens) = Ensemble::load(&mut &bytes[..]) {
+            let db = db();
+            let customer = db.table_id("customer").unwrap();
+            let orders = db.table_id("orders").unwrap();
+            let single = Query::count(vec![customer]).filter(
+                customer,
+                2,
+                PredOp::Cmp(CmpOp::Eq, Value::Int(0)),
+            );
+            let join = Query::count(vec![customer, orders]).filter(
+                orders,
+                2,
+                PredOp::Cmp(CmpOp::Eq, Value::Int(0)),
+            );
+            // Errors (NotAnswerable etc.) are fine; panics are not.
+            let _ = compile::estimate_cardinality(&ens, db, &single);
+            let _ = compile::estimate_cardinality(&ens, db, &join);
+        }
+    }))
+    .map_err(|_| "panicked".to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every strict prefix of an ensemble snapshot is rejected cleanly.
+    #[test]
+    fn truncated_ensembles_fail_cleanly(cut_seed in 0usize..usize::MAX) {
+        let buf = snapshot();
+        let cut = cut_seed % buf.len();
+        prop_assert!(load_and_exercise(&buf[..cut]).is_ok(), "panicked at cut {cut}");
+        prop_assert!(
+            Ensemble::load(&mut &buf[..cut]).is_err(),
+            "strict prefix of length {cut} parsed"
+        );
+    }
+
+    /// Bit-flipped ensemble snapshots never panic: rejected, or loaded into
+    /// a state that still answers (or cleanly refuses) queries.
+    #[test]
+    fn bit_flipped_ensembles_never_panic(
+        flips in prop::collection::vec((0usize..usize::MAX, 0u32..8), 1..8),
+        cut_seed in prop::option::of(0usize..usize::MAX),
+    ) {
+        let mut buf = snapshot().to_vec();
+        for &(off, bit) in &flips {
+            let i = off % buf.len();
+            buf[i] ^= 1 << bit;
+        }
+        if let Some(cs) = cut_seed {
+            buf.truncate(cs % (buf.len() + 1));
+        }
+        prop_assert!(
+            load_and_exercise(&buf).is_ok(),
+            "panicked on flips {flips:?} cut {cut_seed:?}"
+        );
+    }
+}

@@ -1,0 +1,434 @@
+//! Integration suite for the concurrent serving front-end
+//! ([`deepdb_core::ServeFront`]): cross-client probe fusion (one fused
+//! sweep per touched member per window, bitwise-equal to unfused
+//! execution), bounded-admission backpressure, deadline handling with
+//! graceful window degradation, panic isolation with pool self-healing,
+//! and `StalePlan` recovery under real and injected maintenance races.
+
+use std::sync::{Barrier, OnceLock};
+use std::time::Duration;
+
+use deepdb_core::compile::{estimate_avg, estimate_count, estimate_sum};
+use deepdb_core::{
+    compile, query_literals, DeepDbError, Ensemble, EnsembleBuilder, EnsembleParams,
+    EnsembleStrategy, Estimate, FaultPlan, FaultSite, ServeConfig, ServeFront,
+};
+use deepdb_storage::fixtures::correlated_customer_order;
+use deepdb_storage::{Aggregate, CmpOp, ColumnRef, Database, PredOp, Query, Value};
+
+/// Two single-table members, so two-table queries exercise Case-3
+/// combination (both members touched by one fused plan).
+fn fixture() -> &'static (Database, Ensemble) {
+    static CELL: OnceLock<(Database, Ensemble)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let db = correlated_customer_order(1000, 21);
+        let params = EnsembleParams {
+            strategy: EnsembleStrategy::SingleTables,
+            sample_size: 10_000,
+            correlation_sample: 1_000,
+            ..EnsembleParams::default()
+        };
+        let ens = EnsembleBuilder::new(&db).params(params).build().unwrap();
+        (db, ens)
+    })
+}
+
+/// A small pool of distinct query shapes: single-table and two-table
+/// (Case-3) counts, an AVG, and a SUM.
+fn shape_query(db: &Database, i: usize) -> Query {
+    let customer = db.table_id("customer").unwrap();
+    let orders = db.table_id("orders").unwrap();
+    match i % 6 {
+        0 => Query::count(vec![customer]).filter(
+            customer,
+            1,
+            PredOp::Cmp(CmpOp::Le, Value::Int(40 + (i as i64 % 30))),
+        ),
+        1 => Query::count(vec![customer, orders]).filter(
+            orders,
+            2,
+            PredOp::Cmp(CmpOp::Eq, Value::Int(i as i64 % 2)),
+        ),
+        2 => Query::count(vec![orders])
+            .aggregate(Aggregate::Avg(ColumnRef {
+                table: orders,
+                column: 3,
+            }))
+            .filter(orders, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(i as i64 % 2))),
+        3 => Query::count(vec![orders])
+            .aggregate(Aggregate::Sum(ColumnRef {
+                table: orders,
+                column: 3,
+            }))
+            .filter(
+                orders,
+                3,
+                PredOp::Cmp(CmpOp::Ge, Value::Int(50 + (i as i64 % 100))),
+            ),
+        4 => Query::count(vec![customer, orders])
+            .filter(
+                customer,
+                2,
+                PredOp::Cmp(CmpOp::Eq, Value::Int(i as i64 % 3)),
+            )
+            .filter(orders, 3, PredOp::Cmp(CmpOp::Le, Value::Int(200))),
+        _ => Query::count(vec![customer]).filter(
+            customer,
+            2,
+            PredOp::Cmp(CmpOp::Eq, Value::Int(i as i64 % 3)),
+        ),
+    }
+}
+
+/// Unfused reference: the canonical single-query paths.
+fn reference(db: &Database, ens: &Ensemble, q: &Query) -> Estimate {
+    match q.aggregate {
+        Aggregate::CountStar => estimate_count(ens, db, q).unwrap(),
+        Aggregate::Avg(_) => estimate_avg(ens, db, q).unwrap(),
+        Aggregate::Sum(_) => estimate_sum(ens, db, q).unwrap(),
+    }
+}
+
+fn bits_eq(a: &Estimate, b: &Estimate) -> bool {
+    a.value.to_bits() == b.value.to_bits() && a.variance.to_bits() == b.variance.to_bits()
+}
+
+/// K concurrent clients arriving together are served by ONE fused sweep per
+/// touched member, and every answer is bitwise-equal to the unfused
+/// single-query path.
+#[test]
+fn fused_batch_is_bitwise_equal_and_sweeps_each_member_once() {
+    let (db, ens) = fixture();
+    const K: usize = 6;
+    let front = ServeFront::with_config(
+        ens,
+        db,
+        ServeConfig {
+            window: Duration::from_secs(1),
+            max_batch: K,
+            ..ServeConfig::default()
+        },
+    );
+    let queries: Vec<Query> = (0..K).map(|i| shape_query(db, i)).collect();
+    let refs: Vec<Estimate> = queries.iter().map(|q| reference(db, ens, q)).collect();
+
+    let before: Vec<u64> = ens.rspns().iter().map(|r| r.probe_passes()).collect();
+    let barrier = Barrier::new(K);
+    let got: Vec<Estimate> = std::thread::scope(|s| {
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                let barrier = &barrier;
+                let front = &front;
+                s.spawn(move || {
+                    barrier.wait();
+                    front.serve(q, None).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (g, r) in got.iter().zip(&refs) {
+        assert!(bits_eq(g, r), "fused {g:?} != unfused {r:?}");
+    }
+    let stats = front.stats();
+    assert_eq!(stats.batches, 1, "expected one fused batch: {stats:?}");
+    assert_eq!(stats.fused_requests, K as u64);
+    // One fused sweep per member across all K clients (the reference runs
+    // above are not counted: `before` was snapshotted after them).
+    let after: Vec<u64> = ens.rspns().iter().map(|r| r.probe_passes()).collect();
+    for (m, (&b, &a)) in before.iter().zip(&after).enumerate() {
+        assert!(a - b <= 1, "member {m} swept {} times for one batch", a - b);
+    }
+    assert!(
+        after.iter().zip(&before).any(|(&a, &b)| a == b + 1),
+        "no member swept at all"
+    );
+}
+
+/// Admission is bounded: with capacity 1, a second concurrent request is
+/// rejected with `Overloaded` before any work happens, and the occupant
+/// still completes.
+#[test]
+fn overloaded_backpressure_rejects_beyond_capacity() {
+    let (db, ens) = fixture();
+    let front = ServeFront::with_config(
+        ens,
+        db,
+        ServeConfig {
+            queue_capacity: 1,
+            window: Duration::from_millis(300),
+            max_batch: 8,
+            ..ServeConfig::default()
+        },
+    );
+    let q = shape_query(db, 0);
+    let want = reference(db, ens, &q);
+    std::thread::scope(|s| {
+        let occupant = s.spawn(|| front.serve(&q, None));
+        // Wait until the occupant is admitted and holding its slot.
+        while front.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let rejected = front.serve(&q, None);
+        assert_eq!(rejected, Err(DeepDbError::Overloaded));
+        assert!(rejected.unwrap_err().is_retryable());
+        let got = occupant.join().unwrap().unwrap();
+        assert!(bits_eq(&got, &want));
+    });
+    assert_eq!(front.stats().rejected_overloaded, 1);
+}
+
+/// An expired deadline surfaces as `DeadlineExceeded` (the sweep is
+/// cancelled cooperatively), shrinks the batching window, and clean
+/// batches restore it.
+#[test]
+fn deadline_miss_shrinks_window_and_clean_batches_restore_it() {
+    let (db, ens) = fixture();
+    let front = ServeFront::with_config(
+        ens,
+        db,
+        ServeConfig {
+            window: Duration::from_millis(64),
+            max_batch: 8,
+            ..ServeConfig::default()
+        },
+    );
+    let q = shape_query(db, 1);
+    assert_eq!(front.effective_window(), Duration::from_millis(64));
+    let r = front.serve(&q, Some(Duration::ZERO));
+    assert_eq!(r, Err(DeepDbError::DeadlineExceeded));
+    assert!(front.effective_window() < Duration::from_millis(64));
+    assert!(front.stats().deadline_misses >= 1);
+
+    // Clean traffic restores the window step by step.
+    let want = reference(db, ens, &q);
+    for _ in 0..4 {
+        let got = front.serve(&q, None).unwrap();
+        assert!(bits_eq(&got, &want));
+    }
+    assert_eq!(front.effective_window(), Duration::from_millis(64));
+}
+
+/// A panic inside the fused sweep fails only the client whose isolated
+/// re-execution still faults; co-batched peers complete bitwise-correctly
+/// and the pool keeps serving afterwards.
+#[test]
+fn sweep_panic_is_isolated_to_one_client_and_pool_self_heals() {
+    let (db, ens) = fixture();
+    const K: usize = 3;
+    // Budget 2: the fused sweep panics once, then exactly one isolated
+    // re-execution panics; everything after behaves.
+    let faults = FaultPlan::new(5)
+        .with_panics(1024)
+        .with_panic_budget(2)
+        .only_at(FaultSite::TileStart);
+    let front = ServeFront::with_config(
+        ens,
+        db,
+        ServeConfig {
+            window: Duration::from_secs(1),
+            max_batch: K,
+            threads: 1, // sequential tiles: deterministic budget spend
+            ..ServeConfig::default()
+        },
+    )
+    .with_faults(faults);
+    let queries: Vec<Query> = (0..K).map(|i| shape_query(db, i)).collect();
+    let refs: Vec<Estimate> = queries.iter().map(|q| reference(db, ens, q)).collect();
+
+    let barrier = Barrier::new(K);
+    let got: Vec<Result<Estimate, DeepDbError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                let barrier = &barrier;
+                let front = &front;
+                s.spawn(move || {
+                    barrier.wait();
+                    front.serve(q, None)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut panicked = 0;
+    for (r, want) in got.iter().zip(&refs) {
+        match r {
+            Ok(e) => assert!(bits_eq(e, want), "survivor got {e:?}, want {want:?}"),
+            Err(DeepDbError::QueryPanicked(_)) => panicked += 1,
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+    assert_eq!(panicked, 1, "exactly one client absorbs the fault: {got:?}");
+    let stats = front.stats();
+    assert_eq!(stats.isolated_fallbacks, K as u64);
+    assert_eq!(stats.query_panics, 1);
+
+    // Budget exhausted: the same front (same pool) keeps answering
+    // bitwise-correctly — the panic poisoned nothing.
+    for (q, want) in queries.iter().zip(&refs) {
+        let got = front.serve(q, None).unwrap();
+        assert!(bits_eq(&got, want));
+    }
+}
+
+/// Injected epoch churn on every sweep: the internal one-shot retry fires,
+/// and when maintenance never settles the request surfaces `StalePlan` —
+/// never a stale answer.
+#[test]
+fn churning_maintenance_surfaces_stale_plan_after_one_retry() {
+    let (db, ens) = fixture();
+    let faults = FaultPlan::new(3)
+        .with_epoch_bumps(1024)
+        .only_at(FaultSite::TileStart);
+    let front = ServeFront::with_config(
+        ens,
+        db,
+        ServeConfig {
+            window: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    )
+    .with_faults(faults);
+    let q = shape_query(db, 0);
+    let r = front.serve(&q, None);
+    assert_eq!(r, Err(DeepDbError::StalePlan));
+    assert!(front.stats().stale_retries >= 1);
+}
+
+/// Real maintenance race: clients hammer the front while another thread
+/// bumps the plan epoch. Every client gets a bitwise-correct answer or a
+/// typed `StalePlan` — never a wrong answer — and serving recovers fully
+/// once maintenance stops.
+#[test]
+fn concurrent_epoch_bumps_never_produce_wrong_answers() {
+    let (db, ens) = fixture();
+    let front = ServeFront::with_config(
+        ens,
+        db,
+        ServeConfig {
+            window: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    );
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 12;
+    let queries: Vec<Query> = (0..CLIENTS).map(|i| shape_query(db, i)).collect();
+    let refs: Vec<Estimate> = queries.iter().map(|q| reference(db, ens, q)).collect();
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let stop = &stop;
+        let maintenance = s.spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                ens.invalidate_plans();
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        });
+        let handles: Vec<_> = queries
+            .iter()
+            .zip(&refs)
+            .map(|(q, want)| {
+                let front = &front;
+                s.spawn(move || {
+                    let mut ok = 0usize;
+                    let mut stale = 0usize;
+                    for _ in 0..ROUNDS {
+                        match front.serve(q, None) {
+                            Ok(e) => {
+                                assert!(bits_eq(&e, want), "wrong answer under churn");
+                                ok += 1;
+                            }
+                            Err(DeepDbError::StalePlan) => stale += 1,
+                            Err(other) => panic!("unexpected error under churn: {other:?}"),
+                        }
+                    }
+                    (ok, stale)
+                })
+            })
+            .collect();
+        let tallies: Vec<(usize, usize)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        maintenance.join().unwrap();
+        let total_ok: usize = tallies.iter().map(|t| t.0).sum();
+        assert!(total_ok > 0, "churn starved every request: {tallies:?}");
+    });
+
+    // Maintenance settled: everything answers again.
+    for (q, want) in queries.iter().zip(&refs) {
+        let got = front.serve(q, None).unwrap();
+        assert!(bits_eq(&got, want));
+    }
+}
+
+/// `serve_prepared` transparently re-prepares on `StalePlan` (one shot):
+/// after maintenance invalidates every plan, the same handle still answers
+/// bitwise-correctly.
+#[test]
+fn serve_prepared_repreparess_once_on_stale_plan() {
+    let (db, ens) = fixture();
+    let front = ServeFront::new(ens, db);
+    let q = shape_query(db, 4);
+    let lits = query_literals(&q);
+    let want = reference(db, ens, &q);
+
+    let mut prepared = ens.prepare(db, &q).unwrap();
+    let first = front.serve_prepared(&mut prepared, &lits, None).unwrap();
+    assert!(bits_eq(&first, &want));
+
+    // Maintenance lands between executions: the raw handle would fail
+    // `StalePlan`, the front re-prepares and answers.
+    ens.invalidate_plans();
+    let before = front.stats().stale_retries;
+    let second = front.serve_prepared(&mut prepared, &lits, None).unwrap();
+    assert!(bits_eq(&second, &want));
+    assert_eq!(front.stats().stale_retries, before + 1);
+
+    // The re-prepared handle is current again: no further retries needed.
+    let third = front.serve_prepared(&mut prepared, &lits, None).unwrap();
+    assert!(bits_eq(&third, &want));
+    assert_eq!(front.stats().stale_retries, before + 1);
+}
+
+/// GROUP BY is typed out of the scalar serving path.
+#[test]
+fn group_by_is_rejected_with_unsupported() {
+    let (db, ens) = fixture();
+    let front = ServeFront::new(ens, db);
+    let customer = db.table_id("customer").unwrap();
+    let q = Query::count(vec![customer]).group(customer, 2);
+    match front.serve(&q, None) {
+        Err(DeepDbError::Unsupported(_)) => {}
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+}
+
+/// The ensemble-level cache and the serving path agree with AQP's central
+/// dispatcher for the same query (sanity that serve uses the same
+/// artifacts, not a divergent code path).
+#[test]
+fn serve_matches_compile_entry_points_bitwise() {
+    let (db, ens) = fixture();
+    let front = ServeFront::with_config(
+        ens,
+        db,
+        ServeConfig {
+            window: Duration::ZERO, // singleton batches
+            ..ServeConfig::default()
+        },
+    );
+    for i in 0..12 {
+        let q = shape_query(db, i);
+        let want = reference(db, ens, &q);
+        let got = front.serve(&q, None).unwrap();
+        assert!(bits_eq(&got, &want), "shape {i}: {got:?} vs {want:?}");
+    }
+    // estimate_cardinality is the COUNT fast path; cross-check one shape.
+    let q = shape_query(db, 1);
+    let card = compile::estimate_cardinality(ens, db, &q).unwrap();
+    let got = front.serve(&q, None).unwrap();
+    assert_eq!(card.to_bits(), got.value.to_bits());
+}

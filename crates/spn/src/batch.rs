@@ -380,6 +380,8 @@ mod tests {
                 out: &mut out,
                 mpe: &probes,
                 mpe_out: &mut mpe_out,
+                cancel: None,
+                fault: None,
             }],
             4,
         );
@@ -417,6 +419,8 @@ mod tests {
                     out: &mut got_q,
                     mpe: &probes,
                     mpe_out: &mut got_p,
+                    cancel: None,
+                    fault: None,
                 }],
                 threads,
             );

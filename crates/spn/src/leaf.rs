@@ -769,7 +769,10 @@ impl Leaf {
                 let sums = read_f64s(r)?;
                 let sq_sums = read_f64s(r)?;
                 let distincts = read_u64s(r)?;
-                if sums.len() != counts.len() || sq_sums.len() != counts.len() {
+                if sums.len() != counts.len()
+                    || sq_sums.len() != counts.len()
+                    || distincts.len() != counts.len()
+                {
                     return Err(corrupt("leaf bin arity"));
                 }
                 LeafKind::Binned {
@@ -795,6 +798,28 @@ impl Leaf {
         };
         leaf.rebuild_prefix();
         Ok(leaf)
+    }
+
+    /// Structural sanity for snapshot loading (see
+    /// `serialize::validate_node`): every bound here guards a concrete
+    /// panic or unbounded allocation a corrupted snapshot could otherwise
+    /// trigger downstream.
+    pub(crate) fn validate(&self, n_cols: usize) -> std::io::Result<()> {
+        use crate::wire::corrupt;
+        if self.col >= n_cols {
+            return Err(corrupt("leaf column"));
+        }
+        // `bin_index` clamps to `n_bins - 1` (panics on 0) and exact→binned
+        // conversion allocates `n_bins`-sized vectors.
+        if self.n_bins == 0 || self.n_bins > 1 << 24 {
+            return Err(corrupt("leaf bin count"));
+        }
+        if let LeafKind::Binned { counts, .. } = &self.kind {
+            if counts.len() != self.n_bins {
+                return Err(corrupt("leaf bin count mismatch"));
+            }
+        }
+        Ok(())
     }
 
     /// Bitwise equality of the histogram state (floats compared by bit

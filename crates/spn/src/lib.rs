@@ -78,4 +78,7 @@ pub use leaf::Leaf;
 pub use learn::SpnParams;
 pub use maxprod::{MaxProductEvaluator, MpeOutcome, MpeProbe};
 pub use node::{Node, ProductNode, Spn, SumNode};
-pub use pool::{default_threads, sweep_models, InlineSweep, SweepJob, WorkerPool};
+pub use pool::{
+    default_threads, sweep_models, CancelFlag, InlineSweep, SweepJob, TileFault, TileFaultFn,
+    WorkerPool,
+};

@@ -35,9 +35,10 @@
 
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::arena::CompiledSpn;
 use crate::batch::{BatchEvaluator, SWEEP_TILE};
@@ -63,6 +64,74 @@ pub fn default_threads() -> usize {
     })
 }
 
+/// Cooperative cancellation for an in-flight sweep, shared between the
+/// submitter (who owns the flag) and every thread draining its tiles.
+///
+/// Workers check the flag each time they claim a tile off the cursor
+/// ([`WorkerScratch::run`]); once it reads cancelled, remaining tiles are
+/// *skipped*, leaving their outputs at the zeroed placeholder. The sweep
+/// still drains and joins normally — cancellation never tears the pool —
+/// but the outputs of a cancelled sweep are garbage, so callers must check
+/// [`CancelFlag::is_cancelled`] before trusting them.
+///
+/// A flag can carry an optional deadline; deadline expiry is latched into
+/// the atomic on first observation so steady-state checks stay one relaxed
+/// load.
+#[derive(Debug, Default)]
+pub struct CancelFlag {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelFlag {
+    /// A flag that only cancels when [`CancelFlag::cancel`] is called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A flag that additionally trips once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self {
+            cancelled: AtomicBool::new(false),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Request cancellation; idempotent, callable from any thread.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once cancelled — explicitly or because the deadline passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.cancel();
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A fault injected at a tile boundary by a [`SweepJob::fault`] hook:
+/// either panic inside the claiming thread's tile (exercising the pool's
+/// catch-and-self-heal path) or sleep before evaluating (simulating a slow
+/// model under deadline pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileFault {
+    Panic,
+    Delay(Duration),
+}
+
+/// Deterministic fault hook fired once per claimed tile, before the cancel
+/// check and evaluation. Returning `None` means "no fault here". Used by
+/// the serving chaos harness; production sweeps leave it unset.
+pub type TileFaultFn<'a> = dyn Fn() -> Option<TileFault> + Sync + 'a;
+
 /// One model's share of a fused multi-model sweep: an expectation-probe
 /// batch **and** a max-product probe batch against one compiled arena, each
 /// with a caller-owned output slice of the same length. Both batches belong
@@ -75,6 +144,12 @@ pub struct SweepJob<'a> {
     /// Max-product probes riding the same sweep (classification / MPE).
     pub mpe: &'a [MpeProbe],
     pub mpe_out: &'a mut [MpeOutcome],
+    /// Cooperative cancel flag checked at every tile claim; cancelled tiles
+    /// are skipped (outputs keep their zeroed placeholder), so the caller
+    /// must check the flag before trusting `out`/`mpe_out`.
+    pub cancel: Option<&'a CancelFlag>,
+    /// Fault-injection hook fired at every tile start (chaos testing only).
+    pub fault: Option<&'a TileFaultFn<'a>>,
 }
 
 impl<'a> SweepJob<'a> {
@@ -86,14 +161,24 @@ impl<'a> SweepJob<'a> {
             out,
             mpe: &[],
             mpe_out: &mut [],
+            cancel: None,
+            fault: None,
         }
     }
 }
 
 /// A unit of worker work: one tile of one probe kind against one model,
-/// plus the job-wide leaf-value table the tile gathers from and the tile's
-/// probe offset within its job batch.
-enum Tile<'a> {
+/// plus its job's cancel/fault hooks.
+struct Tile<'a> {
+    kind: TileKind<'a>,
+    cancel: Option<&'a CancelFlag>,
+    fault: Option<&'a TileFaultFn<'a>>,
+}
+
+/// The tile's payload: one probe-kind chunk against one model, the job-wide
+/// leaf-value table the tile gathers from, and the tile's probe offset
+/// within its job batch.
+enum TileKind<'a> {
     Expect(
         &'a CompiledSpn,
         &'a [SpnQuery],
@@ -121,11 +206,26 @@ struct WorkerScratch {
 
 impl WorkerScratch {
     fn run(&mut self, tile: &mut Tile<'_>) {
-        match tile {
-            Tile::Expect(spn, queries, out, table, base) => self
+        // Chaos hook first: injected panics/delays land exactly where a
+        // genuinely faulty or slow tile would.
+        if let Some(fault) = tile.fault {
+            match fault() {
+                Some(TileFault::Panic) => panic!("injected tile fault"),
+                Some(TileFault::Delay(d)) => std::thread::sleep(d),
+                None => {}
+            }
+        }
+        // Cooperative cancellation: skip the arithmetic, keep the drain
+        // protocol (the claimed index is already consumed, outputs stay
+        // zeroed, and the job still joins normally).
+        if tile.cancel.is_some_and(|c| c.is_cancelled()) {
+            return;
+        }
+        match &mut tile.kind {
+            TileKind::Expect(spn, queries, out, table, base) => self
                 .expect
                 .evaluate_chunk_shared(spn, queries, table, *base, out),
-            Tile::Mpe(spn, probes, out, table, base) => self
+            TileKind::Mpe(spn, probes, out, table, base) => self
                 .maxprod
                 .evaluate_chunk_shared(spn, probes, table, *base, out),
         }
@@ -275,6 +375,8 @@ impl WorkerPool {
                 mut out,
                 mut mpe,
                 mut mpe_out,
+                cancel,
+                fault,
             } = job;
             assert_eq!(queries.len(), out.len(), "sweep job arity mismatch");
             assert_eq!(mpe.len(), mpe_out.len(), "sweep job MPE arity mismatch");
@@ -288,7 +390,11 @@ impl WorkerPool {
                 let k = queries.len().min(SWEEP_TILE);
                 let (q_head, q_tail) = queries.split_at(k);
                 let (o_head, o_tail) = std::mem::take(&mut out).split_at_mut(k);
-                tiles.push(Tile::Expect(spn, q_head, o_head, &tabs.0, base));
+                tiles.push(Tile {
+                    kind: TileKind::Expect(spn, q_head, o_head, &tabs.0, base),
+                    cancel,
+                    fault,
+                });
                 queries = q_tail;
                 out = o_tail;
                 base += k;
@@ -298,7 +404,11 @@ impl WorkerPool {
                 let k = mpe.len().min(SWEEP_TILE);
                 let (p_head, p_tail) = mpe.split_at(k);
                 let (o_head, o_tail) = std::mem::take(&mut mpe_out).split_at_mut(k);
-                tiles.push(Tile::Mpe(spn, p_head, o_head, &tabs.1, base));
+                tiles.push(Tile {
+                    kind: TileKind::Mpe(spn, p_head, o_head, &tabs.1, base),
+                    cancel,
+                    fault,
+                });
                 mpe = p_tail;
                 mpe_out = o_tail;
                 base += k;
@@ -607,6 +717,8 @@ mod tests {
                             out: &mut [],
                             mpe: &bad,
                             mpe_out: &mut out,
+                            cancel: None,
+                            fault: None,
                         }],
                         4,
                     )
@@ -622,6 +734,115 @@ mod tests {
         let mut out = vec![0.0; queries.len()];
         pool.sweep(vec![SweepJob::expect(&compiled, &queries, &mut out)], 4);
         assert!(out.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    /// Build an expectation job over `queries` with hooks attached.
+    fn hooked_job<'a>(
+        compiled: &'a CompiledSpn,
+        queries: &'a [SpnQuery],
+        out: &'a mut [f64],
+        cancel: Option<&'a CancelFlag>,
+        fault: Option<&'a TileFaultFn<'a>>,
+    ) -> SweepJob<'a> {
+        SweepJob {
+            spn: compiled,
+            queries,
+            out,
+            mpe: &[],
+            mpe_out: &mut [],
+            cancel,
+            fault,
+        }
+    }
+
+    #[test]
+    fn repeated_injected_panics_never_poison_later_sweeps() {
+        let spn = model();
+        let compiled = spn.compile();
+        let queries: Vec<SpnQuery> = (0..4 * SWEEP_TILE)
+            .map(|i| SpnQuery::new(2).with_pred(1, LeafPred::ge((i % 5) as f64 * 10.0)))
+            .collect();
+        let pool = WorkerPool::new();
+        let mut want = vec![0.0; queries.len()];
+        pool.sweep(vec![SweepJob::expect(&compiled, &queries, &mut want)], 1);
+
+        for round in 0..5 {
+            // Panic on every third claimed tile, from whichever thread
+            // claims it (submitter included).
+            let hits = AtomicUsize::new(0);
+            let fault = move || {
+                if hits.fetch_add(1, Ordering::Relaxed).is_multiple_of(3) {
+                    Some(TileFault::Panic)
+                } else {
+                    None
+                }
+            };
+            let mut out = vec![0.0; queries.len()];
+            let job = hooked_job(&compiled, &queries, &mut out, None, Some(&fault));
+            let panicked = catch_unwind(AssertUnwindSafe(|| pool.sweep(vec![job], 4))).is_err();
+            assert!(panicked, "round {round}: injected tile panic must surface");
+
+            // The very next sweep on the same pool must be bitwise clean.
+            let mut got = vec![0.0; queries.len()];
+            pool.sweep(vec![SweepJob::expect(&compiled, &queries, &mut got)], 4);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "round {round}, probe {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_flag_skips_tiles_and_sweep_still_joins() {
+        let spn = model();
+        let compiled = spn.compile();
+        // Empty-predicate probes evaluate to exactly 1.0, so a zero output
+        // proves the tile was skipped rather than evaluated.
+        let queries: Vec<SpnQuery> = (0..3 * SWEEP_TILE).map(|_| SpnQuery::new(2)).collect();
+        let pool = WorkerPool::new();
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let mut out = vec![0.0; queries.len()];
+        let job = hooked_job(&compiled, &queries, &mut out, Some(&flag), None);
+        pool.sweep(vec![job], 4); // must not hang or panic
+        assert!(flag.is_cancelled());
+        assert!(
+            out.iter().all(|&v| v == 0.0),
+            "cancelled tiles must be skipped"
+        );
+        // The pool still answers correctly afterwards.
+        let mut got = vec![0.0; queries.len()];
+        pool.sweep(vec![SweepJob::expect(&compiled, &queries, &mut got)], 4);
+        assert!(got.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn deadline_flag_trips_mid_sweep_under_delay() {
+        let spn = model();
+        let compiled = spn.compile();
+        let queries: Vec<SpnQuery> = (0..4 * SWEEP_TILE).map(|_| SpnQuery::new(2)).collect();
+        let pool = WorkerPool::new();
+        // Every tile sleeps 5ms; the deadline passes after ~1ms, so the
+        // flag latches partway through and the sweep still completes.
+        let fault = || Some(TileFault::Delay(Duration::from_millis(5)));
+        let flag = CancelFlag::with_deadline(Instant::now() + Duration::from_millis(1));
+        let mut out = vec![0.0; queries.len()];
+        let job = hooked_job(&compiled, &queries, &mut out, Some(&flag), Some(&fault));
+        pool.sweep(vec![job], 2);
+        assert!(flag.is_cancelled(), "deadline expiry must latch the flag");
+    }
+
+    #[test]
+    fn drop_joins_cleanly_after_injected_panics() {
+        let spn = model();
+        let compiled = spn.compile();
+        let queries: Vec<SpnQuery> = (0..3 * SWEEP_TILE).map(|_| SpnQuery::new(2)).collect();
+        let pool = WorkerPool::new();
+        let fault = || Some(TileFault::Panic);
+        let mut out = vec![0.0; queries.len()];
+        let job = hooked_job(&compiled, &queries, &mut out, None, Some(&fault));
+        let panicked = catch_unwind(AssertUnwindSafe(|| pool.sweep(vec![job], 4))).is_err();
+        assert!(panicked);
+        drop(pool); // must join every worker despite the mid-panic state
     }
 
     #[test]

@@ -13,6 +13,50 @@ use crate::{ColumnMeta, Leaf};
 
 const MAGIC: &[u8; 5] = b"DSPN1";
 
+/// Reject deserialized trees whose indices or arities would panic (or
+/// overflow in debug builds) downstream — in arena compilation, evaluation,
+/// or the direct-update walks. A snapshot that decodes byte-wise can still
+/// be semantic garbage after bit flips; loading must fail with a clean
+/// `InvalidData`, never a panic.
+fn validate_node(node: &Node, n_cols: usize) -> io::Result<()> {
+    match node {
+        Node::Leaf(leaf) => leaf.validate(n_cols),
+        Node::Sum(s) => {
+            if s.scope.iter().any(|&c| c >= n_cols) {
+                return Err(corrupt("sum scope column"));
+            }
+            if s.norm.len() != s.scope.len() {
+                return Err(corrupt("sum norm arity"));
+            }
+            if s.centroids.iter().any(|c| c.len() != s.scope.len()) {
+                return Err(corrupt("sum centroid arity"));
+            }
+            // Weight totals are summed all over inference and the arena
+            // compiler with plain `+`; garbage counts must not be able to
+            // overflow u64 (a panic in debug builds).
+            let mut total: u64 = 0;
+            for &c in &s.counts {
+                total = total
+                    .checked_add(c)
+                    .ok_or_else(|| corrupt("sum counts overflow"))?;
+            }
+            for child in &s.children {
+                validate_node(child, n_cols)?;
+            }
+            Ok(())
+        }
+        Node::Product(p) => {
+            if p.scope.iter().any(|&c| c >= n_cols) {
+                return Err(corrupt("product scope column"));
+            }
+            for child in &p.children {
+                validate_node(child, n_cols)?;
+            }
+            Ok(())
+        }
+    }
+}
+
 fn write_node(w: &mut impl Write, node: &Node) -> io::Result<()> {
     match node {
         Node::Leaf(leaf) => {
@@ -131,6 +175,7 @@ impl Spn {
             })
             .collect::<io::Result<_>>()?;
         let root = read_node(r, 0)?;
+        validate_node(&root, n_cols)?;
         Ok(Spn::new(root, meta, n_rows))
     }
 }

@@ -93,8 +93,8 @@ pub use deepdb_storage as storage;
 // Flat re-exports of the primary public API.
 pub use deepdb_core::{
     compile, execute_aqp, ml, query_literals, AqpOutput, AqpResult, CacheStats, DeepDbError,
-    Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy, Estimate, FunctionalDependency,
-    PreparedQuery, Rspn,
+    Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy, Estimate, FaultPlan, FaultSite,
+    FunctionalDependency, PreparedQuery, Rspn, ServeConfig, ServeFront, ServeStats,
 };
 pub use deepdb_storage::{
     execute, Aggregate, CmpOp, ColumnRef, Database, Domain, PredOp, Predicate, Query, TableSchema,
@@ -106,6 +106,7 @@ pub mod prelude {
     pub use crate::{
         compile, execute, execute_aqp, query_literals, Aggregate, AqpOutput, CacheStats, CmpOp,
         ColumnRef, Database, DeepDbError, Domain, Ensemble, EnsembleBuilder, EnsembleParams,
-        EnsembleStrategy, PredOp, PreparedQuery, Query, TableSchema, Value,
+        EnsembleStrategy, PredOp, PreparedQuery, Query, ServeConfig, ServeFront, TableSchema,
+        Value,
     };
 }
