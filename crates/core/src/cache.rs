@@ -24,6 +24,16 @@
 //!   count-values fast path and the ML entry points' (member, target
 //!   column, normalization factors) prelude — pure member selection, safely
 //!   shared across literals.
+//! * **Pruning active sets** ([`active_set_for`]): per `(member,
+//!   constrained-column union)` shape, the compacted sub-DAG a sweep may
+//!   restrict itself to ([`deepdb_spn::ActiveSet`]). **Bitwise contract**:
+//!   a pruned sweep is bitwise identical to the full sweep — pruned-away
+//!   nodes are seeded from the arena's cached neutral (empty-query) values,
+//!   which are exactly the values the full sweep computes for nodes none of
+//!   the batch's probes constrain. Column unions are literal-independent,
+//!   so one set serves every rebind of a shape; [`PreparedQuery`] pins its
+//!   members' sets at prepare time and prunes with zero per-execute
+//!   discovery.
 //!
 //! # Literal binds via sentinel discovery
 //!
@@ -66,7 +76,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
 
-use deepdb_spn::InlineSweep;
+use deepdb_spn::{ActiveSet, InlineSweep};
 use deepdb_storage::{
     Aggregate, CmpOp, ColId, ColumnRef, Database, PredOp, Predicate, Query, TableId, Value,
 };
@@ -510,6 +520,10 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Live entries across all tiers.
     pub entries: usize,
+    /// Live pruning active sets (side table, current epoch only; see
+    /// [`active_set_for`]). Not counted in `entries`/`hits`/`misses` — an
+    /// active-set rebuild is one arena walk, not a cold plan.
+    pub active_sets: usize,
 }
 
 #[derive(Clone)]
@@ -532,6 +546,16 @@ struct CacheInner {
     misses: u64,
     evictions: u64,
     capacity: usize,
+    /// Pruning active sets, keyed on `(member, constrained-column union)`
+    /// and stamped with the plan epoch they were built under. A dedicated
+    /// side table rather than `map` entries: an active set costs one
+    /// O(nodes) arena walk to rebuild, so it must never evict a
+    /// bind-discovered plan artifact (built twice + diffed) under LRU
+    /// pressure, and its lookups are bookkeeping, not plan hits/misses.
+    /// Epoch invalidation is eager — the first access at a new epoch clears
+    /// the whole table, so stale sets never survive a maintenance op.
+    actives: HashMap<(usize, Vec<usize>), Arc<ActiveSet>>,
+    actives_epoch: u64,
 }
 
 /// LRU plan cache keyed on [`QueryShape`]. Counter-based recency (a lookup
@@ -552,6 +576,8 @@ impl PlanCache {
                 misses: 0,
                 evictions: 0,
                 capacity,
+                actives: HashMap::new(),
+                actives_epoch: 0,
             }),
         }
     }
@@ -605,6 +631,40 @@ impl PlanCache {
         );
     }
 
+    /// Cached pruning set for `(member, columns)` at `epoch`. The first
+    /// access at a new epoch clears the table — every maintenance op bumps
+    /// the epoch, so a recompiled arena can never be swept with a stale set.
+    fn active_lookup(
+        &self,
+        epoch: u64,
+        member: usize,
+        columns: &[usize],
+    ) -> Option<Arc<ActiveSet>> {
+        let mut g = self.inner.lock().expect("plan cache poisoned");
+        if g.actives_epoch != epoch {
+            g.actives.clear();
+            g.actives_epoch = epoch;
+            return None;
+        }
+        g.actives.get(&(member, columns.to_vec())).cloned()
+    }
+
+    fn active_insert(&self, epoch: u64, member: usize, columns: Vec<usize>, a: Arc<ActiveSet>) {
+        let mut g = self.inner.lock().expect("plan cache poisoned");
+        if g.capacity == 0 {
+            return;
+        }
+        if g.actives_epoch != epoch {
+            g.actives.clear();
+            g.actives_epoch = epoch;
+        }
+        // Bounded by the artifact capacity; past it, callers just rebuild
+        // (one arena walk) instead of caching — never evict.
+        if g.actives.len() < g.capacity {
+            g.actives.insert((member, columns), a);
+        }
+    }
+
     pub(crate) fn stats(&self) -> CacheStats {
         let g = self.inner.lock().expect("plan cache poisoned");
         CacheStats {
@@ -612,6 +672,7 @@ impl PlanCache {
             misses: g.misses,
             evictions: g.evictions,
             entries: g.map.len(),
+            active_sets: g.actives.len(),
         }
     }
 
@@ -625,6 +686,8 @@ impl PlanCache {
         g.misses = 0;
         g.evictions = 0;
         g.capacity = capacity;
+        g.actives.clear();
+        g.actives_epoch = 0;
     }
 }
 
@@ -782,6 +845,36 @@ pub(crate) fn covering_member(
     Some(idx)
 }
 
+/// Cache-routed pruning [`ActiveSet`] for one ensemble member and one
+/// constrained-column union. Building an active set is one O(nodes) arena
+/// walk; production traffic repeats column *shapes*, so the walk is done
+/// once per `(member, columns)` shape per plan epoch and shared via `Arc`.
+/// Sets live in an epoch-stamped side table of the [`PlanCache`] (so they
+/// never evict plan artifacts and their lookups don't skew plan hit/miss
+/// stats): any maintenance operation (recompile, insert, delete, join-count
+/// refresh) bumps the epoch, and the first access at a new epoch drops every
+/// cached set — which matters because recompiles may change the arena's node
+/// count and layout.
+///
+/// **Bitwise contract**: a sweep pruned by the returned set is bitwise
+/// identical to the full sweep for every probe whose constrained and target
+/// columns are a subset of `columns` — pruned-away nodes contribute their
+/// query-independent neutral values, which are exactly what the full sweep
+/// computes for them (see `deepdb_spn::ActiveSet`).
+pub(crate) fn active_set_for(ens: &Ensemble, member: usize, columns: &[usize]) -> Arc<ActiveSet> {
+    let cache = ens.plan_cache();
+    if !cache.enabled() {
+        return Arc::new(ens.rspns()[member].engine().active_set(columns));
+    }
+    let epoch = ens.plan_epoch();
+    if let Some(a) = cache.active_lookup(epoch, member, columns) {
+        return a;
+    }
+    let a = Arc::new(ens.rspns()[member].engine().active_set(columns));
+    cache.active_insert(epoch, member, columns.to_vec(), Arc::clone(&a));
+    a
+}
+
 /// Member selection + target/normalization prelude of the ML entry points.
 pub(crate) struct MlPrelude {
     pub(crate) idx: usize,
@@ -867,6 +960,10 @@ enum PreparedInner {
         /// One sweep (with its grow-only leaf-value tables) per plan member,
         /// so alternating members never reshapes shared scratch.
         sweeps: Vec<InlineSweep>,
+        /// One pruning active set per plan member, pinned at prepare time
+        /// (column shapes never change across rebinds), so steady-state
+        /// executions prune with zero discovery work.
+        actives: Vec<Arc<ActiveSet>>,
     },
     Fallback {
         query: Query,
@@ -932,11 +1029,17 @@ pub(crate) fn prepare(
             let mut plan = artifact.plan.clone();
             plan.rebind_literals(&artifact.binds, &literals);
             let results = plan.blank_results();
+            let actives = plan
+                .member_columns()
+                .iter()
+                .map(|(member, cols)| active_set_for(ens, *member, cols))
+                .collect();
             PreparedInner::Bound {
                 artifact,
                 plan,
                 results,
                 sweeps: Vec::new(),
+                actives,
             }
         }
         None => PreparedInner::Fallback {
@@ -978,9 +1081,10 @@ impl PreparedQuery {
                 plan,
                 results,
                 sweeps,
+                actives,
             } => {
                 plan.rebind_literals(&artifact.binds, literals);
-                plan.execute_into(ens, sweeps, results);
+                plan.execute_into(ens, sweeps, actives, results);
                 artifact.resolver.resolve_single(results)
             }
             PreparedInner::Fallback { query, kind } => {

@@ -19,7 +19,11 @@
 //! a (sub)query into [`deepdb_spn::SpnQuery`] probes on a [`ProbePlan`] and return typed
 //! deferred estimates holding [`ProbeHandle`]s; a single
 //! [`ProbePlan::execute`] then sweeps each touched RSPN member's arena once
-//! and the deferred values `resolve` against the results. This now covers
+//! and the deferred values `resolve` against the results. Each member's
+//! sweep is additionally *pruned* to the sub-DAG its probes can influence:
+//! the plan's constrained/target column union keys a cached
+//! [`deepdb_spn::ActiveSet`] (see [`crate::cache`]) and the kernels sweep
+//! only its compacted runs, bitwise identical to the full sweep. This now covers
 //! Case 3 too: [`crate::combine::CombinePlan`] plans the whole multi-RSPN
 //! combination symbolically and registers **every** extension step's
 //! fraction bundles on the same plan, so a COUNT costs one sweep per

@@ -34,8 +34,11 @@
 //! scale across cores.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use deepdb_spn::{CancelFlag, MpeOutcome, MpeProbe, SpnQuery, SweepJob, TileFaultFn, SWEEP_TILE};
+use deepdb_spn::{
+    ActiveSet, CancelFlag, MpeOutcome, MpeProbe, SpnQuery, SweepJob, TileFaultFn, SWEEP_TILE,
+};
 
 use crate::ensemble::Ensemble;
 
@@ -84,6 +87,28 @@ struct MemberProbes {
     member: usize,
     expect: Vec<SpnQuery>,
     mpe: Vec<MpeProbe>,
+}
+
+impl MemberProbes {
+    /// Union of the SPN columns any probe in this batch constrains or
+    /// targets, sorted ascending — the column set a pruned sweep of this
+    /// member must keep active. Literal-independent: rebinding a plan's
+    /// literals never changes which columns carry slots, so the set (and any
+    /// [`ActiveSet`] derived from it) is valid across rebinds of the same
+    /// shape.
+    fn constrained_columns(&self) -> Vec<usize> {
+        let mut cols = std::collections::BTreeSet::new();
+        for q in &self.expect {
+            cols.extend(q.active_columns());
+        }
+        for p in &self.mpe {
+            cols.extend(p.query.active_columns());
+            // The target leaf must stay active so the max-product aux
+            // tracking sees it; pruned subtrees then never hold the target.
+            cols.insert(p.target);
+        }
+        cols.into_iter().collect()
+    }
 }
 
 /// A batch of deferred probes, grouped by RSPN member.
@@ -234,11 +259,32 @@ impl ProbePlan {
         } else {
             threads
         };
+        // Query-scoped pruning: sweep only the sub-DAG whose scope
+        // intersects the batch's constrained/target columns, seeding the
+        // boundary from the arena's neutral tables (bitwise identical to the
+        // full sweep). The active sets are shape-keyed in the plan cache, so
+        // the steady-state serving path pays no per-query discovery; with
+        // the cache disabled the cold path stays honest and sweeps in full.
+        let actives: Vec<Option<Arc<ActiveSet>>> = if ens.plan_cache().enabled() {
+            self.members
+                .iter()
+                .map(|m| {
+                    Some(crate::cache::active_set_for(
+                        ens,
+                        m.member,
+                        &m.constrained_columns(),
+                    ))
+                })
+                .collect()
+        } else {
+            vec![None; self.members.len()]
+        };
         let jobs: Vec<SweepJob<'_>> = self
             .members
             .iter()
             .zip(results.iter_mut())
-            .map(|(m, r)| SweepJob {
+            .zip(actives.iter())
+            .map(|((m, r), a)| SweepJob {
                 spn: ens.rspns()[m.member].engine(),
                 queries: &m.expect,
                 out: &mut r.values,
@@ -246,6 +292,7 @@ impl ProbePlan {
                 mpe_out: &mut r.mpe,
                 cancel,
                 fault,
+                active: a.as_deref(),
             })
             .collect();
         ens.worker_pool().sweep(jobs, threads);
@@ -361,21 +408,30 @@ impl ProbePlan {
     /// (sharing one table across differently-shaped models would realloc on
     /// every alternation). Bitwise identical to [`ProbePlan::execute`] (the
     /// per-tile arithmetic is shared with the pooled path).
+    /// `actives` carries one pruning [`ActiveSet`] per plan member in member
+    /// order (as built by [`ProbePlan::member_columns`] at prepare time);
+    /// empty means sweep every member in full.
     pub(crate) fn execute_into(
         &self,
         ens: &Ensemble,
         sweeps: &mut Vec<deepdb_spn::InlineSweep>,
+        actives: &[Arc<ActiveSet>],
         results: &mut ProbeResults,
     ) {
         assert_eq!(results.plan, self.id, "results belong to a different plan");
+        debug_assert!(
+            actives.is_empty() || actives.len() == self.members.len(),
+            "active sets must align with plan members"
+        );
         if sweeps.len() < self.members.len() {
             sweeps.resize_with(self.members.len(), deepdb_spn::InlineSweep::new);
         }
-        for ((m, r), sweep) in self
+        for (i, ((m, r), sweep)) in self
             .members
             .iter()
             .zip(results.members.iter_mut())
             .zip(sweeps.iter_mut())
+            .enumerate()
         {
             sweep.sweep(
                 ens.rspns()[m.member].engine(),
@@ -383,8 +439,19 @@ impl ProbePlan {
                 &mut r.values,
                 &m.mpe,
                 &mut r.mpe,
+                actives.get(i).map(|a| a.as_ref()),
             );
         }
+    }
+
+    /// `(member, constrained-column union)` per plan member, in member
+    /// order — the inputs a caller needs to pin one [`ActiveSet`] per member
+    /// (e.g. a prepared query at prepare time).
+    pub(crate) fn member_columns(&self) -> Vec<(usize, Vec<usize>)> {
+        self.members
+            .iter()
+            .map(|m| (m.member, m.constrained_columns()))
+            .collect()
     }
 }
 

@@ -283,6 +283,9 @@ pub struct ServeStats {
     pub fused_requests: u64,
     /// Per-client isolated re-executions after a fused-sweep panic.
     pub isolated_fallbacks: u64,
+    /// Batches whose window closed with a single entry, served through the
+    /// direct solo fast path (no fuse/demux).
+    pub solo_fastpath: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -428,6 +431,7 @@ pub struct ServeFront<'a> {
     batches: AtomicU64,
     fused_requests: AtomicU64,
     isolated_fallbacks: AtomicU64,
+    solo_fastpath: AtomicU64,
 }
 
 impl<'a> ServeFront<'a> {
@@ -456,6 +460,7 @@ impl<'a> ServeFront<'a> {
             batches: AtomicU64::new(0),
             fused_requests: AtomicU64::new(0),
             isolated_fallbacks: AtomicU64::new(0),
+            solo_fastpath: AtomicU64::new(0),
         }
     }
 
@@ -476,6 +481,7 @@ impl<'a> ServeFront<'a> {
             batches: self.batches.load(Ordering::Relaxed),
             fused_requests: self.fused_requests.load(Ordering::Relaxed),
             isolated_fallbacks: self.isolated_fallbacks.load(Ordering::Relaxed),
+            solo_fastpath: self.solo_fastpath.load(Ordering::Relaxed),
         }
     }
 
@@ -742,6 +748,24 @@ impl<'a> ServeFront<'a> {
         }
         let guard = FillGuard { entries: &entries };
 
+        if entries.len() == 1 {
+            // Single-client fast path: the window closed with one entry, so
+            // the fused plan is that entry's solo plan plus stitch/demux
+            // overhead. Execute the solo plan directly — its results already
+            // carry the plan id the client's resolver expects.
+            self.solo_fastpath.fetch_add(1, Ordering::Relaxed);
+            let tile_hook = self.faults.clone().map(|fp| {
+                let ens = self.ens;
+                move || fp.tile_fault(ens)
+            });
+            let fault: Option<&TileFaultFn<'_>> = tile_hook.as_ref().map(|f| f as &TileFaultFn<'_>);
+            if self.solo_execute(&entries[0], fault) {
+                self.note_clean_batch();
+            }
+            drop(guard);
+            return;
+        }
+
         // The shared sweep is cancelled only when *every* co-batched
         // request's deadline has passed — cancel only when nobody is left
         // to want the results.
@@ -803,30 +827,40 @@ impl<'a> ServeFront<'a> {
     fn isolate(&self, entries: &[Entry], fault: Option<&TileFaultFn<'_>>) {
         for e in entries {
             self.isolated_fallbacks.fetch_add(1, Ordering::Relaxed);
-            let flag = match e.deadline {
-                Some(d) => CancelFlag::with_deadline(d),
-                None => CancelFlag::new(),
-            };
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                e.solo
-                    .execute_guarded(self.ens, self.cfg.threads, Some(&flag), fault)
-            }));
-            let filled = match outcome {
-                Ok(_) if flag.is_cancelled() => Err(DeepDbError::DeadlineExceeded),
-                Ok(results) => {
-                    if e.epoch != self.ens.plan_epoch() {
-                        Err(DeepDbError::StalePlan)
-                    } else {
-                        Ok(results)
-                    }
-                }
-                Err(payload) => {
-                    self.query_panics.fetch_add(1, Ordering::Relaxed);
-                    Err(DeepDbError::QueryPanicked(panic_message(payload)))
-                }
-            };
-            e.slot.fill(filled);
+            self.solo_execute(e, fault);
         }
+    }
+
+    /// Execute one entry's standalone plan under its own deadline flag and
+    /// fill its slot; returns `true` when the execution completed cleanly
+    /// (neither cancelled nor panicked). Shared by the single-client fast
+    /// path and the post-panic isolation fallback.
+    fn solo_execute(&self, e: &Entry, fault: Option<&TileFaultFn<'_>>) -> bool {
+        let flag = match e.deadline {
+            Some(d) => CancelFlag::with_deadline(d),
+            None => CancelFlag::new(),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            e.solo
+                .execute_guarded(self.ens, self.cfg.threads, Some(&flag), fault)
+        }));
+        let filled = match outcome {
+            Ok(_) if flag.is_cancelled() => Err(DeepDbError::DeadlineExceeded),
+            Ok(results) => {
+                if e.epoch != self.ens.plan_epoch() {
+                    Err(DeepDbError::StalePlan)
+                } else {
+                    Ok(results)
+                }
+            }
+            Err(payload) => {
+                self.query_panics.fetch_add(1, Ordering::Relaxed);
+                Err(DeepDbError::QueryPanicked(panic_message(payload)))
+            }
+        };
+        let clean = filled.is_ok();
+        e.slot.fill(filled);
+        clean
     }
 }
 

@@ -415,6 +415,82 @@ fn epoch_invalidation_never_reuses_stale_plans() {
     }
 }
 
+/// The pruning active-set side table: populated by warm executions, keyed
+/// per (member, column-set), excluded from hit/miss/entry accounting, and
+/// cleared wholesale the first time it is touched after **any** of the six
+/// maintenance operations bumps the plan epoch — so a pruned sweep can
+/// never run over a sub-DAG marked for a retired model generation.
+#[test]
+fn active_set_side_table_tracks_epochs() {
+    let q = Query::count(vec![0]).filter(0, 1, PredOp::Cmp(CmpOp::Le, Value::Int(40)));
+    let q2 = Query::count(vec![0]).filter(0, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(1)));
+    fn customer_row(id: i64) -> Vec<Value> {
+        vec![Value::Int(id), Value::Int(30), Value::Int(1)]
+    }
+
+    type Maintenance = fn(&mut Ensemble, &mut Database);
+    let ops: Vec<(&str, Maintenance)> = vec![
+        ("recompile_models", |e, _| e.recompile_models()),
+        ("apply_insert", |e, db| {
+            e.apply_insert(db, 0, &customer_row(910_001)).unwrap()
+        }),
+        ("apply_insert_batch", |e, db| {
+            e.apply_insert_batch(db, 0, &[customer_row(910_002), customer_row(910_003)])
+                .unwrap()
+        }),
+        ("absorb_insert", |e, db| {
+            db.table_mut(0).push_row(&customer_row(910_004)).unwrap();
+            e.absorb_insert(db, 0, &customer_row(910_004)).unwrap()
+        }),
+        ("apply_delete", |e, db| e.apply_delete(db, 0, 5).unwrap()),
+        ("refresh_join_counts", |e, db| {
+            e.refresh_join_counts(db).unwrap()
+        }),
+    ];
+
+    for (name, op) in ops {
+        let (mut db, mut ens) = fresh_ensemble(67);
+
+        estimate_count(&ens, &db, &q).unwrap();
+        let s1 = ens.plan_cache_stats();
+        assert!(s1.active_sets >= 1, "{name}: warm run caches a set: {s1:?}");
+        assert_eq!(
+            (s1.misses, s1.entries),
+            (1, 1),
+            "{name}: active sets never count as plan entries"
+        );
+
+        // Repeats reuse the cached sets; accounting sees only the artifact.
+        estimate_count(&ens, &db, &q).unwrap();
+        let s2 = ens.plan_cache_stats();
+        assert_eq!(s2.active_sets, s1.active_sets, "{name}: repeat reuses");
+        assert_eq!((s2.hits, s2.misses), (s1.hits + 1, s1.misses), "{name}");
+
+        // A different constrained-column set occupies its own key.
+        estimate_count(&ens, &db, &q2).unwrap();
+        let s3 = ens.plan_cache_stats();
+        assert!(s3.active_sets > s2.active_sets, "{name}: new column set");
+
+        // The maintenance op retires the whole side table: the next warm
+        // run starts from empty and rebuilds only its own sets, and its
+        // estimate still equals a cold plan on the updated ensemble.
+        op(&mut ens, &mut db);
+        let warm = estimate_count(&ens, &db, &q).unwrap();
+        let s4 = ens.plan_cache_stats();
+        assert_eq!(
+            s4.active_sets, s1.active_sets,
+            "{name}: stale sets dropped, only the live query's rebuilt"
+        );
+        ens.set_plan_cache_capacity(0);
+        let cold = estimate_count(&ens, &db, &q).unwrap();
+        assert_eq!(
+            warm.value.to_bits(),
+            cold.value.to_bits(),
+            "{name}: pruned warm estimate after epoch bump must equal cold"
+        );
+    }
+}
+
 /// Prepared queries reject wrong literal arity, and rebinding actually
 /// changes the answer (matching a cold plan of the rebound query).
 #[test]

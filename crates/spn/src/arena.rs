@@ -24,6 +24,23 @@
 //! differential property tests assert both paths agree. Arithmetic here
 //! mirrors the recursive path operation-for-operation (same accumulation
 //! order, same zero-skips), so agreement is exact, not merely approximate.
+//!
+//! ## Query-scoped pruning
+//!
+//! A query only constrains a handful of columns, so most of a wide model's
+//! sub-DAG evaluates to its **query-independent** value: a marginalized leaf
+//! contributes exactly `1.0`, and every inner node whose scope is disjoint
+//! from the constrained columns computes the same value it would under an
+//! empty query. [`CompiledSpn`] caches those values per semiring in the
+//! **neutral tables** (`neutral_expect` / `neutral_mpe`, refreshed by
+//! [`CompiledSpn::commit_patch`] whenever sum weights change), and
+//! [`ActiveSet`] compacts the nodes that *do* depend on a given column set
+//! into same-kind [`NodeRun`]s plus the boundary list of inactive children
+//! whose scratch rows get seeded from the neutral table. The sweep in
+//! [`crate::kernel`] then visits only active nodes; because a seeded row
+//! holds bit-for-bit the value the full sweep would have computed, pruned
+//! and full sweeps agree **bitwise by construction** (property-tested in
+//! `tests/prop_prune.rs`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -91,6 +108,15 @@ pub struct CompiledSpn {
     /// instead of re-scanning the histogram. Refreshed by
     /// [`CompiledSpn::commit_patch`] alongside the prefix sums.
     pub(crate) leaf_mode: Vec<f64>,
+    /// Query-independent node value per node for the (+,×) semiring: what an
+    /// empty-query sweep writes into each node's scratch row. Seeds the
+    /// scratch rows of pruned-out subtrees (see [`ActiveSet`]). Refreshed by
+    /// [`CompiledSpn::commit_patch`] whenever sum weights change.
+    pub(crate) neutral_expect: Vec<f64>,
+    /// Same for the (max,×) semiring's score lane. The companion aux lane is
+    /// constantly `NO_LEAF`: a pruned subtree never contains a target leaf,
+    /// because the MPE target column is always part of the active column set.
+    pub(crate) neutral_mpe: Vec<f64>,
     n_cols: usize,
     n_rows: u64,
     /// Fused batch sweeps executed against this arena (diagnostics; lets
@@ -98,6 +124,10 @@ pub struct CompiledSpn {
     /// fused pass over a whole probe batch, regardless of how many tiles or
     /// worker threads carried it out.
     sweeps: AtomicU64,
+    /// Node rows written by sweep kernels so far, accumulated per tile
+    /// (diagnostics, `probe_passes`-style: lets tests assert a pruned sweep
+    /// visited exactly the active nodes and nothing else).
+    nodes_swept: AtomicU64,
 }
 
 impl Clone for CompiledSpn {
@@ -114,9 +144,12 @@ impl Clone for CompiledSpn {
             leaf_col: self.leaf_col.clone(),
             runs: self.runs.clone(),
             leaf_mode: self.leaf_mode.clone(),
+            neutral_expect: self.neutral_expect.clone(),
+            neutral_mpe: self.neutral_mpe.clone(),
             n_cols: self.n_cols,
             n_rows: self.n_rows,
             sweeps: AtomicU64::new(self.sweeps.load(Ordering::Relaxed)),
+            nodes_swept: AtomicU64::new(self.nodes_swept.load(Ordering::Relaxed)),
         }
     }
 }
@@ -137,13 +170,88 @@ impl CompiledSpn {
             leaf_col: Vec::new(),
             runs: Vec::new(),
             leaf_mode: Vec::new(),
+            neutral_expect: Vec::new(),
+            neutral_mpe: Vec::new(),
             n_cols: spn.n_columns(),
             n_rows: spn.n_rows(),
             sweeps: AtomicU64::new(0),
+            nodes_swept: AtomicU64::new(0),
         };
         c.flatten(&spn.root);
         c.build_runs();
+        c.refresh_neutral();
         c
+    }
+
+    /// Recompute the per-node neutral (empty-query) values for both
+    /// semirings. The recurrences mirror the scalar sweep kernels in
+    /// [`crate::kernel`] operation-for-operation with every leaf pinned to
+    /// the marginalized value `1.0` — exactly what [`crate::kernel::LeafValueTable`]
+    /// gathers for an unconstrained column — so a neutral entry is bitwise
+    /// what a full sweep writes for a node outside the query's scope.
+    /// (The SIMD kernels are bitwise-identical to the scalar ones by
+    /// contract, so one scalar recurrence covers both dispatch modes.)
+    pub(crate) fn refresh_neutral(&mut self) {
+        let n = self.n_nodes();
+        self.neutral_expect.clear();
+        self.neutral_expect.resize(n, 0.0);
+        self.neutral_mpe.clear();
+        self.neutral_mpe.resize(n, 0.0);
+        for node in 0..n {
+            match self.kinds[node] {
+                CompiledKind::Leaf => {
+                    self.neutral_expect[node] = 1.0;
+                    self.neutral_mpe[node] = 1.0;
+                }
+                CompiledKind::Sum => {
+                    let (s, e) = self.child_range(node);
+                    // (+,×): weighted accumulation, zero-weight edges skipped.
+                    let mut acc = 0.0;
+                    for i in s..e {
+                        let w = self.weights[i];
+                        if w == 0.0 {
+                            continue;
+                        }
+                        acc += w * self.neutral_expect[self.children[i] as usize];
+                    }
+                    self.neutral_expect[node] = acc;
+                    // (max,×): strict-greater incumbent over weighted children;
+                    // an all-zero-weight sum stays at the kernel default 0.0.
+                    let mut found = false;
+                    let mut best = 0.0;
+                    for i in s..e {
+                        let w = self.weights[i];
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let weighted = w * self.neutral_mpe[self.children[i] as usize];
+                        if !found || weighted > best {
+                            found = true;
+                            best = weighted;
+                        }
+                    }
+                    self.neutral_mpe[node] = best;
+                }
+                CompiledKind::Product => {
+                    let (s, e) = self.child_range(node);
+                    // (+,×): multiply with the scalar kernel's zero short-circuit.
+                    let mut acc = 1.0;
+                    for i in s..e {
+                        acc *= self.neutral_expect[self.children[i] as usize];
+                        if acc == 0.0 {
+                            break;
+                        }
+                    }
+                    self.neutral_expect[node] = acc;
+                    // (max,×): plain product, no short-circuit.
+                    let mut accm = 1.0;
+                    for i in s..e {
+                        accm *= self.neutral_mpe[self.children[i] as usize];
+                    }
+                    self.neutral_mpe[node] = accm;
+                }
+            }
+        }
     }
 
     /// Scan `kinds` into maximal same-kind runs so the sweep kernels can
@@ -282,6 +390,19 @@ impl CompiledSpn {
         self.sweeps.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Node rows written by sweep kernels against this arena so far
+    /// (accumulated per tile). With pruning, a tile contributes the active
+    /// node count instead of `n_nodes`, so tests can account for exactly
+    /// which nodes a pruned sweep visited.
+    pub fn nodes_swept(&self) -> u64 {
+        self.nodes_swept.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` node rows written by one tile's sweep.
+    pub(crate) fn note_nodes(&self, n: u64) {
+        self.nodes_swept.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Convenience single-query evaluation (allocates a fresh scratch; for
     /// hot paths hold a [`crate::BatchEvaluator`] and batch queries).
     pub fn evaluate(&self, query: &crate::SpnQuery) -> f64 {
@@ -365,8 +486,10 @@ impl CompiledSpn {
 
     /// Apply the deferred finalization of a patch batch: renormalize every
     /// touched sum once, rebuild every touched leaf's prefix sums **and its
-    /// cached mode** once, and sync the represented row count.
+    /// cached mode** once, refresh the neutral tables if any weights moved,
+    /// and sync the represented row count.
     pub(crate) fn commit_patch(&mut self, patch: ArenaPatch, n_rows: u64) {
+        let weights_moved = !patch.touched_sums.is_empty();
         for node in patch.touched_sums {
             self.renormalize_sum(node);
         }
@@ -374,6 +497,12 @@ impl CompiledSpn {
             let leaf = &mut self.leaves[payload as usize];
             leaf.ensure_prefix();
             self.leaf_mode[payload as usize] = leaf.mode().unwrap_or(f64::NAN);
+        }
+        // Neutral values depend only on the sum weights (every leaf pins to
+        // 1.0), so leaf-only patches leave them untouched; a renormalized sum
+        // can shift neutrals arbitrarily far up the DAG, so recompute whole.
+        if weights_moved {
+            self.refresh_neutral();
         }
         self.n_rows = n_rows;
     }
@@ -410,6 +539,152 @@ impl CompiledSpn {
                 .iter()
                 .zip(&other.leaves)
                 .all(|(a, b)| a.bitwise_eq(b))
+            && self.neutral_expect.len() == other.neutral_expect.len()
+            && self
+                .neutral_expect
+                .iter()
+                .zip(&other.neutral_expect)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.neutral_mpe.len() == other.neutral_mpe.len()
+            && self
+                .neutral_mpe
+                .iter()
+                .zip(&other.neutral_mpe)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Build the [`ActiveSet`] for a set of constrained/target columns: one
+    /// bottom-up walk marks every node whose scope intersects `columns`
+    /// (a leaf is active iff its column is listed; an inner node iff any
+    /// child is), then active nodes are compacted into maximal same-kind
+    /// consecutive runs and the inactive children read by active parents are
+    /// collected as neutral-table seeds.
+    ///
+    /// `columns` may repeat and arrive in any order; out-of-range columns
+    /// are ignored (they intersect no scope). An empty/irrelevant set marks
+    /// nothing and the root row itself becomes the lone seed.
+    pub fn active_set(&self, columns: &[usize]) -> ActiveSet {
+        let n = self.n_nodes();
+        let mut col_mask = vec![false; self.n_cols];
+        for &c in columns {
+            if c < self.n_cols {
+                col_mask[c] = true;
+            }
+        }
+        let mut active = vec![false; n];
+        let mut n_active = 0u32;
+        for node in 0..n {
+            let is_active = match self.kinds[node] {
+                CompiledKind::Leaf => col_mask[self.leaf_col[self.leaf_of[node] as usize] as usize],
+                _ => {
+                    let (s, e) = self.child_range(node);
+                    self.children[s..e].iter().any(|&c| active[c as usize])
+                }
+            };
+            active[node] = is_active;
+            n_active += is_active as u32;
+        }
+        // Compact active nodes into maximal same-kind consecutive runs
+        // (contiguity breaks at inactive nodes, so node ids are preserved
+        // and the kernels' children-before-parent scratch split still holds).
+        let mut runs = Vec::new();
+        let mut node = 0usize;
+        while node < n {
+            if !active[node] {
+                node += 1;
+                continue;
+            }
+            let kind = self.kinds[node];
+            let mut end = node + 1;
+            while end < n && active[end] && self.kinds[end] == kind {
+                end += 1;
+            }
+            runs.push(NodeRun {
+                kind,
+                start: node as u32,
+                end: end as u32,
+            });
+            node = end;
+        }
+        // Seeds: inactive children read by at least one active parent, plus
+        // the root itself when nothing at all is active (the sweep output
+        // row must still be written).
+        let mut seeded = vec![false; n];
+        let mut seeds = Vec::new();
+        for node in 0..n {
+            if !active[node] {
+                continue;
+            }
+            let (s, e) = self.child_range(node);
+            for &c in &self.children[s..e] {
+                let c = c as usize;
+                if !active[c] && !seeded[c] {
+                    seeded[c] = true;
+                    seeds.push(c as u32);
+                }
+            }
+        }
+        if n_active == 0 && n > 0 {
+            seeds.push(n as u32 - 1);
+        }
+        seeds.sort_unstable();
+        ActiveSet {
+            runs,
+            seeds,
+            n_active,
+            n_nodes: n as u32,
+        }
+    }
+}
+
+/// The query-scoped slice of an arena: which nodes a given set of
+/// constrained/target columns can actually influence, compacted for the
+/// sweep. Built by [`CompiledSpn::active_set`], cached per query shape by
+/// the planner, and consumed by [`crate::kernel::SweepScratch`]: seed rows
+/// get their scratch filled from the neutral tables, then only the
+/// compacted runs are dispatched. Structure depends only on node scopes, so
+/// an `ActiveSet` stays valid across in-place patches (which never change
+/// structure); the *values* seeded from the neutral tables are the part
+/// [`CompiledSpn::commit_patch`] keeps fresh.
+#[derive(Debug, Clone)]
+pub struct ActiveSet {
+    /// Maximal same-kind runs over active node ids, sweep order.
+    pub(crate) runs: Vec<NodeRun>,
+    /// Inactive nodes read by an active parent (deduped, ascending); their
+    /// scratch rows are seeded from the neutral table before the sweep. When
+    /// nothing is active this is just the root.
+    pub(crate) seeds: Vec<u32>,
+    n_active: u32,
+    pub(crate) n_nodes: u32,
+}
+
+impl ActiveSet {
+    /// Active nodes this set sweeps.
+    pub fn n_active(&self) -> usize {
+        self.n_active as usize
+    }
+
+    /// Boundary rows seeded from the neutral table.
+    pub fn n_seeds(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Fraction of the arena a pruned sweep visits (`n_active / n_nodes`).
+    pub fn active_fraction(&self) -> f64 {
+        if self.n_nodes == 0 {
+            return 0.0;
+        }
+        self.n_active as f64 / self.n_nodes as f64
+    }
+
+    /// Compacted same-kind runs over active nodes, sweep order.
+    pub(crate) fn runs(&self) -> &[NodeRun] {
+        &self.runs
+    }
+
+    /// Seed node ids (inactive children of active parents), ascending.
+    pub(crate) fn seeds(&self) -> &[u32] {
+        &self.seeds
     }
 }
 
@@ -528,6 +803,106 @@ mod tests {
         // Maximality: adjacent runs differ in kind.
         for w in compiled.node_runs().windows(2) {
             assert_ne!(w[0].kind, w[1].kind, "adjacent runs should be merged");
+        }
+    }
+
+    /// Per-node scope sets computed independently of the `active_set` mark
+    /// recurrence: a leaf's scope is its column, an inner node's the union
+    /// of its children's.
+    fn scopes(compiled: &CompiledSpn) -> Vec<std::collections::HashSet<usize>> {
+        let mut scopes: Vec<std::collections::HashSet<usize>> = Vec::new();
+        for node in 0..compiled.n_nodes() {
+            let mut s = std::collections::HashSet::new();
+            if compiled.kinds[node] == CompiledKind::Leaf {
+                s.insert(compiled.leaf_col[compiled.leaf_of[node] as usize] as usize);
+            } else {
+                let (cs, ce) = compiled.child_range(node);
+                for &c in &compiled.children[cs..ce] {
+                    s.extend(scopes[c as usize].iter().copied());
+                }
+            }
+            scopes.push(s);
+        }
+        scopes
+    }
+
+    #[test]
+    fn active_set_accounting_invariants() {
+        let spn = sample_spn(3000, 7);
+        let compiled = spn.compile();
+        let scopes = scopes(&compiled);
+        let n = compiled.n_nodes();
+        for cols in [
+            vec![],
+            vec![0],
+            vec![1],
+            vec![0, 1],
+            vec![1, 1, 5], // repeats and out-of-range ignored
+        ] {
+            let a = compiled.active_set(&cols);
+            let want: Vec<bool> = (0..n)
+                .map(|node| cols.iter().any(|c| scopes[node].contains(c)))
+                .collect();
+            let n_active = want.iter().filter(|&&b| b).count();
+            assert_eq!(a.n_active(), n_active, "cols {cols:?}");
+            assert!((a.active_fraction() - n_active as f64 / n as f64).abs() < 1e-15);
+            // Runs cover exactly the active nodes, same-kind, ascending.
+            let mut covered = vec![false; n];
+            let mut prev_end = 0u32;
+            for run in a.runs() {
+                assert!(run.start >= prev_end, "runs must ascend");
+                assert!(run.end > run.start);
+                prev_end = run.end;
+                for node in run.start as usize..run.end as usize {
+                    assert_eq!(compiled.kinds[node], run.kind);
+                    assert!(want[node], "run covers inactive node {node}");
+                    covered[node] = true;
+                }
+            }
+            let swept = covered.iter().filter(|&&b| b).count();
+            assert_eq!(swept, n_active, "runs must cover every active node once");
+            // Seeds are exactly the inactive children of active parents
+            // (plus the root when nothing is active), deduped.
+            let mut want_seeds: Vec<u32> = (0..n)
+                .filter(|&c| {
+                    !want[c]
+                        && (0..n).any(|p| {
+                            if !want[p] {
+                                return false;
+                            }
+                            let (s, e) = compiled.child_range(p);
+                            compiled.children[s..e].contains(&(c as u32))
+                        })
+                })
+                .map(|c| c as u32)
+                .collect();
+            if n_active == 0 {
+                want_seeds.push(n as u32 - 1);
+            }
+            want_seeds.sort_unstable();
+            assert_eq!(a.seeds(), want_seeds.as_slice(), "cols {cols:?}");
+            // The root row is always written: either swept or seeded.
+            assert!(want[n - 1] || a.seeds().contains(&(n as u32 - 1)));
+        }
+    }
+
+    #[test]
+    fn neutral_table_matches_empty_query_sweep() {
+        let spn = sample_spn(3000, 7);
+        let compiled = spn.compile();
+        let empty = SpnQuery::new(2);
+        let root = compiled.n_nodes() - 1;
+        assert_eq!(
+            compiled.neutral_expect[root].to_bits(),
+            compiled.evaluate(&empty).to_bits(),
+            "root neutral must be bitwise the empty-query sweep result"
+        );
+        // Every leaf marginalizes to exactly 1.0 in both semirings.
+        for node in 0..compiled.n_nodes() {
+            if compiled.kinds[node] == CompiledKind::Leaf {
+                assert_eq!(compiled.neutral_expect[node], 1.0);
+                assert_eq!(compiled.neutral_mpe[node], 1.0);
+            }
         }
     }
 

@@ -33,7 +33,7 @@
 //! of all models across a persistent worker pool, bitwise identical to the
 //! sequential path for any thread count.
 
-use crate::arena::CompiledSpn;
+use crate::arena::{ActiveSet, CompiledSpn};
 use crate::kernel::{Expectation, LeafValueTable, SweepScratch};
 use crate::SpnQuery;
 
@@ -70,7 +70,7 @@ impl BatchEvaluator {
     /// (cleared first), for allocation-free steady state. Counts as one
     /// fused sweep.
     pub fn evaluate_into(&mut self, spn: &CompiledSpn, queries: &[SpnQuery], out: &mut Vec<f64>) {
-        self.evaluate_into_impl(spn, queries, out, true);
+        self.evaluate_into_impl(spn, queries, out, true, None);
     }
 
     /// Scalar-kernel twin of [`BatchEvaluator::evaluate`]: the reference
@@ -78,7 +78,23 @@ impl BatchEvaluator {
     /// bitwise identical). Counts as one fused sweep.
     pub fn evaluate_scalar(&mut self, spn: &CompiledSpn, queries: &[SpnQuery]) -> Vec<f64> {
         let mut out = Vec::new();
-        self.evaluate_into_impl(spn, queries, &mut out, false);
+        self.evaluate_into_impl(spn, queries, &mut out, false, None);
+        out
+    }
+
+    /// Pruned twin of [`BatchEvaluator::evaluate`]: sweeps only `active`'s
+    /// compacted runs, seeding pruned-out boundary rows from the arena's
+    /// neutral table. Bitwise identical to the full sweep whenever `active`
+    /// covers the union of the batch's constrained columns (see
+    /// [`CompiledSpn::active_set`]). Counts as one fused sweep.
+    pub fn evaluate_pruned(
+        &mut self,
+        spn: &CompiledSpn,
+        queries: &[SpnQuery],
+        active: &ActiveSet,
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.evaluate_into_impl(spn, queries, &mut out, true, Some(active));
         out
     }
 
@@ -88,6 +104,7 @@ impl BatchEvaluator {
         queries: &[SpnQuery],
         out: &mut Vec<f64>,
         simd: bool,
+        active: Option<&ActiveSet>,
     ) {
         out.clear();
         if queries.is_empty() {
@@ -100,7 +117,16 @@ impl BatchEvaluator {
         self.table.build::<Expectation>(spn, queries);
         let mut base = 0;
         for (tile, dst) in queries.chunks(SWEEP_TILE).zip(out.chunks_mut(SWEEP_TILE)) {
-            chunk(&mut self.scratch, &self.table, spn, tile, base, dst, simd);
+            chunk(
+                &mut self.scratch,
+                &self.table,
+                spn,
+                tile,
+                base,
+                dst,
+                simd,
+                active,
+            );
             base += tile.len();
         }
     }
@@ -113,7 +139,16 @@ impl BatchEvaluator {
     /// cache-resident; larger chunks work but grow it.
     pub fn evaluate_chunk(&mut self, spn: &CompiledSpn, queries: &[SpnQuery], out: &mut [f64]) {
         self.table.build::<Expectation>(spn, queries);
-        chunk(&mut self.scratch, &self.table, spn, queries, 0, out, true);
+        chunk(
+            &mut self.scratch,
+            &self.table,
+            spn,
+            queries,
+            0,
+            out,
+            true,
+            None,
+        );
     }
 
     /// Scalar-kernel twin of [`BatchEvaluator::evaluate_chunk`].
@@ -124,12 +159,22 @@ impl BatchEvaluator {
         out: &mut [f64],
     ) {
         self.table.build::<Expectation>(spn, queries);
-        chunk(&mut self.scratch, &self.table, spn, queries, 0, out, false);
+        chunk(
+            &mut self.scratch,
+            &self.table,
+            spn,
+            queries,
+            0,
+            out,
+            false,
+            None,
+        );
     }
 
     /// Pooled-tile entry: sweep one tile against a **job-wide** leaf-value
     /// table built by the submitter (`base` = the tile's offset within the
     /// job's query batch), so tiles never re-evaluate shared leaf work.
+    /// `active` prunes the tile's sweep to the job's active sub-DAG.
     pub(crate) fn evaluate_chunk_shared(
         &mut self,
         spn: &CompiledSpn,
@@ -137,11 +182,22 @@ impl BatchEvaluator {
         table: &LeafValueTable,
         base: usize,
         out: &mut [f64],
+        active: Option<&ActiveSet>,
     ) {
-        chunk(&mut self.scratch, table, spn, queries, base, out, true);
+        chunk(
+            &mut self.scratch,
+            table,
+            spn,
+            queries,
+            base,
+            out,
+            true,
+            active,
+        );
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn chunk(
     scratch: &mut SweepScratch,
     table: &LeafValueTable,
@@ -150,12 +206,13 @@ fn chunk(
     base: usize,
     out: &mut [f64],
     simd: bool,
+    active: Option<&ActiveSet>,
 ) {
     assert_eq!(queries.len(), out.len(), "output slice arity mismatch");
     if queries.is_empty() {
         return;
     }
-    scratch.sweep::<Expectation>(spn, queries, table, base, simd);
+    scratch.sweep::<Expectation>(spn, queries, table, base, simd, active);
     out.copy_from_slice(scratch.root_values());
 }
 
@@ -382,6 +439,7 @@ mod tests {
                 mpe_out: &mut mpe_out,
                 cancel: None,
                 fault: None,
+                active: None,
             }],
             4,
         );
@@ -421,6 +479,7 @@ mod tests {
                     mpe_out: &mut got_p,
                     cancel: None,
                     fault: None,
+                    active: None,
                 }],
                 threads,
             );

@@ -26,6 +26,18 @@
 //! in the same sweep (children precede parents in the arena's topological
 //! order).
 //!
+//! Sweeps can be **pruned** to a query-scoped [`ActiveSet`]: scratch rows of
+//! subtrees outside the constrained columns' scope are seeded from the
+//! arena's neutral tables (their empty-query values — bit-for-bit what the
+//! full sweep would have written, because a marginalized leaf gathers the
+//! literal `1.0` the [`LeafValueTable`] stores for `None` slots), and the
+//! kernels then dispatch over the ActiveSet's compacted runs only. The
+//! kernels themselves are untouched: pruning changes *which* rows they
+//! visit, never the arithmetic, so pruned ≡ full holds **bitwise by
+//! construction** (enforced by `tests/prop_prune.rs`). Batches narrower
+//! than [`LANES`] route to the scalar kernels — same bitwise contract,
+//! without paying lane padding for sub-lane batches.
+//!
 //! Determinism contract (enforced by `tests/prop_batch.rs` /
 //! `tests/prop_mpe.rs`): for both semirings, SIMD ≡ scalar ≡ recursive
 //! oracle **bitwise**, for every tile shape and thread count, including
@@ -33,8 +45,8 @@
 
 use std::ops::Range;
 
-use crate::arena::{CompiledKind, CompiledSpn};
-use crate::leaf::NormPred;
+use crate::arena::{ActiveSet, CompiledKind, CompiledSpn};
+use crate::leaf::{LeafBatchScratch, NormPred};
 use crate::maxprod::MpeProbe;
 use crate::{LeafFunc, SpnQuery};
 
@@ -153,6 +165,9 @@ pub(crate) struct LeafValueTable {
     /// Per column, the probe index carrying the first occurrence of each
     /// distinct slot (build scratch).
     col_reps: Vec<Vec<u32>>,
+    /// Scratch for [`crate::Leaf::expect_norm_batch`] — the batched
+    /// prefix-sum probe walk over a column's distinct slots.
+    batch_scratch: LeafBatchScratch,
 }
 
 impl LeafValueTable {
@@ -223,17 +238,28 @@ impl LeafValueTable {
         }
 
         // One evaluation per (leaf, distinct slot of the leaf's column).
+        // When a column's distinct-slot fan is large relative to a leaf's
+        // histogram, all of its prefix-sum probes are resolved by one
+        // monotone merge walk ([`crate::Leaf::expect_norm_batch`], bitwise
+        // identical to the per-slot path); otherwise slot by slot.
         self.offsets.clear();
         self.vals.clear();
+        let slots = &self.slots;
+        let col_reps = &self.col_reps;
         for (payload, leaf) in spn.leaves.iter().enumerate() {
             let col = spn.leaf_col[payload] as usize;
             self.offsets.push(self.vals.len() as u32);
-            for &rq in &self.col_reps[col] {
-                self.vals
-                    .push(match &self.slots[rq as usize * n_cols + col] {
-                        None => 1.0,
-                        Some((func, np)) => leaf.expect_norm(*func, np),
-                    });
+            let fan = col_reps[col]
+                .iter()
+                .map(|&rq| slots[rq as usize * n_cols + col].as_ref());
+            if leaf.expect_norm_batch(fan.clone(), &mut self.batch_scratch, &mut self.vals) {
+                continue;
+            }
+            for slot in fan {
+                self.vals.push(match slot {
+                    None => 1.0,
+                    Some((func, np)) => leaf.expect_norm(*func, np),
+                });
             }
         }
     }
@@ -275,6 +301,9 @@ pub(crate) trait SemiringProbe {
     const TRACKS_LEAF: bool;
     fn query(p: &Self::Probe) -> &SpnQuery;
     fn check(p: &Self::Probe, n_cols: usize);
+    /// The arena's per-node neutral (empty-query) values for this semiring —
+    /// what a pruned sweep seeds inactive boundary rows with.
+    fn neutral(spn: &CompiledSpn) -> &[f64];
 }
 
 /// Kernel for a run of consecutive leaf nodes.
@@ -315,6 +344,11 @@ impl SemiringProbe for Expectation {
     fn check(p: &SpnQuery, n_cols: usize) {
         assert_eq!(p.n_cols(), n_cols, "query arity mismatch");
     }
+
+    #[inline]
+    fn neutral(spn: &CompiledSpn) -> &[f64] {
+        &spn.neutral_expect
+    }
 }
 
 impl SemiringProbe for MaxProduct {
@@ -329,6 +363,11 @@ impl SemiringProbe for MaxProduct {
     fn check(p: &MpeProbe, n_cols: usize) {
         assert_eq!(p.query.n_cols(), n_cols, "probe arity mismatch");
         assert!(p.target < n_cols, "MPE target column out of range");
+    }
+
+    #[inline]
+    fn neutral(spn: &CompiledSpn) -> &[f64] {
+        &spn.neutral_mpe
     }
 }
 
@@ -545,10 +584,12 @@ impl SweepScratch {
     /// One forward sweep of one chunk of `probes` over `spn` in semiring
     /// `K`, scalar or SIMD, gathering leaf values from a batch-wide
     /// [`LeafValueTable`] (`base` is the chunk's offset within the batch
-    /// the table was built for). Results land in the root row
-    /// ([`SweepScratch::root_values`] / [`SweepScratch::root_aux`]). Does
-    /// **not** bump the model's sweep counter — callers account for fused
-    /// sweeps.
+    /// the table was built for). With an [`ActiveSet`], only its compacted
+    /// runs are swept after seeding the boundary rows from the arena's
+    /// neutral table — bitwise identical to the full sweep by construction.
+    /// Results land in the root row ([`SweepScratch::root_values`] /
+    /// [`SweepScratch::root_aux`]). Does **not** bump the model's sweep
+    /// counter — callers account for fused sweeps.
     pub(crate) fn sweep<K: Kernels>(
         &mut self,
         spn: &CompiledSpn,
@@ -556,6 +597,7 @@ impl SweepScratch {
         table: &LeafValueTable,
         base: usize,
         simd: bool,
+        active: Option<&ActiveSet>,
     ) {
         let n_q = probes.len();
         debug_assert!(n_q > 0, "empty chunks are handled by callers");
@@ -563,6 +605,10 @@ impl SweepScratch {
         for p in probes {
             K::check(p, n_cols);
         }
+        // Sub-lane batches route to the scalar kernels: padding a 1-query
+        // chunk to a whole lane group does 4× the work for the same bits
+        // (scalar ≡ SIMD is contractual).
+        let simd = simd && n_q >= LANES;
 
         let n_nodes = spn.n_nodes();
         let stride = lane_padded(n_q);
@@ -586,15 +632,45 @@ impl SweepScratch {
             base,
         };
 
+        // Pruned path: seed the boundary rows with their query-independent
+        // values (whole stride, padding included, so lane reads stay
+        // deterministic), then dispatch only the compacted active runs.
+        // Scratch keeps full node-id addressing, so the kernels' child-row
+        // split (`children < node`) is untouched.
+        let runs = match active {
+            Some(a) => {
+                debug_assert_eq!(
+                    a.n_nodes as usize, n_nodes,
+                    "active set built for a different arena"
+                );
+                let neutral = K::neutral(spn);
+                for &s in a.seeds() {
+                    let row = s as usize * ctx.stride;
+                    ctx.values[row..row + ctx.stride].fill(neutral[s as usize]);
+                    if K::TRACKS_LEAF {
+                        // A pruned subtree never holds a target leaf (the
+                        // target column is always active), so the aux lane is
+                        // constantly "no leaf on this branch".
+                        ctx.aux[row..row + ctx.stride].fill(NO_LEAF);
+                    }
+                }
+                a.runs()
+            }
+            None => spn.node_runs(),
+        };
+
         // Single forward sweep, one kernel call per same-kind node run.
-        for run in spn.node_runs() {
+        let mut nodes = 0u64;
+        for run in runs {
             let range = run.start as usize..run.end as usize;
+            nodes += (run.end - run.start) as u64;
             match run.kind {
                 CompiledKind::Leaf => K::leaf_run(&mut ctx, range, simd),
                 CompiledKind::Sum => K::sum_run(&mut ctx, range, simd),
                 CompiledKind::Product => K::product_run(&mut ctx, range, simd),
             }
         }
+        spn.note_nodes(nodes);
 
         self.root = (n_nodes - 1) * stride;
         self.n_out = n_q;

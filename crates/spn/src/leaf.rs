@@ -234,6 +234,28 @@ impl NormPred {
     }
 }
 
+/// Reusable scratch for [`Leaf::expect_norm_batch`], owned by the caller
+/// (one per [`crate::kernel::LeafValueTable`]) so steady-state table
+/// rebuilds allocate nothing once the buffers have grown.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LeafBatchScratch {
+    /// `(boundary, inclusive, slot-tag)` probes: `inclusive = false`
+    /// resolves `partition_point(v < x)`, `true` resolves
+    /// `partition_point(v <= x)`.
+    bounds: Vec<(f64, bool, u32)>,
+    /// Resolved partition index per slot tag (two tags per slot: `2j` for
+    /// the start/lt boundary, `2j + 1` for the end/le boundary).
+    parts: Vec<u32>,
+    /// Per-slot dispatch decided during the counting pass.
+    plans: Vec<u8>,
+}
+
+/// [`LeafBatchScratch::plans`] codes.
+const PLAN_FALLBACK: u8 = 0;
+const PLAN_NONE: u8 = 1;
+const PLAN_POINT: u8 = 2;
+const PLAN_RANGE: u8 = 3;
+
 impl Leaf {
     /// Build a leaf over `col` from the given row slice.
     pub fn build(
@@ -560,6 +582,155 @@ impl Leaf {
                 acc / total
             }
         }
+    }
+
+    /// Batched twin of [`Leaf::expect_norm`] over the distinct slots of this
+    /// leaf's column: every Point/Range partition boundary across the whole
+    /// fan is sorted once and resolved in **one monotone merge walk** over
+    /// the sorted histogram, so one walk answers all of the column's slots
+    /// instead of one binary search per boundary. Returns `false` (nothing
+    /// written to `out`) when the walk cannot pay for itself — binned or
+    /// empty histograms, or a fan too small relative to the histogram — and
+    /// the caller evaluates per slot.
+    ///
+    /// **Bitwise contract**: partition indices are integers (a merge walk
+    /// and a binary search find the same index), and each slot's final
+    /// arithmetic mirrors `expect_norm` op for op, so a `true` return pushes
+    /// exactly the bits per-slot evaluation would. `None` (marginalized)
+    /// slots resolve to the multiplicative identity `1.0`, matching the
+    /// [`crate::kernel::LeafValueTable`] contract; General-class slots and
+    /// NaN range bounds fall back to `expect_norm` individually.
+    pub(crate) fn expect_norm_batch<'a>(
+        &self,
+        slots: impl Iterator<Item = Option<&'a (LeafFunc, NormPred)>> + Clone,
+        scratch: &mut LeafBatchScratch,
+        out: &mut Vec<f64>,
+    ) -> bool {
+        debug_assert!(!self.dirty, "expect_norm_batch on a dirty leaf");
+        let LeafKind::Exact {
+            values,
+            counts,
+            cum,
+        } = &self.kind
+        else {
+            return false;
+        };
+        let n = values.len();
+        if self.total == 0 || n == 0 {
+            return false;
+        }
+
+        // Counting pass: how many boundary probes would the walk resolve?
+        scratch.plans.clear();
+        let mut n_bounds = 0usize;
+        for slot in slots.clone() {
+            let plan = match slot {
+                None => PLAN_NONE,
+                Some((_, np)) => match np.class {
+                    PredClass::General => PLAN_FALLBACK,
+                    PredClass::Point => {
+                        n_bounds += 2;
+                        PLAN_POINT
+                    }
+                    // NaN bounds break the sort order; leave them to the
+                    // per-slot path, which already defines their result.
+                    PredClass::Range if np.lo.is_nan() || np.hi.is_nan() => PLAN_FALLBACK,
+                    PredClass::Range => {
+                        n_bounds += usize::from(np.lo != f64::NEG_INFINITY)
+                            + usize::from(np.hi != f64::INFINITY);
+                        PLAN_RANGE
+                    }
+                },
+            };
+            scratch.plans.push(plan);
+        }
+        // Worth it only when one O(n + L log L) walk undercuts L binary
+        // searches of O(log n) each.
+        if n_bounds < 2 || n_bounds * (n.ilog2() as usize + 1) < n {
+            return false;
+        }
+
+        // Emit and sort the boundaries: ascending by value, `v < x` before
+        // `v <= x` at equal values (the lt partition never exceeds the le
+        // one), compared with `partial_cmp` so `-0.0`/`0.0` stay
+        // interchangeable exactly as `partition_point`'s `<`/`<=` see them.
+        scratch.bounds.clear();
+        scratch.parts.clear();
+        scratch.parts.resize(2 * scratch.plans.len(), 0);
+        for (j, slot) in slots.clone().enumerate() {
+            let tag = (2 * j) as u32;
+            match (scratch.plans[j], slot) {
+                (PLAN_POINT, Some((_, np))) => {
+                    let v = np.in_set.as_deref().expect("point class has a set")[0];
+                    scratch.bounds.push((v, false, tag));
+                    scratch.bounds.push((v, true, tag + 1));
+                }
+                (PLAN_RANGE, Some((_, np))) => {
+                    if np.lo != f64::NEG_INFINITY {
+                        scratch.bounds.push((np.lo, np.lo_strict, tag));
+                    }
+                    if np.hi != f64::INFINITY {
+                        scratch.bounds.push((np.hi, !np.hi_strict, tag + 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+        scratch.bounds.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        // The walk: partition targets are non-decreasing along the sorted
+        // boundary list, so one cursor over `values` resolves them all.
+        let mut vi = 0usize;
+        for &(x, le, tag) in &scratch.bounds {
+            while vi < n && (values[vi] < x || (le && values[vi] == x)) {
+                vi += 1;
+            }
+            scratch.parts[tag as usize] = vi as u32;
+        }
+
+        let total = self.total as f64;
+        for (j, slot) in slots.enumerate() {
+            let val = match (scratch.plans[j], slot) {
+                (PLAN_NONE, _) => 1.0,
+                (PLAN_FALLBACK, Some((func, np))) => self.expect_norm(*func, np),
+                (PLAN_POINT, Some((func, np))) => {
+                    // `lt` is where the point value sits if present; present
+                    // iff the le partition clears it.
+                    let v = np.in_set.as_deref().expect("point class has a set")[0];
+                    let lt = scratch.parts[2 * j] as usize;
+                    let le = scratch.parts[2 * j + 1] as usize;
+                    let mut acc = 0.0;
+                    if le > lt {
+                        acc += apply(*func, v) * counts[lt] as f64;
+                    }
+                    acc / total
+                }
+                (PLAN_RANGE, Some((func, np))) => {
+                    let fi = FUNCS.iter().position(|f| f == func).unwrap();
+                    let start = if np.lo == f64::NEG_INFINITY {
+                        0
+                    } else {
+                        scratch.parts[2 * j] as usize
+                    };
+                    let end = if np.hi == f64::INFINITY {
+                        n
+                    } else {
+                        scratch.parts[2 * j + 1] as usize
+                    };
+                    if start >= end {
+                        0.0
+                    } else {
+                        (cum[fi][end] - cum[fi][start]) / total
+                    }
+                }
+                _ => unreachable!("plan implies a Some slot"),
+            };
+            out.push(val);
+        }
+        true
     }
 
     /// Most frequent value (MPE at the leaf level); `None` when empty. Ties
@@ -1082,6 +1253,75 @@ mod tests {
         assert_eq!(leaf.total(), 51);
         let p_all = leaf.expect(LeafFunc::One, &[]);
         assert!((p_all - 1.0).abs() < 1e-9);
+    }
+
+    /// Satellite coverage: the batched prefix-sum probe walk must agree
+    /// with per-slot evaluation bitwise, across every slot class (points,
+    /// strict/inclusive/unbounded/empty ranges, General fallbacks,
+    /// marginalized `None`), including values absent from the histogram.
+    #[test]
+    fn batched_prefix_probes_match_per_slot_bitwise() {
+        let vals: Vec<f64> = (0..64).map(|i| ((i * 7) % 37) as f64).collect();
+        let leaf = leaf_from(&vals, true);
+        let range = |lo: f64, hi: f64, lo_incl: bool, hi_incl: bool| LeafPred::Range {
+            lo,
+            hi,
+            lo_incl,
+            hi_incl,
+        };
+        let slots: Vec<Option<(LeafFunc, NormPred)>> = vec![
+            None,
+            Some((LeafFunc::One, NormPred::new(&[LeafPred::In(vec![5.0])]))),
+            Some((LeafFunc::X, NormPred::new(&[range(3.0, 20.0, true, false)]))),
+            Some((
+                LeafFunc::X2,
+                NormPred::new(&[range(f64::NEG_INFINITY, 11.0, true, true)]),
+            )),
+            Some((
+                LeafFunc::One,
+                NormPred::new(&[range(14.0, f64::INFINITY, false, true)]),
+            )),
+            // General class → internal per-slot fallback.
+            Some((LeafFunc::One, NormPred::new(&[LeafPred::NotIn(vec![4.0])]))),
+            Some((LeafFunc::One, NormPred::new(&[LeafPred::IsNull]))),
+            // Point absent from the histogram.
+            Some((LeafFunc::One, NormPred::new(&[LeafPred::In(vec![400.0])]))),
+            Some((
+                LeafFunc::InvClamp1,
+                NormPred::new(&[range(10.0, 10.0, true, true)]),
+            )),
+            // Contradictory range.
+            Some((
+                LeafFunc::One,
+                NormPred::new(&[range(30.0, 2.0, true, true)]),
+            )),
+        ];
+        let mut scratch = LeafBatchScratch::default();
+        let mut got = Vec::new();
+        assert!(
+            leaf.expect_norm_batch(slots.iter().map(|s| s.as_ref()), &mut scratch, &mut got),
+            "fan of {} slots over {} distinct values must take the batched walk",
+            slots.len(),
+            37
+        );
+        let want: Vec<f64> = slots
+            .iter()
+            .map(|s| match s {
+                None => 1.0,
+                Some((f, np)) => leaf.expect_norm(*f, np),
+            })
+            .collect();
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "slot {i}: got {g}, want {w}");
+        }
+
+        // A lone slot's two boundaries fail the cost gate (2 searches are
+        // cheaper than walking 37 values) — the caller falls back.
+        let lone = [slots[2].clone()];
+        let mut out = Vec::new();
+        assert!(!leaf.expect_norm_batch(lone.iter().map(|s| s.as_ref()), &mut scratch, &mut out));
+        assert!(out.is_empty());
     }
 
     #[test]

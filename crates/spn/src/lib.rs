@@ -47,7 +47,13 @@
 //!   evaluator scratch for their lifetime, claim tiles off an atomic
 //!   cursor, and park between jobs; the execution engine of `deepdb-core`'s
 //!   probe plans. Evaluation is `&self`-safe, and results are bitwise
-//!   identical for every thread count and kernel flavor.
+//!   identical for every thread count and kernel flavor;
+//! * [`ActiveSet`] — query-scoped sub-DAG pruning: the arena caches each
+//!   node's query-independent (empty-query) value per semiring, and a sweep
+//!   restricted to the nodes whose scope intersects the constrained/target
+//!   columns seeds the pruned boundary from those neutral tables — bitwise
+//!   identical to the full sweep by construction, at a fraction of the node
+//!   visits for selective queries.
 //!
 //! The SPN operates on an opaque `f64` matrix (NaN = NULL); the relational
 //! interpretation (tables, tuple factors, join indicators) lives in
@@ -69,7 +75,7 @@ mod serialize;
 mod update;
 pub mod wire;
 
-pub use arena::CompiledSpn;
+pub use arena::{ActiveSet, CompiledSpn};
 pub use batch::{BatchEvaluator, SWEEP_TILE};
 pub use data::{ColumnMeta, DataView};
 pub use infer::{LeafFunc, LeafPred, Slot, SpnQuery};

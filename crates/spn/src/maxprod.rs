@@ -24,7 +24,7 @@
 //! flavor (SIMD vs scalar), tiling, and thread count: a probe reads only its
 //! own slots and its own scratch lane.
 
-use crate::arena::CompiledSpn;
+use crate::arena::{ActiveSet, CompiledSpn};
 use crate::batch::SWEEP_TILE;
 use crate::kernel::{LeafValueTable, MaxProduct, SweepScratch, NO_LEAF};
 use crate::SpnQuery;
@@ -98,7 +98,7 @@ impl MaxProductEvaluator {
         probes: &[MpeProbe],
         out: &mut Vec<MpeOutcome>,
     ) {
-        self.evaluate_into_impl(spn, probes, out, true);
+        self.evaluate_into_impl(spn, probes, out, true, None);
     }
 
     /// Scalar-kernel twin of [`MaxProductEvaluator::evaluate`]: the
@@ -106,7 +106,24 @@ impl MaxProductEvaluator {
     /// (results are bitwise identical). Counts as one fused sweep.
     pub fn evaluate_scalar(&mut self, spn: &CompiledSpn, probes: &[MpeProbe]) -> Vec<MpeOutcome> {
         let mut out = Vec::new();
-        self.evaluate_into_impl(spn, probes, &mut out, false);
+        self.evaluate_into_impl(spn, probes, &mut out, false, None);
+        out
+    }
+
+    /// Pruned twin of [`MaxProductEvaluator::evaluate`]: sweeps only
+    /// `active`'s compacted runs, seeding pruned-out boundary rows from the
+    /// arena's neutral table. Bitwise identical to the full sweep whenever
+    /// `active` covers the union of the batch's evidence columns **and
+    /// every probe's target column** (see [`CompiledSpn::active_set`]).
+    /// Counts as one fused sweep.
+    pub fn evaluate_pruned(
+        &mut self,
+        spn: &CompiledSpn,
+        probes: &[MpeProbe],
+        active: &ActiveSet,
+    ) -> Vec<MpeOutcome> {
+        let mut out = Vec::new();
+        self.evaluate_into_impl(spn, probes, &mut out, true, Some(active));
         out
     }
 
@@ -116,6 +133,7 @@ impl MaxProductEvaluator {
         probes: &[MpeProbe],
         out: &mut Vec<MpeOutcome>,
         simd: bool,
+        active: Option<&ActiveSet>,
     ) {
         out.clear();
         if probes.is_empty() {
@@ -128,7 +146,16 @@ impl MaxProductEvaluator {
         self.table.build::<MaxProduct>(spn, probes);
         let mut base = 0;
         for (tile, dst) in probes.chunks(SWEEP_TILE).zip(out.chunks_mut(SWEEP_TILE)) {
-            chunk(&mut self.scratch, &self.table, spn, tile, base, dst, simd);
+            chunk(
+                &mut self.scratch,
+                &self.table,
+                spn,
+                tile,
+                base,
+                dst,
+                simd,
+                active,
+            );
             base += tile.len();
         }
     }
@@ -144,7 +171,16 @@ impl MaxProductEvaluator {
         out: &mut [MpeOutcome],
     ) {
         self.table.build::<MaxProduct>(spn, probes);
-        chunk(&mut self.scratch, &self.table, spn, probes, 0, out, true);
+        chunk(
+            &mut self.scratch,
+            &self.table,
+            spn,
+            probes,
+            0,
+            out,
+            true,
+            None,
+        );
     }
 
     /// Scalar-kernel twin of [`MaxProductEvaluator::evaluate_chunk`].
@@ -155,12 +191,22 @@ impl MaxProductEvaluator {
         out: &mut [MpeOutcome],
     ) {
         self.table.build::<MaxProduct>(spn, probes);
-        chunk(&mut self.scratch, &self.table, spn, probes, 0, out, false);
+        chunk(
+            &mut self.scratch,
+            &self.table,
+            spn,
+            probes,
+            0,
+            out,
+            false,
+            None,
+        );
     }
 
     /// Pooled-tile entry: sweep one tile against a **job-wide** leaf-value
     /// table built by the submitter (`base` = the tile's offset within the
     /// job's probe batch), so tiles never re-evaluate shared leaf work.
+    /// `active` prunes the tile's sweep to the job's active sub-DAG.
     pub(crate) fn evaluate_chunk_shared(
         &mut self,
         spn: &CompiledSpn,
@@ -168,11 +214,22 @@ impl MaxProductEvaluator {
         table: &LeafValueTable,
         base: usize,
         out: &mut [MpeOutcome],
+        active: Option<&ActiveSet>,
     ) {
-        chunk(&mut self.scratch, table, spn, probes, base, out, true);
+        chunk(
+            &mut self.scratch,
+            table,
+            spn,
+            probes,
+            base,
+            out,
+            true,
+            active,
+        );
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn chunk(
     scratch: &mut SweepScratch,
     table: &LeafValueTable,
@@ -181,12 +238,13 @@ fn chunk(
     base: usize,
     out: &mut [MpeOutcome],
     simd: bool,
+    active: Option<&ActiveSet>,
 ) {
     assert_eq!(probes.len(), out.len(), "output slice arity mismatch");
     if probes.is_empty() {
         return;
     }
-    scratch.sweep::<MaxProduct>(spn, probes, table, base, simd);
+    scratch.sweep::<MaxProduct>(spn, probes, table, base, simd, active);
     let scores = scratch.root_values();
     let leaves = scratch.root_aux();
     for ((slot, &score), &leaf) in out.iter_mut().zip(scores).zip(leaves) {

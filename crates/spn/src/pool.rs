@@ -40,7 +40,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::arena::CompiledSpn;
+use crate::arena::{ActiveSet, CompiledSpn};
 use crate::batch::{BatchEvaluator, SWEEP_TILE};
 use crate::kernel::{Expectation, LeafValueTable, MaxProduct};
 use crate::maxprod::{MaxProductEvaluator, MpeOutcome, MpeProbe};
@@ -150,6 +150,11 @@ pub struct SweepJob<'a> {
     pub cancel: Option<&'a CancelFlag>,
     /// Fault-injection hook fired at every tile start (chaos testing only).
     pub fault: Option<&'a TileFaultFn<'a>>,
+    /// Query-scoped prune set for every tile of this job (both probe kinds).
+    /// Must cover the union of all the job's constrained columns plus every
+    /// MPE probe's target column ([`CompiledSpn::active_set`]); pruned
+    /// sweeps are then bitwise identical to full ones. `None` = full sweep.
+    pub active: Option<&'a ActiveSet>,
 }
 
 impl<'a> SweepJob<'a> {
@@ -163,16 +168,18 @@ impl<'a> SweepJob<'a> {
             mpe_out: &mut [],
             cancel: None,
             fault: None,
+            active: None,
         }
     }
 }
 
 /// A unit of worker work: one tile of one probe kind against one model,
-/// plus its job's cancel/fault hooks.
+/// plus its job's cancel/fault hooks and prune set.
 struct Tile<'a> {
     kind: TileKind<'a>,
     cancel: Option<&'a CancelFlag>,
     fault: Option<&'a TileFaultFn<'a>>,
+    active: Option<&'a ActiveSet>,
 }
 
 /// The tile's payload: one probe-kind chunk against one model, the job-wide
@@ -222,12 +229,14 @@ impl WorkerScratch {
             return;
         }
         match &mut tile.kind {
-            TileKind::Expect(spn, queries, out, table, base) => self
-                .expect
-                .evaluate_chunk_shared(spn, queries, table, *base, out),
-            TileKind::Mpe(spn, probes, out, table, base) => self
-                .maxprod
-                .evaluate_chunk_shared(spn, probes, table, *base, out),
+            TileKind::Expect(spn, queries, out, table, base) => {
+                self.expect
+                    .evaluate_chunk_shared(spn, queries, table, *base, out, tile.active)
+            }
+            TileKind::Mpe(spn, probes, out, table, base) => {
+                self.maxprod
+                    .evaluate_chunk_shared(spn, probes, table, *base, out, tile.active)
+            }
         }
     }
 }
@@ -377,6 +386,7 @@ impl WorkerPool {
                 mut mpe_out,
                 cancel,
                 fault,
+                active,
             } = job;
             assert_eq!(queries.len(), out.len(), "sweep job arity mismatch");
             assert_eq!(mpe.len(), mpe_out.len(), "sweep job MPE arity mismatch");
@@ -394,6 +404,7 @@ impl WorkerPool {
                     kind: TileKind::Expect(spn, q_head, o_head, &tabs.0, base),
                     cancel,
                     fault,
+                    active,
                 });
                 queries = q_tail;
                 out = o_tail;
@@ -408,6 +419,7 @@ impl WorkerPool {
                     kind: TileKind::Mpe(spn, p_head, o_head, &tabs.1, base),
                     cancel,
                     fault,
+                    active,
                 });
                 mpe = p_tail;
                 mpe_out = o_tail;
@@ -604,7 +616,9 @@ impl InlineSweep {
 
     /// One fused sweep of one model: expectation probes and max-product
     /// probes (either batch may be empty), outputs written in probe order.
-    /// Advances the model's sweep counter once when any probe ran.
+    /// `active` prunes every tile of the sweep to the job's active sub-DAG
+    /// (same contract as [`SweepJob::active`]). Advances the model's sweep
+    /// counter once when any probe ran.
     pub fn sweep(
         &mut self,
         spn: &CompiledSpn,
@@ -612,6 +626,7 @@ impl InlineSweep {
         out: &mut [f64],
         mpe: &[MpeProbe],
         mpe_out: &mut [MpeOutcome],
+        active: Option<&ActiveSet>,
     ) {
         assert_eq!(queries.len(), out.len(), "sweep job arity mismatch");
         assert_eq!(mpe.len(), mpe_out.len(), "sweep job MPE arity mismatch");
@@ -631,14 +646,14 @@ impl InlineSweep {
             for (q, o) in queries.chunks(SWEEP_TILE).zip(out.chunks_mut(SWEEP_TILE)) {
                 scratch
                     .expect
-                    .evaluate_chunk_shared(spn, q, &self.expect_table, base, o);
+                    .evaluate_chunk_shared(spn, q, &self.expect_table, base, o, active);
                 base += q.len();
             }
             let mut base = 0;
             for (p, o) in mpe.chunks(SWEEP_TILE).zip(mpe_out.chunks_mut(SWEEP_TILE)) {
                 scratch
                     .maxprod
-                    .evaluate_chunk_shared(spn, p, &self.mpe_table, base, o);
+                    .evaluate_chunk_shared(spn, p, &self.mpe_table, base, o, active);
                 base += p.len();
             }
         });
@@ -719,6 +734,7 @@ mod tests {
                             mpe_out: &mut out,
                             cancel: None,
                             fault: None,
+                            active: None,
                         }],
                         4,
                     )
@@ -752,6 +768,7 @@ mod tests {
             mpe_out: &mut [],
             cancel,
             fault,
+            active: None,
         }
     }
 

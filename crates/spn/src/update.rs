@@ -488,4 +488,35 @@ mod tests {
         assert!(arena.bitwise_eq(&spn.compile()));
         assert_eq!(spn.consistency_error(), None);
     }
+
+    /// The arena's neutral (empty-query) tables must track in-place
+    /// patches: a weight-moving patch triggers a rebuild, so a pruned
+    /// sweep's seeded boundary can never read pre-update values. Poisoning
+    /// the cached root entries first makes the refresh observable even when
+    /// the genuine neutral values happen not to move bitwise.
+    #[test]
+    fn neutral_tables_refresh_after_in_place_patches() {
+        let (cols, meta) = clustered_data(2000, 11);
+        let data = DataView::new(&cols, &meta);
+        let mut spn = Spn::learn(data, &SpnParams::default());
+        let mut arena = spn.compile();
+
+        let root = arena.neutral_expect.len() - 1;
+        arena.neutral_expect[root] = -123.0;
+        arena.neutral_mpe[root] = -123.0;
+
+        for i in 0..200 {
+            spn.insert_patch(&mut arena, &[0.0, 20.0 + (i % 10) as f64]);
+        }
+        let empty = SpnQuery::new(2);
+        assert_eq!(
+            arena.neutral_expect[root].to_bits(),
+            arena.evaluate(&empty).to_bits(),
+            "neutral root must be rebuilt to the empty-query sweep value"
+        );
+        assert!(
+            arena.bitwise_eq(&spn.compile()),
+            "patched arena (neutral tables included) must match a recompile"
+        );
+    }
 }
