@@ -18,7 +18,7 @@ use deepdb_bench::{
 };
 use deepdb_core::{execute_aqp, AqpOutput, EnsembleBuilder};
 use deepdb_data::ssb;
-use deepdb_storage::{execute, Indexes, QueryOutput, Value};
+use deepdb_storage::{execute_with_indexes, Indexes, QueryOutput, Value};
 
 fn fmt_pct(v: f64) -> String {
     if v.is_infinite() {
@@ -66,7 +66,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut deepdb_max_latency = std::time::Duration::ZERO;
     for nq in ssb::queries(&db) {
-        let truth = execute(&db, &nq.query).expect("ground truth");
+        let truth = execute_with_indexes(&db, &nq.query, Some(&indexes)).expect("ground truth");
         let grouped = !nq.query.group_by.is_empty();
         let tg = truth_groups(&truth, &nq.query);
         let ts = scalar_truth(&truth, &nq.query);

@@ -18,7 +18,7 @@ use deepdb_bench::{
 };
 use deepdb_core::{execute_aqp, AqpOutput};
 use deepdb_data::flights;
-use deepdb_storage::{execute, QueryOutput, Value};
+use deepdb_storage::{execute, execute_with_indexes, Indexes, QueryOutput, Value};
 
 fn fmt_pct(v: f64) -> String {
     if v.is_infinite() {
@@ -43,10 +43,12 @@ fn main() {
     println!("VerdictDB scramble build: {}", fmt_dur(verdict.build_time));
     let mut tablesample = TableSample::new(&db, 0.01, scale.seed ^ 0x2);
 
+    // One set of prebuilt indexes serves every ground-truth execution.
+    let indexes = Indexes::build(&db);
     let mut rows = Vec::new();
     let mut deepdb_max_latency = std::time::Duration::ZERO;
     for nq in flights::queries(&db) {
-        let truth = execute(&db, &nq.query).expect("ground truth");
+        let truth = execute_with_indexes(&db, &nq.query, Some(&indexes)).expect("ground truth");
         let grouped = !nq.query.group_by.is_empty();
 
         // VerdictDB.

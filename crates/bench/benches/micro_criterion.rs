@@ -17,7 +17,7 @@ use deepdb_data::{flights, imdb, joblight, Scale};
 use deepdb_spn::{
     BatchEvaluator, ColumnMeta, CompiledSpn, DataView, LeafFunc, LeafPred, Spn, SpnParams, SpnQuery,
 };
-use deepdb_storage::{execute, Value};
+use deepdb_storage::{execute_with_indexes, Indexes, Value};
 
 fn bench_cardinality_latency(c: &mut Criterion) {
     let scale = Scale {
@@ -38,13 +38,20 @@ fn bench_cardinality_latency(c: &mut Criterion) {
             std::hint::black_box(estimate_cardinality(&ens, &db, q).expect("estimate"))
         })
     });
-    // Ground-truth executor for comparison (what the estimate replaces).
+    // Ground-truth executor for comparison (what the estimate replaces);
+    // indexes are built once and reused, as a real system would.
+    let indexes = Indexes::build(&db);
     let mut j = 0;
     c.bench_function("ground_truth_executor_joblight", |b| {
         b.iter(|| {
             let q = &workload[j % workload.len()].query;
             j += 1;
-            std::hint::black_box(execute(&db, q).expect("execute").scalar().count)
+            std::hint::black_box(
+                execute_with_indexes(&db, q, Some(&indexes))
+                    .expect("execute")
+                    .scalar()
+                    .count,
+            )
         })
     });
 }

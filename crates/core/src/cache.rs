@@ -524,6 +524,12 @@ pub struct CacheStats {
     /// [`active_set_for`]). Not counted in `entries`/`hits`/`misses` — an
     /// active-set rebuild is one arena walk, not a cold plan.
     pub active_sets: usize,
+    /// Cardinality estimates issued by the join-order enumerator
+    /// (`crate::joinorder::JoinOrderer`) through prepared-query rebinding.
+    /// A separate counter from `hits`/`misses`: enumerator traffic hammers
+    /// a handful of shapes thousands of times, and folding it into plan
+    /// hit/miss stats would drown interactive-query observability.
+    pub optimizer_estimates: u64,
 }
 
 #[derive(Clone)]
@@ -556,6 +562,7 @@ struct CacheInner {
     /// the whole table, so stale sets never survive a maintenance op.
     actives: HashMap<(usize, Vec<usize>), Arc<ActiveSet>>,
     actives_epoch: u64,
+    optimizer_estimates: u64,
 }
 
 /// LRU plan cache keyed on [`QueryShape`]. Counter-based recency (a lookup
@@ -578,6 +585,7 @@ impl PlanCache {
                 capacity,
                 actives: HashMap::new(),
                 actives_epoch: 0,
+                optimizer_estimates: 0,
             }),
         }
     }
@@ -673,7 +681,15 @@ impl PlanCache {
             evictions: g.evictions,
             entries: g.map.len(),
             active_sets: g.actives.len(),
+            optimizer_estimates: g.optimizer_estimates,
         }
+    }
+
+    /// Record `n` enumerator-issued cardinality estimates (see
+    /// [`CacheStats::optimizer_estimates`]).
+    pub(crate) fn note_optimizer_estimates(&self, n: u64) {
+        let mut g = self.inner.lock().expect("plan cache poisoned");
+        g.optimizer_estimates += n;
     }
 
     /// Resize (0 disables). Clears all entries and counters so bench lanes
@@ -688,6 +704,7 @@ impl PlanCache {
         g.capacity = capacity;
         g.actives.clear();
         g.actives_epoch = 0;
+        g.optimizer_estimates = 0;
     }
 }
 

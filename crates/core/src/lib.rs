@@ -48,6 +48,7 @@ mod ensemble;
 mod error;
 mod estimate;
 mod fd;
+pub mod joinorder;
 pub mod ml;
 mod plan;
 mod rspn;
@@ -59,6 +60,7 @@ pub use ensemble::{Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy};
 pub use error::DeepDbError;
 pub use estimate::Estimate;
 pub use fd::FunctionalDependency;
+pub use joinorder::JoinOrderer;
 pub use plan::{MpeHandle, ProbeHandle, ProbePlan, ProbeResults};
 pub use rspn::Rspn;
 pub use serve::{FaultPlan, FaultSite, ServeConfig, ServeFront, ServeStats};

@@ -1,0 +1,323 @@
+//! Order-equivalence and accounting suite for cardinality-driven join
+//! ordering: any scan order the optimizer chooses must produce **exactly**
+//! the listed-order `QueryOutput` (scalar and grouped, NULL groups
+//! included) — ordering may only change how much intermediate work the
+//! executor does, never the answer. Exact `==` on outputs is sound here
+//! because every compared aggregate input is integer-valued (integer sums
+//! below 2^53 are order-independent in f64). Also covers the enumerator's
+//! `CacheStats::optimizer_estimates` accounting, subset-shape memoization
+//! across rebinds, and the `explain` renderer.
+
+use std::sync::OnceLock;
+
+use deepdb_core::{Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy, JoinOrderer};
+use deepdb_data::{imdb, joblight, Scale};
+use deepdb_storage::optimizer::{explain, JoinOrderSpace, TrueCardinality};
+use deepdb_storage::{
+    execute_ordered, execute_ordered_with_stats, execute_with_indexes, plan_order, Aggregate,
+    CmpOp, ColumnRef, Database, Domain, Indexes, PredOp, Predicate, Query, TableSchema, Value,
+};
+use proptest::prelude::*;
+
+/// 3-table FK chain `nation ← customer ← orders` (same construction as the
+/// combine-plan suite) with a nullable customer segment so grouped queries
+/// exercise NULL groups. `c_age` is integer-valued: safe for exact SUM/AVG
+/// comparison across join orders.
+fn chain_db() -> Database {
+    let mut db = Database::new("chain3");
+    db.create_table(
+        TableSchema::new("nation")
+            .pk("n_id")
+            .col("n_region", Domain::categorical(["EU", "AS", "AM", "AF"])),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("customer")
+            .pk("c_id")
+            .col("n_id", Domain::Key)
+            .col("c_age", Domain::Discrete)
+            .nullable_col("c_segment", Domain::categorical(["A", "B", "C"])),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("orders")
+            .pk("o_id")
+            .col("c_id", Domain::Key)
+            .col("o_channel", Domain::categorical(["ONLINE", "STORE"]))
+            .col("o_amount", Domain::Continuous),
+    )
+    .unwrap();
+    db.add_foreign_key("customer", "n_id", "nation").unwrap();
+    db.add_foreign_key("orders", "c_id", "customer").unwrap();
+
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for n in 1..=5i64 {
+        db.insert("nation", &[Value::Int(n), Value::Int((n - 1) % 4)])
+            .unwrap();
+    }
+    let mut order_id = 1i64;
+    for c in 1..=300i64 {
+        let nation = 1 + (next() * 5.0) as i64;
+        let age = 18 + ((nation * 13) as f64 + next() * 40.0) as i64;
+        let segment = if next() < 0.2 {
+            Value::Null
+        } else {
+            Value::Int((next() * 3.0) as i64)
+        };
+        db.insert(
+            "customer",
+            &[Value::Int(c), Value::Int(nation), Value::Int(age), segment],
+        )
+        .unwrap();
+        let n_orders = (next() * if age > 50 { 4.0 } else { 2.0 }) as i64;
+        for _ in 0..n_orders {
+            let channel = i64::from(next() < 0.6);
+            db.insert(
+                "orders",
+                &[
+                    Value::Int(order_id),
+                    Value::Int(c),
+                    Value::Int(channel),
+                    Value::Float(10.0 + next() * 200.0),
+                ],
+            )
+            .unwrap();
+            order_id += 1;
+        }
+    }
+    db
+}
+
+fn chain() -> &'static (Database, Ensemble, Indexes) {
+    static CELL: OnceLock<(Database, Ensemble, Indexes)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let db = chain_db();
+        let params = EnsembleParams {
+            strategy: EnsembleStrategy::SingleTables,
+            sample_size: 6_000,
+            correlation_sample: 500,
+            ..EnsembleParams::default()
+        };
+        let ens = EnsembleBuilder::new(&db).params(params).build().unwrap();
+        let idx = Indexes::build(&db);
+        (db, ens, idx)
+    })
+}
+
+/// Tiny synthetic IMDb + single-table ensemble + prebuilt indexes for the
+/// JOB-style multi-join fixtures.
+fn imdb_fixture() -> &'static (Database, Ensemble, Indexes) {
+    static CELL: OnceLock<(Database, Ensemble, Indexes)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let db = imdb::generate(Scale {
+            factor: 0.02,
+            seed: 7,
+        });
+        let params = EnsembleParams {
+            strategy: EnsembleStrategy::SingleTables,
+            sample_size: 8_000,
+            correlation_sample: 400,
+            ..EnsembleParams::default()
+        };
+        let ens = EnsembleBuilder::new(&db).params(params).build().unwrap();
+        let idx = Indexes::build(&db);
+        (db, ens, idx)
+    })
+}
+
+/// Random predicate over the chain's filterable columns (NULL tests and
+/// out-of-domain constants included).
+fn make_pred(db: &Database, slot_sel: u8, op_sel: u8, v: i64) -> Predicate {
+    let n = db.table_id("nation").unwrap();
+    let c = db.table_id("customer").unwrap();
+    let o = db.table_id("orders").unwrap();
+    let (table, col) = match slot_sel % 4 {
+        0 => (n, 1),
+        1 => (c, 2),
+        2 => (c, 3),
+        _ => (o, 2),
+    };
+    let op = match op_sel % 6 {
+        0 => PredOp::Cmp(CmpOp::Eq, Value::Int(v)),
+        1 => PredOp::Cmp(CmpOp::Le, Value::Int(v)),
+        2 => PredOp::Cmp(CmpOp::Ge, Value::Int(v)),
+        3 => PredOp::IsNull,
+        4 => PredOp::IsNotNull,
+        _ => PredOp::Between(Value::Int(v), Value::Int(v + 20)),
+    };
+    Predicate::new(table, col, op)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Estimator-chosen order ≡ listed order ≡ worst enumerated order on the
+    /// 3-table chain, for every FROM rotation, randomized predicates, all
+    /// three aggregates, and scalar/grouped output (NULL groups included).
+    #[test]
+    fn estimator_order_matches_listed_order_exactly(
+        rot in 0usize..3,
+        preds in prop::collection::vec((0u8..8, 0u8..8, -5i64..90), 0..4),
+        agg_sel in 0u8..3,
+        group_sel in 0u8..3,
+    ) {
+        let (db, ens, idx) = chain();
+        let n = db.table_id("nation").unwrap();
+        let c = db.table_id("customer").unwrap();
+        let o = db.table_id("orders").unwrap();
+        let tables = match rot {
+            0 => vec![n, c, o],
+            1 => vec![o, c, n],
+            _ => vec![c, n, o],
+        };
+        let age = ColumnRef { table: c, column: 2 };
+        let mut q = Query::count(tables).aggregate(match agg_sel {
+            0 => Aggregate::CountStar,
+            1 => Aggregate::Sum(age),
+            _ => Aggregate::Avg(age),
+        });
+        q.predicates = preds.iter().map(|&(s, op, v)| make_pred(db, s, op, v)).collect();
+        match group_sel {
+            0 => {}
+            1 => q = q.group(c, 3), // nullable segment → NULL groups
+            _ => q = q.group(n, 1),
+        }
+
+        let listed = execute_with_indexes(db, &q, Some(idx)).unwrap();
+
+        // RSPN-estimated best order.
+        let mut orderer = JoinOrderer::new();
+        let chosen_order = orderer.optimize(ens, db, &q).unwrap();
+        let chosen = execute_ordered(db, &q, Some(idx), &chosen_order).unwrap();
+        prop_assert_eq!(&listed, &chosen);
+
+        // Ground-truth-priced best AND worst orders: the executor must be
+        // order-invariant across the whole enumerated space.
+        let mut truth = TrueCardinality::new(Some(idx));
+        let space = JoinOrderSpace::new(db, &q, &mut truth).unwrap();
+        for order in [space.best(), space.worst()] {
+            let out = execute_ordered(db, &q, Some(idx), &order).unwrap();
+            prop_assert_eq!(&listed, &out);
+        }
+    }
+}
+
+/// JOB-style multi-join templates on the synthetic IMDb: RSPN-chosen orders
+/// are output-equal to the listed order, scalar and grouped (the nullable
+/// `season_nr` group column produces NULL groups), and actual per-level
+/// cardinalities line up with the executed order.
+#[test]
+fn job_multi_orders_are_output_equal_on_imdb() {
+    let (db, ens, idx) = imdb_fixture();
+    let title = db.table_id("title").unwrap();
+    let mut orderer = JoinOrderer::new();
+    let mut null_groups_seen = false;
+    for nq in joblight::job_multi(db, 3).into_iter().take(6) {
+        let listed = execute_with_indexes(db, &nq.query, Some(idx)).unwrap();
+        let order = orderer.optimize(ens, db, &nq.query).unwrap();
+        let (chosen, stats) = execute_ordered_with_stats(db, &nq.query, Some(idx), &order).unwrap();
+        assert_eq!(listed, chosen, "{}", nq.name);
+        assert_eq!(stats.order, order.tables, "{}", nq.name);
+        assert_eq!(
+            *stats.rows_per_level.last().unwrap(),
+            chosen.scalar().count,
+            "{}: last level must count the qualifying join rows",
+            nq.name
+        );
+
+        // Grouped variant on the nullable season column.
+        let gq = nq.query.clone().group(title, 3);
+        let glisted = execute_with_indexes(db, &gq, Some(idx)).unwrap();
+        let gorder = orderer.optimize(ens, db, &gq).unwrap();
+        let gchosen = execute_ordered(db, &gq, Some(idx), &gorder).unwrap();
+        assert_eq!(glisted, gchosen, "{} grouped", nq.name);
+        null_groups_seen |= glisted
+            .groups()
+            .iter()
+            .any(|(key, _)| key.iter().any(|v| matches!(v, Value::Null)));
+    }
+    assert!(
+        null_groups_seen,
+        "fixtures must exercise at least one NULL group"
+    );
+}
+
+/// Enumerator accounting: one `optimizer_estimates` tick per connected
+/// subset, subset shapes memoized across literal rebinds, and the priced
+/// listed order never beats the DP's best. Uses a private ensemble so
+/// concurrently running tests cannot skew the counters.
+#[test]
+fn enumerator_estimates_are_accounted_and_shapes_memoized() {
+    let db = chain_db();
+    let params = EnsembleParams {
+        strategy: EnsembleStrategy::SingleTables,
+        sample_size: 2_000,
+        correlation_sample: 300,
+        ..EnsembleParams::default()
+    };
+    let ens = EnsembleBuilder::new(&db).params(params).build().unwrap();
+    let n = db.table_id("nation").unwrap();
+    let c = db.table_id("customer").unwrap();
+    let o = db.table_id("orders").unwrap();
+    let q = Query::count(vec![o, c, n])
+        .filter(c, 2, PredOp::Cmp(CmpOp::Le, Value::Int(50)))
+        .filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(1)));
+
+    let mut orderer = JoinOrderer::new();
+    let before = ens.plan_cache_stats().optimizer_estimates;
+    let space = orderer.space(&ens, &db, &q).unwrap();
+    // Connected subsets of the chain n–c–o: {n}, {c}, {o}, {n,c}, {c,o},
+    // {n,c,o} — {n,o} is not FK-adjacent.
+    assert_eq!(space.n_estimates(), 6);
+    assert_eq!(
+        ens.plan_cache_stats().optimizer_estimates - before,
+        6,
+        "every enumerator estimate must be accounted"
+    );
+    assert_eq!(orderer.shapes(), 6);
+
+    // Same shape, new literals: prepared sub-queries rebind — shape count
+    // stays put, estimates are accounted again.
+    let q2 = Query::count(vec![o, c, n])
+        .filter(c, 2, PredOp::Cmp(CmpOp::Le, Value::Int(30)))
+        .filter(o, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+    let space2 = orderer.space(&ens, &db, &q2).unwrap();
+    assert_eq!(ens.plan_cache_stats().optimizer_estimates - before, 12);
+    assert_eq!(orderer.shapes(), 6, "rebinds must not mint new shapes");
+
+    // The listed order is priced from the same table and can't beat best.
+    for s in [&space, &space2] {
+        let listed = s.order_for(&plan_order(&db, &q.tables).unwrap()).unwrap();
+        assert!(s.best().cost <= listed.cost);
+        assert!(listed.cost <= s.worst().cost || listed.cost == s.worst().cost);
+    }
+}
+
+/// The explain renderer shows the chosen order with estimated vs actual
+/// cardinalities per step.
+#[test]
+fn explain_renders_estimates_against_actuals() {
+    let (db, ens, idx) = chain();
+    let c = db.table_id("customer").unwrap();
+    let o = db.table_id("orders").unwrap();
+    let n = db.table_id("nation").unwrap();
+    let q = Query::count(vec![o, c, n]).filter(c, 2, PredOp::Cmp(CmpOp::Le, Value::Int(45)));
+    let mut orderer = JoinOrderer::new();
+    let order = orderer.optimize(ens, db, &q).unwrap();
+    let (_, stats) = execute_ordered_with_stats(db, &q, Some(idx), &order).unwrap();
+    let rendered = explain(db, &order, &stats);
+    for t in &order.tables {
+        assert!(
+            rendered.contains(db.table(*t).schema().name()),
+            "missing table name in:\n{rendered}"
+        );
+    }
+    assert!(rendered.contains("est/actual"), "{rendered}");
+    assert!(rendered.contains("estimated cost"), "{rendered}");
+}

@@ -10,7 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use deepdb_core::{query_literals, EnsembleBuilder, EnsembleParams, EnsembleStrategy};
+use deepdb_core::{query_literals, EnsembleBuilder, EnsembleParams, EnsembleStrategy, JoinOrderer};
 use deepdb_storage::fixtures::correlated_customer_order;
 use deepdb_storage::{CmpOp, PredOp, Query, Value};
 
@@ -87,4 +87,37 @@ fn prepared_execute_steady_state_allocates_nothing() {
         );
         assert!(sink.is_finite());
     }
+
+    // Join-order enumerator scoring rides the same path: after one warm call
+    // per subset shape (which prepares and memoizes the sub-query), repeated
+    // `subset_estimate` calls with fresh literals must not allocate either —
+    // this is what keeps per-query planning overhead flat.
+    let mut orderer = JoinOrderer::new();
+    let mut query = Query::count(vec![0, 1])
+        .filter(0, 1, PredOp::Cmp(CmpOp::Le, Value::Int(55)))
+        .filter(1, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(0)));
+    let subsets: [&[usize]; 3] = [&[0], &[1], &[0, 1]];
+    for _ in 0..3 {
+        for s in subsets {
+            orderer.subset_estimate(&ens, &db, &query, s);
+        }
+    }
+    assert_eq!(orderer.shapes(), 3);
+
+    let mut sink = 0.0;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for round in 0..10 {
+        // Mutating the literal in place changes the binding, not the shape.
+        query.predicates[0].op = PredOp::Cmp(CmpOp::Le, Value::Int(30 + round));
+        for s in subsets {
+            sink += orderer.subset_estimate(&ens, &db, &query, s);
+        }
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "subset_estimate allocated {allocs} times in steady state"
+    );
+    assert_eq!(orderer.shapes(), 3, "rebinds must not mint new shapes");
+    assert!(sink.is_finite());
 }

@@ -7,6 +7,10 @@
 //! * [`synthetic`] — the generalization workload of Figures 1 and 7:
 //!   queries with a chosen number of joined tables (4–6) and predicates
 //!   (1–5), uniformly sampled.
+//! * [`job_multi`] — JOB-style 4–6-table multi-join templates whose FROM
+//!   lists deliberately lead with a large unfiltered child, so the listed
+//!   (BFS) scan order is a bad plan and cardinality-driven join ordering
+//!   has room to matter.
 
 use deepdb_storage::{CmpOp, Database, PredOp, Query, TableId, Value};
 
@@ -139,6 +143,47 @@ pub fn job_light(db: &Database, seed: u64) -> Vec<NamedQuery> {
     out
 }
 
+/// JOB-style multi-join templates: 18 queries of 4–6 tables over the imdb
+/// FK star, deterministic in `seed`.
+///
+/// The FROM lists are written the way the real JOB queries are — the big
+/// fact-like child (`cast_info`) first — so the listed (BFS) order streams
+/// the largest unfiltered table and the join-order optimizer has something
+/// to win. Every query carries a narrow `production_year` window on `title`
+/// (rotated through the middle of the FROM list) plus one or two child
+/// predicates, none of them on the first-listed table.
+pub fn job_multi(db: &Database, seed: u64) -> Vec<NamedQuery> {
+    let mut rng = Xor64::new(seed ^ 0x30B_00F);
+    let ids = tables(db);
+    let mut out = Vec::with_capacity(18);
+    for i in 0..18usize {
+        let n_children = 3 + i % 3; // 3..=5 children → 4–6 tables
+                                    // Always lead with cast_info (the biggest child); shuffle the rest.
+        let mut rest: Vec<usize> = (2..6).collect();
+        for k in (1..rest.len()).rev() {
+            let j = rng.below(k + 1);
+            rest.swap(k, j);
+        }
+        let chosen: Vec<usize> = rest.into_iter().take(n_children - 1).collect();
+        let mut from = vec![ids[1]];
+        from.extend(chosen.iter().map(|&c| ids[c]));
+        // Rotate title through positions 1..=n_children — never first, so
+        // the BFS listed order must start at the unfiltered lead child.
+        from.insert(1 + i % n_children, ids[0]);
+        let lo = 1935 + rng.below(55) as i64;
+        let mut q = Query::count(from).filter(
+            ids[0],
+            2,
+            PredOp::Between(Value::Int(lo), Value::Int(lo + 4)),
+        );
+        for k in 0..=(i % 2) {
+            q = random_predicate(db, &mut rng, q, imdb::TABLES[chosen[k % chosen.len()]]);
+        }
+        out.push(NamedQuery::new(format!("jm_{:02}", i + 1), q));
+    }
+    out
+}
+
 /// The synthetic generalization workload (Figures 1 and 7): `per_cell`
 /// queries for every (join size, predicate count) combination requested.
 pub fn synthetic(
@@ -209,6 +254,48 @@ mod tests {
             nontrivial > 40,
             "only {nontrivial}/70 queries have nonzero results"
         );
+    }
+
+    #[test]
+    fn job_multi_shapes_penalize_listed_order() {
+        let db = db();
+        let wl = job_multi(&db, 5);
+        assert_eq!(wl.len(), 18);
+        let title = db.table_id("title").unwrap();
+        let cast = db.table_id("cast_info").unwrap();
+        let mut sizes = [0usize; 3];
+        for nq in &wl {
+            nq.query
+                .validate(&db)
+                .unwrap_or_else(|e| panic!("{}: {e}", nq.name));
+            let n = nq.query.tables.len();
+            assert!((4..=6).contains(&n), "{}: {n} tables", nq.name);
+            sizes[n - 4] += 1;
+            // The decoy lead: cast_info first, unfiltered, never title.
+            assert_eq!(nq.query.tables[0], cast, "{}", nq.name);
+            assert_ne!(nq.query.tables[0], title);
+            assert_eq!(nq.query.predicates_on(cast).count(), 0, "{}", nq.name);
+            // Selectivity lives elsewhere: title always filtered.
+            assert!(nq.query.predicates_on(title).count() >= 1, "{}", nq.name);
+        }
+        assert!(
+            sizes.iter().all(|&c| c == 6),
+            "even 4/5/6-table mix: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn job_multi_is_deterministic() {
+        let db = db();
+        let a = job_multi(&db, 13);
+        let b = job_multi(&db, 13);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.query.tables, y.query.tables);
+            assert_eq!(
+                format!("{:?}", x.query.predicates),
+                format!("{:?}", y.query.predicates)
+            );
+        }
     }
 
     #[test]

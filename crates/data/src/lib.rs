@@ -23,4 +23,4 @@ pub mod ssb;
 pub mod updates;
 mod workload;
 
-pub use workload::{ground_truth_cardinalities, NamedQuery, Scale, Xor64};
+pub use workload::{ground_truth_cardinalities, imdb_workloads, NamedQuery, Scale, Xor64};

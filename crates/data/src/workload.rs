@@ -1,6 +1,6 @@
 //! Shared workload types and scaling knobs.
 
-use deepdb_storage::{execute, Database, Query};
+use deepdb_storage::{execute_with_indexes, Database, Indexes, Query};
 
 /// A named benchmark query.
 #[derive(Debug, Clone)]
@@ -62,14 +62,29 @@ impl Scale {
 /// True cardinalities of a workload, computed with the ground-truth
 /// executor. Queries with zero true cardinality are reported as 1 (q-error
 /// convention used by the paper's tooling).
+///
+/// One set of [`Indexes`] is built up front and shared by every query —
+/// workloads repeat the same FK join steps, so rebuilding hash indexes per
+/// query would dominate the sweep.
 pub fn ground_truth_cardinalities(db: &Database, workload: &[NamedQuery]) -> Vec<f64> {
+    let idx = Indexes::build(db);
     workload
         .iter()
         .map(|nq| {
-            let out = execute(db, &nq.query).expect("workload queries are valid");
+            let out = execute_with_indexes(db, &nq.query, Some(&idx))
+                .expect("workload queries are valid");
             (out.scalar().count as f64).max(1.0)
         })
         .collect()
+}
+
+/// The imdb workload registry: every named workload the benchmarks and the
+/// join-order experiments draw from, deterministic in `seed`.
+pub fn imdb_workloads(db: &Database, seed: u64) -> Vec<(&'static str, Vec<NamedQuery>)> {
+    vec![
+        ("job_light", crate::joblight::job_light(db, seed)),
+        ("job_multi", crate::joblight::job_multi(db, seed)),
+    ]
 }
 
 /// Deterministic xorshift helper shared by the generators.

@@ -5,9 +5,20 @@
 //! and aggregates are folded without materializing the join. This gives the
 //! exact answers (cardinalities, aggregates) that the experiments compare
 //! estimators against.
+//!
+//! The scan order is pluggable: [`execute`]/[`execute_with_indexes`] use the
+//! listed order (BFS from the first `FROM` table, [`plan_order`]), while
+//! [`execute_ordered`] takes a [`JoinOrder`] chosen by the cardinality-driven
+//! optimizer ([`crate::optimizer`]). Every valid order produces the same
+//! multiset of join combinations, so outputs are identical — only the number
+//! of intermediate rows enumerated (and therefore runtime) changes.
+//! [`execute_ordered_with_stats`] additionally reports the actual per-level
+//! intermediate cardinalities, the ground truth `explain` renders next to the
+//! optimizer's estimates.
 
 use std::collections::HashMap;
 
+use crate::optimizer::JoinOrder;
 use crate::{Aggregate, ColId, Database, Indexes, Predicate, Query, StorageError, TableId, Value};
 
 /// Accumulated aggregate state for one (group of) result row(s).
@@ -56,8 +67,22 @@ pub enum QueryOutput {
 }
 
 impl QueryOutput {
-    /// Scalar accessor; groups are summed for COUNT/SUM to allow cardinality
-    /// checks on grouped queries.
+    /// Scalar accessor with **contractual** grouped-sum semantics.
+    ///
+    /// For `Scalar` output this returns the aggregate state verbatim. For
+    /// `Grouped` output the per-group states are *component-wise summed* —
+    /// NULL groups included — so:
+    ///
+    /// * `scalar().count` is the total number of qualifying join rows, i.e.
+    ///   exactly the `COUNT(*)` of the same query without its `GROUP BY`
+    ///   clause (cardinality checks on grouped queries rely on this);
+    /// * `scalar().sum` is the `SUM` over all groups (each group's sum is an
+    ///   order-independent sum of its inputs, so for integer-valued columns
+    ///   below 2^53 the total is exact regardless of grouping or join
+    ///   order);
+    /// * `scalar().non_null` is the total non-NULL aggregate-input count, so
+    ///   `scalar().avg()` is the ungrouped `AVG` (the *row-weighted* mean of
+    ///   the group means, not their unweighted mean).
     pub fn scalar(&self) -> AggResult {
         match self {
             QueryOutput::Scalar(a) => *a,
@@ -94,12 +119,41 @@ struct JoinStep {
     build_col: ColId,
 }
 
+/// The hash index one join step probes — the "build side" of the step.
+/// Prebuilt [`Indexes`] are borrowed (never cloned): FK-side builds reuse
+/// the children index, PK-side builds reuse the unique primary-key index.
+/// Only when no prebuilt index matches is a private one built per query.
+enum StepIndex<'a> {
+    /// Borrowed prebuilt children index (build column is a child FK).
+    Children(&'a HashMap<i64, Vec<u32>>),
+    /// Borrowed prebuilt unique index (build column is the table's PK).
+    Unique(&'a HashMap<i64, u32>),
+    /// Index built for this query only.
+    Owned(HashMap<i64, Vec<u32>>),
+}
+
+/// Actual per-level execution counts collected by
+/// [`execute_ordered_with_stats`] — the ground truth `explain` compares the
+/// optimizer's estimates against.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// The scan order that was executed.
+    pub order: Vec<TableId>,
+    /// `rows_per_level[k]` = number of partial join rows that survived the
+    /// filters at level `k`, i.e. the exact cardinality of the filtered
+    /// inner join of the first `k + 1` tables of the order (with predicates
+    /// restricted to those tables). The last entry is the query's qualifying
+    /// row count.
+    pub rows_per_level: Vec<u64>,
+}
+
 /// Execute a query, building temporary indexes.
 pub fn execute(db: &Database, q: &Query) -> Result<QueryOutput, StorageError> {
     execute_with_indexes(db, q, None)
 }
 
-/// Execute a query, reusing prebuilt [`Indexes`] where possible.
+/// Execute a query in the listed (BFS) table order, reusing prebuilt
+/// [`Indexes`] where possible.
 pub fn execute_with_indexes(
     db: &Database,
     q: &Query,
@@ -107,7 +161,68 @@ pub fn execute_with_indexes(
 ) -> Result<QueryOutput, StorageError> {
     q.validate(db)?;
     let order = plan_order(db, &q.tables)?;
+    run_ordered(db, q, idx, &order).map(|(out, _)| out)
+}
 
+/// Execute a query in the scan order chosen by a join-order optimizer
+/// ([`crate::optimizer`]). The order must cover exactly the query's tables
+/// and every prefix must stay FK-connected; any valid order returns output
+/// identical to [`execute`].
+pub fn execute_ordered(
+    db: &Database,
+    q: &Query,
+    idx: Option<&Indexes>,
+    order: &JoinOrder,
+) -> Result<QueryOutput, StorageError> {
+    q.validate(db)?;
+    check_order(db, &q.tables, &order.tables)?;
+    run_ordered(db, q, idx, &order.tables).map(|(out, _)| out)
+}
+
+/// [`execute_ordered`] plus the actual per-level intermediate cardinalities
+/// (the `actual` column of [`crate::optimizer::explain`]).
+pub fn execute_ordered_with_stats(
+    db: &Database,
+    q: &Query,
+    idx: Option<&Indexes>,
+    order: &JoinOrder,
+) -> Result<(QueryOutput, ExecStats), StorageError> {
+    q.validate(db)?;
+    check_order(db, &q.tables, &order.tables)?;
+    run_ordered(db, q, idx, &order.tables)
+}
+
+/// Validate that `order` is a permutation of `tables` whose every prefix is
+/// FK-connected (each table after the first joins an earlier one).
+fn check_order(db: &Database, tables: &[TableId], order: &[TableId]) -> Result<(), StorageError> {
+    if order.len() != tables.len()
+        || tables.iter().any(|t| !order.contains(t))
+        || order.iter().any(|t| !tables.contains(t))
+    {
+        return Err(StorageError::InvalidQuery(format!(
+            "join order {order:?} is not a permutation of the query tables {tables:?}"
+        )));
+    }
+    for (i, &t) in order.iter().enumerate().skip(1) {
+        if !order[..i].iter().any(|&u| db.edge_between(u, t).is_some()) {
+            return Err(StorageError::DisconnectedJoin(format!(
+                "join order {order:?}: table {t} has no FK edge to an earlier table"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The shared execution body: stream the first table of `order`, attach every
+/// further table through a hash index, fold aggregates. Counts survivors per
+/// level as it goes (the counters are plain increments on rows the join
+/// already enumerates, so the listed-order wrappers share this body too).
+fn run_ordered(
+    db: &Database,
+    q: &Query,
+    idx: Option<&Indexes>,
+    order: &[TableId],
+) -> Result<(QueryOutput, ExecStats), StorageError> {
     // Per-level predicate lists.
     let preds: Vec<Vec<&Predicate>> = order
         .iter()
@@ -121,7 +236,7 @@ pub fn execute_with_indexes(
             .iter()
             .enumerate()
             .find_map(|(l, &u)| db.edge_between(u, t).map(|fk| (l, fk)))
-            .expect("plan_order guarantees connectivity");
+            .expect("check_order / plan_order guarantee connectivity");
         let (probe_col, build_col) = if fk.child_table == t {
             // New table is the many side: probe with the parent's PK.
             (fk.parent_col, fk.child_col)
@@ -137,14 +252,22 @@ pub fn execute_with_indexes(
         });
     }
 
-    // Hash index per step (reuse prebuilt children indexes when they match).
-    let mut built: Vec<HashMap<i64, Vec<u32>>> = Vec::with_capacity(steps.len());
+    // Build side per step: borrow a prebuilt index when one matches the
+    // build column (children index for FK-side builds, unique PK index for
+    // parent-side builds), build a private one otherwise.
+    let mut built: Vec<StepIndex> = Vec::with_capacity(steps.len());
     for step in &steps {
         if let Some(pre) = idx.and_then(|ix| ix.children_index(step.table, step.build_col)) {
-            built.push(pre.clone());
+            built.push(StepIndex::Children(pre));
             continue;
         }
         let table = db.table(step.table);
+        if table.schema().primary_key() == Some(step.build_col) {
+            if let Some(pre) = idx.and_then(|ix| ix.pk_index(step.table)) {
+                built.push(StepIndex::Unique(pre));
+                continue;
+            }
+        }
         let col = table.column(step.build_col);
         let mut map: HashMap<i64, Vec<u32>> = HashMap::new();
         for r in 0..table.n_rows() {
@@ -152,13 +275,14 @@ pub fn execute_with_indexes(
                 map.entry(k).or_default().push(r as u32);
             }
         }
-        built.push(map);
+        built.push(StepIndex::Owned(map));
     }
 
     let agg_input = q.aggregate_input();
     let grouped = !q.group_by.is_empty();
     let mut scalar = AggResult::default();
     let mut groups: HashMap<Vec<Value>, AggResult> = HashMap::new();
+    let mut rows_per_level: Vec<u64> = vec![0; order.len()];
 
     // Depth-first enumeration of join combinations.
     let base = db.table(order[0]);
@@ -177,7 +301,7 @@ pub fn execute_with_indexes(
         db: &Database,
         order: &[TableId],
         steps: &[JoinStep],
-        built: &[HashMap<i64, Vec<u32>>],
+        built: &[StepIndex],
         preds: &[Vec<&Predicate>],
         assignment: &mut Vec<u32>,
         level: usize,
@@ -186,6 +310,7 @@ pub fn execute_with_indexes(
         grouped: bool,
         scalar: &mut AggResult,
         groups: &mut HashMap<Vec<Value>, AggResult>,
+        rows_per_level: &mut [u64],
     ) {
         if level == order.len() {
             let agg_value =
@@ -207,8 +332,17 @@ pub fn execute_with_indexes(
         let Some(key) = from_table.column(step.probe_col).i64_at(from_row) else {
             return; // NULL join key never matches (inner join)
         };
-        let Some(matches) = built[level - 1].get(&key) else {
-            return;
+        let single;
+        let matches: &[u32] = match &built[level - 1] {
+            StepIndex::Children(m) => m.get(&key).map_or(&[], Vec::as_slice),
+            StepIndex::Owned(m) => m.get(&key).map_or(&[], Vec::as_slice),
+            StepIndex::Unique(m) => match m.get(&key) {
+                Some(&r) => {
+                    single = [r];
+                    &single
+                }
+                None => &[],
+            },
         };
         let table = db.table(step.table);
         'rows: for &r in matches {
@@ -217,6 +351,7 @@ pub fn execute_with_indexes(
                     continue 'rows;
                 }
             }
+            rows_per_level[level] += 1;
             assignment[level] = r;
             recurse(
                 db,
@@ -231,6 +366,7 @@ pub fn execute_with_indexes(
                 grouped,
                 scalar,
                 groups,
+                rows_per_level,
             );
         }
     }
@@ -241,10 +377,11 @@ pub fn execute_with_indexes(
                 continue 'base_rows;
             }
         }
+        rows_per_level[0] += 1;
         assignment[0] = r as u32;
         recurse(
             db,
-            &order,
+            order,
             &steps,
             &built,
             &preds,
@@ -255,22 +392,29 @@ pub fn execute_with_indexes(
             grouped,
             &mut scalar,
             &mut groups,
+            &mut rows_per_level,
         );
     }
 
-    if grouped {
+    let stats = ExecStats {
+        order: order.to_vec(),
+        rows_per_level,
+    };
+    let out = if grouped {
         let mut out: Vec<(Vec<Value>, AggResult)> = groups.into_iter().collect();
         // Deterministic output order for tests and reports.
         out.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
-        Ok(QueryOutput::Grouped(out))
+        QueryOutput::Grouped(out)
     } else {
-        Ok(QueryOutput::Scalar(scalar))
-    }
+        QueryOutput::Scalar(scalar)
+    };
+    Ok((out, stats))
 }
 
 /// BFS ordering of the query's tables such that each table after the first
-/// connects by FK to an earlier one.
-pub(crate) fn plan_order(db: &Database, tables: &[TableId]) -> Result<Vec<TableId>, StorageError> {
+/// connects by FK to an earlier one — the "listed order" a query executes in
+/// unless a [`JoinOrder`] says otherwise.
+pub fn plan_order(db: &Database, tables: &[TableId]) -> Result<Vec<TableId>, StorageError> {
     let mut order = vec![tables[0]];
     let mut remaining: Vec<TableId> = tables[1..].to_vec();
     while !remaining.is_empty() {
@@ -400,6 +544,47 @@ mod tests {
         let b = execute_with_indexes(&db, &q, Some(&idx)).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.scalar().count, 2);
+    }
+
+    /// The documented `QueryOutput::scalar` contract: summing grouped output
+    /// component-wise (NULL groups included) reproduces the ungrouped query.
+    #[test]
+    fn scalar_contract_grouped_sum_equals_ungrouped() {
+        let mut db = Database::new("t");
+        db.create_table(
+            crate::TableSchema::new("x")
+                .pk("id")
+                .nullable_col("g", crate::Domain::categorical(["A", "B"]))
+                .nullable_col("v", crate::Domain::Continuous),
+        )
+        .unwrap();
+        for (id, g, v) in [
+            (1, Value::Int(0), Value::Float(1.5)),
+            (2, Value::Int(0), Value::Null),
+            (3, Value::Int(1), Value::Float(2.5)),
+            (4, Value::Null, Value::Float(4.0)),
+            (5, Value::Null, Value::Null),
+        ] {
+            db.insert("x", &[Value::Int(id), g, v]).unwrap();
+        }
+        let x = db.table_id("x").unwrap();
+        let agg = Aggregate::Sum(ColumnRef {
+            table: x,
+            column: 2,
+        });
+        let grouped = execute(&db, &Query::count(vec![x]).aggregate(agg).group(x, 1)).unwrap();
+        let ungrouped = execute(&db, &Query::count(vec![x]).aggregate(agg)).unwrap();
+        // NULL group must be present — three groups: A, B, NULL.
+        assert_eq!(grouped.groups().len(), 3);
+        let (s, u) = (grouped.scalar(), ungrouped.scalar());
+        assert_eq!(s.count, u.count);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, u.sum);
+        assert_eq!(s.sum, 8.0);
+        assert_eq!(s.non_null, u.non_null);
+        assert_eq!(s.non_null, 3);
+        // Row-weighted AVG, not the mean of group means.
+        assert_eq!(s.avg(), u.avg());
     }
 
     #[test]

@@ -57,6 +57,12 @@ impl Indexes {
             .map_or(&[], Vec::as_slice)
     }
 
+    /// The whole unique PK index of `table` — lets the executor reuse the
+    /// prebuilt map as a join build side when the build column is the PK.
+    pub fn pk_index(&self, table: TableId) -> Option<&HashMap<i64, u32>> {
+        self.pk.get(&table)
+    }
+
     /// All (key, rows) pairs of a children index — used by samplers.
     pub fn children_index(
         &self,

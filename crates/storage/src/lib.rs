@@ -22,6 +22,7 @@ mod executor;
 pub mod fixtures;
 mod index;
 mod join;
+pub mod optimizer;
 mod predicate;
 mod query;
 mod schema;
@@ -30,9 +31,15 @@ mod value;
 
 pub use database::Database;
 pub use error::StorageError;
-pub use executor::{execute, execute_with_indexes, AggResult, QueryOutput};
+pub use executor::{
+    execute, execute_ordered, execute_ordered_with_stats, execute_with_indexes, plan_order,
+    AggResult, ExecStats, QueryOutput,
+};
 pub use index::Indexes;
 pub use join::{JoinColumnMeta, JoinColumnRole, JoinSample, JoinTree};
+pub use optimizer::{
+    explain, optimize, CardinalityModel, JoinOrder, JoinOrderSpace, TrueCardinality,
+};
 pub use predicate::{CmpOp, PredOp, Predicate};
 pub use query::{Aggregate, ColumnRef, Query};
 pub use schema::{ColumnDef, Domain, ForeignKey, TableSchema};

@@ -1,0 +1,517 @@
+//! Cardinality-driven join ordering.
+//!
+//! The executor streams the first table of its scan order and attaches every
+//! further table through a hash index, so *any* FK-connected order returns
+//! the same output multiset — only the intermediate row counts change. The
+//! work it does is therefore ≈ Σ over order prefixes of |filtered prefix
+//! join| (the classic `C_out` cost), and picking a good order is a pure
+//! cardinality-estimation problem: exactly the "optimizer in the loop"
+//! scenario DeepDB's RSPN estimates are meant for.
+//!
+//! [`JoinOrderSpace`] enumerates every connected subset of the query's
+//! tables (bitmask DP, ≤ 16 tables), prices each subset **once** through a
+//! pluggable [`CardinalityModel`], and runs a left-deep dynamic program over
+//! the priced subsets: `cost(S) = card(S) + min over last-table t` (with the
+//! same pass under `max` yielding the worst enumerated order for benchmark
+//! bracketing). The model is a trait so storage stays independent of the
+//! estimator: `deepdb-core` implements it with RSPN estimates rebound
+//! through prepared queries, while [`TrueCardinality`] backs it with the
+//! ground-truth executor for oracle tests.
+
+use crate::executor::ExecStats;
+use crate::{execute_with_indexes, Database, Indexes, Query, StorageError, TableId};
+
+/// Source of cardinality estimates for candidate subplans.
+///
+/// `tables` is always a *connected* subset of `query.tables`; the model must
+/// return the (estimated) number of qualifying rows of the inner FK join of
+/// those tables with `query`'s predicates restricted to them. Estimates only
+/// steer order choice, so they may be approximate — but they must be finite
+/// and non-negative.
+pub trait CardinalityModel {
+    fn subset_cardinality(&mut self, db: &Database, query: &Query, tables: &[TableId]) -> f64;
+}
+
+/// Ground-truth [`CardinalityModel`]: executes a `COUNT(*)` sub-query per
+/// subset. Exact and slow — the oracle the RSPN-backed model is tested
+/// against, and a baseline for "how good could ordering possibly get".
+pub struct TrueCardinality<'a> {
+    idx: Option<&'a Indexes>,
+}
+
+impl<'a> TrueCardinality<'a> {
+    /// Ground truth via the executor, reusing `idx` across all sub-queries.
+    pub fn new(idx: Option<&'a Indexes>) -> Self {
+        Self { idx }
+    }
+}
+
+impl CardinalityModel for TrueCardinality<'_> {
+    fn subset_cardinality(&mut self, db: &Database, query: &Query, tables: &[TableId]) -> f64 {
+        let mut sub = Query::count(tables.to_vec());
+        sub.predicates = query
+            .predicates
+            .iter()
+            .filter(|p| tables.contains(&p.table))
+            .cloned()
+            .collect();
+        match execute_with_indexes(db, &sub, self.idx) {
+            Ok(out) => out.scalar().count as f64,
+            Err(_) => f64::INFINITY,
+        }
+    }
+}
+
+/// A chosen scan order plus the estimates that chose it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinOrder {
+    /// Tables in scan order (first is the streamed base table).
+    pub tables: Vec<TableId>,
+    /// Estimated filtered-prefix-join cardinality after each step:
+    /// `est_rows[k]` prices the join of `tables[..=k]`.
+    pub est_rows: Vec<f64>,
+    /// Total estimated cost (`Σ est_rows` — the `C_out` objective).
+    pub cost: f64,
+}
+
+/// The priced search space of one query: cardinalities of every connected
+/// table subset plus the best/worst left-deep DP tables over them.
+///
+/// Building the space issues exactly one [`CardinalityModel`] call per
+/// connected subset; [`best`](Self::best), [`worst`](Self::worst), and
+/// [`order_for`](Self::order_for) then read the priced table without
+/// touching the model again, so one estimate pass serves every lane of a
+/// benchmark comparison.
+pub struct JoinOrderSpace {
+    tables: Vec<TableId>,
+    /// `card[mask]` for connected masks, `NAN` elsewhere.
+    card: Vec<f64>,
+    best_cost: Vec<f64>,
+    best_last: Vec<u8>,
+    worst_cost: Vec<f64>,
+    worst_last: Vec<u8>,
+    n_estimates: usize,
+}
+
+impl JoinOrderSpace {
+    /// Enumerate and price the space. `query` must validate against `db` and
+    /// list at most 16 tables.
+    pub fn new(
+        db: &Database,
+        query: &Query,
+        model: &mut dyn CardinalityModel,
+    ) -> Result<Self, StorageError> {
+        query.validate(db)?;
+        let tables = query.tables.clone();
+        let n = tables.len();
+        if n > 16 {
+            return Err(StorageError::InvalidQuery(format!(
+                "join-order enumeration supports at most 16 tables, query lists {n}"
+            )));
+        }
+
+        // Local adjacency over the query's tables.
+        let adj: Vec<u32> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| j != i && db.edge_between(tables[i], tables[j]).is_some())
+                    .fold(0u32, |m, j| m | (1 << j))
+            })
+            .collect();
+
+        let full = (1usize << n) - 1;
+        let mut card = vec![f64::NAN; full + 1];
+        let mut best_cost = vec![f64::INFINITY; full + 1];
+        let mut best_last = vec![u8::MAX; full + 1];
+        let mut worst_cost = vec![f64::NEG_INFINITY; full + 1];
+        let mut worst_last = vec![u8::MAX; full + 1];
+        let mut n_estimates = 0usize;
+        let mut subset: Vec<TableId> = Vec::with_capacity(n);
+
+        // Masks in increasing order: every proper sub-mask is visited first,
+        // so connectivity and DP costs of `mask \ t` are already known. A
+        // mask is connected iff removing some member leaves it connected and
+        // adjacent to that member — sound because every connected graph has
+        // a non-cut vertex.
+        for mask in 1usize..=full {
+            let connected = if mask.count_ones() == 1 {
+                true
+            } else {
+                (0..n).any(|t| {
+                    let rest = mask & !(1 << t);
+                    mask & (1 << t) != 0 && !card[rest].is_nan() && adj[t] & rest as u32 != 0
+                })
+            };
+            if !connected {
+                continue;
+            }
+            subset.clear();
+            subset.extend((0..n).filter(|&i| mask & (1 << i) != 0).map(|i| tables[i]));
+            let c = model.subset_cardinality(db, query, &subset).max(0.0);
+            n_estimates += 1;
+            card[mask] = c;
+            if mask.count_ones() == 1 {
+                best_cost[mask] = c;
+                worst_cost[mask] = c;
+                continue;
+            }
+            for (t, &adj_t) in adj.iter().enumerate().take(n) {
+                let rest = mask & !(1 << t);
+                if mask & (1 << t) == 0 || card[rest].is_nan() || adj_t & rest as u32 == 0 {
+                    continue;
+                }
+                if best_cost[rest] + c < best_cost[mask] {
+                    best_cost[mask] = best_cost[rest] + c;
+                    best_last[mask] = t as u8;
+                }
+                if worst_cost[rest] + c > worst_cost[mask] {
+                    worst_cost[mask] = worst_cost[rest] + c;
+                    worst_last[mask] = t as u8;
+                }
+            }
+        }
+
+        Ok(Self {
+            tables,
+            card,
+            best_cost,
+            best_last,
+            worst_cost,
+            worst_last,
+            n_estimates,
+        })
+    }
+
+    /// Number of cardinality estimates issued while building the space (one
+    /// per connected subset).
+    pub fn n_estimates(&self) -> usize {
+        self.n_estimates
+    }
+
+    /// Estimated cardinality of a connected subset of the query's tables.
+    pub fn cardinality(&self, tables: &[TableId]) -> Option<f64> {
+        let mask = self.mask_of(tables)?;
+        let c = self.card[mask];
+        (!c.is_nan()).then_some(c)
+    }
+
+    /// The cheapest left-deep order under the model's estimates.
+    pub fn best(&self) -> JoinOrder {
+        self.reconstruct(&self.best_cost, &self.best_last)
+    }
+
+    /// The most expensive enumerated order — brackets how much ordering can
+    /// matter on this query under the same estimates.
+    pub fn worst(&self) -> JoinOrder {
+        self.reconstruct(&self.worst_cost, &self.worst_last)
+    }
+
+    /// Price an externally chosen order (e.g. the listed BFS order) from the
+    /// already-built cardinality table. `None` if the order is not a
+    /// connected-prefix permutation of the query's tables.
+    pub fn order_for(&self, order: &[TableId]) -> Option<JoinOrder> {
+        if order.len() != self.tables.len() {
+            return None;
+        }
+        let mut mask = 0usize;
+        let mut est_rows = Vec::with_capacity(order.len());
+        for &t in order {
+            let i = self.tables.iter().position(|&u| u == t)?;
+            if mask & (1 << i) != 0 {
+                return None;
+            }
+            mask |= 1 << i;
+            let c = self.card[mask];
+            if c.is_nan() {
+                return None; // prefix not connected (or not a subset)
+            }
+            est_rows.push(c);
+        }
+        Some(JoinOrder {
+            tables: order.to_vec(),
+            cost: est_rows.iter().sum(),
+            est_rows,
+        })
+    }
+
+    fn mask_of(&self, tables: &[TableId]) -> Option<usize> {
+        let mut mask = 0usize;
+        for &t in tables {
+            let i = self.tables.iter().position(|&u| u == t)?;
+            if mask & (1 << i) != 0 {
+                return None;
+            }
+            mask |= 1 << i;
+        }
+        Some(mask)
+    }
+
+    fn reconstruct(&self, cost: &[f64], last: &[u8]) -> JoinOrder {
+        let n = self.tables.len();
+        let full = (1usize << n) - 1;
+        let mut order = vec![0usize; n];
+        let mut mask = full;
+        for k in (1..n).rev() {
+            let t = last[mask] as usize;
+            debug_assert!(t < n, "DP table incomplete for mask {mask:#b}");
+            order[k] = t;
+            mask &= !(1 << t);
+        }
+        order[0] = mask.trailing_zeros() as usize;
+        let mut est_rows = Vec::with_capacity(n);
+        let mut m = 0usize;
+        for &i in &order {
+            m |= 1 << i;
+            est_rows.push(self.card[m]);
+        }
+        JoinOrder {
+            tables: order.into_iter().map(|i| self.tables[i]).collect(),
+            est_rows,
+            cost: cost[full],
+        }
+    }
+}
+
+/// One-shot convenience: build the space and return the best order.
+pub fn optimize(
+    db: &Database,
+    query: &Query,
+    model: &mut dyn CardinalityModel,
+) -> Result<JoinOrder, StorageError> {
+    JoinOrderSpace::new(db, query, model).map(|s| s.best())
+}
+
+/// Render the chosen order with estimated vs actual cardinalities per step —
+/// `stats` comes from [`crate::execute_ordered_with_stats`] on the same
+/// order.
+pub fn explain(db: &Database, order: &JoinOrder, stats: &ExecStats) -> String {
+    let mut out = format!(
+        "join order ({} tables, estimated cost {:.1} rows):\n",
+        order.tables.len(),
+        order.cost
+    );
+    let width = order
+        .tables
+        .iter()
+        .map(|&t| db.table(t).schema().name().len())
+        .max()
+        .unwrap_or(0);
+    for (k, &t) in order.tables.iter().enumerate() {
+        let name = db.table(t).schema().name();
+        let est = order.est_rows.get(k).copied().unwrap_or(f64::NAN);
+        let line = match stats.rows_per_level.get(k) {
+            Some(&actual) if stats.order.get(k) == Some(&t) => {
+                let q = if actual == 0 {
+                    f64::NAN
+                } else {
+                    est / actual as f64
+                };
+                format!(
+                    "  {:>2}. {name:width$}  est {est:>12.1}  actual {actual:>10}  est/actual {q:>8.3}\n",
+                    k + 1
+                )
+            }
+            _ => format!(
+                "  {:>2}. {name:width$}  est {est:>12.1}  actual          ?\n",
+                k + 1
+            ),
+        };
+        out.push_str(&line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        execute, execute_ordered, execute_ordered_with_stats, plan_order, CmpOp, Domain, PredOp,
+        TableSchema, Value,
+    };
+
+    /// Tiny 4-table star: `title` parent of `cast_info`, `movie_keyword`,
+    /// `movie_company`. Predicates can make children arbitrarily selective.
+    fn star_db() -> Database {
+        let mut db = Database::new("star");
+        db.create_table(
+            TableSchema::new("title")
+                .pk("id")
+                .col("year", Domain::Discrete),
+        )
+        .unwrap();
+        for child in ["cast_info", "movie_keyword", "movie_company"] {
+            db.create_table(
+                TableSchema::new(child)
+                    .pk("id")
+                    .col("movie_id", Domain::Key)
+                    .col("tag", Domain::Discrete),
+            )
+            .unwrap();
+            db.add_foreign_key(child, "movie_id", "title").unwrap();
+        }
+        for m in 1..=20i64 {
+            db.insert("title", &[Value::Int(m), Value::Int(1990 + m % 10)])
+                .unwrap();
+        }
+        let mut id = 1i64;
+        for child in ["cast_info", "movie_keyword", "movie_company"] {
+            for m in 1..=20i64 {
+                // Fan-out varies per child so orders differ in cost.
+                let fan = match child {
+                    "cast_info" => 5,
+                    "movie_keyword" => 2,
+                    _ => 1,
+                };
+                for k in 0..fan {
+                    db.insert(child, &[Value::Int(id), Value::Int(m), Value::Int(k)])
+                        .unwrap();
+                    id += 1;
+                }
+            }
+        }
+        db
+    }
+
+    fn star_query(db: &Database) -> Query {
+        let t = db.table_id("title").unwrap();
+        let ci = db.table_id("cast_info").unwrap();
+        let mk = db.table_id("movie_keyword").unwrap();
+        let mc = db.table_id("movie_company").unwrap();
+        // FROM lists the big unfiltered child first — the worst listed order.
+        Query::count(vec![ci, t, mk, mc])
+            .filter(mk, 2, PredOp::Cmp(CmpOp::Eq, Value::Int(1)))
+            .filter(t, 1, PredOp::Cmp(CmpOp::Le, Value::Int(1995)))
+    }
+
+    #[test]
+    fn true_cardinality_prices_subsets_exactly() {
+        let db = star_db();
+        let q = star_query(&db);
+        let idx = Indexes::build(&db);
+        let mut model = TrueCardinality::new(Some(&idx));
+        let t = db.table_id("title").unwrap();
+        let mk = db.table_id("movie_keyword").unwrap();
+        // year = 1990 + m%10, so year ≤ 1995 keeps m%10 ∈ {0..5} → 12 of 20.
+        assert_eq!(model.subset_cardinality(&db, &q, &[t]), 12.0);
+        // movie_keyword has fan-out 2 with tag ∈ {0,1} → tag=1 keeps 1/movie.
+        assert_eq!(model.subset_cardinality(&db, &q, &[mk]), 20.0);
+        assert_eq!(model.subset_cardinality(&db, &q, &[t, mk]), 12.0);
+    }
+
+    #[test]
+    fn best_order_beats_listed_and_worst_in_cost() {
+        let db = star_db();
+        let q = star_query(&db);
+        let idx = Indexes::build(&db);
+        let mut model = TrueCardinality::new(Some(&idx));
+        let space = JoinOrderSpace::new(&db, &q, &mut model).unwrap();
+        // A 4-table star has 1 + 3·2 + ... connected subsets; every one is
+        // priced exactly once.
+        assert_eq!(space.n_estimates(), 11);
+        let best = space.best();
+        let worst = space.worst();
+        let listed = space
+            .order_for(&plan_order(&db, &q.tables).unwrap())
+            .unwrap();
+        assert!(best.cost <= listed.cost);
+        assert!(listed.cost <= worst.cost);
+        assert!(
+            best.cost < worst.cost,
+            "fan-out asymmetry must separate best {best:?} from worst {worst:?}"
+        );
+        // The cheapest base is a filtered table, not the big cast_info scan.
+        let ci = db.table_id("cast_info").unwrap();
+        assert_ne!(best.tables[0], ci);
+        assert_eq!(worst.tables.len(), 4);
+    }
+
+    #[test]
+    fn every_enumerated_order_is_executable_and_output_equal() {
+        let db = star_db();
+        let q = star_query(&db);
+        let idx = Indexes::build(&db);
+        let mut model = TrueCardinality::new(Some(&idx));
+        let space = JoinOrderSpace::new(&db, &q, &mut model).unwrap();
+        let reference = execute(&db, &q).unwrap();
+        for order in [space.best(), space.worst()] {
+            let out = execute_ordered(&db, &q, Some(&idx), &order).unwrap();
+            assert_eq!(out.scalar().count, reference.scalar().count);
+        }
+    }
+
+    #[test]
+    fn stats_actuals_match_true_cardinalities() {
+        let db = star_db();
+        let q = star_query(&db);
+        let idx = Indexes::build(&db);
+        let mut model = TrueCardinality::new(Some(&idx));
+        let space = JoinOrderSpace::new(&db, &q, &mut model).unwrap();
+        let best = space.best();
+        let (_, stats) = execute_ordered_with_stats(&db, &q, Some(&idx), &best).unwrap();
+        assert_eq!(stats.order, best.tables);
+        // TrueCardinality estimates are exact, so est == actual per level.
+        for (k, &actual) in stats.rows_per_level.iter().enumerate() {
+            assert_eq!(best.est_rows[k], actual as f64, "level {k}");
+        }
+        let rendered = explain(&db, &best, &stats);
+        assert!(rendered.contains("est/actual"));
+        assert!(rendered.contains(db.table(best.tables[0]).schema().name()));
+    }
+
+    #[test]
+    fn invalid_orders_rejected() {
+        let db = star_db();
+        let q = star_query(&db);
+        let t = db.table_id("title").unwrap();
+        let ci = db.table_id("cast_info").unwrap();
+        let mk = db.table_id("movie_keyword").unwrap();
+        // Wrong table set.
+        let bad = JoinOrder {
+            tables: vec![t, ci, mk],
+            est_rows: vec![],
+            cost: 0.0,
+        };
+        assert!(execute_ordered(&db, &q, None, &bad).is_err());
+        // Disconnected prefix: two children before their shared parent.
+        let mc = db.table_id("movie_company").unwrap();
+        let bad = JoinOrder {
+            tables: vec![ci, mk, t, mc],
+            est_rows: vec![],
+            cost: 0.0,
+        };
+        assert!(matches!(
+            execute_ordered(&db, &q, None, &bad),
+            Err(StorageError::DisconnectedJoin(_))
+        ));
+    }
+
+    #[test]
+    fn order_for_rejects_disconnected_prefixes() {
+        let db = star_db();
+        let q = star_query(&db);
+        let idx = Indexes::build(&db);
+        let mut model = TrueCardinality::new(Some(&idx));
+        let space = JoinOrderSpace::new(&db, &q, &mut model).unwrap();
+        let t = db.table_id("title").unwrap();
+        let ci = db.table_id("cast_info").unwrap();
+        let mk = db.table_id("movie_keyword").unwrap();
+        let mc = db.table_id("movie_company").unwrap();
+        assert!(space.order_for(&[ci, mk, t, mc]).is_none());
+        assert!(space.order_for(&[t, ci]).is_none());
+        assert!(space.order_for(&[t, ci, mk, mc]).is_some());
+    }
+
+    #[test]
+    fn single_table_space() {
+        let db = star_db();
+        let t = db.table_id("title").unwrap();
+        let q = Query::count(vec![t]);
+        let mut model = TrueCardinality::new(None);
+        let space = JoinOrderSpace::new(&db, &q, &mut model).unwrap();
+        assert_eq!(space.n_estimates(), 1);
+        let best = space.best();
+        assert_eq!(best.tables, vec![t]);
+        assert_eq!(best.cost, 20.0);
+        assert_eq!(space.worst().cost, 20.0);
+    }
+}

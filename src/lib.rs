@@ -94,19 +94,19 @@ pub use deepdb_storage as storage;
 pub use deepdb_core::{
     compile, execute_aqp, ml, query_literals, AqpOutput, AqpResult, CacheStats, DeepDbError,
     Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy, Estimate, FaultPlan, FaultSite,
-    FunctionalDependency, PreparedQuery, Rspn, ServeConfig, ServeFront, ServeStats,
+    FunctionalDependency, JoinOrderer, PreparedQuery, Rspn, ServeConfig, ServeFront, ServeStats,
 };
 pub use deepdb_storage::{
-    execute, Aggregate, CmpOp, ColumnRef, Database, Domain, PredOp, Predicate, Query, TableSchema,
-    Value,
+    execute, execute_ordered, execute_ordered_with_stats, Aggregate, CmpOp, ColumnRef, Database,
+    Domain, Indexes, JoinOrder, PredOp, Predicate, Query, TableSchema, Value,
 };
 
 /// Everything needed for typical use, importable as `use deepdb::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        compile, execute, execute_aqp, query_literals, Aggregate, AqpOutput, CacheStats, CmpOp,
-        ColumnRef, Database, DeepDbError, Domain, Ensemble, EnsembleBuilder, EnsembleParams,
-        EnsembleStrategy, PredOp, PreparedQuery, Query, ServeConfig, ServeFront, TableSchema,
-        Value,
+        compile, execute, execute_aqp, execute_ordered, execute_ordered_with_stats, query_literals,
+        Aggregate, AqpOutput, CacheStats, CmpOp, ColumnRef, Database, DeepDbError, Domain,
+        Ensemble, EnsembleBuilder, EnsembleParams, EnsembleStrategy, Indexes, JoinOrder,
+        JoinOrderer, PredOp, PreparedQuery, Query, ServeConfig, ServeFront, TableSchema, Value,
     };
 }
